@@ -1,0 +1,97 @@
+"""E2 — analog bitmap vs digital bitmap diagnosis.
+
+The paper's conclusion: the analog bitmap enables "a diagnosis
+methodology based on analog bitmapping complementary to the classical
+digital bitmapping. Thus, the diagnosis of failure of each cell in the
+array is improved."  This bench injects a mixed defect population into a
+realistic array, runs both methodologies, and reports the per-class
+detection table plus the root-caused findings only the analog map can
+produce.
+"""
+
+from conftest import report
+
+from repro.baselines.march import march_c_minus, retention_test
+from repro.bitmap.analog import AnalogBitmap
+from repro.bitmap.compare import DiagnosisComparison
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.window import SpecificationWindow
+from repro.diagnosis.classifier import CellClassifier
+from repro.diagnosis.failure_analysis import FailureAnalyzer
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectInjector, DefectKind
+from repro.edram.operations import ArrayOperations
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.measure.scan import ArrayScanner
+from repro.units import fF
+
+ROWS, COLS, MACRO_ROWS, MACRO_COLS = 32, 16, 8, 2
+
+
+def _build_array(tech):
+    cap = compose_maps(
+        uniform_map((ROWS, COLS), 30 * fF),
+        mismatch_map((ROWS, COLS), 0.7 * fF, seed=21),
+    )
+    array = EDRAMArray(ROWS, COLS, tech=tech, macro_cols=MACRO_COLS,
+                       macro_rows=MACRO_ROWS, capacitance_map=cap)
+    injector = DefectInjector(array, seed=22)
+    injector.scatter(DefectKind.SHORT, 2)
+    injector.scatter(DefectKind.OPEN, 2)
+    injector.scatter(DefectKind.LOW_CAP, 4, factor=0.6)
+    injector.scatter(DefectKind.HIGH_CAP, 2, factor=1.45)
+    injector.scatter(DefectKind.RETENTION, 2, factor=5000.0)
+    injector.scatter(DefectKind.BRIDGE, 1)
+    return array, injector
+
+
+def _analog_flags(tech, array):
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
+    abacus = Abacus.analytic(structure, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
+    bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+    window = SpecificationWindow.from_capacitance(abacus, 24 * fF, 36 * fF)
+    return bitmap, window, bitmap.out_of_spec(window)
+
+
+def bench_e2_diagnosis_improvement(benchmark, tech):
+    array, injector = _build_array(tech)
+
+    bitmap, window, analog_flags = benchmark.pedantic(
+        _analog_flags, args=(tech, array), rounds=2, iterations=1
+    )
+    digital = march_c_minus().run(ArrayOperations(array)).merge(
+        retention_test(ArrayOperations(array), pause=0.2)
+    )
+    comparison = DiagnosisComparison.score(
+        injector.injected, analog_flags, digital.fails
+    )
+
+    classifier = CellClassifier(bitmap, window, macro_cols=MACRO_COLS)
+    verdicts = classifier.classify_all(digital.fails)
+    findings = FailureAnalyzer().analyze(verdicts)
+
+    lines = [
+        f"array {ROWS}x{COLS}, tiles {MACRO_ROWS}x{MACRO_COLS}, "
+        f"{len(injector.injected)} injected defects",
+        "",
+        "detection rates (march C- + 200 ms retention pause vs analog scan):",
+        comparison.table(),
+        "",
+        "root-caused findings from the analog bitmap:",
+        FailureAnalyzer().report(findings),
+        "",
+        "shape check (paper's complementarity): parametric LOW/HIGH_CAP",
+        "defects are invisible to the digital test but fully flagged by the",
+        "analog bitmap; RETENTION leaks are the reverse; hard faults are",
+        "caught by both.",
+    ]
+    report("E2: analog vs digital diagnosis", "\n".join(lines))
+
+    assert comparison.scores[DefectKind.LOW_CAP].analog_rate == 1.0
+    assert comparison.scores[DefectKind.LOW_CAP].digital_rate == 0.0
+    assert comparison.scores[DefectKind.HIGH_CAP].analog_rate == 1.0
+    assert comparison.scores[DefectKind.HIGH_CAP].digital_rate == 0.0
+    assert comparison.scores[DefectKind.RETENTION].digital_rate == 1.0
+    assert comparison.scores[DefectKind.SHORT].analog_rate == 1.0
+    assert comparison.scores[DefectKind.SHORT].digital_rate == 1.0

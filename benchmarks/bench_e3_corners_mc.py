@@ -1,0 +1,74 @@
+"""E3 — robustness across process corners and Monte-Carlo mismatch.
+
+Industrial context the paper implies but does not evaluate: the
+structure itself is fabricated in the same drifting process it
+monitors.  This bench regenerates the abacus at every device corner and
+draws Monte-Carlo samples of the technology card, reporting the code a
+nominal 30 fF cell produces in each case — i.e. how much of the code
+spread budget the *instrument* consumes.  A per-corner abacus (the
+paper's "set of simulations" redone per lot) recovers the accuracy.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.edram.array import EDRAMArray
+from repro.measure.scan import ArrayScanner
+from repro.measure.structure import MeasurementStructure
+from repro.tech.corners import Corner, corner_technology
+from repro.tech.variation import MonteCarloSampler, VariationModel
+from repro.units import fF, to_fF
+
+
+def _code_at_30ff(tech, structure):
+    array = EDRAMArray(2, 2, tech=tech)
+    scanner = ArrayScanner(array, structure)
+    return int(scanner.scan().codes[0, 0])
+
+
+def bench_e3_corners_and_mc(benchmark, tech, structure_2x2):
+    nominal_design = structure_2x2.design
+
+    lines = ["corner sweep (30 fF cell, fixed TT-designed structure vs re-calibrated):", "",
+             f"{'corner':>7}  {'code (TT abacus)':>17}  {'estimate err (fF)':>18}  "
+             f"{'code (corner abacus)':>21}"]
+    tt_abacus = Abacus.analytic(structure_2x2, 2, 2)
+    for corner in Corner:
+        card = corner_technology(corner, tech)
+        structure = MeasurementStructure(card, nominal_design)
+        code = _code_at_30ff(card, structure)
+        est = tt_abacus.estimate(code) if 0 < code < 20 else None
+        err = to_fF(abs(est - card.cell_capacitance)) if est else float("nan")
+        corner_abacus = Abacus.analytic(structure, 2, 2)
+        c_code = corner_abacus.code_for_capacitance(card.cell_capacitance)
+        lines.append(
+            f"{str(corner):>7}  {code:>17}  {err:>18.2f}  {c_code:>21}"
+        )
+
+    def mc_codes(n):
+        sampler = MonteCarloSampler(tech, VariationModel(sigma_cell_cap=0.0), seed=3)
+        codes = []
+        for card in sampler.samples(n):
+            structure = MeasurementStructure(card, nominal_design)
+            codes.append(_code_at_30ff(card, structure))
+        return np.array(codes)
+
+    codes = benchmark.pedantic(mc_codes, args=(60,), rounds=1, iterations=1)
+    lines.append("")
+    lines.append(
+        "Monte-Carlo (60 dies, device mismatch only, cell fixed at 30 fF):"
+    )
+    lines.append(
+        f"  code at 30 fF: mean {codes.mean():.2f}, sigma {codes.std():.2f}, "
+        f"range {codes.min()}..{codes.max()}"
+    )
+    lines.append("")
+    lines.append("takeaway: instrument-induced spread is a ~1-2 code effect; a")
+    lines.append("per-corner abacus recentres the estimate (re-simulating the")
+    lines.append("abacus per process split, as the paper's methodology implies).")
+    report("E3: corner and mismatch robustness", "\n".join(lines))
+
+    assert codes.std() < 3.0
+    assert 1 <= codes.mean() <= 19

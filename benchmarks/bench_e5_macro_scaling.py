@@ -1,0 +1,61 @@
+"""E5 — isolation-limit ablation: converter depth vs macro geometry.
+
+A design law the paper does not state but its structure obeys: every
+cell sharing the plate contributes a pre-charged parasitic branch, so
+the achievable converter depth over 10–55 fF collapses as the macro
+grows.  This bench sweeps tile geometry and reports the deepest feasible
+converter, the designed C_REF, and the resulting accuracy at 30 fF —
+quantifying why the plate must be segmented into small tiles (and why
+the paper's Figure 1 shows a *small* macro-cell).
+"""
+
+import math
+
+from conftest import report
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.accuracy import accuracy_sweep
+from repro.calibration.design import (
+    design_structure,
+    max_feasible_depth,
+    nominal_background,
+)
+from repro.errors import CalibrationError
+from repro.units import fF, to_fF
+
+GEOMETRIES = [(2, 2), (4, 2), (8, 2), (16, 2), (32, 2), (64, 2), (16, 4), (32, 4)]
+
+
+def bench_e5_macro_scaling(benchmark, tech):
+    benchmark.pedantic(
+        max_feasible_depth, args=(tech, 16, 2), rounds=3, iterations=1
+    )
+
+    lines = [
+        f"{'tile':>8}  {'background':>11}  {'max depth':>10}  {'C_REF':>9}  "
+        f"{'err @30fF':>10}",
+        f"{'(RxC)':>8}  {'(fF)':>11}  {'(steps)':>10}  {'(fF)':>9}  {'':>10}",
+    ]
+    for rows, cols in GEOMETRIES:
+        background = nominal_background(tech, rows, cols)
+        depth = max_feasible_depth(tech, rows, cols)
+        try:
+            structure = design_structure(tech, rows, cols)
+            abacus = Abacus.analytic(structure, rows, cols)
+            err = accuracy_sweep(abacus).error_at(30 * fF)
+            cref = f"{to_fF(structure.c_ref):.1f}"
+            err_s = f"{100 * err:.1f} %"
+        except CalibrationError:
+            cref, err_s = "-", "infeasible"
+        depth_s = f"{depth:.1f}" if math.isfinite(depth) else "inf"
+        lines.append(
+            f"{rows:>4}x{cols:<3}  {to_fF(background):>11.1f}  {depth_s:>10}  "
+            f"{cref:>9}  {err_s:>10}"
+        )
+    lines.append("")
+    lines.append("design law: depth falls with plate background; the paper's")
+    lines.append("20-step converter needs tiles of at most ~32x2 on this card.")
+    report("E5: isolation limit vs macro geometry", "\n".join(lines))
+
+    assert max_feasible_depth(tech, 2, 2) > max_feasible_depth(tech, 64, 2)
+    assert max_feasible_depth(tech, 32, 2) > 20 > max_feasible_depth(tech, 64, 2)

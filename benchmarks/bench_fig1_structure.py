@@ -1,0 +1,48 @@
+"""FIG1 — structural audit of the Figure-1 schematic.
+
+The paper's Figure 1 is a schematic: a macro-cell (four cells shown)
+with the capacitor-extraction structure on its plate node.  This bench
+builds the transistor-level netlist of exactly that configuration and
+reports its element census and key connectivity, then times netlist
+construction (the per-measurement fixed cost of the transient tier).
+"""
+
+from conftest import report
+
+from repro.edram.array import EDRAMArray
+from repro.measure.netlist_builder import build_charge_network, build_measurement_circuit
+
+
+def bench_fig1_structure_audit(benchmark, tech, structure_2x2):
+    array = EDRAMArray(2, 2, tech=tech)
+    macro = array.macro(0)
+
+    built = benchmark(build_measurement_circuit, macro, 0, 0, structure_2x2)
+    counts = built.circuit.summary()
+
+    charge = build_charge_network(macro, structure_2x2)
+    lines = [
+        "transistor-level rendering of Figure 1 (2x2 macro + structure):",
+        f"  MOSFETs          : {counts['Mosfet']:>3}  "
+        "(4 access, 2 S_BL, PRG, LEC, STD, REF, 4 sense)",
+        f"  capacitors       : {counts['Capacitor']:>3}  "
+        "(4 cells, 4 junctions, 2 bitlines, plate, gate, drain)",
+        f"  sources          : {counts['VoltageSource']:>3}  (rails + control waveforms)",
+        f"  current mirror   : {counts['CurrentMirrorOutput']:>3}  (I_REFP output leg)",
+        f"  circuit nodes    : {counts['nodes']:>3}",
+        "",
+        "ideal-switch rendering (charge tier):",
+        f"  nodes            : {len(charge.network.node_names):>3}",
+        f"  access switches  : {len(charge.access_switches):>3}",
+        "",
+        "paper-named devices present: "
+        + ", ".join(
+            name
+            for name in ("MPRG", "MLEC", "MSTD", "MREF", "IREFP")
+            if name in built.circuit
+        ),
+    ]
+    report("FIG1: measurement structure census", "\n".join(lines))
+
+    assert counts["Mosfet"] == 14
+    assert "MREF" in built.circuit

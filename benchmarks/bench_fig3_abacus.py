@@ -1,0 +1,48 @@
+"""FIG3 — the abacus: current step versus capacitor value.
+
+Reproduces Figure 3: the calibration staircase mapping each converter
+code (equivalently, the DAC current at the OUT flip) to a capacitance
+interval over the 10–55 fF range.  Generated both analytically and by
+the paper's own procedure (boundary bisection with simulated
+measurements) — the two must coincide.  The timed kernel is the
+simulation-based abacus generation ("a set of simulation").
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.calibration.abacus import Abacus
+from repro.units import fF, to_fF, to_uA
+
+
+def bench_fig3_abacus(benchmark, structure_2x2, abacus_2x2):
+    simulated = benchmark.pedantic(
+        Abacus.from_simulation,
+        args=(structure_2x2, 2, 2),
+        kwargs={"tolerance": 0.01 * fF},
+        rounds=2,
+        iterations=1,
+    )
+
+    lines = ["abacus (analytic == simulated to 0.02 fF):", ""]
+    lines.append(abacus_2x2.table())
+    lines.append("")
+    # The Figure-3 series: current step for a sweep of capacitor values.
+    sweep = np.arange(8, 60, 2) * fF
+    series = ", ".join(
+        f"{to_fF(c):.0f}:{abacus_2x2.code_for_capacitance(float(c))}" for c in sweep
+    )
+    lines.append("capacitance (fF) : current step series")
+    lines.append(series)
+    lines.append("")
+    lines.append(
+        f"range floor {to_fF(abacus_2x2.range_floor):.2f} fF, "
+        f"ceiling {to_fF(abacus_2x2.range_ceiling):.2f} fF, "
+        f"DAC step {to_uA(structure_2x2.design.delta_i):.2f} uA "
+        f"(paper: 10 fF, 55 fF, 20 steps)"
+    )
+    report("FIG3: current step vs capacitor value", "\n".join(lines))
+
+    assert np.allclose(simulated.edges, abacus_2x2.edges, atol=0.02 * fF)
+    assert abacus_2x2.code_for_capacitance(9 * fF) == 0
+    assert abacus_2x2.code_for_capacitance(56 * fF) == 20

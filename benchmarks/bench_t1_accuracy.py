@@ -1,0 +1,84 @@
+"""T1 — accuracy of the converter (paper: "an accuracy of 6 %").
+
+Dense capacitance sweep scoring the abacus inversion against truth,
+plus the converter-depth ablation (8/20/32/64 steps) showing how the
+paper's choice of 20 steps sits on the accuracy-vs-area trade-off.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.accuracy import accuracy_sweep
+from repro.calibration.design import design_structure
+from repro.units import fF, to_fF
+
+
+def bench_t1_accuracy(benchmark, tech, abacus_2x2):
+    full = benchmark(accuracy_sweep, abacus_2x2)
+
+    lines = [
+        "accuracy of the 20-step converter over the design range:",
+        f"  {full.summary()}",
+        "",
+        f"{'C_m (fF)':>9}  {'code':>5}  {'estimate (fF)':>14}  {'rel. error':>11}",
+    ]
+    for cm_ff in (12, 15, 20, 25, 30, 35, 40, 45, 50, 54):
+        idx = int(np.argmin(np.abs(full.capacitances - cm_ff * fF)))
+        code = int(full.codes[idx])
+        est = full.estimates[idx]
+        err = full.relative_errors[idx]
+        est_s = f"{to_fF(est):.2f}" if np.isfinite(est) else "-"
+        err_s = f"{100 * err:.1f} %" if np.isfinite(err) else "-"
+        lines.append(f"{cm_ff:>9}  {code:>5}  {est_s:>14}  {err_s:>11}")
+    lines.append("")
+    lines.append(f"paper claim: ~6 % accuracy; measured at 30 fF: "
+                 f"{100 * full.error_at(30 * fF):.1f} %")
+
+    lines.append("")
+    lines.append("converter-depth ablation (same 10-55 fF range):")
+    lines.append(f"{'steps':>6}  {'err @30fF':>10}  {'mean err':>9}  {'worst bin (fF)':>15}")
+    for depth in (8, 20, 32, 64):
+        structure = design_structure(tech, 2, 2, num_steps=depth)
+        abacus = Abacus.analytic(structure, 2, 2)
+        sweep = accuracy_sweep(abacus)
+        lines.append(
+            f"{depth:>6}  {100 * sweep.error_at(30 * fF):>9.1f}%  "
+            f"{100 * sweep.mean_error:>8.1f}%  "
+            f"{to_fF(sweep.worst_quantization_step()):>15.2f}"
+        )
+    report("T1: converter accuracy + depth ablation", "\n".join(lines))
+
+    assert full.error_at(30 * fF) < 0.06
+
+
+def bench_t1_accuracy_vs_range_width(benchmark, tech):
+    """Secondary sweep: a narrower requested range buys finer resolution.
+
+    The achievable converter depth shrinks with the requested range (the
+    endpoint current ratio sets it), so the narrow screen uses a shallow
+    5-step converter — and still resolves the 30 fF target much more
+    finely than the full-range 20-step design.
+    """
+
+    def build_and_sweep(c_lo_ff, c_hi_ff, steps):
+        structure = design_structure(
+            tech, 2, 2, c_lo=c_lo_ff * fF, c_hi=c_hi_ff * fF, num_steps=steps
+        )
+        abacus = Abacus.analytic(structure, 2, 2)
+        return accuracy_sweep(
+            abacus, c_start=c_lo_ff * fF * 1.05, c_stop=c_hi_ff * fF * 0.95
+        )
+
+    narrow = benchmark(build_and_sweep, 25, 35, 5)
+    wide = build_and_sweep(10, 55, 20)
+    lines = [
+        f"{'range':>12}  {'steps':>6}  {'err @30fF':>10}",
+        f"{'25-35 fF':>12}  {5:>6}  {100 * narrow.error_at(30 * fF):>9.2f}%",
+        f"{'10-55 fF':>12}  {20:>6}  {100 * wide.error_at(30 * fF):>9.2f}%",
+        "",
+        "a production screen around the 30 fF target can trade range for",
+        "resolution and converter area simultaneously.",
+    ]
+    report("T1b: range-vs-resolution trade", "\n".join(lines))
+    assert narrow.error_at(30 * fF) < wide.error_at(30 * fF)

@@ -1,0 +1,61 @@
+"""T2 — flow timing and out-of-range code semantics.
+
+Pins the prose claims: "five steps of 10 ns" and the code-0 / code-20
+interpretations ("three diagnoses are possible ...").  The timed kernel
+is one exact charge-tier measurement — the per-cell cost that makes the
+whole-array Analog Bitmap practical.
+"""
+
+from conftest import report
+
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.measure.phases import PhasePlan
+from repro.measure.sequencer import MeasurementSequencer
+from repro.units import fF, to_ns
+
+
+def _code_for(tech, structure, setup):
+    array = EDRAMArray(2, 2, tech=tech)
+    if setup == "under (6 fF)":
+        array.cell(0, 0).capacitance = 6 * fF
+    elif setup == "shorted":
+        array.cell(0, 0).apply_defect(CellDefect(DefectKind.SHORT))
+    elif setup == "open":
+        array.cell(0, 0).apply_defect(CellDefect(DefectKind.OPEN))
+    elif setup == "over (70 fF)":
+        array.cell(0, 0).capacitance = 70 * fF
+    return MeasurementSequencer(array.macro(0), structure).measure_charge(0, 0)
+
+
+def bench_t2_flow_timing_and_limits(benchmark, tech, structure_2x2):
+    plan = PhasePlan(tech, structure_2x2.design, 0, 0, 2, 2)
+    lines = ["measurement flow phases:"]
+    for window in plan.windows:
+        lines.append(
+            f"  {window.phase.name:<10} {to_ns(window.start):5.0f} .. "
+            f"{to_ns(window.end):5.0f} ns"
+        )
+    lines.append(
+        f"  total {to_ns(plan.total_duration):.0f} ns "
+        "(paper: five steps of 10 ns = 50 ns)"
+    )
+    lines.append("")
+    lines.append("out-of-range semantics:")
+    lines.append(f"{'cell condition':<16} {'code':>5}   interpretation")
+    for setup in ("under (6 fF)", "shorted", "open", "over (70 fF)"):
+        result = _code_for(tech, structure_2x2, setup)
+        lines.append(f"{setup:<16} {result.code:>5}   {result.meaning.value}")
+    lines.append("")
+    lines.append('paper: "If the number of current step is 0, three diagnoses')
+    lines.append('are possible" — all three land on code 0 here; 70 fF lands on')
+    lines.append("the full-scale code (>= 55 fF).")
+    report("T2: flow timing and code limits", "\n".join(lines))
+
+    # Timed kernel: one exact charge-tier measurement.
+    result = benchmark(_code_for, tech, structure_2x2, "under (6 fF)")
+    assert result.code == 0
+    assert _code_for(tech, structure_2x2, "shorted").code == 0
+    assert _code_for(tech, structure_2x2, "open").code == 0
+    assert _code_for(tech, structure_2x2, "over (70 fF)").code == 20
+    assert plan.total_duration == 50e-9

@@ -1,0 +1,59 @@
+"""Benchmark-suite fixtures and reproduced-figure reporting.
+
+Each bench regenerates one of the paper's figures/tables (see DESIGN.md
+§4) and registers the reproduced rows via :func:`report`.  Because
+pytest captures stdout, the tables are re-emitted in the terminal
+summary, so ``pytest benchmarks/ --benchmark-only`` shows both the
+timing table and the reproduced data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.tech.parameters import default_technology
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def report(title: str, body: str) -> None:
+    """Register a reproduced figure/table for the terminal summary."""
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduced paper artefacts", sep="=")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """Nominal technology card."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def structure_2x2(tech):
+    """Paper-configuration structure (Figure-1-like 2×2 macro)."""
+    return design_structure(tech, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def abacus_2x2(structure_2x2):
+    """Paper-configuration abacus."""
+    return Abacus.analytic(structure_2x2, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def structure_8x2(tech):
+    """Structure for 8×2 macros (mid-size benches)."""
+    return design_structure(tech, 8, 2)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""BISR repair allocation driven by the analog bitmap.
+
+The paper positions the measurement structure as "complementary to these
+BISR techniques".  This example closes that loop: spare rows/columns are
+allocated two ways —
+
+- from the **digital** fail map alone (what classical BISR sees), and
+- from the **analog** out-of-spec map, which additionally retires
+  *marginal* cells (low capacitance, still functional today) before they
+  become field failures.
+
+Run:  python examples/bisr_repair.py
+"""
+
+import numpy as np
+
+from repro import (
+    AnalogBitmap,
+    ArrayScanner,
+    Abacus,
+    CellDefect,
+    DefectInjector,
+    DefectKind,
+    EDRAMArray,
+    RepairPlanner,
+    SpecificationWindow,
+    design_structure,
+    march_c_minus,
+)
+from repro.bitmap import render_fail_map
+from repro.edram import compose_maps, mismatch_map, uniform_map
+from repro.edram.operations import ArrayOperations
+from repro.units import fF
+
+ROWS, COLS, MACRO_ROWS, MACRO_COLS = 32, 16, 8, 2
+SPARE_ROWS, SPARE_COLS = 3, 3
+
+capacitance = compose_maps(
+    uniform_map((ROWS, COLS), 30 * fF),
+    mismatch_map((ROWS, COLS), 0.8 * fF, seed=55),
+)
+array = EDRAMArray(ROWS, COLS, macro_cols=MACRO_COLS, macro_rows=MACRO_ROWS,
+                   capacitance_map=capacitance)
+injector = DefectInjector(array, seed=56)
+injector.scatter(DefectKind.SHORT, 2)
+injector.scatter(DefectKind.OPEN, 2)
+injector.scatter(DefectKind.LOW_CAP, 6, factor=0.6)  # marginal, not failing
+
+# Digital view.
+digital = march_c_minus().run(ArrayOperations(array))
+print(f"digital fail map ({digital.fail_count} cells):")
+print(render_fail_map(digital.fails))
+
+# Analog view.
+structure = design_structure(array.tech, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
+abacus = Abacus.for_array(structure, array)
+bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+window = SpecificationWindow.from_capacitance(abacus, 24 * fF, 36 * fF)
+analog_flags = bitmap.out_of_spec(window)
+print(f"\nanalog out-of-spec map ({int(analog_flags.sum())} cells, including "
+      "marginal ones):")
+print(render_fail_map(analog_flags))
+
+planner = RepairPlanner(SPARE_ROWS, SPARE_COLS)
+for label, flags in (("digital-only", digital.fails), ("analog-aware", analog_flags)):
+    plan = planner.plan(flags)
+    status = "SUCCESS" if plan.success else f"{len(plan.uncovered)} uncovered"
+    print(f"\n{label} repair plan: {status}")
+    print(f"  spare rows used: {sorted(plan.spare_rows_used)}")
+    print(f"  spare cols used: {sorted(plan.spare_cols_used)}")
+
+# The marginal cells the analog-aware plan additionally retires:
+marginal = analog_flags & ~digital.fails
+print(f"\nmarginal cells retired only by the analog-aware plan: "
+      f"{int(marginal.sum())} at {[tuple(x) for x in np.argwhere(marginal)]}")

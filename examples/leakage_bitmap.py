@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Leakage bitmap: the combined capacitance + retention methodology.
+
+Two cells fail the same 1 s retention screen.  Classical flows stop
+there ("both leaky").  With the paper's per-cell capacitance in hand the
+two split cleanly:
+
+- one is a **small capacitor** with ordinary junction leakage (a
+  capacitor-module problem → deposition/etch process owners),
+- the other is a **full-size capacitor** with a leaky junction (an
+  isolation/implant problem → entirely different process owners).
+
+This example builds the per-cell leakage-current bounds from an analog
+bitmap plus a ladder of retention pauses, and prints the separation.
+
+Run:  python examples/leakage_bitmap.py
+"""
+
+import numpy as np
+
+from repro import Abacus, AnalogBitmap, ArrayScanner, EDRAMArray, design_structure
+from repro import CellDefect, DefectKind
+from repro.diagnosis import extract_leakage, retention_ladder
+from repro.edram import compose_maps, mismatch_map, uniform_map
+from repro.edram.operations import ArrayOperations
+from repro.units import fF, to_fF
+
+ROWS, COLS, MACRO_ROWS, MACRO_COLS = 16, 8, 8, 2
+PAUSES = [0.01, 0.1, 1.0, 10.0]  # seconds
+
+capacitance = compose_maps(
+    uniform_map((ROWS, COLS), 30 * fF),
+    mismatch_map((ROWS, COLS), 0.7 * fF, seed=23),
+)
+array = EDRAMArray(ROWS, COLS, macro_cols=MACRO_COLS, macro_rows=MACRO_ROWS,
+                   capacitance_map=capacitance)
+
+# Suspect A: small capacitor, slightly elevated leakage.
+array.cell(3, 2).apply_defect(CellDefect(DefectKind.LOW_CAP, factor=0.4))
+array.cell(3, 2).leak_current *= 130
+# Suspect B: full capacitor, very leaky junction.
+array.cell(12, 6).apply_defect(CellDefect(DefectKind.RETENTION, factor=320.0))
+
+# --- measure capacitance (the paper's structure) ----------------------------
+structure = design_structure(array.tech, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
+abacus = Abacus.for_array(structure, array)
+bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+
+# --- retention ladder --------------------------------------------------------
+ladder = retention_ladder(ArrayOperations(array), PAUSES)
+bounds = extract_leakage(bitmap, ladder, PAUSES, v_write=1.8, v_min=0.9)
+
+print(f"retention ladder pauses: {PAUSES} s")
+print(f"cells failing some pause: "
+      f"{[tuple(x) for x in np.argwhere(ladder < len(PAUSES))]}\n")
+
+print(f"{'cell':>9}  {'C (fF)':>8}  {'fails at':>9}  "
+      f"{'I bounds (A)':>22}  verdict")
+for addr in ((3, 2), (12, 6)):
+    k = int(ladder[addr])
+    fails = f"{PAUSES[k]:.2f} s" if k < len(PAUSES) else "never"
+    cap = bitmap.estimates[addr]
+    lo, hi = bounds.lower[addr], bounds.upper[addr]
+    hi_s = f"{hi:.1e}" if np.isfinite(hi) else "inf"
+    small = cap < 24 * fF
+    verdict = ("capacitor module (small cap, ordinary leak)" if small
+               else "junction isolation (full cap, heavy leak)")
+    print(f"{str(addr):>9}  {to_fF(cap):>8.2f}  {fails:>9}  "
+          f"[{lo:.1e}, {hi_s}]  {verdict}")
+
+healthy_hi = bounds.upper[0, 0]
+print(f"\nhealthy-cell leakage upper bound: {healthy_hi:.1e} A "
+      "(from surviving the longest pause)")
+print("\nwithout the analog bitmap both suspects are just 'retention fails';")
+print("with it, they route to different process owners.")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: measure every cell of an eDRAM array and read the bitmap.
+
+Walks the library's happy path in five steps:
+
+1. build an eDRAM array (with a little process variation),
+2. design a measurement structure for its macro-cell geometry,
+3. generate the calibration abacus (the paper's Figure 3),
+4. scan the array into an Analog Bitmap,
+5. screen the bitmap against a capacitance specification.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalogBitmap,
+    ArrayScanner,
+    Abacus,
+    EDRAMArray,
+    SpecificationWindow,
+    design_structure,
+)
+from repro.edram import compose_maps, mismatch_map, uniform_map
+from repro.units import fF, to_fF, to_uA
+
+# 1. An array: 64 wordlines x 32 bitlines, plate segmented into 16x2
+#    tiles (one embedded measurement structure per tile), with 1 fF of
+#    random capacitor mismatch on the 30 fF nominal.
+ROWS, COLS = 64, 32
+capacitance = compose_maps(
+    uniform_map((ROWS, COLS), 30 * fF),
+    mismatch_map((ROWS, COLS), 1.0 * fF, seed=42),
+)
+array = EDRAMArray(
+    ROWS, COLS, macro_cols=2, macro_rows=16, capacitance_map=capacitance
+)
+print(f"array: {ROWS}x{COLS} cells, {array.num_macros} macro tiles")
+
+# 2. Size the structure so 10-55 fF spans the 20-step converter for this
+#    tile geometry (C_REF and the DAC step come out of the solver).
+structure = design_structure(
+    array.tech, rows=16, macro_cols=2, bitline_rows=ROWS
+)
+print(
+    f"designed structure: C_REF = {to_fF(structure.c_ref):.1f} fF, "
+    f"dI = {to_uA(structure.design.delta_i):.2f} uA, "
+    f"{structure.design.num_steps} steps"
+)
+
+# 3. The abacus: code <-> capacitance calibration (paper Figure 3).
+abacus = Abacus.for_array(structure, array)
+print(
+    f"abacus range: {to_fF(abacus.range_floor):.1f} .. "
+    f"{to_fF(abacus.range_ceiling):.1f} fF"
+)
+
+# 4. Scan all cells -> Analog Bitmap.
+scan = ArrayScanner(array, structure).scan()
+bitmap = AnalogBitmap(scan, abacus)
+print(
+    f"scanned {array.num_cells} cells: mean "
+    f"{to_fF(bitmap.mean_capacitance()):.2f} fF, sigma "
+    f"{to_fF(bitmap.std_capacitance()):.2f} fF"
+)
+
+# 5. Screen against a 30 fF +-20 % spec, expressed in the current domain
+#    as the paper prescribes.
+window = SpecificationWindow.from_capacitance(abacus, 24 * fF, 36 * fF)
+failing = bitmap.out_of_spec(window)
+print(
+    f"spec window: codes {window.code_lo}..{window.code_hi} "
+    f"({to_uA(window.current_lo):.1f}..{to_uA(window.current_hi):.1f} uA)"
+)
+print(f"cells out of spec: {int(failing.sum())} of {array.num_cells}")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Test economics: campaign planning for the embedded structure.
+
+The structure measures one cell per 50 ns flow — but a production test
+program still has to decide *which* cells to measure, how to get the
+codes off chip, and whether to spend extra flows on dithered (sub-code)
+conversion.  This example walks those decisions for a 128x64 array:
+
+1. compare address strategies (full raster / macro-grouped /
+   checkerboard / sparse) on tester time,
+2. run the full BIST campaign and look at the streamed bitmap size,
+3. run the 2 % sparse monitor and check its population estimate,
+4. dial in dithered conversion for a fine-resolution re-measure of the
+   cells the screen flagged.
+
+Run:  python examples/test_economics.py
+"""
+
+import numpy as np
+
+from repro import EDRAMArray, design_structure
+from repro.calibration import Abacus, DitheredConverter, SpecificationWindow
+from repro.bitmap import AnalogBitmap
+from repro.controller import BISTController, ScanOrder, TestScheduler
+from repro.edram import compose_maps, mismatch_map, uniform_map
+from repro.measure.scan import ArrayScanner
+from repro.units import fF, to_fF
+
+ROWS, COLS, MACRO_ROWS, MACRO_COLS = 128, 64, 16, 2
+
+capacitance = compose_maps(
+    uniform_map((ROWS, COLS), 30 * fF),
+    mismatch_map((ROWS, COLS), 0.9 * fF, seed=11),
+)
+array = EDRAMArray(ROWS, COLS, macro_cols=MACRO_COLS, macro_rows=MACRO_ROWS,
+                   capacitance_map=capacitance)
+
+# A handful of marginal capacitors for the fine re-measure step.
+from repro import CellDefect, DefectInjector, DefectKind  # noqa: E402
+
+DefectInjector(array, seed=13).scatter(DefectKind.LOW_CAP, 5, factor=0.75)
+structure = design_structure(array.tech, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
+abacus = Abacus.for_array(structure, array)
+
+# 1. Strategy comparison.
+scheduler = TestScheduler(array, structure)
+print(f"campaign options for {array.num_cells} cells:")
+for plan in scheduler.compare_strategies():
+    print("  " + plan.describe())
+print(f"  (a probe station would need "
+      f"{scheduler.probe_station_equivalent(array.num_cells) / 3600:.0f} hours)")
+
+# 2. Full campaign with streaming.
+controller = BISTController(array, structure, scheduler)
+full = controller.run(ScanOrder.MACRO_MAJOR)
+print(f"\nfull bitmap: {full.stream.encoded_bits} bits on the test port "
+      f"({full.stream.compression_ratio:.1f}x vs raw), "
+      f"tester time {full.plan.total_time * 1e6:.0f} us")
+
+# 3. Sparse monitor.
+sparse = controller.monitor(fraction=0.02, seed=12)
+print(f"sparse monitor: {sparse.plan.cells} cells in "
+      f"{sparse.plan.total_time * 1e6:.1f} us, mean code "
+      f"{sparse.mean_code():.2f} +- {sparse.sampling_sigma():.2f} "
+      f"(full map: {full.mean_code():.2f})")
+
+# 4. Fine re-measure of screened outliers with dithered conversion.
+bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+window = SpecificationWindow.from_capacitance(abacus, 26 * fF, 34 * fF)
+flagged = np.argwhere(bitmap.out_of_spec(window))
+converter = DitheredConverter(structure, MACRO_ROWS, MACRO_COLS, repeats=8,
+                              bitline_rows=ROWS)
+print(f"\n{len(flagged)} cells flagged by the coarse screen; re-measuring "
+      f"with R=8 dither ({converter.effective_resolution() / fF * 1000:.0f} aF LSB):")
+for row, col in flagged[:8]:
+    macro = array.macro(array.macro_of(int(row), int(col)))
+    result = converter.measure(
+        macro, int(row) - macro.row_start, int(col) - macro.col_start
+    )
+    true = array.cell(int(row), int(col)).capacitance
+    print(f"  ({row:>3},{col:>2}) fine estimate {to_fF(result.capacitance):6.2f} fF "
+          f"(true {to_fF(true):6.2f} fF) in {result.test_time * 1e9:.0f} ns")
+if len(flagged) > 8:
+    print(f"  ... and {len(flagged) - 8} more")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Waveform tour: watch the five-phase flow at transistor level.
+
+Reproduces the paper's Figure 2 interactively: the full measurement
+netlist (access devices, PRG/LEC/S_BL switches, REF transistor, current
+mirror, sense inverters) is integrated through the 50 ns flow for two
+capacitor values, and the plate / gate / OUT waveforms are rendered as
+ASCII charts with the phase boundaries annotated.
+
+Run:  python examples/waveform_tour.py
+"""
+
+from repro import EDRAMArray, design_structure
+from repro.measure import MeasurementSequencer
+from repro.measure.phases import Phase, PhasePlan
+from repro.units import fF, to_ns
+
+structure = design_structure(EDRAMArray(2, 2).tech, 2, 2)
+plan = PhasePlan(structure.tech, structure.design, 0, 0, 2, 2)
+
+print("phase plan (paper: five steps of 10 ns):")
+for window in plan.windows:
+    print(f"  {window.phase.name:<10} {to_ns(window.start):5.1f} .. "
+          f"{to_ns(window.end):5.1f} ns")
+print()
+
+for cm_ff in (20, 40):
+    array = EDRAMArray(2, 2)
+    array.cell(0, 0).capacitance = cm_ff * fF
+    sequencer = MeasurementSequencer(array.macro(0), structure)
+    result, waveform = sequencer.measure_transient(0, 0, return_waveform=True)
+
+    print(f"=== C_m = {cm_ff} fF "
+          f"(V_GS = {result.vgs:.3f} V, code = {result.code}) ===")
+    print(waveform.ascii_plot(["plate", "gate"], width=76, height=10))
+    print()
+    print("OUT and the REF drain during the conversion ramp:")
+    convert = waveform.window(plan.window(Phase.CONVERT).start, plan.total_duration)
+    print(convert.ascii_plot(["drain", "out"], width=76, height=10))
+    if result.flip_time is not None:
+        step = int((result.flip_time - plan.convert_start)
+                   / structure.design.step_duration) + 1
+        print(f"OUT flips at {to_ns(result.flip_time):.2f} ns "
+              f"(during current step {step}) -> code {result.code}")
+    else:
+        print("OUT never flips -> full-scale code")
+    print()
+
+print("shape check vs Figure 2: the 40 fF extraction flips OUT at a later")
+print("current step than the 20 fF one, because the higher V_GS lets REF")
+print("sink more of the ramp before its drain crosses V_DD/2.")

@@ -1,0 +1,107 @@
+"""repro — reproduction of "A New Embedded Measurement Structure for
+eDRAM Capacitor" (Lopez, Portal, Née — DATE 2005).
+
+The library simulates, end to end, an embedded DFT structure that
+measures the storage capacitance of every 1T1C cell in an eDRAM array as
+a small digital code, and the analog-bitmap diagnosis methodology built
+on it.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured record.
+
+Quick tour (see ``examples/quickstart.py`` for the runnable version)::
+
+    from repro import (
+        EDRAMArray, design_structure, Abacus, ArrayScanner, AnalogBitmap,
+    )
+
+    array = EDRAMArray(rows=16, cols=32, macro_cols=2)
+    structure = design_structure(array.tech, array.rows, array.macro_cols)
+    abacus = Abacus.analytic(structure, array.rows, array.macro_cols)
+    bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+    print(bitmap.mean_capacitance())
+
+Subpackages
+-----------
+- :mod:`repro.tech` — synthetic 0.18 µm eDRAM technology cards
+- :mod:`repro.circuit` — MNA circuit simulator + charge engine
+- :mod:`repro.edram` — array substrate, defects, variation
+- :mod:`repro.measure` — the paper's measurement structure (core)
+- :mod:`repro.calibration` — structure sizing, abacus, accuracy, windows
+- :mod:`repro.bitmap` — analog/digital bitmaps, signatures
+- :mod:`repro.diagnosis` — classification, process monitoring, repair
+- :mod:`repro.baselines` — march tests, bitline-side measurement, probe
+"""
+
+from repro.errors import ReproError
+from repro.tech import TechnologyCard, default_technology, Corner, corner_technology
+from repro.edram import EDRAMArray, DefectKind, CellDefect, DefectInjector
+from repro.measure import (
+    MeasurementDesign,
+    MeasurementStructure,
+    MeasurementSequencer,
+    MeasurementResult,
+    ArrayScanner,
+)
+from repro.calibration import (
+    design_structure,
+    Abacus,
+    accuracy_sweep,
+    SpecificationWindow,
+)
+from repro.bitmap import AnalogBitmap, DigitalBitmap, categorize, fit_gradient
+from repro.diagnosis import (
+    CellClassifier,
+    ProcessMonitor,
+    FailureAnalyzer,
+    RepairPlanner,
+    DiagnosisPipeline,
+)
+from repro.controller import BISTController, TestScheduler, ScanOrder
+from repro.wafer import WaferModel, WaferReport
+from repro.io import save_scan, load_scan, save_abacus, load_abacus
+from repro.baselines import mats_pp, march_c_minus, BitlineMeasurement, DirectProbe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "TechnologyCard",
+    "default_technology",
+    "Corner",
+    "corner_technology",
+    "EDRAMArray",
+    "DefectKind",
+    "CellDefect",
+    "DefectInjector",
+    "MeasurementDesign",
+    "MeasurementStructure",
+    "MeasurementSequencer",
+    "MeasurementResult",
+    "ArrayScanner",
+    "design_structure",
+    "Abacus",
+    "accuracy_sweep",
+    "SpecificationWindow",
+    "AnalogBitmap",
+    "DigitalBitmap",
+    "categorize",
+    "fit_gradient",
+    "CellClassifier",
+    "ProcessMonitor",
+    "FailureAnalyzer",
+    "RepairPlanner",
+    "DiagnosisPipeline",
+    "BISTController",
+    "TestScheduler",
+    "ScanOrder",
+    "WaferModel",
+    "WaferReport",
+    "save_scan",
+    "load_scan",
+    "save_abacus",
+    "load_abacus",
+    "mats_pp",
+    "march_c_minus",
+    "BitlineMeasurement",
+    "DirectProbe",
+    "__version__",
+]

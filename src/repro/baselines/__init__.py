@@ -1,0 +1,43 @@
+"""Baselines the paper's structure is compared against.
+
+- :mod:`repro.baselines.march` — classical march functional tests
+  (MATS++, March C−, plus a retention-pause variant) producing the
+  digital pass/fail bitmaps the paper calls "the classical digital
+  bitmapping";
+- :mod:`repro.baselines.bitline_measure` — the naive alternative the
+  paper's plate-node connection exists to avoid: measuring the cell
+  capacitor *through the bitline*, where the parasitic bitline
+  capacitance swamps the signal (experiment E1);
+- :mod:`repro.baselines.direct_probe` — an idealized external probe
+  (ground truth with configurable instrument noise) used for scoring.
+"""
+
+from repro.baselines.march import (
+    MarchElement,
+    MarchTest,
+    Order,
+    Op,
+    march_b,
+    march_c_minus,
+    march_catalog,
+    mats,
+    mats_pp,
+    retention_test,
+)
+from repro.baselines.bitline_measure import BitlineMeasurement
+from repro.baselines.direct_probe import DirectProbe
+
+__all__ = [
+    "MarchElement",
+    "MarchTest",
+    "Order",
+    "Op",
+    "mats",
+    "mats_pp",
+    "march_b",
+    "march_c_minus",
+    "march_catalog",
+    "retention_test",
+    "BitlineMeasurement",
+    "DirectProbe",
+]

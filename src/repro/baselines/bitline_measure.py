@@ -1,0 +1,193 @@
+"""Naive bitline-side capacitance measurement — the negative baseline.
+
+The paper's opening design decision: "the proposed measurement structure
+is connected to the plate node of the macro-cell ... in order to delete
+capacitance noise measurement due to the parasitic bit-line capacitance."
+This module implements what happens if you *don't*: charge the cell,
+share it onto its own (discharged) bitline, and convert the resulting
+bitline voltage with the same NMOS-gate + current-ramp converter.
+
+Why it loses (all three effects quantified by experiment E1):
+
+1. **Compression.** The full-height bitline capacitance (tens to
+   hundreds of fF — it cannot be segmented the way the plate can) sits
+   directly in parallel with the signal, pushing most of the 10–55 fF
+   transfer range *below the REF threshold*: the converter runs in
+   subthreshold, where step currents are too small to slew the drain
+   within a current step.  :attr:`achievable_depth` applies that slew
+   constraint (``i_min``) and collapses accordingly.
+2. **Calibration noise.** The conversion now divides by ``C_m + C_BL``
+   with C_BL a *parasitic* known only to ±10 % — a first-order
+   capacitance error (:meth:`capacitance_error_from_cbl`).  On the plate
+   node, C_BL enters only through a second-order series term.
+3. **Threshold sensitivity.** Subthreshold conversion turns mV of
+   REF-V_TH mismatch into tens of percent of current error
+   (:meth:`capacitance_error_from_vth`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mosfet import Mosfet
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import DefectKind
+from repro.errors import MeasurementError
+from repro.measure.sense import InverterDesign, SenseChain
+from repro.units import fF, pF, uA
+
+
+class BitlineMeasurement:
+    """Charge-share a cell onto its bitline and current-ramp convert.
+
+    The converter reuses the paper's conversion idea but samples the
+    *bitline* instead of the isolated plate.  Its sampling capacitance
+    C_REF' is chosen to maximise the slew-constrained depth, so the
+    comparison against the plate-node structure is as fair as physics
+    allows.
+
+    Parameters
+    ----------
+    array:
+        The array under test (supplies C_BL and the technology card).
+    num_steps:
+        Converter depth to attempt (20, like the paper's).
+    c_lo, c_hi:
+        Capacitance range of interest, farads.
+    i_min:
+        Smallest usable DAC step, amperes — the current needed to slew
+        the drain node past the sense threshold within one step time
+        (≈ C_drain·V_DD/2 / t_step ≈ a few µA).
+    """
+
+    def __init__(
+        self,
+        array: EDRAMArray,
+        num_steps: int = 20,
+        c_lo: float = 10.0 * fF,
+        c_hi: float = 55.0 * fF,
+        i_min: float = 1.0 * uA,
+    ) -> None:
+        if i_min <= 0:
+            raise MeasurementError(f"i_min must be positive, got {i_min}")
+        self.array = array
+        self.num_steps = num_steps
+        self.c_lo = c_lo
+        self.c_hi = c_hi
+        self.i_min = i_min
+        tech = array.tech
+        self._threshold = SenseChain(tech, InverterDesign()).threshold
+        self._probe = Mosfet("BLPROBE", "d", "g", "s", tech.nmos, w=4e-6, l=1e-6)
+        self._creft = self._best_creft()
+        v_hi = self._vbl(self.c_hi)
+        i_hi = self._probe.ids(self._threshold, v_hi, 0.0)
+        self._delta_i = max(i_hi / num_steps, i_min)
+
+    # ------------------------------------------------------------------
+    # Transfer curve
+    # ------------------------------------------------------------------
+
+    @property
+    def c_bitline(self) -> float:
+        """Full-height bitline parasitic the signal shares into, farads."""
+        return self.array.bitline_capacitance()
+
+    def _vbl(self, cm: float, creft: float | None = None, c_bl: float | None = None) -> float:
+        """Converter input voltage for a cell of capacitance ``cm``.
+
+        ``V = VDD · C_m / (C_m + C_BL + C_REF')``.
+        """
+        creft = self._creft if creft is None else creft
+        c_bl = self.c_bitline if c_bl is None else c_bl
+        return self.array.tech.vdd * cm / (cm + c_bl + creft)
+
+    def _depth(self, creft: float) -> float:
+        """Slew-constrained converter depth for a candidate C_REF'.
+
+        ``I(c_hi) / max(I(c_lo), i_min)`` — steps below ``i_min`` cannot
+        flip the sense chain within a step time and do not count.
+        """
+        i_lo = self._probe.ids(self._threshold, self._vbl(self.c_lo, creft), 0.0)
+        i_hi = self._probe.ids(self._threshold, self._vbl(self.c_hi, creft), 0.0)
+        return i_hi / max(i_lo, self.i_min)
+
+    def _best_creft(self) -> float:
+        """C_REF' maximising slew-constrained depth on the bitline node."""
+        grid = np.geomspace(0.1 * fF, 10.0 * pF, 100)
+        depths = [self._depth(float(c)) for c in grid]
+        return float(grid[int(np.argmax(depths))])
+
+    @property
+    def achievable_depth(self) -> float:
+        """Best slew-constrained converter depth on the bitline (steps)."""
+        return self._depth(self._creft)
+
+    # ------------------------------------------------------------------
+    # Error sensitivities (the paper's "capacitance noise")
+    # ------------------------------------------------------------------
+
+    def capacitance_error_from_cbl(self, cm: float, relative_cbl_error: float = 0.1) -> float:
+        """Extraction error (farads) caused by C_BL mis-knowledge.
+
+        The calibration assumes the nominal C_BL; a real column deviates
+        by ``relative_cbl_error``.  The induced voltage shift is
+        re-interpreted as a capacitance shift through the nominal
+        transfer slope.
+        """
+        c_bl = self.c_bitline
+        v_nominal = self._vbl(cm)
+        v_actual = self._vbl(cm, c_bl=c_bl * (1.0 + relative_cbl_error))
+        dv_dc = (self._vbl(cm + 0.01 * fF) - self._vbl(cm - 0.01 * fF)) / (0.02 * fF)
+        return abs(v_actual - v_nominal) / dv_dc
+
+    def capacitance_error_from_vth(self, cm: float, delta_vth: float = 0.01) -> float:
+        """Extraction error (farads) caused by REF threshold mismatch.
+
+        A ``delta_vth`` shift moves the REF sink current; the code error
+        it produces is mapped back to capacitance through the nominal
+        current-vs-capacitance slope at ``cm``.
+        """
+        v = self._vbl(cm)
+        i_nominal = self._probe.ids(self._threshold, v, 0.0)
+        i_shifted = self._probe.ids(self._threshold, v - delta_vth, 0.0)
+        h = 0.01 * fF
+        di_dc = (
+            self._probe.ids(self._threshold, self._vbl(cm + h), 0.0)
+            - self._probe.ids(self._threshold, self._vbl(cm - h), 0.0)
+        ) / (2.0 * h)
+        if di_dc <= 0:
+            return float("inf")
+        return abs(i_shifted - i_nominal) / di_dc
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def code_for_capacitance(self, cm: float) -> int:
+        """Converter code for an ideal cell of capacitance ``cm``."""
+        if cm < 0:
+            raise MeasurementError(f"capacitance must be >= 0, got {cm}")
+        i_sink = self._probe.ids(self._threshold, self._vbl(cm), 0.0)
+        if i_sink <= 0:
+            return 0
+        return min(self.num_steps, int(i_sink / self._delta_i * (1 + 1e-12)))
+
+    def measure(self, row: int, col: int) -> int:
+        """Measure one cell of the array (honouring defects)."""
+        cell = self.array.cell(row, col)
+        if cell.has_defect(DefectKind.SHORT):
+            # The shorted cell couples the V_DD/2 plate straight onto the
+            # bitline: the converter sees a mid-rail level regardless of
+            # capacitance.
+            i_sink = self._probe.ids(self._threshold, self.array.tech.half_vdd, 0.0)
+            return min(self.num_steps, int(i_sink / self._delta_i))
+        return self.code_for_capacitance(cell.effective_capacitance())
+
+    def scan(self) -> np.ndarray:
+        """Measure every cell; returns the code matrix."""
+        return np.array(
+            [
+                [self.measure(r, c) for c in range(self.array.cols)]
+                for r in range(self.array.rows)
+            ]
+        )

@@ -1,0 +1,75 @@
+"""Idealized external capacitance probe (ground-truth reference).
+
+Failure-analysis labs measure sample capacitors by physically probing a
+deprocessed die with an LCR meter — destructive, slow (hours per site),
+but accurate.  :class:`DirectProbe` models that instrument: the true
+capacitance plus configurable Gaussian instrument noise.  Benches use it
+both as the scoring reference and to illustrate the paper's value
+proposition (full-array coverage at test time vs a handful of destructive
+probe sites).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edram.array import EDRAMArray
+from repro.errors import MeasurementError
+from repro.units import fF
+
+
+class DirectProbe:
+    """Destructive probe-station measurement model.
+
+    Parameters
+    ----------
+    array:
+        Array whose cells can be probed.
+    noise_sigma:
+        1σ instrument noise, farads (a good LCR bridge resolves ~0.1 fF).
+    seconds_per_site:
+        Time cost bookkeeping per probed cell (deprocessing + contact),
+        used by throughput comparisons.
+    seed:
+        Noise reproducibility.
+    """
+
+    def __init__(
+        self,
+        array: EDRAMArray,
+        noise_sigma: float = 0.1 * fF,
+        seconds_per_site: float = 1800.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise MeasurementError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        if seconds_per_site <= 0:
+            raise MeasurementError("seconds_per_site must be positive")
+        self.array = array
+        self.noise_sigma = noise_sigma
+        self.seconds_per_site = seconds_per_site
+        self._rng = np.random.default_rng(seed)
+        self.sites_probed = 0
+
+    def probe(self, row: int, col: int) -> float:
+        """Measure one cell's *electrical* capacitance, farads.
+
+        Opens measure near zero (the probe sees the broken node);
+        shorts read as a rail-out (returned as ``inf`` — the bridge
+        cannot balance a resistive short).
+        """
+        cell = self.array.cell(row, col)
+        self.sites_probed += 1
+        if cell.is_plate_shorted():
+            return float("inf")
+        true_value = cell.effective_capacitance()
+        return max(0.0, true_value + float(self._rng.normal(0.0, self.noise_sigma)))
+
+    def probe_sample(self, addresses: list[tuple[int, int]]) -> dict[tuple[int, int], float]:
+        """Probe a list of sites; returns address → measured farads."""
+        return {(r, c): self.probe(r, c) for r, c in addresses}
+
+    @property
+    def time_spent(self) -> float:
+        """Total probing time so far, seconds."""
+        return self.sites_probed * self.seconds_per_site

@@ -1,0 +1,81 @@
+"""Connected-component utilities for bitmap masks.
+
+Spatial grouping of flagged cells is the first step of signature
+categorization.  Components are built on a :mod:`networkx` grid graph
+with 8-connectivity (diagonal neighbours count — a scratch crossing the
+array diagonally is one signature, not forty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import DiagnosisError
+
+#: 8-connected neighbour offsets.
+_NEIGHBOURS = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+
+
+def connected_components(mask: np.ndarray) -> list[set[tuple[int, int]]]:
+    """8-connected components of a boolean mask, largest first."""
+    mask = np.asarray(mask)
+    if mask.ndim != 2 or mask.dtype != bool:
+        raise DiagnosisError("mask must be a 2-D boolean array")
+    graph = nx.Graph()
+    rows, cols = np.nonzero(mask)
+    cells = list(zip(rows.tolist(), cols.tolist()))
+    graph.add_nodes_from(cells)
+    cell_set = set(cells)
+    for r, c in cells:
+        for dr, dc in _NEIGHBOURS:
+            neighbour = (r + dr, c + dc)
+            if neighbour in cell_set:
+                graph.add_edge((r, c), neighbour)
+    components = [set(comp) for comp in nx.connected_components(graph)]
+    return sorted(components, key=len, reverse=True)
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Geometry summary of one component."""
+
+    size: int
+    row_min: int
+    row_max: int
+    col_min: int
+    col_max: int
+    centroid: tuple[float, float]
+
+    @property
+    def height(self) -> int:
+        """Rows spanned."""
+        return self.row_max - self.row_min + 1
+
+    @property
+    def width(self) -> int:
+        """Columns spanned."""
+        return self.col_max - self.col_min + 1
+
+    @property
+    def density(self) -> float:
+        """Cells over bounding-box area."""
+        return self.size / (self.height * self.width)
+
+
+def cluster_stats(component: set[tuple[int, int]]) -> ClusterStats:
+    """Compute :class:`ClusterStats` for one component."""
+    if not component:
+        raise DiagnosisError("component is empty")
+    rows = [r for r, _ in component]
+    cols = [c for _, c in component]
+    return ClusterStats(
+        size=len(component),
+        row_min=min(rows),
+        row_max=max(rows),
+        col_min=min(cols),
+        col_max=max(cols),
+        centroid=(sum(rows) / len(rows), sum(cols) / len(cols)),
+    )

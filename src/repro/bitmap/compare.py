@@ -1,0 +1,131 @@
+"""Scoring analog vs digital diagnosis against injected ground truth.
+
+Experiment E2's engine: after injecting a known defect population,
+compare what the analog bitmap flags against what the digital (march)
+bitmap flags, per defect class.  The paper's qualitative claim — the
+analog bitmap sees parametric and ambiguous defects the digital map
+merges or misses — becomes a quantitative detection table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import DiagnosisError
+
+
+@dataclass
+class KindScore:
+    """Detection bookkeeping for one defect kind."""
+
+    injected: int = 0
+    analog_hits: int = 0
+    digital_hits: int = 0
+
+    @property
+    def analog_rate(self) -> float:
+        """Fraction of injected defects flagged by the analog bitmap."""
+        return self.analog_hits / self.injected if self.injected else float("nan")
+
+    @property
+    def digital_rate(self) -> float:
+        """Fraction of injected defects flagged by the digital bitmap."""
+        return self.digital_hits / self.injected if self.injected else float("nan")
+
+
+@dataclass
+class DiagnosisComparison:
+    """Per-kind detection comparison plus false-positive accounting.
+
+    Build with :meth:`score`.
+    """
+
+    scores: dict[DefectKind, KindScore] = field(default_factory=dict)
+    analog_false_positives: int = 0
+    digital_false_positives: int = 0
+    total_cells: int = 0
+
+    @classmethod
+    def score(
+        cls,
+        injected: list[tuple[int, int, CellDefect]],
+        analog_flags: np.ndarray,
+        digital_flags: np.ndarray,
+    ) -> "DiagnosisComparison":
+        """Score both flag masks against the injected ground truth.
+
+        A defect counts as detected when its own cell is flagged.  Cells
+        flagged without an injected defect count as false positives
+        (process-variation outliers land here by design — they are not
+        *wrong*, but they are not injected defects either).
+        """
+        analog_flags = np.asarray(analog_flags)
+        digital_flags = np.asarray(digital_flags)
+        if analog_flags.shape != digital_flags.shape:
+            raise DiagnosisError(
+                f"mask shapes differ: {analog_flags.shape} vs {digital_flags.shape}"
+            )
+        if analog_flags.dtype != bool or digital_flags.dtype != bool:
+            raise DiagnosisError("flag masks must be boolean")
+        comparison = cls(total_cells=int(analog_flags.size))
+        truth = np.zeros(analog_flags.shape, dtype=bool)
+        for row, col, defect in injected:
+            if not (0 <= row < analog_flags.shape[0] and 0 <= col < analog_flags.shape[1]):
+                raise DiagnosisError(f"injected address ({row}, {col}) outside the masks")
+            truth[row, col] = True
+            score = comparison.scores.setdefault(defect.kind, KindScore())
+            score.injected += 1
+            if analog_flags[row, col]:
+                score.analog_hits += 1
+            if digital_flags[row, col]:
+                score.digital_hits += 1
+        comparison.analog_false_positives = int((analog_flags & ~truth).sum())
+        comparison.digital_false_positives = int((digital_flags & ~truth).sum())
+        return comparison
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def analog_overall_rate(self) -> float:
+        """Overall analog detection rate across all injected defects."""
+        injected = sum(s.injected for s in self.scores.values())
+        hits = sum(s.analog_hits for s in self.scores.values())
+        return hits / injected if injected else float("nan")
+
+    @property
+    def digital_overall_rate(self) -> float:
+        """Overall digital detection rate across all injected defects."""
+        injected = sum(s.injected for s in self.scores.values())
+        hits = sum(s.digital_hits for s in self.scores.values())
+        return hits / injected if injected else float("nan")
+
+    def table(self) -> str:
+        """Render the per-kind detection table (E2's output rows)."""
+        lines = [
+            f"{'defect kind':<14}{'injected':>9}{'analog':>9}{'digital':>9}"
+        ]
+        for kind in DefectKind:
+            if kind not in self.scores:
+                continue
+            s = self.scores[kind]
+            lines.append(
+                f"{kind.value:<14}{s.injected:>9}"
+                f"{100 * s.analog_rate:>8.0f}%"
+                f"{100 * s.digital_rate:>8.0f}%"
+            )
+        lines.append(
+            f"{'overall':<14}{sum(s.injected for s in self.scores.values()):>9}"
+            f"{100 * self.analog_overall_rate:>8.0f}%"
+            f"{100 * self.digital_overall_rate:>8.0f}%"
+        )
+        lines.append(
+            f"false positives: analog {self.analog_false_positives}, "
+            f"digital {self.digital_false_positives} "
+            f"(of {self.total_cells} cells)"
+        )
+        return "\n".join(lines)

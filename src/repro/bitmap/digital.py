@@ -1,0 +1,69 @@
+"""The classical digital (pass/fail) bitmap baseline.
+
+What failure analysis had before the paper's structure: a boolean map of
+cells that miscompared during functional test.  Rich spatial information,
+but a binary verdict per cell — a 25 fF cell that still reads correctly
+is invisible, and a shorted cell is indistinguishable from an open one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DiagnosisError
+
+
+class DigitalBitmap:
+    """Boolean fail map plus provenance.
+
+    Parameters
+    ----------
+    fails:
+        (rows, cols) boolean array, True = at least one miscompare.
+    source:
+        Human-readable origin, e.g. ``"March C-"`` or
+        ``"MATS++ + 100 ms pause"``.
+    """
+
+    def __init__(self, fails: np.ndarray, source: str = "unknown") -> None:
+        fails = np.asarray(fails)
+        if fails.ndim != 2 or fails.dtype != bool:
+            raise DiagnosisError("fails must be a 2-D boolean array")
+        self.fails = fails
+        self.source = source
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the bitmap."""
+        return self.fails.shape  # type: ignore[return-value]
+
+    @property
+    def fail_count(self) -> int:
+        """Total failing cells."""
+        return int(self.fails.sum())
+
+    def fail_addresses(self) -> list[tuple[int, int]]:
+        """Sorted (row, col) list of failing cells."""
+        rows, cols = np.nonzero(self.fails)
+        return [(int(r), int(c)) for r, c in zip(rows, cols)]
+
+    def row_fail_counts(self) -> np.ndarray:
+        """Failures per row."""
+        return self.fails.sum(axis=1)
+
+    def column_fail_counts(self) -> np.ndarray:
+        """Failures per column."""
+        return self.fails.sum(axis=0)
+
+    def merge(self, other: "DigitalBitmap") -> "DigitalBitmap":
+        """Union of two fail maps (e.g. several march runs)."""
+        if other.shape != self.shape:
+            raise DiagnosisError(
+                f"cannot merge bitmaps of shapes {self.shape} and {other.shape}"
+            )
+        return DigitalBitmap(self.fails | other.fails, f"{self.source} + {other.source}")
+
+    def yield_fraction(self) -> float:
+        """Fraction of cells passing."""
+        total = self.fails.size
+        return 1.0 - self.fail_count / total

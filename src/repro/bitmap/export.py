@@ -1,0 +1,55 @@
+"""Terminal renderings of bitmaps.
+
+Benches and examples run headless, so "figures" are compact ASCII maps:
+one character per cell, with a legend.  Codes are rendered base-36-style
+(0-9 then a-k for 10..20); fail maps use ``#``/``.``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DiagnosisError
+
+_CODE_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_code_map(codes: np.ndarray, max_rows: int = 40, max_cols: int = 100) -> str:
+    """Render a code matrix, one glyph per cell.
+
+    Large arrays are decimated evenly to fit ``max_rows × max_cols`` —
+    a banner line records the decimation so nobody mistakes the view for
+    the full map.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise DiagnosisError("codes must be a 2-D array")
+    if codes.max(initial=0) >= len(_CODE_GLYPHS):
+        raise DiagnosisError("code values exceed the glyph table")
+    rows, cols = codes.shape
+    row_step = max(1, int(np.ceil(rows / max_rows)))
+    col_step = max(1, int(np.ceil(cols / max_cols)))
+    view = codes[::row_step, ::col_step]
+    lines = []
+    if row_step > 1 or col_step > 1:
+        lines.append(f"(decimated view: every {row_step} rows x {col_step} cols)")
+    for row in view:
+        lines.append("".join(_CODE_GLYPHS[int(v)] for v in row))
+    return "\n".join(lines)
+
+
+def render_fail_map(fails: np.ndarray, max_rows: int = 40, max_cols: int = 100) -> str:
+    """Render a boolean fail map: ``#`` failing, ``.`` passing."""
+    fails = np.asarray(fails)
+    if fails.ndim != 2 or fails.dtype != bool:
+        raise DiagnosisError("fails must be a 2-D boolean array")
+    rows, cols = fails.shape
+    row_step = max(1, int(np.ceil(rows / max_rows)))
+    col_step = max(1, int(np.ceil(cols / max_cols)))
+    view = fails[::row_step, ::col_step]
+    lines = []
+    if row_step > 1 or col_step > 1:
+        lines.append(f"(decimated view: every {row_step} rows x {col_step} cols)")
+    for row in view:
+        lines.append("".join("#" if v else "." for v in row))
+    return "\n".join(lines)

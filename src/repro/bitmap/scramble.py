@@ -1,0 +1,130 @@
+"""Logical↔physical address descrambling for bitmaps.
+
+Tester fail data arrives in *logical* addresses; the spatial signatures
+the paper's methodology reads (rows, columns, clusters, gradients) only
+exist in *physical* coordinates.  Real memories scramble the two —
+folded row decoding, twisted bitlines, interleaved column mux — so
+failure analysis always starts by descrambling the bitmap.
+
+:class:`AddressScrambler` captures one memory's mapping as a pair of
+permutations and converts either direction; the factory methods build
+the classic schemes.  :func:`descramble_demo_pair` shows the payoff: a
+physical row defect looks like scattered noise in logical space and
+snaps into a ROW signature after descrambling (pinned in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DiagnosisError
+
+
+def _check_permutation(perm: np.ndarray, size: int, name: str) -> np.ndarray:
+    perm = np.asarray(perm, dtype=int)
+    if perm.shape != (size,) or sorted(perm.tolist()) != list(range(size)):
+        raise DiagnosisError(f"{name} must be a permutation of 0..{size - 1}")
+    return perm
+
+
+class AddressScrambler:
+    """Bidirectional logical↔physical address mapping.
+
+    ``row_map[logical] = physical`` and likewise for columns.  The same
+    object converts whole bitmaps (any dtype) and single addresses.
+    """
+
+    def __init__(self, row_map: np.ndarray, col_map: np.ndarray) -> None:
+        self.row_map = _check_permutation(row_map, len(row_map), "row_map")
+        self.col_map = _check_permutation(col_map, len(col_map), "col_map")
+        self._row_inv = np.argsort(self.row_map)
+        self._col_inv = np.argsort(self.col_map)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, rows: int, cols: int) -> "AddressScrambler":
+        """No scrambling (direct-decoded memory)."""
+        return cls(np.arange(rows), np.arange(cols))
+
+    @classmethod
+    def folded_rows(cls, rows: int, cols: int) -> "AddressScrambler":
+        """Folded row decoder: logical rows alternate top/bottom halves.
+
+        Logical row 0, 1, 2, ... maps to physical 0, rows−1, 1,
+        rows−2, ... — the classic shared-wordline-driver layout.
+        """
+        physical = np.empty(rows, dtype=int)
+        lo, hi = 0, rows - 1
+        for logical in range(rows):
+            if logical % 2 == 0:
+                physical[logical] = lo
+                lo += 1
+            else:
+                physical[logical] = hi
+                hi -= 1
+        return cls(physical, np.arange(cols))
+
+    @classmethod
+    def interleaved_columns(cls, rows: int, cols: int, ways: int = 2) -> "AddressScrambler":
+        """Column-mux interleave: logical col k maps to physical
+        ``(k % ways)·(cols//ways) + k//ways``.
+        """
+        if ways < 1 or cols % ways:
+            raise DiagnosisError(f"ways ({ways}) must divide cols ({cols})")
+        span = cols // ways
+        physical = np.array([(k % ways) * span + k // ways for k in range(cols)])
+        return cls(np.arange(rows), physical)
+
+    @classmethod
+    def gray_rows(cls, rows: int, cols: int) -> "AddressScrambler":
+        """Gray-coded row decoder (rows must be a power of two)."""
+        if rows & (rows - 1):
+            raise DiagnosisError(f"gray rows need a power-of-two count, got {rows}")
+        physical = np.array([logical ^ (logical >> 1) for logical in range(rows)])
+        return cls(physical, np.arange(cols))
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) the scrambler covers."""
+        return (len(self.row_map), len(self.col_map))
+
+    def to_physical(self, logical_map: np.ndarray) -> np.ndarray:
+        """Reorder a logical-address bitmap into physical coordinates."""
+        logical_map = np.asarray(logical_map)
+        if logical_map.shape != self.shape:
+            raise DiagnosisError(
+                f"map shape {logical_map.shape} != scrambler {self.shape}"
+            )
+        physical = np.empty_like(logical_map)
+        physical[np.ix_(self.row_map, self.col_map)] = logical_map
+        return physical
+
+    def to_logical(self, physical_map: np.ndarray) -> np.ndarray:
+        """Reorder a physical-address bitmap into logical coordinates."""
+        physical_map = np.asarray(physical_map)
+        if physical_map.shape != self.shape:
+            raise DiagnosisError(
+                f"map shape {physical_map.shape} != scrambler {self.shape}"
+            )
+        return physical_map[np.ix_(self.row_map, self.col_map)]
+
+    def physical_address(self, row: int, col: int) -> tuple[int, int]:
+        """Physical (row, col) of one logical address."""
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise DiagnosisError(f"logical address ({row}, {col}) out of range")
+        return int(self.row_map[row]), int(self.col_map[col])
+
+    def logical_address(self, row: int, col: int) -> tuple[int, int]:
+        """Logical (row, col) of one physical address."""
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise DiagnosisError(f"physical address ({row}, {col}) out of range")
+        return int(self._row_inv[row]), int(self._col_inv[col])

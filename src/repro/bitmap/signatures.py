@@ -1,0 +1,167 @@
+"""Signature categorization of bitmap anomalies.
+
+"This signatures categorization might be very useful to characterize
+process and defect impact on the array" (paper §2).  Given a boolean
+anomaly mask (from either bitmap flavour), :func:`categorize` groups it
+into spatial signatures whose shapes point at physical causes:
+
+=============  ==========================================================
+signature      typical physical cause
+=============  ==========================================================
+SINGLE_CELL    point defect (capacitor short/open, particle at one cell)
+PAIRED_CELLS   two adjacent cells — storage-node bridge
+ROW            wordline-level flaw (poly defect, driver fail)
+COLUMN         bitline-level flaw (contact chain, sense-amp input)
+CLUSTER        localized process flaw (particle cluster, scratch)
+=============  ==========================================================
+
+Gradients are not visible in a boolean mask at all; they are extracted
+from the analog *values* by :func:`fit_gradient` — one of the paper's
+arguments for the analog bitmap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmap.cluster import ClusterStats, cluster_stats, connected_components
+from repro.errors import DiagnosisError
+
+
+class SignatureKind(enum.Enum):
+    """Spatial classes of bitmap anomalies."""
+
+    SINGLE_CELL = "single_cell"
+    PAIRED_CELLS = "paired_cells"
+    ROW = "row"
+    COLUMN = "column"
+    CLUSTER = "cluster"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One categorized anomaly group."""
+
+    kind: SignatureKind
+    cells: frozenset[tuple[int, int]]
+    stats: ClusterStats
+
+    @property
+    def size(self) -> int:
+        """Number of cells in the signature."""
+        return len(self.cells)
+
+
+def _classify_component(
+    component: set[tuple[int, int]],
+    shape: tuple[int, int],
+    line_fraction: float,
+) -> Signature:
+    stats = cluster_stats(component)
+    rows, cols = shape
+    kind = SignatureKind.CLUSTER
+    if stats.size == 1:
+        kind = SignatureKind.SINGLE_CELL
+    elif stats.size == 2 and stats.height == 1 and stats.width == 2:
+        kind = SignatureKind.PAIRED_CELLS
+    elif stats.height == 1 and stats.size >= line_fraction * cols:
+        kind = SignatureKind.ROW
+    elif stats.width == 1 and stats.size >= line_fraction * rows:
+        kind = SignatureKind.COLUMN
+    return Signature(kind=kind, cells=frozenset(component), stats=stats)
+
+
+def categorize(
+    mask: np.ndarray, line_fraction: float = 0.6
+) -> list[Signature]:
+    """Categorize every connected anomaly group in ``mask``.
+
+    ``line_fraction`` is the fraction of a full row/column a straight
+    component must cover to count as a ROW/COLUMN signature.
+    Returns signatures largest-first.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim != 2 or mask.dtype != bool:
+        raise DiagnosisError("mask must be a 2-D boolean array")
+    if not 0 < line_fraction <= 1:
+        raise DiagnosisError(f"line_fraction must be in (0, 1], got {line_fraction}")
+    return [
+        _classify_component(comp, mask.shape, line_fraction)
+        for comp in connected_components(mask)
+    ]
+
+
+def signature_counts(signatures: list[Signature]) -> dict[SignatureKind, int]:
+    """Histogram of signature kinds."""
+    counts: dict[SignatureKind, int] = {}
+    for sig in signatures:
+        counts[sig.kind] = counts.get(sig.kind, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Gradient extraction (analog-only capability)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GradientReport:
+    """Least-squares plane fit through the analog estimates.
+
+    ``row_slope``/``col_slope`` are in farads per cell; ``extent`` is the
+    total planar variation corner-to-corner; ``residual_sigma`` is the
+    RMS deviation from the plane; ``significant`` compares the extent
+    against the residual noise.
+    """
+
+    mean: float
+    row_slope: float
+    col_slope: float
+    residual_sigma: float
+    shape: tuple[int, int]
+
+    @property
+    def extent(self) -> float:
+        """Corner-to-corner planar variation, farads."""
+        rows, cols = self.shape
+        return abs(self.row_slope) * (rows - 1) + abs(self.col_slope) * (cols - 1)
+
+    @property
+    def significant(self) -> bool:
+        """True when the tilt rises clearly above residual noise."""
+        return self.extent > 3.0 * self.residual_sigma
+
+
+def fit_gradient(estimates: np.ndarray) -> GradientReport:
+    """Fit ``c(r, q) = mean + a·r + b·q`` to an estimate matrix.
+
+    NaN entries (out-of-range cells) are excluded from the fit.  Raises
+    when fewer than three finite cells remain.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.ndim != 2:
+        raise DiagnosisError("estimates must be a 2-D array")
+    rows, cols = estimates.shape
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    finite = np.isfinite(estimates)
+    if int(finite.sum()) < 3:
+        raise DiagnosisError("need at least 3 finite cells to fit a gradient")
+    r = rr[finite] - (rows - 1) / 2.0
+    c = cc[finite] - (cols - 1) / 2.0
+    z = estimates[finite]
+    design = np.column_stack([np.ones_like(r), r, c])
+    coeffs, *_ = np.linalg.lstsq(design, z, rcond=None)
+    residual = z - design @ coeffs
+    return GradientReport(
+        mean=float(coeffs[0]),
+        row_slope=float(coeffs[1]),
+        col_slope=float(coeffs[2]),
+        residual_sigma=float(residual.std()),
+        shape=(rows, cols),
+    )

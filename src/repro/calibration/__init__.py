@@ -1,0 +1,48 @@
+"""Calibration layer: structure sizing, abacus, accuracy, spec windows.
+
+The paper extracts capacitance in two moves: *design* the structure so
+that the capacitance range of interest spans the 20-step code scale, and
+*calibrate* with an abacus ("Using the abacus obtained from a set of
+simulation, Figure 3 shows the current steps versus the capacitor
+values").  This package implements both:
+
+- :func:`design_structure` sizes C_REF and the DAC step ΔI for a given
+  macro geometry so that ``[c_lo, c_hi]`` maps onto codes 0..num_steps;
+- :class:`Abacus` is the code ↔ capacitance map, generated analytically
+  or by sweeping the charge engine (the paper's way), with inversion and
+  bin arithmetic;
+- :class:`AccuracyReport` quantifies the quantization accuracy (the
+  paper's "6 %" claim);
+- :class:`SpecificationWindow` expresses pass/fail limits in the current
+  domain, as the paper specifies.
+"""
+
+from repro.calibration.design import design_structure, nominal_background
+from repro.calibration.abacus import Abacus, AbacusRow
+from repro.calibration.accuracy import AccuracyReport, accuracy_sweep
+from repro.calibration.window import SpecificationWindow
+from repro.calibration.dither import DitheredConverter, DitheredResult
+from repro.calibration.sensitivity import plate_error_from_cbl, plate_error_from_vth
+from repro.calibration.linearity import LinearityReport, analyze_linearity, lazy_linear_estimate
+from repro.calibration.reference import InstrumentCheck, InstrumentStatus, InstrumentVerdict, ReferenceBank
+
+__all__ = [
+    "design_structure",
+    "nominal_background",
+    "Abacus",
+    "AbacusRow",
+    "AccuracyReport",
+    "accuracy_sweep",
+    "SpecificationWindow",
+    "DitheredConverter",
+    "DitheredResult",
+    "plate_error_from_cbl",
+    "plate_error_from_vth",
+    "LinearityReport",
+    "analyze_linearity",
+    "lazy_linear_estimate",
+    "InstrumentCheck",
+    "InstrumentStatus",
+    "InstrumentVerdict",
+    "ReferenceBank",
+]

@@ -1,0 +1,117 @@
+"""Accuracy analysis of the converter (the paper's "accuracy of 6 %").
+
+The structure quantizes capacitance into ``num_steps`` bins; its accuracy
+at a given capacitance is the worst-case relative error of the bin
+midpoint estimate, i.e. half the bin width over the value.
+:func:`accuracy_sweep` measures this over a dense capacitance sweep and
+:class:`AccuracyReport` summarises it — including the mid-range figure
+the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.abacus import Abacus
+from repro.errors import CalibrationError
+from repro.units import fF, to_fF
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Result of an accuracy sweep.
+
+    Attributes
+    ----------
+    capacitances:
+        Swept true capacitances, farads.
+    codes:
+        Code produced at each point.
+    estimates:
+        Abacus estimate at each point (NaN when out of range), farads.
+    relative_errors:
+        |estimate − true| / true (NaN when out of range).
+    """
+
+    capacitances: np.ndarray
+    codes: np.ndarray
+    estimates: np.ndarray
+    relative_errors: np.ndarray
+
+    @property
+    def in_range_mask(self) -> np.ndarray:
+        """Points whose code is invertible (neither 0 nor full scale)."""
+        return ~np.isnan(self.relative_errors)
+
+    @property
+    def max_error(self) -> float:
+        """Worst observed in-range relative error."""
+        errors = self.relative_errors[self.in_range_mask]
+        if errors.size == 0:
+            raise CalibrationError("no in-range points in the sweep")
+        return float(errors.max())
+
+    @property
+    def mean_error(self) -> float:
+        """Mean in-range relative error."""
+        errors = self.relative_errors[self.in_range_mask]
+        if errors.size == 0:
+            raise CalibrationError("no in-range points in the sweep")
+        return float(errors.mean())
+
+    def error_at(self, capacitance: float) -> float:
+        """Observed relative error nearest to ``capacitance``."""
+        idx = int(np.argmin(np.abs(self.capacitances - capacitance)))
+        return float(self.relative_errors[idx])
+
+    def worst_quantization_step(self) -> float:
+        """Largest in-range bin width seen in the sweep, farads."""
+        in_range = self.in_range_mask
+        if not in_range.any():
+            raise CalibrationError("no in-range points in the sweep")
+        codes = self.codes[in_range]
+        caps = self.capacitances[in_range]
+        widths = []
+        for code in np.unique(codes):
+            members = caps[codes == code]
+            widths.append(members.max() - members.min())
+        return float(max(widths))
+
+    def summary(self) -> str:
+        """One-paragraph textual summary (used by the accuracy bench)."""
+        in_range = self.capacitances[self.in_range_mask]
+        return (
+            f"range with invertible codes: "
+            f"{to_fF(in_range.min()):.1f}..{to_fF(in_range.max()):.1f} fF; "
+            f"max relative error {100 * self.max_error:.1f} %, "
+            f"mean {100 * self.mean_error:.1f} %"
+        )
+
+
+def accuracy_sweep(
+    abacus: Abacus,
+    c_start: float = 5.0 * fF,
+    c_stop: float = 60.0 * fF,
+    points: int = 221,
+) -> AccuracyReport:
+    """Sweep true capacitance densely and score the abacus inversion.
+
+    Uses the abacus's own (exact) code mapping — the question answered is
+    purely "how well does the quantized code recover the value", which is
+    the paper's accuracy claim.  Cross-tier agreement is tested
+    elsewhere.
+    """
+    if points < 2:
+        raise CalibrationError(f"need at least 2 sweep points, got {points}")
+    if not 0 < c_start < c_stop:
+        raise CalibrationError(f"need 0 < c_start < c_stop, got [{c_start}, {c_stop}]")
+    caps = np.linspace(c_start, c_stop, points)
+    codes = np.array([abacus.code_for_capacitance(float(c)) for c in caps])
+    estimates = abacus.estimate_matrix(codes)
+    with np.errstate(invalid="ignore"):
+        errors = np.abs(estimates - caps) / caps
+    return AccuracyReport(
+        capacitances=caps, codes=codes, estimates=estimates, relative_errors=errors
+    )

@@ -1,0 +1,245 @@
+"""Automatic sizing of the measurement structure.
+
+The measurable range of the structure is set by two knobs:
+
+- **C_REF** (the REF transistor's gate capacitance) positions the
+  charge-sharing transfer curve ``V_GS(C_m)`` relative to the REF
+  threshold voltage, and
+- **ΔI** (the DAC step) scales the current axis so the highest
+  capacitance of interest lands on the last code.
+
+Because the plate of a real macro carries systematic background
+capacitance (plate wiring, same-row neighbour coupling, off-row junction
+loads — see :mod:`repro.measure.scan`), the correct sizing depends on the
+macro geometry.  :func:`design_structure` solves both knobs so that
+
+- the code 0→1 boundary sits at ``c_lo`` (below it the REF transistor
+  cannot sink even one step — the paper's ambiguous code 0), and
+- the code (n−1)→n boundary sits at ``c_hi`` (above it OUT never flips —
+  code n, "equal or superior to 55 fF").
+
+This is the library's rendering of the paper's sentence "with our
+design, the test structure is scaled in a range of eDRAM capacitor of
+10 fF – 55 fF".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.mosfet import Mosfet
+from repro.errors import CalibrationError
+from repro.measure.sense import SenseChain
+from repro.measure.structure import MeasurementDesign, MeasurementStructure
+from repro.tech.parameters import TechnologyCard
+from repro.units import fF, pF
+
+
+def _series(a: float, b: float) -> float:
+    total = a + b
+    return a * b / total if total > 0 else 0.0
+
+
+def nominal_background(
+    tech: TechnologyCard,
+    rows: int,
+    macro_cols: int,
+    bitline_rows: int | None = None,
+) -> float:
+    """Systematic plate background capacitance of a healthy macro, farads.
+
+    The sum of every pre-charged branch on the plate other than the
+    target capacitor itself: plate wiring, (macro_cols − 1) same-row
+    neighbour couplings, and (rows − 1)·macro_cols off-row junction
+    loads.  All branches assume nominal cell capacitance.
+
+    ``rows`` is the macro *tile* height; ``bitline_rows`` is the full
+    array height the bitlines span (defaults to ``rows``, i.e. a
+    column-stripe macro).
+    """
+    if rows < 1 or macro_cols < 1:
+        raise CalibrationError(f"macro geometry must be >= 1x1, got {rows}x{macro_cols}")
+    if bitline_rows is None:
+        bitline_rows = rows
+    if bitline_rows < rows:
+        raise CalibrationError(
+            f"bitline_rows ({bitline_rows}) cannot be smaller than the tile rows ({rows})"
+        )
+    c_nom = tech.cell_capacitance
+    cjs = tech.storage_junction_cap
+    cbl = tech.bitline_capacitance(bitline_rows)
+    background = tech.plate_parasitic(rows * macro_cols)
+    background += (macro_cols - 1) * _series(c_nom, cbl + cjs)
+    background += (rows - 1) * macro_cols * _series(c_nom, cjs)
+    return background
+
+
+def _vgs(tech: TechnologyCard, cm: float, background: float, creft: float) -> float:
+    x = cm + background
+    return tech.vdd * x / (x + creft)
+
+
+def max_feasible_depth(
+    tech: TechnologyCard,
+    rows: int,
+    macro_cols: int,
+    c_lo: float = 10.0 * fF,
+    c_hi: float = 55.0 * fF,
+    wl_ratio: float = 4.0,
+    base: MeasurementDesign | None = None,
+    bitline_rows: int | None = None,
+) -> float:
+    """Largest converter depth reachable for a macro geometry.
+
+    As the macro grows, its background capacitance compresses the
+    V_GS(C_m) transfer curve and with it the achievable current ratio
+    between the range endpoints.  This function returns the peak of that
+    ratio over all C_REF choices — the deepest converter the geometry
+    supports.  The isolation ablation bench sweeps this against macro
+    size; it is also what :func:`design_structure` checks before solving.
+    """
+    template = base if base is not None else MeasurementDesign()
+    background = nominal_background(tech, rows, macro_cols, bitline_rows)
+    sense_threshold = SenseChain(tech, template.inverter).threshold
+    probe = Mosfet("PROBE", "d", "g", "s", tech.nmos, w=1e-6, l=1e-6 / wl_ratio)
+
+    def step_ratio(creft: float) -> float:
+        v_lo = _vgs(tech, c_lo, background, creft)
+        v_hi = _vgs(tech, c_hi, background, creft)
+        i_lo = probe.ids(sense_threshold, v_lo, 0.0)
+        if i_lo <= 0.0:
+            return math.inf
+        return probe.ids(sense_threshold, v_hi, 0.0) / i_lo
+
+    grid = np.geomspace(0.5 * fF, 50.0 * pF, 120)
+    return float(max(step_ratio(float(c)) for c in grid))
+
+
+def design_structure(
+    tech: TechnologyCard,
+    rows: int,
+    macro_cols: int,
+    c_lo: float = 10.0 * fF,
+    c_hi: float = 55.0 * fF,
+    num_steps: int = 20,
+    wl_ratio: float = 4.0,
+    base: MeasurementDesign | None = None,
+    bitline_rows: int | None = None,
+    enforce_slew: bool = True,
+) -> MeasurementStructure:
+    """Size a structure for a macro geometry and capacitance range.
+
+    Parameters
+    ----------
+    tech:
+        Technology card the structure is fabricated in.
+    rows, macro_cols:
+        Geometry of the macro-cell the structure serves.
+    c_lo, c_hi:
+        Measurement range endpoints, farads (paper: 10 fF and 55 fF).
+    num_steps:
+        Converter depth (paper: 20).
+    wl_ratio:
+        W/L of the REF transistor; fixes how the required C_REF area
+        splits into width and length.
+    base:
+        Optional design to inherit ancillary values (switch sizes,
+        parasitics, phase timing) from.
+    bitline_rows:
+        Full array height the bitlines span when the macro is a tile
+        (defaults to ``rows``).
+    enforce_slew:
+        Large-background geometries solve to DAC steps too small to slew
+        the REF drain within the paper's 0.5 ns step time.  When True
+        (default) the phase clock is stretched just enough to keep the
+        converter slew-safe; when False the paper's 10 ns phases are kept
+        verbatim and the returned structure may report
+        ``is_slew_safe == False``.
+
+    Returns a ready :class:`~repro.measure.structure.MeasurementStructure`.
+    """
+    if c_lo <= 0 or c_hi <= c_lo:
+        raise CalibrationError(f"need 0 < c_lo < c_hi, got c_lo={c_lo}, c_hi={c_hi}")
+    if num_steps < 2:
+        raise CalibrationError(f"num_steps must be >= 2, got {num_steps}")
+    template = base if base is not None else MeasurementDesign()
+    background = nominal_background(tech, rows, macro_cols, bitline_rows)
+    sense_threshold = SenseChain(tech, template.inverter).threshold
+
+    # Probe device for current *ratios* (geometry cancels).
+    probe = Mosfet("PROBE", "d", "g", "s", tech.nmos, w=1e-6, l=1e-6 / wl_ratio)
+
+    def step_ratio(creft: float) -> float:
+        """I(c_hi)/I(c_lo) for a candidate total reference capacitance."""
+        v_lo = _vgs(tech, c_lo, background, creft)
+        v_hi = _vgs(tech, c_hi, background, creft)
+        i_lo = probe.ids(sense_threshold, v_lo, 0.0)
+        i_hi = probe.ids(sense_threshold, v_hi, 0.0)
+        if i_lo <= 0.0:
+            return math.inf
+        return i_hi / i_lo
+
+    # The ratio is single-peaked in creft: it rises as V_GS(c_lo) falls
+    # toward (and below) the REF threshold — I(c_lo) collapses
+    # exponentially — and eventually falls back toward 1 once *both*
+    # endpoints are deep in subthreshold and their V_GS split shrinks.
+    # Locate the peak on a log grid, then bisect the rising flank, which
+    # keeps V_GS(c_hi) as high (and ΔI as robust) as possible.
+    grid = np.geomspace(0.5 * fF, 50.0 * pF, 120)
+    ratios = np.array([step_ratio(float(c)) for c in grid])
+    peak = int(np.argmax(ratios))
+    if ratios[peak] < num_steps:
+        raise CalibrationError(
+            f"cannot span {num_steps} steps over "
+            f"[{c_lo / fF:.1f}, {c_hi / fF:.1f}] fF for macro {rows}x{macro_cols}: "
+            f"best achievable depth is {ratios[peak]:.1f} steps"
+        )
+    if ratios[0] > num_steps:
+        raise CalibrationError(
+            "requested range already exceeds the converter depth at "
+            "minimal C_REF; reduce c_hi or increase num_steps"
+        )
+    lo_c = float(grid[np.nonzero(ratios[: peak + 1] <= num_steps)[0][-1]])
+    hi_c = float(grid[peak])
+    for _ in range(90):
+        mid = math.sqrt(lo_c * hi_c)  # geometric bisection over decades
+        if step_ratio(mid) < num_steps:
+            lo_c = mid
+        else:
+            hi_c = mid
+    creft = math.sqrt(lo_c * hi_c)
+
+    c_ref = creft - template.gate_parasitic
+    if c_ref <= 0:
+        raise CalibrationError(
+            f"solved C_REF_total {creft / fF:.2f} fF is smaller than the "
+            f"gate parasitic {template.gate_parasitic / fF:.2f} fF"
+        )
+    area = c_ref / tech.nmos.cox  # W·L
+    l_ref = math.sqrt(area / wl_ratio)
+    w_ref = wl_ratio * l_ref
+
+    ref = Mosfet("REF", "d", "g", "s", tech.nmos, w=w_ref, l=l_ref)
+    v_hi = _vgs(tech, c_hi, background, creft)
+    i_hi = ref.ids(sense_threshold, v_hi, 0.0)
+    delta_i = i_hi / num_steps
+    if delta_i <= 0:
+        raise CalibrationError("solved a non-positive DAC step; range infeasible")
+
+    from dataclasses import replace
+
+    design = replace(
+        template,
+        w_ref=w_ref,
+        l_ref=l_ref,
+        delta_i=delta_i,
+        num_steps=num_steps,
+    )
+    structure = MeasurementStructure(tech, design)
+    if enforce_slew and not structure.is_slew_safe:
+        stretch = structure.min_detectable_step / delta_i
+        design = replace(design, phase_duration=design.phase_duration * stretch * 1.05)
+        structure = MeasurementStructure(tech, design)
+    return structure

@@ -1,0 +1,195 @@
+"""Sub-code resolution by current-ramp dithering (extension).
+
+The paper's converter quantizes to ΔI (≈ 2.4 fF per code mid-range).  A
+classical DFT trick recovers resolution without redesigning the DAC:
+repeat the measurement R times, adding a programmable *offset current*
+of ``r·ΔI/R`` (one extra binary-weighted leg) to every ramp step of
+repetition ``r``.  Each repetition shifts the code boundaries by a
+fraction of a step, so the **average** of the R codes estimates the REF
+sink current to ΔI/R:
+
+    I_sink ≈ ΔI · ( mean(code_r) + (R − 1) / (2R) )
+
+Inverting the (monotone) sink-current and charge-sharing relations then
+yields a continuous capacitance estimate.  Cost: R× the 50 ns flow per
+cell — a test-time/resolution dial quantified in the E7 bench.
+
+This module implements the static tier of that scheme plus the full
+inversion chain; the measurement itself reuses the exact charge-tier
+V_GS (the dither only changes the conversion, not the charge sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.design import nominal_background
+from repro.edram.array import MacroCell
+from repro.errors import CalibrationError
+from repro.measure.sequencer import MeasurementSequencer
+from repro.measure.structure import MeasurementStructure
+
+
+@dataclass(frozen=True)
+class DitheredResult:
+    """Outcome of one dithered measurement.
+
+    ``codes`` holds the R raw codes (offset r·ΔI/R applied to ramp r);
+    ``fine_code`` is the fractional code estimate; ``capacitance`` the
+    inverted estimate in farads (NaN when out of range); ``test_time``
+    the silicon time consumed, seconds.
+    """
+
+    codes: tuple[int, ...]
+    fine_code: float
+    capacitance: float
+    test_time: float
+
+    @property
+    def repeats(self) -> int:
+        """Number of ramp repetitions used."""
+        return len(self.codes)
+
+
+class DitheredConverter:
+    """R-repetition dithered conversion bound to a structure + geometry.
+
+    Parameters
+    ----------
+    structure:
+        The measurement structure (provides ΔI, REF device, sense
+        threshold and flow timing).
+    rows, macro_cols, bitline_rows:
+        Macro geometry, needed to invert the charge-sharing background
+        exactly like :class:`~repro.calibration.abacus.Abacus` does.
+    repeats:
+        Number of dithered ramps per cell (R ≥ 1; R = 1 degenerates to
+        the paper's plain conversion).
+    """
+
+    def __init__(
+        self,
+        structure: MeasurementStructure,
+        rows: int,
+        macro_cols: int,
+        repeats: int = 4,
+        bitline_rows: int | None = None,
+    ) -> None:
+        if repeats < 1:
+            raise CalibrationError(f"repeats must be >= 1, got {repeats}")
+        self.structure = structure
+        self.repeats = repeats
+        self.background = nominal_background(
+            structure.tech, rows, macro_cols, bitline_rows
+        )
+
+    # ------------------------------------------------------------------
+    # Static conversion
+    # ------------------------------------------------------------------
+
+    def codes_for_vgs(self, vgs: float) -> tuple[int, ...]:
+        """The R raw codes a given V_GS produces.
+
+        Repetition ``r`` adds ``r·ΔI/R`` to every ramp step, so OUT
+        flips one step earlier once the offset exceeds the remainder of
+        ``I_sink`` modulo ΔI.
+        """
+        delta_i = self.structure.design.delta_i
+        i_sink = self.structure.ref_sink_current(vgs)
+        codes = []
+        for r in range(self.repeats):
+            offset = r * delta_i / self.repeats
+            effective = max(0.0, i_sink - offset)
+            code = int(effective / delta_i * (1.0 + 1e-12))
+            codes.append(min(code, self.structure.design.num_steps))
+        return tuple(codes)
+
+    def fine_code(self, codes: tuple[int, ...]) -> float:
+        """Fractional code estimate from the R raw codes.
+
+        With ``x = I_sink/ΔI`` and ``code_r = floor(x − r/R)``, counting
+        how many repetitions kept the higher code localizes ``x`` to a
+        width-1/R interval whose midpoint is ``mean(codes) + 1 − 1/(2R)``
+        (for R = 1 this degenerates to the classic bin midpoint
+        ``code + 0.5``).
+        """
+        if len(codes) != self.repeats:
+            raise CalibrationError(
+                f"expected {self.repeats} codes, got {len(codes)}"
+            )
+        r = self.repeats
+        return float(np.mean(codes)) + 1.0 - 1.0 / (2.0 * r)
+
+    # ------------------------------------------------------------------
+    # Inversion chain
+    # ------------------------------------------------------------------
+
+    def vgs_for_fine_code(self, fine_code: float) -> float:
+        """Invert the REF sink current for a fractional code (bisection)."""
+        target = fine_code * self.structure.design.delta_i
+        lo, hi = 0.0, 3.0 * self.structure.tech.vdd
+        if self.structure.ref_sink_current(hi) < target:
+            raise CalibrationError("fine code beyond the REF device's reach")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.structure.ref_sink_current(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def capacitance_for_fine_code(self, fine_code: float) -> float:
+        """Continuous capacitance estimate, farads (NaN out of range)."""
+        num_steps = self.structure.design.num_steps
+        if fine_code <= 1.0 - 1.0 / (2 * self.repeats) or fine_code >= num_steps:
+            return float("nan")
+        vgs = self.vgs_for_fine_code(fine_code)
+        vdd = self.structure.tech.vdd
+        if vgs >= vdd:
+            return float("nan")
+        x = self.structure.c_ref_total * vgs / (vdd - vgs)
+        return x - self.background
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def measure(self, macro: MacroCell, row: int, lcol: int) -> DitheredResult:
+        """Dither-measure one cell through the exact charge tier.
+
+        The charge-sharing phases are identical across repetitions (the
+        dither only offsets the conversion ramp), so the V_GS is computed
+        once and converted R times — exactly what the silicon would do,
+        minus the per-repetition flow repetition time, which *is*
+        accounted in ``test_time``.
+        """
+        sequencer = MeasurementSequencer(macro, self.structure)
+        vgs = sequencer.measure_charge(row, lcol).vgs
+        codes = self.codes_for_vgs(vgs)
+        fine = self.fine_code(codes)
+        return DitheredResult(
+            codes=codes,
+            fine_code=fine,
+            capacitance=self.capacitance_for_fine_code(fine),
+            test_time=self.repeats * self.structure.design.flow_duration,
+        )
+
+    def effective_resolution(self, at: float | None = None) -> float:
+        """Capacitance per fine-code LSB near ``at`` (default 30 fF), farads."""
+        from repro.units import fF
+
+        base = 30.0 * fF if at is None else at
+        vgs = (
+            self.structure.tech.vdd
+            * (base + self.background)
+            / (base + self.background + self.structure.c_ref_total)
+        )
+        code = self.structure.code_for_vgs(vgs)
+        if not 0 < code < self.structure.design.num_steps:
+            raise CalibrationError(f"{base} F is out of range for this design")
+        lsb = 1.0 / self.repeats
+        lo = self.capacitance_for_fine_code(code + 0.5)
+        hi = self.capacitance_for_fine_code(code + 0.5 + lsb)
+        return abs(hi - lo)

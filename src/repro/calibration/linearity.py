@@ -1,0 +1,103 @@
+"""Converter linearity metrology: DNL and INL (extension).
+
+The paper presents its abacus as usable through a simple linear reading
+("The register value gives directly the current step").  Standard ADC
+metrology quantifies how honest that is:
+
+- **DNL** (differential nonlinearity): each code bin's width relative to
+  the ideal LSB (the mean bin width), minus one.  |DNL| < 0.5 LSB means
+  no bin is badly squeezed or stretched.
+- **INL** (integral nonlinearity): each code transition's deviation from
+  the best-fit straight line through the transfer curve, in LSBs.  INL
+  is what a user pays for if they skip the abacus and map codes to
+  capacitance linearly.
+
+Both are computed on the *capacitance* axis (the converter's input is a
+capacitance; the current axis is linear by construction).  The analysis
+also reports the error of the "lazy linear" readout against the abacus
+readout — making precise how much the paper's calibration step is worth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.abacus import Abacus
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LinearityReport:
+    """DNL/INL of one abacus.
+
+    All arrays are indexed by code transition (length ``num_steps − 1``
+    for DNL, ``num_steps`` for INL); LSB is the mean in-range bin width
+    in farads.
+    """
+
+    lsb: float
+    dnl: np.ndarray
+    inl: np.ndarray
+    gain: float  # farads per code of the best-fit line
+    offset: float  # farads at code 0 of the best-fit line
+
+    @property
+    def max_dnl(self) -> float:
+        """Worst |DNL| in LSBs."""
+        return float(np.abs(self.dnl).max())
+
+    @property
+    def max_inl(self) -> float:
+        """Worst |INL| in LSBs."""
+        return float(np.abs(self.inl).max())
+
+    def linear_readout_error(self, code: int) -> float:
+        """|abacus estimate − best-fit-line estimate| for a code, farads."""
+        if not 1 <= code < len(self.inl) + 1:
+            raise CalibrationError(f"code {code} has no linear-readout row")
+        return abs(self.inl[code - 1]) * self.lsb
+
+    def summary(self) -> str:
+        """One-line metrology summary."""
+        return (
+            f"LSB {self.lsb * 1e15:.2f} fF, DNL max {self.max_dnl:+.2f} LSB, "
+            f"INL max {self.max_inl:+.2f} LSB, "
+            f"gain {self.gain * 1e15:.2f} fF/code"
+        )
+
+
+def analyze_linearity(abacus: Abacus) -> LinearityReport:
+    """Compute DNL/INL for an abacus.
+
+    Uses the code transition levels (bin edges) on the capacitance axis;
+    the best-fit line is least-squares through all transitions (the
+    "gain and offset removed" convention).
+    """
+    edges = np.asarray(abacus.edges, dtype=float)
+    if edges.size < 3:
+        raise CalibrationError("need at least 3 transitions for linearity analysis")
+    widths = np.diff(edges)
+    if np.any(widths <= 0):
+        raise CalibrationError("abacus has degenerate (zero-width) bins")
+    lsb = float(widths.mean())
+    dnl = widths / lsb - 1.0
+
+    codes = np.arange(1, edges.size + 1, dtype=float)
+    design = np.column_stack([np.ones_like(codes), codes])
+    (offset, gain), *_ = np.linalg.lstsq(design, edges, rcond=None)
+    fitted = offset + gain * codes
+    inl = (edges - fitted) / lsb
+    return LinearityReport(
+        lsb=lsb, dnl=dnl, inl=inl, gain=float(gain), offset=float(offset)
+    )
+
+
+def lazy_linear_estimate(report: LinearityReport, code: int) -> float:
+    """Capacitance from the best-fit line only (no abacus), farads.
+
+    The "register value gives directly the current step" reading: the
+    code scaled by a single gain/offset pair.  Bin-centre convention.
+    """
+    return report.offset + report.gain * (code + 0.5)

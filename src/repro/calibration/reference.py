@@ -1,0 +1,181 @@
+"""On-die golden reference cells: detecting and correcting C_REF drift.
+
+Experiment E8 shows that a drifted reference capacitor is invisible in a
+single analog bitmap — it rescales every code the same way a process
+shift would.  The standard DFT countermeasure is a **reference bank**:
+a few array positions carry precision capacitors (MIM/poly, ±1 %
+tolerance, temperature-stable) instead of DRAM cells.  Their codes are
+known in advance; any systematic deviation measures the *instrument's*
+gain error, and the abacus can be rescaled on the spot.
+
+Gain algebra: with the calibrated total reference ``C_REFT`` drifted to
+``g·C_REFT``, the charge share yields ``V = VDD·X/(X + g·C_REFT)``, so
+the apparent plate capacitance decodes as ``X_app = X/g``.  Hence
+
+- drift estimate from a reference of true plate load ``X_true``:
+  ``g = X_true / X_app``,
+- abacus correction: every bin edge ``c`` maps to
+  ``g·(c + bg) − bg`` where ``bg`` is the macro background.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import nominal_background
+from repro.edram.array import EDRAMArray
+from repro.errors import CalibrationError
+from repro.measure.scan import ScanResult
+from repro.units import fF
+
+
+class InstrumentStatus(enum.Enum):
+    """Verdict of a reference-bank check."""
+
+    OK = "ok"
+    GAIN_DRIFT = "gain_drift"
+    FAULTY = "faulty"  # references out of range: structure is broken
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class InstrumentVerdict:
+    """Outcome of evaluating the reference bank against a scan.
+
+    ``gain`` is the estimated C_REF drift factor (1.0 = nominal);
+    ``corrected_abacus`` is set when a correctable drift was found.
+    """
+
+    status: InstrumentStatus
+    gain: float
+    expected_code: int
+    observed_codes: tuple[int, ...]
+    corrected_abacus: Abacus | None = None
+
+
+class ReferenceBank:
+    """Precision reference capacitors embedded in the array.
+
+    One designated cell per macro tile (its local (0, 0) corner by
+    convention) is replaced by a precision capacitor of ``value``.
+    Those positions are excluded from diagnosis (they are not DRAM
+    cells) and polled by :class:`InstrumentCheck`.
+
+    Parameters
+    ----------
+    array:
+        The array to instrument (cells are overwritten in place).
+    value:
+        Reference capacitance, farads.  Mid-range maximizes drift
+        sensitivity.
+    tolerance:
+        Relative fabrication tolerance of the precision capacitor.
+    """
+
+    def __init__(
+        self,
+        array: EDRAMArray,
+        value: float = 30.0 * fF,
+        tolerance: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if value <= 0:
+            raise CalibrationError("reference value must be positive")
+        if not 0 <= tolerance < 0.2:
+            raise CalibrationError("tolerance must be in [0, 0.2)")
+        self.array = array
+        self.value = value
+        self.tolerance = tolerance
+        rng = np.random.default_rng(seed)
+        self.positions: list[tuple[int, int]] = []
+        for macro in array.macros():
+            address = macro.global_address(0, 0)
+            actual = value * (1.0 + rng.normal(0.0, tolerance / 3.0))
+            array.cell(address.row, address.col).capacitance = actual
+            self.positions.append((address.row, address.col))
+
+    def mask(self) -> np.ndarray:
+        """Boolean mask of reference positions (to exclude from diagnosis)."""
+        out = np.zeros((self.array.rows, self.array.cols), dtype=bool)
+        for row, col in self.positions:
+            out[row, col] = True
+        return out
+
+
+class InstrumentCheck:
+    """Evaluate a scan's reference codes against expectation.
+
+    Parameters
+    ----------
+    abacus:
+        The calibration in use.
+    bank:
+        The reference bank of the scanned array.
+    rows, macro_cols, bitline_rows:
+        Macro geometry (for the background term of the gain algebra).
+    code_tolerance:
+        Mean reference-code deviation accepted as healthy, codes.
+    """
+
+    def __init__(
+        self,
+        abacus: Abacus,
+        bank: ReferenceBank,
+        rows: int,
+        macro_cols: int,
+        bitline_rows: int | None = None,
+        code_tolerance: float = 1.0,
+    ) -> None:
+        if code_tolerance <= 0:
+            raise CalibrationError("code_tolerance must be positive")
+        self.abacus = abacus
+        self.bank = bank
+        self.background = nominal_background(
+            abacus.structure.tech, rows, macro_cols, bitline_rows
+        )
+        self.code_tolerance = code_tolerance
+
+    def evaluate(self, scan: ScanResult) -> InstrumentVerdict:
+        """Check one scan; estimate and correct gain drift if present."""
+        observed = tuple(
+            int(scan.codes[row, col]) for row, col in self.bank.positions
+        )
+        expected = self.abacus.code_for_capacitance(self.bank.value)
+        in_range = [c for c in observed if 0 < c < self.abacus.num_steps]
+        if len(in_range) < max(1, len(observed) // 2):
+            return InstrumentVerdict(
+                status=InstrumentStatus.FAULTY,
+                gain=float("nan"),
+                expected_code=expected,
+                observed_codes=observed,
+            )
+        deviation = float(np.mean(in_range)) - expected
+        if abs(deviation) <= self.code_tolerance:
+            return InstrumentVerdict(
+                status=InstrumentStatus.OK,
+                gain=1.0,
+                expected_code=expected,
+                observed_codes=observed,
+            )
+        # Gain estimate: apparent plate load vs true plate load.
+        apparent = [self.abacus.estimate(code) for code in in_range]
+        x_app = float(np.mean([a for a in apparent if a is not None])) + self.background
+        x_true = self.bank.value + self.background
+        gain = x_true / x_app
+        corrected_edges = gain * (self.abacus.edges + self.background) - self.background
+        corrected = Abacus(
+            self.abacus.structure, np.maximum.accumulate(np.maximum(corrected_edges, 0.0))
+        )
+        return InstrumentVerdict(
+            status=InstrumentStatus.GAIN_DRIFT,
+            gain=gain,
+            expected_code=expected,
+            observed_codes=observed,
+            corrected_abacus=corrected,
+        )

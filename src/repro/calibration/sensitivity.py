@@ -1,0 +1,91 @@
+"""Robustness sensitivities of the plate-node measurement.
+
+Mirrors of the error metrics on
+:class:`~repro.baselines.bitline_measure.BitlineMeasurement`, evaluated
+for the paper's plate-node structure — experiment E1 compares the two
+sides.  Both metrics map a parasitic/device perturbation into the
+capacitance-extraction error it induces through the nominal calibration:
+
+- :func:`plate_error_from_cbl` — the bitline parasitic only reaches the
+  plate through the *series* neighbour branch, so its uncertainty is
+  attenuated by the square of the series divider;
+- :func:`plate_error_from_vth` — the converter operates in strong
+  inversion by design, so REF-threshold mismatch moves the code by a
+  bounded, near-linear amount.
+"""
+
+from __future__ import annotations
+
+from repro.calibration.design import _series, _vgs, nominal_background
+from repro.errors import CalibrationError
+from repro.measure.structure import MeasurementStructure
+from repro.tech.parameters import TechnologyCard
+from repro.units import fF
+
+
+def _background_with_cbl(
+    tech: TechnologyCard, rows: int, macro_cols: int, cbl: float
+) -> float:
+    """Nominal background recomputed for an explicit bitline capacitance."""
+    c_nom = tech.cell_capacitance
+    cjs = tech.storage_junction_cap
+    background = tech.plate_parasitic(rows * macro_cols)
+    background += (macro_cols - 1) * _series(c_nom, cbl + cjs)
+    background += (rows - 1) * macro_cols * _series(c_nom, cjs)
+    return background
+
+
+def plate_error_from_cbl(
+    structure: MeasurementStructure,
+    rows: int,
+    macro_cols: int,
+    cm: float = 30.0 * fF,
+    relative_cbl_error: float = 0.1,
+    bitline_rows: int | None = None,
+) -> float:
+    """Capacitance-extraction error from C_BL mis-knowledge, farads."""
+    if not 0 <= relative_cbl_error < 1:
+        raise CalibrationError(
+            f"relative_cbl_error must be in [0, 1), got {relative_cbl_error}"
+        )
+    tech = structure.tech
+    creft = structure.c_ref_total
+    cbl = tech.bitline_capacitance(bitline_rows if bitline_rows is not None else rows)
+    bg_nominal = _background_with_cbl(tech, rows, macro_cols, cbl)
+    bg_actual = _background_with_cbl(
+        tech, rows, macro_cols, cbl * (1.0 + relative_cbl_error)
+    )
+    v_nominal = _vgs(tech, cm, bg_nominal, creft)
+    v_actual = _vgs(tech, cm, bg_actual, creft)
+    h = 0.01 * fF
+    dv_dc = (
+        _vgs(tech, cm + h, bg_nominal, creft) - _vgs(tech, cm - h, bg_nominal, creft)
+    ) / (2.0 * h)
+    return abs(v_actual - v_nominal) / dv_dc
+
+
+def plate_error_from_vth(
+    structure: MeasurementStructure,
+    rows: int,
+    macro_cols: int,
+    cm: float = 30.0 * fF,
+    delta_vth: float = 0.01,
+    bitline_rows: int | None = None,
+) -> float:
+    """Capacitance-extraction error from REF threshold mismatch, farads."""
+    tech = structure.tech
+    creft = structure.c_ref_total
+    background = nominal_background(tech, rows, macro_cols, bitline_rows)
+    v = _vgs(tech, cm, background, creft)
+    i_nominal = structure.ref_sink_current(v)
+    # A +delta_vth threshold shift is equivalent to driving the same
+    # device with a gate voltage lower by delta_vth.
+    i_shifted = structure.ref_sink_current(v - delta_vth)
+    h = 0.01 * fF
+    di_dc = (
+        structure.ref_sink_current(_vgs(tech, cm + h, background, creft))
+        - structure.ref_sink_current(_vgs(tech, cm - h, background, creft))
+    ) / (2.0 * h)
+    if di_dc <= 0:
+        return float("inf")
+    return abs(i_shifted - i_nominal) / di_dc

@@ -1,0 +1,324 @@
+"""Exact charge-redistribution solver for switched-capacitor networks.
+
+The measurement flow's first four phases are pure switched-capacitor
+operations: capacitors are grounded, charged, isolated, and finally
+shared.  For those, transistor dynamics only determine *how fast* nodes
+settle (fractions of a nanosecond against 10 ns phases), not *where* they
+settle — so an exact charge-conservation solve over the capacitor network
+gives the same final voltages as the full transient at a tiny fraction of
+the cost.  This is the engine behind array-scale scans (10⁴+ cells);
+``tests/integration/test_solver_agreement.py`` pins it against the MNA
+transient.
+
+Model
+-----
+- Named nodes, each *driven* (ideal source) or *floating*.
+- Linear capacitors between nodes.
+- Named ideal switches that short two nodes when closed.
+
+After any reconfiguration, :meth:`CapacitorNetwork.settle` computes the
+new node voltages: switch closures merge nodes into electrical islands;
+each floating island conserves the total plate charge it held before the
+reconfiguration; driven islands take their source voltage.
+
+The engine assumes pass devices transfer full levels (valid here because
+wordlines are boosted to V_PP > V_DD + V_TH; the MNA tier models the real
+devices and the cross-validation tests confirm agreement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError, SingularCircuitError
+
+
+@dataclass(frozen=True)
+class ChargeState:
+    """Snapshot of node voltages after a settle, keyed by node name."""
+
+    voltages: dict[str, float]
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltages[node]
+
+
+class _UnionFind:
+    """Minimal union-find over integer indices."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class CapacitorNetwork:
+    """A reconfigurable network of capacitors, sources and ideal switches.
+
+    Typical usage::
+
+        net = CapacitorNetwork()
+        net.add_capacitor("CM", "plate", "0", 30e-15)
+        net.add_capacitor("CREF", "gate", "0", 28e-15)
+        net.add_switch("LEC", "plate", "gate")
+        net.drive("plate", 1.8)
+        net.settle()
+        net.float_node("plate")
+        net.close_switch("LEC")
+        state = net.settle()
+        state["gate"]   # charge-sharing result
+
+    The ground node ``"0"`` always exists and is driven at 0 V.
+    """
+
+    GROUND = "0"
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {self.GROUND: 0}
+        self._voltage = [0.0]
+        self._driven: dict[int, float] = {0: 0.0}
+        # capacitors: name -> (node_a, node_b, farads)
+        self._caps: dict[str, tuple[int, int, float]] = {}
+        # switches: name -> (node_a, node_b, closed)
+        self._switches: dict[str, tuple[int, int, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str, voltage: float = 0.0) -> str:
+        """Register a floating node (idempotent); returns the name."""
+        if not name:
+            raise NetlistError("node name must be non-empty")
+        if name not in self._index:
+            self._index[name] = len(self._voltage)
+            self._voltage.append(float(voltage))
+        return name
+
+    def add_capacitor(self, name: str, a: str, b: str, capacitance: float) -> None:
+        """Add a linear capacitor between nodes ``a`` and ``b``."""
+        if capacitance < 0:
+            raise NetlistError(f"capacitor {name!r}: capacitance must be >= 0")
+        if name in self._caps:
+            raise NetlistError(f"duplicate capacitor name {name!r}")
+        ia = self._index[self.add_node(a)]
+        ib = self._index[self.add_node(b)]
+        self._caps[name] = (ia, ib, float(capacitance))
+
+    def set_capacitance(self, name: str, capacitance: float) -> None:
+        """Change the value of an existing capacitor (defect injection)."""
+        if name not in self._caps:
+            raise NetlistError(f"no capacitor named {name!r}")
+        if capacitance < 0:
+            raise NetlistError("capacitance must be >= 0")
+        ia, ib, _ = self._caps[name]
+        self._caps[name] = (ia, ib, float(capacitance))
+
+    def capacitance(self, name: str) -> float:
+        """Value of capacitor ``name`` in farads."""
+        try:
+            return self._caps[name][2]
+        except KeyError:
+            raise NetlistError(f"no capacitor named {name!r}") from None
+
+    def add_switch(self, name: str, a: str, b: str, closed: bool = False) -> None:
+        """Add an ideal switch between nodes ``a`` and ``b``."""
+        if name in self._switches:
+            raise NetlistError(f"duplicate switch name {name!r}")
+        ia = self._index[self.add_node(a)]
+        ib = self._index[self.add_node(b)]
+        self._switches[name] = (ia, ib, bool(closed))
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def drive(self, node: str, voltage: float) -> None:
+        """Attach an ideal source holding ``node`` at ``voltage``."""
+        idx = self._index[self.add_node(node)]
+        self._driven[idx] = float(voltage)
+
+    def float_node(self, node: str) -> None:
+        """Detach any source from ``node``; it keeps its present voltage."""
+        if node == self.GROUND:
+            raise NetlistError("the ground node cannot be floated")
+        idx = self._index[self.add_node(node)]
+        self._driven.pop(idx, None)
+
+    def is_driven(self, node: str) -> bool:
+        """True if ``node`` currently has a source attached."""
+        return self._index.get(node, -1) in self._driven
+
+    def close_switch(self, name: str) -> None:
+        """Close (short) the named switch."""
+        self._set_switch(name, True)
+
+    def open_switch(self, name: str) -> None:
+        """Open the named switch."""
+        self._set_switch(name, False)
+
+    def _set_switch(self, name: str, closed: bool) -> None:
+        try:
+            ia, ib, _ = self._switches[name]
+        except KeyError:
+            raise NetlistError(f"no switch named {name!r}") from None
+        self._switches[name] = (ia, ib, closed)
+
+    def switch_closed(self, name: str) -> bool:
+        """True if the named switch is currently closed."""
+        try:
+            return self._switches[name][2]
+        except KeyError:
+            raise NetlistError(f"no switch named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def voltage(self, node: str) -> float:
+        """Present voltage of ``node`` (as of the last settle/drive)."""
+        try:
+            return self._voltage[self._index[node]]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    @property
+    def node_names(self) -> list[str]:
+        """All node names including ground."""
+        return list(self._index)
+
+    def island_of(self, node: str) -> set[str]:
+        """Names of all nodes electrically shorted to ``node`` right now."""
+        uf = self._build_islands()
+        root = uf.find(self._index[node])
+        names = {n for n, i in self._index.items() if uf.find(i) == root}
+        return names
+
+    def total_charge(self, nodes: set[str]) -> float:
+        """Total plate charge (coulombs) held by the given node set."""
+        indices = {self._index[n] for n in nodes}
+        q = 0.0
+        for ia, ib, c in self._caps.values():
+            va, vb = self._voltage[ia], self._voltage[ib]
+            if ia in indices:
+                q += c * (va - vb)
+            if ib in indices:
+                q += c * (vb - va)
+        return q
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def _build_islands(self) -> _UnionFind:
+        uf = _UnionFind(len(self._voltage))
+        for ia, ib, closed in self._switches.values():
+            if closed:
+                uf.union(ia, ib)
+        return uf
+
+    def settle(self) -> ChargeState:
+        """Compute post-reconfiguration voltages and return a snapshot.
+
+        Raises :class:`SingularCircuitError` if two sources with different
+        voltages are shorted together.
+        """
+        uf = self._build_islands()
+        n_nodes = len(self._voltage)
+        roots = sorted({uf.find(i) for i in range(n_nodes)})
+        root_pos = {r: k for k, r in enumerate(roots)}
+
+        # Determine per-island drive (and detect conflicts).
+        island_drive: dict[int, float] = {}
+        for idx, v in self._driven.items():
+            r = uf.find(idx)
+            if r in island_drive and abs(island_drive[r] - v) > 1e-12:
+                raise SingularCircuitError(
+                    f"sources at {island_drive[r]} V and {v} V shorted together"
+                )
+            island_drive[r] = v
+
+        floating = [r for r in roots if r not in island_drive]
+        pos_f = {r: k for k, r in enumerate(floating)}
+        nf = len(floating)
+        a_matrix = np.zeros((nf, nf))
+        b_vector = np.zeros(nf)
+
+        # Initial charge of each floating island (from pre-settle voltages).
+        for ia, ib, c in self._caps.values():
+            va, vb = self._voltage[ia], self._voltage[ib]
+            ra, rb = uf.find(ia), uf.find(ib)
+            if ra in pos_f:
+                b_vector[pos_f[ra]] += c * (va - vb)
+            if rb in pos_f:
+                b_vector[pos_f[rb]] += c * (vb - va)
+
+        # Capacitive coupling terms.
+        for ia, ib, c in self._caps.values():
+            ra, rb = uf.find(ia), uf.find(ib)
+            if ra == rb:
+                continue  # internal to one island: no net island charge
+            for r_self, r_other in ((ra, rb), (rb, ra)):
+                if r_self not in pos_f:
+                    continue
+                i = pos_f[r_self]
+                a_matrix[i, i] += c
+                if r_other in pos_f:
+                    a_matrix[i, pos_f[r_other]] -= c
+                else:
+                    b_vector[i] += c * island_drive[r_other]
+
+        # Isolated floating islands (no incident capacitance) keep their
+        # previous (representative) voltage.
+        for r in floating:
+            i = pos_f[r]
+            if a_matrix[i, i] == 0.0:
+                a_matrix[i, i] = 1.0
+                b_vector[i] = self._voltage[r]
+
+        # Groups of floating islands coupled only to each other have an
+        # indeterminate common mode (the matrix block is rank-deficient):
+        # physically that common mode is set by history, so solve for the
+        # minimal-norm *update* around the previous voltages.  For
+        # well-posed systems this equals the direct solve.
+        if nf:
+            x_prev = np.array([self._voltage[r] for r in floating])
+            try:
+                x = np.linalg.solve(a_matrix, b_vector)
+            except np.linalg.LinAlgError:
+                delta, *_ = np.linalg.lstsq(
+                    a_matrix, b_vector - a_matrix @ x_prev, rcond=None
+                )
+                x = x_prev + delta
+            if not np.all(np.isfinite(x)):
+                delta, *_ = np.linalg.lstsq(
+                    a_matrix, b_vector - a_matrix @ x_prev, rcond=None
+                )
+                x = x_prev + delta
+            if not np.all(np.isfinite(x)):  # pragma: no cover - defensive
+                raise SingularCircuitError("charge solve produced non-finite voltages")
+        else:
+            x = np.empty(0)
+
+        new_v = list(self._voltage)
+        for idx in range(n_nodes):
+            r = uf.find(idx)
+            if r in island_drive:
+                new_v[idx] = island_drive[r]
+            else:
+                new_v[idx] = float(x[pos_f[r]])
+        self._voltage = new_v
+        return ChargeState({name: new_v[i] for name, i in self._index.items()})

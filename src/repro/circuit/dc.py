@@ -1,0 +1,122 @@
+"""DC operating-point analysis.
+
+Damped Newton iteration on the MNA system with a gmin-stepping fallback:
+if plain Newton fails to converge, the analysis restarts with a large
+conductance to ground on every node and relaxes it geometrically down to
+the target gmin, using each converged solution as the next initial guess.
+This is the standard continuation trick and handles every circuit in this
+library (small, mostly capacitive, gently nonlinear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.mna import MnaSystem, StampContext
+from repro.circuit.netlist import Circuit
+from repro.errors import ConvergenceError
+
+
+#: Default absolute KCL residual tolerance, amperes.
+DEFAULT_ABSTOL = 1e-10
+#: Default voltage update tolerance, volts.
+DEFAULT_VTOL = 1e-8
+#: Maximum Newton step per iteration, volts (damping limit).
+MAX_STEP_V = 0.6
+
+
+def _newton(
+    sys: MnaSystem,
+    ctx: StampContext,
+    v0: np.ndarray,
+    max_iter: int,
+    vtol: float,
+) -> np.ndarray:
+    """Run damped Newton from ``v0``; return the full unknown vector."""
+    n = sys.num_nodes
+    x = np.zeros(sys.size)
+    x[:n] = v0
+    for iteration in range(max_iter):
+        ctx.v_iter = x[:n]
+        sys.assemble(ctx)
+        x_new = sys.solve()
+        dv = x_new[:n] - x[:n]
+        worst = float(np.max(np.abs(dv))) if n else 0.0
+        if worst > MAX_STEP_V:
+            x_new = x.copy()
+            x_new[:n] = x[:n] + dv * (MAX_STEP_V / worst)
+        x = x_new
+        if worst <= vtol:
+            ctx.v_iter = x[:n]
+            return x
+    raise ConvergenceError(
+        f"Newton failed to converge in {max_iter} iterations "
+        f"(last max dV = {worst:.3e} V)",
+        iterations=max_iter,
+        residual=worst,
+    )
+
+
+def dc_solve_vector(
+    circuit: Circuit,
+    time: float = 0.0,
+    initial_guess: np.ndarray | None = None,
+    max_iter: int = 200,
+    gmin: float = 1e-12,
+    vtol: float = DEFAULT_VTOL,
+) -> np.ndarray:
+    """Solve the DC operating point and return the raw unknown vector.
+
+    ``time`` is passed to time-dependent stimuli so the "DC" point can be
+    evaluated with sources frozen at any instant (used for transient
+    initial conditions).
+    """
+    sys = MnaSystem(circuit)
+    v0 = (
+        np.zeros(circuit.num_nodes)
+        if initial_guess is None
+        else np.asarray(initial_guess, dtype=float).copy()
+    )
+    ctx = StampContext(time=time, dt=None, gmin=gmin)
+    try:
+        return _newton(sys, ctx, v0, max_iter, vtol)
+    except ConvergenceError:
+        pass
+    # gmin stepping: converge a heavily damped circuit first, then relax.
+    x = None
+    guess = v0
+    for g in np.geomspace(1e-3, gmin, 12):
+        ctx = StampContext(time=time, dt=None, gmin=float(g))
+        x = _newton(sys, ctx, guess, max_iter, vtol)
+        guess = x[: circuit.num_nodes]
+    assert x is not None
+    return x
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    time: float = 0.0,
+    initial_guess: dict[str, float] | None = None,
+    max_iter: int = 200,
+    gmin: float = 1e-12,
+) -> dict[str, float]:
+    """Solve the DC operating point; return ``{node_name: voltage}``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to solve.
+    time:
+        Instant at which time-dependent sources are evaluated.
+    initial_guess:
+        Optional per-node starting voltages (unlisted nodes start at 0 V).
+    """
+    guess_vec = None
+    if initial_guess:
+        guess_vec = np.zeros(circuit.num_nodes)
+        for node, voltage in initial_guess.items():
+            idx = circuit.node_index(node)
+            if idx >= 0:
+                guess_vec[idx] = voltage
+    x = dc_solve_vector(circuit, time, guess_vec, max_iter, gmin)
+    return {name: float(x[circuit.node_index(name)]) for name in circuit.node_names}

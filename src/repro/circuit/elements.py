@@ -1,0 +1,287 @@
+"""Linear and switched circuit elements.
+
+Every element subclasses :class:`Element` and knows how to stamp itself
+into an :class:`~repro.circuit.mna.MnaSystem` given a
+:class:`~repro.circuit.mna.StampContext`.  The MOSFET lives in its own
+module (:mod:`repro.circuit.mosfet`); waveform-valued sources take a
+:class:`~repro.circuit.stimulus.Stimulus` (or a plain float) as value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.circuit.mna import MnaSystem, StampContext
+from repro.circuit.netlist import Circuit
+from repro.circuit.stimulus import Stimulus, as_stimulus
+from repro.errors import NetlistError
+
+
+class Element(ABC):
+    """Base class for netlist elements.
+
+    Subclasses set ``num_branches`` to 1 if they own an MNA branch-current
+    unknown (voltage sources do).
+    """
+
+    num_branches = 0
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NetlistError("element name must be non-empty")
+        self.name = name
+
+    @abstractmethod
+    def nodes(self) -> tuple[str, ...]:
+        """The node names this element connects to."""
+
+    @abstractmethod
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        """Stamp this element's contribution for the given context."""
+
+    def _idx(self, circuit: Circuit) -> tuple[int, ...]:
+        return tuple(circuit.node_index(n) for n in self.nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes()})"
+
+
+class TwoTerminal(Element):
+    """Common plumbing for elements with exactly two terminals ``a``/``b``."""
+
+    def __init__(self, name: str, a: str, b: str) -> None:
+        super().__init__(name)
+        self.a = a
+        self.b = b
+
+    def nodes(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+
+class Resistor(TwoTerminal):
+    """Ideal linear resistor.
+
+    ``resistance`` must be positive and finite; use :class:`Switch` for
+    controllable on/off paths.
+    """
+
+    def __init__(self, name: str, a: str, b: str, resistance: float) -> None:
+        super().__init__(name, a, b)
+        if not (resistance > 0.0) or resistance != resistance or resistance == float("inf"):
+            raise NetlistError(f"resistor {name!r}: resistance must be positive finite, got {resistance}")
+        self.resistance = resistance
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        sys.add_conductance(ia, ib, 1.0 / self.resistance)
+
+
+class Capacitor(TwoTerminal):
+    """Ideal linear capacitor with optional initial voltage.
+
+    In DC analysis the capacitor stamps nothing (an open); the solver's
+    gmin keeps cap-only nodes well-posed.  In transient analysis the
+    companion model depends on the integrator:
+
+    - backward Euler:  ``g = C/h``, ``I_eq = (C/h)·v_n``
+    - trapezoidal:     ``g = 2C/h``, ``I_eq = (2C/h)·v_n + i_n``
+
+    where ``v_n``/``i_n`` are the branch voltage/current at the previous
+    accepted timepoint (``i_n`` is tracked by the transient solver in
+    ``ctx.cap_current_prev``).
+    """
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float, ic: float | None = None) -> None:
+        super().__init__(name, a, b)
+        if not (capacitance >= 0.0):
+            raise NetlistError(f"capacitor {name!r}: capacitance must be >= 0, got {capacitance}")
+        self.capacitance = capacitance
+        self.ic = ic
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        if ctx.dt is None or self.capacitance == 0.0:
+            return  # open in DC
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        v_prev = ctx.voltage(ia, "prev") - ctx.voltage(ib, "prev")
+        if ctx.integrator == "trap":
+            g = 2.0 * self.capacitance / ctx.dt
+            i_eq = g * v_prev + ctx.cap_current_prev.get(self.name, 0.0)
+        else:  # backward Euler
+            g = self.capacitance / ctx.dt
+            i_eq = g * v_prev
+        sys.add_conductance(ia, ib, g)
+        # Companion current source pushes current from b to a (into a).
+        sys.add_current(ia, i_eq)
+        sys.add_current(ib, -i_eq)
+
+    def branch_current(self, sys: MnaSystem, ctx: StampContext, v_now: "object") -> float:
+        """Capacitor current i = C·dv/dt implied by the step just solved.
+
+        Used by the transient solver to maintain trapezoidal state.
+        """
+        import numpy as np
+
+        assert ctx.dt is not None
+        v = np.asarray(v_now)
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        va = 0.0 if ia < 0 else float(v[ia])
+        vb = 0.0 if ib < 0 else float(v[ib])
+        v_new = va - vb
+        v_prev = ctx.voltage(ia, "prev") - ctx.voltage(ib, "prev")
+        if ctx.integrator == "trap":
+            i_prev = ctx.cap_current_prev.get(self.name, 0.0)
+            return 2.0 * self.capacitance / ctx.dt * (v_new - v_prev) - i_prev
+        return self.capacitance / ctx.dt * (v_new - v_prev)
+
+
+class VoltageSource(TwoTerminal):
+    """Ideal voltage source; ``value`` may be a float or a Stimulus.
+
+    Owns one MNA branch current (positive current flows out of the ``a``
+    terminal through the external circuit back into ``b``... i.e. the MNA
+    branch current is the current *into* the positive terminal).
+    """
+
+    num_branches = 1
+
+    def __init__(self, name: str, a: str, b: str, value: float | Stimulus) -> None:
+        super().__init__(name, a, b)
+        self.value = as_stimulus(value)
+
+    def voltage_at(self, time: float) -> float:
+        """Source voltage at ``time`` in volts."""
+        return self.value(time)
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        branch = sys.branch_index(self.name)
+        sys.stamp_voltage_source(branch, ia, ib, self.value(ctx.time))
+
+
+class CurrentSource(TwoTerminal):
+    """Ideal current source pushing current from terminal ``a`` to ``b``
+    through the source (i.e. *into* node ``b`` externally).
+
+    A positive value therefore pulls node ``a`` down and pushes node ``b``
+    up.  ``value`` may be a float or a Stimulus.
+    """
+
+    def __init__(self, name: str, a: str, b: str, value: float | Stimulus) -> None:
+        super().__init__(name, a, b)
+        self.value = as_stimulus(value)
+
+    def current_at(self, time: float) -> float:
+        """Source current at ``time`` in amperes."""
+        return self.value(time)
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        i = self.value(ctx.time)
+        sys.add_current(ia, -i)
+        sys.add_current(ib, i)
+
+
+class CurrentMirrorOutput(TwoTerminal):
+    """Output leg of a current mirror sourcing from a supply node.
+
+    Pushes ``value(t)`` amperes into node ``b`` (the output), drawn from
+    node ``a`` (the supply) — but unlike an ideal source the output
+    current collapses as the output node approaches the supply rail:
+
+    ``i(v) = I(t) · (1 − exp(−max(s, 0)))``,  ``s = (v_a − v_b)/v_knee``.
+
+    This models the compliance of the paper's programmable current
+    reference I_REFP (a mirror can pull its output no higher than its
+    supply) and keeps the MNA system well-posed when the REF transistor
+    underneath is off: the drain then settles just below the rail instead
+    of running away through gmin.
+    """
+
+    def __init__(self, name: str, a: str, b: str, value: float | Stimulus, v_knee: float = 0.05) -> None:
+        super().__init__(name, a, b)
+        if v_knee <= 0:
+            raise NetlistError(f"mirror {name!r}: v_knee must be positive, got {v_knee}")
+        self.value = as_stimulus(value)
+        self.v_knee = v_knee
+
+    def output_current(self, time: float, v_a: float, v_b: float) -> float:
+        """Actual output current given the terminal voltages."""
+        import math
+
+        headroom = max((v_a - v_b) / self.v_knee, 0.0)
+        return self.value(time) * (1.0 - math.exp(-headroom))
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        import math
+
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        va = ctx.voltage(ia)
+        vb = ctx.voltage(ib)
+        i_prog = self.value(ctx.time)
+        s = (va - vb) / self.v_knee
+        if s > 0:
+            i = i_prog * (1.0 - math.exp(-s))
+            di_ds = i_prog * math.exp(-s)
+        else:
+            i = 0.0
+            di_ds = 0.0
+        g = di_ds / self.v_knee  # d i / d (va - vb)
+        # Newton companion: current i into b, out of a, linearized in (va-vb).
+        i_eq = i - g * (va - vb)
+        if ib >= 0:
+            if ia >= 0:
+                sys.matrix[ib, ia] -= g
+            sys.matrix[ib, ib] += g
+            sys.rhs[ib] += i_eq
+        if ia >= 0:
+            if ib >= 0:
+                sys.matrix[ia, ib] -= g
+            sys.matrix[ia, ia] += g
+            sys.rhs[ia] -= i_eq
+
+
+class Switch(TwoTerminal):
+    """Time-controlled ideal switch modelled as a two-state resistor.
+
+    ``control`` is a :class:`Stimulus` (or float); the switch is *on* when
+    the control value exceeds ``threshold``.  This is the idealized
+    companion of driving a MOSFET's gate — the full measurement netlist
+    uses real MOSFETs, while simplified netlists and unit tests use
+    switches.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        control: float | Stimulus,
+        r_on: float = 1e3,
+        r_off: float = 1e12,
+        threshold: float = 0.5,
+    ) -> None:
+        super().__init__(name, a, b)
+        if r_on <= 0 or r_off <= 0 or r_on >= r_off:
+            raise NetlistError(
+                f"switch {name!r}: need 0 < r_on < r_off, got r_on={r_on}, r_off={r_off}"
+            )
+        self.control = as_stimulus(control)
+        self.r_on = r_on
+        self.r_off = r_off
+        self.threshold = threshold
+
+    def is_on(self, time: float) -> bool:
+        """True when the control stimulus exceeds the threshold at ``time``."""
+        return self.control(time) > self.threshold
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        ia = sys.circuit.node_index(self.a)
+        ib = sys.circuit.node_index(self.b)
+        r = self.r_on if self.is_on(ctx.time) else self.r_off
+        sys.add_conductance(ia, ib, 1.0 / r)

@@ -1,0 +1,161 @@
+"""Modified nodal analysis (MNA) assembly.
+
+The solvers in :mod:`repro.circuit.dc` and :mod:`repro.circuit.transient`
+build an :class:`MnaSystem` for a circuit, then repeatedly ask every
+element to *stamp* itself given a :class:`StampContext` (time, timestep,
+previous solution, current Newton iterate).  Linear elements ignore the
+iterate; nonlinear ones (the MOSFET) stamp their linearization around it.
+
+Unknown vector layout::
+
+    x = [ v_0 .. v_{N-1} | i_0 .. i_{M-1} ]
+
+with ``N`` non-ground node voltages followed by ``M`` branch currents,
+one per voltage source.  Sign convention: a branch current flows from the
+source's positive node, through the source, out of the negative node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.errors import SingularCircuitError
+
+
+@dataclass
+class StampContext:
+    """Everything an element may need while stamping.
+
+    Parameters
+    ----------
+    time:
+        Simulation time in seconds (0.0 for DC).
+    dt:
+        Timestep in seconds, or ``None`` for DC analysis (capacitors then
+        stamp nothing and rely on gmin to pin floating nodes).
+    v_iter:
+        Current Newton iterate of node voltages (length ``num_nodes``).
+        Nonlinear elements linearize around this point.
+    v_prev:
+        Node voltages at the previous accepted timepoint (transient only).
+    integrator:
+        ``"be"`` (backward Euler) or ``"trap"`` (trapezoidal).
+    cap_current_prev:
+        For trapezoidal integration: capacitor branch currents at the
+        previous timepoint, keyed by element name.
+    gmin:
+        Conductance to ground added on every node (set by the solver;
+        elements may also consult it).
+    """
+
+    time: float = 0.0
+    dt: float | None = None
+    v_iter: np.ndarray | None = None
+    v_prev: np.ndarray | None = None
+    integrator: str = "be"
+    cap_current_prev: dict[str, float] = field(default_factory=dict)
+    gmin: float = 1e-12
+
+    def voltage(self, index: int, which: str = "iter") -> float:
+        """Voltage of node ``index`` (-1 = ground) in the chosen vector."""
+        if index < 0:
+            return 0.0
+        vec = self.v_iter if which == "iter" else self.v_prev
+        if vec is None:
+            return 0.0
+        return float(vec[index])
+
+
+class MnaSystem:
+    """Dense MNA matrix/RHS pair with stamping helpers.
+
+    One instance is created per circuit and reused across Newton
+    iterations and timesteps (:meth:`reset` zeroes it in place).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.num_nodes = circuit.num_nodes
+        # Assign branch indices to elements that request them.
+        self._branch_index: dict[str, int] = {}
+        for element in circuit:
+            for _ in range(element.num_branches):
+                self._branch_index[element.name] = self.num_nodes + len(self._branch_index)
+        self.size = self.num_nodes + len(self._branch_index)
+        self.matrix = np.zeros((self.size, self.size))
+        self.rhs = np.zeros(self.size)
+
+    def reset(self) -> None:
+        """Zero the matrix and RHS for a fresh stamping pass."""
+        self.matrix[:, :] = 0.0
+        self.rhs[:] = 0.0
+
+    def branch_index(self, element_name: str) -> int:
+        """Unknown-vector index of the branch current owned by an element."""
+        return self._branch_index[element_name]
+
+    # ------------------------------------------------------------------
+    # Stamping primitives
+    # ------------------------------------------------------------------
+
+    def add_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a conductance ``g`` between node indices ``a`` and ``b``.
+
+        Index -1 means ground.
+        """
+        if a >= 0:
+            self.matrix[a, a] += g
+        if b >= 0:
+            self.matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= g
+            self.matrix[b, a] -= g
+
+    def add_current(self, node: int, current: float) -> None:
+        """Inject ``current`` amperes *into* node ``node`` (RHS stamp)."""
+        if node >= 0:
+            self.rhs[node] += current
+
+    def add_transconductance(self, out_a: int, out_b: int, in_a: int, in_b: int, gm: float) -> None:
+        """Stamp a VCCS: current ``gm·(v_in_a − v_in_b)`` from ``out_a`` to ``out_b``."""
+        for out_node, out_sign in ((out_a, 1.0), (out_b, -1.0)):
+            if out_node < 0:
+                continue
+            if in_a >= 0:
+                self.matrix[out_node, in_a] += out_sign * gm
+            if in_b >= 0:
+                self.matrix[out_node, in_b] -= out_sign * gm
+
+    def stamp_voltage_source(self, branch: int, pos: int, neg: int, voltage: float) -> None:
+        """Stamp an ideal voltage source with its own branch current row."""
+        if pos >= 0:
+            self.matrix[pos, branch] += 1.0
+            self.matrix[branch, pos] += 1.0
+        if neg >= 0:
+            self.matrix[neg, branch] -= 1.0
+            self.matrix[branch, neg] -= 1.0
+        self.rhs[branch] += voltage
+
+    # ------------------------------------------------------------------
+    # Assembly and solution
+    # ------------------------------------------------------------------
+
+    def assemble(self, ctx: StampContext) -> None:
+        """Reset, then stamp every element plus gmin on all nodes."""
+        self.reset()
+        for element in self.circuit:
+            element.stamp(self, ctx)
+        for node in range(self.num_nodes):
+            self.matrix[node, node] += ctx.gmin
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled system; raise on singular matrices."""
+        try:
+            return np.linalg.solve(self.matrix, self.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(
+                f"singular MNA matrix for circuit {self.circuit.title!r}: {exc}"
+            ) from exc

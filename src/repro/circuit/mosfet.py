@@ -1,0 +1,258 @@
+"""MOSFET device model.
+
+A single smooth large-signal model covering subthreshold, triode and
+saturation, based on the EKV interpolation function
+
+.. math::
+
+    I_D = 2 n \\beta V_T^2 \\left[ F\\!\\left(\\frac{V_P - V_S}{V_T}\\right)
+          - F\\!\\left(\\frac{V_P - V_D}{V_T}\\right) \\right] (1 + \\lambda V_{DS})
+
+with :math:`F(x) = \\ln^2(1 + e^{x/2})` and the pinch-off voltage
+:math:`V_P = (V_{GS} - V_{TH})/n`.  Limits:
+
+- strong-inversion saturation: :math:`I_D \\to \\beta (V_{GS}-V_{TH})^2 / 2n`
+- strong-inversion triode (small :math:`V_{DS}`):
+  :math:`I_D \\to \\beta (V_{GS}-V_{TH}) V_{DS}` (matches level-1)
+- subthreshold: :math:`I_D \\propto e^{(V_{GS}-V_{TH})/(n V_T)}`
+
+The function is smooth everywhere, which keeps Newton iterations
+well-behaved — the classic level-1 triode/saturation kink is the usual
+source of convergence trouble in hand-rolled simulators.
+
+Body effect raises ``V_TH`` with source-to-bulk voltage; the bulk is a
+fixed rail per device (ground for n-MOS, V_DD for p-MOS by default), not
+a solved node — adequate for this library's circuits, where no body is
+ever driven dynamically.
+
+Optional fixed gate-to-source / gate-to-drain capacitances can be
+attached; the paper's reference capacitor ``C_REF`` *is* the input
+capacitance of the REF n-MOSFET, so the netlist builder sets ``cgs``
+explicitly there.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.elements import Element
+from repro.circuit.mna import MnaSystem, StampContext
+from repro.errors import NetlistError
+from repro.tech.parameters import MosfetParams
+from repro.units import thermal_voltage
+
+
+def _softlog(x: float) -> float:
+    """Numerically safe ``ln(1 + e^x)``."""
+    if x > 40.0:
+        return x
+    if x < -40.0:
+        return math.exp(x)
+    return math.log1p(math.exp(x))
+
+
+def _sigmoid(x: float) -> float:
+    """Numerically safe logistic function."""
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+def _ekv_f(x: float) -> float:
+    """EKV interpolation function F(x) = ln²(1 + e^(x/2))."""
+    return _softlog(x / 2.0) ** 2
+
+
+def _ekv_fprime(x: float) -> float:
+    """dF/dx = ln(1 + e^(x/2)) · sigmoid(x/2)."""
+    return _softlog(x / 2.0) * _sigmoid(x / 2.0)
+
+
+class Mosfet(Element):
+    """Three-terminal MOSFET (drain, gate, source) with fixed bulk rail.
+
+    Parameters
+    ----------
+    name, drain, gate, source:
+        Element name and node names.
+    params:
+        Device parameter card (:class:`~repro.tech.parameters.MosfetParams`).
+    w, l:
+        Channel width and length in metres.
+    bulk_voltage:
+        Fixed bulk potential in volts.  Defaults to 0 V for n-MOS and to
+        ``None``-means-source for p-MOS is *not* assumed — pass the V_DD
+        rail explicitly when building p-MOS devices in a powered circuit.
+    cgs, cgd:
+        Optional fixed gate capacitances in farads (backward-Euler
+        companion in transient analysis).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        params: MosfetParams,
+        w: float,
+        l: float,
+        bulk_voltage: float = 0.0,
+        cgs: float = 0.0,
+        cgd: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        if w <= 0 or l <= 0:
+            raise NetlistError(f"mosfet {name!r}: W and L must be positive, got W={w}, L={l}")
+        if cgs < 0 or cgd < 0:
+            raise NetlistError(f"mosfet {name!r}: gate capacitances must be >= 0")
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+        self.params = params
+        self.w = w
+        self.l = l
+        self.bulk_voltage = bulk_voltage
+        self.cgs = cgs
+        self.cgd = cgd
+
+    def nodes(self) -> tuple[str, str, str]:
+        return (self.drain, self.gate, self.source)
+
+    # ------------------------------------------------------------------
+    # Large-signal model
+    # ------------------------------------------------------------------
+
+    def threshold_voltage(self, vsb: float) -> float:
+        """|V_TH| including body effect for source-to-bulk voltage ``vsb``.
+
+        Uses the parameter card's temperature-corrected magnitude.
+        """
+        p = self.params
+        vsb_eff = max(vsb, 0.0)
+        return abs(p.vth_eff) + p.gamma * (math.sqrt(p.phi + vsb_eff) - math.sqrt(p.phi))
+
+    def _ids_normal(self, vd: float, vg: float, vs: float, vbulk: float) -> tuple[float, float, float, float]:
+        """Current and derivatives for an n-type orientation with vd >= vs.
+
+        Returns ``(i, di/dvd, di/dvg, di/dvs)`` with ``i`` flowing drain
+        to source.
+        """
+        p = self.params
+        vt = thermal_voltage(p.temperature_k)
+        n = p.n_sub
+        beta = p.beta_eff(self.w, self.l)
+        vsb = vs - vbulk
+        vth = self.threshold_voltage(vsb)
+        # d vth / d vs (only when vsb > 0; clamped region has zero slope)
+        if vsb > 0.0:
+            dvth_dvs = p.gamma / (2.0 * math.sqrt(p.phi + vsb))
+        else:
+            dvth_dvs = 0.0
+        vp = (vg - vs - vth) / n  # pinch-off voltage referred to source
+        vds = vd - vs
+        xf = vp / vt
+        xr = (vp - vds) / vt
+        scale = 2.0 * n * beta * vt * vt
+        clm = 1.0 + p.lambda_ * vds
+        i0 = scale * (_ekv_f(xf) - _ekv_f(xr))
+        i = i0 * clm
+        fpf = _ekv_fprime(xf)
+        fpr = _ekv_fprime(xr)
+        # dvp/dvg = 1/n ; dvp/dvs = -(1 + dvth_dvs)/n
+        dvp_dvg = 1.0 / n
+        dvp_dvs = -(1.0 + dvth_dvs) / n
+        # xf depends on vp; xr on vp and vds (vds depends on vd and vs)
+        di_dvg = scale * clm * (fpf - fpr) * dvp_dvg / vt
+        di_dvd = scale * clm * fpr / vt + p.lambda_ * i0
+        # d xf/d vs = dvp_dvs/vt ; d xr/d vs = (dvp_dvs + 1)/vt
+        di_dvs = (
+            scale * clm * (fpf * dvp_dvs - fpr * (dvp_dvs + 1.0)) / vt
+            - p.lambda_ * i0
+        )
+        return i, di_dvd, di_dvg, di_dvs
+
+    def ids_and_derivatives(self, vd: float, vg: float, vs: float) -> tuple[float, float, float, float]:
+        """Drain current and its derivatives w.r.t. (vd, vg, vs).
+
+        The returned current is the conventional drain current: positive
+        flowing into the drain terminal for n-MOS in normal operation;
+        for p-MOS the returned value is negative in normal (conducting)
+        operation, matching SPICE conventions.
+        """
+        if self.params.polarity == "nmos":
+            if vd >= vs:
+                return self._ids_normal(vd, vg, vs, self.bulk_voltage)
+            # Swapped operation: physical source is the "drain" terminal.
+            i, dd, dg, ds = self._ids_normal(vs, vg, vd, self.bulk_voltage)
+            return -i, -ds, -dg, -dd
+        # p-MOS: mirror every voltage around the bulk, treat as n-type.
+        vb = self.bulk_voltage
+        md, mg, ms = 2 * vb - vd, 2 * vb - vg, 2 * vb - vs
+        if md >= ms:
+            i, dd, dg, ds = self._ids_normal(md, mg, ms, vb)
+            # I_drain(p) = -i ; chain rule d(md)/d(vd) = -1 etc.
+            return -i, dd, dg, ds
+        i, dd, dg, ds = self._ids_normal(ms, mg, md, vb)
+        return i, -ds, -dg, -dd
+
+    def ids(self, vd: float, vg: float, vs: float) -> float:
+        """Drain current only (see :meth:`ids_and_derivatives`)."""
+        return self.ids_and_derivatives(vd, vg, vs)[0]
+
+    # ------------------------------------------------------------------
+    # Stamping
+    # ------------------------------------------------------------------
+
+    def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
+        circuit = sys.circuit
+        idx_d = circuit.node_index(self.drain)
+        idx_g = circuit.node_index(self.gate)
+        idx_s = circuit.node_index(self.source)
+        vd = ctx.voltage(idx_d)
+        vg = ctx.voltage(idx_g)
+        vs = ctx.voltage(idx_s)
+        i, gd, gg, gs = self.ids_and_derivatives(vd, vg, vs)
+        # Newton companion: inject -I0 + sum(g_x * v_x0) into drain and
+        # the opposite into source; conductances into the matrix.
+        i_eq = i - (gd * vd + gg * vg + gs * vs)
+        for idx, sign in ((idx_d, 1.0), (idx_s, -1.0)):
+            if idx < 0:
+                continue
+            if idx_d >= 0:
+                sys.matrix[idx, idx_d] += sign * gd
+            if idx_g >= 0:
+                sys.matrix[idx, idx_g] += sign * gg
+            if idx_s >= 0:
+                sys.matrix[idx, idx_s] += sign * gs
+            sys.rhs[idx] += -sign * i_eq
+        # Fixed gate capacitances (backward-Euler companion).
+        if ctx.dt is not None:
+            for cap, other in ((self.cgs, idx_s), (self.cgd, idx_d)):
+                if cap <= 0.0:
+                    continue
+                g = cap / ctx.dt
+                v_prev = ctx.voltage(idx_g, "prev") - ctx.voltage(other, "prev")
+                sys.add_conductance(idx_g, other, g)
+                sys.add_current(idx_g, g * v_prev)
+                sys.add_current(other, -g * v_prev)
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by design/calibration code
+    # ------------------------------------------------------------------
+
+    def saturation_current(self, vgs: float, vds: float | None = None) -> float:
+        """Drain current with the source grounded at the given bias.
+
+        ``vds`` defaults to a deep-saturation bias of ``vgs`` itself.
+        """
+        if vds is None:
+            vds = max(vgs, 0.1)
+        return self.ids(vds, vgs, 0.0)
+
+    @property
+    def gate_capacitance_total(self) -> float:
+        """Total intrinsic gate-oxide capacitance C_ox·W·L in farads."""
+        return self.params.gate_capacitance(self.w, self.l)

@@ -1,0 +1,146 @@
+"""Netlist container: named nodes plus a list of elements.
+
+A :class:`Circuit` is purely structural — solving happens in
+:mod:`repro.circuit.dc` and :mod:`repro.circuit.transient`.  Nodes are
+plain strings; the reserved name ``"0"`` (also exported as :data:`GROUND`)
+is the reference node and is excluded from the unknown vector.
+
+Example
+-------
+>>> from repro.circuit import Circuit, Resistor, VoltageSource
+>>> ckt = Circuit("divider")
+>>> _ = ckt.add(VoltageSource("VIN", "in", "0", 1.8))
+>>> _ = ckt.add(Resistor("R1", "in", "mid", 1e3))
+>>> _ = ckt.add(Resistor("R2", "mid", "0", 1e3))
+>>> from repro.circuit import dc_operating_point
+>>> op = dc_operating_point(ckt)
+>>> round(op["mid"], 6)
+0.9
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TYPE_CHECKING
+
+from repro.errors import NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.elements import Element
+
+#: The reference (ground) node name.
+GROUND = "0"
+
+
+class Circuit:
+    """A mutable netlist of named elements connecting named nodes.
+
+    Element names must be unique within one circuit.  Nodes are created
+    implicitly the first time an element references them.
+    """
+
+    def __init__(self, title: str = "untitled") -> None:
+        self.title = title
+        self._elements: dict[str, "Element"] = {}
+        self._nodes: dict[str, int] = {}  # name -> unknown index (ground absent)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, element: "Element") -> "Element":
+        """Add ``element`` to the netlist and return it.
+
+        Raises :class:`NetlistError` on a duplicate element name.
+        """
+        if element.name in self._elements:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in circuit {self.title!r}"
+            )
+        for node in element.nodes():
+            self._register_node(node)
+        self._elements[element.name] = element
+        return element
+
+    def remove(self, name: str) -> "Element":
+        """Remove and return the element called ``name``.
+
+        Node indices are rebuilt lazily; removing the last element on a
+        node leaves the node registered (harmless — it simply floats and
+        is pinned by gmin during solves).
+        """
+        try:
+            return self._elements.pop(name)
+        except KeyError:
+            raise NetlistError(f"no element named {name!r} in circuit {self.title!r}") from None
+
+    def _register_node(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise NetlistError(f"node names must be non-empty strings, got {name!r}")
+        if name != GROUND and name not in self._nodes:
+            self._nodes[name] = len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def node_names(self) -> list[str]:
+        """All non-ground node names, in index order."""
+        return sorted(self._nodes, key=self._nodes.__getitem__)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes (size of the voltage unknown block)."""
+        return len(self._nodes)
+
+    def node_index(self, name: str) -> int:
+        """Index of node ``name`` in the unknown vector; -1 for ground."""
+        if name == GROUND:
+            return -1
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r} in circuit {self.title!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        """True if ``name`` is ground or a registered node."""
+        return name == GROUND or name in self._nodes
+
+    def __contains__(self, element_name: str) -> bool:
+        return element_name in self._elements
+
+    def __getitem__(self, element_name: str) -> "Element":
+        try:
+            return self._elements[element_name]
+        except KeyError:
+            raise NetlistError(
+                f"no element named {element_name!r} in circuit {self.title!r}"
+            ) from None
+
+    def __iter__(self) -> Iterator["Element"]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def elements_of_type(self, cls: type) -> list["Element"]:
+        """All elements that are instances of ``cls``, in insertion order."""
+        return [e for e in self._elements.values() if isinstance(e, cls)]
+
+    def summary(self) -> dict[str, int]:
+        """Histogram of element class names plus the node count.
+
+        Used by the Figure-1 structural-audit bench.
+        """
+        counts: dict[str, int] = {}
+        for element in self._elements.values():
+            key = type(element).__name__
+            counts[key] = counts.get(key, 0) + 1
+        counts["nodes"] = self.num_nodes
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.title!r}, elements={len(self._elements)}, "
+            f"nodes={self.num_nodes})"
+        )

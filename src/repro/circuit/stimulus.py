@@ -1,0 +1,217 @@
+"""Time-domain stimulus waveforms for sources and switch controls.
+
+A :class:`Stimulus` is simply "a value as a function of time".  Concrete
+shapes cover everything the five-phase measurement flow needs: constants,
+steps, pulses, piecewise-linear control sequences, clocks, and the
+staircase that drives the programmable current reference I_REFP.
+
+All stimuli are immutable and cheap to evaluate; the transient solver
+calls them once per timestep per source.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import NetlistError
+
+
+class Stimulus(ABC):
+    """A scalar waveform ``value(t)``; callable."""
+
+    @abstractmethod
+    def __call__(self, time: float) -> float:
+        """Value at ``time`` seconds."""
+
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times at which the waveform changes non-smoothly.
+
+        The transient solver aligns timesteps to these so that edges are
+        never stepped over.
+        """
+        return ()
+
+
+class Constant(Stimulus):
+    """A constant value for all time."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, time: float) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constant({self.value})"
+
+
+class Step(Stimulus):
+    """Jump from ``before`` to ``after`` at ``at`` seconds."""
+
+    def __init__(self, at: float, before: float = 0.0, after: float = 1.0) -> None:
+        self.at = at
+        self.before = before
+        self.after = after
+
+    def __call__(self, time: float) -> float:
+        return self.after if time >= self.at else self.before
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return (self.at,)
+
+
+class Pulse(Stimulus):
+    """Single rectangular pulse of ``high`` between ``start`` and ``stop``."""
+
+    def __init__(self, start: float, stop: float, low: float = 0.0, high: float = 1.0) -> None:
+        if stop <= start:
+            raise NetlistError(f"pulse needs stop > start, got [{start}, {stop}]")
+        self.start = start
+        self.stop = stop
+        self.low = low
+        self.high = high
+
+    def __call__(self, time: float) -> float:
+        return self.high if self.start <= time < self.stop else self.low
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return (self.start, self.stop)
+
+
+class PiecewiseLinear(Stimulus):
+    """SPICE-style PWL waveform through ``(time, value)`` points.
+
+    Values before the first point hold the first value; after the last
+    point, the last value.  Points must be strictly increasing in time.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]) -> None:
+        if not points:
+            raise NetlistError("PWL stimulus needs at least one point")
+        times = [t for t, _ in points]
+        if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+            raise NetlistError(f"PWL times must be strictly increasing, got {times}")
+        self.times = tuple(times)
+        self.values = tuple(float(v) for _, v in points)
+
+    def __call__(self, time: float) -> float:
+        times = self.times
+        if time <= times[0]:
+            return self.values[0]
+        if time >= times[-1]:
+            return self.values[-1]
+        i = bisect.bisect_right(times, time)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = self.values[i - 1], self.values[i]
+        return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return self.times
+
+
+class Clock(Stimulus):
+    """Ideal square clock: ``high`` for the first half of each period.
+
+    ``phase`` shifts the pattern right in seconds.
+    """
+
+    def __init__(self, period: float, low: float = 0.0, high: float = 1.8, phase: float = 0.0) -> None:
+        if period <= 0:
+            raise NetlistError(f"clock period must be positive, got {period}")
+        self.period = period
+        self.low = low
+        self.high = high
+        self.phase = phase
+
+    def __call__(self, time: float) -> float:
+        frac = ((time - self.phase) / self.period) % 1.0
+        return self.high if frac < 0.5 else self.low
+
+
+class Staircase(Stimulus):
+    """Stepped ramp: value ``start + k·step_value`` during step ``k``.
+
+    This models the shift-register-controlled programmable current
+    reference I_REFP of the paper: ``num_steps`` equal increments, each
+    held for ``step_duration`` seconds, beginning at ``t0``.  Before
+    ``t0`` the value is ``start``; after the last step it holds the final
+    value.
+
+    Step numbering: during ``[t0 + (k-1)·dur, t0 + k·dur)`` the value is
+    ``start + k·step_value`` for ``k = 1..num_steps`` — i.e. the first
+    increment appears immediately at ``t0``, matching a shift register
+    that loads its first bit on the first test clock.
+    """
+
+    def __init__(
+        self,
+        t0: float,
+        step_duration: float,
+        step_value: float,
+        num_steps: int,
+        start: float = 0.0,
+    ) -> None:
+        if step_duration <= 0:
+            raise NetlistError(f"step_duration must be positive, got {step_duration}")
+        if num_steps < 1:
+            raise NetlistError(f"num_steps must be >= 1, got {num_steps}")
+        self.t0 = t0
+        self.step_duration = step_duration
+        self.step_value = step_value
+        self.num_steps = num_steps
+        self.start = start
+
+    def step_at(self, time: float) -> int:
+        """The active step index ``k`` (0 before t0, clamped to num_steps)."""
+        if time < self.t0:
+            return 0
+        k = int((time - self.t0) / self.step_duration) + 1
+        return min(k, self.num_steps)
+
+    def step_start_time(self, k: int) -> float:
+        """Time at which step ``k`` (1-based) begins."""
+        if not 1 <= k <= self.num_steps:
+            raise NetlistError(f"step index {k} out of range 1..{self.num_steps}")
+        return self.t0 + (k - 1) * self.step_duration
+
+    def __call__(self, time: float) -> float:
+        return self.start + self.step_at(time) * self.step_value
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return tuple(self.t0 + k * self.step_duration for k in range(self.num_steps))
+
+
+class PiecewiseConstant(Stimulus):
+    """Piecewise-constant waveform: ``levels[k]`` holds on ``[edges[k-1], edges[k])``.
+
+    With ``n`` levels there are ``n - 1`` edges.  Used for digital control
+    signals (wordlines, switch gates) whose value is defined per phase.
+    """
+
+    def __init__(self, edges: Sequence[float], levels: Sequence[float]) -> None:
+        if len(levels) != len(edges) + 1:
+            raise NetlistError(
+                f"need len(levels) == len(edges) + 1, got {len(levels)} levels "
+                f"and {len(edges)} edges"
+            )
+        if any(e1 >= e2 for e1, e2 in zip(edges, list(edges)[1:])):
+            raise NetlistError(f"edges must be strictly increasing, got {list(edges)}")
+        self.edges = tuple(float(e) for e in edges)
+        self.levels = tuple(float(v) for v in levels)
+
+    def __call__(self, time: float) -> float:
+        return self.levels[bisect.bisect_right(self.edges, time)]
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return self.edges
+
+
+def as_stimulus(value: float | Stimulus) -> Stimulus:
+    """Coerce a plain number to a :class:`Constant`; pass stimuli through."""
+    if isinstance(value, Stimulus):
+        return value
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    raise NetlistError(f"cannot use {value!r} as a stimulus")

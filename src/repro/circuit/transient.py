@@ -1,0 +1,199 @@
+"""Fixed-step transient analysis.
+
+The solver advances the circuit with backward-Euler (default) or
+trapezoidal integration, running a damped Newton solve at every step.
+Source breakpoints (phase edges, current-staircase steps) are folded into
+the time grid so no control edge is ever stepped over — essential for the
+five-phase measurement flow whose behaviour is defined by its edges.
+
+Initial conditions come from one of:
+
+- a DC operating point at ``t_start`` (default),
+- user-supplied node voltages (``ic=...``, "UIC" style) — unlisted nodes
+  start at 0 V, and capacitors with an ``ic`` attribute override node
+  guesses across their terminals where consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.dc import dc_solve_vector, _newton
+from repro.circuit.elements import Capacitor, CurrentSource, Switch, VoltageSource
+from repro.circuit.mna import MnaSystem, StampContext
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveform import Waveform
+from repro.errors import ConvergenceError, ReproError
+
+
+@dataclass
+class TransientOptions:
+    """Knobs for :func:`transient_analysis`.
+
+    Parameters
+    ----------
+    dt:
+        Base timestep, seconds.
+    integrator:
+        ``"be"`` (robust, slightly dissipative) or ``"trap"``
+        (second-order; capacitor currents tracked explicitly).
+    max_newton_iter:
+        Newton iteration cap per timestep.
+    gmin:
+        Conductance to ground on every node.
+    record:
+        Node names to record; ``None`` records every node.
+    use_ic:
+        If True, skip the initial DC solve and start from ``ic`` /
+        zeros ("UIC").
+    ic:
+        Initial node voltages for ``use_ic`` mode.
+    """
+
+    dt: float = 50e-12
+    integrator: str = "be"
+    max_newton_iter: int = 100
+    gmin: float = 1e-12
+    record: list[str] | None = None
+    use_ic: bool = False
+    ic: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ReproError(f"dt must be positive, got {self.dt}")
+        if self.integrator not in ("be", "trap"):
+            raise ReproError(f"integrator must be 'be' or 'trap', got {self.integrator!r}")
+
+
+def _collect_breakpoints(circuit: Circuit, t_start: float, t_stop: float) -> list[float]:
+    """Times in (t_start, t_stop) at which any stimulus has an edge."""
+    points: set[float] = set()
+    for element in circuit:
+        stimuli = []
+        if isinstance(element, (VoltageSource, CurrentSource)):
+            stimuli.append(element.value)
+        if isinstance(element, Switch):
+            stimuli.append(element.control)
+        for stim in stimuli:
+            for bp in stim.breakpoints():
+                if t_start < bp < t_stop:
+                    points.add(float(bp))
+    return sorted(points)
+
+
+def _build_time_grid(t_start: float, t_stop: float, dt: float, breakpoints: list[float]) -> np.ndarray:
+    """Uniform grid at ``dt`` with every breakpoint inserted exactly.
+
+    A small epsilon sample just after each breakpoint is added too, so
+    step edges are sharp in the recorded waveform.
+    """
+    base = np.arange(t_start, t_stop + dt * 0.5, dt)
+    if base[-1] < t_stop:
+        base = np.append(base, t_stop)
+    extra: list[float] = []
+    eps = dt * 1e-3
+    for bp in breakpoints:
+        extra.append(bp)
+        if bp + eps < t_stop:
+            extra.append(bp + eps)
+    grid = np.unique(np.concatenate([base, np.asarray(extra)])) if extra else base
+    # Drop pathologically tiny steps produced by coincident points.
+    keep = np.concatenate([[True], np.diff(grid) > eps * 0.5])
+    return grid[keep]
+
+
+def _initial_state(circuit: Circuit, options: TransientOptions, t_start: float) -> np.ndarray:
+    """Node-voltage vector at ``t_start``."""
+    if not options.use_ic:
+        x = dc_solve_vector(circuit, time=t_start, gmin=options.gmin)
+        return x[: circuit.num_nodes]
+    v = np.zeros(circuit.num_nodes)
+    for node, voltage in options.ic.items():
+        idx = circuit.node_index(node)
+        if idx >= 0:
+            v[idx] = voltage
+    for cap in circuit.elements_of_type(Capacitor):
+        if cap.ic is None:
+            continue
+        ia = circuit.node_index(cap.a)
+        ib = circuit.node_index(cap.b)
+        # Apply the capacitor IC across its terminals relative to node b.
+        vb = v[ib] if ib >= 0 else 0.0
+        if ia >= 0:
+            v[ia] = vb + cap.ic
+    return v
+
+
+def transient_analysis(
+    circuit: Circuit,
+    t_stop: float,
+    t_start: float = 0.0,
+    options: TransientOptions | None = None,
+) -> Waveform:
+    """Integrate the circuit from ``t_start`` to ``t_stop``.
+
+    Returns a :class:`~repro.circuit.waveform.Waveform` with one trace per
+    recorded node.  Raises :class:`ConvergenceError` if any timestep's
+    Newton solve fails even after a one-shot step halving.
+    """
+    if t_stop <= t_start:
+        raise ReproError(f"t_stop ({t_stop}) must exceed t_start ({t_start})")
+    opts = options or TransientOptions()
+    grid = _build_time_grid(t_start, t_stop, opts.dt, _collect_breakpoints(circuit, t_start, t_stop))
+
+    sys = MnaSystem(circuit)
+    n = circuit.num_nodes
+    v = _initial_state(circuit, opts, t_start)
+    record = opts.record if opts.record is not None else circuit.node_names
+    for node in record:
+        circuit.node_index(node)  # validate early
+
+    history = np.empty((len(grid), n))
+    history[0] = v
+    cap_currents: dict[str, float] = {}
+    capacitors = circuit.elements_of_type(Capacitor) if opts.integrator == "trap" else []
+
+    for step in range(1, len(grid)):
+        t_now = float(grid[step])
+        dt = t_now - float(grid[step - 1])
+        ctx = StampContext(
+            time=t_now,
+            dt=dt,
+            v_prev=v,
+            integrator=opts.integrator,
+            cap_current_prev=dict(cap_currents),
+            gmin=opts.gmin,
+        )
+        try:
+            x = _newton(sys, ctx, v.copy(), opts.max_newton_iter, vtol=1e-8)
+        except ConvergenceError:
+            # One retry with the step halved (two sub-steps).
+            t_mid = t_now - dt / 2.0
+            ctx_mid = StampContext(
+                time=t_mid, dt=dt / 2.0, v_prev=v, integrator=opts.integrator,
+                cap_current_prev=dict(cap_currents), gmin=opts.gmin,
+            )
+            x_mid = _newton(sys, ctx_mid, v.copy(), opts.max_newton_iter, vtol=1e-8)
+            v_mid = x_mid[:n]
+            if opts.integrator == "trap":
+                for cap in capacitors:
+                    cap_currents[cap.name] = cap.branch_current(sys, ctx_mid, v_mid)
+            ctx = StampContext(
+                time=t_now, dt=dt / 2.0, v_prev=v_mid, integrator=opts.integrator,
+                cap_current_prev=dict(cap_currents), gmin=opts.gmin,
+            )
+            x = _newton(sys, ctx, v_mid.copy(), opts.max_newton_iter, vtol=1e-8)
+        v = x[:n]
+        if opts.integrator == "trap":
+            for cap in capacitors:
+                cap_currents[cap.name] = cap.branch_current(sys, ctx, v)
+        history[step] = v
+
+    traces = {
+        node: history[:, circuit.node_index(node)].copy()
+        for node in record
+        if circuit.node_index(node) >= 0
+    }
+    return Waveform(grid, traces)

@@ -1,0 +1,191 @@
+"""Waveform container and measurement utilities.
+
+:class:`Waveform` holds the result of a transient analysis: a shared time
+axis plus one voltage trace per node.  It offers the handful of
+measurements the benches need — value sampling, threshold-crossing
+detection (used to find when OUT flips), and window extraction — plus a
+compact ASCII rendering for terminal-friendly "figures".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Waveform:
+    """Immutable set of traces over a common time axis.
+
+    Parameters
+    ----------
+    time:
+        Strictly increasing sample times in seconds.
+    traces:
+        Mapping of node name to a voltage array of the same length.
+    """
+
+    def __init__(self, time: np.ndarray, traces: Mapping[str, np.ndarray]) -> None:
+        self.time = np.asarray(time, dtype=float)
+        if self.time.ndim != 1 or len(self.time) < 2:
+            raise ReproError("waveform needs a 1-D time axis with >= 2 samples")
+        if np.any(np.diff(self.time) <= 0):
+            raise ReproError("waveform time axis must be strictly increasing")
+        self.traces = {name: np.asarray(v, dtype=float) for name, v in traces.items()}
+        for name, values in self.traces.items():
+            if values.shape != self.time.shape:
+                raise ReproError(
+                    f"trace {name!r} has {values.shape[0] if values.ndim else 0} samples, "
+                    f"time axis has {self.time.shape[0]}"
+                )
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.traces
+
+    def __getitem__(self, node: str) -> np.ndarray:
+        try:
+            return self.traces[node]
+        except KeyError:
+            raise ReproError(
+                f"no trace for node {node!r}; available: {sorted(self.traces)}"
+            ) from None
+
+    @property
+    def t_start(self) -> float:
+        """First sample time, seconds."""
+        return float(self.time[0])
+
+    @property
+    def t_stop(self) -> float:
+        """Last sample time, seconds."""
+        return float(self.time[-1])
+
+    def value_at(self, node: str, time: float) -> float:
+        """Linearly interpolated voltage of ``node`` at ``time``."""
+        if not self.t_start <= time <= self.t_stop:
+            raise ReproError(
+                f"time {time} outside waveform range [{self.t_start}, {self.t_stop}]"
+            )
+        return float(np.interp(time, self.time, self[node]))
+
+    def final(self, node: str) -> float:
+        """Voltage of ``node`` at the last sample."""
+        return float(self[node][-1])
+
+    def crossings(self, node: str, threshold: float, direction: str = "rise") -> list[float]:
+        """Times at which ``node`` crosses ``threshold``.
+
+        ``direction`` is ``"rise"``, ``"fall"`` or ``"both"``.  Each
+        crossing time is linearly interpolated between the bracketing
+        samples.
+        """
+        if direction not in ("rise", "fall", "both"):
+            raise ReproError(f"direction must be rise/fall/both, got {direction!r}")
+        v = self[node]
+        above = v > threshold
+        out: list[float] = []
+        for i in range(1, len(v)):
+            if above[i] == above[i - 1]:
+                continue
+            rising = above[i] and not above[i - 1]
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and rising:
+                continue
+            t0, t1 = self.time[i - 1], self.time[i]
+            v0, v1 = v[i - 1], v[i]
+            out.append(float(t0 + (threshold - v0) * (t1 - t0) / (v1 - v0)))
+        return out
+
+    def first_crossing(self, node: str, threshold: float, direction: str = "rise") -> float | None:
+        """First crossing time, or ``None`` if the trace never crosses."""
+        times = self.crossings(node, threshold, direction)
+        return times[0] if times else None
+
+    def window(self, t_from: float, t_to: float) -> "Waveform":
+        """Sub-waveform restricted to ``[t_from, t_to]`` (inclusive)."""
+        if t_to <= t_from:
+            raise ReproError(f"empty window [{t_from}, {t_to}]")
+        mask = (self.time >= t_from) & (self.time <= t_to)
+        if int(mask.sum()) < 2:
+            raise ReproError(f"window [{t_from}, {t_to}] contains fewer than 2 samples")
+        return Waveform(self.time[mask], {k: v[mask] for k, v in self.traces.items()})
+
+    def slew_rate(self, node: str, v_from: float, v_to: float) -> float:
+        """Average slew between the first crossings of two levels, V/s.
+
+        Positive for rising transitions (``v_to > v_from``), negative for
+        falling ones.  Raises when either level is never crossed.
+        """
+        direction = "rise" if v_to > v_from else "fall"
+        t_from = self.first_crossing(node, v_from, direction)
+        t_to = self.first_crossing(node, v_to, direction)
+        if t_from is None or t_to is None or t_to <= t_from:
+            raise ReproError(
+                f"trace {node!r} does not traverse [{v_from}, {v_to}] cleanly"
+            )
+        return (v_to - v_from) / (t_to - t_from)
+
+    def settling_time(
+        self, node: str, target: float, tolerance: float, t_from: float | None = None
+    ) -> float:
+        """Time after which the trace stays within ``±tolerance`` of ``target``.
+
+        Measured from ``t_from`` (default: start).  Raises when the trace
+        never settles.
+        """
+        if tolerance <= 0:
+            raise ReproError(f"tolerance must be positive, got {tolerance}")
+        start = self.t_start if t_from is None else t_from
+        mask = self.time >= start
+        values = self[node][mask]
+        times = self.time[mask]
+        inside = np.abs(values - target) <= tolerance
+        if not inside[-1]:
+            raise ReproError(f"trace {node!r} never settles to {target}±{tolerance}")
+        # Last excursion outside the band marks the settling instant.
+        outside = np.nonzero(~inside)[0]
+        if outside.size == 0:
+            return float(times[0])
+        last_out = outside[-1]
+        return float(times[min(last_out + 1, len(times) - 1)])
+
+    def overshoot(self, node: str, target: float, t_from: float | None = None) -> float:
+        """Peak excursion beyond ``target`` after ``t_from``, volts (>= 0)."""
+        start = self.t_start if t_from is None else t_from
+        values = self[node][self.time >= start]
+        if values.size == 0:
+            raise ReproError("empty measurement window")
+        return max(0.0, float(values.max()) - target)
+
+    def ascii_plot(self, nodes: list[str], width: int = 72, height: int = 12) -> str:
+        """Render the selected traces as a small ASCII chart.
+
+        One character per column; traces are overlaid with distinct
+        symbols.  Good enough to eyeball Figure-2-style waveforms in a
+        terminal log.
+        """
+        symbols = "*o+x#@"
+        lo = min(float(self[n].min()) for n in nodes)
+        hi = max(float(self[n].max()) for n in nodes)
+        if hi - lo < 1e-12:
+            hi = lo + 1.0
+        grid = [[" "] * width for _ in range(height)]
+        t_axis = np.linspace(self.t_start, self.t_stop, width)
+        for k, node in enumerate(nodes):
+            resampled = np.interp(t_axis, self.time, self[node])
+            for col, value in enumerate(resampled):
+                row = int(round((hi - value) / (hi - lo) * (height - 1)))
+                grid[row][col] = symbols[k % len(symbols)]
+        legend = "  ".join(
+            f"{symbols[k % len(symbols)]}={node}" for k, node in enumerate(nodes)
+        )
+        lines = [f"{hi:8.3f} |" + "".join(grid[0])]
+        lines += ["         |" + "".join(row) for row in grid[1:-1]]
+        lines += [f"{lo:8.3f} |" + "".join(grid[-1])]
+        lines.append(
+            f"          t: {self.t_start:.3e} .. {self.t_stop:.3e} s    {legend}"
+        )
+        return "\n".join(lines)

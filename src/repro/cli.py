@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing Python:
+
+- ``python -m repro design``   — size a structure for a macro geometry
+- ``python -m repro abacus``   — print the Figure-3 calibration table
+- ``python -m repro scan``     — synthesize an array (optionally with
+  defects), scan it, render the analog bitmap
+- ``python -m repro diagnose`` — full pipeline on a synthesized array
+- ``python -m repro wafer``    — wafer-level monitoring demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import fF, to_fF, to_ns, to_uA
+
+
+def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=32, help="array rows")
+    parser.add_argument("--cols", type=int, default=16, help="array cols")
+    parser.add_argument("--macro-rows", type=int, default=8, help="plate tile rows")
+    parser.add_argument("--macro-cols", type=int, default=2, help="plate tile cols")
+    parser.add_argument("--seed", type=int, default=0, help="randomness seed")
+
+
+def _build_array(args, with_defects: bool):
+    from repro.edram.array import EDRAMArray
+    from repro.edram.defects import DefectInjector, DefectKind
+    from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+
+    shape = (args.rows, args.cols)
+    capacitance = compose_maps(
+        uniform_map(shape, 30 * fF), mismatch_map(shape, 0.8 * fF, seed=args.seed)
+    )
+    array = EDRAMArray(
+        args.rows, args.cols, macro_cols=args.macro_cols,
+        macro_rows=args.macro_rows, capacitance_map=capacitance,
+    )
+    if with_defects:
+        injector = DefectInjector(array, seed=args.seed + 1)
+        injector.scatter(DefectKind.SHORT, max(1, array.num_cells // 400))
+        injector.scatter(DefectKind.OPEN, max(1, array.num_cells // 400))
+        injector.scatter(DefectKind.LOW_CAP, max(2, array.num_cells // 200), factor=0.6)
+    return array
+
+
+def _design_for(args, array):
+    from repro.calibration.design import design_structure
+
+    return design_structure(
+        array.tech, args.macro_rows, args.macro_cols, bitline_rows=args.rows
+    )
+
+
+def cmd_design(args) -> int:
+    array = _build_array(args, with_defects=False)
+    structure = _design_for(args, array)
+    d = structure.design
+    print(f"structure for {args.macro_rows}x{args.macro_cols} tiles on "
+          f"{args.rows}-row columns:")
+    print(f"  C_REF        : {to_fF(structure.c_ref):.2f} fF "
+          f"(REF {d.w_ref * 1e6:.2f} x {d.l_ref * 1e6:.2f} um)")
+    print(f"  DAC step     : {to_uA(d.delta_i):.3f} uA x {d.num_steps} steps")
+    print(f"  phase clock  : {to_ns(d.phase_duration):.1f} ns "
+          f"({'slew-safe' if structure.is_slew_safe else 'SLEW LIMITED'})")
+    print(f"  flow         : {to_ns(d.flow_duration):.1f} ns per cell")
+    return 0
+
+
+def cmd_abacus(args) -> int:
+    from repro.calibration.abacus import Abacus
+
+    array = _build_array(args, with_defects=False)
+    structure = _design_for(args, array)
+    abacus = Abacus.for_array(structure, array)
+    print(abacus.table())
+    return 0
+
+
+def cmd_scan(args) -> int:
+    from repro.bitmap.analog import AnalogBitmap
+    from repro.bitmap.export import render_code_map
+    from repro.calibration.abacus import Abacus
+    from repro.measure.scan import ArrayScanner
+
+    array = _build_array(args, with_defects=not args.healthy)
+    structure = _design_for(args, array)
+    abacus = Abacus.for_array(structure, array)
+    scan = ArrayScanner(array, structure).scan()
+    bitmap = AnalogBitmap(scan, abacus)
+    print(f"scanned {array.num_cells} cells "
+          f"({array.num_macros} tiles of {args.macro_rows}x{args.macro_cols})")
+    print(f"mean {to_fF(bitmap.mean_capacitance()):.2f} fF, "
+          f"sigma {to_fF(bitmap.std_capacitance()):.2f} fF")
+    print(render_code_map(scan.codes))
+    if args.save:
+        from repro.io import save_scan
+
+        path = save_scan(scan, args.save)
+        print(f"scan saved to {path}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.diagnosis.pipeline import DiagnosisPipeline
+
+    array = _build_array(args, with_defects=True)
+    pipeline = DiagnosisPipeline(spec_lo=24 * fF, spec_hi=36 * fF)
+    report = pipeline.run(array)
+    print(report.summary())
+    print()
+    print("findings:")
+    for finding in report.findings:
+        print(f"  {finding.describe()}")
+    return 0
+
+
+def cmd_wafer(args) -> int:
+    from repro.wafer import WaferModel
+
+    model = WaferModel(diameter_dies=args.diameter, seed=args.seed)
+    report = model.measure_wafer()
+    print(report.ascii_map())
+    a, b = report.radial_profile()
+    print(f"radial profile: centre {to_fF(a):.2f} fF, "
+          f"centre-to-edge drop {to_fF(-b):.2f} fF")
+    for label, mean, count in report.zonal_means():
+        print(f"  zone {label}: {to_fF(mean):6.2f} fF ({count} dies)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Embedded eDRAM capacitor measurement (DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("design", help="size a measurement structure")
+    _add_geometry_args(p)
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("abacus", help="print the calibration abacus")
+    _add_geometry_args(p)
+    p.set_defaults(func=cmd_abacus)
+
+    p = sub.add_parser("scan", help="scan a synthesized array")
+    _add_geometry_args(p)
+    p.add_argument("--healthy", action="store_true", help="no injected defects")
+    p.add_argument("--save", help="write the scan to this .npz path")
+    p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("diagnose", help="full diagnosis pipeline")
+    _add_geometry_args(p)
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("wafer", help="wafer-level monitoring demo")
+    p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_wafer)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

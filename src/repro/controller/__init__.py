@@ -1,0 +1,31 @@
+"""On-chip test controller: scheduling, addressing, streaming.
+
+The paper embeds its structure so capacitor extraction happens "during
+the functional test".  This package models the machinery around the
+structure that a production deployment needs:
+
+- :class:`AddressGenerator` — cell visit orders (full raster, per-macro,
+  sparse sampling for fast process monitoring),
+- :class:`TestScheduler` — silicon test-time accounting for a measurement
+  campaign (flow time per cell, per-macro setup, dither repeats),
+- :class:`CodeStream` — bit-packed, run-length-aware serialization of
+  the code map for off-chip transfer through a narrow test port,
+- :class:`BISTController` — the end-to-end orchestration: schedule →
+  measure → stream → reconstruct.
+"""
+
+from repro.controller.address import AddressGenerator, ScanOrder
+from repro.controller.scheduler import TestPlan, TestScheduler
+from repro.controller.stream import CodeStream, StreamStats
+from repro.controller.bist import BISTController, BISTReport
+
+__all__ = [
+    "AddressGenerator",
+    "ScanOrder",
+    "TestPlan",
+    "TestScheduler",
+    "CodeStream",
+    "StreamStats",
+    "BISTController",
+    "BISTReport",
+]

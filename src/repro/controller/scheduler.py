@@ -1,0 +1,184 @@
+"""Test-time accounting for measurement campaigns.
+
+Silicon test time is money (testers bill by the second), so the value of
+the paper's structure is bounded by how long the extraction takes.  One
+measurement costs one five-phase flow (50 ns nominal, more if the design
+stretched the conversion clock), times the dither repeat count, plus a
+setup cost whenever the campaign hops to a different macro tile.
+
+The scheduler turns an address strategy into a :class:`TestPlan` with
+the full time breakdown and comparisons against alternatives (e.g. the
+probe-station baseline, whose per-site cost is half an hour).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.controller.address import AddressGenerator, ScanOrder
+from repro.edram.array import EDRAMArray
+from repro.errors import MeasurementError
+from repro.measure.structure import MeasurementStructure
+from repro.units import ns
+
+
+@dataclass(frozen=True)
+class TestPlan:
+    """Time breakdown of one measurement campaign.
+
+    All times in seconds.
+    """
+
+    __test__ = False  # "Test" prefix is domain language, not a pytest class
+
+    order: ScanOrder
+    cells: int
+    repeats: int
+    flow_time: float
+    setup_time: float
+    readout_time: float
+
+    @property
+    def total_time(self) -> float:
+        """Total tester time for the campaign."""
+        return self.flow_time + self.setup_time + self.readout_time
+
+    @property
+    def time_per_cell(self) -> float:
+        """Amortized time per measured cell."""
+        return self.total_time / self.cells if self.cells else 0.0
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.order.value:<13} {self.cells:>8} cells x{self.repeats}  "
+            f"flow {self.flow_time * 1e6:9.1f} us  setup {self.setup_time * 1e6:7.1f} us  "
+            f"readout {self.readout_time * 1e6:7.1f} us  total {self.total_time * 1e6:9.1f} us"
+        )
+
+
+class TestScheduler:
+    """Builds :class:`TestPlan` objects for an array + structure pair.
+
+    (`__test__ = False`: the "Test" prefix is silicon-test domain
+    language, not a pytest collection hint.)
+
+    Parameters
+    ----------
+    array, structure:
+        The device under test and its embedded structure.
+    macro_setup_time:
+        Cost of switching the active macro tile (plate bias hand-over,
+        register reset), seconds.
+    bits_per_code:
+        Readout width per code (5 bits covers 0..20; see
+        :mod:`repro.controller.stream`).
+    readout_clock_hz:
+        Serial test-port clock for streaming codes off chip.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        array: EDRAMArray,
+        structure: MeasurementStructure,
+        macro_setup_time: float = 100 * ns,
+        bits_per_code: int = 5,
+        readout_clock_hz: float = 50e6,
+    ) -> None:
+        if macro_setup_time < 0:
+            raise MeasurementError("macro_setup_time must be >= 0")
+        if bits_per_code < 1:
+            raise MeasurementError("bits_per_code must be >= 1")
+        if readout_clock_hz <= 0:
+            raise MeasurementError("readout_clock_hz must be positive")
+        self.array = array
+        self.structure = structure
+        self.macro_setup_time = macro_setup_time
+        self.bits_per_code = bits_per_code
+        self.readout_clock_hz = readout_clock_hz
+
+    def conversion_steps(self, conversion: str, expected_code: int | None = None) -> float:
+        """Average phase-5 current steps one measurement spends.
+
+        - ``"full"`` — the paper's flow: the ramp always runs all steps.
+        - ``"early_stop"`` — the controller stops the ramp at the OUT
+          flip: ``expected_code + 1`` steps on average (full scale for
+          never-flipping cells).
+        - ``"sar"`` — successive approximation with a binary-weighted
+          DAC instead of the thermometer ramp: ``ceil(log2(n + 1))``
+          trials regardless of the code.  (A design delta: the paper's
+          shift-register ramp cannot jump; SAR needs a binary DAC.)
+        """
+        n = self.structure.design.num_steps
+        if conversion == "full":
+            return float(n)
+        if conversion == "early_stop":
+            code = n // 2 if expected_code is None else expected_code
+            if not 0 <= code <= n:
+                raise MeasurementError(f"expected_code {code} outside 0..{n}")
+            return float(min(code + 1, n))
+        if conversion == "sar":
+            return float(math.ceil(math.log2(n + 1)))
+        raise MeasurementError(f"unknown conversion strategy {conversion!r}")
+
+    def plan(
+        self,
+        order: ScanOrder = ScanOrder.MACRO_MAJOR,
+        repeats: int = 1,
+        fraction: float = 0.02,
+        seed: int = 0,
+        conversion: str = "full",
+        expected_code: int | None = None,
+    ) -> TestPlan:
+        """Build the plan for one strategy.
+
+        ``repeats`` models dithered conversion (R flows per cell);
+        ``conversion`` selects the phase-5 strategy (see
+        :meth:`conversion_steps`).
+        """
+        if repeats < 1:
+            raise MeasurementError(f"repeats must be >= 1, got {repeats}")
+        generator = AddressGenerator(self.array, order, fraction=fraction, seed=seed)
+        cells = generator.count
+        design = self.structure.design
+        setup_phases = 4.0 * design.phase_duration
+        convert = self.conversion_steps(conversion, expected_code) * design.step_duration
+        flow = cells * repeats * (setup_phases + convert)
+        setup = (generator.macro_transitions() + 1) * self.macro_setup_time
+        readout = cells * self.bits_per_code / self.readout_clock_hz
+        return TestPlan(
+            order=order,
+            cells=cells,
+            repeats=repeats,
+            flow_time=flow,
+            setup_time=setup,
+            readout_time=readout,
+        )
+
+    def compare_strategies(self, repeats: int = 1) -> list[TestPlan]:
+        """Plans for every strategy, fastest last."""
+        plans = [
+            self.plan(order, repeats=repeats)
+            for order in (
+                ScanOrder.FULL_RASTER,
+                ScanOrder.MACRO_MAJOR,
+                ScanOrder.CHECKERBOARD,
+                ScanOrder.SPARSE,
+            )
+        ]
+        return sorted(plans, key=lambda p: -p.total_time)
+
+    def probe_station_equivalent(self, sites: int, seconds_per_site: float = 1800.0) -> float:
+        """Time the destructive-probe baseline needs for ``sites`` cells."""
+        if sites < 0:
+            raise MeasurementError("sites must be >= 0")
+        return sites * seconds_per_site
+
+    def speedup_vs_probe(self, plan: TestPlan, seconds_per_site: float = 1800.0) -> float:
+        """How many times faster the embedded structure is per cell."""
+        if plan.cells == 0:
+            return float("inf")
+        return seconds_per_site / plan.time_per_cell

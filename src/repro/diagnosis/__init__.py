@@ -1,0 +1,45 @@
+"""Diagnosis methodology on top of the analog bitmap.
+
+The paper closes by claiming "the diagnosis of failure of each cell in
+the array is improved".  This package implements that improvement:
+
+- :class:`CellClassifier` — per-cell verdicts combining the analog code,
+  the spec window, digital test results and *neighbourhood context* (a
+  dielectric short leaves a capacitive fingerprint on its row-mates'
+  measurements, which disambiguates the paper's code-0 three-way tie);
+- :class:`ProcessMonitor` — population statistics, Cpk, drift and tilt
+  tracking for process-module health;
+- :mod:`repro.diagnosis.failure_analysis` — signature → root-cause
+  mapping producing a failure-analysis report;
+- :mod:`repro.diagnosis.repair` — BISR-style redundancy allocation
+  driven by either bitmap flavour.
+"""
+
+from repro.diagnosis.classifier import CellClassifier, CellVerdict
+from repro.diagnosis.process_monitor import ProcessMonitor, ProcessReport
+from repro.diagnosis.failure_analysis import FailureAnalyzer, RootCause, Finding
+from repro.diagnosis.repair import RepairPlanner, RepairPlan
+from repro.diagnosis.pipeline import DiagnosisPipeline, PipelineReport
+from repro.diagnosis.yield_model import YieldResult, YieldSimulator
+from repro.diagnosis.leakage_map import LeakageBounds, extract_leakage, retention_ladder
+from repro.diagnosis.compensation import compensate_estimates
+
+__all__ = [
+    "CellClassifier",
+    "CellVerdict",
+    "ProcessMonitor",
+    "ProcessReport",
+    "FailureAnalyzer",
+    "RootCause",
+    "Finding",
+    "RepairPlanner",
+    "RepairPlan",
+    "DiagnosisPipeline",
+    "PipelineReport",
+    "YieldResult",
+    "YieldSimulator",
+    "LeakageBounds",
+    "extract_leakage",
+    "retention_ladder",
+    "compensate_estimates",
+]

@@ -1,0 +1,168 @@
+"""One-call diagnosis pipeline.
+
+Everything the library does to a device under test, orchestrated in the
+order a test program would run it:
+
+1. functional test (March C− + retention pause) → digital bitmap,
+2. analog scan through the embedded structures → analog bitmap,
+3. per-cell classification (analog codes refined with digital results),
+4. signature categorization + root-cause analysis,
+5. process statistics (Cpk, gradient),
+6. BISR repair allocation over the union of must-repair cells.
+
+The :class:`PipelineReport` bundles every artefact plus a text summary;
+``examples/failure_analysis.py`` shows the pieces individually, this is
+the production wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.march import march_c_minus, retention_test
+from repro.bitmap.analog import AnalogBitmap
+from repro.bitmap.digital import DigitalBitmap
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.window import SpecificationWindow
+from repro.diagnosis.classifier import CellClassifier, CellVerdict
+from repro.diagnosis.failure_analysis import FailureAnalyzer, Finding
+from repro.diagnosis.process_monitor import ProcessMonitor, ProcessReport
+from repro.diagnosis.repair import RepairPlan, RepairPlanner
+from repro.edram.array import EDRAMArray
+from repro.edram.operations import ArrayOperations
+from repro.errors import DiagnosisError
+from repro.measure.scan import ArrayScanner, ScanResult
+from repro.measure.structure import MeasurementStructure
+
+
+@dataclass
+class PipelineReport:
+    """Every artefact one pipeline run produced."""
+
+    digital: DigitalBitmap
+    scan: ScanResult
+    analog: AnalogBitmap
+    verdicts: np.ndarray
+    findings: list[Finding]
+    process: ProcessReport
+    repair: RepairPlan
+    must_repair: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def summary(self) -> str:
+        """Human-readable run summary."""
+        counts: dict[CellVerdict, int] = {}
+        for verdict in self.verdicts.ravel():
+            counts[verdict] = counts.get(verdict, 0) + 1
+        anomalies = sum(
+            n for v, n in counts.items() if v is not CellVerdict.IN_SPEC
+        )
+        lines = [
+            f"digital fails       : {self.digital.fail_count}",
+            f"analog anomalies    : {anomalies}",
+            "verdicts            : "
+            + ", ".join(f"{v.value}={n}" for v, n in sorted(
+                counts.items(), key=lambda kv: -kv[1]
+            )),
+            f"process             : {self.process.summary()}",
+            f"findings            : {len(self.findings)} root-caused groups",
+            f"repair              : "
+            + ("SUCCESS" if self.repair.success else f"{len(self.repair.uncovered)} uncovered")
+            + f" (rows {sorted(self.repair.spare_rows_used)}, "
+            f"cols {sorted(self.repair.spare_cols_used)})",
+        ]
+        return "\n".join(lines)
+
+
+class DiagnosisPipeline:
+    """Configured pipeline, reusable across dies of one product.
+
+    Parameters
+    ----------
+    spec_lo, spec_hi:
+        Capacitance specification, farads.
+    spare_rows, spare_cols:
+        Redundancy budget for the repair stage.
+    retention_pause:
+        Pause of the retention screen, seconds.
+    structure:
+        Optional pre-designed structure; designed on first use otherwise.
+    """
+
+    def __init__(
+        self,
+        spec_lo: float,
+        spec_hi: float,
+        spare_rows: int = 4,
+        spare_cols: int = 4,
+        retention_pause: float = 0.2,
+        structure: MeasurementStructure | None = None,
+    ) -> None:
+        if not 0 < spec_lo < spec_hi:
+            raise DiagnosisError(f"need 0 < spec_lo < spec_hi, got [{spec_lo}, {spec_hi}]")
+        if retention_pause < 0:
+            raise DiagnosisError("retention_pause must be >= 0")
+        self.spec_lo = spec_lo
+        self.spec_hi = spec_hi
+        self.spare_rows = spare_rows
+        self.spare_cols = spare_cols
+        self.retention_pause = retention_pause
+        self._structure = structure
+        self._abacus: Abacus | None = None
+        self._geometry: tuple[int, int, int] | None = None
+
+    def _structure_for(self, array: EDRAMArray) -> tuple[MeasurementStructure, Abacus]:
+        geometry = (array.macro_rows, array.macro_cols, array.rows)
+        if self._structure is None or self._geometry != geometry:
+            self._structure = design_structure(
+                array.tech, array.macro_rows, array.macro_cols,
+                bitline_rows=array.rows,
+            )
+            self._abacus = Abacus.for_array(self._structure, array)
+            self._geometry = geometry
+        elif self._abacus is None:
+            self._abacus = Abacus.for_array(self._structure, array)
+        return self._structure, self._abacus
+
+    def run(self, array: EDRAMArray) -> PipelineReport:
+        """Run the full pipeline against one array."""
+        structure, abacus = self._structure_for(array)
+
+        # 1. Functional + retention baseline.
+        digital = march_c_minus().run(ArrayOperations(array)).merge(
+            retention_test(ArrayOperations(array), pause=self.retention_pause)
+        )
+
+        # 2. Analog scan.
+        scan = ArrayScanner(array, structure).scan()
+        analog = AnalogBitmap(scan, abacus)
+        window = SpecificationWindow.from_capacitance(
+            abacus, self.spec_lo, self.spec_hi
+        )
+
+        # 3. Classification (digital results refine code-0 cells).
+        classifier = CellClassifier(analog, window, macro_cols=array.macro_cols)
+        verdicts = classifier.classify_all(digital.fails)
+
+        # 4. Root-cause analysis.
+        findings = FailureAnalyzer().analyze(verdicts)
+
+        # 5. Process statistics.
+        process = ProcessMonitor(self.spec_lo, self.spec_hi).report(analog)
+
+        # 6. Repair over the union of hard fails and out-of-spec cells.
+        must_repair = digital.fails | analog.out_of_spec(window)
+        repair = RepairPlanner(self.spare_rows, self.spare_cols).plan(must_repair)
+
+        return PipelineReport(
+            digital=digital,
+            scan=scan,
+            analog=analog,
+            verdicts=verdicts,
+            findings=findings,
+            process=process,
+            repair=repair,
+            must_repair=must_repair,
+        )

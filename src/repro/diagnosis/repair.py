@@ -1,0 +1,116 @@
+"""BISR-style redundancy allocation from a fail bitmap.
+
+The paper positions its structure as "complementary to these BISR
+techniques"; this module closes the loop by allocating spare rows and
+columns against whichever fail map is available (digital pass/fail, or
+out-of-spec cells from the analog bitmap — the latter lets BISR retire
+*marginal* cells before they fail in the field).
+
+The allocation follows the classic two-stage heuristic:
+
+1. **Must-repair**: a row with more failures than the remaining spare
+   columns can cover *must* take a spare row (and symmetrically for
+   columns); iterate to fixpoint.
+2. **Greedy cover**: repeatedly spend whichever spare (row or column)
+   covers the most remaining failures.
+
+Optimal repair is NP-complete; this heuristic is the standard production
+compromise and is exact whenever a solution with must-repairs plus
+greedy choices exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DiagnosisError
+
+
+@dataclass
+class RepairPlan:
+    """Outcome of a repair attempt."""
+
+    spare_rows_used: list[int] = field(default_factory=list)
+    spare_cols_used: list[int] = field(default_factory=list)
+    uncovered: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True when every failing cell is covered."""
+        return not self.uncovered
+
+    def covers(self, row: int, col: int) -> bool:
+        """True when the plan repairs the given address."""
+        return row in self.spare_rows_used or col in self.spare_cols_used
+
+
+class RepairPlanner:
+    """Allocate spare rows/columns to cover a fail mask.
+
+    Parameters
+    ----------
+    spare_rows, spare_cols:
+        Redundancy budget of the array.
+    """
+
+    def __init__(self, spare_rows: int, spare_cols: int) -> None:
+        if spare_rows < 0 or spare_cols < 0:
+            raise DiagnosisError("spare counts must be >= 0")
+        self.spare_rows = spare_rows
+        self.spare_cols = spare_cols
+
+    def plan(self, fails: np.ndarray) -> RepairPlan:
+        """Compute a repair plan for the boolean fail mask."""
+        fails = np.asarray(fails)
+        if fails.ndim != 2 or fails.dtype != bool:
+            raise DiagnosisError("fails must be a 2-D boolean array")
+        remaining = fails.copy()
+        plan = RepairPlan()
+        rows_left = self.spare_rows
+        cols_left = self.spare_cols
+
+        # Stage 1: must-repair to fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            row_counts = remaining.sum(axis=1)
+            for row in np.nonzero(row_counts > cols_left)[0]:
+                if rows_left == 0:
+                    break
+                remaining[row, :] = False
+                plan.spare_rows_used.append(int(row))
+                rows_left -= 1
+                changed = True
+            col_counts = remaining.sum(axis=0)
+            for col in np.nonzero(col_counts > rows_left)[0]:
+                if cols_left == 0:
+                    break
+                remaining[:, col] = False
+                plan.spare_cols_used.append(int(col))
+                cols_left -= 1
+                changed = True
+
+        # Stage 2: greedy cover.
+        while remaining.any() and (rows_left > 0 or cols_left > 0):
+            row_counts = remaining.sum(axis=1)
+            col_counts = remaining.sum(axis=0)
+            best_row = int(np.argmax(row_counts)) if rows_left else -1
+            best_col = int(np.argmax(col_counts)) if cols_left else -1
+            row_gain = row_counts[best_row] if best_row >= 0 else -1
+            col_gain = col_counts[best_col] if best_col >= 0 else -1
+            if row_gain <= 0 and col_gain <= 0:
+                break
+            if row_gain >= col_gain:
+                remaining[best_row, :] = False
+                plan.spare_rows_used.append(best_row)
+                rows_left -= 1
+            else:
+                remaining[:, best_col] = False
+                plan.spare_cols_used.append(best_col)
+                cols_left -= 1
+
+        rows, cols = np.nonzero(remaining)
+        plan.uncovered = [(int(r), int(c)) for r, c in zip(rows, cols)]
+        return plan

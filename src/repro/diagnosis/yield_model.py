@@ -1,0 +1,192 @@
+"""Yield modelling with redundancy repair (extension).
+
+Connects the diagnosis/repair machinery to the number a fab actually
+optimizes: die yield.  Defects are drawn from the classical Poisson
+model (``Y₀ = exp(−A·D₀)`` without repair); the simulator then scores
+how much yield the spare rows/columns buy, and how much *more* they buy
+when the analog bitmap lets BISR retire marginal (parametrically
+failing) cells before they become field returns.
+
+This is Monte-Carlo over synthesized dies using the real pipeline
+components (defect injector, scanner, repair planner), not a closed-form
+shortcut — so interactions like two defects sharing a row are captured
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmap.analog import AnalogBitmap
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.window import SpecificationWindow
+from repro.diagnosis.repair import RepairPlanner
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import DefectInjector, DefectKind
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.errors import DiagnosisError
+from repro.measure.scan import ArrayScanner
+from repro.tech.parameters import TechnologyCard, default_technology
+from repro.units import fF
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Monte-Carlo yield estimates over one defect density."""
+
+    defects_per_die: float
+    dies: int
+    yield_no_repair: float
+    yield_hard_repair: float
+    yield_analog_repair: float
+    field_risks_left: float  # marginal cells/die surviving hard-only repair
+
+    def summary(self) -> str:
+        """One-line rendering."""
+        return (
+            f"lambda={self.defects_per_die:4.1f}: "
+            f"no repair {100 * self.yield_no_repair:5.1f} %, "
+            f"hard-fail repair {100 * self.yield_hard_repair:5.1f} %, "
+            f"analog-aware repair {100 * self.yield_analog_repair:5.1f} % "
+            f"(marginal cells left behind by hard-only: "
+            f"{self.field_risks_left:.2f}/die)"
+        )
+
+
+class YieldSimulator:
+    """Monte-Carlo die yield with and without analog-aware repair.
+
+    Parameters
+    ----------
+    rows, cols, macro_rows, macro_cols:
+        Die array geometry.
+    spare_rows, spare_cols:
+        Redundancy budget.
+    hard_fraction:
+        Fraction of defects that are hard faults (short/open); the rest
+        are marginal LOW_CAP cells that pass functional test.
+    spec_lo, spec_hi:
+        Capacitance specification for the analog screen, farads.
+    """
+
+    def __init__(
+        self,
+        rows: int = 32,
+        cols: int = 16,
+        macro_rows: int = 8,
+        macro_cols: int = 2,
+        spare_rows: int = 2,
+        spare_cols: int = 2,
+        hard_fraction: float = 0.5,
+        spec_lo: float = 24 * fF,
+        spec_hi: float = 36 * fF,
+        tech: TechnologyCard | None = None,
+    ) -> None:
+        if not 0.0 <= hard_fraction <= 1.0:
+            raise DiagnosisError("hard_fraction must be in [0, 1]")
+        self.rows, self.cols = rows, cols
+        self.macro_rows, self.macro_cols = macro_rows, macro_cols
+        self.spare_rows, self.spare_cols = spare_rows, spare_cols
+        self.hard_fraction = hard_fraction
+        self.spec_lo, self.spec_hi = spec_lo, spec_hi
+        self.tech = tech if tech is not None else default_technology()
+        self.structure = design_structure(
+            self.tech, macro_rows, macro_cols, bitline_rows=rows
+        )
+        self.abacus = Abacus.analytic(
+            self.structure, macro_rows, macro_cols, bitline_rows=rows
+        )
+        self.window = SpecificationWindow.from_capacitance(
+            self.abacus, spec_lo, spec_hi
+        )
+
+    # ------------------------------------------------------------------
+    # One die
+    # ------------------------------------------------------------------
+
+    def _synthesize_die(self, lam: float, rng: np.random.Generator) -> tuple[EDRAMArray, int]:
+        capacitance = compose_maps(
+            uniform_map((self.rows, self.cols), 30 * fF),
+            mismatch_map((self.rows, self.cols), 0.6 * fF,
+                         seed=int(rng.integers(1 << 31))),
+        )
+        array = EDRAMArray(
+            self.rows, self.cols, tech=self.tech,
+            macro_cols=self.macro_cols, macro_rows=self.macro_rows,
+            capacitance_map=capacitance,
+        )
+        injector = DefectInjector(array, seed=int(rng.integers(1 << 31)))
+        count = int(rng.poisson(lam))
+        count = min(count, array.num_cells // 4)
+        hard = int(round(count * self.hard_fraction))
+        if hard:
+            split = hard // 2
+            injector.scatter(DefectKind.SHORT, split)
+            injector.scatter(DefectKind.OPEN, hard - split)
+        if count - hard:
+            injector.scatter(DefectKind.LOW_CAP, count - hard, factor=0.6)
+        return array, count
+
+    def _score_die(self, array: EDRAMArray) -> tuple[bool, bool, bool, int]:
+        """(good_unrepaired, good_hard_repair, good_analog_repair, leftovers)."""
+        bitmap = AnalogBitmap(
+            ArrayScanner(array, self.structure).scan(), self.abacus
+        )
+        analog_flags = bitmap.out_of_spec(self.window)
+        # Hard fails: shorts/opens (what functional test catches).
+        hard_flags = np.zeros_like(analog_flags)
+        for row, col in array.defect_locations():
+            cell = array.cell(row, col)
+            if cell.has_defect(DefectKind.SHORT) or cell.has_defect(DefectKind.OPEN):
+                hard_flags[row, col] = True
+
+        planner = RepairPlanner(self.spare_rows, self.spare_cols)
+        good_unrepaired = not hard_flags.any() and not analog_flags.any()
+        hard_plan = planner.plan(hard_flags)
+        analog_plan = planner.plan(hard_flags | analog_flags)
+        # Marginal cells left unretired by the hard-only plan.
+        leftovers = int(
+            (analog_flags & ~hard_flags
+             & ~np.array([[hard_plan.covers(r, c) for c in range(self.cols)]
+                          for r in range(self.rows)])).sum()
+        )
+        return good_unrepaired, hard_plan.success, analog_plan.success, leftovers
+
+    # ------------------------------------------------------------------
+    # Campaign
+    # ------------------------------------------------------------------
+
+    def run(self, defects_per_die: float, dies: int = 40, seed: int = 0) -> YieldResult:
+        """Simulate ``dies`` dies at one Poisson defect density."""
+        if defects_per_die < 0:
+            raise DiagnosisError("defects_per_die must be >= 0")
+        if dies < 1:
+            raise DiagnosisError("dies must be >= 1")
+        rng = np.random.default_rng(seed)
+        ok_plain = ok_hard = ok_analog = 0
+        leftovers_total = 0
+        for _ in range(dies):
+            array, _count = self._synthesize_die(defects_per_die, rng)
+            plain, hard, analog, leftovers = self._score_die(array)
+            ok_plain += plain
+            ok_hard += hard
+            ok_analog += analog
+            leftovers_total += leftovers
+        return YieldResult(
+            defects_per_die=defects_per_die,
+            dies=dies,
+            yield_no_repair=ok_plain / dies,
+            yield_hard_repair=ok_hard / dies,
+            yield_analog_repair=ok_analog / dies,
+            field_risks_left=leftovers_total / dies,
+        )
+
+    def sweep(self, densities: list[float], dies: int = 40, seed: int = 0) -> list[YieldResult]:
+        """Yield curve across defect densities."""
+        return [
+            self.run(lam, dies=dies, seed=seed + k)
+            for k, lam in enumerate(densities)
+        ]

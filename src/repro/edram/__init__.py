@@ -1,0 +1,51 @@
+"""Behavioural + structural model of an embedded DRAM (eDRAM) array.
+
+This package is the substrate the measurement structure operates on: a
+grid of 1T1C cells organised into *macro-cells* (column groups sharing a
+plate node, per Figure 1 of the paper), with bitline/wordline parasitics,
+a sense amplifier, retention/leakage behaviour, defect injection and
+spatially correlated capacitance variation.
+
+Two views of the same array coexist:
+
+- a **structural** view (per-cell capacitance, defect state, parasitic
+  geometry) consumed by the measurement netlist builders, and
+- a **behavioural** view (write/read/refresh with charge-sharing sensing)
+  consumed by the march-test digital baseline.
+"""
+
+from repro.edram.defects import DefectKind, CellDefect, DefectInjector
+from repro.edram.cell import DRAMCell
+from repro.edram.array import EDRAMArray, MacroCell, CellAddress
+from repro.edram.senseamp import SenseAmplifier
+from repro.edram.operations import ArrayOperations
+from repro.edram.leakage import RetentionModel
+from repro.edram.variation_map import (
+    uniform_map,
+    mismatch_map,
+    linear_tilt_map,
+    radial_map,
+    edge_rolloff_map,
+    cluster_defect_map,
+    compose_maps,
+)
+
+__all__ = [
+    "DefectKind",
+    "CellDefect",
+    "DefectInjector",
+    "DRAMCell",
+    "EDRAMArray",
+    "MacroCell",
+    "CellAddress",
+    "SenseAmplifier",
+    "ArrayOperations",
+    "RetentionModel",
+    "uniform_map",
+    "mismatch_map",
+    "linear_tilt_map",
+    "radial_map",
+    "edge_rolloff_map",
+    "cluster_defect_map",
+    "compose_maps",
+]

@@ -1,0 +1,71 @@
+"""Retention and leakage modelling.
+
+DRAM cells lose their stored level through junction leakage; the
+retention time distribution across an array is one of the key process
+health indicators.  :class:`RetentionModel` evaluates per-cell retention
+and array-level statistics on top of the cell model's linear-droop
+behaviour (constant junction current, see
+:meth:`repro.edram.cell.DRAMCell.stored_voltage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.edram.array import EDRAMArray
+from repro.errors import ArrayConfigError
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Evaluate retention against a minimum readable level.
+
+    Parameters
+    ----------
+    v_write:
+        Written '1' level, volts.
+    v_min:
+        Lowest storage voltage that still reads back as '1' (set by
+        bitline ratio and sense-amp offset), volts.
+    """
+
+    v_write: float
+    v_min: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.v_min < self.v_write:
+            raise ArrayConfigError(
+                f"need 0 <= v_min < v_write, got v_min={self.v_min}, v_write={self.v_write}"
+            )
+
+    def cell_retention(self, array: EDRAMArray, row: int, col: int) -> float:
+        """Retention time of one cell in seconds (inf for zero leakage)."""
+        return array.cell(row, col).retention_time(self.v_write, self.v_min)
+
+    def retention_matrix(self, array: EDRAMArray) -> np.ndarray:
+        """Per-cell retention times, shape (rows, cols), seconds."""
+        return np.array(
+            [
+                [self.cell_retention(array, r, c) for c in range(array.cols)]
+                for r in range(array.rows)
+            ]
+        )
+
+    def worst_retention(self, array: EDRAMArray) -> tuple[float, tuple[int, int]]:
+        """The worst cell's retention time and its address."""
+        matrix = self.retention_matrix(array)
+        idx = np.unravel_index(int(np.argmin(matrix)), matrix.shape)
+        return float(matrix[idx]), (int(idx[0]), int(idx[1]))
+
+    def refresh_interval_ok(self, array: EDRAMArray, interval: float) -> bool:
+        """True if every cell survives a refresh interval of ``interval`` s."""
+        worst, _ = self.worst_retention(array)
+        return worst >= interval
+
+    def failing_cells(self, array: EDRAMArray, interval: float) -> list[tuple[int, int]]:
+        """Addresses of cells whose retention falls short of ``interval``."""
+        matrix = self.retention_matrix(array)
+        rows, cols = np.nonzero(matrix < interval)
+        return [(int(r), int(c)) for r, c in zip(rows, cols)]

@@ -1,0 +1,178 @@
+"""Behavioural array operations: write, read, refresh, pause.
+
+This is the functional-test view of the array used by the march-test
+digital baseline.  Every operation advances an internal behavioural
+clock; retention effects emerge naturally because reads evaluate each
+cell's leakage droop at the current time.
+
+Read is modelled as a real DRAM read: V_DD/2 bitline precharge, charge
+sharing with the cell (:mod:`repro.edram.bitline`), resolution by the
+sense amplifier (:mod:`repro.edram.senseamp`), then write-back (restore).
+Defects shape the read signal exactly as described in
+:mod:`repro.edram.defects`; BRIDGE defects couple horizontally adjacent
+storage nodes so that writes to one victim overwrite its partner, which
+is what lets march elements catch them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edram.array import EDRAMArray
+from repro.edram.bitline import Bitline
+from repro.edram.cell import DRAMCell
+from repro.edram.defects import DefectKind
+from repro.edram.senseamp import SenseAmplifier
+from repro.errors import ArrayConfigError
+
+
+class ArrayOperations:
+    """Functional interface to an :class:`~repro.edram.array.EDRAMArray`.
+
+    Parameters
+    ----------
+    array:
+        The array under test.
+    senseamp:
+        Sense amplifier model; a default (3 mV σ offset) is built when
+        omitted.
+    cycle_time:
+        Behavioural time consumed by each write/read/refresh, seconds.
+    """
+
+    def __init__(
+        self,
+        array: EDRAMArray,
+        senseamp: SenseAmplifier | None = None,
+        cycle_time: float = 20e-9,
+    ) -> None:
+        if cycle_time <= 0:
+            raise ArrayConfigError(f"cycle_time must be positive, got {cycle_time}")
+        self.array = array
+        self.senseamp = senseamp if senseamp is not None else SenseAmplifier()
+        self.cycle_time = cycle_time
+        self.now = 0.0
+        self._bitline = Bitline(
+            capacitance=array.bitline_capacitance(),
+            precharge_voltage=array.tech.half_vdd,
+        )
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def pause(self, duration: float) -> None:
+        """Idle for ``duration`` seconds (retention stress)."""
+        if duration < 0:
+            raise ArrayConfigError(f"pause duration must be >= 0, got {duration}")
+        self.now += duration
+
+    def _tick(self) -> None:
+        self.now += self.cycle_time
+
+    # ------------------------------------------------------------------
+    # Bridge topology
+    # ------------------------------------------------------------------
+
+    def _bridge_partner(self, row: int, col: int) -> tuple[int, int] | None:
+        """Address of the cell sharing a bridged storage node, if any."""
+        if self.array.cell(row, col).has_defect(DefectKind.BRIDGE):
+            return (row, col + 1)
+        if col > 0 and self.array.cell(row, col - 1).has_defect(DefectKind.BRIDGE):
+            return (row, col - 1)
+        return None
+
+    # ------------------------------------------------------------------
+    # Single-cell operations
+    # ------------------------------------------------------------------
+
+    def write(self, row: int, col: int, bit: bool) -> None:
+        """Write one bit; a bridged partner node is overwritten too."""
+        level = self.array.tech.vdd if bit else 0.0
+        self.array.cell(row, col).write(level, self.now)
+        partner = self._bridge_partner(row, col)
+        if partner is not None:
+            p_row, p_col = partner
+            self.array.cell(p_row, p_col).write(level, self.now)
+        self._tick()
+
+    def read(self, row: int, col: int) -> bool:
+        """Read one bit (destructive read + restore), honouring defects."""
+        cell = self.array.cell(row, col)
+        capacitance, voltage = self._presented_state(row, col, cell)
+        signal = self._bitline.read_signal(capacitance, voltage)
+        bit = self.senseamp.resolve(signal)
+        self._restore(row, col, cell, bit)
+        self._tick()
+        return bit
+
+    def _presented_state(self, row: int, col: int, cell: DRAMCell) -> tuple[float, float]:
+        """(capacitance, voltage) the cell presents to its bitline."""
+        plate_bias = self.array.tech.half_vdd
+        if cell.has_defect(DefectKind.SHORT):
+            # Storage node resistively at the plate bias; full capacitance
+            # couples but carries no data signal.
+            return cell.capacitance, plate_bias
+        if cell.has_defect(DefectKind.OPEN) or cell.has_defect(DefectKind.ACCESS_OPEN):
+            return 0.0, plate_bias
+        partner = self._bridge_partner(row, col)
+        if partner is not None:
+            p_cell = self.array.cell(*partner)
+            total = cell.capacitance + p_cell.capacitance
+            # The shared node: both cells were written together, so they
+            # agree unless only one was rewritten through a non-bridge
+            # path; average weighted by capacitance covers both cases.
+            v_self = cell.stored_voltage(self.now, plate_bias)
+            v_partner = p_cell.stored_voltage(self.now, plate_bias)
+            voltage = (
+                cell.capacitance * v_self + p_cell.capacitance * v_partner
+            ) / total
+            return total, voltage
+        return cell.capacitance, cell.stored_voltage(self.now, plate_bias)
+
+    def _restore(self, row: int, col: int, cell: DRAMCell, bit: bool) -> None:
+        """Write-back after a destructive read (refreshes the cell)."""
+        level = self.array.tech.vdd if bit else 0.0
+        cell.write(level, self.now)
+        partner = self._bridge_partner(row, col)
+        if partner is not None:
+            self.array.cell(*partner).write(level, self.now)
+
+    def refresh(self, row: int, col: int) -> bool:
+        """Refresh one cell (read + restore); returns the read value."""
+        return self.read(row, col)
+
+    # ------------------------------------------------------------------
+    # Whole-array helpers
+    # ------------------------------------------------------------------
+
+    def write_solid(self, bit: bool) -> None:
+        """Write the same value to every cell, row-major ascending."""
+        for r in range(self.array.rows):
+            for c in range(self.array.cols):
+                self.write(r, c, bit)
+
+    def write_checkerboard(self, phase: bool = False) -> None:
+        """Write a checkerboard; ``phase`` flips which parity gets '1'."""
+        for r in range(self.array.rows):
+            for c in range(self.array.cols):
+                self.write(r, c, ((r + c) % 2 == 0) != phase)
+
+    def read_all(self) -> np.ndarray:
+        """Read every cell; returns a boolean (rows, cols) array."""
+        return np.array(
+            [[self.read(r, c) for c in range(self.array.cols)] for r in range(self.array.rows)]
+        )
+
+    def expected_checkerboard(self, phase: bool = False) -> np.ndarray:
+        """The ideal checkerboard pattern for comparison with reads."""
+        r = np.arange(self.array.rows)[:, None]
+        c = np.arange(self.array.cols)[None, :]
+        return (((r + c) % 2) == 0) != phase
+
+    @property
+    def read_signal_nominal(self) -> float:
+        """|ΔV| a healthy full cell produces at the sense amp, volts."""
+        return abs(
+            self._bitline.read_signal(self.array.tech.cell_capacitance, self.array.tech.vdd)
+        )

@@ -1,0 +1,129 @@
+"""Spatially correlated per-cell capacitance map generators.
+
+The analog-bitmap diagnosis methodology of the paper exists to make
+process signatures visible: deposition tilt across a die, edge roll-off
+of the capacitor etch, particle-induced clusters, and random mismatch.
+Each generator here produces one such component as a ``(rows, cols)``
+numpy array in farads (or an additive delta); :func:`compose_maps` sums
+components onto a base.
+
+All generators are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ArrayConfigError
+from repro.units import fF
+
+
+def _check_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    rows, cols = shape
+    if rows < 1 or cols < 1:
+        raise ArrayConfigError(f"map shape must be at least 1x1, got {shape}")
+    return rows, cols
+
+
+def uniform_map(shape: tuple[int, int], value: float) -> np.ndarray:
+    """Constant capacitance everywhere (the defect-free ideal)."""
+    rows, cols = _check_shape(shape)
+    if value <= 0:
+        raise ArrayConfigError(f"uniform value must be positive, got {value}")
+    return np.full((rows, cols), float(value))
+
+
+def mismatch_map(shape: tuple[int, int], sigma: float, seed: int = 0) -> np.ndarray:
+    """Additive white Gaussian mismatch with standard deviation ``sigma``."""
+    rows, cols = _check_shape(shape)
+    if sigma < 0:
+        raise ArrayConfigError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, sigma, size=(rows, cols))
+
+
+def linear_tilt_map(
+    shape: tuple[int, int], row_slope: float = 0.0, col_slope: float = 0.0
+) -> np.ndarray:
+    """Additive linear gradient: ``row_slope``/``col_slope`` farads per cell.
+
+    Models deposition-thickness tilt across the die; the map is centred
+    (zero mean) so the nominal value stays the array average.
+    """
+    rows, cols = _check_shape(shape)
+    r = np.arange(rows) - (rows - 1) / 2.0
+    c = np.arange(cols) - (cols - 1) / 2.0
+    return row_slope * r[:, None] + col_slope * c[None, :]
+
+
+def radial_map(shape: tuple[int, int], amplitude: float) -> np.ndarray:
+    """Additive radial bowl/dome centred on the array.
+
+    ``amplitude`` is the corner-to-centre difference in farads (positive:
+    dome — centre thicker; negative: bowl).  Models radially non-uniform
+    etch/deposition.
+    """
+    rows, cols = _check_shape(shape)
+    r = (np.arange(rows) - (rows - 1) / 2.0) / max((rows - 1) / 2.0, 1.0)
+    c = (np.arange(cols) - (cols - 1) / 2.0) / max((cols - 1) / 2.0, 1.0)
+    rr, cc = np.meshgrid(r, c, indexing="ij")
+    radius_sq = (rr**2 + cc**2) / 2.0  # 1.0 at the corners
+    return amplitude * (1.0 - radius_sq)
+
+
+def edge_rolloff_map(shape: tuple[int, int], depth: float, width: int = 2) -> np.ndarray:
+    """Subtractive roll-off within ``width`` cells of the array edge.
+
+    Capacitor modules commonly lose capacitance at array boundaries
+    (loading effects); ``depth`` is the loss at the outermost ring,
+    decaying linearly to zero ``width`` cells in.
+    """
+    rows, cols = _check_shape(shape)
+    if depth < 0:
+        raise ArrayConfigError(f"depth must be >= 0, got {depth}")
+    if width < 1:
+        raise ArrayConfigError(f"width must be >= 1, got {width}")
+    r = np.arange(rows)
+    c = np.arange(cols)
+    dist_r = np.minimum(r, rows - 1 - r)
+    dist_c = np.minimum(c, cols - 1 - c)
+    dist = np.minimum(dist_r[:, None], dist_c[None, :])
+    falloff = np.clip(1.0 - dist / width, 0.0, 1.0)
+    return -depth * falloff
+
+
+def cluster_defect_map(
+    shape: tuple[int, int],
+    center: tuple[int, int],
+    radius: float,
+    depth: float,
+) -> np.ndarray:
+    """Additive Gaussian dip of ``depth`` farads at ``center``.
+
+    Models a particle or local process flaw degrading nearby capacitors;
+    ``radius`` is the 1σ extent in cells.
+    """
+    rows, cols = _check_shape(shape)
+    if radius <= 0:
+        raise ArrayConfigError(f"radius must be positive, got {radius}")
+    r0, c0 = center
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    dist_sq = (rr - r0) ** 2 + (cc - c0) ** 2
+    return -depth * np.exp(-dist_sq / (2.0 * radius**2))
+
+
+def compose_maps(base: np.ndarray, *deltas: np.ndarray, floor: float = 1.0 * fF) -> np.ndarray:
+    """Sum additive components onto a base map, clamping at ``floor``.
+
+    The floor keeps pathological compositions physical (a capacitor
+    cannot go non-positive); real sub-floor cells should be modelled as
+    defects instead.
+    """
+    result = np.array(base, dtype=float, copy=True)
+    for delta in deltas:
+        if delta.shape != base.shape:
+            raise ArrayConfigError(
+                f"component shape {delta.shape} does not match base {base.shape}"
+            )
+        result += delta
+    return np.maximum(result, floor)

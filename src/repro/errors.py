@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``KeyError`` from misuse of plain dicts, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is malformed (unknown node, duplicate element, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """A nonlinear or transient solve failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of Newton iterations performed before giving up.
+    residual:
+        Final residual norm (amps for KCL residuals).
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularCircuitError(ReproError):
+    """The MNA system is singular (floating node, voltage-source loop, ...)."""
+
+
+class TechnologyError(ReproError):
+    """A technology card or device parameter set is invalid."""
+
+
+class ArrayConfigError(ReproError):
+    """An eDRAM array geometry or addressing request is invalid."""
+
+
+class DefectError(ReproError):
+    """A defect specification cannot be applied to the target array."""
+
+
+class MeasurementError(ReproError):
+    """The measurement structure was driven outside its legal flow."""
+
+
+class CalibrationError(ReproError):
+    """An abacus or specification window cannot be built or inverted."""
+
+
+class DiagnosisError(ReproError):
+    """A bitmap analysis or repair computation received invalid input."""

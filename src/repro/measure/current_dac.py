@@ -1,0 +1,69 @@
+"""The programmable current reference I_REFP.
+
+A linear current DAC: ``num_steps`` identical legs of ``delta_i`` each,
+enabled one at a time by the shift register, producing a staircase ramp
+``I(k) = k·delta_i``.  The behavioural/staircase view is used by every
+tier; the transient tier injects the equivalent
+:class:`~repro.circuit.stimulus.Staircase`-valued current source into the
+REF drain (an ideal-source idealisation of the cascode mirror the paper
+cites from [3] — adequate because only the step *values* matter to the
+conversion).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.stimulus import Staircase
+from repro.errors import MeasurementError
+
+
+class ProgrammableCurrentReference:
+    """Linear ``num_steps × delta_i`` current staircase source.
+
+    Parameters
+    ----------
+    delta_i:
+        Current increment per step, amperes.
+    num_steps:
+        Number of steps (20 in the paper).
+    """
+
+    def __init__(self, delta_i: float, num_steps: int = 20) -> None:
+        if delta_i <= 0:
+            raise MeasurementError(f"delta_i must be positive, got {delta_i}")
+        if num_steps < 1:
+            raise MeasurementError(f"num_steps must be >= 1, got {num_steps}")
+        self.delta_i = delta_i
+        self.num_steps = num_steps
+
+    def current_at_step(self, step: int) -> float:
+        """DAC output with ``step`` legs enabled, amperes."""
+        if not 0 <= step <= self.num_steps:
+            raise MeasurementError(f"step {step} outside 0..{self.num_steps}")
+        return step * self.delta_i
+
+    @property
+    def full_scale(self) -> float:
+        """Maximum output current, amperes."""
+        return self.num_steps * self.delta_i
+
+    def staircase(self, t0: float, step_duration: float) -> Staircase:
+        """Time-domain staircase starting at ``t0`` (for the transient tier)."""
+        if step_duration <= 0:
+            raise MeasurementError(f"step_duration must be positive, got {step_duration}")
+        return Staircase(
+            t0=t0,
+            step_duration=step_duration,
+            step_value=self.delta_i,
+            num_steps=self.num_steps,
+        )
+
+    def step_for_current(self, current: float) -> int:
+        """Smallest step whose output meets or exceeds ``current``.
+
+        Clamped to ``num_steps``; 0 for non-positive currents.
+        """
+        if current <= 0:
+            return 0
+        import math
+
+        return min(self.num_steps, math.ceil(current / self.delta_i - 1e-12))

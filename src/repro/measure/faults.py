@@ -1,0 +1,176 @@
+"""Instrument fault qualification: defects in the structure itself.
+
+The measurement structure is fabricated in the same imperfect process it
+monitors, so a test program must recognize when the *instrument* is
+broken rather than the array ("who tests the tester").  This module
+injects the structure's own realistic failure modes into the static
+measurement path and catalogues their array-level signatures:
+
+=====================  ====================================================
+fault                  signature on a healthy array
+=====================  ====================================================
+LEC stuck open         no charge sharing → V_GS = 0 → every code 0
+LEC stuck closed       C_REF never isolated: the CHARGE phase drives the
+                       gate too → V_GS = V_DD → every code saturates
+PRG stuck open         plate never charges → every code 0
+DAC leg k dead         ramp plateaus at step k: codes ≥ k collapse to
+                       k−1 or saturate (a 'wall' in the histogram)
+register stuck at n    every readout returns n regardless of C_m
+C_REF drift            multiplicative code shift (gain error) — the
+                       subtlest: looks like a process shift of the array
+=====================  ====================================================
+
+:class:`FaultySequencer` wraps a healthy macro measurement with one
+fault; :func:`fault_signature` classifies a code map against the
+catalogue, which is what an automated test program would run before
+trusting an analog bitmap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.edram.array import MacroCell
+from repro.errors import MeasurementError
+from repro.measure.result import MeasurementResult
+from repro.measure.sequencer import MeasurementSequencer
+from repro.measure.structure import MeasurementStructure
+
+
+class StructureFault(enum.Enum):
+    """Failure modes of the measurement structure itself."""
+
+    LEC_STUCK_OPEN = "lec_stuck_open"
+    LEC_STUCK_CLOSED = "lec_stuck_closed"
+    PRG_STUCK_OPEN = "prg_stuck_open"
+    DAC_LEG_DEAD = "dac_leg_dead"
+    REGISTER_STUCK = "register_stuck"
+    CREF_DRIFT = "cref_drift"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected instrument fault.
+
+    ``parameter`` is fault-specific: the dead leg index for
+    ``DAC_LEG_DEAD``, the stuck value for ``REGISTER_STUCK``, the
+    capacitance multiplier for ``CREF_DRIFT``; ignored otherwise.
+    """
+
+    fault: StructureFault
+    parameter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fault is StructureFault.DAC_LEG_DEAD and not 1 <= self.parameter:
+            raise MeasurementError("DAC_LEG_DEAD needs a leg index >= 1")
+        if self.fault is StructureFault.CREF_DRIFT and self.parameter <= 0:
+            raise MeasurementError("CREF_DRIFT needs a positive multiplier")
+
+
+class FaultySequencer:
+    """Measurement sequencer with one injected instrument fault."""
+
+    def __init__(
+        self,
+        macro: MacroCell,
+        structure: MeasurementStructure,
+        spec: FaultSpec,
+    ) -> None:
+        self.macro = macro
+        self.structure = structure
+        self.spec = spec
+        self._healthy = MeasurementSequencer(macro, structure)
+
+    def _faulty_vgs(self, row: int, lcol: int) -> float:
+        fault = self.spec.fault
+        if fault is StructureFault.LEC_STUCK_OPEN:
+            return 0.0  # C_REF node never connects; gate stays grounded
+        if fault is StructureFault.PRG_STUCK_OPEN:
+            return 0.0  # plate never charges; sharing yields nothing
+        if fault is StructureFault.LEC_STUCK_CLOSED:
+            # The gate follows the plate through every phase, including
+            # the V_DD CHARGE drive; nothing discharges it before ramp.
+            return self.structure.tech.vdd
+        if fault is StructureFault.CREF_DRIFT:
+            # The reference capacitor shifted (dielectric drift): the
+            # share divides against a different C_REF than calibrated.
+            healthy_vgs = self._healthy.measure_charge(row, lcol).vgs
+            vdd = self.structure.tech.vdd
+            if healthy_vgs >= vdd:
+                return vdd
+            x = self.structure.c_ref_total * healthy_vgs / (vdd - healthy_vgs)
+            drifted = self.structure.c_ref_total * self.spec.parameter
+            return vdd * x / (x + drifted)
+        # Conversion-stage faults share the healthy V_GS.
+        return self._healthy.measure_charge(row, lcol).vgs
+
+    def _convert(self, vgs: float) -> int:
+        fault = self.spec.fault
+        if fault is StructureFault.REGISTER_STUCK:
+            return int(self.spec.parameter)
+        code = self.structure.code_for_vgs(vgs)
+        if fault is StructureFault.DAC_LEG_DEAD:
+            dead = int(self.spec.parameter)
+            # The ramp never rises past leg `dead`: cells needing more
+            # current than (dead-1) legs can deliver never flip.
+            if code >= dead:
+                return self.structure.design.num_steps
+        return code
+
+    def measure(self, row: int, lcol: int) -> MeasurementResult:
+        """Measure one cell through the faulty instrument."""
+        vgs = self._faulty_vgs(row, lcol)
+        code = self._convert(vgs)
+        return MeasurementResult(
+            code=code,
+            num_steps=self.structure.design.num_steps,
+            vgs=vgs,
+            tier="charge+fault",
+            address=(self.macro.row_start + row, self.macro.col_start + lcol),
+        )
+
+    def scan_macro(self) -> np.ndarray:
+        """Codes for every cell of the macro."""
+        mc = self.macro.array.macro_cols
+        return np.array(
+            [[self.measure(r, c).code for c in range(mc)] for r in range(self.macro.rows)]
+        )
+
+
+def fault_signature(codes: np.ndarray, num_steps: int = 20) -> StructureFault | None:
+    """Classify a macro's code map against the instrument-fault catalogue.
+
+    Returns the suspected fault or ``None`` when the map looks like a
+    plausible array measurement (spread of mid-range codes).  This is
+    the "qualify the instrument first" screen; CREF drift is *not*
+    detectable from one map alone (it mimics a process shift) and needs
+    a golden reference — by design, it returns ``None`` here.
+    """
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        raise MeasurementError("empty code map")
+    values = np.unique(codes)
+    if values.size == 1:
+        value = int(values[0])
+        if value == 0:
+            return StructureFault.LEC_STUCK_OPEN  # or PRG; same signature
+        if value == num_steps:
+            return StructureFault.LEC_STUCK_CLOSED
+        return StructureFault.REGISTER_STUCK
+    # A dead DAC leg leaves a forbidden band: some codes present below a
+    # threshold, a saturation spike at full scale, nothing between.
+    present = set(int(v) for v in values)
+    if num_steps in present:
+        below = sorted(v for v in present if v < num_steps)
+        if below:
+            gap_start = below[-1] + 1
+            saturated = int((codes == num_steps).sum())
+            if gap_start < num_steps and saturated >= codes.size * 0.05:
+                return StructureFault.DAC_LEG_DEAD
+    return None

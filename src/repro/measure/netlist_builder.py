@@ -1,0 +1,267 @@
+"""Netlist builders: render a macro-cell plus measurement structure.
+
+Two renderings of the same Figure-1 schematic:
+
+- :func:`build_measurement_circuit` — the full transistor-level
+  :class:`~repro.circuit.netlist.Circuit` (access devices, S_BLi, PRG,
+  LEC, STD, REF, current mirror, sense inverters) with every control
+  node driven by the :class:`~repro.measure.phases.PhasePlan` waveforms.
+  This is what the MNA transient tier integrates for the Figure-2
+  reproduction.
+- :func:`build_charge_network` — the ideal-switch
+  :class:`~repro.circuit.charge.CapacitorNetwork` equivalent used by the
+  exact charge tier (phase 5 is then evaluated statically).
+
+Node-name conventions (shared by both):
+
+====================  =========================================
+``plate``             the macro's common plate node
+``gate``              C_REF node (gate of REF)
+``drain``, ``out``    REF drain and the digital output (MNA only)
+``bl{j}``             macro-local bitline ``j``
+``s{r}_{j}``          storage node of cell (row r, local col j)
+``in``, ``inbl{j}``   IN and IN_BLi drive nodes (MNA only)
+====================  =========================================
+
+Defect rendering: OPEN cells lose their capacitor; SHORT cells replace it
+with a low resistance (MNA) or a permanently closed switch (charge
+network); ACCESS_OPEN cells keep the capacitor but their access device is
+removed (MNA) / never closed (charge network); BRIDGE adds a low
+resistance / closed switch between adjacent storage nodes.  A bridge
+whose partner lies in a neighbouring macro is rendered against that
+macro's plate held at V_DD/2 (standard-mode bias) through the partner's
+capacitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.circuit.elements import Capacitor, CurrentMirrorOutput, Resistor, VoltageSource
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.edram.array import MacroCell
+from repro.edram.defects import DefectKind
+from repro.errors import MeasurementError
+from repro.measure.phases import PhasePlan
+from repro.measure.structure import MeasurementStructure
+
+#: Resistance used to render dielectric shorts and metal bridges, ohms.
+SHORT_RESISTANCE = 200.0
+BRIDGE_RESISTANCE = 150.0
+
+
+@dataclass
+class MeasurementNetlist:
+    """A built transistor-level measurement circuit plus its plan."""
+
+    circuit: Circuit
+    plan: PhasePlan
+    structure: MeasurementStructure
+    macro: MacroCell
+    target_row: int
+    target_col: int
+
+
+def _storage_node(row: int, lcol: int) -> str:
+    return f"s{row}_{lcol}"
+
+
+def _bitline_node(lcol: int) -> str:
+    return f"bl{lcol}"
+
+
+def _bridge_partner_local(macro: MacroCell, row: int, lcol: int) -> tuple[int, bool] | None:
+    """Local col of the in-macro bridge partner, or cross-macro flag.
+
+    ``row`` is tile-local.  Returns ``(partner_lcol, True)`` when the
+    partner is inside the macro, ``(global_partner_col, False)`` when it
+    is in the neighbouring macro, and ``None`` when the cell has no
+    bridge.
+    """
+    if not macro.cell(row, lcol).has_defect(DefectKind.BRIDGE):
+        return None
+    global_col = macro.col_start + lcol
+    partner_global = global_col + 1
+    if partner_global < macro.col_stop:
+        return (lcol + 1, True)
+    return (partner_global, False)
+
+
+def _incoming_cross_bridge(macro: MacroCell, row: int) -> bool:
+    """True if the cell left of the macro bridges into local column 0."""
+    if macro.col_start == 0:
+        return False
+    left = macro.array.cell(macro.row_start + row, macro.col_start - 1)
+    return left.has_defect(DefectKind.BRIDGE)
+
+
+def build_measurement_circuit(
+    macro: MacroCell,
+    target_row: int,
+    target_col: int,
+    structure: MeasurementStructure,
+) -> MeasurementNetlist:
+    """Build the transistor-level circuit for measuring one cell.
+
+    ``target_col`` is macro-local.  Raises
+    :class:`~repro.errors.MeasurementError` on out-of-range targets.
+    """
+    tech = structure.tech
+    design = structure.design
+    mc = macro.array.macro_cols
+    plan = PhasePlan(tech, design, target_row, target_col, macro.rows, mc)
+    ckt = Circuit(
+        f"measure[{macro.index}]({target_row},{target_col})"
+    )
+
+    # Rails and fixed biases.
+    ckt.add(VoltageSource("VDD", "vdd", "0", tech.vdd))
+    ckt.add(VoltageSource("VHALF", "vhalf", "0", tech.half_vdd))
+
+    # Control waveforms.
+    for row in range(macro.rows):
+        ckt.add(VoltageSource(f"VWL{row}", f"wl{row}", "0", plan.wordline(row)))
+    for col in range(mc):
+        ckt.add(VoltageSource(f"VSBL{col}", f"sbl{col}", "0", plan.bitline_select(col)))
+        ckt.add(VoltageSource(f"VINBL{col}", f"inbl{col}", "0", plan.bitline_input(col)))
+    ckt.add(VoltageSource("VPRG", "prg", "0", plan.prg()))
+    ckt.add(VoltageSource("VLEC", "lec", "0", plan.lec()))
+    ckt.add(VoltageSource("VIN", "in", "0", plan.input_in()))
+    ckt.add(VoltageSource("VSTD", "std", "0", plan.std()))
+
+    # Plate and bitline parasitics.
+    ckt.add(Capacitor("CPP", "plate", "0", macro.plate_parasitic))
+    for col in range(mc):
+        ckt.add(Capacitor(f"CBL{col}", _bitline_node(col), "0", macro.bitline_capacitance))
+        ckt.add(
+            Mosfet(
+                f"MSBL{col}", f"inbl{col}", f"sbl{col}", _bitline_node(col),
+                tech.nmos, w=design.w_switch, l=design.l_switch,
+            )
+        )
+
+    # Cells.
+    for row in range(macro.rows):
+        for col in range(mc):
+            cell = macro.cell(row, col)
+            s = _storage_node(row, col)
+            ckt.add(Capacitor(f"CJS{row}_{col}", s, "0", tech.storage_junction_cap))
+            if not cell.has_defect(DefectKind.ACCESS_OPEN):
+                ckt.add(
+                    Mosfet(
+                        f"MAC{row}_{col}", _bitline_node(col), f"wl{row}", s,
+                        tech.nmos, w=tech.access_w, l=tech.access_l,
+                    )
+                )
+            if cell.has_defect(DefectKind.SHORT):
+                ckt.add(Resistor(f"RSHORT{row}_{col}", "plate", s, SHORT_RESISTANCE))
+            elif not cell.has_defect(DefectKind.OPEN):
+                ckt.add(Capacitor(f"CCELL{row}_{col}", "plate", s, cell.capacitance))
+            partner = _bridge_partner_local(macro, row, col)
+            if partner is not None:
+                p_idx, internal = partner
+                if internal:
+                    ckt.add(
+                        Resistor(
+                            f"RBRG{row}_{col}", s, _storage_node(row, p_idx),
+                            BRIDGE_RESISTANCE,
+                        )
+                    )
+                else:
+                    # Partner cell hangs off the neighbouring macro's
+                    # plate, held at V_DD/2 in standard mode.
+                    p_cell = macro.array.cell(macro.row_start + row, p_idx)
+                    ckt.add(
+                        Capacitor(f"CXBRG{row}_{col}", s, "vhalf", p_cell.capacitance)
+                    )
+        if _incoming_cross_bridge(macro, row):
+            left = macro.array.cell(macro.row_start + row, macro.col_start - 1)
+            ckt.add(
+                Capacitor(
+                    f"CXBRGIN{row}", _storage_node(row, 0), "vhalf", left.capacitance
+                )
+            )
+
+    # Measurement structure devices.
+    ckt.add(Mosfet("MPRG", "in", "prg", "plate", tech.nmos, w=design.w_switch, l=design.l_switch))
+    ckt.add(Mosfet("MLEC", "plate", "lec", "gate", tech.nmos, w=design.w_switch, l=design.l_switch))
+    ckt.add(Mosfet("MSTD", "vhalf", "std", "plate", tech.nmos, w=design.w_switch, l=design.l_switch))
+    ckt.add(
+        Mosfet(
+            "MREF", "drain", "gate", "0", tech.nmos,
+            w=design.w_ref, l=design.l_ref, cgs=structure.c_ref,
+        )
+    )
+    ckt.add(Capacitor("CGPAR", "gate", "0", design.gate_parasitic))
+    ckt.add(Capacitor("CDPAR", "drain", "0", design.drain_parasitic))
+    ckt.add(
+        CurrentMirrorOutput(
+            "IREFP", "vdd", "drain",
+            structure.dac.staircase(plan.convert_start, design.step_duration),
+            v_knee=design.mirror_knee,
+        )
+    )
+    structure.sense.add_to_circuit(ckt, "drain", "out", "vdd")
+    return MeasurementNetlist(ckt, plan, structure, macro, target_row, target_col)
+
+
+@dataclass
+class ChargeNetlist:
+    """A built ideal-switch network plus its bookkeeping.
+
+    ``access_switches[(row, lcol)]`` names the access switch of each cell
+    that has one; ``lec_switch`` names the LEC switch.
+    """
+
+    network: CapacitorNetwork
+    macro: MacroCell
+    access_switches: dict[tuple[int, int], str]
+    lec_switch: str
+
+
+def build_charge_network(macro: MacroCell, structure: MeasurementStructure) -> ChargeNetlist:
+    """Build the ideal-switch capacitor network of one macro + structure."""
+    tech = structure.tech
+    net = CapacitorNetwork()
+    mc = macro.array.macro_cols
+
+    net.add_capacitor("CPP", "plate", "0", macro.plate_parasitic)
+    net.add_capacitor("CREFT", "gate", "0", structure.c_ref_total)
+    net.add_switch("LEC", "plate", "gate")
+    for col in range(mc):
+        net.add_capacitor(f"CBL{col}", _bitline_node(col), "0", macro.bitline_capacitance)
+
+    access: dict[tuple[int, int], str] = {}
+    for row in range(macro.rows):
+        for col in range(mc):
+            cell = macro.cell(row, col)
+            s = _storage_node(row, col)
+            net.add_capacitor(f"CJS{row}_{col}", s, "0", tech.storage_junction_cap)
+            if cell.has_defect(DefectKind.SHORT):
+                net.add_switch(f"SHORT{row}_{col}", "plate", s, closed=True)
+            elif not cell.has_defect(DefectKind.OPEN):
+                net.add_capacitor(f"CCELL{row}_{col}", "plate", s, cell.capacitance)
+            if not cell.has_defect(DefectKind.ACCESS_OPEN):
+                name = f"AC{row}_{col}"
+                net.add_switch(name, _bitline_node(col), s)
+                access[(row, col)] = name
+            partner = _bridge_partner_local(macro, row, col)
+            if partner is not None:
+                p_idx, internal = partner
+                if internal:
+                    net.add_switch(
+                        f"BRG{row}_{col}", s, _storage_node(row, p_idx), closed=True
+                    )
+                else:
+                    p_cell = macro.array.cell(macro.row_start + row, p_idx)
+                    net.add_node("xplate")
+                    net.drive("xplate", tech.half_vdd)
+                    net.add_capacitor(f"CXBRG{row}_{col}", s, "xplate", p_cell.capacitance)
+        if _incoming_cross_bridge(macro, row):
+            left = macro.array.cell(macro.row_start + row, macro.col_start - 1)
+            net.add_node("xplate")
+            net.drive("xplate", tech.half_vdd)
+            net.add_capacitor(f"CXBRGIN{row}", _storage_node(row, 0), "xplate", left.capacitance)
+    return ChargeNetlist(net, macro, access, "LEC")

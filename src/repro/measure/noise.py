@@ -1,0 +1,200 @@
+"""Noise and repeatability analysis of the measurement (extension).
+
+The paper treats the measurement as deterministic; real silicon adds
+three stochastic/bias terms that bound the achievable resolution:
+
+1. **kT/C sampling noise.**  Opening PRG at the end of the CHARGE phase
+   freezes thermal noise of variance ``kT/C_plate`` onto the plate, and
+   closing LEC adds a second ``kT/C_total`` sample.  This is *the*
+   fundamental limit of any charge-sharing measurement.
+2. **Ramp/comparator jitter.**  The OUT flip instant wanders by the
+   sense chain's input-referred noise divided by the drain slew rate —
+   modelled as an equivalent current uncertainty ``sigma_i``.
+3. **Hold droop (bias).**  Between the SHARE phase and the flip, the
+   gate island leaks through the junction/subthreshold paths; with the
+   paper's 10 ns phases this is negligible at room temperature, but a
+   slew-stretched clock at 125 °C starts to matter — the analysis makes
+   that quantitative instead of hand-waved.
+
+:class:`NoiseAnalysis` propagates all three into code-domain and
+capacitance-domain sigmas and computes the converter's effective number
+of bits (ENOB).  A seeded :meth:`sample_codes` Monte-Carlo provides the
+repeatability distribution the benches and tests check against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.design import nominal_background
+from repro.errors import MeasurementError
+from repro.measure.structure import MeasurementStructure
+from repro.units import BOLTZMANN, fA
+
+
+@dataclass(frozen=True)
+class NoiseBudget:
+    """One operating point's noise terms, all referred to capacitance.
+
+    Attributes (farads unless noted):
+
+    - ``sigma_ktc``: kT/C sampling noise,
+    - ``sigma_ramp``: comparator/ramp jitter,
+    - ``droop_bias``: deterministic hold-droop error (signed),
+    - ``sigma_total``: RSS of the random terms,
+    - ``sigma_codes``: total random noise in code LSBs (dimensionless).
+    """
+
+    sigma_ktc: float
+    sigma_ramp: float
+    droop_bias: float
+    sigma_total: float
+    sigma_codes: float
+
+
+class NoiseAnalysis:
+    """Noise propagation for one structure + macro geometry.
+
+    Parameters
+    ----------
+    structure:
+        The measurement structure.
+    rows, macro_cols, bitline_rows:
+        Macro geometry (sets the plate background and transfer slope).
+    sigma_comparator:
+        Input-referred RMS noise of the sense chain, volts.
+    gate_leak:
+        Hold leakage off the plate–gate island during conversion,
+        amperes (junction + LEC subthreshold; scale with temperature via
+        the technology card).
+    """
+
+    def __init__(
+        self,
+        structure: MeasurementStructure,
+        rows: int,
+        macro_cols: int,
+        bitline_rows: int | None = None,
+        sigma_comparator: float = 1.0e-3,
+        gate_leak: float = 50.0 * fA,
+    ) -> None:
+        if sigma_comparator < 0 or gate_leak < 0:
+            raise MeasurementError("noise terms must be >= 0")
+        self.structure = structure
+        self.background = nominal_background(
+            structure.tech, rows, macro_cols, bitline_rows
+        )
+        self.sigma_comparator = sigma_comparator
+        self.gate_leak = gate_leak
+
+    # ------------------------------------------------------------------
+    # Transfer-chain helpers
+    # ------------------------------------------------------------------
+
+    def _vgs(self, cm: float) -> float:
+        x = cm + self.background
+        return self.structure.tech.vdd * x / (x + self.structure.c_ref_total)
+
+    def _dvgs_dc(self, cm: float) -> float:
+        """Transfer slope dV_GS/dC at ``cm``, volts per farad."""
+        x = cm + self.background
+        creft = self.structure.c_ref_total
+        return self.structure.tech.vdd * creft / (x + creft) ** 2
+
+    def _di_dv(self, vgs: float) -> float:
+        """REF transconductance at the conversion bias, A/V."""
+        h = 1e-4
+        return (
+            self.structure.ref_sink_current(vgs + h)
+            - self.structure.ref_sink_current(vgs - h)
+        ) / (2 * h)
+
+    # ------------------------------------------------------------------
+    # Budget
+    # ------------------------------------------------------------------
+
+    def budget(self, cm: float, temperature_k: float | None = None) -> NoiseBudget:
+        """Noise budget for a cell of capacitance ``cm``."""
+        tech = self.structure.tech
+        t = tech.temperature_k if temperature_k is None else temperature_k
+        x = cm + self.background
+        c_total = x + self.structure.c_ref_total
+
+        # Two kT/C samples: plate isolation (onto x) and LEC closure
+        # (onto the full island); RSS them onto the island voltage, then
+        # refer to capacitance through the transfer slope.
+        v_ktc = math.sqrt(BOLTZMANN * t / x) if x > 0 else 0.0
+        v_ktc2 = math.sqrt(BOLTZMANN * t / c_total)
+        # Isolation noise is attenuated by the share ratio x/c_total.
+        v_sample = math.hypot(v_ktc * x / c_total, v_ktc2)
+        slope = self._dvgs_dc(cm)
+        sigma_ktc = v_sample / slope
+
+        # Comparator noise -> equivalent V_GS error via the current path:
+        # the flip condition compares I_step with I_sink(V_GS); an input
+        # noise v_n on the drain threshold maps through the REF output
+        # conductance, conservatively bounded by gm·v_n on the current.
+        vgs = self._vgs(cm)
+        gm = self._di_dv(vgs)
+        sigma_i = gm * self.sigma_comparator
+        di_dc = gm * slope
+        sigma_ramp = sigma_i / di_dc if di_dc > 0 else float("inf")
+        # (gm cancels: ramp jitter referred to C is sigma_comparator/slope;
+        # kept explicit for readability.)
+
+        # Hold droop: the island loses gate_leak * t_hold of charge; the
+        # worst-case hold is the full conversion phase.
+        t_hold = self.structure.design.phase_duration
+        droop_v = self.gate_leak * t_hold / c_total
+        droop_bias = -droop_v / slope
+
+        sigma_total = math.hypot(sigma_ktc, sigma_ramp)
+        # One code spans delta_i of current; refer the noise to codes.
+        delta_i = self.structure.design.delta_i
+        sigma_codes = sigma_total * di_dc / delta_i
+        return NoiseBudget(
+            sigma_ktc=sigma_ktc,
+            sigma_ramp=sigma_ramp,
+            droop_bias=droop_bias,
+            sigma_total=sigma_total,
+            sigma_codes=sigma_codes,
+        )
+
+    def enob(self, cm: float) -> float:
+        """Effective number of bits of the converter at ``cm``.
+
+        Combines quantization (one code LSB) with the random noise, over
+        the designed range, in the standard ADC sense.
+        """
+        budget = self.budget(cm)
+        lsb_codes = 1.0
+        sigma_eff = math.sqrt(lsb_codes**2 / 12.0 + budget.sigma_codes**2)
+        full_scale = self.structure.design.num_steps
+        if sigma_eff <= 0:
+            return float("inf")
+        return math.log2(full_scale / (sigma_eff * math.sqrt(12.0)))
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo repeatability
+    # ------------------------------------------------------------------
+
+    def sample_codes(self, cm: float, draws: int = 200, seed: int = 0) -> np.ndarray:
+        """Simulated repeated measurements of one cell (codes)."""
+        if draws < 1:
+            raise MeasurementError("draws must be >= 1")
+        budget = self.budget(cm)
+        rng = np.random.default_rng(seed)
+        noisy_cm = cm + budget.droop_bias + rng.normal(
+            0.0, budget.sigma_total, size=draws
+        )
+        codes = np.empty(draws, dtype=int)
+        for k, value in enumerate(noisy_cm):
+            codes[k] = self.structure.code_for_vgs(self._vgs(max(value, 0.0)))
+        return codes
+
+    def repeatability_sigma(self, cm: float, draws: int = 300, seed: int = 0) -> float:
+        """Observed code sigma across repeated measurements."""
+        return float(self.sample_codes(cm, draws, seed).std())

@@ -1,0 +1,198 @@
+"""The five-phase measurement flow: timing and control-signal levels.
+
+The paper's flow is "composed of five steps of 10 ns" (§2).  This module
+turns that prose into a :class:`PhasePlan`: phase boundaries on the time
+axis plus, for every control signal of Figure 1, the level it holds in
+each phase.  The plan is consumed by both execution tiers — the netlist
+builder renders it into :class:`~repro.circuit.stimulus.PiecewiseConstant`
+gate waveforms, and the charge-tier sequencer steps through it phase by
+phase.
+
+Signal levels per phase (target cell = row ``r_t``, macro-local column
+``c_t``; ``VPP`` is the boosted wordline/switch-gate level):
+
+===========  =========  ==========  =========  =======  =========
+signal       DISCHARGE  CHARGE      ISOLATE    SHARE    CONVERT
+===========  =========  ==========  =========  =======  =========
+WL (row r)   VPP        VPP if r_t  VPP if r_t  same    same
+S_BL (col j) VPP        VPP         VPP if c_t  same    same
+IN_BL (col)  0          0/VDD (*)   same        same    same
+PRG          VPP        VPP         0           0       0
+IN           0          VDD         VDD         VDD     VDD
+LEC          VPP        0           0           VPP     VPP
+STD          0          0           0           0       0
+===========  =========  ==========  =========  =======  =========
+
+(*) the target column's bitline input stays grounded; every other
+column's is raised to V_DD so that the row-``r_t`` neighbours acquire no
+differential charge while C_m is charged through the plate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.circuit.stimulus import PiecewiseConstant
+from repro.errors import MeasurementError
+from repro.measure.structure import MeasurementDesign
+from repro.tech.parameters import TechnologyCard
+
+
+class Phase(enum.Enum):
+    """The five flow phases in order."""
+
+    DISCHARGE = 0
+    CHARGE = 1
+    ISOLATE = 2
+    SHARE = 3
+    CONVERT = 4
+
+    @property
+    def index(self) -> int:
+        """Position of the phase in the flow (0-based)."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """Time span of one phase."""
+
+    phase: Phase
+    start: float
+    end: float
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of the window, seconds."""
+        return 0.5 * (self.start + self.end)
+
+
+class PhasePlan:
+    """Timing and per-signal levels of one measurement flow.
+
+    Parameters
+    ----------
+    tech:
+        Technology card (supplies V_DD and V_PP levels).
+    design:
+        Structure design (supplies the phase duration and step count).
+    target_row:
+        Wordline of the measured cell.
+    target_col:
+        Macro-local bitline of the measured cell.
+    num_rows, num_cols:
+        Macro geometry the plan must cover.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyCard,
+        design: MeasurementDesign,
+        target_row: int,
+        target_col: int,
+        num_rows: int,
+        num_cols: int,
+    ) -> None:
+        if not 0 <= target_row < num_rows:
+            raise MeasurementError(f"target_row {target_row} outside 0..{num_rows - 1}")
+        if not 0 <= target_col < num_cols:
+            raise MeasurementError(f"target_col {target_col} outside 0..{num_cols - 1}")
+        self.tech = tech
+        self.design = design
+        self.target_row = target_row
+        self.target_col = target_col
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    @property
+    def phase_duration(self) -> float:
+        """Length of each phase, seconds."""
+        return self.design.phase_duration
+
+    def window(self, phase: Phase) -> PhaseWindow:
+        """Time window of ``phase``."""
+        t = self.phase_duration
+        return PhaseWindow(phase, phase.index * t, (phase.index + 1) * t)
+
+    @property
+    def windows(self) -> list[PhaseWindow]:
+        """All five windows in order."""
+        return [self.window(p) for p in Phase]
+
+    @property
+    def total_duration(self) -> float:
+        """End of the CONVERT phase, seconds."""
+        return 5.0 * self.phase_duration
+
+    @property
+    def convert_start(self) -> float:
+        """Start of the current ramp (phase 5), seconds."""
+        return self.window(Phase.CONVERT).start
+
+    # ------------------------------------------------------------------
+    # Per-signal levels
+    # ------------------------------------------------------------------
+
+    def _levels(self, per_phase: list[float]) -> PiecewiseConstant:
+        if len(per_phase) != 5:
+            raise MeasurementError(f"need 5 phase levels, got {len(per_phase)}")
+        t = self.phase_duration
+        return PiecewiseConstant(edges=[t, 2 * t, 3 * t, 4 * t], levels=per_phase)
+
+    def wordline(self, row: int) -> PiecewiseConstant:
+        """Gate waveform of wordline ``row``."""
+        if not 0 <= row < self.num_rows:
+            raise MeasurementError(f"row {row} outside 0..{self.num_rows - 1}")
+        vpp = self.tech.vpp
+        on_after = vpp if row == self.target_row else 0.0
+        return self._levels([vpp, on_after, on_after, on_after, on_after])
+
+    def bitline_select(self, col: int) -> PiecewiseConstant:
+        """Gate waveform of the S_BL select transistor for macro column ``col``."""
+        if not 0 <= col < self.num_cols:
+            raise MeasurementError(f"col {col} outside 0..{self.num_cols - 1}")
+        vpp = self.tech.vpp
+        on_after = vpp if col == self.target_col else 0.0
+        return self._levels([vpp, vpp, on_after, on_after, on_after])
+
+    def bitline_input(self, col: int) -> PiecewiseConstant:
+        """IN_BLi drive waveform for macro column ``col``."""
+        if not 0 <= col < self.num_cols:
+            raise MeasurementError(f"col {col} outside 0..{self.num_cols - 1}")
+        high = 0.0 if col == self.target_col else self.tech.vdd
+        return self._levels([0.0, high, high, high, high])
+
+    def prg(self) -> PiecewiseConstant:
+        """PRG gate waveform (plate-drive switch; opens after CHARGE)."""
+        vpp = self.tech.vpp
+        return self._levels([vpp, vpp, 0.0, 0.0, 0.0])
+
+    def lec(self) -> PiecewiseConstant:
+        """LEC gate waveform (C_REF connect switch)."""
+        vpp = self.tech.vpp
+        return self._levels([vpp, 0.0, 0.0, vpp, vpp])
+
+    def input_in(self) -> PiecewiseConstant:
+        """IN waveform (plate drive level: ground, then V_DD)."""
+        vdd = self.tech.vdd
+        return self._levels([0.0, vdd, vdd, vdd, vdd])
+
+    def std(self) -> PiecewiseConstant:
+        """STD gate waveform — off for the whole test flow."""
+        return self._levels([0.0, 0.0, 0.0, 0.0, 0.0])
+
+    # ------------------------------------------------------------------
+    # Sampling helpers for the charge tier
+    # ------------------------------------------------------------------
+
+    def phase_of(self, time: float) -> Phase:
+        """The phase active at ``time`` (clamped to the flow)."""
+        if time < 0:
+            raise MeasurementError(f"time {time} precedes the flow")
+        idx = min(4, int(time / self.phase_duration))
+        return Phase(idx)

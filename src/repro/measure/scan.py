@@ -1,0 +1,258 @@
+"""Whole-array measurement scans — the "Analog Bitmap" producer.
+
+The paper's end goal: "build an Analog Bitmap of the capacitor values of
+the cells in the memory array".  :class:`ArrayScanner` measures every
+cell of every macro-cell and assembles the code matrix.
+
+For array-scale work the scanner evaluates a **vectorized closed form**
+of the charge-tier algebra.  After phases 1–4, every capacitive branch
+hanging on the plate–gate island reduces to an equivalent capacitance
+``X`` with an equivalent pre-charge voltage of V_DD (they all rode up
+with the plate during the CHARGE phase), except the reference side
+(C_REF + wiring) which joins discharged; hence
+
+    V_GS = V_DD · ΣX / (ΣX + C_REF_total)
+
+with, per branch:
+
+- target cell: ``C_m`` (its far plate is actively grounded),
+- same-row neighbours: ``series(C_j, C_BL + C_js)`` (far side floats on
+  the bitline),
+- every off-row cell: ``series(C_k, C_js)`` (far side floats on the
+  storage junction),
+- plate wiring: ``C_pp``,
+- defect variants (shorts substitute their island's ground capacitance,
+  opens vanish) as derived in the module body.
+
+Macros containing BRIDGE defects fall back to the exact charge engine
+cell by cell — bridge topologies are many and rare, and the engine *is*
+the reference.  Agreement between the closed form and the engine is
+pinned by integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.edram.array import EDRAMArray, MacroCell
+from repro.edram.defects import DefectKind
+from repro.errors import MeasurementError
+from repro.measure.sequencer import MeasurementSequencer
+from repro.measure.structure import MeasurementDesign, MeasurementStructure
+
+
+def _series(a: float | np.ndarray, b: float | np.ndarray) -> np.ndarray:
+    """Series combination a·b/(a+b), safely 0 when either plate is 0."""
+    a = np.asarray(a, dtype=float)
+    total = a + b
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(total > 0.0, a * b / np.where(total > 0.0, total, 1.0), 0.0)
+    return out
+
+
+@dataclass
+class ScanResult:
+    """Raw output of a full-array scan.
+
+    Attributes
+    ----------
+    codes:
+        (rows, cols) int array of measurement codes, 0..num_steps.
+    vgs:
+        (rows, cols) float array of internal V_GS values (simulation
+        observability; not available on silicon).
+    num_steps:
+        The converter depth used.
+    tiers:
+        (rows, cols) array of 'c' (closed form) / 'e' (engine) markers
+        recording which tier produced each cell.
+    """
+
+    codes: np.ndarray
+    vgs: np.ndarray
+    num_steps: int
+    tiers: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols) of the scanned array."""
+        return self.codes.shape  # type: ignore[return-value]
+
+    def code_histogram(self) -> dict[int, int]:
+        """Count of cells per code value (only non-zero entries)."""
+        values, counts = np.unique(self.codes, return_counts=True)
+        return {int(v): int(n) for v, n in zip(values, counts)}
+
+    def diff(self, reference: "ScanResult") -> np.ndarray:
+        """Per-cell code delta against a reference scan (self − ref).
+
+        Golden-die subtraction: comparing a die against a known-good
+        reference cancels the systematic background exactly (both carry
+        the same macro parasitics), leaving process/instrument drift and
+        defects.  Shapes and converter depths must match.
+        """
+        if reference.shape != self.shape:
+            raise MeasurementError(
+                f"scan shapes differ: {self.shape} vs {reference.shape}"
+            )
+        if reference.num_steps != self.num_steps:
+            raise MeasurementError("scans use different converter depths")
+        return self.codes - reference.codes
+
+
+class ArrayScanner:
+    """Scan every cell of an array through its macro structures.
+
+    Parameters
+    ----------
+    array:
+        The eDRAM array to scan.
+    structure:
+        The measurement structure design shared by all macros (they are
+        identical copies in silicon).  Defaults to the reference design;
+        for non-reference macro geometries pass a structure produced by
+        :func:`repro.calibration.design.design_structure` so the code
+        scale matches the capacitance range.
+    """
+
+    def __init__(self, array: EDRAMArray, structure: MeasurementStructure | None = None) -> None:
+        self.array = array
+        self.structure = (
+            structure
+            if structure is not None
+            else MeasurementStructure(array.tech, MeasurementDesign())
+        )
+        self._boundaries = self._code_boundaries()
+
+    def _code_boundaries(self) -> np.ndarray:
+        """V_GS levels at which the code increments (length num_steps)."""
+        s = self.structure
+        return np.array(
+            [s.vgs_for_code_boundary(k) for k in range(1, s.design.num_steps + 1)]
+        )
+
+    def codes_for_vgs(self, vgs: np.ndarray) -> np.ndarray:
+        """Vectorized static conversion (matches ``code_for_vgs``)."""
+        return np.searchsorted(self._boundaries, np.asarray(vgs), side="right")
+
+    # ------------------------------------------------------------------
+    # Closed form per macro
+    # ------------------------------------------------------------------
+
+    def _macro_masks(self, macro: MacroCell) -> dict[str, np.ndarray]:
+        rows, mc = macro.rows, self.array.macro_cols
+        cap = np.zeros((rows, mc))
+        short = np.zeros((rows, mc), dtype=bool)
+        open_ = np.zeros((rows, mc), dtype=bool)
+        accopen = np.zeros((rows, mc), dtype=bool)
+        for r in range(rows):
+            for c in range(mc):
+                cell = macro.cell(r, c)
+                cap[r, c] = cell.capacitance
+                short[r, c] = cell.has_defect(DefectKind.SHORT)
+                open_[r, c] = cell.has_defect(DefectKind.OPEN)
+                accopen[r, c] = cell.has_defect(DefectKind.ACCESS_OPEN)
+        return {"cap": cap, "short": short, "open": open_, "accopen": accopen}
+
+    def closed_form_vgs(self, macro: MacroCell) -> np.ndarray:
+        """V_GS for every cell of ``macro`` via the vectorized closed form."""
+        tech = self.structure.tech
+        m = self._macro_masks(macro)
+        cap, short, open_, accopen = m["cap"], m["short"], m["open"], m["accopen"]
+        normal = ~(short | open_ | accopen)
+        cjs = tech.storage_junction_cap
+        cbl = macro.bitline_capacitance
+        cpp = macro.plate_parasitic
+        creft = self.structure.c_ref_total
+        vdd = tech.vdd
+
+        # Branch equivalents per cell in each role (all pre-charged V_DD).
+        floating_series = _series(cap, cjs)  # far side floats on C_js
+        off_term = np.where(normal | accopen, floating_series, 0.0)
+        off_term = np.where(short, cjs, off_term)
+
+        nbr_term = np.where(normal, _series(cap, cbl + cjs), 0.0)
+        nbr_term = np.where(accopen, floating_series, nbr_term)
+        nbr_term = np.where(short, cbl + cjs, nbr_term)
+
+        tgt_term = np.where(normal, cap, 0.0)
+        tgt_term = np.where(accopen, floating_series, tgt_term)
+
+        off_all = float(off_term.sum())
+        off_rows = off_term.sum(axis=1)  # per-row totals
+        nbr_rows = nbr_term.sum(axis=1)
+
+        x = (
+            tgt_term
+            + cpp
+            + (nbr_rows[:, None] - nbr_term)
+            + (off_all - off_rows)[:, None]
+        )
+        vgs = vdd * x / (x + creft)
+        # A shorted target clamps the plate to its grounded bitline.
+        vgs = np.where(short, 0.0, vgs)
+        return vgs
+
+    # ------------------------------------------------------------------
+    # Scan drivers
+    # ------------------------------------------------------------------
+
+    def _macro_needs_engine(self, macro: MacroCell) -> bool:
+        """Bridges (own or incoming) force the exact engine."""
+        for r in macro.row_range:
+            for c in macro.columns:
+                if self.array.cell(r, c).has_defect(DefectKind.BRIDGE):
+                    return True
+            if macro.col_start > 0 and self.array.cell(
+                r, macro.col_start - 1
+            ).has_defect(DefectKind.BRIDGE):
+                return True
+        return False
+
+    def scan_macro(self, macro: MacroCell, force_engine: bool = False) -> tuple[np.ndarray, np.ndarray, str]:
+        """Scan one macro; returns (vgs, codes, tier_marker)."""
+        if force_engine or self._macro_needs_engine(macro):
+            sequencer = MeasurementSequencer(macro, self.structure)
+            mc = self.array.macro_cols
+            vgs = np.zeros((macro.rows, mc))
+            for r in range(macro.rows):
+                for c in range(mc):
+                    vgs[r, c] = sequencer.measure_charge(r, c).vgs
+            return vgs, self.codes_for_vgs(vgs), "e"
+        vgs = self.closed_form_vgs(macro)
+        return vgs, self.codes_for_vgs(vgs), "c"
+
+    def scan(self, force_engine: bool = False) -> ScanResult:
+        """Scan the whole array; returns the assembled :class:`ScanResult`."""
+        rows, cols = self.array.rows, self.array.cols
+        codes = np.zeros((rows, cols), dtype=int)
+        vgs = np.zeros((rows, cols))
+        tiers = np.full((rows, cols), "c", dtype="<U1")
+        for macro in self.array.macros():
+            m_vgs, m_codes, tier = self.scan_macro(macro, force_engine)
+            rsl = slice(macro.row_start, macro.row_stop)
+            csl = slice(macro.col_start, macro.col_stop)
+            vgs[rsl, csl] = m_vgs
+            codes[rsl, csl] = m_codes
+            tiers[rsl, csl] = tier
+        return ScanResult(
+            codes=codes, vgs=vgs, num_steps=self.structure.design.num_steps, tiers=tiers
+        )
+
+    def measure_cell(self, row: int, col: int, tier: str = "charge") -> "object":
+        """Measure one cell by global address through a named tier.
+
+        ``tier`` is ``"charge"`` or ``"transient"``; returns the
+        :class:`~repro.measure.result.MeasurementResult`.
+        """
+        if tier not in ("charge", "transient"):
+            raise MeasurementError(f"unknown tier {tier!r}")
+        macro = self.array.macro(self.array.macro_of(row, col))
+        lrow = row - macro.row_start
+        lcol = col - macro.col_start
+        sequencer = MeasurementSequencer(macro, self.structure)
+        if tier == "charge":
+            return sequencer.measure_charge(lrow, lcol)
+        return sequencer.measure_transient(lrow, lcol)

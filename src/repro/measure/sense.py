@@ -1,0 +1,111 @@
+"""The two-inverter sense chain driving the digital output OUT.
+
+Per the paper, "the sensing function is composed of two inverters, which
+drive the digital output OUT": the first inverter watches the REF
+transistor's drain; while the drain sits low the first inverter outputs
+high and OUT is low.  When the injected current exceeds what REF can
+sink, the drain rises past the inverter threshold, the first inverter
+falls, and OUT rises — the flip the shift register freezes on.
+
+Two views:
+
+- :class:`InverterDesign` + :meth:`SenseChain.add_to_circuit` build the
+  four-transistor CMOS chain for the MNA transient tier;
+- :meth:`SenseChain.output_of` / :attr:`SenseChain.threshold` provide the
+  static abstraction (flip at the inverter switching voltage) used by the
+  charge and closed-form tiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.errors import MeasurementError
+from repro.tech.parameters import TechnologyCard
+from repro.units import um
+
+
+@dataclass(frozen=True)
+class InverterDesign:
+    """Geometry of one CMOS inverter.
+
+    The default p/n width ratio compensates the kp ratio of the synthetic
+    technology card (kp_n/kp_p = 4) so the switching threshold sits near
+    V_DD/2 — the level the paper's conversion assumes.
+    """
+
+    wn: float = 0.42 * um
+    wp: float = 1.68 * um
+    l: float = 0.18 * um
+
+    def __post_init__(self) -> None:
+        if self.wn <= 0 or self.wp <= 0 or self.l <= 0:
+            raise MeasurementError("inverter dimensions must be positive")
+
+
+class SenseChain:
+    """Two cascaded inverters between the REF drain and OUT."""
+
+    def __init__(self, tech: TechnologyCard, design: InverterDesign | None = None) -> None:
+        self.tech = tech
+        self.design = design if design is not None else InverterDesign()
+
+    @property
+    def threshold(self) -> float:
+        """Switching voltage of the first inverter, volts.
+
+        Computed from the level-1 saturation balance
+        ``βn(Vm − Vtn)² = βp(VDD − Vm − |Vtp|)²``; with matched effective
+        strengths this lands at V_DD/2, which is the threshold the paper
+        quotes ("when V_DS is larger than V_DD/2 ... the inverter
+        switches").
+        """
+        d = self.design
+        beta_n = self.tech.nmos.beta_eff(d.wn, d.l)
+        beta_p = self.tech.pmos.beta_eff(d.wp, d.l)
+        r = math.sqrt(beta_n / beta_p)
+        vtn = abs(self.tech.nmos.vth_eff)
+        vtp = abs(self.tech.pmos.vth_eff)
+        return (self.tech.vdd - vtp + r * vtn) / (1.0 + r)
+
+    def output_of(self, v_drain: float) -> bool:
+        """Static OUT level for a REF-drain voltage (True = flipped high)."""
+        return v_drain > self.threshold
+
+    def add_to_circuit(
+        self,
+        circuit: Circuit,
+        input_node: str,
+        output_node: str,
+        vdd_node: str,
+        prefix: str = "SENSE",
+        mid_node: str | None = None,
+    ) -> str:
+        """Add the four-transistor chain to ``circuit``.
+
+        Returns the name of the internal node between the two inverters.
+        ``vdd_node`` must already be held at V_DD by a source.
+        """
+        d = self.design
+        mid = mid_node if mid_node is not None else f"{prefix}_mid"
+        vdd = self.tech.vdd
+        circuit.add(
+            Mosfet(f"{prefix}_MP1", mid, input_node, vdd_node, self.tech.pmos,
+                   w=d.wp, l=d.l, bulk_voltage=vdd)
+        )
+        circuit.add(
+            Mosfet(f"{prefix}_MN1", mid, input_node, "0", self.tech.nmos,
+                   w=d.wn, l=d.l, bulk_voltage=0.0)
+        )
+        circuit.add(
+            Mosfet(f"{prefix}_MP2", output_node, mid, vdd_node, self.tech.pmos,
+                   w=d.wp, l=d.l, bulk_voltage=vdd)
+        )
+        circuit.add(
+            Mosfet(f"{prefix}_MN2", output_node, mid, "0", self.tech.nmos,
+                   w=d.wn, l=d.l, bulk_voltage=0.0)
+        )
+        return mid

@@ -1,0 +1,236 @@
+"""Execution of the five-phase measurement flow.
+
+:class:`MeasurementSequencer` measures one cell of one macro through
+either tier:
+
+- :meth:`measure_charge` — walks the exact ideal-switch network through
+  phases 1–4, then converts the resulting V_GS statically (the paper's
+  phase 5 ramp reduced to its endpoint condition).  Exact, fast, and the
+  reference for the closed-form scan tier.
+- :meth:`measure_transient` — integrates the full transistor netlist
+  through all five phases, drives the real current staircase through the
+  shift register model, and decodes the OUT flip exactly as a tester
+  would.  Slow but honest; this is the Figure-2 tier.
+
+Both return :class:`~repro.measure.result.MeasurementResult` with the
+same code for the same cell (cross-validated in the integration tests,
+±1 code for converter-edge cases).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.circuit.transient import TransientOptions, transient_analysis
+from repro.circuit.waveform import Waveform
+from repro.edram.array import MacroCell
+from repro.errors import MeasurementError
+from repro.measure.netlist_builder import (
+    ChargeNetlist,
+    build_charge_network,
+    build_measurement_circuit,
+    _bitline_node,
+)
+from repro.measure.phases import Phase, PhasePlan
+from repro.measure.result import FlowTrace, MeasurementResult
+from repro.measure.shift_register import ShiftRegister
+from repro.measure.structure import MeasurementStructure
+
+
+class MeasurementSequencer:
+    """Runs measurement flows against one macro-cell.
+
+    Parameters
+    ----------
+    macro:
+        The macro-cell under test.
+    structure:
+        The (designed) measurement structure attached to its plate.
+    """
+
+    def __init__(self, macro: MacroCell, structure: MeasurementStructure) -> None:
+        self.macro = macro
+        self.structure = structure
+
+    def _check_target(self, row: int, lcol: int) -> None:
+        if not 0 <= row < self.macro.rows:
+            raise MeasurementError(f"target row {row} outside 0..{self.macro.rows - 1}")
+        if not 0 <= lcol < self.macro.array.macro_cols:
+            raise MeasurementError(
+                f"target local col {lcol} outside 0..{self.macro.array.macro_cols - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Charge tier
+    # ------------------------------------------------------------------
+
+    def measure_charge(
+        self, row: int, lcol: int, trace: FlowTrace | None = None
+    ) -> MeasurementResult:
+        """Measure cell (row, lcol) through the exact charge tier."""
+        self._check_target(row, lcol)
+        built = build_charge_network(self.macro, self.structure)
+        vgs = self.run_charge_phases(built, row, lcol, trace)
+        code = self.structure.code_for_vgs(vgs)
+        return MeasurementResult(
+            code=code,
+            num_steps=self.structure.design.num_steps,
+            vgs=vgs,
+            tier="charge",
+            address=(self.macro.row_start + row, self.macro.col_start + lcol),
+        )
+
+    def run_charge_phases(
+        self,
+        built: ChargeNetlist,
+        row: int,
+        lcol: int,
+        trace: FlowTrace | None = None,
+    ) -> float:
+        """Drive the network through phases 1–4; return the final V_GS."""
+        net = built.network
+        mc = self.macro.array.macro_cols
+        vdd = self.structure.tech.vdd
+
+        # Phase 1 — DISCHARGE: all wordlines on, everything driven low.
+        for name in built.access_switches.values():
+            net.close_switch(name)
+        for col in range(mc):
+            net.drive(_bitline_node(col), 0.0)
+        net.drive("plate", 0.0)
+        net.close_switch(built.lec_switch)
+        state = net.settle()
+        if trace is not None:
+            trace.record("discharge", state["plate"], state["gate"])
+
+        # Phase 2 — CHARGE C_m: only the target row stays selected; other
+        # bitlines rise to V_DD; LEC opens; the plate is driven to V_DD.
+        #
+        # Defect shorts (dielectric shorts, storage bridges) can tie
+        # nodes with different intended drives together; physically those
+        # contentions resolve through on-resistances during the phase and
+        # the *grounded target bitline always wins by the end of the
+        # ISOLATE phase* (it is the only drive left standing).  The
+        # ideal-switch model renders that as priority-resolved driving:
+        # the target bitline claims its island first, then the plate,
+        # then the neighbour bitlines; later claims on an already-claimed
+        # island with a different level are skipped (left to follow).
+        for (r, _c), name in built.access_switches.items():
+            if r != row:
+                net.open_switch(name)
+        net.open_switch(built.lec_switch)
+        for col in range(mc):
+            if col != lcol:
+                net.float_node(_bitline_node(col))
+        net.float_node("plate")
+        desired: list[tuple[str, float]] = [(_bitline_node(lcol), 0.0), ("plate", vdd)]
+        desired += [
+            (_bitline_node(col), vdd) for col in range(mc) if col != lcol
+        ]
+        claimed: dict[frozenset, float] = {}
+        for node, level in desired:
+            island = frozenset(net.island_of(node))
+            holder = claimed.get(island)
+            if holder is not None and holder != level:
+                continue  # a higher-priority drive owns this island
+            claimed[island] = level
+            net.drive(node, level)
+        state = net.settle()
+        if trace is not None:
+            trace.record("charge", state["plate"], state["gate"])
+
+        # Phase 3 — ISOLATE: PRG opens, every non-target bitline floats.
+        if net.is_driven("plate"):
+            net.float_node("plate")
+        for col in range(mc):
+            if col != lcol:
+                net.float_node(_bitline_node(col))
+        state = net.settle()
+        if trace is not None:
+            trace.record("isolate", state["plate"], state["gate"])
+
+        # Phase 4 — SHARE: LEC closes; C_m shares with C_REF.
+        net.close_switch(built.lec_switch)
+        state = net.settle()
+        if trace is not None:
+            trace.record("share", state["plate"], state["gate"])
+        return state["gate"]
+
+    # ------------------------------------------------------------------
+    # Transient tier
+    # ------------------------------------------------------------------
+
+    def measure_transient(
+        self,
+        row: int,
+        lcol: int,
+        dt: float = 25e-12,
+        return_waveform: bool = False,
+    ) -> MeasurementResult | tuple[MeasurementResult, Waveform]:
+        """Measure cell (row, lcol) through the full MNA transient tier.
+
+        The shift-register model is clocked once per current step and
+        frozen on the OUT flip, exactly as the on-chip controller would;
+        the returned code therefore exercises the register path too.
+        """
+        self._check_target(row, lcol)
+        built = build_measurement_circuit(self.macro, row, lcol, self.structure)
+        plan: PhasePlan = built.plan
+        record = ["plate", "gate", "drain", "out"]
+        waveform = transient_analysis(
+            built.circuit,
+            t_stop=plan.total_duration,
+            options=TransientOptions(dt=dt, record=record),
+        )
+        share_end = plan.window(Phase.SHARE).end
+        vgs = waveform.value_at("gate", share_end - dt)
+
+        threshold = self.structure.tech.half_vdd
+        flips = [
+            t
+            for t in waveform.crossings("out", threshold, "rise")
+            if t >= plan.convert_start
+        ]
+        flip_time = flips[0] if flips else None
+
+        register = ShiftRegister(self.structure.design.num_steps)
+        staircase = self.structure.dac.staircase(
+            plan.convert_start, self.structure.design.step_duration
+        )
+        for step in range(1, self.structure.design.num_steps + 1):
+            t_step = staircase.step_start_time(step)
+            if flip_time is not None and flip_time < t_step:
+                break
+            register.clock()
+        if flip_time is not None:
+            register.freeze()
+        code = register.extract_code()
+
+        result = MeasurementResult(
+            code=code,
+            num_steps=self.structure.design.num_steps,
+            vgs=vgs,
+            flip_time=flip_time,
+            tier="transient",
+            address=(self.macro.row_start + row, self.macro.col_start + lcol),
+        )
+        if return_waveform:
+            return result, waveform
+        return result
+
+    # ------------------------------------------------------------------
+    # Standard-mode check
+    # ------------------------------------------------------------------
+
+    def standard_mode_plate_voltage(self) -> float:
+        """Plate voltage with the structure switched off (STD on).
+
+        In standard operation the structure must be invisible: STD holds
+        the plate at V_DD/2 and every other switch is open.  Returns the
+        settled plate voltage (should equal V_DD/2 exactly in the
+        ideal-switch view).
+        """
+        built = build_charge_network(self.macro, self.structure)
+        net: CapacitorNetwork = built.network
+        net.drive("plate", self.structure.tech.half_vdd)  # via STD
+        state = net.settle()
+        return state["plate"]

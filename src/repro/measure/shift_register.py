@@ -1,0 +1,102 @@
+"""Shift register controlling the programmable current reference.
+
+The paper's I_REFP is "designed to get a numerical linear ramp of current
+with 20 steps controlled by a shift register" [3]; when OUT flips, "the
+stored value in the shift register ... is then extracted ... and gives a
+digital image of the capacitor's value".
+
+This is a behavioural model of that register: a thermometer-coded chain
+of flip-flops.  Each test clock shifts a '1' in, enabling one more
+current-source leg.  Freezing on the OUT flip captures the code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MeasurementError
+
+
+class ShiftRegister:
+    """Thermometer-coded shift register of ``length`` stages.
+
+    >>> sr = ShiftRegister(20)
+    >>> sr.clock(); sr.clock(); sr.clock()
+    >>> sr.count
+    3
+    >>> sr.bits[:5]
+    [True, True, True, False, False]
+    """
+
+    def __init__(self, length: int = 20) -> None:
+        if length < 1:
+            raise MeasurementError(f"shift register length must be >= 1, got {length}")
+        self.length = length
+        self._bits = [False] * length
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+
+    def clock(self) -> None:
+        """Shift one '1' in (enable the next current leg).
+
+        Clocking a frozen or full register is a no-op for fullness but an
+        error when frozen — the controller must stop the test clock once
+        OUT has flipped.
+        """
+        if self._frozen:
+            raise MeasurementError("register is frozen; extract the code instead")
+        if self.count < self.length:
+            self._bits[self.count] = True
+
+    def freeze(self) -> None:
+        """Capture the current contents (called on the OUT flip)."""
+        self._frozen = True
+
+    def reset(self) -> None:
+        """Clear all stages and unfreeze."""
+        self._bits = [False] * self.length
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    @property
+    def bits(self) -> list[bool]:
+        """Copy of the thermometer-coded register contents."""
+        return list(self._bits)
+
+    @property
+    def count(self) -> int:
+        """Number of enabled stages (the current step index)."""
+        return sum(self._bits)
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has been called."""
+        return self._frozen
+
+    def is_thermometer(self) -> bool:
+        """Sanity invariant: a valid state is ones followed by zeros."""
+        seen_zero = False
+        for bit in self._bits:
+            if not bit:
+                seen_zero = True
+            elif seen_zero:
+                return False
+        return True
+
+    def extract_code(self) -> int:
+        """The measurement code captured at the flip.
+
+        The code convention is "completed steps with OUT still low":
+        the register holds ``k`` ones when OUT flipped during step ``k``,
+        so the code is ``k − 1`` (clamped at 0); a register that was
+        never frozen because OUT never flipped yields the full scale.
+        """
+        if not self.is_thermometer():
+            raise MeasurementError(f"corrupted register state {self._bits}")
+        if not self._frozen:
+            return self.length
+        return max(0, self.count - 1)

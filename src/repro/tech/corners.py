@@ -1,0 +1,67 @@
+"""Process corners for the synthetic 0.18 µm eDRAM card.
+
+Corners follow the usual foundry naming: the first letter is the n-MOS
+speed, the second the p-MOS speed.  "Fast" means lower |V_TH| and higher
+transconductance; "slow" the opposite.  The eDRAM capacitor process is
+largely independent of the transistor corner, so the cell capacitance gets
+its own small corner shift (deposition thickness tracks loosely with
+oxide).
+
+Usage::
+
+    from repro.tech import Corner, corner_technology
+    tech_ss = corner_technology(Corner.SS)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.tech.parameters import TechnologyCard, default_technology
+
+
+class Corner(enum.Enum):
+    """Five-corner set: typical, fast/slow globals, and skewed pairs."""
+
+    TT = "tt"
+    FF = "ff"
+    SS = "ss"
+    FS = "fs"  # fast n-MOS, slow p-MOS
+    SF = "sf"  # slow n-MOS, fast p-MOS
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+#: Per-corner parameter shifts: (n dvth, n kp scale, p dvth, p kp scale,
+#: cell-capacitance scale).  dvth moves |vth| — positive is slower.
+CORNER_SHIFTS: dict[Corner, tuple[float, float, float, float, float]] = {
+    Corner.TT: (0.0, 1.00, 0.0, 1.00, 1.00),
+    Corner.FF: (-0.05, 1.12, -0.05, 1.12, 1.03),
+    Corner.SS: (+0.05, 0.88, +0.05, 0.88, 0.97),
+    Corner.FS: (-0.05, 1.12, +0.05, 0.88, 1.00),
+    Corner.SF: (+0.05, 0.88, -0.05, 1.12, 1.00),
+}
+
+
+def corner_technology(corner: Corner, base: TechnologyCard | None = None) -> TechnologyCard:
+    """Return ``base`` (default: nominal card) shifted to the given corner.
+
+    The returned card's ``name`` is suffixed with the corner tag so that
+    abacus caches and reports stay distinguishable.
+    """
+    card = base if base is not None else default_technology()
+    n_dvth, n_kp, p_dvth, p_kp, c_scale = CORNER_SHIFTS[corner]
+    return replace(
+        card,
+        name=f"{card.name}-{corner.value}",
+        nmos=card.nmos.with_shift(dvth=n_dvth, kp_scale=n_kp),
+        pmos=card.pmos.with_shift(dvth=p_dvth, kp_scale=p_kp),
+        cell_capacitance=card.cell_capacitance * c_scale,
+    )
+
+
+def all_corners(base: TechnologyCard | None = None) -> dict[Corner, TechnologyCard]:
+    """Return a card for every corner, keyed by :class:`Corner`."""
+    return {corner: corner_technology(corner, base) for corner in Corner}

@@ -1,0 +1,102 @@
+"""Parametric Monte-Carlo variation of the technology card.
+
+The paper's diagnosis methodology is motivated by exactly this: the eDRAM
+capacitor module drifts with process, and a per-cell capacitance readout
+makes the drift observable.  This module samples *global* (die-to-die)
+variation of the technology card; *local* per-cell capacitance maps live
+in :mod:`repro.edram.variation_map`.
+
+All sampling is deterministic given a seed (``numpy.random.Generator``),
+so Monte-Carlo benches are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TechnologyError
+from repro.tech.parameters import TechnologyCard, default_technology
+from repro.units import fF
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """One-sigma die-to-die spreads of the card's key parameters.
+
+    Parameters
+    ----------
+    sigma_vth:
+        1σ threshold-voltage shift applied to both device polarities, volts.
+    sigma_kp_rel:
+        1σ relative transconductance variation (dimensionless).
+    sigma_cell_cap:
+        1σ nominal cell-capacitance variation, farads.  ~1 fF on 30 fF is
+        a healthy eDRAM deposition process; the benches also use larger
+        values to emulate a drifting process module.
+    sigma_vdd_rel:
+        1σ relative supply variation (regulator tolerance).
+    """
+
+    sigma_vth: float = 0.015
+    sigma_kp_rel: float = 0.04
+    sigma_cell_cap: float = 1.0 * fF
+    sigma_vdd_rel: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("sigma_vth", "sigma_kp_rel", "sigma_cell_cap", "sigma_vdd_rel"):
+            if getattr(self, name) < 0:
+                raise TechnologyError(f"{name} must be non-negative")
+
+
+class MonteCarloSampler:
+    """Draw randomized :class:`TechnologyCard` instances.
+
+    >>> sampler = MonteCarloSampler(seed=7)
+    >>> cards = [sampler.sample() for _ in range(100)]
+
+    Device mismatch between the two polarities is drawn independently;
+    the cell capacitance and supply are global per draw.
+    """
+
+    def __init__(
+        self,
+        base: TechnologyCard | None = None,
+        model: VariationModel | None = None,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        self.base = base if base is not None else default_technology()
+        self.model = model if model is not None else VariationModel()
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._draw_index = 0
+
+    def sample(self) -> TechnologyCard:
+        """Return one randomized technology card."""
+        m = self.model
+        rng = self._rng
+        n_dvth = rng.normal(0.0, m.sigma_vth)
+        p_dvth = rng.normal(0.0, m.sigma_vth)
+        n_kp = max(0.1, 1.0 + rng.normal(0.0, m.sigma_kp_rel))
+        p_kp = max(0.1, 1.0 + rng.normal(0.0, m.sigma_kp_rel))
+        dcap = rng.normal(0.0, m.sigma_cell_cap)
+        vdd_scale = max(0.5, 1.0 + rng.normal(0.0, m.sigma_vdd_rel))
+        self._draw_index += 1
+        card = self.base
+        return replace(
+            card,
+            name=f"{card.name}-mc{self._draw_index:04d}",
+            nmos=card.nmos.with_shift(dvth=n_dvth, kp_scale=n_kp),
+            pmos=card.pmos.with_shift(dvth=p_dvth, kp_scale=p_kp),
+            cell_capacitance=max(0.5 * fF, card.cell_capacitance + dcap),
+            vdd=card.vdd * vdd_scale,
+            vpp=card.vpp * vdd_scale,
+        )
+
+    def samples(self, count: int) -> Iterator[TechnologyCard]:
+        """Yield ``count`` randomized cards."""
+        if count < 0:
+            raise TechnologyError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            yield self.sample()

@@ -1,0 +1,117 @@
+"""SI unit helpers and physical constants.
+
+The whole library works internally in **base SI units** (volts, amperes,
+farads, seconds, metres).  These helpers exist so that code reads in the
+units the paper uses — femtofarads, nanoseconds, microamperes — without
+scattering magic ``1e-15`` factors around:
+
+>>> from repro.units import fF, ns, uA
+>>> 30 * fF
+3e-14
+>>> from repro.units import to_fF
+>>> to_fF(3e-14)
+30.0
+
+Only multiplicative scale factors live here; device physics constants used
+by the MOSFET model live with the model parameters in :mod:`repro.tech`.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Scale factors: multiply a number in the named unit to get base SI.
+# ---------------------------------------------------------------------------
+
+#: femtofarad in farads
+fF = 1e-15
+#: picofarad in farads
+pF = 1e-12
+#: attofarad in farads
+aF = 1e-18
+
+#: nanosecond in seconds
+ns = 1e-9
+#: picosecond in seconds
+ps = 1e-12
+#: microsecond in seconds
+us = 1e-6
+#: millisecond in seconds
+ms = 1e-3
+
+#: microampere in amperes
+uA = 1e-6
+#: nanoampere in amperes
+nA = 1e-9
+#: picoampere in amperes
+pA = 1e-12
+#: femtoampere in amperes
+fA = 1e-15
+#: milliampere in amperes
+mA = 1e-3
+
+#: millivolt in volts
+mV = 1e-3
+
+#: micrometre in metres
+um = 1e-6
+#: nanometre in metres
+nm = 1e-9
+
+#: kilo-ohm in ohms
+kOhm = 1e3
+#: mega-ohm in ohms
+MOhm = 1e6
+#: giga-ohm in ohms
+GOhm = 1e9
+
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: vacuum permittivity, F/m
+EPS0 = 8.8541878128e-12
+#: relative permittivity of SiO2
+EPS_SIO2 = 3.9
+#: Boltzmann constant, J/K
+BOLTZMANN = 1.380649e-23
+#: elementary charge, C
+Q_ELECTRON = 1.602176634e-19
+#: default simulation temperature, kelvin (27 C, SPICE convention)
+T_NOMINAL = 300.15
+
+
+def thermal_voltage(temperature_k: float = T_NOMINAL) -> float:
+    """Return kT/q in volts at the given temperature in kelvin."""
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return BOLTZMANN * temperature_k / Q_ELECTRON
+
+
+# ---------------------------------------------------------------------------
+# Converters back to display units (pure reciprocals, kept for readability)
+# ---------------------------------------------------------------------------
+
+def to_fF(farads: float) -> float:
+    """Convert a capacitance in farads to femtofarads."""
+    return farads / fF
+
+
+def to_pF(farads: float) -> float:
+    """Convert a capacitance in farads to picofarads."""
+    return farads / pF
+
+
+def to_ns(seconds: float) -> float:
+    """Convert a time in seconds to nanoseconds."""
+    return seconds / ns
+
+
+def to_uA(amps: float) -> float:
+    """Convert a current in amperes to microamperes."""
+    return amps / uA
+
+
+def to_mV(volts: float) -> float:
+    """Convert a voltage in volts to millivolts."""
+    return volts / mV

@@ -1,0 +1,229 @@
+"""Wafer-level process monitoring on top of per-die analog bitmaps.
+
+A wafer is a disk of dies; capacitor-module deposition is rarely uniform
+across it (radial thickness profiles, zone-dependent etch).  With an
+embedded measurement structure on every die, the analog bitmaps compose
+into a wafer map — the standard artefact a process engineer reads.
+
+:class:`WaferModel` synthesizes a wafer (per-die mean capacitance from a
+radial + random profile), measures each die through the real scan path,
+and :class:`WaferReport` aggregates: per-die means, zonal statistics
+(centre/mid/edge rings), radial regression, and an ASCII wafer map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmap.analog import AnalogBitmap
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.edram.array import EDRAMArray
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.errors import DiagnosisError
+from repro.measure.scan import ArrayScanner
+from repro.measure.structure import MeasurementStructure
+from repro.tech.parameters import TechnologyCard, default_technology
+from repro.units import fF, to_fF
+
+
+@dataclass(frozen=True)
+class DieSite:
+    """One die's position and measured statistics."""
+
+    x: int
+    y: int
+    radius_fraction: float  # 0 centre .. 1 wafer edge
+    mean_capacitance: float
+    sigma_capacitance: float
+
+
+class WaferModel:
+    """Synthesize and measure one wafer.
+
+    Parameters
+    ----------
+    diameter_dies:
+        Wafer width in dies (dies outside the inscribed circle are not
+        printed).
+    die_rows, die_cols:
+        Array size fabricated on each die.
+    radial_drop:
+        Capacitance loss from centre to edge, farads (a classic
+        deposition profile).
+    die_sigma:
+        Die-to-die random variation of the mean, farads.
+    cell_sigma:
+        Within-die cell mismatch, farads.
+    seed:
+        Reproducibility.
+    """
+
+    def __init__(
+        self,
+        diameter_dies: int = 9,
+        die_rows: int = 16,
+        die_cols: int = 8,
+        macro_rows: int = 8,
+        macro_cols: int = 2,
+        nominal: float = 30.0 * fF,
+        radial_drop: float = 2.5 * fF,
+        die_sigma: float = 0.4 * fF,
+        cell_sigma: float = 0.8 * fF,
+        tech: TechnologyCard | None = None,
+        seed: int = 0,
+    ) -> None:
+        if diameter_dies < 3:
+            raise DiagnosisError("wafer needs at least 3 dies across")
+        if die_rows % macro_rows or die_cols % macro_cols:
+            raise DiagnosisError("macro tiling must divide the die array")
+        self.diameter = diameter_dies
+        self.die_rows = die_rows
+        self.die_cols = die_cols
+        self.macro_rows = macro_rows
+        self.macro_cols = macro_cols
+        self.nominal = nominal
+        self.radial_drop = radial_drop
+        self.die_sigma = die_sigma
+        self.cell_sigma = cell_sigma
+        self.tech = tech if tech is not None else default_technology()
+        self._rng = np.random.default_rng(seed)
+        self._structure: MeasurementStructure | None = None
+        self._abacus: Abacus | None = None
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def sites(self) -> list[tuple[int, int, float]]:
+        """(x, y, radius_fraction) of every printed die."""
+        centre = (self.diameter - 1) / 2.0
+        out = []
+        for y in range(self.diameter):
+            for x in range(self.diameter):
+                r = math.hypot(x - centre, y - centre) / (self.diameter / 2.0)
+                if r <= 1.0:
+                    out.append((x, y, r))
+        return out
+
+    # ------------------------------------------------------------------
+    # Fabrication + measurement
+    # ------------------------------------------------------------------
+
+    def _calibration(self) -> tuple[MeasurementStructure, Abacus]:
+        if self._structure is None:
+            self._structure = design_structure(
+                self.tech, self.macro_rows, self.macro_cols,
+                bitline_rows=self.die_rows,
+            )
+            self._abacus = Abacus.analytic(
+                self._structure, self.macro_rows, self.macro_cols,
+                bitline_rows=self.die_rows,
+            )
+        assert self._abacus is not None
+        return self._structure, self._abacus
+
+    def fabricate_die(self, radius_fraction: float) -> EDRAMArray:
+        """Build one die's array with the wafer's process profile."""
+        mean = (
+            self.nominal
+            - self.radial_drop * radius_fraction**2
+            + self._rng.normal(0.0, self.die_sigma)
+        )
+        shape = (self.die_rows, self.die_cols)
+        capacitance = compose_maps(
+            uniform_map(shape, max(mean, 5 * fF)),
+            mismatch_map(shape, self.cell_sigma, seed=int(self._rng.integers(1 << 31))),
+        )
+        return EDRAMArray(
+            self.die_rows, self.die_cols, tech=self.tech,
+            macro_cols=self.macro_cols, macro_rows=self.macro_rows,
+            capacitance_map=capacitance,
+        )
+
+    def measure_wafer(self) -> "WaferReport":
+        """Fabricate and scan every die; return the wafer report."""
+        structure, abacus = self._calibration()
+        dies = []
+        for x, y, r in self.sites():
+            array = self.fabricate_die(r)
+            bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+            dies.append(
+                DieSite(
+                    x=x, y=y, radius_fraction=r,
+                    mean_capacitance=bitmap.mean_capacitance(),
+                    sigma_capacitance=bitmap.std_capacitance(),
+                )
+            )
+        return WaferReport(dies=dies, diameter=self.diameter)
+
+
+@dataclass
+class WaferReport:
+    """Aggregated wafer measurements."""
+
+    dies: list[DieSite]
+    diameter: int
+
+    def __post_init__(self) -> None:
+        if not self.dies:
+            raise DiagnosisError("wafer report needs at least one die")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def wafer_mean(self) -> float:
+        """Mean of the die means, farads."""
+        return float(np.mean([d.mean_capacitance for d in self.dies]))
+
+    def zonal_means(self, rings: int = 3) -> list[tuple[str, float, int]]:
+        """(zone label, mean, die count) for concentric rings."""
+        if rings < 1:
+            raise DiagnosisError("need at least one ring")
+        out = []
+        for k in range(rings):
+            lo, hi = k / rings, (k + 1) / rings
+            members = [
+                d.mean_capacitance
+                for d in self.dies
+                if lo <= d.radius_fraction < hi or (k == rings - 1 and d.radius_fraction == 1.0)
+            ]
+            label = f"r[{lo:.2f},{hi:.2f})"
+            out.append((label, float(np.mean(members)) if members else float("nan"), len(members)))
+        return out
+
+    def radial_profile(self) -> tuple[float, float]:
+        """Least-squares fit ``mean(r) = a + b·r²``; returns (a, b).
+
+        ``b`` recovers the deposition's centre-to-edge drop (farads).
+        """
+        r2 = np.array([d.radius_fraction**2 for d in self.dies])
+        means = np.array([d.mean_capacitance for d in self.dies])
+        design = np.column_stack([np.ones_like(r2), r2])
+        (a, b), *_ = np.linalg.lstsq(design, means, rcond=None)
+        return float(a), float(b)
+
+    def out_of_spec_dies(self, spec_lo: float, spec_hi: float) -> list[DieSite]:
+        """Dies whose mean falls outside the spec."""
+        return [
+            d for d in self.dies
+            if not spec_lo <= d.mean_capacitance <= spec_hi
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def ascii_map(self) -> str:
+        """Wafer map: die mean in fF, one cell per die, '..' off-wafer."""
+        grid = [["  .. " for _ in range(self.diameter)] for _ in range(self.diameter)]
+        for die in self.dies:
+            grid[die.y][die.x] = f"{to_fF(die.mean_capacitance):5.1f}"
+        lines = ["".join(row) for row in grid]
+        lines.append(f"wafer mean: {to_fF(self.wafer_mean):.2f} fF")
+        return "\n".join(lines)

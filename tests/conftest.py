@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Expensive objects (designed structures, abaci) are session-scoped: they
+are pure functions of the technology card and geometry, so sharing them
+across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.edram.array import EDRAMArray
+from repro.tech.parameters import default_technology
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The nominal 0.18 µm eDRAM technology card."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def structure_2x2(tech):
+    """Structure designed for the paper's Figure-1-like 2×2 macro."""
+    return design_structure(tech, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def abacus_2x2(structure_2x2):
+    """Analytic abacus for the 2×2 reference configuration."""
+    return Abacus.analytic(structure_2x2, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def structure_8x2(tech):
+    """Structure for an 8×2 macro (used by mid-size scan tests)."""
+    return design_structure(tech, 8, 2)
+
+
+@pytest.fixture(scope="session")
+def abacus_8x2(structure_8x2):
+    """Analytic abacus for the 8×2 configuration."""
+    return Abacus.analytic(structure_8x2, 8, 2)
+
+
+@pytest.fixture()
+def array_2x2(tech):
+    """A fresh healthy 2×2 array (one macro)."""
+    return EDRAMArray(2, 2, tech=tech, macro_cols=2)
+
+
+@pytest.fixture()
+def array_8x4(tech):
+    """A fresh healthy 8×4 array (two 8×2 macros)."""
+    return EDRAMArray(8, 4, tech=tech, macro_cols=2)

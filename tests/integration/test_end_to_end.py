@@ -1,0 +1,146 @@
+"""Full-pipeline integration: array -> scan -> bitmaps -> diagnosis -> repair."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.march import march_c_minus, retention_test
+from repro.bitmap.analog import AnalogBitmap
+from repro.bitmap.compare import DiagnosisComparison
+from repro.bitmap.signatures import SignatureKind, categorize, fit_gradient
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.window import SpecificationWindow
+from repro.diagnosis.classifier import CellClassifier, CellVerdict
+from repro.diagnosis.failure_analysis import FailureAnalyzer, RootCause
+from repro.diagnosis.repair import RepairPlanner
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectInjector, DefectKind
+from repro.edram.operations import ArrayOperations
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.measure.scan import ArrayScanner
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def pipeline(tech):
+    """A 32x8 array with a representative defect population, fully scanned."""
+    rows, cols, mc, mr = 32, 8, 2, 8
+    cap = compose_maps(
+        uniform_map((rows, cols), 30 * fF),
+        mismatch_map((rows, cols), 0.8 * fF, seed=5),
+    )
+    array = EDRAMArray(rows, cols, tech=tech, macro_cols=mc, macro_rows=mr,
+                       capacitance_map=cap)
+    injector = DefectInjector(array, seed=6)
+    injector.inject(4, 3, CellDefect(DefectKind.SHORT))
+    injector.inject(10, 6, CellDefect(DefectKind.OPEN))
+    injector.inject(20, 1, CellDefect(DefectKind.LOW_CAP, factor=0.55))
+    injector.inject(25, 4, CellDefect(DefectKind.BRIDGE))
+    injector.inject(15, 7, CellDefect(DefectKind.RETENTION, factor=5000.0))
+
+    structure = design_structure(tech, mr, mc, bitline_rows=rows)
+    abacus = Abacus.analytic(structure, mr, mc, bitline_rows=rows)
+    scan = ArrayScanner(array, structure).scan()
+    bitmap = AnalogBitmap(scan, abacus)
+    window = SpecificationWindow.from_capacitance(abacus, 24 * fF, 36 * fF)
+    return array, injector, structure, abacus, scan, bitmap, window
+
+
+def test_scan_covers_array_with_mixed_tiers(pipeline):
+    _, _, _, _, scan, _, _ = pipeline
+    assert scan.codes.shape == (32, 8)
+    tiers = set(scan.tiers.ravel())
+    assert "e" in tiers  # the bridge macro
+    assert "c" in tiers
+
+
+def test_population_statistics_recover_process(pipeline):
+    _, _, _, _, _, bitmap, _ = pipeline
+    assert bitmap.mean_capacitance() == pytest.approx(30 * fF, rel=0.05)
+
+
+def test_every_analog_visible_defect_flagged(pipeline):
+    _, injector, _, _, _, bitmap, window = pipeline
+    out = bitmap.out_of_spec(window)
+    assert out[4, 3]  # short
+    assert out[10, 6]  # open
+    assert out[20, 1]  # low cap
+    assert out[25, 4] and out[25, 5]  # bridged pair reads high/over
+
+
+def test_retention_defect_is_analog_invisible_but_digital_visible(pipeline, tech):
+    array, _, _, _, _, bitmap, window = pipeline
+    assert not bitmap.out_of_spec(window)[15, 7]
+    ops = ArrayOperations(array)
+    ret = retention_test(ops, pause=0.2)
+    assert ret.fails[15, 7]
+
+
+def test_march_merged_with_retention_catches_hard_faults(pipeline):
+    array = pipeline[0]
+    march = march_c_minus().run(ArrayOperations(array))
+    assert march.fails[4, 3]
+    assert march.fails[10, 6]
+    assert not march.fails[20, 1]  # parametric escape
+
+
+def test_comparison_table_shows_complementarity(pipeline):
+    array, injector, _, _, _, bitmap, window = pipeline
+    digital = march_c_minus().run(ArrayOperations(array)).merge(
+        retention_test(ArrayOperations(array), pause=0.2)
+    )
+    comp = DiagnosisComparison.score(
+        injector.injected, bitmap.out_of_spec(window), digital.fails
+    )
+    assert comp.scores[DefectKind.LOW_CAP].analog_rate == 1.0
+    assert comp.scores[DefectKind.LOW_CAP].digital_rate == 0.0
+    assert comp.scores[DefectKind.RETENTION].digital_rate == 1.0
+    assert comp.scores[DefectKind.SHORT].analog_rate == 1.0
+
+
+def test_classification_and_failure_analysis(pipeline):
+    array, _, structure, abacus, scan, bitmap, window = pipeline
+    classifier = CellClassifier(bitmap, window, macro_cols=2)
+    verdicts = classifier.classify_all()
+    assert verdicts[20, 1] is CellVerdict.LOW_CAP
+    findings = FailureAnalyzer().analyze(verdicts)
+    causes = {f.cause for f in findings}
+    assert RootCause.THIN_DIELECTRIC_SPOT in causes or RootCause.CAPACITOR_OPEN in causes
+    assert len(findings) >= 3
+
+
+def test_signatures_of_bitmap_anomalies(pipeline):
+    _, _, _, _, _, bitmap, window = pipeline
+    sigs = categorize(bitmap.out_of_spec(window))
+    kinds = [s.kind for s in sigs]
+    assert SignatureKind.SINGLE_CELL in kinds
+    assert SignatureKind.PAIRED_CELLS in kinds  # the bridge
+
+
+def test_repair_plan_covers_out_of_spec_cells(pipeline):
+    _, _, _, _, _, bitmap, window = pipeline
+    plan = RepairPlanner(spare_rows=4, spare_cols=4).plan(bitmap.out_of_spec(window))
+    assert plan.success
+
+
+def test_gradient_of_flat_process_is_insignificant(pipeline):
+    _, _, _, _, _, bitmap, _ = pipeline
+    assert not fit_gradient(bitmap.estimates).significant
+
+
+def test_planted_gradient_is_recovered(tech):
+    from repro.edram.variation_map import linear_tilt_map
+
+    rows, cols = 16, 8
+    cap = compose_maps(
+        uniform_map((rows, cols), 30 * fF),
+        linear_tilt_map((rows, cols), row_slope=0.3 * fF),
+    )
+    array = EDRAMArray(rows, cols, tech=tech, macro_cols=2, macro_rows=8,
+                       capacitance_map=cap)
+    structure = design_structure(tech, 8, 2, bitline_rows=rows)
+    abacus = Abacus.analytic(structure, 8, 2, bitline_rows=rows)
+    bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+    g = fit_gradient(bitmap.estimates)
+    assert g.row_slope == pytest.approx(0.3 * fF, rel=0.3)
+    assert g.significant

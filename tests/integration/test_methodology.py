@@ -1,0 +1,92 @@
+"""Integration of the extension layers: controller + qualification +
+combined leakage methodology + persistence, end to end on one device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.analog import AnalogBitmap
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.reference import InstrumentCheck, InstrumentStatus, ReferenceBank
+from repro.controller.address import ScanOrder
+from repro.controller.bist import BISTController
+from repro.diagnosis.leakage_map import extract_leakage, retention_ladder
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.edram.operations import ArrayOperations
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.io import load_abacus, load_scan, save_abacus, save_scan
+from repro.measure.faults import fault_signature
+from repro.measure.scan import ArrayScanner
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def device(tech):
+    capacitance = compose_maps(
+        uniform_map((32, 8), 30 * fF), mismatch_map((32, 8), 0.8 * fF, seed=41)
+    )
+    array = EDRAMArray(32, 8, tech=tech, macro_cols=2, macro_rows=8,
+                       capacitance_map=capacitance)
+    bank = ReferenceBank(array, seed=42)
+    array.cell(10, 3).apply_defect(CellDefect(DefectKind.RETENTION, factor=2000.0))
+    array.cell(20, 5).apply_defect(CellDefect(DefectKind.LOW_CAP, factor=0.6))
+    structure = design_structure(tech, 8, 2, bitline_rows=32)
+    abacus = Abacus.analytic(structure, 8, 2, bitline_rows=32)
+    return array, bank, structure, abacus
+
+
+def test_qualify_then_measure_then_diagnose(device):
+    array, bank, structure, abacus = device
+
+    # 1. BIST campaign produces the scan through the tester path.
+    controller = BISTController(array, structure)
+    report = controller.run(ScanOrder.MACRO_MAJOR)
+    assert report.coverage == 1.0
+
+    # 2. Instrument qualification on the same data.
+    assert fault_signature(report.codes) is None
+    check = InstrumentCheck(abacus, bank, rows=8, macro_cols=2, bitline_rows=32)
+    scan = ArrayScanner(array, structure).scan()
+    assert check.evaluate(scan).status is InstrumentStatus.OK
+
+    # 3. Combined capacitance + retention methodology.
+    bitmap = AnalogBitmap(scan, abacus)
+    pauses = [0.01, 0.1, 1.0]
+    ladder = retention_ladder(ArrayOperations(array), pauses)
+    bounds = extract_leakage(bitmap, ladder, pauses, v_write=1.8, v_min=0.9)
+    # The retention defect is provably leaky; the low-C cell is not.
+    assert (10, 3) in bounds.leaky_cells(1e-13)
+    assert (20, 5) not in bounds.leaky_cells(1e-13)
+    # And conversely: the low-C cell is an analog outlier, the leaky
+    # cell's capacitance is normal.
+    assert bitmap.estimates[20, 5] < 22 * fF
+    assert 26 * fF < bitmap.estimates[10, 3] < 34 * fF
+
+
+def test_artifacts_roundtrip_through_disk(device, tmp_path):
+    array, _, structure, abacus = device
+    scan = ArrayScanner(array, structure).scan()
+    scan_path = save_scan(scan, tmp_path / "die0")
+    abacus_path = save_abacus(abacus, tmp_path / "cal")
+
+    loaded_scan = load_scan(scan_path)
+    loaded_abacus = load_abacus(abacus_path, structure)
+    bitmap = AnalogBitmap(loaded_scan, loaded_abacus)
+    direct = AnalogBitmap(scan, abacus)
+    assert bitmap.mean_capacitance() == pytest.approx(direct.mean_capacitance())
+    assert np.array_equal(bitmap.codes, direct.codes)
+
+
+def test_reference_positions_excluded_from_population(device):
+    array, bank, structure, abacus = device
+    scan = ArrayScanner(array, structure).scan()
+    bitmap = AnalogBitmap(scan, abacus)
+    mask = bank.mask()
+    # Reference cells are ordinary mid-range codes; excluding them must
+    # not move the population mean materially.
+    with_refs = bitmap.mean_capacitance()
+    without = float(np.nanmean(np.where(~mask & bitmap.in_range,
+                                        bitmap.estimates, np.nan)))
+    assert abs(with_refs - without) < 0.5 * fF

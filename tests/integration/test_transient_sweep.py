@@ -1,0 +1,62 @@
+"""Extended transistor-level validation sweep (slow).
+
+A broader cross-check of the transient tier against the static tiers:
+capacitance sweep across the full range, a defect case, and waveform-
+quality assertions (the flow's analog health, not just the final code).
+"""
+
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.measure.phases import Phase, PhasePlan
+from repro.measure.sequencer import MeasurementSequencer
+from repro.units import fF, ns
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("cm_ff", [12, 25, 35, 48])
+def test_code_agreement_across_the_range(tech, structure_2x2, cm_ff):
+    array = EDRAMArray(2, 2, tech=tech)
+    array.cell(0, 0).capacitance = cm_ff * fF
+    sequencer = MeasurementSequencer(array.macro(0), structure_2x2)
+    static = sequencer.measure_charge(0, 0)
+    dynamic = sequencer.measure_transient(0, 0)
+    assert abs(dynamic.code - static.code) <= 1
+
+
+def test_waveform_anatomy(tech, structure_2x2):
+    """Phase-by-phase analog health of the flow."""
+    array = EDRAMArray(2, 2, tech=tech)
+    sequencer = MeasurementSequencer(array.macro(0), structure_2x2)
+    result, wave = sequencer.measure_transient(0, 0, return_waveform=True)
+    plan = PhasePlan(tech, structure_2x2.design, 0, 0, 2, 2)
+
+    # DISCHARGE: everything near ground by the end of the phase.
+    t1 = plan.window(Phase.DISCHARGE).end - 1 * ns
+    assert abs(wave.value_at("plate", t1)) < 0.02
+    assert abs(wave.value_at("gate", t1)) < 0.02
+
+    # CHARGE: plate reaches a full V_DD well within the phase (measure
+    # inside the phase window; the plate legitimately leaves V_DD later).
+    charge = plan.window(Phase.CHARGE)
+    settle = wave.window(charge.start, charge.end).settling_time(
+        "plate", tech.vdd, tolerance=0.02
+    )
+    assert settle < charge.end - 2 * ns
+
+    # SHARE: plate and gate converge to the same V_GS.
+    t4 = plan.window(Phase.SHARE).end - 1 * ns
+    assert wave.value_at("plate", t4) == pytest.approx(
+        wave.value_at("gate", t4), abs=0.01
+    )
+
+    # CONVERT: OUT is a clean rail-to-rail rise after the flip.
+    assert result.flip_time is not None
+    assert wave.final("out") > tech.vdd - 0.1
+    slew = wave.slew_rate("out", 0.3, 1.5)
+    assert slew > 1e9  # > 1 V/ns through the transition
+
+    # The gate must not droop measurably during conversion.
+    droop = wave.value_at("gate", t4) - wave.final("gate")
+    assert abs(droop) < 0.02

@@ -1,0 +1,69 @@
+"""Property-based tests of abacus and conversion invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.tech.parameters import default_technology
+from repro.units import fF
+
+_TECH = default_technology()
+_STRUCTURE = design_structure(_TECH, 2, 2)
+_ABACUS = Abacus.analytic(_STRUCTURE, 2, 2)
+
+
+@given(cap=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=200, deadline=None)
+def test_code_is_monotone_step_function(cap):
+    c = cap * fF
+    code = _ABACUS.code_for_capacitance(c)
+    assert 0 <= code <= 20
+    # A strictly smaller capacitance never yields a larger code.
+    if cap > 1.0:
+        smaller = _ABACUS.code_for_capacitance((cap - 1.0) * fF)
+        assert smaller <= code
+
+
+@given(cap=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=200, deadline=None)
+def test_truth_lies_inside_reported_bin(cap):
+    c = cap * fF
+    code = _ABACUS.code_for_capacitance(c)
+    row = _ABACUS.row(code)
+    assert row.c_min - 1e-20 <= c
+    assert c <= row.c_max or np.isinf(row.c_max)
+
+
+@given(code=st.integers(min_value=1, max_value=19))
+@settings(max_examples=50, deadline=None)
+def test_estimate_roundtrip(code):
+    estimate = _ABACUS.estimate(code)
+    assert _ABACUS.code_for_capacitance(estimate) == code
+
+
+@given(vgs=st.floats(min_value=0.0, max_value=1.8))
+@settings(max_examples=200, deadline=None)
+def test_vectorized_conversion_matches_scalar(vgs):
+    from repro.measure.scan import ArrayScanner
+    from repro.edram.array import EDRAMArray
+
+    scanner = ArrayScanner(EDRAMArray(2, 2, tech=_TECH), _STRUCTURE)
+    assert int(scanner.codes_for_vgs(np.array([vgs]))[0]) == _STRUCTURE.code_for_vgs(vgs)
+
+
+@given(
+    c_lo=st.floats(min_value=8.0, max_value=20.0),
+    span=st.floats(min_value=20.0, max_value=50.0),
+    depth=st.integers(min_value=4, max_value=32),
+)
+@settings(max_examples=15, deadline=None)
+def test_designed_range_endpoints_always_land(c_lo, span, depth):
+    structure = design_structure(
+        _TECH, 2, 2, c_lo=c_lo * fF, c_hi=(c_lo + span) * fF, num_steps=depth
+    )
+    abacus = Abacus.analytic(structure, 2, 2)
+    assert abacus.num_steps == depth
+    assert abs(abacus.range_floor - c_lo * fF) < 0.05 * c_lo * fF
+    assert abs(abacus.range_ceiling - (c_lo + span) * fF) < 0.05 * (c_lo + span) * fF

@@ -1,0 +1,124 @@
+"""Property-based tests of the charge-redistribution engine.
+
+Invariants checked on randomized capacitor networks:
+
+- **Maximum principle**: settled floating-node voltages lie within the
+  span of the driven voltages and prior node voltages.
+- **Charge conservation**: the total plate charge of a floating island
+  is unchanged by a settle.
+- **Idempotence**: settling twice without reconfiguration changes
+  nothing.
+- **Superposition/scaling**: scaling every drive scales every settled
+  voltage (the network is linear).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.units import fF
+
+# Random network description: node count, capacitor endpoints, values.
+caps_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.5, max_value=100.0),
+    ),
+    min_size=1,
+    max_size=14,
+)
+drives_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=7),
+    st.floats(min_value=-2.0, max_value=2.0),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _build(caps, drives):
+    net = CapacitorNetwork()
+    for k, (a, b, c_ff) in enumerate(caps):
+        if a == b:
+            continue
+        node_a = "0" if a == 0 else f"n{a}"
+        node_b = "0" if b == 0 else f"n{b}"
+        net.add_capacitor(f"C{k}", node_a, node_b, c_ff * fF)
+    for node_idx, voltage in drives.items():
+        if node_idx == 0:
+            continue
+        net.add_node(f"n{node_idx}")
+        net.drive(f"n{node_idx}", voltage)
+    return net
+
+
+@given(caps=caps_strategy, drives=drives_strategy)
+@settings(max_examples=120, deadline=None)
+def test_maximum_principle(caps, drives):
+    net = _build(caps, drives)
+    state = net.settle()
+    bounds = [0.0] + [v for k, v in drives.items() if k != 0]
+    lo, hi = min(bounds), max(bounds)
+    for node, voltage in state.voltages.items():
+        assert lo - 1e-9 <= voltage <= hi + 1e-9
+
+
+@given(caps=caps_strategy, drives=drives_strategy)
+@settings(max_examples=120, deadline=None)
+def test_settle_is_idempotent(caps, drives):
+    net = _build(caps, drives)
+    first = net.settle()
+    second = net.settle()
+    for node in first.voltages:
+        assert second[node] == first[node] or abs(second[node] - first[node]) < 1e-12
+
+
+@given(caps=caps_strategy, drives=drives_strategy, scale=st.floats(0.1, 3.0))
+@settings(max_examples=80, deadline=None)
+def test_linearity_under_drive_scaling(caps, drives, scale):
+    base = _build(caps, drives).settle()
+    scaled_net = _build(caps, {k: v * scale for k, v in drives.items()})
+    scaled = scaled_net.settle()
+    for node in base.voltages:
+        assert scaled[node] == base[node] * scale or (
+            abs(scaled[node] - base[node] * scale) < 1e-9
+        )
+
+
+@given(caps=caps_strategy, drives=drives_strategy)
+@settings(max_examples=120, deadline=None)
+def test_floating_island_conserves_charge_when_drive_released(caps, drives):
+    net = _build(caps, drives)
+    net.settle()
+    released = next(k for k in drives if k != 0) if any(k != 0 for k in drives) else None
+    if released is None:
+        return
+    node = f"n{released}"
+    island = net.island_of(node)
+    q_before = net.total_charge(island)
+    net.float_node(node)
+    net.settle()
+    q_after = net.total_charge(island)
+    assert abs(q_after - q_before) < 1e-22  # coulombs; values are ~1e-13
+
+
+@given(
+    c1=st.floats(1.0, 80.0),
+    c2=st.floats(1.0, 80.0),
+    v0=st.floats(0.1, 1.8),
+)
+@settings(max_examples=100, deadline=None)
+def test_two_cap_sharing_closed_form(c1, c2, v0):
+    net = CapacitorNetwork()
+    net.add_capacitor("C1", "a", "0", c1 * fF)
+    net.add_capacitor("C2", "b", "0", c2 * fF)
+    net.add_switch("S", "a", "b")
+    net.drive("a", v0)
+    net.settle()
+    net.float_node("a")
+    net.close_switch("S")
+    state = net.settle()
+    expected = v0 * c1 / (c1 + c2)
+    assert abs(state["a"] - expected) < 1e-12
+    assert abs(state["b"] - expected) < 1e-12

@@ -1,0 +1,61 @@
+"""Property-based tests of dithered conversion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration.design import design_structure
+from repro.calibration.dither import DitheredConverter
+from repro.tech.parameters import default_technology
+
+_TECH = default_technology()
+_STRUCTURE = design_structure(_TECH, 2, 2)
+_CONVERTERS = {r: DitheredConverter(_STRUCTURE, 2, 2, repeats=r) for r in (1, 2, 4, 8)}
+
+
+@given(vgs=st.floats(0.3, 1.4), repeats=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=150, deadline=None)
+def test_codes_are_sorted_and_within_one(vgs, repeats):
+    codes = _CONVERTERS[repeats].codes_for_vgs(vgs)
+    assert len(codes) == repeats
+    assert all(a >= b for a, b in zip(codes, codes[1:]))
+    assert codes[0] - codes[-1] <= 1
+    assert all(0 <= c <= 20 for c in codes)
+
+
+@given(vgs=st.floats(0.55, 1.05), repeats=st.sampled_from([2, 4, 8]))
+@settings(max_examples=150, deadline=None)
+def test_fine_code_brackets_truth(vgs, repeats):
+    converter = _CONVERTERS[repeats]
+    truth = _STRUCTURE.ref_sink_current(vgs) / _STRUCTURE.design.delta_i
+    if not 1.0 < truth < 19.0:
+        return
+    fine = converter.fine_code(converter.codes_for_vgs(vgs))
+    assert abs(fine - truth) <= 0.5 / repeats + 1e-9
+
+
+@given(vgs=st.floats(0.6, 1.0))
+@settings(max_examples=80, deadline=None)
+def test_more_repeats_never_less_accurate(vgs):
+    truth = _STRUCTURE.ref_sink_current(vgs) / _STRUCTURE.design.delta_i
+    if not 1.0 < truth < 19.0:
+        return
+    coarse = _CONVERTERS[1]
+    fine = _CONVERTERS[8]
+    err_1 = abs(coarse.fine_code(coarse.codes_for_vgs(vgs)) - truth)
+    err_8 = abs(fine.fine_code(fine.codes_for_vgs(vgs)) - truth)
+    # The R=8 bracket is strictly tighter than the R=1 bracket bound.
+    assert err_8 <= 0.5 / 8 + 1e-9
+    assert err_1 <= 0.5 + 1e-9
+
+
+@given(fine=st.floats(2.0, 18.0))
+@settings(max_examples=100, deadline=None)
+def test_capacitance_inversion_roundtrip(fine):
+    converter = _CONVERTERS[4]
+    cap = converter.capacitance_for_fine_code(fine)
+    # Re-derive the fine code from the capacitance via the forward chain.
+    vgs = _STRUCTURE.tech.vdd * (cap + converter.background) / (
+        cap + converter.background + _STRUCTURE.c_ref_total
+    )
+    forward = _STRUCTURE.ref_sink_current(vgs) / _STRUCTURE.design.delta_i
+    assert abs(forward - fine) < 1e-4

@@ -1,0 +1,63 @@
+"""Property-based tests of march tests and array operations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.march import march_c_minus, mats_pp
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.edram.operations import ArrayOperations
+from repro.tech.parameters import default_technology
+from repro.units import fF
+
+_TECH = default_technology()
+
+
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 6),
+    sigma=st.floats(0.0, 3.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_healthy_array_always_passes_march(rows, cols, sigma, seed):
+    rng = np.random.default_rng(seed)
+    cap = np.abs(30 * fF + rng.normal(0, sigma * fF, (rows, cols))) + 5 * fF
+    mc = 1 if cols % 2 else 2
+    arr = EDRAMArray(rows, cols, tech=_TECH, macro_cols=mc, capacitance_map=cap)
+    assert mats_pp().run(ArrayOperations(arr)).fail_count == 0
+
+
+@given(
+    pattern=st.lists(st.booleans(), min_size=16, max_size=16),
+)
+@settings(max_examples=40, deadline=None)
+def test_write_read_roundtrip_any_pattern(pattern):
+    arr = EDRAMArray(4, 4, tech=_TECH)
+    ops = ArrayOperations(arr)
+    for idx, bit in enumerate(pattern):
+        ops.write(idx // 4, idx % 4, bit)
+    for idx, bit in enumerate(pattern):
+        assert ops.read(idx // 4, idx % 4) == bit
+
+
+@given(
+    where=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    kind=st.sampled_from([DefectKind.SHORT, DefectKind.OPEN, DefectKind.ACCESS_OPEN]),
+)
+@settings(max_examples=40, deadline=None)
+def test_hard_fault_always_caught_by_march_c(where, kind):
+    arr = EDRAMArray(4, 4, tech=_TECH)
+    arr.cell(*where).apply_defect(CellDefect(kind))
+    bitmap = march_c_minus().run(ArrayOperations(arr))
+    assert bitmap.fails[where]
+
+
+@given(where_col=st.integers(0, 2), row=st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_bridge_always_caught_by_march_c(where_col, row):
+    arr = EDRAMArray(4, 4, tech=_TECH)
+    arr.cell(row, where_col).apply_defect(CellDefect(DefectKind.BRIDGE))
+    bitmap = march_c_minus().run(ArrayOperations(arr))
+    assert bitmap.fails[row, where_col] or bitmap.fails[row, where_col + 1]

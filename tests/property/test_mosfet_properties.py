@@ -1,0 +1,71 @@
+"""Property-based tests of the MOSFET model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.mosfet import Mosfet
+from repro.tech.parameters import default_technology
+
+_TECH = default_technology()
+_NMOS = Mosfet("M", "d", "g", "s", _TECH.nmos, w=1e-6, l=0.2e-6)
+
+voltage = st.floats(min_value=0.0, max_value=1.8)
+
+
+@given(vd=voltage, vg=voltage, vs=voltage)
+@settings(max_examples=200, deadline=None)
+def test_current_sign_follows_vds(vd, vg, vs):
+    i = _NMOS.ids(vd, vg, vs)
+    if vd > vs:
+        assert i >= 0.0
+    elif vd < vs:
+        assert i <= 0.0
+    else:
+        assert abs(i) < 1e-18
+
+
+@given(vd=voltage, vs=voltage, vg1=voltage, vg2=voltage)
+@settings(max_examples=200, deadline=None)
+def test_monotone_in_gate_voltage(vd, vs, vg1, vg2):
+    if vg1 > vg2:
+        vg1, vg2 = vg2, vg1
+    i1 = _NMOS.ids(vd, vg1, vs)
+    i2 = _NMOS.ids(vd, vg2, vs)
+    # |I| never shrinks as the gate rises (for either current direction).
+    if vd >= vs:
+        assert i2 >= i1 - 1e-18
+    else:
+        assert i2 <= i1 + 1e-18
+
+
+@given(vd=voltage, vg=voltage, vs=voltage)
+@settings(max_examples=200, deadline=None)
+def test_swap_antisymmetry(vd, vg, vs):
+    assert math.isclose(
+        _NMOS.ids(vd, vg, vs), -_NMOS.ids(vs, vg, vd), rel_tol=1e-9, abs_tol=1e-20
+    )
+
+
+@given(vd=voltage, vg=voltage, vs=voltage)
+@settings(max_examples=150, deadline=None)
+def test_derivatives_match_finite_differences(vd, vg, vs):
+    # Stay away from the swap point and the body-effect clamp kink,
+    # where one-sided derivatives legitimately differ.
+    if abs(vd - vs) < 1e-3 or vs < 1e-3 or vd < 1e-3:
+        return
+    h = 1e-7
+    _, dd, dg, ds = _NMOS.ids_and_derivatives(vd, vg, vs)
+    nd = (_NMOS.ids(vd + h, vg, vs) - _NMOS.ids(vd - h, vg, vs)) / (2 * h)
+    ng = (_NMOS.ids(vd, vg + h, vs) - _NMOS.ids(vd, vg - h, vs)) / (2 * h)
+    ns = (_NMOS.ids(vd, vg, vs + h) - _NMOS.ids(vd, vg, vs - h)) / (2 * h)
+    for analytic, numeric in ((dd, nd), (dg, ng), (ds, ns)):
+        assert math.isclose(analytic, numeric, rel_tol=1e-3, abs_tol=1e-12)
+
+
+@given(vg=st.floats(0.5, 1.8), vs=st.floats(0.0, 0.3))
+@settings(max_examples=100, deadline=None)
+def test_current_monotone_in_vds(vg, vs):
+    currents = [_NMOS.ids(vs + dv, vg, vs) for dv in (0.05, 0.2, 0.6, 1.2)]
+    assert all(b >= a - 1e-15 for a, b in zip(currents, currents[1:]))

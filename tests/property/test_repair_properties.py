@@ -1,0 +1,58 @@
+"""Property-based tests of the repair planner."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagnosis.repair import RepairPlanner
+
+fail_sets = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=20
+)
+budgets = st.tuples(st.integers(0, 4), st.integers(0, 4))
+
+
+def _mask(cells):
+    m = np.zeros((8, 8), dtype=bool)
+    for r, c in cells:
+        m[r, c] = True
+    return m
+
+
+@given(cells=fail_sets, budget=budgets)
+@settings(max_examples=200, deadline=None)
+def test_plan_accounting_is_consistent(cells, budget):
+    spare_rows, spare_cols = budget
+    mask = _mask(cells)
+    plan = RepairPlanner(spare_rows, spare_cols).plan(mask)
+    # Budget respected.
+    assert len(plan.spare_rows_used) <= spare_rows
+    assert len(plan.spare_cols_used) <= spare_cols
+    # No duplicate allocations.
+    assert len(set(plan.spare_rows_used)) == len(plan.spare_rows_used)
+    assert len(set(plan.spare_cols_used)) == len(plan.spare_cols_used)
+    # Every failing cell is either covered or reported uncovered.
+    for r, c in zip(*np.nonzero(mask)):
+        covered = plan.covers(int(r), int(c))
+        reported = (int(r), int(c)) in plan.uncovered
+        assert covered != reported
+    # Success flag is truthful.
+    assert plan.success == (len(plan.uncovered) == 0)
+
+
+@given(cells=fail_sets)
+@settings(max_examples=100, deadline=None)
+def test_generous_budget_always_succeeds(cells):
+    mask = _mask(cells)
+    distinct_rows = len({r for r, _ in cells})
+    plan = RepairPlanner(distinct_rows, 0).plan(mask)
+    assert plan.success
+
+
+@given(cells=fail_sets, budget=budgets)
+@settings(max_examples=100, deadline=None)
+def test_plan_never_mutates_input(cells, budget):
+    mask = _mask(cells)
+    original = mask.copy()
+    RepairPlanner(*budget).plan(mask)
+    assert np.array_equal(mask, original)

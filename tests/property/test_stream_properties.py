@@ -1,0 +1,60 @@
+"""Property-based tests of the code-stream codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.controller.stream import CodeStream
+
+code_maps = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    elements=st.integers(0, 20),
+)
+
+
+@given(codes=code_maps)
+@settings(max_examples=150, deadline=None)
+def test_raw_roundtrip_is_lossless(codes):
+    stream = CodeStream(bits_per_code=5)
+    assert np.array_equal(stream.decode(stream.encode(codes, rle=False)), codes)
+
+
+@given(codes=code_maps)
+@settings(max_examples=150, deadline=None)
+def test_rle_roundtrip_is_lossless(codes):
+    stream = CodeStream(bits_per_code=5)
+    assert np.array_equal(stream.decode(stream.encode(codes, rle=True)), codes)
+
+
+@given(codes=code_maps)
+@settings(max_examples=100, deadline=None)
+def test_auto_never_bigger_than_either_mode(codes):
+    stream = CodeStream(bits_per_code=5)
+    auto = len(stream.encode(codes, rle="auto"))
+    raw = len(stream.encode(codes, rle=False))
+    rle = len(stream.encode(codes, rle=True))
+    assert auto <= min(raw, rle)
+
+
+@given(
+    value=st.integers(0, 20),
+    rows=st.integers(1, 30),
+    cols=st.integers(1, 30),
+)
+@settings(max_examples=100, deadline=None)
+def test_constant_maps_compress_to_near_header(value, rows, cols):
+    stream = CodeStream(bits_per_code=5)
+    codes = np.full((rows, cols), value)
+    payload = stream.encode(codes, rle=True)
+    # Header (6 bytes) + ceil(cells/256) RLE records of 13 bits.
+    records = -(-codes.size // 256)
+    assert len(payload) <= 6 + (records * 13 + 7) // 8 + 1
+
+
+@given(codes=code_maps, bits=st.integers(5, 8))
+@settings(max_examples=60, deadline=None)
+def test_any_sufficient_width_roundtrips(codes, bits):
+    stream = CodeStream(bits_per_code=bits)
+    assert np.array_equal(stream.decode(stream.encode(codes)), codes)

@@ -1,0 +1,76 @@
+"""Bitline-side measurement baseline (the paper's negative example)."""
+
+import pytest
+
+from repro.baselines.bitline_measure import BitlineMeasurement
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import MeasurementError
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def tall_array(tech):
+    return EDRAMArray(256, 4, tech=tech, macro_cols=2, macro_rows=16)
+
+
+@pytest.fixture(scope="module")
+def blm(tall_array):
+    return BitlineMeasurement(tall_array)
+
+
+def test_validation(tall_array):
+    with pytest.raises(MeasurementError):
+        BitlineMeasurement(tall_array, i_min=0.0)
+
+
+def test_codes_are_weakly_monotone(blm):
+    codes = [blm.code_for_capacitance(c * fF) for c in range(5, 60, 5)]
+    assert all(a <= b for a, b in zip(codes, codes[1:]))
+
+
+def test_low_half_of_range_is_blind(blm):
+    # The bitline attenuation pushes small cells below the converter
+    # threshold: 10-25 fF all read code 0 on a 256-row column.
+    assert blm.code_for_capacitance(10 * fF) == 0
+    assert blm.code_for_capacitance(20 * fF) == 0
+
+
+def test_negative_capacitance_rejected(blm):
+    with pytest.raises(MeasurementError):
+        blm.code_for_capacitance(-1.0)
+
+
+def test_cbl_error_is_first_order(blm):
+    # ~10 % of C_m at +-10 % C_BL knowledge: the paper's "capacitance
+    # noise due to the parasitic bit-line capacitance".
+    err = blm.capacitance_error_from_cbl(30 * fF, relative_cbl_error=0.1)
+    assert err > 2 * fF
+
+
+def test_vth_sensitivity_finite(blm):
+    err = blm.capacitance_error_from_vth(30 * fF)
+    assert err > 0
+
+
+def test_defect_measurements(tech):
+    arr = EDRAMArray(64, 2, tech=tech)
+    arr.cell(0, 0).apply_defect(CellDefect(DefectKind.OPEN))
+    arr.cell(1, 1).apply_defect(CellDefect(DefectKind.SHORT))
+    blm = BitlineMeasurement(arr)
+    assert blm.measure(0, 0) == 0  # open: nothing couples
+    healthy = blm.measure(2, 0)
+    assert blm.measure(1, 1) >= healthy  # mid-rail coupling reads high
+
+
+def test_scan_shape(tech):
+    arr = EDRAMArray(8, 4, tech=tech, macro_cols=2)
+    codes = BitlineMeasurement(arr).scan()
+    assert codes.shape == (8, 4)
+
+
+def test_depth_degrades_with_column_height(tech):
+    short = BitlineMeasurement(EDRAMArray(32, 2, tech=tech))
+    tall = BitlineMeasurement(EDRAMArray(512, 2, tech=tech))
+    assert tall.achievable_depth < short.achievable_depth
+    assert tall.c_bitline > short.c_bitline

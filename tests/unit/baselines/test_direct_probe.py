@@ -1,0 +1,61 @@
+"""Idealized probe-station reference."""
+
+import pytest
+
+from repro.baselines.direct_probe import DirectProbe
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import MeasurementError
+from repro.units import fF
+
+
+def test_validation(tech):
+    arr = EDRAMArray(2, 2, tech=tech)
+    with pytest.raises(MeasurementError):
+        DirectProbe(arr, noise_sigma=-1.0)
+    with pytest.raises(MeasurementError):
+        DirectProbe(arr, seconds_per_site=0.0)
+
+
+def test_noiseless_probe_returns_truth(tech):
+    arr = EDRAMArray(2, 2, tech=tech)
+    arr.cell(0, 1).capacitance = 22 * fF
+    probe = DirectProbe(arr, noise_sigma=0.0)
+    assert probe.probe(0, 1) == pytest.approx(22 * fF)
+
+
+def test_noise_statistics(tech):
+    arr = EDRAMArray(2, 2, tech=tech)
+    probe = DirectProbe(arr, noise_sigma=0.5 * fF, seed=1)
+    values = [probe.probe(0, 0) for _ in range(300)]
+    import numpy as np
+
+    assert np.std(values) == pytest.approx(0.5 * fF, rel=0.15)
+    assert np.mean(values) == pytest.approx(30 * fF, rel=0.01)
+
+
+def test_short_reads_infinite(tech):
+    arr = EDRAMArray(2, 2, tech=tech)
+    arr.cell(1, 1).apply_defect(CellDefect(DefectKind.SHORT))
+    assert DirectProbe(arr).probe(1, 1) == float("inf")
+
+
+def test_open_reads_near_zero(tech):
+    arr = EDRAMArray(2, 2, tech=tech)
+    arr.cell(1, 0).apply_defect(CellDefect(DefectKind.OPEN))
+    assert DirectProbe(arr, noise_sigma=0.0).probe(1, 0) == 0.0
+
+
+def test_time_bookkeeping(tech):
+    arr = EDRAMArray(4, 4, tech=tech)
+    probe = DirectProbe(arr, seconds_per_site=1800.0)
+    probe.probe_sample([(0, 0), (1, 1), (2, 2)])
+    assert probe.sites_probed == 3
+    assert probe.time_spent == pytest.approx(3 * 1800.0)
+
+
+def test_probe_sample_returns_mapping(tech):
+    arr = EDRAMArray(4, 4, tech=tech)
+    result = DirectProbe(arr, noise_sigma=0.0).probe_sample([(0, 0), (3, 3)])
+    assert set(result) == {(0, 0), (3, 3)}
+    assert result[(0, 0)] == pytest.approx(30 * fF)

@@ -1,0 +1,105 @@
+"""March tests (digital baseline)."""
+
+import pytest
+
+from repro.baselines.march import (
+    MarchElement,
+    MarchTest,
+    Op,
+    Order,
+    march_b,
+    march_c_minus,
+    march_catalog,
+    mats,
+    mats_pp,
+    retention_test,
+)
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.edram.operations import ArrayOperations
+from repro.errors import DiagnosisError
+
+
+def _ops(tech, defect=None, where=(1, 1)):
+    arr = EDRAMArray(4, 4, tech=tech)
+    if defect is not None:
+        arr.cell(*where).apply_defect(defect)
+    return ArrayOperations(arr)
+
+
+class TestParsing:
+    def test_parse_ops(self):
+        el = MarchElement.parse(Order.ASCENDING, "r0,w1")
+        assert el.ops == (Op(read=True, value=False), Op(read=False, value=True))
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(DiagnosisError):
+            MarchElement.parse(Order.ANY, "x1")
+        with pytest.raises(DiagnosisError):
+            MarchElement.parse(Order.ANY, "r2")
+
+    def test_empty_test_rejected(self):
+        with pytest.raises(DiagnosisError):
+            MarchTest("empty", [])
+
+    def test_op_count(self):
+        assert mats().op_count_per_cell == 4
+        assert mats_pp().op_count_per_cell == 6
+        assert march_c_minus().op_count_per_cell == 10
+        assert march_b().op_count_per_cell == 17
+
+    def test_catalog_is_ordered_by_cost(self):
+        catalog = march_catalog()
+        costs = [t.op_count_per_cell for t in catalog.values()]
+        assert costs == sorted(costs)
+        assert set(catalog) == {"MATS", "MATS++", "March C-", "March B"}
+
+
+class TestHealthyArrays:
+    @pytest.mark.parametrize("algorithm", [mats, mats_pp, march_c_minus, march_b])
+    def test_healthy_array_passes(self, tech, algorithm):
+        bitmap = algorithm().run(_ops(tech))
+        assert bitmap.fail_count == 0
+
+    def test_retention_test_passes_within_target(self, tech):
+        bitmap = retention_test(_ops(tech), pause=0.01)
+        assert bitmap.fail_count == 0
+
+
+class TestDefectDetection:
+    @pytest.mark.parametrize("kind", [DefectKind.SHORT, DefectKind.OPEN, DefectKind.ACCESS_OPEN])
+    def test_hard_faults_detected(self, tech, kind):
+        bitmap = mats_pp().run(_ops(tech, CellDefect(kind)))
+        assert bitmap.fails[1, 1]
+
+    @pytest.mark.parametrize("algorithm", [march_c_minus, march_b])
+    def test_bridge_detected_by_coupling_tests(self, tech, algorithm):
+        ops = _ops(tech, CellDefect(DefectKind.BRIDGE), where=(2, 1))
+        bitmap = algorithm().run(ops)
+        assert bitmap.fails[2, 1] or bitmap.fails[2, 2]
+
+    def test_fresh_low_cap_escapes_march(self, tech):
+        """The paper's motivating escape: parametric cells pass."""
+        ops = _ops(tech, CellDefect(DefectKind.LOW_CAP, factor=0.4))
+        assert march_c_minus().run(ops).fail_count == 0
+
+    def test_retention_defect_escapes_march_but_fails_pause(self, tech):
+        defect = CellDefect(DefectKind.RETENTION, factor=5000.0)
+        assert march_c_minus().run(_ops(tech, defect)).fail_count == 0
+        bitmap = retention_test(_ops(tech, defect), pause=0.2)
+        assert bitmap.fails[1, 1]
+        assert bitmap.fail_count == 1
+
+    def test_bitmap_source_labels(self, tech):
+        assert mats_pp().run(_ops(tech)).source == "MATS++"
+        assert "retention" in retention_test(_ops(tech), 0.01).source
+
+
+class TestRetentionValidation:
+    def test_negative_pause_rejected(self, tech):
+        with pytest.raises(DiagnosisError):
+            retention_test(_ops(tech), pause=-1.0)
+
+    def test_zero_pattern_variant(self, tech):
+        bitmap = retention_test(_ops(tech), pause=0.01, value=False)
+        assert bitmap.fail_count == 0

@@ -1,0 +1,66 @@
+"""Connected components and cluster statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.cluster import ClusterStats, cluster_stats, connected_components
+from repro.errors import DiagnosisError
+
+
+def _mask(shape, cells):
+    m = np.zeros(shape, dtype=bool)
+    for r, c in cells:
+        m[r, c] = True
+    return m
+
+
+def test_empty_mask():
+    assert connected_components(np.zeros((4, 4), dtype=bool)) == []
+
+
+def test_single_cell():
+    comps = connected_components(_mask((4, 4), [(1, 1)]))
+    assert comps == [{(1, 1)}]
+
+
+def test_diagonal_cells_are_connected():
+    comps = connected_components(_mask((4, 4), [(0, 0), (1, 1)]))
+    assert len(comps) == 1
+
+
+def test_separate_groups_sorted_by_size():
+    cells = [(0, 0), (0, 1), (0, 2), (3, 3)]
+    comps = connected_components(_mask((5, 5), cells))
+    assert len(comps) == 2
+    assert len(comps[0]) == 3
+
+
+def test_validation():
+    with pytest.raises(DiagnosisError):
+        connected_components(np.zeros((2, 2)))
+    with pytest.raises(DiagnosisError):
+        connected_components(np.zeros(3, dtype=bool))
+
+
+def test_cluster_stats_geometry():
+    stats = cluster_stats({(1, 1), (1, 2), (2, 1), (2, 2)})
+    assert stats.size == 4
+    assert (stats.height, stats.width) == (2, 2)
+    assert stats.density == 1.0
+    assert stats.centroid == (1.5, 1.5)
+
+
+def test_sparse_cluster_density():
+    stats = cluster_stats({(0, 0), (2, 2)})
+    assert stats.density == pytest.approx(2 / 9)
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(DiagnosisError):
+        cluster_stats(set())
+
+
+def test_line_stats():
+    stats = cluster_stats({(3, c) for c in range(6)})
+    assert stats.height == 1
+    assert stats.width == 6

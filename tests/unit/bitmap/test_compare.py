@@ -1,0 +1,79 @@
+"""Analog-vs-digital diagnosis scoring."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.compare import DiagnosisComparison
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import DiagnosisError
+
+
+def _masks(shape=(4, 4)):
+    analog = np.zeros(shape, dtype=bool)
+    digital = np.zeros(shape, dtype=bool)
+    return analog, digital
+
+
+def test_scoring_per_kind():
+    analog, digital = _masks()
+    analog[0, 0] = True  # low cap caught by analog only
+    digital[1, 1] = True  # retention caught by digital only
+    analog[2, 2] = digital[2, 2] = True  # short caught by both
+    injected = [
+        (0, 0, CellDefect(DefectKind.LOW_CAP, 0.5)),
+        (1, 1, CellDefect(DefectKind.RETENTION, 10.0)),
+        (2, 2, CellDefect(DefectKind.SHORT)),
+    ]
+    comp = DiagnosisComparison.score(injected, analog, digital)
+    assert comp.scores[DefectKind.LOW_CAP].analog_rate == 1.0
+    assert comp.scores[DefectKind.LOW_CAP].digital_rate == 0.0
+    assert comp.scores[DefectKind.RETENTION].analog_rate == 0.0
+    assert comp.scores[DefectKind.RETENTION].digital_rate == 1.0
+    assert comp.analog_overall_rate == pytest.approx(2 / 3)
+    assert comp.digital_overall_rate == pytest.approx(2 / 3)
+
+
+def test_false_positives_counted():
+    analog, digital = _masks()
+    analog[3, 3] = True  # nothing injected there
+    comp = DiagnosisComparison.score([], analog, digital)
+    assert comp.analog_false_positives == 1
+    assert comp.digital_false_positives == 0
+
+
+def test_shape_mismatch_rejected():
+    analog, _ = _masks((4, 4))
+    _, digital = _masks((2, 2))
+    with pytest.raises(DiagnosisError):
+        DiagnosisComparison.score([], analog, digital)
+
+
+def test_non_boolean_rejected():
+    with pytest.raises(DiagnosisError):
+        DiagnosisComparison.score([], np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+
+
+def test_out_of_bounds_injection_rejected():
+    analog, digital = _masks()
+    with pytest.raises(DiagnosisError):
+        DiagnosisComparison.score(
+            [(9, 9, CellDefect(DefectKind.SHORT))], analog, digital
+        )
+
+
+def test_table_renders():
+    analog, digital = _masks()
+    analog[0, 0] = True
+    comp = DiagnosisComparison.score(
+        [(0, 0, CellDefect(DefectKind.OPEN))], analog, digital
+    )
+    table = comp.table()
+    assert "open" in table
+    assert "overall" in table
+    assert "false positives" in table
+
+
+def test_empty_injection_rates_are_nan():
+    analog, digital = _masks()
+    comp = DiagnosisComparison.score([], analog, digital)
+    assert comp.analog_overall_rate != comp.analog_overall_rate  # NaN

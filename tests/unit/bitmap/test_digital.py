@@ -1,0 +1,51 @@
+"""Digital pass/fail bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.digital import DigitalBitmap
+from repro.errors import DiagnosisError
+
+
+def _bitmap():
+    fails = np.zeros((4, 4), dtype=bool)
+    fails[1, 2] = True
+    fails[3, 0] = True
+    return DigitalBitmap(fails, source="test")
+
+
+def test_validation():
+    with pytest.raises(DiagnosisError):
+        DigitalBitmap(np.zeros((2, 2)))  # not boolean
+    with pytest.raises(DiagnosisError):
+        DigitalBitmap(np.zeros(4, dtype=bool))  # not 2-D
+
+
+def test_counting():
+    bm = _bitmap()
+    assert bm.fail_count == 2
+    assert bm.fail_addresses() == [(1, 2), (3, 0)]
+
+
+def test_row_and_column_counts():
+    bm = _bitmap()
+    assert list(bm.row_fail_counts()) == [0, 1, 0, 1]
+    assert list(bm.column_fail_counts()) == [1, 0, 1, 0]
+
+
+def test_merge_unions_fails():
+    a = _bitmap()
+    other = np.zeros((4, 4), dtype=bool)
+    other[0, 0] = True
+    merged = a.merge(DigitalBitmap(other, source="more"))
+    assert merged.fail_count == 3
+    assert "test" in merged.source and "more" in merged.source
+
+
+def test_merge_shape_mismatch_rejected():
+    with pytest.raises(DiagnosisError):
+        _bitmap().merge(DigitalBitmap(np.zeros((2, 2), dtype=bool)))
+
+
+def test_yield_fraction():
+    assert _bitmap().yield_fraction() == pytest.approx(14 / 16)

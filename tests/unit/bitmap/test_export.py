@@ -1,0 +1,42 @@
+"""ASCII bitmap renderings."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.export import render_code_map, render_fail_map
+from repro.errors import DiagnosisError
+
+
+def test_code_map_glyphs():
+    codes = np.array([[0, 5], [10, 20]])
+    art = render_code_map(codes)
+    lines = art.splitlines()
+    assert lines[0] == "05"
+    assert lines[1] == "ak"  # 10 -> 'a', 20 -> 'k'
+
+
+def test_code_map_decimation_banner():
+    codes = np.zeros((100, 300), dtype=int)
+    art = render_code_map(codes, max_rows=10, max_cols=50)
+    assert art.splitlines()[0].startswith("(decimated")
+    body = art.splitlines()[1:]
+    assert len(body) <= 10
+    assert all(len(line) <= 50 for line in body)
+
+
+def test_code_map_validation():
+    with pytest.raises(DiagnosisError):
+        render_code_map(np.zeros(4, dtype=int))
+    with pytest.raises(DiagnosisError):
+        render_code_map(np.array([[99]]))
+
+
+def test_fail_map_symbols():
+    fails = np.array([[True, False], [False, True]])
+    art = render_fail_map(fails)
+    assert art.splitlines() == ["#.", ".#"]
+
+
+def test_fail_map_validation():
+    with pytest.raises(DiagnosisError):
+        render_fail_map(np.zeros((2, 2)))

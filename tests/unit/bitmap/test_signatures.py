@@ -1,0 +1,119 @@
+"""Signature categorization and gradient fitting."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.signatures import (
+    SignatureKind,
+    categorize,
+    fit_gradient,
+    signature_counts,
+)
+from repro.errors import DiagnosisError
+from repro.units import fF
+
+
+def _mask(shape, cells):
+    m = np.zeros(shape, dtype=bool)
+    for r, c in cells:
+        m[r, c] = True
+    return m
+
+
+class TestCategorize:
+    def test_single_cell(self):
+        sigs = categorize(_mask((8, 8), [(3, 3)]))
+        assert len(sigs) == 1
+        assert sigs[0].kind is SignatureKind.SINGLE_CELL
+
+    def test_horizontal_pair_is_bridge_signature(self):
+        sigs = categorize(_mask((8, 8), [(2, 3), (2, 4)]))
+        assert sigs[0].kind is SignatureKind.PAIRED_CELLS
+
+    def test_vertical_pair_is_cluster_not_pair(self):
+        sigs = categorize(_mask((8, 8), [(2, 3), (3, 3)]))
+        assert sigs[0].kind is SignatureKind.CLUSTER
+
+    def test_full_row(self):
+        sigs = categorize(_mask((8, 8), [(5, c) for c in range(8)]))
+        assert sigs[0].kind is SignatureKind.ROW
+
+    def test_partial_row_above_line_fraction(self):
+        sigs = categorize(_mask((8, 8), [(5, c) for c in range(5)]))
+        assert sigs[0].kind is SignatureKind.ROW  # 5/8 > 0.6
+
+    def test_partial_row_below_line_fraction(self):
+        sigs = categorize(_mask((8, 8), [(5, c) for c in range(3)]))
+        assert sigs[0].kind is SignatureKind.CLUSTER
+
+    def test_full_column(self):
+        sigs = categorize(_mask((8, 8), [(r, 2) for r in range(8)]))
+        assert sigs[0].kind is SignatureKind.COLUMN
+
+    def test_blob_is_cluster(self):
+        cells = [(r, c) for r in range(2, 5) for c in range(2, 5)]
+        sigs = categorize(_mask((8, 8), cells))
+        assert sigs[0].kind is SignatureKind.CLUSTER
+
+    def test_mixed_scene(self):
+        cells = (
+            [(0, c) for c in range(8)]  # row
+            + [(4, 4)]  # single
+            + [(6, 1), (6, 2)]  # pair
+        )
+        sigs = categorize(_mask((8, 8), cells))
+        counts = signature_counts(sigs)
+        assert counts[SignatureKind.ROW] == 1
+        assert counts[SignatureKind.SINGLE_CELL] == 1
+        assert counts[SignatureKind.PAIRED_CELLS] == 1
+
+    def test_validation(self):
+        with pytest.raises(DiagnosisError):
+            categorize(np.zeros((2, 2)))
+        with pytest.raises(DiagnosisError):
+            categorize(np.zeros((2, 2), dtype=bool), line_fraction=0.0)
+
+    def test_largest_first_ordering(self):
+        cells = [(0, 0)] + [(3, c) for c in range(6)]
+        sigs = categorize(_mask((8, 8), cells))
+        assert sigs[0].size > sigs[1].size
+
+
+class TestGradient:
+    def test_recovers_planted_plane(self):
+        rows, cols = 16, 16
+        rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+        est = 30 * fF + 0.1 * fF * (rr - 7.5) + 0.05 * fF * (cc - 7.5)
+        g = fit_gradient(est)
+        assert g.mean == pytest.approx(30 * fF, rel=1e-6)
+        assert g.row_slope == pytest.approx(0.1 * fF, rel=1e-6)
+        assert g.col_slope == pytest.approx(0.05 * fF, rel=1e-6)
+        assert g.residual_sigma < 1e-20
+        assert g.significant
+
+    def test_noisy_flat_map_is_not_significant(self):
+        rng = np.random.default_rng(0)
+        est = 30 * fF + rng.normal(0, 1 * fF, (16, 16))
+        assert not fit_gradient(est).significant
+
+    def test_nan_cells_are_ignored(self):
+        rr = np.arange(8)[:, None] * np.ones((1, 8))
+        est = 30 * fF + 0.2 * fF * rr
+        est[3, 3] = np.nan
+        g = fit_gradient(est)
+        assert g.row_slope == pytest.approx(0.2 * fF, rel=1e-6)
+
+    def test_extent_formula(self):
+        rr = np.arange(10)[:, None] * np.ones((1, 4))
+        g = fit_gradient(rr * 1 * fF)
+        assert g.extent == pytest.approx(9 * fF, rel=1e-6)
+
+    def test_too_few_cells_rejected(self):
+        est = np.full((2, 2), np.nan)
+        est[0, 0] = 1.0
+        with pytest.raises(DiagnosisError):
+            fit_gradient(est)
+
+    def test_requires_2d(self):
+        with pytest.raises(DiagnosisError):
+            fit_gradient(np.zeros(5))

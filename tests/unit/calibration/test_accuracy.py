@@ -1,0 +1,84 @@
+"""Accuracy sweeps (the paper's 6 % claim)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.accuracy import AccuracyReport, accuracy_sweep
+from repro.errors import CalibrationError
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def report(abacus_2x2):
+    return accuracy_sweep(abacus_2x2)
+
+
+def test_sweep_validation(abacus_2x2):
+    with pytest.raises(CalibrationError):
+        accuracy_sweep(abacus_2x2, points=1)
+    with pytest.raises(CalibrationError):
+        accuracy_sweep(abacus_2x2, c_start=10 * fF, c_stop=5 * fF)
+
+
+def test_in_range_mask_excludes_extremes(report):
+    assert not report.in_range_mask[0]  # 5 fF is below the floor
+    assert not report.in_range_mask[-1]  # 60 fF is above the ceiling
+    assert report.in_range_mask.sum() > 150
+
+
+def test_midrange_error_meets_paper_claim(report):
+    # The paper quotes ~6 % accuracy; the mid-range quantization error of
+    # our design must be at or below that.
+    assert report.error_at(30 * fF) < 0.06
+    assert report.error_at(35 * fF) < 0.06
+
+
+def test_mean_error_is_small(report):
+    assert report.mean_error < 0.05
+
+
+def test_max_error_is_bounded(report):
+    # Worst case occurs in the wide first bin; still bounded.
+    assert report.max_error < 0.25
+
+
+def test_estimates_track_truth(report):
+    in_range = report.in_range_mask
+    err = np.abs(report.estimates[in_range] - report.capacitances[in_range])
+    assert err.max() < 3 * fF
+
+
+def test_worst_quantization_step(report):
+    # No in-range bin wider than ~6 fF for the 2x2 design.
+    assert report.worst_quantization_step() < 6.5 * fF
+
+
+def test_summary_renders(report):
+    text = report.summary()
+    assert "max relative error" in text
+
+
+def test_errors_on_empty_in_range():
+    empty = AccuracyReport(
+        capacitances=np.array([1.0, 2.0]),
+        codes=np.array([0, 0]),
+        estimates=np.array([np.nan, np.nan]),
+        relative_errors=np.array([np.nan, np.nan]),
+    )
+    with pytest.raises(CalibrationError):
+        _ = empty.max_error
+    with pytest.raises(CalibrationError):
+        _ = empty.mean_error
+    with pytest.raises(CalibrationError):
+        empty.worst_quantization_step()
+
+
+def test_finer_converter_is_more_accurate(tech):
+    from repro.calibration.abacus import Abacus
+    from repro.calibration.design import design_structure
+
+    coarse = Abacus.analytic(design_structure(tech, 2, 2, num_steps=8), 2, 2)
+    fine = Abacus.analytic(design_structure(tech, 2, 2, num_steps=32), 2, 2)
+    err_coarse = accuracy_sweep(coarse).error_at(30 * fF)
+    err_fine = accuracy_sweep(fine).error_at(30 * fF)
+    assert err_fine < err_coarse

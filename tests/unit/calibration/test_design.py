@@ -1,0 +1,92 @@
+"""Structure auto-designer."""
+
+import pytest
+
+from repro.calibration.design import (
+    design_structure,
+    max_feasible_depth,
+    nominal_background,
+)
+from repro.errors import CalibrationError
+from repro.units import fF
+
+
+class TestNominalBackground:
+    def test_grows_with_macro_size(self, tech):
+        assert nominal_background(tech, 2, 2) < nominal_background(tech, 32, 2)
+        assert nominal_background(tech, 8, 2) < nominal_background(tech, 8, 4)
+
+    def test_taller_bitlines_increase_background(self, tech):
+        assert nominal_background(tech, 8, 2) < nominal_background(
+            tech, 8, 2, bitline_rows=256
+        )
+
+    def test_single_cell_macro_is_just_plate_wiring(self, tech):
+        assert nominal_background(tech, 1, 1) == pytest.approx(tech.plate_parasitic(1))
+
+    def test_validation(self, tech):
+        with pytest.raises(CalibrationError):
+            nominal_background(tech, 0, 2)
+        with pytest.raises(CalibrationError):
+            nominal_background(tech, 8, 2, bitline_rows=4)
+
+
+class TestDesignStructure:
+    def test_range_endpoints_land_on_code_boundaries(self, tech, structure_2x2, abacus_2x2):
+        assert abacus_2x2.range_floor == pytest.approx(10 * fF, rel=0.01)
+        assert abacus_2x2.range_ceiling == pytest.approx(55 * fF, rel=0.01)
+
+    def test_design_adapts_to_geometry(self, tech, structure_2x2, structure_8x2):
+        # Bigger macro -> larger C_REF, smaller DAC step.
+        assert structure_8x2.c_ref > structure_2x2.c_ref
+        assert structure_8x2.design.delta_i < structure_2x2.design.delta_i
+
+    def test_custom_range(self, tech):
+        s = design_structure(tech, 2, 2, c_lo=15 * fF, c_hi=45 * fF)
+        from repro.calibration.abacus import Abacus
+
+        ab = Abacus.analytic(s, 2, 2)
+        assert ab.range_floor == pytest.approx(15 * fF, rel=0.01)
+        assert ab.range_ceiling == pytest.approx(45 * fF, rel=0.01)
+
+    def test_custom_depth(self, tech):
+        s = design_structure(tech, 2, 2, num_steps=8)
+        assert s.design.num_steps == 8
+
+    def test_infeasible_geometry_raises(self, tech):
+        with pytest.raises(CalibrationError):
+            design_structure(tech, 128, 4)
+
+    def test_validation(self, tech):
+        with pytest.raises(CalibrationError):
+            design_structure(tech, 2, 2, c_lo=0.0)
+        with pytest.raises(CalibrationError):
+            design_structure(tech, 2, 2, c_lo=50 * fF, c_hi=20 * fF)
+        with pytest.raises(CalibrationError):
+            design_structure(tech, 2, 2, num_steps=1)
+
+    def test_slew_enforcement_stretches_clock(self, tech):
+        relaxed = design_structure(tech, 16, 2, bitline_rows=128, enforce_slew=False)
+        safe = design_structure(tech, 16, 2, bitline_rows=128, enforce_slew=True)
+        if not relaxed.is_slew_safe:
+            assert safe.is_slew_safe
+            assert safe.design.phase_duration > relaxed.design.phase_duration
+
+    def test_designed_structure_is_slew_safe_by_default(self, tech):
+        assert design_structure(tech, 16, 2, bitline_rows=128).is_slew_safe
+
+
+class TestFeasibleDepth:
+    def test_depth_collapses_with_macro_size(self, tech):
+        depths = [max_feasible_depth(tech, rows, 2) for rows in (2, 16, 64)]
+        assert depths[0] > depths[1] > depths[2]
+
+    def test_paper_depth_feasible_on_small_macros(self, tech):
+        assert max_feasible_depth(tech, 2, 2) > 20
+        assert max_feasible_depth(tech, 32, 2) > 20
+
+    def test_row_segmentation_restores_feasibility(self, tech):
+        # A 128-row column-stripe macro cannot reach depth 20, but a
+        # 16-row tile of the same 128-row array can.
+        assert max_feasible_depth(tech, 128, 2) < 20
+        assert max_feasible_depth(tech, 16, 2, bitline_rows=128) > 20

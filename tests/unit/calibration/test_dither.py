@@ -1,0 +1,94 @@
+"""Dithered (sub-code) conversion."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.dither import DitheredConverter
+from repro.edram.array import EDRAMArray
+from repro.errors import CalibrationError
+from repro.units import fF, to_fF
+
+
+@pytest.fixture(scope="module")
+def converters(structure_2x2):
+    return {r: DitheredConverter(structure_2x2, 2, 2, repeats=r) for r in (1, 4, 8)}
+
+
+def _measure(tech, converter, cm):
+    array = EDRAMArray(2, 2, tech=tech)
+    array.cell(0, 0).capacitance = cm
+    return converter.measure(array.macro(0), 0, 0)
+
+
+def test_validation(structure_2x2):
+    with pytest.raises(CalibrationError):
+        DitheredConverter(structure_2x2, 2, 2, repeats=0)
+
+
+def test_r1_degenerates_to_plain_code(converters, structure_2x2):
+    dc = converters[1]
+    for vgs in (0.7, 0.9, 1.05):
+        codes = dc.codes_for_vgs(vgs)
+        assert len(codes) == 1
+        assert codes[0] == structure_2x2.code_for_vgs(vgs)
+
+
+def test_r1_fine_code_is_bin_midpoint(converters):
+    assert converters[1].fine_code((7,)) == pytest.approx(7.5)
+
+
+def test_codes_are_non_increasing_with_offset(converters):
+    codes = converters[8].codes_for_vgs(0.95)
+    assert all(a >= b for a, b in zip(codes, codes[1:]))
+    assert codes[0] - codes[-1] <= 1
+
+
+def test_fine_code_localizes_current(converters, structure_2x2):
+    dc = converters[8]
+    delta_i = structure_2x2.design.delta_i
+    for vgs in (0.75, 0.9, 1.0):
+        truth = structure_2x2.ref_sink_current(vgs) / delta_i
+        fine = dc.fine_code(dc.codes_for_vgs(vgs))
+        assert abs(fine - truth) <= 0.5 / 8 + 1e-9
+
+
+def test_fine_code_length_checked(converters):
+    with pytest.raises(CalibrationError):
+        converters[4].fine_code((1, 2))
+
+
+def test_capacitance_error_shrinks_with_repeats(tech, converters):
+    def max_error(dc):
+        errors = []
+        for cm_ff in np.linspace(18, 48, 25):
+            result = _measure(tech, dc, cm_ff * fF)
+            errors.append(abs(result.capacitance - cm_ff * fF))
+        return max(errors)
+
+    e1 = max_error(converters[1])
+    e8 = max_error(converters[8])
+    assert e8 < e1 / 4.0  # theory: /8; allow margin
+
+
+def test_estimate_is_accurate_mid_range(tech, converters):
+    result = _measure(tech, converters[8], 31.7 * fF)
+    assert to_fF(result.capacitance) == pytest.approx(31.7, abs=0.2)
+
+
+def test_out_of_range_is_nan(tech, converters):
+    low = _measure(tech, converters[4], 5 * fF)
+    high = _measure(tech, converters[4], 80 * fF)
+    assert np.isnan(low.capacitance)
+    assert np.isnan(high.capacitance)
+
+
+def test_test_time_accounting(tech, converters, structure_2x2):
+    result = _measure(tech, converters[8], 30 * fF)
+    assert result.test_time == pytest.approx(8 * structure_2x2.design.flow_duration)
+    assert result.repeats == 8
+
+
+def test_effective_resolution_scales(converters):
+    r1 = converters[1].effective_resolution()
+    r8 = converters[8].effective_resolution()
+    assert r8 == pytest.approx(r1 / 8.0, rel=0.15)

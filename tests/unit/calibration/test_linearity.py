@@ -1,0 +1,74 @@
+"""Converter DNL/INL metrology."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.linearity import (
+    LinearityReport,
+    analyze_linearity,
+    lazy_linear_estimate,
+)
+from repro.errors import CalibrationError
+from repro.units import fF, to_fF
+
+
+@pytest.fixture(scope="module")
+def report(abacus_2x2):
+    return analyze_linearity(abacus_2x2)
+
+
+def test_lsb_matches_mean_bin_width(report, abacus_2x2):
+    widths = np.diff(abacus_2x2.edges)
+    assert report.lsb == pytest.approx(float(widths.mean()))
+
+
+def test_dnl_is_zero_mean_by_construction(report):
+    assert float(report.dnl.mean()) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_designed_converter_is_reasonably_linear(report):
+    # The EKV square-law vs charge-share compression mostly cancel.
+    assert report.max_dnl < 0.5
+    assert report.max_inl < 0.6
+
+
+def test_inl_is_fit_residual(report, abacus_2x2):
+    codes = np.arange(1, abacus_2x2.edges.size + 1)
+    fitted = report.offset + report.gain * codes
+    recomputed = (abacus_2x2.edges - fitted) / report.lsb
+    assert np.allclose(recomputed, report.inl)
+
+
+def test_perfectly_linear_abacus(structure_2x2):
+    edges = np.linspace(10 * fF, 55 * fF, 20)
+    report = analyze_linearity(Abacus(structure_2x2, edges))
+    assert report.max_dnl == pytest.approx(0.0, abs=1e-9)
+    assert report.max_inl == pytest.approx(0.0, abs=1e-9)
+    assert report.gain == pytest.approx(float(edges[1] - edges[0]))
+
+
+def test_lazy_linear_vs_abacus_estimates(report, abacus_2x2):
+    # The single-gain readout deviates from the abacus by at most
+    # max_inl LSBs anywhere in range.
+    for code in range(2, 19):
+        lazy = lazy_linear_estimate(report, code)
+        proper = abacus_2x2.estimate(code)
+        assert abs(lazy - proper) < (report.max_inl + 0.6) * report.lsb
+
+
+def test_linear_readout_error_bounds(report):
+    assert report.linear_readout_error(10) >= 0
+    with pytest.raises(CalibrationError):
+        report.linear_readout_error(0)
+
+
+def test_degenerate_abacus_rejected(structure_2x2):
+    edges = np.full(20, 30 * fF)  # zero-width bins
+    with pytest.raises(CalibrationError):
+        analyze_linearity(Abacus(structure_2x2, edges))
+
+
+def test_summary_renders(report):
+    text = report.summary()
+    assert "DNL" in text and "INL" in text

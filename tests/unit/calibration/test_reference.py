@@ -1,0 +1,121 @@
+"""Golden reference cells and instrument gain recovery."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.reference import (
+    InstrumentCheck,
+    InstrumentStatus,
+    ReferenceBank,
+)
+from repro.edram.array import EDRAMArray
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.errors import CalibrationError
+from repro.measure.scan import ArrayScanner
+from repro.measure.structure import MeasurementDesign, MeasurementStructure
+from repro.units import fF, to_fF
+
+
+def _setup(tech, structure=None):
+    capacitance = compose_maps(
+        uniform_map((16, 4), 30 * fF), mismatch_map((16, 4), 1 * fF, seed=3)
+    )
+    array = EDRAMArray(16, 4, tech=tech, macro_cols=2, macro_rows=8,
+                       capacitance_map=capacitance)
+    bank = ReferenceBank(array, seed=4)
+    nominal = design_structure(tech, 8, 2, bitline_rows=16)
+    abacus = Abacus.analytic(nominal, 8, 2, bitline_rows=16)
+    scan_structure = structure if structure is not None else nominal
+    scan = ArrayScanner(array, scan_structure).scan()
+    check = InstrumentCheck(abacus, bank, rows=8, macro_cols=2, bitline_rows=16)
+    return array, bank, abacus, scan, check, nominal
+
+
+def _drifted_structure(tech, nominal, gain):
+    """A structure whose physical C_REF drifted by ``gain``."""
+    from dataclasses import replace
+    import math
+
+    design = nominal.design
+    # Scale the REF gate area so c_ref_total scales by `gain`.
+    target = gain * (design.c_ref(tech) + design.gate_parasitic) - design.gate_parasitic
+    scale = math.sqrt(target / design.c_ref(tech))
+    return MeasurementStructure(
+        tech, replace(design, w_ref=design.w_ref * scale, l_ref=design.l_ref * scale)
+    )
+
+
+class TestReferenceBank:
+    def test_one_reference_per_macro(self, tech):
+        array, bank, *_ = _setup(tech)
+        assert len(bank.positions) == array.num_macros
+        mask = bank.mask()
+        assert int(mask.sum()) == array.num_macros
+
+    def test_reference_cells_are_precise(self, tech):
+        array, bank, *_ = _setup(tech)
+        for row, col in bank.positions:
+            assert array.cell(row, col).capacitance == pytest.approx(
+                30 * fF, rel=0.02
+            )
+
+    def test_validation(self, tech):
+        array = EDRAMArray(4, 2, tech=tech)
+        with pytest.raises(CalibrationError):
+            ReferenceBank(array, value=0.0)
+        with pytest.raises(CalibrationError):
+            ReferenceBank(array, tolerance=0.5)
+
+
+class TestInstrumentCheck:
+    def test_healthy_instrument_passes(self, tech):
+        *_, scan, check, _ = _setup(tech)
+        verdict = check.evaluate(scan)
+        assert verdict.status is InstrumentStatus.OK
+        assert verdict.gain == 1.0
+        assert verdict.corrected_abacus is None
+
+    @pytest.mark.parametrize("gain", [1.2, 0.8])
+    def test_drift_detected_and_estimated(self, tech, gain):
+        nominal = design_structure(tech, 8, 2, bitline_rows=16)
+        drifted = _drifted_structure(tech, nominal, gain)
+        *_, scan, check, _ = _setup(tech, structure=drifted)
+        verdict = check.evaluate(scan)
+        assert verdict.status is InstrumentStatus.GAIN_DRIFT
+        assert verdict.gain == pytest.approx(gain, rel=0.08)
+        assert verdict.corrected_abacus is not None
+
+    def test_corrected_abacus_recovers_estimates(self, tech):
+        gain = 1.2
+        nominal = design_structure(tech, 8, 2, bitline_rows=16)
+        drifted = _drifted_structure(tech, nominal, gain)
+        array, bank, abacus, scan, check, _ = _setup(tech, structure=drifted)
+        verdict = check.evaluate(scan)
+        corrected = verdict.corrected_abacus
+        # A healthy 30 fF cell measured through the drifted instrument:
+        probe_row, probe_col = 3, 1  # not a reference position
+        code = int(scan.codes[probe_row, probe_col])
+        wrong = abacus.estimate(code)
+        fixed = corrected.estimate(code)
+        true = array.cell(probe_row, probe_col).capacitance
+        assert abs(fixed - true) < abs(wrong - true)
+        assert to_fF(abs(fixed - true)) < 2.5
+
+    def test_broken_instrument_flags_faulty(self, tech):
+        *_, scan, check, _ = _setup(tech)
+        dead = scan.codes.copy()
+        dead[:, :] = 0  # e.g. LEC stuck open
+        from repro.measure.scan import ScanResult
+
+        verdict = check.evaluate(
+            ScanResult(codes=dead, vgs=scan.vgs, num_steps=scan.num_steps,
+                       tiers=scan.tiers)
+        )
+        assert verdict.status is InstrumentStatus.FAULTY
+
+    def test_tolerance_validation(self, tech):
+        *_, check, _ = _setup(tech)
+        with pytest.raises(CalibrationError):
+            InstrumentCheck(check.abacus, check.bank, 8, 2, code_tolerance=0.0)

@@ -1,0 +1,58 @@
+"""Plate-node robustness sensitivities (experiment E1 support)."""
+
+import pytest
+
+from repro.calibration.design import design_structure
+from repro.calibration.sensitivity import plate_error_from_cbl, plate_error_from_vth
+from repro.errors import CalibrationError
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def tall_structure(tech):
+    return design_structure(tech, 16, 2, bitline_rows=128)
+
+
+def test_cbl_error_is_second_order(tech, tall_structure):
+    err = plate_error_from_cbl(tall_structure, 16, 2, bitline_rows=128)
+    # +-10 % of a ~47 fF bitline induces well under 1.5 fF of extraction
+    # error on the plate side.
+    assert err < 1.5 * fF
+
+
+def test_cbl_error_scales_with_uncertainty(tech, tall_structure):
+    small = plate_error_from_cbl(
+        tall_structure, 16, 2, relative_cbl_error=0.05, bitline_rows=128
+    )
+    large = plate_error_from_cbl(
+        tall_structure, 16, 2, relative_cbl_error=0.20, bitline_rows=128
+    )
+    assert large > 2.5 * small
+
+
+def test_cbl_error_validation(tall_structure):
+    with pytest.raises(CalibrationError):
+        plate_error_from_cbl(tall_structure, 16, 2, relative_cbl_error=1.5)
+
+
+def test_vth_error_is_finite_and_bounded(tech, tall_structure):
+    err = plate_error_from_vth(tall_structure, 16, 2, bitline_rows=128)
+    assert 0 < err < 5 * fF
+
+
+def test_vth_error_grows_with_mismatch(tech, tall_structure):
+    e1 = plate_error_from_vth(tall_structure, 16, 2, delta_vth=0.005, bitline_rows=128)
+    e2 = plate_error_from_vth(tall_structure, 16, 2, delta_vth=0.02, bitline_rows=128)
+    assert e2 > e1
+
+
+def test_plate_beats_bitline_on_cbl_noise(tech, tall_structure):
+    """The paper's headline E1 claim, in one assertion."""
+    from repro.baselines.bitline_measure import BitlineMeasurement
+    from repro.edram.array import EDRAMArray
+
+    arr = EDRAMArray(128, 4, tech=tech, macro_cols=2, macro_rows=16)
+    bitline = BitlineMeasurement(arr)
+    plate_err = plate_error_from_cbl(tall_structure, 16, 2, bitline_rows=128)
+    bitline_err = bitline.capacitance_error_from_cbl(30 * fF)
+    assert bitline_err > 3 * plate_err

@@ -1,0 +1,74 @@
+"""Specification windows in the current domain."""
+
+import pytest
+
+from repro.calibration.window import SpecificationWindow, SpecVerdict
+from repro.errors import CalibrationError
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def window(abacus_2x2):
+    return SpecificationWindow.from_capacitance(abacus_2x2, 24 * fF, 36 * fF)
+
+
+def test_window_codes_bracket_spec(window, abacus_2x2):
+    assert window.code_lo == abacus_2x2.code_for_capacitance(24 * fF)
+    assert window.code_hi == abacus_2x2.code_for_capacitance(36 * fF)
+    assert 0 < window.code_lo <= window.code_hi < 20
+
+
+def test_current_view(window, abacus_2x2):
+    delta_i = abacus_2x2.structure.design.delta_i
+    assert window.current_lo == pytest.approx(window.code_lo * delta_i)
+    assert window.current_hi == pytest.approx(window.code_hi * delta_i)
+
+
+def test_classification(window):
+    assert window.classify(0) is SpecVerdict.AMBIGUOUS_ZERO
+    assert window.classify(window.num_steps) is SpecVerdict.OVER_RANGE
+    assert window.classify(window.code_lo) is SpecVerdict.PASS
+    assert window.classify(window.code_hi) is SpecVerdict.PASS
+    if window.code_lo > 1:
+        assert window.classify(window.code_lo - 1) is SpecVerdict.FAIL_LOW
+    if window.code_hi < window.num_steps - 1:
+        assert window.classify(window.code_hi + 1) is SpecVerdict.FAIL_HIGH
+
+
+def test_passes_helper(window):
+    assert window.passes(window.code_lo)
+    assert not window.passes(0)
+
+
+def test_classify_bounds(window):
+    with pytest.raises(CalibrationError):
+        window.classify(-1)
+    with pytest.raises(CalibrationError):
+        window.classify(window.num_steps + 1)
+
+
+def test_in_spec_capacitance_always_passes(window, abacus_2x2):
+    import numpy as np
+
+    for cap in np.linspace(24 * fF, 36 * fF, 40):
+        code = abacus_2x2.code_for_capacitance(float(cap))
+        assert window.passes(code), f"{cap / fF:.1f} fF -> code {code} failed"
+
+
+def test_spec_outside_range_rejected(abacus_2x2):
+    with pytest.raises(CalibrationError):
+        SpecificationWindow.from_capacitance(abacus_2x2, 5 * fF, 30 * fF)
+    with pytest.raises(CalibrationError):
+        SpecificationWindow.from_capacitance(abacus_2x2, 30 * fF, 80 * fF)
+
+
+def test_from_capacitance_validation(abacus_2x2):
+    with pytest.raises(CalibrationError):
+        SpecificationWindow.from_capacitance(abacus_2x2, 36 * fF, 24 * fF)
+
+
+def test_direct_construction_validation():
+    with pytest.raises(CalibrationError):
+        SpecificationWindow(code_lo=0, code_hi=5, num_steps=20, delta_i=1e-6)
+    with pytest.raises(CalibrationError):
+        SpecificationWindow(code_lo=5, code_hi=20, num_steps=20, delta_i=1e-6)

@@ -1,0 +1,166 @@
+"""Exact charge-redistribution engine."""
+
+import pytest
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.errors import NetlistError, SingularCircuitError
+from repro.units import fF
+
+
+def test_basic_two_cap_sharing():
+    net = CapacitorNetwork()
+    net.add_capacitor("C1", "a", "0", 30 * fF)
+    net.add_capacitor("C2", "b", "0", 60 * fF)
+    net.add_switch("S", "a", "b")
+    net.drive("a", 1.8)
+    net.settle()
+    net.float_node("a")
+    net.close_switch("S")
+    state = net.settle()
+    expected = 1.8 * 30 / 90
+    assert state["a"] == pytest.approx(expected)
+    assert state["b"] == pytest.approx(expected)
+
+
+def test_charge_is_conserved_through_sharing():
+    net = CapacitorNetwork()
+    net.add_capacitor("C1", "a", "0", 25 * fF)
+    net.add_capacitor("C2", "b", "0", 47 * fF)
+    net.add_switch("S", "a", "b")
+    net.drive("a", 1.3)
+    net.drive("b", 0.4)
+    net.settle()
+    q_before = net.total_charge({"a"}) + net.total_charge({"b"})
+    net.float_node("a")
+    net.float_node("b")
+    net.close_switch("S")
+    net.settle()
+    q_after = net.total_charge({"a", "b"})
+    assert q_after == pytest.approx(q_before)
+
+
+def test_series_branch_reduction():
+    # plate--C1--x--C2--gnd with x floating behaves as series(C1, C2).
+    net = CapacitorNetwork()
+    net.add_capacitor("C1", "plate", "x", 30 * fF)
+    net.add_capacitor("C2", "x", "0", 30 * fF)
+    net.drive("plate", 1.8)
+    state = net.settle()
+    assert state["x"] == pytest.approx(0.9)  # capacitive divider
+
+
+def test_driven_node_unaffected_by_topology():
+    net = CapacitorNetwork()
+    net.add_capacitor("C1", "a", "b", 10 * fF)
+    net.add_capacitor("C2", "b", "0", 10 * fF)
+    net.drive("a", 1.0)
+    state = net.settle()
+    assert state["a"] == 1.0
+    assert state["b"] == pytest.approx(0.5)
+
+
+def test_floating_island_without_caps_keeps_voltage():
+    net = CapacitorNetwork()
+    net.add_node("lonely", voltage=0.7)
+    state = net.settle()
+    assert state["lonely"] == pytest.approx(0.7)
+
+
+def test_shorted_conflicting_sources_raise():
+    net = CapacitorNetwork()
+    net.add_capacitor("C", "a", "0", 1 * fF)
+    net.add_switch("S", "a", "b", closed=True)
+    net.drive("a", 1.0)
+    net.drive("b", 0.0)
+    with pytest.raises(SingularCircuitError):
+        net.settle()
+
+
+def test_shorted_agreeing_sources_are_fine():
+    net = CapacitorNetwork()
+    net.add_capacitor("C", "a", "0", 1 * fF)
+    net.add_switch("S", "a", "b", closed=True)
+    net.drive("a", 1.0)
+    net.drive("b", 1.0)
+    state = net.settle()
+    assert state["a"] == 1.0
+
+
+def test_ground_cannot_be_floated():
+    net = CapacitorNetwork()
+    with pytest.raises(NetlistError):
+        net.float_node("0")
+
+
+def test_capacitance_update_for_defect_injection():
+    net = CapacitorNetwork()
+    net.add_capacitor("CM", "a", "0", 30 * fF)
+    assert net.capacitance("CM") == 30 * fF
+    net.set_capacitance("CM", 12 * fF)
+    assert net.capacitance("CM") == 12 * fF
+    with pytest.raises(NetlistError):
+        net.set_capacitance("CX", 1 * fF)
+    with pytest.raises(NetlistError):
+        net.set_capacitance("CM", -1.0)
+
+
+def test_island_of_tracks_switch_state():
+    net = CapacitorNetwork()
+    net.add_switch("S1", "a", "b", closed=True)
+    net.add_switch("S2", "b", "c", closed=False)
+    assert net.island_of("a") == {"a", "b"}
+    net.close_switch("S2")
+    assert net.island_of("a") == {"a", "b", "c"}
+    net.open_switch("S1")
+    assert net.island_of("a") == {"a"}
+
+
+def test_duplicate_names_rejected():
+    net = CapacitorNetwork()
+    net.add_capacitor("C", "a", "0", 1 * fF)
+    with pytest.raises(NetlistError):
+        net.add_capacitor("C", "b", "0", 1 * fF)
+    net.add_switch("S", "a", "b")
+    with pytest.raises(NetlistError):
+        net.add_switch("S", "b", "c")
+
+
+def test_unknown_switch_rejected():
+    net = CapacitorNetwork()
+    with pytest.raises(NetlistError):
+        net.close_switch("nope")
+    with pytest.raises(NetlistError):
+        net.switch_closed("nope")
+
+
+def test_five_phase_flow_manually():
+    """Replay the paper's phases 1-4 by hand and check V_GS."""
+    cm, cref = 30 * fF, 40 * fF
+    net = CapacitorNetwork()
+    net.add_capacitor("CM", "plate", "s", cm)
+    net.add_capacitor("CJS", "s", "0", 0.6 * fF)
+    net.add_capacitor("CREF", "gate", "0", cref)
+    net.add_switch("AC", "bl", "s", closed=True)
+    net.add_switch("LEC", "plate", "gate", closed=True)
+    # Phase 1: everything grounded.
+    net.drive("bl", 0.0)
+    net.drive("plate", 0.0)
+    net.settle()
+    # Phase 2: charge CM through the plate; LEC open.
+    net.open_switch("LEC")
+    net.drive("plate", 1.8)
+    net.settle()
+    # Phase 3: float the plate.
+    net.float_node("plate")
+    net.settle()
+    # Phase 4: share with CREF.
+    net.close_switch("LEC")
+    state = net.settle()
+    assert state["gate"] == pytest.approx(1.8 * cm / (cm + cref))
+    assert state["plate"] == state["gate"]
+
+
+def test_voltage_query_validates_node():
+    net = CapacitorNetwork()
+    with pytest.raises(NetlistError):
+        net.voltage("ghost")

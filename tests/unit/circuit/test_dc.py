@@ -1,0 +1,91 @@
+"""DC operating-point solver."""
+
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.elements import Capacitor, CurrentSource, Resistor, VoltageSource
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.circuit.stimulus import Step
+from repro.units import fF, um
+
+
+def test_resistor_ladder():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V", "n0", "0", 4.0))
+    for i in range(4):
+        ckt.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1e3))
+    ckt.add(Resistor("RL", "n4", "0", 1e12))  # pin the last node
+    op = dc_operating_point(ckt)
+    assert op["n4"] == pytest.approx(4.0, rel=1e-3)  # no current flows
+
+
+def test_floating_node_pinned_by_gmin():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V", "a", "0", 1.0))
+    ckt.add(Capacitor("C", "a", "float", 10 * fF))
+    op = dc_operating_point(ckt)
+    assert abs(op["float"]) < 1e-6  # gmin ties it to ground in DC
+
+
+def test_time_dependent_source_frozen_at_requested_time():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V", "a", "0", Step(1e-9, 0.2, 1.4)))
+    ckt.add(Resistor("R", "a", "0", 1e3))
+    assert dc_operating_point(ckt, time=0.0)["a"] == pytest.approx(0.2)
+    assert dc_operating_point(ckt, time=2e-9)["a"] == pytest.approx(1.4)
+
+
+def test_nmos_inverter_transfer_points(tech):
+    def out_for(vin):
+        ckt = Circuit()
+        ckt.add(VoltageSource("VDD", "vdd", "0", 1.8))
+        ckt.add(VoltageSource("VIN", "in", "0", vin))
+        ckt.add(
+            Mosfet("MP", "out", "in", "vdd", tech.pmos, w=1.68 * um, l=0.18 * um,
+                   bulk_voltage=1.8)
+        )
+        ckt.add(Mosfet("MN", "out", "in", "0", tech.nmos, w=0.42 * um, l=0.18 * um))
+        return dc_operating_point(ckt)["out"]
+
+    assert out_for(0.0) > 1.75
+    assert out_for(1.8) < 0.05
+    mid = out_for(0.9)
+    assert 0.2 < mid < 1.6  # transition region
+
+
+def test_diode_connected_nmos_settles_above_threshold(tech):
+    ckt = Circuit()
+    ckt.add(VoltageSource("VDD", "vdd", "0", 1.8))
+    ckt.add(Resistor("R", "vdd", "d", 50e3))
+    ckt.add(Mosfet("M", "d", "d", "0", tech.nmos, w=1 * um, l=0.18 * um))
+    op = dc_operating_point(ckt)
+    assert tech.nmos.vth0 < op["d"] < 1.2
+
+
+def test_initial_guess_is_honoured():
+    ckt = Circuit()
+    ckt.add(CurrentSource("I", "0", "x", 1e-6))
+    ckt.add(Resistor("R", "x", "0", 1e6))
+    op = dc_operating_point(ckt, initial_guess={"x": 0.9})
+    assert op["x"] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_cmos_nand_gate_truth_table(tech):
+    """Two-input NAND: out is low only when both inputs are high."""
+
+    def nand(a, b):
+        ckt = Circuit()
+        ckt.add(VoltageSource("VDD", "vdd", "0", 1.8))
+        ckt.add(VoltageSource("VA", "a", "0", a))
+        ckt.add(VoltageSource("VB", "b", "0", b))
+        ckt.add(Mosfet("MPA", "out", "a", "vdd", tech.pmos, w=1.68 * um, l=0.18 * um, bulk_voltage=1.8))
+        ckt.add(Mosfet("MPB", "out", "b", "vdd", tech.pmos, w=1.68 * um, l=0.18 * um, bulk_voltage=1.8))
+        ckt.add(Mosfet("MNA", "out", "a", "mid", tech.nmos, w=0.84 * um, l=0.18 * um))
+        ckt.add(Mosfet("MNB", "mid", "b", "0", tech.nmos, w=0.84 * um, l=0.18 * um))
+        return dc_operating_point(ckt)["out"]
+
+    assert nand(0.0, 0.0) > 1.7
+    assert nand(1.8, 0.0) > 1.7
+    assert nand(0.0, 1.8) > 1.7
+    assert nand(1.8, 1.8) < 0.1

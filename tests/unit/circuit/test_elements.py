@@ -1,0 +1,159 @@
+"""Linear element validation and stamping behaviour (via small solves)."""
+
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentMirrorOutput,
+    CurrentSource,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.stimulus import Step
+from repro.circuit.transient import TransientOptions, transient_analysis
+from repro.errors import NetlistError
+from repro.units import fF
+
+
+class TestResistor:
+    def test_rejects_nonpositive_or_nonfinite(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(NetlistError):
+                Resistor("R", "a", "b", bad)
+
+    def test_divider_solves(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "in", "0", 2.0))
+        ckt.add(Resistor("R1", "in", "out", 1e3))
+        ckt.add(Resistor("R2", "out", "0", 3e3))
+        op = dc_operating_point(ckt)
+        assert op["out"] == pytest.approx(1.5, rel=1e-6)
+
+
+class TestVoltageSource:
+    def test_time_dependent_value(self):
+        src = VoltageSource("V", "a", "0", Step(1e-9, 0.0, 1.8))
+        assert src.voltage_at(0.0) == 0.0
+        assert src.voltage_at(2e-9) == 1.8
+
+    def test_two_sources_in_series_through_resistor(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V1", "a", "0", 1.0))
+        ckt.add(VoltageSource("V2", "b", "0", 3.0))
+        ckt.add(Resistor("R", "a", "b", 1e3))
+        op = dc_operating_point(ckt)
+        assert op["a"] == pytest.approx(1.0)
+        assert op["b"] == pytest.approx(3.0)
+
+
+class TestCurrentSource:
+    def test_direction_convention(self):
+        # CurrentSource(a, b, i) pushes current into node b.
+        ckt = Circuit()
+        ckt.add(CurrentSource("I", "0", "x", 1e-3))
+        ckt.add(Resistor("R", "x", "0", 1e3))
+        op = dc_operating_point(ckt)
+        assert op["x"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_reversed_direction(self):
+        ckt = Circuit()
+        ckt.add(CurrentSource("I", "x", "0", 1e-3))
+        ckt.add(Resistor("R", "x", "0", 1e3))
+        op = dc_operating_point(ckt)
+        assert op["x"] == pytest.approx(-1.0, rel=1e-6)
+
+
+class TestCapacitor:
+    def test_rejects_negative(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C", "a", "b", -1 * fF)
+
+    def test_open_in_dc(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "in", "0", 1.0))
+        ckt.add(Resistor("R", "in", "out", 1e3))
+        ckt.add(Capacitor("C", "out", "0", 100 * fF))
+        op = dc_operating_point(ckt)
+        assert op["out"] == pytest.approx(1.0, rel=1e-5)  # no DC current
+
+    def test_rc_charging_time_constant(self):
+        import math
+
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "in", "0", Step(1e-9, 0.0, 1.0)))
+        ckt.add(Resistor("R", "in", "out", 10e3))
+        ckt.add(Capacitor("C", "out", "0", 100 * fF))  # tau = 1 ns
+        wf = transient_analysis(ckt, 8e-9, options=TransientOptions(dt=10e-12))
+        t63 = wf.first_crossing("out", 1.0 - math.exp(-1.0))
+        assert t63 - 1e-9 == pytest.approx(1e-9, rel=0.03)
+
+    def test_trapezoidal_matches_be_on_rc(self):
+        def run(integrator):
+            ckt = Circuit()
+            ckt.add(VoltageSource("V", "in", "0", Step(0.5e-9, 0.0, 1.0)))
+            ckt.add(Resistor("R", "in", "out", 10e3))
+            ckt.add(Capacitor("C", "out", "0", 100 * fF))
+            wf = transient_analysis(
+                ckt, 6e-9, options=TransientOptions(dt=20e-12, integrator=integrator)
+            )
+            return wf.value_at("out", 2.5e-9)
+
+        assert run("trap") == pytest.approx(run("be"), rel=0.02)
+
+
+class TestSwitch:
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            Switch("S", "a", "b", 1.0, r_on=1e6, r_off=1e3)
+
+    def test_switch_divides_when_off(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "in", "0", 1.0))
+        ckt.add(Switch("S", "in", "out", control=0.0, r_on=1.0, r_off=1e12))
+        ckt.add(Resistor("RL", "out", "0", 1e3))
+        op = dc_operating_point(ckt)
+        assert op["out"] < 1e-6
+
+    def test_switch_conducts_when_on(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "in", "0", 1.0))
+        ckt.add(Switch("S", "in", "out", control=1.0, r_on=1.0, r_off=1e12))
+        ckt.add(Resistor("RL", "out", "0", 1e3))
+        op = dc_operating_point(ckt)
+        assert op["out"] == pytest.approx(1.0, rel=1e-2)
+
+    def test_time_controlled(self):
+        sw = Switch("S", "a", "b", control=Step(5e-9, 0.0, 1.0))
+        assert not sw.is_on(1e-9)
+        assert sw.is_on(6e-9)
+
+
+class TestCurrentMirrorOutput:
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            CurrentMirrorOutput("I", "vdd", "out", 1e-6, v_knee=0.0)
+
+    def test_full_current_with_headroom(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "vdd", "0", 1.8))
+        ckt.add(CurrentMirrorOutput("I", "vdd", "out", 10e-6, v_knee=0.05))
+        ckt.add(Resistor("R", "out", "0", 10e3))  # drops 0.1 V, lots of headroom
+        op = dc_operating_point(ckt)
+        assert op["out"] == pytest.approx(0.1, rel=0.01)
+
+    def test_output_clamps_at_supply(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V", "vdd", "0", 1.8))
+        ckt.add(CurrentMirrorOutput("I", "vdd", "out", 10e-6, v_knee=0.05))
+        ckt.add(Resistor("R", "out", "0", 1e9))  # would need 10 kV if ideal
+        op = dc_operating_point(ckt)
+        assert op["out"] < 1.8 + 1e-6
+
+    def test_output_current_helper(self):
+        m = CurrentMirrorOutput("I", "vdd", "out", 10e-6, v_knee=0.05)
+        assert m.output_current(0.0, 1.8, 0.0) == pytest.approx(10e-6, rel=1e-6)
+        assert m.output_current(0.0, 1.8, 1.8) == 0.0
+        assert 0 < m.output_current(0.0, 1.8, 1.75) < 10e-6

@@ -1,0 +1,113 @@
+"""Direct tests of the MNA assembly layer."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import Resistor, VoltageSource
+from repro.circuit.mna import MnaSystem, StampContext
+from repro.circuit.netlist import Circuit
+from repro.errors import SingularCircuitError
+
+
+@pytest.fixture()
+def system():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "a", "0", 1.0))
+    ckt.add(Resistor("R1", "a", "b", 2.0))
+    ckt.add(Resistor("R2", "b", "0", 2.0))
+    return MnaSystem(ckt)
+
+
+class TestLayout:
+    def test_size_is_nodes_plus_branches(self, system):
+        assert system.num_nodes == 2
+        assert system.size == 3  # two voltages + one source branch
+
+    def test_branch_index_assignment(self, system):
+        assert system.branch_index("V1") == 2
+
+
+class TestStamps:
+    def test_conductance_stamp_is_symmetric(self, system):
+        system.reset()
+        ia = system.circuit.node_index("a")
+        ib = system.circuit.node_index("b")
+        system.add_conductance(ia, ib, 0.5)
+        m = system.matrix
+        assert m[ia, ia] == m[ib, ib] == 0.5
+        assert m[ia, ib] == m[ib, ia] == -0.5
+
+    def test_conductance_to_ground_touches_one_row(self, system):
+        system.reset()
+        ia = system.circuit.node_index("a")
+        system.add_conductance(ia, -1, 0.25)
+        assert system.matrix[ia, ia] == 0.25
+        assert np.count_nonzero(system.matrix) == 1
+
+    def test_current_injection(self, system):
+        system.reset()
+        ia = system.circuit.node_index("a")
+        system.add_current(ia, 1e-3)
+        system.add_current(-1, 5.0)  # into ground: discarded
+        assert system.rhs[ia] == 1e-3
+        assert np.count_nonzero(system.rhs) == 1
+
+    def test_transconductance_stamp(self, system):
+        system.reset()
+        ia = system.circuit.node_index("a")
+        ib = system.circuit.node_index("b")
+        system.add_transconductance(ia, ib, ib, -1, gm=2.0)
+        # Current 2*(v_b) flows from a to b.
+        assert system.matrix[ia, ib] == 2.0
+        assert system.matrix[ib, ib] == -2.0
+
+    def test_voltage_source_stamp(self, system):
+        system.reset()
+        ia = system.circuit.node_index("a")
+        branch = system.branch_index("V1")
+        system.stamp_voltage_source(branch, ia, -1, 1.5)
+        assert system.matrix[ia, branch] == 1.0
+        assert system.matrix[branch, ia] == 1.0
+        assert system.rhs[branch] == 1.5
+
+
+class TestAssembleSolve:
+    def test_full_solve_matches_divider(self, system):
+        ctx = StampContext(v_iter=np.zeros(2))
+        system.assemble(ctx)
+        x = system.solve()
+        a = system.circuit.node_index("a")
+        b = system.circuit.node_index("b")
+        assert x[a] == pytest.approx(1.0, rel=1e-9)
+        assert x[b] == pytest.approx(0.5, rel=1e-9)
+        # Branch current: 1 V across 4 ohms, flowing out of the source.
+        assert x[system.branch_index("V1")] == pytest.approx(-0.25, rel=1e-6)
+
+    def test_gmin_pins_floating_nodes(self):
+        ckt = Circuit()
+        ckt.add(Resistor("R", "x", "y", 1.0))  # fully floating pair
+        system = MnaSystem(ckt)
+        system.assemble(StampContext(v_iter=np.zeros(2), gmin=1e-12))
+        x = system.solve()
+        assert np.allclose(x, 0.0)
+
+    def test_singular_without_gmin_raises(self):
+        ckt = Circuit()
+        ckt.add(Resistor("R", "x", "y", 1.0))
+        system = MnaSystem(ckt)
+        system.assemble(StampContext(v_iter=np.zeros(2), gmin=0.0))
+        with pytest.raises(SingularCircuitError):
+            system.solve()
+
+
+class TestContext:
+    def test_voltage_helper(self):
+        ctx = StampContext(v_iter=np.array([1.0, 2.0]), v_prev=np.array([0.5, 0.7]))
+        assert ctx.voltage(0) == 1.0
+        assert ctx.voltage(1, "prev") == 0.7
+        assert ctx.voltage(-1) == 0.0  # ground
+
+    def test_missing_vectors_read_zero(self):
+        ctx = StampContext()
+        assert ctx.voltage(0) == 0.0
+        assert ctx.voltage(3, "prev") == 0.0

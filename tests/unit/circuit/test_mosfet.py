@@ -1,0 +1,149 @@
+"""MOSFET model: regions, symmetry, derivatives, body effect."""
+
+import pytest
+
+from repro.circuit.mosfet import Mosfet
+from repro.errors import NetlistError
+from repro.units import um
+
+
+@pytest.fixture()
+def nmos(tech):
+    return Mosfet("MN", "d", "g", "s", tech.nmos, w=0.36 * um, l=0.18 * um)
+
+
+@pytest.fixture()
+def pmos(tech):
+    return Mosfet("MP", "d", "g", "s", tech.pmos, w=0.72 * um, l=0.18 * um, bulk_voltage=1.8)
+
+
+class TestRegions:
+    def test_off_state_leakage_is_tiny(self, nmos):
+        assert 0 < nmos.ids(1.8, 0.0, 0.0) < 1e-9
+
+    def test_subthreshold_slope_is_exponential(self, nmos, tech):
+        from repro.units import thermal_voltage
+
+        i1 = nmos.ids(1.8, 0.20, 0.0)
+        i2 = nmos.ids(1.8, 0.30, 0.0)
+        import math
+
+        observed_slope = 0.1 / math.log10(i2 / i1)  # V/decade
+        expected = tech.nmos.n_sub * thermal_voltage() * math.log(10)
+        assert observed_slope == pytest.approx(expected, rel=0.1)
+
+    def test_saturation_current_quadratic_in_overdrive(self, nmos):
+        # strong inversion, deep saturation: I ~ (vgs - vth)^2
+        i1 = nmos.ids(1.8, 0.95, 0.0)
+        i2 = nmos.ids(1.8, 1.45, 0.0)
+        ratio = i2 / i1
+        assert ratio == pytest.approx(4.0, rel=0.15)  # (1.0/0.5)^2
+
+    def test_triode_conductance_matches_level1(self, nmos, tech):
+        # g = beta * vov at vds -> 0
+        vgs = 1.2
+        vov = vgs - tech.nmos.vth0
+        g_expected = tech.nmos.beta(0.36 * um, 0.18 * um) * vov
+        g_measured = nmos.ids(0.01, vgs, 0.0) / 0.01
+        assert g_measured == pytest.approx(g_expected, rel=0.1)
+
+    def test_monotone_in_vgs_and_vds(self, nmos):
+        currents = [nmos.ids(1.0, vgs, 0.0) for vgs in (0.3, 0.6, 0.9, 1.2, 1.5)]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+        currents = [nmos.ids(vds, 1.2, 0.0) for vds in (0.1, 0.4, 0.8, 1.4)]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+
+class TestSymmetryAndPolarity:
+    def test_reverse_operation_negates_current(self, nmos):
+        assert nmos.ids(0.0, 0.9, 1.8) == pytest.approx(-nmos.ids(1.8, 0.9, 0.0))
+
+    def test_zero_vds_zero_current(self, nmos):
+        assert nmos.ids(0.7, 1.2, 0.7) == pytest.approx(0.0, abs=1e-15)
+
+    def test_pmos_conducts_with_low_gate(self, pmos):
+        assert pmos.ids(0.0, 0.0, 1.8) < -1e-5  # negative drain current
+
+    def test_pmos_off_with_high_gate(self, pmos):
+        assert abs(pmos.ids(0.0, 1.8, 1.8)) < 1e-9
+
+    def test_pmos_mirror_symmetry(self, tech):
+        n = Mosfet("MN", "d", "g", "s", tech.nmos, w=1e-6, l=0.2e-6)
+        p_params = tech.pmos.with_shift(kp_scale=tech.nmos.kp / tech.pmos.kp)
+        p = Mosfet("MP", "d", "g", "s", p_params, w=1e-6, l=0.2e-6, bulk_voltage=1.8)
+        i_n = n.ids(1.0, 1.2, 0.0)
+        i_p = p.ids(0.8, 0.6, 1.8)  # mirrored bias around 0.9
+        assert i_p == pytest.approx(-i_n, rel=1e-9)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "bias",
+        [
+            (1.8, 1.2, 0.0),  # saturation
+            (0.05, 1.2, 0.0),  # triode
+            (1.8, 0.3, 0.0),  # subthreshold
+            (0.7, 1.1, 0.2),  # body effect active
+            (0.1, 0.9, 1.8),  # swapped
+        ],
+    )
+    def test_analytic_derivatives_match_numeric(self, nmos, bias):
+        vd, vg, vs = bias
+        h = 1e-7
+        _, dd, dg, ds = nmos.ids_and_derivatives(vd, vg, vs)
+        nd = (nmos.ids(vd + h, vg, vs) - nmos.ids(vd - h, vg, vs)) / (2 * h)
+        ng = (nmos.ids(vd, vg + h, vs) - nmos.ids(vd, vg - h, vs)) / (2 * h)
+        if vs == 0.0 and vd >= vs:
+            # The body-effect clamp has a kink at vsb = 0; the analytic
+            # derivative is the left limit, so difference on that side.
+            ns = (nmos.ids(vd, vg, vs) - nmos.ids(vd, vg, vs - h)) / h
+        else:
+            ns = (nmos.ids(vd, vg, vs + h) - nmos.ids(vd, vg, vs - h)) / (2 * h)
+        assert dd == pytest.approx(nd, rel=1e-4, abs=1e-15)
+        assert dg == pytest.approx(ng, rel=1e-4, abs=1e-15)
+        assert ds == pytest.approx(ns, rel=1e-3, abs=1e-14)
+
+    def test_pmos_derivatives_match_numeric(self, pmos):
+        vd, vg, vs = 0.3, 0.4, 1.7
+        h = 1e-7
+        _, dd, dg, ds = pmos.ids_and_derivatives(vd, vg, vs)
+        nd = (pmos.ids(vd + h, vg, vs) - pmos.ids(vd - h, vg, vs)) / (2 * h)
+        ng = (pmos.ids(vd, vg + h, vs) - pmos.ids(vd, vg - h, vs)) / (2 * h)
+        ns = (pmos.ids(vd, vg, vs + h) - pmos.ids(vd, vg, vs - h)) / (2 * h)
+        assert dd == pytest.approx(nd, rel=1e-4, abs=1e-15)
+        assert dg == pytest.approx(ng, rel=1e-4, abs=1e-15)
+        assert ds == pytest.approx(ns, rel=1e-4, abs=1e-15)
+
+
+class TestBodyEffect:
+    def test_threshold_rises_with_source_voltage(self, nmos):
+        assert nmos.threshold_voltage(1.0) > nmos.threshold_voltage(0.0)
+
+    def test_clamped_below_zero_vsb(self, nmos):
+        assert nmos.threshold_voltage(-0.5) == pytest.approx(nmos.threshold_voltage(0.0))
+
+    def test_pass_transistor_source_follower_limit(self, tech):
+        # An n-MOS passing a high level conducts less as its source rises.
+        m = Mosfet("M", "d", "g", "s", tech.nmos, w=1e-6, l=0.2e-6)
+        i_low_src = m.ids(1.8, 1.8, 0.0)
+        i_high_src = m.ids(1.8, 1.8, 1.2)
+        assert i_high_src < 0.1 * i_low_src
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self, tech):
+        with pytest.raises(NetlistError):
+            Mosfet("M", "d", "g", "s", tech.nmos, w=0.0, l=1e-6)
+
+    def test_rejects_negative_gate_caps(self, tech):
+        with pytest.raises(NetlistError):
+            Mosfet("M", "d", "g", "s", tech.nmos, w=1e-6, l=1e-6, cgs=-1e-15)
+
+    def test_gate_capacitance_total(self, tech):
+        m = Mosfet("M", "d", "g", "s", tech.nmos, w=1 * um, l=1 * um)
+        assert m.gate_capacitance_total == pytest.approx(
+            tech.nmos.gate_capacitance(1 * um, 1 * um)
+        )
+
+    def test_saturation_current_helper(self, nmos):
+        assert nmos.saturation_current(1.2) > 0

@@ -1,0 +1,91 @@
+"""Netlist container behaviour."""
+
+import pytest
+
+from repro.circuit.elements import Capacitor, Resistor, VoltageSource
+from repro.circuit.netlist import GROUND, Circuit
+from repro.errors import NetlistError
+
+
+def _divider():
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("V1", "in", GROUND, 1.0))
+    ckt.add(Resistor("R1", "in", "mid", 1e3))
+    ckt.add(Resistor("R2", "mid", GROUND, 1e3))
+    return ckt
+
+
+def test_nodes_are_registered_in_order():
+    ckt = _divider()
+    assert ckt.node_names == ["in", "mid"]
+    assert ckt.num_nodes == 2
+
+
+def test_ground_has_index_minus_one():
+    ckt = _divider()
+    assert ckt.node_index(GROUND) == -1
+    assert ckt.node_index("in") == 0
+
+
+def test_unknown_node_raises():
+    ckt = _divider()
+    with pytest.raises(NetlistError):
+        ckt.node_index("nowhere")
+
+
+def test_duplicate_element_name_rejected():
+    ckt = _divider()
+    with pytest.raises(NetlistError):
+        ckt.add(Resistor("R1", "a", "b", 1.0))
+
+
+def test_remove_and_readd():
+    ckt = _divider()
+    removed = ckt.remove("R2")
+    assert removed.name == "R2"
+    assert "R2" not in ckt
+    ckt.add(Resistor("R2", "mid", GROUND, 2e3))
+    assert ckt["R2"].resistance == 2e3
+
+
+def test_remove_missing_raises():
+    with pytest.raises(NetlistError):
+        _divider().remove("RX")
+
+
+def test_getitem_missing_raises():
+    with pytest.raises(NetlistError):
+        _divider()["nope"]
+
+
+def test_iteration_and_len():
+    ckt = _divider()
+    assert len(ckt) == 3
+    assert [e.name for e in ckt] == ["V1", "R1", "R2"]
+
+
+def test_elements_of_type():
+    ckt = _divider()
+    assert len(ckt.elements_of_type(Resistor)) == 2
+    assert len(ckt.elements_of_type(VoltageSource)) == 1
+    assert ckt.elements_of_type(Capacitor) == []
+
+
+def test_summary_histogram():
+    summary = _divider().summary()
+    assert summary["Resistor"] == 2
+    assert summary["VoltageSource"] == 1
+    assert summary["nodes"] == 2
+
+
+def test_has_node():
+    ckt = _divider()
+    assert ckt.has_node(GROUND)
+    assert ckt.has_node("mid")
+    assert not ckt.has_node("xyz")
+
+
+def test_empty_node_name_rejected():
+    ckt = Circuit()
+    with pytest.raises(NetlistError):
+        ckt.add(Resistor("R", "", "0", 1.0))

@@ -1,0 +1,147 @@
+"""Stimulus waveforms."""
+
+import pytest
+
+from repro.circuit.stimulus import (
+    Clock,
+    Constant,
+    PiecewiseConstant,
+    PiecewiseLinear,
+    Pulse,
+    Staircase,
+    Step,
+    as_stimulus,
+)
+from repro.errors import NetlistError
+
+
+class TestConstantAndStep:
+    def test_constant(self):
+        c = Constant(1.8)
+        assert c(0.0) == c(1e9) == 1.8
+        assert c.breakpoints() == ()
+
+    def test_step(self):
+        s = Step(at=5e-9, before=0.1, after=0.9)
+        assert s(4.999e-9) == 0.1
+        assert s(5e-9) == 0.9
+        assert s.breakpoints() == (5e-9,)
+
+
+class TestPulse:
+    def test_window(self):
+        p = Pulse(1e-9, 2e-9, low=0.0, high=1.8)
+        assert p(0.5e-9) == 0.0
+        assert p(1.5e-9) == 1.8
+        assert p(2.5e-9) == 0.0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(NetlistError):
+            Pulse(2e-9, 1e-9)
+
+
+class TestPiecewiseLinear:
+    def test_interpolates(self):
+        pwl = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0)])
+        assert pwl(0.5) == pytest.approx(1.0)
+
+    def test_holds_outside_range(self):
+        pwl = PiecewiseLinear([(1.0, 5.0), (2.0, 7.0)])
+        assert pwl(0.0) == 5.0
+        assert pwl(3.0) == 7.0
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(NetlistError):
+            PiecewiseLinear([(1.0, 0.0), (1.0, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(NetlistError):
+            PiecewiseLinear([])
+
+
+class TestPiecewiseConstant:
+    def test_levels_per_interval(self):
+        pc = PiecewiseConstant(edges=[1.0, 2.0], levels=[10.0, 20.0, 30.0])
+        assert pc(0.5) == 10.0
+        assert pc(1.0) == 20.0
+        assert pc(1.5) == 20.0
+        assert pc(2.5) == 30.0
+
+    def test_breakpoints(self):
+        pc = PiecewiseConstant(edges=[1.0, 2.0], levels=[0, 1, 0])
+        assert pc.breakpoints() == (1.0, 2.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(NetlistError):
+            PiecewiseConstant(edges=[1.0], levels=[0.0])
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(NetlistError):
+            PiecewiseConstant(edges=[2.0, 1.0], levels=[0, 1, 2])
+
+
+class TestClock:
+    def test_half_period_duty(self):
+        clk = Clock(period=10e-9, low=0.0, high=1.8)
+        assert clk(1e-9) == 1.8
+        assert clk(6e-9) == 0.0
+        assert clk(11e-9) == 1.8
+
+    def test_phase_shift(self):
+        clk = Clock(period=10e-9, phase=5e-9)
+        assert clk(1e-9) == clk(11e-9)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(NetlistError):
+            Clock(period=0.0)
+
+
+class TestStaircase:
+    def test_paper_ramp_semantics(self):
+        # 20 steps of 0.5 ns starting at 40 ns, 4 uA per step.
+        st = Staircase(t0=40e-9, step_duration=0.5e-9, step_value=4e-6, num_steps=20)
+        assert st(39e-9) == 0.0
+        assert st(40e-9) == pytest.approx(4e-6)  # step 1 active at t0
+        assert st(40.6e-9) == pytest.approx(8e-6)  # step 2
+        assert st(60e-9) == pytest.approx(80e-6)  # holds full scale
+
+    def test_step_at(self):
+        st = Staircase(t0=0.0, step_duration=1.0, step_value=1.0, num_steps=3)
+        assert st.step_at(-0.1) == 0
+        assert st.step_at(0.0) == 1
+        assert st.step_at(1.5) == 2
+        assert st.step_at(99.0) == 3
+
+    def test_step_start_time(self):
+        st = Staircase(t0=10.0, step_duration=2.0, step_value=1.0, num_steps=5)
+        assert st.step_start_time(1) == 10.0
+        assert st.step_start_time(3) == 14.0
+        with pytest.raises(NetlistError):
+            st.step_start_time(0)
+        with pytest.raises(NetlistError):
+            st.step_start_time(6)
+
+    def test_breakpoints_cover_all_steps(self):
+        st = Staircase(t0=0.0, step_duration=1.0, step_value=1.0, num_steps=4)
+        assert st.breakpoints() == (0.0, 1.0, 2.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            Staircase(0.0, 0.0, 1.0, 5)
+        with pytest.raises(NetlistError):
+            Staircase(0.0, 1.0, 1.0, 0)
+
+
+class TestCoercion:
+    def test_numbers_become_constants(self):
+        s = as_stimulus(3)
+        assert isinstance(s, Constant)
+        assert s(0) == 3.0
+
+    def test_stimulus_passes_through(self):
+        s = Step(1.0)
+        assert as_stimulus(s) is s
+
+    def test_rejects_garbage(self):
+        with pytest.raises(NetlistError):
+            as_stimulus("high")

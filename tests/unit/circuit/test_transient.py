@@ -1,0 +1,146 @@
+"""Transient solver behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import Capacitor, CurrentSource, Resistor, Switch, VoltageSource
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import Circuit
+from repro.circuit.stimulus import PiecewiseConstant, Pulse, Staircase, Step
+from repro.circuit.transient import TransientOptions, transient_analysis
+from repro.errors import ReproError
+from repro.units import fF, ns, um
+
+
+def _rc(tau_r=10e3, tau_c=100 * fF):
+    ckt = Circuit()
+    ckt.add(VoltageSource("V", "in", "0", Step(1 * ns, 0.0, 1.0)))
+    ckt.add(Resistor("R", "in", "out", tau_r))
+    ckt.add(Capacitor("C", "out", "0", tau_c))
+    return ckt
+
+
+def test_rc_final_value():
+    wf = transient_analysis(_rc(), 10 * ns, options=TransientOptions(dt=20e-12))
+    assert wf.final("out") == pytest.approx(1.0, abs=0.01)
+
+
+def test_rc_exponential_shape():
+    wf = transient_analysis(_rc(), 6 * ns, options=TransientOptions(dt=10e-12))
+    for k in (1.0, 2.0):
+        expected = 1.0 - math.exp(-k)
+        measured = wf.value_at("out", 1e-9 + k * 1e-9)
+        assert measured == pytest.approx(expected, abs=0.02)
+
+
+def test_breakpoints_are_hit_exactly():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V", "a", "0", Pulse(1.05e-9, 2.35e-9, 0.0, 1.0)))
+    ckt.add(Resistor("R", "a", "0", 1e3))
+    # Deliberately coarse dt that does not divide the pulse edges.
+    wf = transient_analysis(ckt, 4e-9, options=TransientOptions(dt=0.4e-9))
+    assert 1.05e-9 in wf.time
+    assert 2.35e-9 in wf.time
+    assert wf.value_at("a", 1.6e-9) == pytest.approx(1.0)
+
+
+def test_staircase_current_integrates_on_capacitor():
+    # I = k * 1 uA into 1 pF: slope should grow stepwise.
+    ckt = Circuit()
+    ckt.add(
+        CurrentSource("I", "0", "x", Staircase(0.0, 1e-9, 1e-6, 3))
+    )
+    ckt.add(Capacitor("C", "x", "0", 1e-12))
+    wf = transient_analysis(
+        ckt, 3e-9, options=TransientOptions(dt=10e-12, use_ic=True)
+    )
+    # After 1 ns at 1 uA: V = I*t/C = 1 mV.
+    assert wf.value_at("x", 1e-9) == pytest.approx(1e-3, rel=0.05)
+    # The second ns at 2 uA adds 2 mV more.
+    assert wf.value_at("x", 2e-9) == pytest.approx(3e-3, rel=0.05)
+
+
+def test_use_ic_skips_dc_solve():
+    ckt = Circuit()
+    ckt.add(Resistor("R", "a", "0", 1e6))
+    ckt.add(Capacitor("C", "a", "0", 1e-12))  # tau = 1 us >> sim
+    wf = transient_analysis(
+        ckt, 1e-9, options=TransientOptions(dt=50e-12, use_ic=True, ic={"a": 1.5})
+    )
+    assert wf["a"][0] == pytest.approx(1.5)
+    assert wf.final("a") == pytest.approx(1.5, rel=0.01)
+
+
+def test_capacitor_ic_attribute_applied():
+    ckt = Circuit()
+    ckt.add(Resistor("R", "a", "0", 1e9))
+    ckt.add(Capacitor("C", "a", "0", 1e-12, ic=0.7))
+    wf = transient_analysis(ckt, 1e-9, options=TransientOptions(dt=50e-12, use_ic=True))
+    assert wf["a"][0] == pytest.approx(0.7)
+
+
+def test_record_subset_of_nodes():
+    wf = transient_analysis(
+        _rc(), 2e-9, options=TransientOptions(dt=50e-12, record=["out"])
+    )
+    assert "out" in wf
+    assert "in" not in wf
+
+
+def test_invalid_time_range_rejected():
+    with pytest.raises(ReproError):
+        transient_analysis(_rc(), t_stop=0.0)
+
+
+def test_invalid_options_rejected():
+    with pytest.raises(ReproError):
+        TransientOptions(dt=-1.0)
+    with pytest.raises(ReproError):
+        TransientOptions(integrator="euler-forward")
+
+
+def test_switch_toggling_transfers_charge():
+    """Switched-capacitor charge transfer through an ideal switch."""
+    ckt = Circuit()
+    ckt.add(VoltageSource("V", "src", "0", 1.0))
+    ckt.add(Switch("S1", "src", "a", control=PiecewiseConstant([2e-9], [1.0, 0.0]), r_on=100.0))
+    ckt.add(Capacitor("CA", "a", "0", 100 * fF))
+    ckt.add(Switch("S2", "a", "b", control=PiecewiseConstant([2e-9], [0.0, 1.0]), r_on=100.0))
+    ckt.add(Capacitor("CB", "b", "0", 100 * fF))
+    wf = transient_analysis(
+        ckt, 6e-9, options=TransientOptions(dt=20e-12, use_ic=True)
+    )
+    # Phase 1: CA charges to 1 V. Phase 2: shares with CB -> 0.5 V each.
+    assert wf.value_at("a", 1.9e-9) == pytest.approx(1.0, abs=0.01)
+    assert wf.final("b") == pytest.approx(0.5, abs=0.01)
+    assert wf.final("a") == pytest.approx(0.5, abs=0.01)
+
+
+def test_cmos_ring_inverter_switches(tech):
+    """An inverter driven by a step must flip its output."""
+    ckt = Circuit()
+    ckt.add(VoltageSource("VDD", "vdd", "0", 1.8))
+    ckt.add(VoltageSource("VIN", "in", "0", Step(1e-9, 0.0, 1.8)))
+    ckt.add(Mosfet("MP", "out", "in", "vdd", tech.pmos, w=1.68 * um, l=0.18 * um, bulk_voltage=1.8))
+    ckt.add(Mosfet("MN", "out", "in", "0", tech.nmos, w=0.42 * um, l=0.18 * um))
+    ckt.add(Capacitor("CL", "out", "0", 5 * fF))
+    wf = transient_analysis(ckt, 3e-9, options=TransientOptions(dt=10e-12))
+    assert wf.value_at("out", 0.9e-9) > 1.7
+    assert wf.final("out") < 0.05
+    crossings = wf.crossings("out", 0.9, "fall")
+    assert len(crossings) == 1
+    assert crossings[0] > 1e-9
+
+
+def test_energy_conservation_lossless_cap_divider():
+    """Charge is conserved when two capacitors share through a switch."""
+    ckt = Circuit()
+    ckt.add(Capacitor("C1", "a", "0", 60 * fF, ic=1.8))
+    ckt.add(Capacitor("C2", "b", "0", 30 * fF, ic=0.0))
+    ckt.add(Switch("S", "a", "b", control=Step(0.5e-9), r_on=1e3))
+    wf = transient_analysis(ckt, 5e-9, options=TransientOptions(dt=10e-12, use_ic=True))
+    v_final = 1.8 * 60 / 90
+    assert wf.final("a") == pytest.approx(v_final, rel=0.01)
+    assert wf.final("b") == pytest.approx(v_final, rel=0.01)

@@ -1,0 +1,146 @@
+"""Waveform container and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.waveform import Waveform
+from repro.errors import ReproError
+
+
+def _ramp():
+    t = np.linspace(0.0, 1e-8, 101)
+    return Waveform(t, {"v": t * 1e8})  # 0 -> 1 linearly
+
+
+class TestConstruction:
+    def test_rejects_unsorted_time(self):
+        with pytest.raises(ReproError):
+            Waveform(np.array([0.0, 1.0, 0.5]), {"v": np.zeros(3)})
+
+    def test_rejects_short_time(self):
+        with pytest.raises(ReproError):
+            Waveform(np.array([0.0]), {"v": np.zeros(1)})
+
+    def test_rejects_mismatched_trace(self):
+        with pytest.raises(ReproError):
+            Waveform(np.array([0.0, 1.0]), {"v": np.zeros(3)})
+
+    def test_contains_and_getitem(self):
+        wf = _ramp()
+        assert "v" in wf
+        assert "x" not in wf
+        with pytest.raises(ReproError):
+            wf["x"]
+
+
+class TestMeasurements:
+    def test_value_at_interpolates(self):
+        wf = _ramp()
+        assert wf.value_at("v", 5e-9) == pytest.approx(0.5)
+
+    def test_value_at_out_of_range(self):
+        with pytest.raises(ReproError):
+            _ramp().value_at("v", 2e-8)
+
+    def test_final(self):
+        assert _ramp().final("v") == pytest.approx(1.0)
+
+    def test_rising_crossing(self):
+        wf = _ramp()
+        t = wf.first_crossing("v", 0.25, "rise")
+        assert t == pytest.approx(2.5e-9, rel=1e-6)
+
+    def test_falling_crossing(self):
+        t = np.linspace(0, 1, 11)
+        wf = Waveform(t, {"v": 1.0 - t})
+        assert wf.first_crossing("v", 0.5, "fall") == pytest.approx(0.5)
+        assert wf.first_crossing("v", 0.5, "rise") is None
+
+    def test_both_directions(self):
+        t = np.linspace(0, 2 * np.pi, 400)
+        wf = Waveform(t, {"v": np.sin(t)})
+        crossings = wf.crossings("v", 0.0, "both")
+        # One rising crossing just after t=0 (the t=0 sample itself is not
+        # above threshold) and the falling crossing at pi.
+        assert len(crossings) == 2
+        assert crossings[-1] == pytest.approx(np.pi, rel=1e-3)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ReproError):
+            _ramp().crossings("v", 0.5, "sideways")
+
+
+class TestWindow:
+    def test_window_bounds(self):
+        wf = _ramp().window(2e-9, 8e-9)
+        assert wf.t_start >= 2e-9
+        assert wf.t_stop <= 8e-9
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ReproError):
+            _ramp().window(5e-9, 5e-9)
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(ReproError):
+            _ramp().window(5.0e-9, 5.01e-9)
+
+
+class TestAsciiPlot:
+    def test_renders_requested_size(self):
+        art = _ramp().ascii_plot(["v"], width=40, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 9  # 8 rows + axis legend
+        assert "v" in lines[-1]
+
+    def test_flat_trace_does_not_crash(self):
+        t = np.linspace(0, 1, 10)
+        wf = Waveform(t, {"flat": np.full(10, 0.5)})
+        assert "flat" in wf.ascii_plot(["flat"])
+
+
+class TestSlewAndSettling:
+    def _rc_step(self):
+        t = np.linspace(0, 10e-9, 2001)
+        tau = 1e-9
+        return Waveform(t, {"v": 1.8 * (1 - np.exp(-t / tau))})
+
+    def test_slew_rate_rising(self):
+        wf = self._rc_step()
+        slew = wf.slew_rate("v", 0.2, 1.2)
+        assert 3e8 < slew < 2e9  # order of 1.8 V / tau
+
+    def test_slew_rate_falling(self):
+        t = np.linspace(0, 10e-9, 2001)
+        wf = Waveform(t, {"v": 1.8 * np.exp(-t / 1e-9)})
+        assert wf.slew_rate("v", 1.2, 0.2) < 0
+
+    def test_slew_rate_unreachable_level(self):
+        wf = self._rc_step()
+        with pytest.raises(ReproError):
+            wf.slew_rate("v", 0.2, 2.5)
+
+    def test_settling_time(self):
+        wf = self._rc_step()
+        t_settle = wf.settling_time("v", 1.8, tolerance=0.018)  # 1 %
+        # 1 % settling of an RC step is ~4.6 tau.
+        assert 4e-9 < t_settle < 5.5e-9
+
+    def test_settling_never(self):
+        t = np.linspace(0, 1, 100)
+        wf = Waveform(t, {"v": t})  # ramp never settles to 0
+        with pytest.raises(ReproError):
+            wf.settling_time("v", 0.0, tolerance=0.01)
+
+    def test_settling_validation(self):
+        with pytest.raises(ReproError):
+            self._rc_step().settling_time("v", 1.8, tolerance=0.0)
+
+    def test_overshoot_of_ringing_trace(self):
+        t = np.linspace(0, 10, 1000)
+        wf = Waveform(t, {"v": 1.0 + 0.2 * np.exp(-t) * np.sin(8 * t)})
+        peak = wf.overshoot("v", 1.0)
+        assert 0.1 < peak < 0.21
+
+    def test_overshoot_zero_for_monotone(self):
+        wf = self._rc_step()
+        assert wf.overshoot("v", 1.8) == pytest.approx(0.0, abs=1e-6)

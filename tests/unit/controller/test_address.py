@@ -1,0 +1,80 @@
+"""Address generation strategies."""
+
+import pytest
+
+from repro.controller.address import AddressGenerator, ScanOrder
+from repro.edram.array import EDRAMArray
+from repro.errors import MeasurementError
+
+
+@pytest.fixture()
+def array(tech):
+    return EDRAMArray(8, 8, tech=tech, macro_cols=2, macro_rows=4)
+
+
+def test_full_raster_covers_everything(array):
+    gen = AddressGenerator(array, ScanOrder.FULL_RASTER)
+    addresses = gen.addresses()
+    assert len(addresses) == 64
+    assert len(set(addresses)) == 64
+    assert gen.count == 64
+    assert addresses[0] == (0, 0)
+    assert addresses[-1] == (7, 7)
+
+
+def test_macro_major_covers_everything_grouped(array):
+    gen = AddressGenerator(array, ScanOrder.MACRO_MAJOR)
+    addresses = gen.addresses()
+    assert len(set(addresses)) == 64
+    # Within the sequence, each macro's cells are contiguous.
+    macros = [array.macro_of(r, c) for r, c in addresses]
+    changes = sum(1 for a, b in zip(macros, macros[1:]) if a != b)
+    assert changes == array.num_macros - 1
+
+
+def test_macro_major_minimizes_transitions(array):
+    raster = AddressGenerator(array, ScanOrder.FULL_RASTER).macro_transitions()
+    grouped = AddressGenerator(array, ScanOrder.MACRO_MAJOR).macro_transitions()
+    assert grouped == array.num_macros - 1
+    assert raster > grouped
+
+
+def test_checkerboard_is_half(array):
+    gen = AddressGenerator(array, ScanOrder.CHECKERBOARD)
+    addresses = gen.addresses()
+    assert len(addresses) == 32
+    assert all((r + c) % 2 == 0 for r, c in addresses)
+    assert gen.count == 32
+
+
+def test_sparse_sampling(array):
+    gen = AddressGenerator(array, ScanOrder.SPARSE, fraction=0.25, seed=3)
+    addresses = gen.addresses()
+    assert len(addresses) == 16
+    assert len(set(addresses)) == 16
+    assert gen.count == 16
+
+
+def test_sparse_is_deterministic(array):
+    a = AddressGenerator(array, ScanOrder.SPARSE, fraction=0.1, seed=5).addresses()
+    b = AddressGenerator(array, ScanOrder.SPARSE, fraction=0.1, seed=5).addresses()
+    assert a == b
+    c = AddressGenerator(array, ScanOrder.SPARSE, fraction=0.1, seed=6).addresses()
+    assert a != c
+
+
+def test_sparse_minimum_one_cell(array):
+    gen = AddressGenerator(array, ScanOrder.SPARSE, fraction=0.001)
+    assert gen.count == 1
+
+
+def test_fraction_validation(array):
+    with pytest.raises(MeasurementError):
+        AddressGenerator(array, ScanOrder.SPARSE, fraction=0.0)
+    with pytest.raises(MeasurementError):
+        AddressGenerator(array, ScanOrder.SPARSE, fraction=1.5)
+
+
+def test_iteration_protocol(array):
+    gen = AddressGenerator(array, ScanOrder.CHECKERBOARD)
+    assert list(gen) == gen.addresses()

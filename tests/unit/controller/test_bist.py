@@ -1,0 +1,61 @@
+"""End-to-end BIST orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.controller.address import ScanOrder
+from repro.controller.bist import BISTController
+from repro.edram.array import EDRAMArray
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.units import fF
+
+
+@pytest.fixture()
+def controller(tech, structure_8x2):
+    capacitance = compose_maps(
+        uniform_map((16, 8), 30 * fF), mismatch_map((16, 8), 1 * fF, seed=9)
+    )
+    array = EDRAMArray(16, 8, tech=tech, macro_cols=2, macro_rows=8,
+                       capacitance_map=capacitance)
+    return BISTController(array, structure_8x2)
+
+
+def test_full_campaign(controller):
+    report = controller.run(ScanOrder.MACRO_MAJOR)
+    assert report.coverage == 1.0
+    assert report.codes.min() >= 0
+    assert report.plan.cells == 128
+    assert report.stream.cells == 128
+
+
+def test_full_campaign_matches_scanner(controller):
+    from repro.measure.scan import ArrayScanner
+
+    report = controller.run(ScanOrder.FULL_RASTER)
+    direct = ArrayScanner(controller.array, controller.structure).scan()
+    assert np.array_equal(report.codes, direct.codes)
+
+
+def test_sparse_campaign_marks_unvisited(controller):
+    report = controller.monitor(fraction=0.1, seed=2)
+    assert 0.05 < report.coverage < 0.2
+    assert (report.codes[~report.visited] == -1).all()
+    assert (report.codes[report.visited] >= 0).all()
+
+
+def test_sparse_mean_tracks_full_mean(controller):
+    full = controller.run(ScanOrder.FULL_RASTER)
+    sparse = controller.monitor(fraction=0.25, seed=3)
+    assert sparse.mean_code() == pytest.approx(full.mean_code(), abs=1.0)
+    assert sparse.sampling_sigma() > 0
+
+
+def test_checkerboard_covers_half(controller):
+    report = controller.run(ScanOrder.CHECKERBOARD)
+    assert report.coverage == pytest.approx(0.5)
+
+
+def test_plan_is_attached(controller):
+    report = controller.monitor(fraction=0.1)
+    assert report.plan.order is ScanOrder.SPARSE
+    assert report.plan.total_time > 0

@@ -1,0 +1,114 @@
+"""Test-time accounting."""
+
+import pytest
+
+from repro.controller.address import ScanOrder
+from repro.controller.scheduler import TestScheduler
+from repro.edram.array import EDRAMArray
+from repro.errors import MeasurementError
+
+
+@pytest.fixture()
+def scheduler(tech, structure_8x2):
+    array = EDRAMArray(16, 8, tech=tech, macro_cols=2, macro_rows=8)
+    return TestScheduler(array, structure_8x2)
+
+
+def test_validation(tech, structure_8x2):
+    array = EDRAMArray(8, 2, tech=tech)
+    with pytest.raises(MeasurementError):
+        TestScheduler(array, structure_8x2, macro_setup_time=-1.0)
+    with pytest.raises(MeasurementError):
+        TestScheduler(array, structure_8x2, bits_per_code=0)
+    with pytest.raises(MeasurementError):
+        TestScheduler(array, structure_8x2, readout_clock_hz=0.0)
+
+
+def test_full_plan_time_breakdown(scheduler, structure_8x2):
+    plan = scheduler.plan(ScanOrder.MACRO_MAJOR)
+    assert plan.cells == 128
+    assert plan.flow_time == pytest.approx(
+        128 * structure_8x2.design.flow_duration
+    )
+    # 8 macros -> 7 transitions + initial setup.
+    assert plan.setup_time == pytest.approx(8 * scheduler.macro_setup_time)
+    assert plan.readout_time == pytest.approx(128 * 5 / 50e6)
+    assert plan.total_time == plan.flow_time + plan.setup_time + plan.readout_time
+
+
+def test_repeats_scale_flow_time(scheduler):
+    single = scheduler.plan(ScanOrder.MACRO_MAJOR, repeats=1)
+    dithered = scheduler.plan(ScanOrder.MACRO_MAJOR, repeats=8)
+    assert dithered.flow_time == pytest.approx(8 * single.flow_time)
+    assert dithered.readout_time == pytest.approx(single.readout_time)
+
+
+def test_repeats_validation(scheduler):
+    with pytest.raises(MeasurementError):
+        scheduler.plan(repeats=0)
+
+
+def test_sparse_is_fastest(scheduler):
+    plans = scheduler.compare_strategies()
+    assert plans[-1].order is ScanOrder.SPARSE
+    assert plans[-1].total_time < plans[0].total_time
+
+
+def test_macro_major_beats_raster(scheduler):
+    raster = scheduler.plan(ScanOrder.FULL_RASTER)
+    grouped = scheduler.plan(ScanOrder.MACRO_MAJOR)
+    assert grouped.total_time < raster.total_time
+    assert grouped.cells == raster.cells
+
+
+def test_time_per_cell(scheduler):
+    plan = scheduler.plan(ScanOrder.MACRO_MAJOR)
+    assert plan.time_per_cell == pytest.approx(plan.total_time / plan.cells)
+
+
+def test_probe_comparison(scheduler):
+    plan = scheduler.plan(ScanOrder.MACRO_MAJOR)
+    assert scheduler.probe_station_equivalent(10) == pytest.approx(18000.0)
+    assert scheduler.speedup_vs_probe(plan) > 1e6
+    with pytest.raises(MeasurementError):
+        scheduler.probe_station_equivalent(-1)
+
+
+def test_describe_renders(scheduler):
+    text = scheduler.plan(ScanOrder.SPARSE).describe()
+    assert "sparse" in text
+    assert "total" in text
+
+
+class TestConversionStrategies:
+    def test_full_is_the_paper_flow(self, scheduler, structure_8x2):
+        plan = scheduler.plan(ScanOrder.MACRO_MAJOR, conversion="full")
+        expected = 128 * structure_8x2.design.flow_duration
+        assert plan.flow_time == pytest.approx(expected)
+
+    def test_early_stop_is_cheaper_for_low_codes(self, scheduler):
+        full = scheduler.plan(conversion="full")
+        early = scheduler.plan(conversion="early_stop", expected_code=5)
+        assert early.flow_time < full.flow_time
+
+    def test_early_stop_full_scale_equals_full(self, scheduler, structure_8x2):
+        n = structure_8x2.design.num_steps
+        plan = scheduler.plan(conversion="early_stop", expected_code=n)
+        assert plan.flow_time == pytest.approx(
+            scheduler.plan(conversion="full").flow_time
+        )
+
+    def test_sar_beats_everything(self, scheduler):
+        sar = scheduler.plan(conversion="sar")
+        early = scheduler.plan(conversion="early_stop", expected_code=8)
+        assert sar.flow_time < early.flow_time
+
+    def test_sar_step_count(self, scheduler):
+        # 20 levels + under/over need ceil(log2(21)) = 5 trials.
+        assert scheduler.conversion_steps("sar") == 5.0
+
+    def test_unknown_strategy_rejected(self, scheduler):
+        with pytest.raises(MeasurementError):
+            scheduler.plan(conversion="psychic")
+        with pytest.raises(MeasurementError):
+            scheduler.conversion_steps("early_stop", expected_code=99)

@@ -1,0 +1,114 @@
+"""Code-map serialization."""
+
+import numpy as np
+import pytest
+
+from repro.controller.stream import CodeStream
+from repro.errors import MeasurementError
+
+
+@pytest.fixture()
+def stream():
+    return CodeStream(bits_per_code=5)
+
+
+def test_validation():
+    with pytest.raises(MeasurementError):
+        CodeStream(bits_per_code=0)
+    with pytest.raises(MeasurementError):
+        CodeStream(bits_per_code=17)
+
+
+def test_raw_roundtrip(stream):
+    rng = np.random.default_rng(1)
+    codes = rng.integers(0, 21, size=(13, 17))
+    decoded = stream.decode(stream.encode(codes, rle=False))
+    assert np.array_equal(decoded, codes)
+
+
+def test_rle_roundtrip_random(stream):
+    rng = np.random.default_rng(2)
+    codes = rng.integers(0, 21, size=(9, 31))
+    decoded = stream.decode(stream.encode(codes, rle=True))
+    assert np.array_equal(decoded, codes)
+
+
+def test_rle_roundtrip_uniform(stream):
+    codes = np.full((64, 64), 9)
+    decoded = stream.decode(stream.encode(codes))
+    assert np.array_equal(decoded, codes)
+
+
+def test_rle_roundtrip_long_runs_split(stream):
+    # Runs longer than 256 must split into multiple records.
+    codes = np.full((1, 1000), 7)
+    codes[0, 700] = 3
+    decoded = stream.decode(stream.encode(codes))
+    assert np.array_equal(decoded, codes)
+
+
+def test_uniform_map_compresses_hard(stream):
+    codes = np.full((64, 64), 9)
+    stats = stream.stats(codes)
+    assert stats.compression_ratio > 30
+
+
+def test_random_map_does_not_blow_up(stream):
+    rng = np.random.default_rng(3)
+    codes = rng.integers(0, 21, size=(64, 64))
+    stats = stream.stats(codes)
+    # Worst case for RLE: ~(5+8)/5 expansion, bounded.
+    assert stats.compression_ratio > 0.35
+
+
+def test_auto_mode_never_expands(stream):
+    # Noisy maps defeat RLE; auto mode falls back to raw packing, so the
+    # payload never exceeds the raw size (header aside).
+    rng = np.random.default_rng(4)
+    codes = 9 + (rng.normal(0, 0.7, size=(64, 64))).round().astype(int)
+    stats = stream.stats(codes, rle="auto")
+    assert stats.compression_ratio > 0.98
+    decoded = stream.decode(stream.encode(codes, rle="auto"))
+    assert np.array_equal(decoded, codes)
+
+
+def test_auto_mode_picks_rle_for_uniform(stream):
+    codes = np.full((64, 64), 9)
+    auto = stream.stats(codes, rle="auto")
+    raw = stream.stats(codes, rle=False)
+    assert auto.encoded_bits < raw.encoded_bits / 20
+
+
+def test_transfer_time(stream):
+    codes = np.full((16, 16), 5)
+    stats = stream.stats(codes)
+    assert stats.transfer_time(1e6) == pytest.approx(stats.encoded_bits / 1e6)
+    with pytest.raises(MeasurementError):
+        stats.transfer_time(0.0)
+
+
+def test_value_range_checked(stream):
+    with pytest.raises(MeasurementError):
+        stream.encode(np.array([[99]]))
+    with pytest.raises(MeasurementError):
+        stream.encode(np.array([[-1]]))
+
+
+def test_shape_checked(stream):
+    with pytest.raises(MeasurementError):
+        stream.encode(np.zeros(5, dtype=int))
+    with pytest.raises(MeasurementError):
+        stream.encode(np.zeros((0, 5), dtype=int))
+
+
+def test_decoder_width_mismatch_rejected(stream):
+    payload = stream.encode(np.full((2, 2), 3))
+    other = CodeStream(bits_per_code=6)
+    with pytest.raises(MeasurementError):
+        other.decode(payload)
+
+
+def test_truncated_stream_rejected(stream):
+    payload = stream.encode(np.full((4, 4), 3), rle=False)
+    with pytest.raises(MeasurementError):
+        stream.decode(payload[:-2])

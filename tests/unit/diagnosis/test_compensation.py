@@ -1,0 +1,86 @@
+"""Crosstalk-compensated joint estimation."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.analog import AnalogBitmap
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.calibration.window import SpecificationWindow
+from repro.diagnosis.classifier import CellClassifier
+from repro.diagnosis.compensation import compensate_estimates
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import DiagnosisError
+from repro.measure.scan import ArrayScanner
+from repro.units import fF, to_fF
+
+
+@pytest.fixture(scope="module")
+def calibrated(tech):
+    structure = design_structure(tech, 8, 2, bitline_rows=64)
+    abacus = Abacus.analytic(structure, 8, 2, bitline_rows=64)
+    return structure, abacus
+
+
+def _bitmap(tech, calibrated, defect=None, where=(3, 1)):
+    structure, abacus = calibrated
+    array = EDRAMArray(64, 4, tech=tech, macro_cols=2, macro_rows=8)
+    if defect is not None:
+        array.cell(*where).apply_defect(defect)
+    bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+    return array, bitmap
+
+
+def test_open_neighbour_bias_removed(tech, calibrated):
+    array, bitmap = _bitmap(tech, calibrated, CellDefect(DefectKind.OPEN))
+    true = array.cell(3, 0).capacitance
+    naive_bias = abs(bitmap.estimates[3, 0] - true)
+    compensated = compensate_estimates(bitmap, array)
+    joint_bias = abs(compensated[3, 0] - true)
+    assert naive_bias > 10 * fF  # the documented crosstalk
+    assert joint_bias < 1.5 * fF
+    assert joint_bias < naive_bias / 5
+
+
+def test_short_neighbour_bias_removed(tech, calibrated):
+    structure, abacus = calibrated
+    array, bitmap = _bitmap(tech, calibrated, CellDefect(DefectKind.SHORT))
+    window = SpecificationWindow.from_capacitance(abacus, 24 * fF, 36 * fF)
+    verdicts = CellClassifier(bitmap, window, macro_cols=2).classify_all()
+    compensated = compensate_estimates(bitmap, array, verdicts)
+    true = array.cell(3, 0).capacitance
+    naive_bias = abs(bitmap.estimates[3, 0] - true)
+    joint_bias = abs(compensated[3, 0] - true)
+    assert joint_bias < naive_bias
+
+
+def test_healthy_cells_barely_move(tech, calibrated):
+    array, bitmap = _bitmap(tech, calibrated)
+    compensated = compensate_estimates(bitmap, array)
+    finite = np.isfinite(bitmap.estimates)
+    shift = np.abs(compensated[finite] - bitmap.estimates[finite])
+    assert float(shift.max()) < 1.0 * fF
+
+
+def test_out_of_range_cells_stay_nan(tech, calibrated):
+    array, bitmap = _bitmap(tech, calibrated, CellDefect(DefectKind.OPEN))
+    compensated = compensate_estimates(bitmap, array)
+    assert np.isnan(compensated[3, 1])
+
+
+def test_convergence_is_fast(tech, calibrated):
+    array, bitmap = _bitmap(tech, calibrated, CellDefect(DefectKind.OPEN))
+    two = compensate_estimates(bitmap, array, iterations=2)
+    six = compensate_estimates(bitmap, array, iterations=6)
+    finite = np.isfinite(two)
+    assert np.allclose(two[finite], six[finite], atol=0.05 * fF)
+
+
+def test_validation(tech, calibrated):
+    array, bitmap = _bitmap(tech, calibrated)
+    with pytest.raises(DiagnosisError):
+        compensate_estimates(bitmap, array, iterations=0)
+    other = EDRAMArray(8, 2, tech=tech)
+    with pytest.raises(DiagnosisError):
+        compensate_estimates(bitmap, other)

@@ -1,0 +1,92 @@
+"""Signature -> root cause mapping."""
+
+import numpy as np
+import pytest
+
+from repro.diagnosis.classifier import CellVerdict
+from repro.diagnosis.failure_analysis import FailureAnalyzer, RootCause
+from repro.errors import DiagnosisError
+
+
+def _verdicts(shape=(8, 8), **cells):
+    """Build a verdict matrix: kwargs like v_3_4=CellVerdict.SHORT."""
+    m = np.full(shape, CellVerdict.IN_SPEC, dtype=object)
+    for key, verdict in cells.items():
+        _, r, c = key.split("_")
+        m[int(r), int(c)] = verdict
+    return m
+
+
+def test_no_anomalies():
+    analyzer = FailureAnalyzer()
+    assert analyzer.analyze(_verdicts()) == []
+    assert analyzer.report([]) == "no anomalies found"
+
+
+def test_single_short_root_caused():
+    findings = FailureAnalyzer().analyze(_verdicts(v_2_2=CellVerdict.SHORT))
+    assert len(findings) == 1
+    assert findings[0].cause is RootCause.CAPACITOR_SHORT
+
+
+def test_single_open_root_caused():
+    findings = FailureAnalyzer().analyze(_verdicts(v_2_2=CellVerdict.OPEN_OR_UNDER))
+    assert findings[0].cause is RootCause.CAPACITOR_OPEN
+
+
+def test_thin_spot():
+    findings = FailureAnalyzer().analyze(_verdicts(v_2_2=CellVerdict.LOW_CAP))
+    assert findings[0].cause is RootCause.THIN_DIELECTRIC_SPOT
+
+
+def test_bridge_pair():
+    findings = FailureAnalyzer().analyze(
+        _verdicts(v_2_2=CellVerdict.OVER_RANGE, v_2_3=CellVerdict.OVER_RANGE)
+    )
+    assert findings[0].cause is RootCause.STORAGE_BRIDGE
+
+
+def test_row_defect():
+    cells = {f"v_5_{c}": CellVerdict.OPEN_OR_UNDER for c in range(8)}
+    findings = FailureAnalyzer().analyze(_verdicts(**cells))
+    assert findings[0].cause is RootCause.WORDLINE_DEFECT
+
+
+def test_column_defect():
+    cells = {f"v_{r}_3": CellVerdict.LOW_CAP for r in range(8)}
+    findings = FailureAnalyzer().analyze(_verdicts(**cells))
+    assert findings[0].cause is RootCause.BITLINE_DEFECT
+
+
+def test_cluster_of_low_cells():
+    cells = {
+        f"v_{r}_{c}": CellVerdict.LOW_CAP for r in range(2, 5) for c in range(2, 5)
+    }
+    findings = FailureAnalyzer().analyze(_verdicts(**cells))
+    assert findings[0].cause is RootCause.PARTICLE_CLUSTER
+
+
+def test_unmapped_combination_is_unknown():
+    # An over-range full row has no rule.
+    cells = {f"v_5_{c}": CellVerdict.OVER_RANGE for c in range(8)}
+    findings = FailureAnalyzer().analyze(_verdicts(**cells))
+    assert findings[0].cause is RootCause.UNKNOWN
+
+
+def test_dominant_verdict_wins():
+    cells = {f"v_{r}_{c}": CellVerdict.LOW_CAP for r in range(2, 5) for c in range(2, 5)}
+    cells["v_3_3"] = CellVerdict.OPEN_OR_UNDER  # minority inside the blob
+    findings = FailureAnalyzer().analyze(_verdicts(**cells))
+    assert findings[0].dominant_verdict is CellVerdict.LOW_CAP
+
+
+def test_describe_and_report():
+    findings = FailureAnalyzer().analyze(_verdicts(v_1_1=CellVerdict.SHORT))
+    text = FailureAnalyzer().report(findings)
+    assert "single_cell" in text
+    assert "capacitor_dielectric_short" in text
+
+
+def test_validation():
+    with pytest.raises(DiagnosisError):
+        FailureAnalyzer().analyze(np.array([CellVerdict.IN_SPEC]))

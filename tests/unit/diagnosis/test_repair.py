@@ -1,0 +1,90 @@
+"""BISR redundancy allocation."""
+
+import numpy as np
+import pytest
+
+from repro.diagnosis.repair import RepairPlanner
+from repro.errors import DiagnosisError
+
+
+def _fails(shape, cells):
+    m = np.zeros(shape, dtype=bool)
+    for r, c in cells:
+        m[r, c] = True
+    return m
+
+
+def test_validation():
+    with pytest.raises(DiagnosisError):
+        RepairPlanner(-1, 0)
+    with pytest.raises(DiagnosisError):
+        RepairPlanner(1, 1).plan(np.zeros((2, 2)))
+
+
+def test_no_failures_no_spares_used():
+    plan = RepairPlanner(2, 2).plan(_fails((8, 8), []))
+    assert plan.success
+    assert plan.spare_rows_used == []
+    assert plan.spare_cols_used == []
+
+
+def test_single_cell_uses_one_spare():
+    plan = RepairPlanner(1, 1).plan(_fails((8, 8), [(3, 4)]))
+    assert plan.success
+    assert len(plan.spare_rows_used) + len(plan.spare_cols_used) == 1
+    assert plan.covers(3, 4)
+
+
+def test_row_failure_takes_spare_row():
+    cells = [(2, c) for c in range(8)]
+    plan = RepairPlanner(1, 2).plan(_fails((8, 8), cells))
+    assert plan.success
+    assert plan.spare_rows_used == [2]
+    assert plan.spare_cols_used == []
+
+
+def test_column_failure_takes_spare_col():
+    cells = [(r, 5) for r in range(8)]
+    plan = RepairPlanner(2, 1).plan(_fails((8, 8), cells))
+    assert plan.success
+    assert plan.spare_cols_used == [5]
+
+
+def test_must_repair_forces_allocation():
+    # Row 0 has 3 fails but only 2 spare columns exist: row 0 MUST take a
+    # spare row, leaving the isolated fail to a column.
+    cells = [(0, 0), (0, 3), (0, 6), (5, 2)]
+    plan = RepairPlanner(1, 2).plan(_fails((8, 8), cells))
+    assert plan.success
+    assert 0 in plan.spare_rows_used
+
+
+def test_cross_pattern_solved():
+    cells = [(3, c) for c in range(8)] + [(r, 4) for r in range(8)]
+    plan = RepairPlanner(1, 1).plan(_fails((8, 8), cells))
+    assert plan.success
+    assert plan.spare_rows_used == [3]
+    assert plan.spare_cols_used == [4]
+
+
+def test_unrepairable_reports_uncovered():
+    cells = [(r, r) for r in range(5)]  # diagonal needs 5 spares
+    plan = RepairPlanner(1, 1).plan(_fails((8, 8), cells))
+    assert not plan.success
+    assert len(plan.uncovered) == 3
+
+
+def test_zero_budget():
+    plan = RepairPlanner(0, 0).plan(_fails((4, 4), [(1, 1)]))
+    assert not plan.success
+    assert plan.uncovered == [(1, 1)]
+
+
+def test_greedy_prefers_denser_line():
+    # One row with 3 fails vs one column with 2: single spare row budget
+    # should go to the row.
+    cells = [(2, 1), (2, 4), (2, 6), (0, 7), (5, 7)]
+    plan = RepairPlanner(1, 1).plan(_fails((8, 8), cells))
+    assert plan.success
+    assert plan.spare_rows_used == [2]
+    assert plan.spare_cols_used == [7]

@@ -1,0 +1,63 @@
+"""Yield modelling with redundancy."""
+
+import pytest
+
+from repro.diagnosis.yield_model import YieldSimulator
+from repro.errors import DiagnosisError
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return YieldSimulator(rows=16, cols=8, macro_rows=8, spare_rows=2, spare_cols=2)
+
+
+def test_validation(simulator):
+    with pytest.raises(DiagnosisError):
+        YieldSimulator(hard_fraction=1.5)
+    with pytest.raises(DiagnosisError):
+        simulator.run(-1.0)
+    with pytest.raises(DiagnosisError):
+        simulator.run(1.0, dies=0)
+
+
+def test_zero_defects_full_yield(simulator):
+    result = simulator.run(0.0, dies=10, seed=3)
+    assert result.yield_no_repair == 1.0
+    assert result.yield_hard_repair == 1.0
+    assert result.yield_analog_repair == 1.0
+    assert result.field_risks_left == 0.0
+
+
+def test_yield_decreases_with_density(simulator):
+    low = simulator.run(0.5, dies=20, seed=4)
+    high = simulator.run(5.0, dies=20, seed=4)
+    assert high.yield_no_repair <= low.yield_no_repair
+
+
+def test_repair_buys_yield(simulator):
+    result = simulator.run(1.5, dies=20, seed=5)
+    assert result.yield_hard_repair >= result.yield_no_repair
+    assert result.yield_hard_repair > 0.5
+
+
+def test_hard_only_repair_leaves_marginal_cells(simulator):
+    # With half the defects parametric, hard-only repair ships risk.
+    result = simulator.run(3.0, dies=20, seed=6)
+    assert result.field_risks_left > 0
+
+
+def test_determinism(simulator):
+    a = simulator.run(2.0, dies=10, seed=7)
+    b = simulator.run(2.0, dies=10, seed=7)
+    assert a == b
+
+
+def test_sweep_shapes(simulator):
+    results = simulator.sweep([0.5, 2.0], dies=8, seed=8)
+    assert [r.defects_per_die for r in results] == [0.5, 2.0]
+    assert all(0.0 <= r.yield_hard_repair <= 1.0 for r in results)
+
+
+def test_summary_renders(simulator):
+    text = simulator.run(1.0, dies=5, seed=9).summary()
+    assert "repair" in text

@@ -1,0 +1,137 @@
+"""Array geometry, macro tiling, addressing."""
+
+import numpy as np
+import pytest
+
+from repro.edram.array import CellAddress, EDRAMArray
+from repro.errors import ArrayConfigError
+from repro.units import fF
+
+
+class TestConstruction:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ArrayConfigError):
+            EDRAMArray(0, 4)
+
+    def test_macro_cols_must_divide(self):
+        with pytest.raises(ArrayConfigError):
+            EDRAMArray(4, 6, macro_cols=4)
+
+    def test_macro_rows_must_divide(self):
+        with pytest.raises(ArrayConfigError):
+            EDRAMArray(6, 4, macro_rows=4)
+
+    def test_capacitance_map_shape_checked(self):
+        with pytest.raises(ArrayConfigError):
+            EDRAMArray(2, 2, capacitance_map=np.ones((3, 3)) * 30 * fF)
+
+    def test_capacitance_map_positivity_checked(self):
+        bad = np.full((2, 2), 30 * fF)
+        bad[0, 0] = 0.0
+        with pytest.raises(ArrayConfigError):
+            EDRAMArray(2, 2, capacitance_map=bad)
+
+    def test_capacitance_map_applied(self):
+        cap = np.arange(1, 5).reshape(2, 2) * 10 * fF
+        arr = EDRAMArray(2, 2, capacitance_map=cap)
+        assert arr.cell(1, 1).capacitance == pytest.approx(40 * fF)
+        assert np.allclose(arr.capacitance_matrix(), cap)
+
+
+class TestAddressing:
+    def test_cell_bounds(self):
+        arr = EDRAMArray(4, 4)
+        with pytest.raises(ArrayConfigError):
+            arr.cell(4, 0)
+        with pytest.raises(ArrayConfigError):
+            arr.cell(0, -1)
+
+    def test_addresses_row_major(self):
+        arr = EDRAMArray(2, 2)
+        assert arr.addresses() == [
+            CellAddress(0, 0), CellAddress(0, 1), CellAddress(1, 0), CellAddress(1, 1),
+        ]
+
+    def test_num_cells(self):
+        assert EDRAMArray(8, 16).num_cells == 128
+
+
+class TestMacroTiling:
+    def test_column_stripe_default(self):
+        arr = EDRAMArray(8, 6, macro_cols=2)
+        assert arr.num_macros == 3
+        assert arr.macro(0).rows == 8
+
+    def test_row_segmentation(self):
+        arr = EDRAMArray(8, 6, macro_cols=2, macro_rows=4)
+        assert arr.num_macros == 6
+        assert arr.macros_per_row == 3
+        assert arr.macros_per_col == 2
+        tile = arr.macro(4)  # second tile row, middle column group
+        assert tile.row_start == 4
+        assert tile.col_start == 2
+
+    def test_macro_of(self):
+        arr = EDRAMArray(8, 6, macro_cols=2, macro_rows=4)
+        assert arr.macro_of(0, 0) == 0
+        assert arr.macro_of(3, 5) == 2
+        assert arr.macro_of(4, 0) == 3
+        assert arr.macro_of(7, 5) == 5
+        with pytest.raises(ArrayConfigError):
+            arr.macro_of(8, 0)
+
+    def test_macro_local_cell_lookup(self):
+        arr = EDRAMArray(8, 6, macro_cols=2, macro_rows=4)
+        arr.cell(5, 3).capacitance = 99 * fF
+        tile = arr.macro(4)
+        assert tile.cell(1, 1).capacitance == pytest.approx(99 * fF)
+
+    def test_macro_local_bounds(self):
+        tile = EDRAMArray(8, 6, macro_cols=2, macro_rows=4).macro(0)
+        with pytest.raises(ArrayConfigError):
+            tile.cell(4, 0)
+        with pytest.raises(ArrayConfigError):
+            tile.cell(0, 2)
+
+    def test_global_address(self):
+        tile = EDRAMArray(8, 6, macro_cols=2, macro_rows=4).macro(4)
+        addr = tile.global_address(1, 1)
+        assert (addr.row, addr.col) == (5, 3)
+
+    def test_bitline_capacitance_is_full_height(self, tech):
+        arr = EDRAMArray(128, 4, macro_cols=2, macro_rows=16)
+        tile = arr.macro(0)
+        assert tile.bitline_capacitance == pytest.approx(tech.bitline_capacitance(128))
+
+    def test_plate_parasitic_is_tile_sized(self, tech):
+        arr = EDRAMArray(128, 4, macro_cols=2, macro_rows=16)
+        assert arr.macro(0).plate_parasitic == pytest.approx(tech.plate_parasitic(32))
+
+    def test_macro_index_bounds(self):
+        arr = EDRAMArray(4, 4)
+        with pytest.raises(ArrayConfigError):
+            arr.macro(99)
+
+    def test_cells_enumeration(self):
+        tile = EDRAMArray(4, 4, macro_cols=2, macro_rows=2).macro(3)
+        triples = tile.cells()
+        assert len(triples) == 4
+        assert all(cell is tile.cell(r, c) for r, c, cell in triples)
+
+
+class TestBulkViews:
+    def test_effective_capacitance_reflects_defects(self):
+        from repro.edram.defects import CellDefect, DefectKind
+
+        arr = EDRAMArray(2, 2)
+        arr.cell(0, 0).apply_defect(CellDefect(DefectKind.OPEN))
+        eff = arr.effective_capacitance_matrix()
+        assert eff[0, 0] == 0.0
+        assert eff[1, 1] > 0
+
+    def test_defect_locations(self):
+        from repro.edram.defects import CellDefect, DefectKind
+
+        arr = EDRAMArray(2, 2)
+        arr.cell(1, 0).apply_defect(CellDefect(DefectKind.SHORT))
+        assert arr.defect_locations() == [(1, 0)]

@@ -1,0 +1,57 @@
+"""Bitline charge-sharing arithmetic."""
+
+import pytest
+
+from repro.edram.bitline import Bitline
+from repro.errors import ArrayConfigError
+from repro.units import fF
+
+
+@pytest.fixture()
+def bitline():
+    return Bitline(capacitance=200 * fF, precharge_voltage=0.9)
+
+
+def test_rejects_nonpositive_capacitance():
+    with pytest.raises(ArrayConfigError):
+        Bitline(capacitance=0.0, precharge_voltage=0.9)
+
+
+def test_share_with_full_one(bitline):
+    v = bitline.share_with_cell(30 * fF, 1.8)
+    expected = (200 * 0.9 + 30 * 1.8) / 230
+    assert v == pytest.approx(expected)
+
+
+def test_share_with_zero_cap_is_precharge(bitline):
+    assert bitline.share_with_cell(0.0, 1.8) == pytest.approx(0.9)
+
+
+def test_read_signal_sign(bitline):
+    assert bitline.read_signal(30 * fF, 1.8) > 0  # stored '1'
+    assert bitline.read_signal(30 * fF, 0.0) < 0  # stored '0'
+    assert bitline.read_signal(30 * fF, 0.9) == pytest.approx(0.0)
+
+
+def test_read_signal_magnitude(bitline):
+    # dV = (V_cell - V_pre) * C / (C + C_BL)
+    dv = bitline.read_signal(30 * fF, 1.8)
+    assert dv == pytest.approx(0.9 * 30 / 230)
+
+
+def test_transfer_ratio(bitline):
+    assert bitline.transfer_ratio(30 * fF) == pytest.approx(30 / 230)
+    assert bitline.transfer_ratio(0.0) == 0.0
+
+
+def test_negative_cell_capacitance_rejected(bitline):
+    with pytest.raises(ArrayConfigError):
+        bitline.share_with_cell(-1.0, 0.0)
+    with pytest.raises(ArrayConfigError):
+        bitline.transfer_ratio(-1.0)
+
+
+def test_signal_shrinks_with_longer_bitline():
+    short = Bitline(50 * fF, 0.9)
+    long = Bitline(400 * fF, 0.9)
+    assert short.read_signal(30 * fF, 1.8) > long.read_signal(30 * fF, 1.8)

@@ -1,0 +1,124 @@
+"""DRAM cell behaviour and defect presentation."""
+
+import pytest
+
+from repro.edram.cell import DRAMCell
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import DefectError
+from repro.units import fA, fF, pA
+
+
+def _cell(**kw):
+    defaults = dict(capacitance=30 * fF, leak_current=1 * fA)
+    defaults.update(kw)
+    return DRAMCell(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(DefectError):
+            _cell(capacitance=0.0)
+
+    def test_rejects_negative_leak(self):
+        with pytest.raises(DefectError):
+            _cell(leak_current=-1.0)
+
+
+class TestDefectApplication:
+    def test_low_cap_rescales(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.LOW_CAP, factor=0.5))
+        assert cell.capacitance == pytest.approx(15 * fF)
+        assert cell.effective_capacitance() == pytest.approx(15 * fF)
+
+    def test_high_cap_rescales(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.HIGH_CAP, factor=1.5))
+        assert cell.capacitance == pytest.approx(45 * fF)
+
+    def test_retention_scales_leak(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.RETENTION, factor=100.0))
+        assert cell.leak_current == pytest.approx(100 * fA)
+        assert cell.capacitance == pytest.approx(30 * fF)  # unchanged
+
+    def test_open_presents_zero(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.OPEN))
+        assert cell.effective_capacitance() == 0.0
+        assert not cell.can_write()
+
+    def test_access_open_presents_zero_but_keeps_value(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.ACCESS_OPEN))
+        assert cell.effective_capacitance() == 0.0
+        assert cell.capacitance == pytest.approx(30 * fF)
+
+    def test_short_presents_zero_and_flags_plate(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.SHORT))
+        assert cell.effective_capacitance() == 0.0
+        assert cell.is_plate_shorted()
+
+    def test_double_defect_rejected(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.OPEN))
+        with pytest.raises(DefectError):
+            cell.apply_defect(CellDefect(DefectKind.SHORT))
+
+    def test_has_defect(self):
+        cell = _cell()
+        assert not cell.has_defect(DefectKind.SHORT)
+        cell.apply_defect(CellDefect(DefectKind.SHORT))
+        assert cell.has_defect(DefectKind.SHORT)
+        assert not cell.has_defect(DefectKind.OPEN)
+
+
+class TestBehaviouralState:
+    def test_write_and_hold(self):
+        cell = _cell(leak_current=0.0)
+        cell.write(1.8, time=0.0)
+        assert cell.stored_voltage(1.0, plate_bias=0.9) == pytest.approx(1.8)
+
+    def test_linear_droop(self):
+        cell = _cell(leak_current=30 * pA)  # 1 V per ms on 30 fF
+        cell.write(1.8, time=0.0)
+        assert cell.stored_voltage(1e-3, 0.9) == pytest.approx(0.8, rel=1e-6)
+
+    def test_droop_clamps_at_zero(self):
+        cell = _cell(leak_current=30 * pA)
+        cell.write(1.8, time=0.0)
+        assert cell.stored_voltage(10.0, 0.9) == 0.0
+
+    def test_short_reads_plate_bias(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.SHORT))
+        cell.write(1.8, time=0.0)
+        assert cell.stored_voltage(0.0, plate_bias=0.9) == 0.9
+
+    def test_open_cell_ignores_writes(self):
+        cell = _cell()
+        cell.apply_defect(CellDefect(DefectKind.OPEN))
+        cell.write(1.8, time=0.0)
+        assert cell.v_storage == 0.0
+
+    def test_rewrite_resets_droop_clock(self):
+        cell = _cell(leak_current=30 * pA)
+        cell.write(1.8, time=0.0)
+        cell.write(1.8, time=1e-3)
+        assert cell.stored_voltage(1.5e-3, 0.9) == pytest.approx(1.3, rel=1e-6)
+
+
+class TestRetentionTime:
+    def test_retention_time_formula(self):
+        cell = _cell(leak_current=30 * pA)
+        # (1.8 - 0.9) * 30 fF / 30 pA = 0.9 ms
+        assert cell.retention_time(1.8, 0.9) == pytest.approx(0.9e-3)
+
+    def test_infinite_for_zero_leak(self):
+        cell = _cell(leak_current=0.0)
+        assert cell.retention_time(1.8, 0.9) == float("inf")
+
+    def test_zero_when_already_below(self):
+        cell = _cell()
+        assert cell.retention_time(0.5, 0.9) == 0.0

@@ -1,0 +1,106 @@
+"""Defect taxonomy and injector placement."""
+
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectInjector, DefectKind
+from repro.errors import DefectError
+
+
+class TestCellDefectValidation:
+    def test_low_cap_factor_must_shrink(self):
+        with pytest.raises(DefectError):
+            CellDefect(DefectKind.LOW_CAP, factor=1.2)
+
+    def test_high_cap_factor_must_grow(self):
+        with pytest.raises(DefectError):
+            CellDefect(DefectKind.HIGH_CAP, factor=0.8)
+
+    def test_retention_factor_must_grow(self):
+        with pytest.raises(DefectError):
+            CellDefect(DefectKind.RETENTION, factor=0.5)
+
+    def test_parametric_needs_positive_factor(self):
+        with pytest.raises(DefectError):
+            CellDefect(DefectKind.LOW_CAP, factor=-0.5)
+
+    def test_structural_kinds_ignore_factor(self):
+        assert CellDefect(DefectKind.SHORT).factor == 1.0
+
+
+class TestInjector:
+    def test_inject_records_ground_truth(self):
+        arr = EDRAMArray(4, 4)
+        inj = DefectInjector(arr)
+        d = CellDefect(DefectKind.OPEN)
+        inj.inject(1, 2, d)
+        assert inj.injected == [(1, 2, d)]
+        assert arr.cell(1, 2).has_defect(DefectKind.OPEN)
+
+    def test_bridge_needs_right_neighbour(self):
+        arr = EDRAMArray(4, 4)
+        inj = DefectInjector(arr)
+        with pytest.raises(DefectError):
+            inj.inject(0, 3, CellDefect(DefectKind.BRIDGE))
+
+    def test_inject_many(self):
+        arr = EDRAMArray(4, 4)
+        inj = DefectInjector(arr)
+        inj.inject_many(
+            [(0, 0, CellDefect(DefectKind.SHORT)), (1, 1, CellDefect(DefectKind.OPEN))]
+        )
+        assert len(inj.injected) == 2
+
+    def test_scatter_is_deterministic(self):
+        locs_a = DefectInjector(EDRAMArray(8, 8), seed=3).scatter(DefectKind.OPEN, 5)
+        locs_b = DefectInjector(EDRAMArray(8, 8), seed=3).scatter(DefectKind.OPEN, 5)
+        assert locs_a == locs_b
+
+    def test_scatter_distinct_cells(self):
+        arr = EDRAMArray(8, 8)
+        locs = DefectInjector(arr, seed=0).scatter(DefectKind.SHORT, 10)
+        assert len(set(locs)) == 10
+
+    def test_scatter_overflows(self):
+        arr = EDRAMArray(2, 2)
+        with pytest.raises(DefectError):
+            DefectInjector(arr).scatter(DefectKind.OPEN, 5)
+
+    def test_scatter_avoids_occupied_cells(self):
+        arr = EDRAMArray(2, 2)
+        inj = DefectInjector(arr, seed=1)
+        inj.inject(0, 0, CellDefect(DefectKind.SHORT))
+        locs = inj.scatter(DefectKind.OPEN, 3)
+        assert (0, 0) not in locs
+
+    def test_cluster_respects_bounds(self):
+        arr = EDRAMArray(4, 4)
+        locs = DefectInjector(arr).cluster(DefectKind.LOW_CAP, center=(0, 0), radius=1, factor=0.5)
+        assert set(locs) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_row_stripe(self):
+        arr = EDRAMArray(4, 4)
+        locs = DefectInjector(arr).row_stripe(DefectKind.OPEN, 2)
+        assert locs == [(2, c) for c in range(4)]
+
+    def test_row_stripe_bridge_skips_last_column(self):
+        arr = EDRAMArray(4, 4)
+        locs = DefectInjector(arr).row_stripe(DefectKind.BRIDGE, 1)
+        assert locs == [(1, 0), (1, 1), (1, 2)]
+
+    def test_column_stripe(self):
+        arr = EDRAMArray(4, 4)
+        locs = DefectInjector(arr).column_stripe(DefectKind.ACCESS_OPEN, 3)
+        assert locs == [(r, 3) for r in range(4)]
+
+    def test_column_stripe_bridge_on_last_column_rejected(self):
+        arr = EDRAMArray(4, 4)
+        with pytest.raises(DefectError):
+            DefectInjector(arr).column_stripe(DefectKind.BRIDGE, 3)
+
+    def test_stripe_bounds_checked(self):
+        arr = EDRAMArray(4, 4)
+        with pytest.raises(DefectError):
+            DefectInjector(arr).row_stripe(DefectKind.OPEN, 4)
+        with pytest.raises(DefectError):
+            DefectInjector(arr).column_stripe(DefectKind.OPEN, -1)

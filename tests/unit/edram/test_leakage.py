@@ -1,0 +1,65 @@
+"""Retention model."""
+
+import numpy as np
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.edram.leakage import RetentionModel
+from repro.errors import ArrayConfigError
+from repro.units import fA
+
+
+@pytest.fixture()
+def model():
+    return RetentionModel(v_write=1.8, v_min=0.9)
+
+
+def test_validation():
+    with pytest.raises(ArrayConfigError):
+        RetentionModel(v_write=1.0, v_min=1.0)
+    with pytest.raises(ArrayConfigError):
+        RetentionModel(v_write=1.0, v_min=-0.1)
+
+
+def test_uniform_array_retention(model, tech):
+    arr = EDRAMArray(4, 4, tech=tech)
+    matrix = model.retention_matrix(arr)
+    expected = 0.9 * tech.cell_capacitance / tech.junction_leak_per_cell
+    assert np.allclose(matrix, expected)
+
+
+def test_worst_cell_is_the_leaky_one(model, tech):
+    arr = EDRAMArray(4, 4, tech=tech)
+    arr.cell(2, 3).apply_defect(CellDefect(DefectKind.RETENTION, factor=50.0))
+    worst, addr = model.worst_retention(arr)
+    assert addr == (2, 3)
+    healthy = model.cell_retention(arr, 0, 0)
+    assert worst == pytest.approx(healthy / 50.0)
+
+
+def test_refresh_interval_check(model, tech):
+    arr = EDRAMArray(2, 2, tech=tech)
+    healthy = model.cell_retention(arr, 0, 0)
+    assert model.refresh_interval_ok(arr, healthy * 0.5)
+    assert not model.refresh_interval_ok(arr, healthy * 2.0)
+
+
+def test_failing_cells_listing(model, tech):
+    arr = EDRAMArray(4, 4, tech=tech)
+    arr.cell(1, 1).apply_defect(CellDefect(DefectKind.RETENTION, factor=1000.0))
+    healthy = model.cell_retention(arr, 0, 0)
+    failing = model.failing_cells(arr, healthy / 100.0)
+    assert failing == [(1, 1)]
+
+
+def test_zero_leak_cell_has_infinite_retention(model):
+    arr = EDRAMArray(2, 2, leak_map=np.full((2, 2), 1 * fA))
+    arr.cell(0, 0).leak_current = 0.0
+    assert model.cell_retention(arr, 0, 0) == float("inf")
+
+
+def test_default_technology_meets_its_retention_target(model, tech):
+    # The nominal card should retain at least its declared target.
+    arr = EDRAMArray(2, 2, tech=tech)
+    assert model.refresh_interval_ok(arr, tech.retention_target_s)

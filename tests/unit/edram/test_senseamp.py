@@ -1,0 +1,50 @@
+"""Sense amplifier resolution model."""
+
+import pytest
+
+from repro.edram.senseamp import SenseAmplifier
+from repro.errors import ArrayConfigError
+
+
+def test_offset_is_deterministic_per_seed():
+    a = SenseAmplifier(seed=4)
+    b = SenseAmplifier(seed=4)
+    assert a.offset == b.offset
+
+
+def test_strong_signals_resolve_by_sign():
+    sa = SenseAmplifier(offset_sigma=3e-3, seed=0)
+    strong = 10 * abs(sa.offset) + 0.01
+    assert sa.resolve(strong) is True
+    assert sa.resolve(-strong) is False
+
+
+def test_weak_signal_collapses_to_preferred_state():
+    sa = SenseAmplifier(offset_sigma=5e-3, seed=1, fail_low=True)
+    weak = abs(sa.offset) * 0.5
+    assert sa.resolve(weak) is False
+    assert sa.resolve(-weak) is False
+
+
+def test_fail_high_variant():
+    sa = SenseAmplifier(offset_sigma=5e-3, seed=1, fail_low=False)
+    weak = abs(sa.offset) * 0.5
+    assert sa.resolve(weak) is True
+
+
+def test_margin_sign():
+    sa = SenseAmplifier(offset_sigma=3e-3, seed=0)
+    assert sa.margin(1.0) > 0
+    assert sa.margin(abs(sa.offset) / 2) < 0
+
+
+def test_zero_offset_amp_is_ideal():
+    sa = SenseAmplifier(offset_sigma=0.0)
+    assert sa.offset == 0.0
+    assert sa.resolve(1e-9) is True
+    assert sa.resolve(-1e-9) is False
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(ArrayConfigError):
+        SenseAmplifier(offset_sigma=-1.0)

@@ -1,0 +1,108 @@
+"""Spatial capacitance map generators."""
+
+import numpy as np
+import pytest
+
+from repro.edram.variation_map import (
+    cluster_defect_map,
+    compose_maps,
+    edge_rolloff_map,
+    linear_tilt_map,
+    mismatch_map,
+    radial_map,
+    uniform_map,
+)
+from repro.errors import ArrayConfigError
+from repro.units import fF
+
+
+def test_uniform_map():
+    m = uniform_map((4, 6), 30 * fF)
+    assert m.shape == (4, 6)
+    assert np.all(m == 30 * fF)
+
+
+def test_uniform_rejects_nonpositive():
+    with pytest.raises(ArrayConfigError):
+        uniform_map((2, 2), 0.0)
+
+
+def test_mismatch_statistics_and_determinism():
+    a = mismatch_map((50, 50), 1 * fF, seed=7)
+    b = mismatch_map((50, 50), 1 * fF, seed=7)
+    assert np.array_equal(a, b)
+    assert abs(a.mean()) < 0.1 * fF
+    assert a.std() == pytest.approx(1 * fF, rel=0.1)
+
+
+def test_mismatch_rejects_negative_sigma():
+    with pytest.raises(ArrayConfigError):
+        mismatch_map((2, 2), -1.0)
+
+
+def test_linear_tilt_is_zero_mean():
+    m = linear_tilt_map((8, 8), row_slope=0.1 * fF, col_slope=-0.05 * fF)
+    assert abs(m.mean()) < 1e-25
+    assert m[7, 0] - m[0, 0] == pytest.approx(7 * 0.1 * fF)
+    assert m[0, 7] - m[0, 0] == pytest.approx(-7 * 0.05 * fF)
+
+
+def test_radial_dome_peaks_at_centre():
+    m = radial_map((9, 9), amplitude=2 * fF)
+    assert m[4, 4] == m.max()
+    assert m[0, 0] == pytest.approx(m[8, 8])
+    assert m[4, 4] - m[0, 0] == pytest.approx(2 * fF)
+
+
+def test_radial_bowl_with_negative_amplitude():
+    m = radial_map((9, 9), amplitude=-2 * fF)
+    assert m[4, 4] == m.min()
+
+
+def test_edge_rolloff_hits_border_only():
+    m = edge_rolloff_map((10, 10), depth=3 * fF, width=2)
+    assert m[0, 5] == pytest.approx(-3 * fF)
+    assert m[1, 5] == pytest.approx(-1.5 * fF)
+    assert m[5, 5] == 0.0
+
+
+def test_edge_rolloff_validation():
+    with pytest.raises(ArrayConfigError):
+        edge_rolloff_map((4, 4), depth=-1.0)
+    with pytest.raises(ArrayConfigError):
+        edge_rolloff_map((4, 4), depth=1.0, width=0)
+
+
+def test_cluster_defect_dip():
+    m = cluster_defect_map((10, 10), center=(5, 5), radius=1.5, depth=4 * fF)
+    assert m[5, 5] == pytest.approx(-4 * fF)
+    assert abs(m[0, 0]) < 0.1 * fF
+
+
+def test_cluster_requires_positive_radius():
+    with pytest.raises(ArrayConfigError):
+        cluster_defect_map((4, 4), (1, 1), radius=0.0, depth=1.0)
+
+
+def test_compose_clamps_at_floor():
+    base = uniform_map((4, 4), 5 * fF)
+    dip = cluster_defect_map((4, 4), (2, 2), radius=1.0, depth=50 * fF)
+    combined = compose_maps(base, dip)
+    assert combined.min() >= 1 * fF
+    assert combined[0, 0] == pytest.approx(5 * fF, rel=0.01)
+
+
+def test_compose_rejects_shape_mismatch():
+    with pytest.raises(ArrayConfigError):
+        compose_maps(uniform_map((4, 4), 1 * fF), np.zeros((2, 2)))
+
+
+def test_compose_does_not_mutate_base():
+    base = uniform_map((3, 3), 30 * fF)
+    compose_maps(base, mismatch_map((3, 3), 1 * fF))
+    assert np.all(base == 30 * fF)
+
+
+def test_shape_validation_everywhere():
+    with pytest.raises(ArrayConfigError):
+        uniform_map((0, 4), 1.0)

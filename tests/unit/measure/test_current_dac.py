@@ -1,0 +1,57 @@
+"""Programmable current reference (I_REFP)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.current_dac import ProgrammableCurrentReference
+from repro.units import uA
+
+
+@pytest.fixture()
+def dac():
+    return ProgrammableCurrentReference(delta_i=4 * uA, num_steps=20)
+
+
+def test_linear_staircase_values(dac):
+    assert dac.current_at_step(0) == 0.0
+    assert dac.current_at_step(1) == pytest.approx(4 * uA)
+    assert dac.current_at_step(20) == pytest.approx(80 * uA)
+
+
+def test_full_scale(dac):
+    assert dac.full_scale == pytest.approx(80 * uA)
+
+
+def test_step_bounds(dac):
+    with pytest.raises(MeasurementError):
+        dac.current_at_step(21)
+    with pytest.raises(MeasurementError):
+        dac.current_at_step(-1)
+
+
+def test_staircase_stimulus_matches_dac(dac):
+    st = dac.staircase(t0=40e-9, step_duration=0.5e-9)
+    assert st(39.9e-9) == 0.0
+    for k in range(1, 21):
+        mid_step_t = 40e-9 + (k - 0.5) * 0.5e-9
+        assert st(mid_step_t) == pytest.approx(dac.current_at_step(k))
+
+
+def test_staircase_duration_validated(dac):
+    with pytest.raises(MeasurementError):
+        dac.staircase(0.0, 0.0)
+
+
+def test_step_for_current(dac):
+    assert dac.step_for_current(0.0) == 0
+    assert dac.step_for_current(1 * uA) == 1
+    assert dac.step_for_current(4 * uA) == 1
+    assert dac.step_for_current(4.1 * uA) == 2
+    assert dac.step_for_current(1e3) == 20  # clamped
+
+
+def test_validation():
+    with pytest.raises(MeasurementError):
+        ProgrammableCurrentReference(delta_i=0.0)
+    with pytest.raises(MeasurementError):
+        ProgrammableCurrentReference(delta_i=1 * uA, num_steps=0)

@@ -1,0 +1,135 @@
+"""Instrument fault injection and the qualification screen."""
+
+import numpy as np
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.errors import MeasurementError
+from repro.measure.faults import (
+    FaultSpec,
+    FaultySequencer,
+    StructureFault,
+    fault_signature,
+)
+from repro.measure.sequencer import MeasurementSequencer
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def spread_macro(tech):
+    """A macro whose healthy codes span several values."""
+    capacitance = compose_maps(
+        uniform_map((8, 2), 30 * fF), mismatch_map((8, 2), 4 * fF, seed=2)
+    )
+    array = EDRAMArray(8, 2, tech=tech, capacitance_map=capacitance)
+    return array.macro(0)
+
+
+def _faulty_codes(macro, structure, spec):
+    return FaultySequencer(macro, structure, spec).scan_macro()
+
+
+class TestSpecValidation:
+    def test_dac_leg_needs_index(self):
+        with pytest.raises(MeasurementError):
+            FaultSpec(StructureFault.DAC_LEG_DEAD, 0)
+
+    def test_cref_drift_needs_positive_factor(self):
+        with pytest.raises(MeasurementError):
+            FaultSpec(StructureFault.CREF_DRIFT, 0.0)
+
+
+class TestFaultBehaviours:
+    def test_lec_stuck_open_zeros_everything(self, spread_macro, structure_8x2):
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.LEC_STUCK_OPEN)
+        )
+        assert (codes == 0).all()
+
+    def test_prg_stuck_open_zeros_everything(self, spread_macro, structure_8x2):
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.PRG_STUCK_OPEN)
+        )
+        assert (codes == 0).all()
+
+    def test_lec_stuck_closed_saturates(self, spread_macro, structure_8x2):
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.LEC_STUCK_CLOSED)
+        )
+        assert (codes == structure_8x2.design.num_steps).all()
+
+    def test_register_stuck_returns_constant(self, spread_macro, structure_8x2):
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.REGISTER_STUCK, 13)
+        )
+        assert (codes == 13).all()
+
+    def test_dac_leg_dead_builds_a_wall(self, spread_macro, structure_8x2):
+        healthy = MeasurementSequencer(spread_macro, structure_8x2)
+        healthy_codes = np.array(
+            [[healthy.measure_charge(r, c).code for c in range(2)] for r in range(8)]
+        )
+        dead = int(np.median(healthy_codes))
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.DAC_LEG_DEAD, dead)
+        )
+        # Codes below the dead leg survive; the rest saturate.
+        assert (codes[healthy_codes < dead] == healthy_codes[healthy_codes < dead]).all()
+        assert (codes[healthy_codes >= dead] == structure_8x2.design.num_steps).all()
+
+    def test_cref_drift_is_a_gain_error(self, spread_macro, structure_8x2):
+        healthy = MeasurementSequencer(spread_macro, structure_8x2)
+        healthy_codes = np.array(
+            [[healthy.measure_charge(r, c).code for c in range(2)] for r in range(8)]
+        )
+        grown = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.CREF_DRIFT, 1.2)
+        )
+        shrunk = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.CREF_DRIFT, 0.8)
+        )
+        assert grown.mean() < healthy_codes.mean()  # bigger C_REF divides harder
+        assert shrunk.mean() > healthy_codes.mean()
+
+
+class TestSignatureScreen:
+    def test_all_zero_flags_lec_or_prg(self):
+        sig = fault_signature(np.zeros((8, 2), dtype=int))
+        assert sig is StructureFault.LEC_STUCK_OPEN
+
+    def test_all_saturated_flags_lec_closed(self):
+        sig = fault_signature(np.full((8, 2), 20))
+        assert sig is StructureFault.LEC_STUCK_CLOSED
+
+    def test_constant_midscale_flags_register(self):
+        sig = fault_signature(np.full((8, 2), 13))
+        assert sig is StructureFault.REGISTER_STUCK
+
+    def test_wall_flags_dead_leg(self, spread_macro, structure_8x2):
+        healthy = MeasurementSequencer(spread_macro, structure_8x2)
+        healthy_codes = np.array(
+            [[healthy.measure_charge(r, c).code for c in range(2)] for r in range(8)]
+        )
+        dead = int(np.median(healthy_codes))
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.DAC_LEG_DEAD, dead)
+        )
+        assert fault_signature(codes) is StructureFault.DAC_LEG_DEAD
+
+    def test_healthy_map_passes(self, spread_macro, structure_8x2):
+        healthy = MeasurementSequencer(spread_macro, structure_8x2)
+        codes = np.array(
+            [[healthy.measure_charge(r, c).code for c in range(2)] for r in range(8)]
+        )
+        assert fault_signature(codes) is None
+
+    def test_cref_drift_is_undetectable_standalone(self, spread_macro, structure_8x2):
+        codes = _faulty_codes(
+            spread_macro, structure_8x2, FaultSpec(StructureFault.CREF_DRIFT, 1.15)
+        )
+        assert fault_signature(codes) is None  # needs a golden reference
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(MeasurementError):
+            fault_signature(np.empty((0, 0), dtype=int))

@@ -1,0 +1,108 @@
+"""Netlist builders: structural audits of both renderings."""
+
+import pytest
+
+from repro.circuit.elements import Capacitor, CurrentMirrorOutput, Resistor, VoltageSource
+from repro.circuit.mosfet import Mosfet
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.measure.netlist_builder import (
+    build_charge_network,
+    build_measurement_circuit,
+)
+from repro.measure.structure import MeasurementStructure
+
+
+@pytest.fixture()
+def structure(tech, structure_2x2):
+    return structure_2x2
+
+
+class TestTransistorLevelBuild:
+    def test_element_census_for_2x2(self, array_2x2, structure):
+        built = build_measurement_circuit(array_2x2.macro(0), 0, 0, structure)
+        counts = built.circuit.summary()
+        # 4 access + 2 S_BL + PRG + LEC + STD + REF + 4 sense = 14 MOSFETs
+        assert counts["Mosfet"] == 14
+        # 4 cell caps + 4 junction caps + 2 CBL + CPP + CGPAR + CDPAR = 13
+        assert counts["Capacitor"] == 13
+        assert counts["CurrentMirrorOutput"] == 1
+        # VDD, VHALF, 2 WL, 2 SBL, 2 INBL, PRG, LEC, IN, STD = 12 sources
+        assert counts["VoltageSource"] == 12
+
+    def test_figure1_signal_set_is_present(self, array_2x2, structure):
+        built = build_measurement_circuit(array_2x2.macro(0), 0, 0, structure)
+        ckt = built.circuit
+        for name in ("MPRG", "MLEC", "MSTD", "MREF", "IREFP"):
+            assert name in ckt
+        for node in ("plate", "gate", "drain", "out", "in"):
+            assert ckt.has_node(node)
+
+    def test_ref_gate_capacitance_is_c_ref(self, array_2x2, structure):
+        built = build_measurement_circuit(array_2x2.macro(0), 0, 0, structure)
+        mref = built.circuit["MREF"]
+        assert mref.cgs == pytest.approx(structure.c_ref)
+
+    def test_open_cell_loses_capacitor(self, tech, structure):
+        arr = EDRAMArray(2, 2, tech=tech)
+        arr.cell(1, 1).apply_defect(CellDefect(DefectKind.OPEN))
+        built = build_measurement_circuit(arr.macro(0), 0, 0, structure)
+        assert "CCELL1_1" not in built.circuit
+        assert "CCELL0_0" in built.circuit
+
+    def test_short_cell_becomes_resistor(self, tech, structure):
+        arr = EDRAMArray(2, 2, tech=tech)
+        arr.cell(0, 1).apply_defect(CellDefect(DefectKind.SHORT))
+        built = build_measurement_circuit(arr.macro(0), 0, 0, structure)
+        assert "RSHORT0_1" in built.circuit
+        assert "CCELL0_1" not in built.circuit
+
+    def test_access_open_removes_access_fet(self, tech, structure):
+        arr = EDRAMArray(2, 2, tech=tech)
+        arr.cell(1, 0).apply_defect(CellDefect(DefectKind.ACCESS_OPEN))
+        built = build_measurement_circuit(arr.macro(0), 0, 0, structure)
+        assert "MAC1_0" not in built.circuit
+        assert "CCELL1_0" in built.circuit  # capacitor still drawn
+
+    def test_bridge_inside_macro_is_resistor(self, tech, structure):
+        arr = EDRAMArray(2, 2, tech=tech)
+        arr.cell(0, 0).apply_defect(CellDefect(DefectKind.BRIDGE))
+        built = build_measurement_circuit(arr.macro(0), 0, 0, structure)
+        assert "RBRG0_0" in built.circuit
+
+    def test_cross_macro_bridge_renders_against_vhalf(self, tech, structure):
+        arr = EDRAMArray(2, 4, tech=tech, macro_cols=2)
+        arr.cell(0, 1).apply_defect(CellDefect(DefectKind.BRIDGE))  # col 1 -> 2
+        left = build_measurement_circuit(arr.macro(0), 0, 0, structure)
+        assert "CXBRG0_1" in left.circuit
+        right = build_measurement_circuit(arr.macro(1), 0, 0, structure)
+        assert "CXBRGIN0" in right.circuit
+
+
+class TestChargeNetworkBuild:
+    def test_access_switch_per_cell(self, array_2x2, structure):
+        built = build_charge_network(array_2x2.macro(0), structure)
+        assert set(built.access_switches) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert built.lec_switch == "LEC"
+
+    def test_cref_total_lumped(self, array_2x2, structure):
+        built = build_charge_network(array_2x2.macro(0), structure)
+        assert built.network.capacitance("CREFT") == pytest.approx(structure.c_ref_total)
+
+    def test_short_is_closed_switch(self, tech, structure):
+        arr = EDRAMArray(2, 2, tech=tech)
+        arr.cell(0, 1).apply_defect(CellDefect(DefectKind.SHORT))
+        built = build_charge_network(arr.macro(0), structure)
+        assert built.network.switch_closed("SHORT0_1")
+
+    def test_access_open_has_no_switch(self, tech, structure):
+        arr = EDRAMArray(2, 2, tech=tech)
+        arr.cell(1, 1).apply_defect(CellDefect(DefectKind.ACCESS_OPEN))
+        built = build_charge_network(arr.macro(0), structure)
+        assert (1, 1) not in built.access_switches
+
+    def test_tile_macros_use_local_rows(self, tech, structure_8x2):
+        arr = EDRAMArray(16, 2, tech=tech, macro_rows=8)
+        built = build_charge_network(arr.macro(1), structure_8x2)
+        assert len(built.access_switches) == 16
+        assert max(r for r, _ in built.access_switches) == 7

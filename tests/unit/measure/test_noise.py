@@ -1,0 +1,83 @@
+"""Noise and repeatability analysis."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.noise import NoiseAnalysis
+from repro.units import fA, fF, to_fF
+
+
+@pytest.fixture(scope="module")
+def analysis(structure_2x2):
+    return NoiseAnalysis(structure_2x2, 2, 2)
+
+
+def test_validation(structure_2x2):
+    with pytest.raises(MeasurementError):
+        NoiseAnalysis(structure_2x2, 2, 2, sigma_comparator=-1.0)
+    with pytest.raises(MeasurementError):
+        NoiseAnalysis(structure_2x2, 2, 2, gate_leak=-1.0)
+
+
+def test_ktc_noise_magnitude(analysis):
+    # kT/C on ~70 fF at 300 K referred through the transfer slope lands
+    # in the tens of attofarads — far below one LSB.
+    budget = analysis.budget(30 * fF)
+    assert 0.001 * fF < budget.sigma_ktc < 0.2 * fF
+
+
+def test_total_noise_below_one_lsb(analysis):
+    budget = analysis.budget(30 * fF)
+    assert budget.sigma_codes < 0.3
+
+
+def test_ktc_grows_with_temperature(analysis):
+    cold = analysis.budget(30 * fF, temperature_k=233.15)
+    hot = analysis.budget(30 * fF, temperature_k=398.15)
+    assert hot.sigma_ktc > cold.sigma_ktc
+
+
+def test_droop_bias_negligible_at_nominal(analysis):
+    budget = analysis.budget(30 * fF)
+    assert abs(budget.droop_bias) < 0.01 * fF
+
+
+def test_droop_bias_scales_with_leak(structure_2x2):
+    leaky = NoiseAnalysis(structure_2x2, 2, 2, gate_leak=50000 * fA)
+    quiet = NoiseAnalysis(structure_2x2, 2, 2, gate_leak=50 * fA)
+    assert abs(leaky.budget(30 * fF).droop_bias) > 100 * abs(
+        quiet.budget(30 * fF).droop_bias
+    ) / 101  # proportional
+    assert leaky.budget(30 * fF).droop_bias < 0  # droop reads low
+
+
+def test_enob_is_quantization_limited(analysis, structure_2x2):
+    # With sub-LSB noise the ENOB approaches log2(num_steps).
+    import math
+
+    enob = analysis.enob(30 * fF)
+    assert enob == pytest.approx(math.log2(structure_2x2.design.num_steps), abs=0.3)
+
+
+def test_repeatability_mid_bin_is_stable(analysis):
+    assert analysis.repeatability_sigma(30 * fF, draws=100) < 0.3
+
+
+def test_repeatability_flickers_at_bin_edge(analysis, abacus_2x2):
+    edge = float(abacus_2x2.edges[8])  # a code transition level
+    sigma = analysis.repeatability_sigma(edge, draws=300)
+    assert 0.2 < sigma < 0.8  # ~Bernoulli flicker between two codes
+
+
+def test_sample_codes_determinism(analysis):
+    a = analysis.sample_codes(30 * fF, draws=50, seed=7)
+    b = analysis.sample_codes(30 * fF, draws=50, seed=7)
+    assert (a == b).all()
+    with pytest.raises(MeasurementError):
+        analysis.sample_codes(30 * fF, draws=0)
+
+
+def test_bigger_comparator_noise_hurts(structure_2x2):
+    quiet = NoiseAnalysis(structure_2x2, 2, 2, sigma_comparator=0.5e-3)
+    loud = NoiseAnalysis(structure_2x2, 2, 2, sigma_comparator=5e-3)
+    assert loud.budget(30 * fF).sigma_total > quiet.budget(30 * fF).sigma_total

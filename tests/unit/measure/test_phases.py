@@ -1,0 +1,115 @@
+"""Five-phase plan: timing and control levels (paper §2 flow)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.phases import Phase, PhasePlan
+from repro.measure.structure import MeasurementDesign
+from repro.units import ns
+
+
+@pytest.fixture()
+def plan(tech):
+    return PhasePlan(tech, MeasurementDesign(), target_row=1, target_col=0,
+                     num_rows=4, num_cols=2)
+
+
+class TestTiming:
+    def test_five_windows_of_ten_ns(self, plan):
+        windows = plan.windows
+        assert len(windows) == 5
+        for k, w in enumerate(windows):
+            assert w.start == pytest.approx(k * 10 * ns)
+            assert w.end == pytest.approx((k + 1) * 10 * ns)
+
+    def test_total_duration(self, plan):
+        assert plan.total_duration == pytest.approx(50 * ns)
+
+    def test_convert_start(self, plan):
+        assert plan.convert_start == pytest.approx(40 * ns)
+
+    def test_phase_of(self, plan):
+        assert plan.phase_of(5 * ns) is Phase.DISCHARGE
+        assert plan.phase_of(15 * ns) is Phase.CHARGE
+        assert plan.phase_of(25 * ns) is Phase.ISOLATE
+        assert plan.phase_of(35 * ns) is Phase.SHARE
+        assert plan.phase_of(45 * ns) is Phase.CONVERT
+        assert plan.phase_of(99 * ns) is Phase.CONVERT  # clamped
+        with pytest.raises(MeasurementError):
+            plan.phase_of(-1.0)
+
+
+class TestWordlines:
+    def test_all_selected_in_discharge(self, plan, tech):
+        for row in range(4):
+            assert plan.wordline(row)(5 * ns) == pytest.approx(tech.vpp)
+
+    def test_only_target_row_after_discharge(self, plan, tech):
+        for t in (15 * ns, 25 * ns, 35 * ns, 45 * ns):
+            assert plan.wordline(1)(t) == pytest.approx(tech.vpp)
+            assert plan.wordline(0)(t) == 0.0
+            assert plan.wordline(3)(t) == 0.0
+
+    def test_bounds(self, plan):
+        with pytest.raises(MeasurementError):
+            plan.wordline(4)
+
+
+class TestBitlineControls:
+    def test_all_selects_on_through_charge(self, plan, tech):
+        for col in range(2):
+            assert plan.bitline_select(col)(5 * ns) == pytest.approx(tech.vpp)
+            assert plan.bitline_select(col)(15 * ns) == pytest.approx(tech.vpp)
+
+    def test_only_target_select_after_isolate(self, plan, tech):
+        for t in (25 * ns, 35 * ns, 45 * ns):
+            assert plan.bitline_select(0)(t) == pytest.approx(tech.vpp)
+            assert plan.bitline_select(1)(t) == 0.0
+
+    def test_target_bitline_input_stays_grounded(self, plan):
+        for t in (5 * ns, 15 * ns, 45 * ns):
+            assert plan.bitline_input(0)(t) == 0.0
+
+    def test_neighbour_bitline_raised_from_charge(self, plan, tech):
+        assert plan.bitline_input(1)(5 * ns) == 0.0
+        assert plan.bitline_input(1)(15 * ns) == pytest.approx(tech.vdd)
+
+    def test_bounds(self, plan):
+        with pytest.raises(MeasurementError):
+            plan.bitline_select(2)
+        with pytest.raises(MeasurementError):
+            plan.bitline_input(-1)
+
+
+class TestStructureControls:
+    def test_prg_opens_at_end_of_charge(self, plan, tech):
+        prg = plan.prg()
+        assert prg(5 * ns) == pytest.approx(tech.vpp)
+        assert prg(15 * ns) == pytest.approx(tech.vpp)
+        assert prg(25 * ns) == 0.0
+
+    def test_lec_pattern(self, plan, tech):
+        lec = plan.lec()
+        assert lec(5 * ns) == pytest.approx(tech.vpp)   # discharge C_REF
+        assert lec(15 * ns) == 0.0                       # unselect during charge
+        assert lec(25 * ns) == 0.0
+        assert lec(35 * ns) == pytest.approx(tech.vpp)  # share
+        assert lec(45 * ns) == pytest.approx(tech.vpp)  # convert
+
+    def test_in_drive_levels(self, plan, tech):
+        stim = plan.input_in()
+        assert stim(5 * ns) == 0.0
+        assert stim(15 * ns) == pytest.approx(tech.vdd)
+
+    def test_std_is_off_throughout(self, plan):
+        std = plan.std()
+        for t in (5 * ns, 15 * ns, 25 * ns, 35 * ns, 45 * ns):
+            assert std(t) == 0.0
+
+
+class TestValidation:
+    def test_target_bounds(self, tech):
+        with pytest.raises(MeasurementError):
+            PhasePlan(tech, MeasurementDesign(), 4, 0, num_rows=4, num_cols=2)
+        with pytest.raises(MeasurementError):
+            PhasePlan(tech, MeasurementDesign(), 0, 2, num_rows=4, num_cols=2)

@@ -1,0 +1,48 @@
+"""Measurement result semantics."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.result import CodeMeaning, FlowTrace, MeasurementResult
+
+
+def test_code_bounds_enforced():
+    with pytest.raises(MeasurementError):
+        MeasurementResult(code=21, num_steps=20)
+    with pytest.raises(MeasurementError):
+        MeasurementResult(code=-1, num_steps=20)
+
+
+def test_code_zero_is_under_range():
+    r = MeasurementResult(code=0)
+    assert r.meaning is CodeMeaning.UNDER_RANGE
+    assert not r.in_range
+
+
+def test_full_scale_is_over_range():
+    r = MeasurementResult(code=20, num_steps=20)
+    assert r.meaning is CodeMeaning.OVER_RANGE
+    assert not r.in_range
+
+
+@pytest.mark.parametrize("code", [1, 10, 19])
+def test_intermediate_codes_in_range(code):
+    r = MeasurementResult(code=code, num_steps=20)
+    assert r.meaning is CodeMeaning.IN_RANGE
+    assert r.in_range
+
+
+def test_result_carries_metadata():
+    r = MeasurementResult(code=7, vgs=0.81, flip_time=42e-9, tier="transient",
+                          address=(3, 5))
+    assert r.vgs == 0.81
+    assert r.flip_time == 42e-9
+    assert r.address == (3, 5)
+
+
+def test_flow_trace_records():
+    trace = FlowTrace()
+    trace.record("charge", 1.8, 0.0)
+    trace.record("share", 0.84, 0.84)
+    assert trace.plate == {"charge": 1.8, "share": 0.84}
+    assert trace.gate["share"] == 0.84

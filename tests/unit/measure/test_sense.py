@@ -1,0 +1,70 @@
+"""Two-inverter sense chain."""
+
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.elements import VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.errors import MeasurementError
+from repro.measure.sense import InverterDesign, SenseChain
+
+
+def test_inverter_design_validation():
+    with pytest.raises(MeasurementError):
+        InverterDesign(wn=0.0)
+
+
+def test_threshold_near_half_vdd(tech):
+    chain = SenseChain(tech)
+    assert chain.threshold == pytest.approx(tech.half_vdd, abs=0.05)
+
+
+def test_static_output(tech):
+    chain = SenseChain(tech)
+    assert chain.output_of(chain.threshold + 0.01)
+    assert not chain.output_of(chain.threshold - 0.01)
+
+
+def test_skewed_inverter_moves_threshold(tech):
+    strong_n = SenseChain(tech, InverterDesign(wn=2e-6, wp=1e-6, l=0.18e-6))
+    weak_n = SenseChain(tech, InverterDesign(wn=0.3e-6, wp=3e-6, l=0.18e-6))
+    assert strong_n.threshold < weak_n.threshold
+
+
+def test_chain_in_circuit_matches_static_model(tech):
+    chain = SenseChain(tech)
+
+    def out_for(v_in):
+        ckt = Circuit()
+        ckt.add(VoltageSource("VDD", "vdd", "0", tech.vdd))
+        ckt.add(VoltageSource("VI", "drain", "0", v_in))
+        chain.add_to_circuit(ckt, "drain", "out", "vdd")
+        return dc_operating_point(ckt)["out"]
+
+    # Non-inverting overall: high input -> high OUT.
+    assert out_for(chain.threshold + 0.15) > tech.vdd - 0.1
+    assert out_for(chain.threshold - 0.15) < 0.1
+
+
+def test_chain_adds_four_transistors(tech):
+    from repro.circuit.mosfet import Mosfet
+
+    ckt = Circuit()
+    ckt.add(VoltageSource("VDD", "vdd", "0", tech.vdd))
+    ckt.add(VoltageSource("VI", "in", "0", 0.0))
+    mid = SenseChain(tech).add_to_circuit(ckt, "in", "out", "vdd")
+    assert len(ckt.elements_of_type(Mosfet)) == 4
+    assert ckt.has_node(mid)
+
+
+def test_chain_dc_transfer_is_monotone(tech):
+    chain = SenseChain(tech)
+    ckt = Circuit()
+    ckt.add(VoltageSource("VDD", "vdd", "0", tech.vdd))
+    vin = ckt.add(VoltageSource("VI", "drain", "0", 0.0))
+    chain.add_to_circuit(ckt, "drain", "out", "vdd")
+    outs = []
+    for v in (0.0, 0.45, 0.9, 1.35, 1.8):
+        vin.value = type(vin.value)(v)
+        outs.append(dc_operating_point(ckt)["out"])
+    assert all(a <= b + 1e-6 for a, b in zip(outs, outs[1:]))

@@ -1,0 +1,133 @@
+"""Measurement sequencer: charge tier flow and defect outcomes."""
+
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import MeasurementError
+from repro.measure.result import FlowTrace
+from repro.measure.sequencer import MeasurementSequencer
+from repro.units import fF
+
+
+def _sequencer(tech, structure, rows=2, cols=2, defect=None, where=(0, 0), cm=None):
+    arr = EDRAMArray(rows, cols, tech=tech, macro_cols=cols)
+    if cm is not None:
+        arr.cell(0, 0).capacitance = cm
+    if defect is not None:
+        arr.cell(*where).apply_defect(defect)
+    return MeasurementSequencer(arr.macro(0), structure), arr
+
+
+class TestChargeFlow:
+    def test_nominal_cell_lands_mid_scale(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2)
+        result = seq.measure_charge(0, 0)
+        assert 5 <= result.code <= 15
+        assert result.tier == "charge"
+        assert result.in_range
+
+    def test_flow_trace_matches_paper_narrative(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2)
+        trace = FlowTrace()
+        result = seq.measure_charge(0, 0, trace=trace)
+        assert trace.plate["discharge"] == pytest.approx(0.0)
+        assert trace.gate["discharge"] == pytest.approx(0.0)
+        assert trace.plate["charge"] == pytest.approx(tech.vdd)
+        assert trace.gate["charge"] == pytest.approx(0.0)  # LEC open
+        assert trace.plate["isolate"] == pytest.approx(tech.vdd)
+        # After sharing, plate and gate are the same node voltage = V_GS.
+        assert trace.plate["share"] == pytest.approx(trace.gate["share"])
+        assert trace.gate["share"] == pytest.approx(result.vgs)
+        assert 0 < result.vgs < tech.vdd
+
+    def test_vgs_increases_with_capacitance(self, tech, structure_2x2):
+        codes = []
+        for cm in (15 * fF, 30 * fF, 45 * fF):
+            seq, _ = _sequencer(tech, structure_2x2, cm=cm)
+            codes.append(seq.measure_charge(0, 0).vgs)
+        assert codes[0] < codes[1] < codes[2]
+
+    def test_target_bounds_checked(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2)
+        with pytest.raises(MeasurementError):
+            seq.measure_charge(2, 0)
+        with pytest.raises(MeasurementError):
+            seq.measure_charge(0, 5)
+
+    def test_address_is_global(self, tech, structure_8x2):
+        arr = EDRAMArray(16, 4, tech=tech, macro_cols=2, macro_rows=8)
+        seq = MeasurementSequencer(arr.macro(3), structure_8x2)
+        result = seq.measure_charge(2, 1)
+        assert result.address == (10, 3)
+
+
+class TestDefectOutcomes:
+    def test_shorted_target_reads_code_zero(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2, defect=CellDefect(DefectKind.SHORT))
+        result = seq.measure_charge(0, 0)
+        assert result.code == 0
+        assert result.vgs == pytest.approx(0.0, abs=1e-9)
+
+    def test_open_target_reads_code_zero(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2, defect=CellDefect(DefectKind.OPEN))
+        assert seq.measure_charge(0, 0).code == 0
+
+    def test_access_open_target_reads_like_open(self, tech, structure_2x2):
+        seq, _ = _sequencer(
+            tech, structure_2x2, defect=CellDefect(DefectKind.ACCESS_OPEN)
+        )
+        assert seq.measure_charge(0, 0).code == 0
+
+    def test_under_range_capacitance_reads_code_zero(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2, cm=5 * fF)
+        assert seq.measure_charge(0, 0).code == 0
+
+    def test_over_range_capacitance_saturates(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2, cm=70 * fF)
+        assert seq.measure_charge(0, 0).code == structure_2x2.design.num_steps
+
+    def test_low_cap_reads_low_code(self, tech, structure_2x2):
+        healthy, _ = _sequencer(tech, structure_2x2)
+        low, _ = _sequencer(
+            tech, structure_2x2, defect=CellDefect(DefectKind.LOW_CAP, factor=0.6)
+        )
+        assert low.measure_charge(0, 0).code < healthy.measure_charge(0, 0).code
+
+    def test_shorted_neighbour_lifts_target_code(self, tech, structure_8x2):
+        # The fingerprint scales with the bitline parasitic, so use a
+        # tall array (64 rows) tiled into 8-row plate segments.
+        def seq_for(defect):
+            arr = EDRAMArray(64, 2, tech=tech, macro_cols=2, macro_rows=8)
+            if defect is not None:
+                arr.cell(0, 1).apply_defect(defect)
+            return MeasurementSequencer(arr.macro(0), structure_8x2)
+
+        healthy = seq_for(None).measure_charge(0, 0)
+        shorted = seq_for(CellDefect(DefectKind.SHORT)).measure_charge(0, 0)
+        # Measuring (0, 0) next to the short: the short couples the
+        # neighbour's full bitline capacitance onto the plate.
+        assert shorted.code >= healthy.code + 2
+
+    def test_bridged_pair_reads_roughly_double(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2, defect=CellDefect(DefectKind.BRIDGE))
+        healthy, _ = _sequencer(tech, structure_2x2)
+        code_bridged = seq.measure_charge(0, 0).code
+        code_healthy = healthy.measure_charge(0, 0).code
+        assert code_bridged >= min(
+            code_healthy + 5, structure_2x2.design.num_steps
+        )
+
+    def test_retention_defect_measures_normal_capacitance(self, tech, structure_2x2):
+        # The analog measurement sees capacitance, not leakage.
+        leaky, _ = _sequencer(
+            tech, structure_2x2, defect=CellDefect(DefectKind.RETENTION, factor=1000)
+        )
+        healthy, _ = _sequencer(tech, structure_2x2)
+        assert leaky.measure_charge(0, 0).code == healthy.measure_charge(0, 0).code
+
+
+class TestStandardMode:
+    def test_plate_held_at_half_vdd(self, tech, structure_2x2):
+        seq, _ = _sequencer(tech, structure_2x2)
+        assert seq.standard_mode_plate_voltage() == pytest.approx(tech.half_vdd)

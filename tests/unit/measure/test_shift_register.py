@@ -1,0 +1,90 @@
+"""Shift register (thermometer-coded current-step counter)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.shift_register import ShiftRegister
+
+
+def test_initial_state_empty():
+    sr = ShiftRegister(20)
+    assert sr.count == 0
+    assert not sr.frozen
+    assert sr.is_thermometer()
+
+
+def test_clocking_shifts_ones_in():
+    sr = ShiftRegister(20)
+    for _ in range(5):
+        sr.clock()
+    assert sr.count == 5
+    assert sr.bits[:6] == [True] * 5 + [False]
+    assert sr.is_thermometer()
+
+
+def test_clocking_saturates_at_length():
+    sr = ShiftRegister(3)
+    for _ in range(10):
+        sr.clock()
+    assert sr.count == 3
+
+
+def test_freeze_blocks_further_clocks():
+    sr = ShiftRegister(4)
+    sr.clock()
+    sr.freeze()
+    with pytest.raises(MeasurementError):
+        sr.clock()
+
+
+def test_code_extraction_is_count_minus_one():
+    # Flip during step k leaves k ones -> code k-1 completed steps.
+    sr = ShiftRegister(20)
+    for _ in range(7):
+        sr.clock()
+    sr.freeze()
+    assert sr.extract_code() == 6
+
+
+def test_flip_on_first_step_gives_code_zero():
+    sr = ShiftRegister(20)
+    sr.clock()
+    sr.freeze()
+    assert sr.extract_code() == 0
+
+
+def test_never_frozen_gives_full_scale():
+    sr = ShiftRegister(20)
+    for _ in range(20):
+        sr.clock()
+    assert sr.extract_code() == 20
+
+
+def test_reset():
+    sr = ShiftRegister(5)
+    sr.clock()
+    sr.freeze()
+    sr.reset()
+    assert sr.count == 0
+    assert not sr.frozen
+    sr.clock()  # must not raise
+
+
+def test_corrupted_state_detected():
+    sr = ShiftRegister(4)
+    sr._bits = [True, False, True, False]  # not thermometer
+    assert not sr.is_thermometer()
+    with pytest.raises(MeasurementError):
+        sr.extract_code()
+
+
+def test_length_validation():
+    with pytest.raises(MeasurementError):
+        ShiftRegister(0)
+
+
+def test_bits_returns_copy():
+    sr = ShiftRegister(4)
+    bits = sr.bits
+    bits[0] = True
+    assert sr.count == 0

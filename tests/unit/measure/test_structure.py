@@ -1,0 +1,98 @@
+"""Measurement structure design constants and static conversion."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.structure import MeasurementDesign, MeasurementStructure
+from repro.units import fF, ns, uA
+
+
+class TestDesignValidation:
+    def test_defaults_are_consistent(self):
+        d = MeasurementDesign()
+        assert d.num_steps == 20
+        assert d.phase_duration == pytest.approx(10 * ns)
+        assert d.step_duration == pytest.approx(0.5 * ns)
+        assert d.flow_duration == pytest.approx(50 * ns)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(MeasurementError):
+            MeasurementDesign(w_ref=0.0)
+
+    def test_rejects_bad_delta_i(self):
+        with pytest.raises(MeasurementError):
+            MeasurementDesign(delta_i=0.0)
+
+    def test_rejects_shallow_converter(self):
+        with pytest.raises(MeasurementError):
+            MeasurementDesign(num_steps=1)
+
+    def test_with_delta_i(self):
+        d = MeasurementDesign().with_delta_i(7 * uA)
+        assert d.delta_i == pytest.approx(7 * uA)
+
+    def test_c_ref_from_geometry(self, tech):
+        d = MeasurementDesign(w_ref=4e-6, l_ref=1e-6)
+        assert d.c_ref(tech) == pytest.approx(tech.nmos.gate_capacitance(4e-6, 1e-6))
+
+
+class TestStaticConversion:
+    def test_code_zero_below_threshold(self, tech):
+        s = MeasurementStructure(tech)
+        assert s.code_for_vgs(0.0) == 0
+        assert s.code_for_vgs(tech.nmos.vth0 - 0.05) == 0
+
+    def test_code_monotone_in_vgs(self, tech):
+        s = MeasurementStructure(tech)
+        codes = [s.code_for_vgs(v) for v in (0.5, 0.7, 0.9, 1.1, 1.3)]
+        assert all(a <= b for a, b in zip(codes, codes[1:]))
+
+    def test_code_saturates_at_num_steps(self, tech):
+        s = MeasurementStructure(tech)
+        assert s.code_for_vgs(5.0) == s.design.num_steps
+
+    def test_code_boundary_is_consistent_with_conversion(self, tech):
+        s = MeasurementStructure(tech)
+        for code in (1, 5, 10, 19):
+            v = s.vgs_for_code_boundary(code)
+            assert s.code_for_vgs(v - 1e-4) == code - 1
+            assert s.code_for_vgs(v + 1e-4) == code
+
+    def test_boundary_bounds_checked(self, tech):
+        s = MeasurementStructure(tech)
+        with pytest.raises(MeasurementError):
+            s.vgs_for_code_boundary(0)
+        with pytest.raises(MeasurementError):
+            s.vgs_for_code_boundary(s.design.num_steps + 1)
+
+    def test_oversized_delta_i_detected(self, tech):
+        s = MeasurementStructure(tech, MeasurementDesign(delta_i=1.0))  # 1 A steps
+        with pytest.raises(MeasurementError):
+            s.vgs_for_code_boundary(s.design.num_steps)
+
+    def test_ref_sink_current_monotone(self, tech):
+        s = MeasurementStructure(tech)
+        i1 = s.ref_sink_current(0.7)
+        i2 = s.ref_sink_current(1.0)
+        assert 0 < i1 < i2
+
+    def test_subthreshold_leak_is_negligible(self, tech, structure_2x2):
+        assert structure_2x2.subthreshold_leak_ok()
+
+
+class TestSlewSafety:
+    def test_min_detectable_step_formula(self, tech):
+        s = MeasurementStructure(tech)
+        expected = s.design.drain_parasitic * s.sense.threshold / s.design.step_duration
+        assert s.min_detectable_step == pytest.approx(expected)
+
+    def test_default_design_is_slew_safe(self, tech):
+        assert MeasurementStructure(tech).is_slew_safe
+
+    def test_tiny_delta_i_flags_unsafe(self, tech):
+        s = MeasurementStructure(tech, MeasurementDesign(delta_i=0.01 * uA))
+        assert not s.is_slew_safe
+
+    def test_c_ref_total_includes_parasitic(self, tech):
+        s = MeasurementStructure(tech)
+        assert s.c_ref_total == pytest.approx(s.c_ref + s.design.gate_parasitic)

@@ -1,0 +1,55 @@
+"""Process corner generation."""
+
+import pytest
+
+from repro.tech.corners import CORNER_SHIFTS, Corner, all_corners, corner_technology
+
+
+def test_tt_corner_is_identity_on_devices(tech):
+    tt = corner_technology(Corner.TT, tech)
+    assert tt.nmos.vth0 == pytest.approx(tech.nmos.vth0)
+    assert tt.nmos.kp == pytest.approx(tech.nmos.kp)
+    assert tt.cell_capacitance == pytest.approx(tech.cell_capacitance)
+
+
+def test_ff_is_faster_ss_is_slower(tech):
+    ff = corner_technology(Corner.FF, tech)
+    ss = corner_technology(Corner.SS, tech)
+    assert ff.nmos.vth0 < tech.nmos.vth0 < ss.nmos.vth0
+    assert ff.nmos.kp > tech.nmos.kp > ss.nmos.kp
+    assert abs(ff.pmos.vth0) < abs(tech.pmos.vth0) < abs(ss.pmos.vth0)
+
+
+def test_skewed_corners_split_polarities(tech):
+    fs = corner_technology(Corner.FS, tech)
+    assert fs.nmos.vth0 < tech.nmos.vth0  # fast n
+    assert abs(fs.pmos.vth0) > abs(tech.pmos.vth0)  # slow p
+    sf = corner_technology(Corner.SF, tech)
+    assert sf.nmos.vth0 > tech.nmos.vth0
+    assert abs(sf.pmos.vth0) < abs(tech.pmos.vth0)
+
+
+def test_corner_names_are_tagged(tech):
+    ss = corner_technology(Corner.SS, tech)
+    assert ss.name.endswith("-ss")
+
+
+def test_cell_capacitance_tracks_corner(tech):
+    ff = corner_technology(Corner.FF, tech)
+    ss = corner_technology(Corner.SS, tech)
+    assert ff.cell_capacitance > tech.cell_capacitance > ss.cell_capacitance
+
+
+def test_all_corners_covers_every_corner(tech):
+    cards = all_corners(tech)
+    assert set(cards) == set(Corner)
+    assert len({card.name for card in cards.values()}) == len(Corner)
+
+
+def test_corner_shift_table_covers_every_corner():
+    assert set(CORNER_SHIFTS) == set(Corner)
+
+
+def test_default_base_card_used_when_none():
+    card = corner_technology(Corner.FF)
+    assert card.name.startswith("generic-0.18um-edram")

@@ -1,0 +1,97 @@
+"""Technology card and MOSFET parameter validation."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.parameters import MosfetParams, TechnologyCard, default_technology
+from repro.units import fF, um
+
+
+class TestMosfetParams:
+    def test_nmos_defaults_are_physical(self, tech):
+        n = tech.nmos
+        assert n.polarity == "nmos"
+        assert 0.3 < n.vth0 < 0.6
+        assert 100e-6 < n.kp < 600e-6
+        assert n.cox > 0
+
+    def test_pmos_threshold_is_negative(self, tech):
+        assert tech.pmos.vth0 < 0
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(TechnologyError):
+            MosfetParams(polarity="cmos", vth0=0.4, kp=1e-4)
+
+    def test_rejects_wrong_sign_threshold(self):
+        with pytest.raises(TechnologyError):
+            MosfetParams(polarity="nmos", vth0=-0.4, kp=1e-4)
+        with pytest.raises(TechnologyError):
+            MosfetParams(polarity="pmos", vth0=0.4, kp=1e-4)
+
+    def test_rejects_nonpositive_kp_and_tox(self):
+        with pytest.raises(TechnologyError):
+            MosfetParams(polarity="nmos", vth0=0.45, kp=0.0)
+        with pytest.raises(TechnologyError):
+            MosfetParams(polarity="nmos", vth0=0.45, kp=1e-4, tox=0.0)
+
+    def test_gate_capacitance_scales_with_area(self, tech):
+        c1 = tech.nmos.gate_capacitance(1 * um, 1 * um)
+        c2 = tech.nmos.gate_capacitance(2 * um, 2 * um)
+        assert c2 == pytest.approx(4 * c1)
+        # ~8.6 fF per square micron for 4 nm oxide
+        assert c1 == pytest.approx(8.6 * fF, rel=0.05)
+
+    def test_gate_capacitance_rejects_bad_geometry(self, tech):
+        with pytest.raises(TechnologyError):
+            tech.nmos.gate_capacitance(0.0, 1e-6)
+
+    def test_beta_is_kp_times_aspect(self, tech):
+        assert tech.nmos.beta(2e-6, 1e-6) == pytest.approx(2 * tech.nmos.kp)
+
+    def test_with_shift_moves_magnitude_for_both_polarities(self, tech):
+        n = tech.nmos.with_shift(dvth=0.05)
+        p = tech.pmos.with_shift(dvth=0.05)
+        assert n.vth0 == pytest.approx(tech.nmos.vth0 + 0.05)
+        assert p.vth0 == pytest.approx(tech.pmos.vth0 - 0.05)  # |vth| grows
+
+    def test_with_shift_scales_kp(self, tech):
+        assert tech.nmos.with_shift(kp_scale=1.1).kp == pytest.approx(1.1 * tech.nmos.kp)
+
+
+class TestTechnologyCard:
+    def test_default_card_headline_values(self, tech):
+        assert tech.vdd == pytest.approx(1.8)
+        assert tech.cell_capacitance == pytest.approx(30 * fF)
+        assert tech.vpp > tech.vdd + abs(tech.nmos.vth0)
+
+    def test_half_vdd(self, tech):
+        assert tech.half_vdd == pytest.approx(0.9)
+
+    def test_bitline_capacitance_grows_linearly(self, tech):
+        c0 = tech.bitline_capacitance(0)
+        c128 = tech.bitline_capacitance(128)
+        assert c128 == pytest.approx(c0 + 128 * tech.bitline_cap_per_cell)
+
+    def test_bitline_capacitance_rejects_negative_rows(self, tech):
+        with pytest.raises(TechnologyError):
+            tech.bitline_capacitance(-1)
+
+    def test_plate_parasitic_grows_with_cells(self, tech):
+        assert tech.plate_parasitic(64) > tech.plate_parasitic(4)
+
+    def test_rejects_vpp_below_vdd(self):
+        with pytest.raises(TechnologyError):
+            TechnologyCard(vpp=1.0)
+
+    def test_rejects_nonpositive_cell_capacitance(self):
+        with pytest.raises(TechnologyError):
+            TechnologyCard(cell_capacitance=0.0)
+
+    def test_default_technology_returns_fresh_equal_cards(self):
+        a = default_technology()
+        b = default_technology()
+        assert a == b
+        assert a is not b
+
+    def test_access_transistor_beta_positive(self, tech):
+        assert tech.access_transistor_beta() > 0

@@ -1,0 +1,57 @@
+"""Node portability: the 0.13 µm card."""
+
+import pytest
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.accuracy import accuracy_sweep
+from repro.calibration.design import design_structure
+from repro.edram.array import EDRAMArray
+from repro.measure.sequencer import MeasurementSequencer
+from repro.tech import technology_013um
+from repro.units import fF
+
+
+@pytest.fixture(scope="module")
+def tech013():
+    return technology_013um()
+
+
+def test_card_headline_values(tech013):
+    assert tech013.vdd == pytest.approx(1.2)
+    assert tech013.cell_capacitance == pytest.approx(25 * fF)
+    assert tech013.vpp > tech013.vdd + abs(tech013.nmos.vth0)
+    assert tech013.nmos.tox < 3e-9
+
+
+def test_designer_adapts_without_code_changes(tech013):
+    structure = design_structure(tech013, 8, 2, c_lo=8 * fF, c_hi=45 * fF)
+    abacus = Abacus.analytic(structure, 8, 2)
+    assert abacus.range_floor == pytest.approx(8 * fF, rel=0.02)
+    assert abacus.range_ceiling == pytest.approx(45 * fF, rel=0.02)
+
+
+def test_accuracy_holds_on_the_new_node(tech013):
+    structure = design_structure(tech013, 8, 2, c_lo=8 * fF, c_hi=45 * fF)
+    abacus = Abacus.analytic(structure, 8, 2)
+    report = accuracy_sweep(abacus, c_start=6 * fF, c_stop=50 * fF)
+    assert report.error_at(25 * fF) < 0.06
+
+
+def test_measurement_flow_runs_end_to_end(tech013):
+    structure = design_structure(tech013, 2, 2, c_lo=8 * fF, c_hi=45 * fF)
+    array = EDRAMArray(2, 2, tech=tech013)
+    result = MeasurementSequencer(array.macro(0), structure).measure_charge(0, 0)
+    assert result.in_range
+    assert 0 < result.vgs < tech013.vdd
+
+
+def test_code_scales_between_nodes(tech013):
+    """The same nominal cell lands mid-scale on both nodes."""
+    from repro.tech import default_technology
+
+    for tech, c_lo, c_hi in ((default_technology(), 10 * fF, 55 * fF),
+                             (tech013, 8 * fF, 45 * fF)):
+        structure = design_structure(tech, 2, 2, c_lo=c_lo, c_hi=c_hi)
+        array = EDRAMArray(2, 2, tech=tech)
+        code = MeasurementSequencer(array.macro(0), structure).measure_charge(0, 0).code
+        assert 5 <= code <= 15

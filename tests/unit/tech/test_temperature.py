@@ -1,0 +1,116 @@
+"""Temperature behaviour of devices and the technology card."""
+
+import pytest
+
+from repro.circuit.mosfet import Mosfet
+from repro.errors import TechnologyError
+from repro.units import fA, um
+
+
+class TestMosfetParams:
+    def test_nominal_temperature_is_identity(self, tech):
+        assert tech.nmos.vth_eff == pytest.approx(tech.nmos.vth0)
+        assert tech.nmos.kp_eff == pytest.approx(tech.nmos.kp)
+
+    def test_threshold_drops_when_hot(self, tech):
+        hot = tech.nmos.with_temperature(398.15)  # 125 C
+        assert abs(hot.vth_eff) < abs(tech.nmos.vth0)
+        assert hot.vth_eff == pytest.approx(tech.nmos.vth0 - 98 * 1e-3, abs=1e-3)
+
+    def test_pmos_threshold_magnitude_drops_when_hot(self, tech):
+        hot = tech.pmos.with_temperature(398.15)
+        assert abs(hot.vth_eff) < abs(tech.pmos.vth0)
+        assert hot.vth_eff < 0  # polarity preserved
+
+    def test_threshold_magnitude_clamped(self, tech):
+        inferno = tech.nmos.with_temperature(1000.0)
+        assert abs(inferno.vth_eff) == pytest.approx(0.05)
+
+    def test_mobility_falls_when_hot(self, tech):
+        hot = tech.nmos.with_temperature(398.15)
+        assert hot.kp_eff < tech.nmos.kp
+        assert hot.kp_eff == pytest.approx(
+            tech.nmos.kp * (398.15 / 300.15) ** -1.5, rel=1e-9
+        )
+
+    def test_with_temperature_validation(self, tech):
+        with pytest.raises(TechnologyError):
+            tech.nmos.with_temperature(0.0)
+
+
+class TestMosfetCurrents:
+    def test_strong_inversion_current_falls_when_hot(self, tech):
+        # Deep strong inversion: mobility loss dominates the vth gain.
+        cold = Mosfet("M", "d", "g", "s", tech.nmos.with_temperature(233.15),
+                      w=1 * um, l=0.2 * um)
+        hot = Mosfet("M", "d", "g", "s", tech.nmos.with_temperature(398.15),
+                     w=1 * um, l=0.2 * um)
+        assert hot.ids(1.8, 1.8, 0.0) < cold.ids(1.8, 1.8, 0.0)
+
+    def test_subthreshold_leak_rises_when_hot(self, tech):
+        cold = Mosfet("M", "d", "g", "s", tech.nmos.with_temperature(233.15),
+                      w=1 * um, l=0.2 * um)
+        hot = Mosfet("M", "d", "g", "s", tech.nmos.with_temperature(398.15),
+                     w=1 * um, l=0.2 * um)
+        assert hot.ids(1.8, 0.2, 0.0) > 100 * cold.ids(1.8, 0.2, 0.0)
+
+
+class TestTechnologyCard:
+    def test_at_temperature_rebiases_everything(self, tech):
+        hot = tech.at_temperature(358.15)  # 85 C
+        assert hot.temperature_k == pytest.approx(358.15)
+        assert hot.nmos.temperature_k == pytest.approx(358.15)
+        assert hot.pmos.temperature_k == pytest.approx(358.15)
+        assert hot.junction_leak_per_cell > tech.junction_leak_per_cell
+        assert "85C" in hot.name
+
+    def test_junction_leak_doubles_every_ten_kelvin(self, tech):
+        assert tech.junction_leak_at(310.15) == pytest.approx(
+            2 * tech.junction_leak_per_cell
+        )
+        assert tech.junction_leak_at(280.15) == pytest.approx(
+            tech.junction_leak_per_cell / 4
+        )
+
+    def test_validation(self, tech):
+        with pytest.raises(TechnologyError):
+            tech.at_temperature(-5.0)
+        with pytest.raises(TechnologyError):
+            tech.junction_leak_at(0.0)
+
+    def test_retention_collapses_when_hot(self, tech):
+        from repro.edram.array import EDRAMArray
+        from repro.edram.leakage import RetentionModel
+
+        model = RetentionModel(v_write=1.8, v_min=0.9)
+        cold_time, _ = model.worst_retention(EDRAMArray(2, 2, tech=tech))
+        hot_time, _ = model.worst_retention(
+            EDRAMArray(2, 2, tech=tech.at_temperature(358.15))
+        )
+        assert hot_time < cold_time / 30
+
+
+class TestMeasurementUnderTemperature:
+    def test_code_drift_is_small(self, tech, structure_2x2):
+        """The conversion is first-order temperature-compensated.
+
+        V_TH drop and mobility loss pull the REF sink current in opposite
+        directions, so the code at 30 fF moves by at most a couple of
+        steps across the industrial range.
+        """
+        from repro.edram.array import EDRAMArray
+        from repro.measure.sequencer import MeasurementSequencer
+        from repro.measure.structure import MeasurementStructure
+
+        codes = {}
+        for celsius in (-40, 27, 125):
+            card = tech.at_temperature(273.15 + celsius)
+            array = EDRAMArray(2, 2, tech=card)
+            structure = MeasurementStructure(card, structure_2x2.design)
+            codes[celsius] = MeasurementSequencer(
+                array.macro(0), structure
+            ).measure_charge(0, 0).code
+        assert abs(codes[-40] - codes[27]) <= 2
+        assert abs(codes[125] - codes[27]) <= 2
+        # Colder -> stronger REF -> weakly higher code.
+        assert codes[-40] >= codes[125]

@@ -1,0 +1,68 @@
+"""Monte-Carlo variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.variation import MonteCarloSampler, VariationModel
+from repro.units import fF
+
+
+def test_sampler_is_deterministic_under_seed(tech):
+    a = [c.nmos.vth0 for c in MonteCarloSampler(tech, seed=5).samples(10)]
+    b = [c.nmos.vth0 for c in MonteCarloSampler(tech, seed=5).samples(10)]
+    assert a == b
+
+
+def test_different_seeds_differ(tech):
+    a = MonteCarloSampler(tech, seed=1).sample()
+    b = MonteCarloSampler(tech, seed=2).sample()
+    assert a.nmos.vth0 != b.nmos.vth0
+
+
+def test_sample_statistics_match_model(tech):
+    model = VariationModel(sigma_vth=0.02, sigma_cell_cap=1.5 * fF)
+    sampler = MonteCarloSampler(tech, model, seed=0)
+    cards = list(sampler.samples(600))
+    vths = np.array([c.nmos.vth0 for c in cards]) - tech.nmos.vth0
+    caps = np.array([c.cell_capacitance for c in cards]) - tech.cell_capacitance
+    assert abs(vths.mean()) < 0.003
+    assert vths.std() == pytest.approx(0.02, rel=0.15)
+    assert caps.std() == pytest.approx(1.5 * fF, rel=0.15)
+
+
+def test_polarities_are_drawn_independently(tech):
+    sampler = MonteCarloSampler(tech, seed=3)
+    cards = list(sampler.samples(100))
+    n_shift = np.array([c.nmos.vth0 - tech.nmos.vth0 for c in cards])
+    p_shift = np.array([abs(c.pmos.vth0) - abs(tech.pmos.vth0) for c in cards])
+    corr = np.corrcoef(n_shift, p_shift)[0, 1]
+    assert abs(corr) < 0.35
+
+
+def test_vdd_and_vpp_scale_together(tech):
+    sampler = MonteCarloSampler(tech, VariationModel(sigma_vdd_rel=0.05), seed=9)
+    card = sampler.sample()
+    assert card.vpp / card.vdd == pytest.approx(tech.vpp / tech.vdd)
+
+
+def test_capacitance_never_collapses(tech):
+    model = VariationModel(sigma_cell_cap=50 * fF)  # absurdly wide
+    sampler = MonteCarloSampler(tech, model, seed=4)
+    assert all(c.cell_capacitance >= 0.5 * fF for c in sampler.samples(50))
+
+
+def test_sample_names_are_unique(tech):
+    sampler = MonteCarloSampler(tech, seed=0)
+    names = [c.name for c in sampler.samples(5)]
+    assert len(set(names)) == 5
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(TechnologyError):
+        VariationModel(sigma_vth=-0.01)
+
+
+def test_negative_count_rejected(tech):
+    with pytest.raises(TechnologyError):
+        list(MonteCarloSampler(tech).samples(-1))

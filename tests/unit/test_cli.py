@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_design_command(capsys):
+    assert main(["design", "--rows", "16", "--macro-rows", "8", "--cols", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "C_REF" in out
+    assert "DAC step" in out
+
+
+def test_abacus_command(capsys):
+    assert main(["abacus", "--rows", "8", "--macro-rows", "8", "--cols", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "over range" in out
+    assert "ambiguous" in out
+
+
+def test_scan_command_healthy(capsys):
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8", "--healthy",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scanned 32 cells" in out
+
+
+def test_scan_command_saves(tmp_path, capsys):
+    target = tmp_path / "scan.npz"
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--save", str(target),
+    ]) == 0
+    assert target.exists()
+    from repro.io import load_scan
+
+    loaded = load_scan(target)
+    assert loaded.codes.shape == (8, 4)
+
+
+def test_diagnose_command(capsys):
+    assert main(["diagnose", "--rows", "16", "--cols", "8", "--macro-rows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "repair" in out
+    assert "findings:" in out
+
+
+def test_wafer_command(capsys):
+    assert main(["wafer", "--diameter", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "wafer mean" in out
+    assert "radial profile" in out

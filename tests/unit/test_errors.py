@@ -1,0 +1,37 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.NetlistError,
+        errors.ConvergenceError,
+        errors.SingularCircuitError,
+        errors.TechnologyError,
+        errors.ArrayConfigError,
+        errors.DefectError,
+        errors.MeasurementError,
+        errors.CalibrationError,
+        errors.DiagnosisError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_convergence_error_carries_diagnostics():
+    err = errors.ConvergenceError("no convergence", iterations=42, residual=1e-3)
+    assert err.iterations == 42
+    assert err.residual == pytest.approx(1e-3)
+
+
+def test_convergence_error_defaults():
+    err = errors.ConvergenceError("plain")
+    assert err.iterations == 0
+    assert err.residual != err.residual  # NaN

@@ -1,0 +1,64 @@
+"""Persistence of scans and abaci."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.abacus import Abacus
+from repro.calibration.design import design_structure
+from repro.edram.array import EDRAMArray
+from repro.errors import CalibrationError, MeasurementError
+from repro.io import load_abacus, load_scan, save_abacus, save_scan
+from repro.measure.scan import ArrayScanner
+
+
+@pytest.fixture()
+def scan(tech, structure_2x2):
+    array = EDRAMArray(4, 4, tech=tech)
+    return ArrayScanner(array, structure_2x2).scan()
+
+
+class TestScanIO:
+    def test_roundtrip(self, scan, tmp_path):
+        path = save_scan(scan, tmp_path / "scan")
+        assert path.suffix == ".npz"
+        loaded = load_scan(path)
+        assert np.array_equal(loaded.codes, scan.codes)
+        assert np.allclose(loaded.vgs, scan.vgs)
+        assert np.array_equal(loaded.tiers, scan.tiers)
+        assert loaded.num_steps == scan.num_steps
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MeasurementError):
+            load_scan(tmp_path / "nope.npz")
+
+    def test_explicit_suffix_kept(self, scan, tmp_path):
+        path = save_scan(scan, tmp_path / "data.npz")
+        assert path.name == "data.npz"
+
+
+class TestAbacusIO:
+    def test_roundtrip(self, structure_2x2, abacus_2x2, tmp_path):
+        path = save_abacus(abacus_2x2, tmp_path / "abacus")
+        assert path.suffix == ".json"
+        loaded = load_abacus(path, structure_2x2)
+        assert np.allclose(loaded.edges, abacus_2x2.edges, atol=1e-21)
+
+    def test_missing_file(self, structure_2x2, tmp_path):
+        with pytest.raises(CalibrationError):
+            load_abacus(tmp_path / "nope.json", structure_2x2)
+
+    def test_fingerprint_mismatch_rejected(self, tech, abacus_2x2, tmp_path):
+        path = save_abacus(abacus_2x2, tmp_path / "abacus")
+        other = design_structure(tech, 8, 2)  # different design
+        with pytest.raises(CalibrationError):
+            load_abacus(path, other)
+
+    def test_codes_survive_roundtrip(self, structure_2x2, abacus_2x2, tmp_path):
+        from repro.units import fF
+
+        path = save_abacus(abacus_2x2, tmp_path / "abacus")
+        loaded = load_abacus(path, structure_2x2)
+        for cm in (12, 30, 50):
+            assert loaded.code_for_capacitance(cm * fF) == (
+                abacus_2x2.code_for_capacitance(cm * fF)
+            )

@@ -1,0 +1,47 @@
+"""Units and constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_scale_factors_roundtrip():
+    assert units.to_fF(30 * units.fF) == pytest.approx(30.0)
+    assert units.to_pF(2.2 * units.pF) == pytest.approx(2.2)
+    assert units.to_ns(50 * units.ns) == pytest.approx(50.0)
+    assert units.to_uA(7.5 * units.uA) == pytest.approx(7.5)
+    assert units.to_mV(0.45) == pytest.approx(450.0)
+
+
+def test_relative_magnitudes():
+    assert units.aF < units.fF < units.pF
+    assert units.ps < units.ns < units.us < units.ms
+    assert units.fA < units.pA < units.nA < units.uA < units.mA
+    assert units.kOhm < units.MOhm < units.GOhm
+    assert units.nm < units.um
+
+
+def test_thermal_voltage_at_nominal():
+    vt = units.thermal_voltage()
+    assert 0.0255 < vt < 0.0265  # ~25.9 mV at 300.15 K
+
+
+def test_thermal_voltage_scales_with_temperature():
+    assert units.thermal_voltage(600.0) == pytest.approx(
+        2.0 * units.thermal_voltage(300.0)
+    )
+
+
+def test_thermal_voltage_rejects_nonpositive_temperature():
+    with pytest.raises(ValueError):
+        units.thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        units.thermal_voltage(-1.0)
+
+
+def test_cox_magnitude_from_constants():
+    # 4 nm SiO2 oxide: Cox = eps0*3.9/4nm ~ 8.6 fF/um^2
+    cox = units.EPS0 * units.EPS_SIO2 / (4 * units.nm)
+    assert cox == pytest.approx(8.63e-3, rel=0.01)  # F/m^2

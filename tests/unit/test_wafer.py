@@ -1,0 +1,80 @@
+"""Wafer-level monitoring."""
+
+import math
+
+import pytest
+
+from repro.errors import DiagnosisError
+from repro.wafer import WaferModel, WaferReport
+from repro.units import fF, to_fF
+
+
+@pytest.fixture(scope="module")
+def report():
+    return WaferModel(diameter_dies=7, seed=1).measure_wafer()
+
+
+def test_validation():
+    with pytest.raises(DiagnosisError):
+        WaferModel(diameter_dies=2)
+    with pytest.raises(DiagnosisError):
+        WaferModel(die_rows=10, macro_rows=4)
+    with pytest.raises(DiagnosisError):
+        WaferReport(dies=[], diameter=5)
+
+
+def test_sites_are_inside_the_circle():
+    model = WaferModel(diameter_dies=9)
+    for x, y, r in model.sites():
+        assert 0 <= r <= 1.0
+        centre = 4.0
+        assert math.hypot(x - centre, y - centre) <= 4.5 + 1e-9
+
+
+def test_corner_dies_are_not_printed():
+    model = WaferModel(diameter_dies=9)
+    coords = {(x, y) for x, y, _ in model.sites()}
+    assert (0, 0) not in coords
+    assert (4, 4) in coords
+
+
+def test_wafer_mean_near_nominal(report):
+    assert to_fF(report.wafer_mean) == pytest.approx(29.0, abs=1.0)
+
+
+def test_radial_profile_recovers_planted_drop(report):
+    a, b = report.radial_profile()
+    assert to_fF(a) == pytest.approx(30.0, abs=0.5)  # centre value
+    assert to_fF(-b) == pytest.approx(2.5, abs=0.8)  # planted drop
+
+
+def test_zonal_means_decrease_outward(report):
+    zones = report.zonal_means(rings=3)
+    means = [m for _, m, _ in zones]
+    counts = [n for _, _, n in zones]
+    assert sum(counts) == len(report.dies)
+    assert means[0] > means[-1]
+
+
+def test_zonal_validation(report):
+    with pytest.raises(DiagnosisError):
+        report.zonal_means(rings=0)
+
+
+def test_out_of_spec_dies(report):
+    bad = report.out_of_spec_dies(spec_lo=29.2 * fF, spec_hi=36 * fF)
+    # The edge ring sits below 29.2 fF by construction.
+    assert len(bad) > 0
+    assert all(d.radius_fraction > 0.3 for d in bad)
+
+
+def test_ascii_map_renders(report):
+    art = report.ascii_map()
+    assert "wafer mean" in art
+    assert ".." in art  # off-wafer corners
+
+
+def test_determinism():
+    a = WaferModel(diameter_dies=5, seed=3).measure_wafer()
+    b = WaferModel(diameter_dies=5, seed=3).measure_wafer()
+    assert a.wafer_mean == b.wafer_mean
