@@ -1,0 +1,198 @@
+"""Scan-engine performance: cached serial path vs the pre-optimisation path.
+
+The scan rewrite replaced per-cell Python loops (mask building, bridge
+routing) with incrementally-maintained numpy matrices, memoized the
+converter boundary table on the structure, and cached built networks on
+the sequencers.  This bench pins the payoff: on a defect-free 128×64
+array the cached serial scan must run at least 3× faster than a
+seed-equivalent scanner executing the old per-cell walks on identical
+data — and produce bit-identical codes.
+
+Results (cells/second, per-path timings, scan telemetry) are written to
+``BENCH_scan.json`` at the repo root for trend tracking.
+
+``bench_perf_scan_smoke`` is the CI guard: a small array, a single
+round, a fraction of a second.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import report
+
+from repro.calibration.design import design_structure
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import DefectKind
+from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.measure.scan import ArrayScanner, _series
+from repro.measure.sequencer import MeasurementSequencer
+from repro.units import fF
+
+ROWS, COLS = 128, 64
+MACRO_ROWS, MACRO_COLS = 16, 2
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scan.json"
+
+
+class _SeedScanner(ArrayScanner):
+    """The scanner as it behaved before the performance layer.
+
+    Restores the per-cell Python walks for mask building and bridge
+    routing, the per-boundary bisection at construction, and a fresh
+    sequencer per macro — the honest baseline, running on the same
+    arrays through the same scan driver.
+    """
+
+    def __init__(self, array, structure):
+        super().__init__(array, structure)
+        s = self.structure
+        self._seed_boundaries = np.array(
+            [s.vgs_for_code_boundary(k) for k in range(1, s.design.num_steps + 1)]
+        )
+
+    def codes_for_vgs(self, vgs):
+        return np.searchsorted(self._seed_boundaries, np.asarray(vgs), side="right")
+
+    def _macro_masks(self, macro):
+        rows, mc = macro.rows, self.array.macro_cols
+        cap = np.zeros((rows, mc))
+        short = np.zeros((rows, mc), dtype=bool)
+        open_ = np.zeros((rows, mc), dtype=bool)
+        accopen = np.zeros((rows, mc), dtype=bool)
+        for r in range(rows):
+            for c in range(mc):
+                cell = macro.cell(r, c)
+                cap[r, c] = cell.capacitance
+                short[r, c] = cell.has_defect(DefectKind.SHORT)
+                open_[r, c] = cell.has_defect(DefectKind.OPEN)
+                accopen[r, c] = cell.has_defect(DefectKind.ACCESS_OPEN)
+        return {"cap": cap, "short": short, "open": open_, "accopen": accopen}
+
+    def closed_form_vgs(self, macro):
+        tech = self.structure.tech
+        m = self._macro_masks(macro)
+        cap, short, open_, accopen = m["cap"], m["short"], m["open"], m["accopen"]
+        normal = ~(short | open_ | accopen)
+        cjs = tech.storage_junction_cap
+        cbl = macro.bitline_capacitance
+        cpp = macro.plate_parasitic
+        creft = self.structure.c_ref_total
+        vdd = tech.vdd
+
+        floating_series = _series(cap, cjs)
+        off_term = np.where(normal | accopen, floating_series, 0.0)
+        off_term = np.where(short, cjs, off_term)
+
+        nbr_term = np.where(normal, _series(cap, cbl + cjs), 0.0)
+        nbr_term = np.where(accopen, floating_series, nbr_term)
+        nbr_term = np.where(short, cbl + cjs, nbr_term)
+
+        tgt_term = np.where(normal, cap, 0.0)
+        tgt_term = np.where(accopen, floating_series, tgt_term)
+
+        off_all = float(off_term.sum())
+        off_rows = off_term.sum(axis=1)
+        nbr_rows = nbr_term.sum(axis=1)
+
+        x = (
+            tgt_term
+            + cpp
+            + (nbr_rows[:, None] - nbr_term)
+            + (off_all - off_rows)[:, None]
+        )
+        vgs = vdd * x / (x + creft)
+        return np.where(short, 0.0, vgs)
+
+    def _macro_needs_engine(self, macro):
+        for r in macro.row_range:
+            for c in macro.columns:
+                if self.array.cell(r, c).has_defect(DefectKind.BRIDGE):
+                    return True
+            if macro.col_start > 0 and self.array.cell(
+                r, macro.col_start - 1
+            ).has_defect(DefectKind.BRIDGE):
+                return True
+        return False
+
+    def _sequencer(self, macro):
+        return MeasurementSequencer(macro, self.structure)
+
+
+def _build(tech, rows=ROWS, cols=COLS):
+    cap = compose_maps(
+        uniform_map((rows, cols), 30 * fF),
+        mismatch_map((rows, cols), 0.8 * fF, seed=7),
+    )
+    return EDRAMArray(rows, cols, tech=tech, macro_cols=MACRO_COLS,
+                      macro_rows=MACRO_ROWS, capacitance_map=cap)
+
+
+def _best_of(fn, repeats=3):
+    """(best wall-seconds, last result) over ``repeats`` calls."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_perf_scan_speedup(benchmark, tech):
+    array = _build(tech)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
+
+    cached = ArrayScanner(array, structure)
+    seed = _SeedScanner(array, structure)
+
+    seed_seconds, seed_scan = _best_of(seed.scan)
+    fast_scan = benchmark(cached.scan)
+    fast_seconds, _ = _best_of(cached.scan)
+    parallel_seconds, parallel_scan = _best_of(lambda: cached.scan(jobs=4), repeats=1)
+
+    # The optimisations must be invisible in the data.
+    assert np.array_equal(fast_scan.codes, seed_scan.codes)
+    assert np.array_equal(fast_scan.vgs, seed_scan.vgs)
+    assert np.array_equal(fast_scan.codes, parallel_scan.codes)
+
+    speedup = seed_seconds / fast_seconds
+    stats = fast_scan.stats
+    payload = {
+        "array": [ROWS, COLS],
+        "macro": [MACRO_ROWS, MACRO_COLS],
+        "seed_seconds": seed_seconds,
+        "cached_serial_seconds": fast_seconds,
+        "parallel4_seconds": parallel_seconds,
+        "speedup_serial_vs_seed": speedup,
+        "cells_per_second": array.num_cells / fast_seconds,
+        "stats": stats.to_dict() if stats is not None else None,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        "PERF: cached scan engine vs seed path",
+        "\n".join([
+            f"array {ROWS}x{COLS} ({array.num_macros} tiles of "
+            f"{MACRO_ROWS}x{MACRO_COLS}), defect-free",
+            f"seed path      : {seed_seconds * 1e3:8.1f} ms",
+            f"cached serial  : {fast_seconds * 1e3:8.1f} ms  "
+            f"({speedup:.1f}x, {array.num_cells / fast_seconds:,.0f} cells/s)",
+            f"parallel x4    : {parallel_seconds * 1e3:8.1f} ms",
+            f"written to {BENCH_JSON.name}",
+        ]),
+    )
+
+    assert speedup >= 3.0, f"serial cached path only {speedup:.2f}x over seed"
+
+
+def bench_perf_scan_smoke(benchmark, tech):
+    """CI smoke: one round on a small array, stats sanity only."""
+    array = _build(tech, rows=32, cols=8)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=32)
+    scanner = ArrayScanner(array, structure)
+    scan = benchmark.pedantic(scanner.scan, rounds=1, iterations=1)
+    assert scan.stats is not None
+    assert scan.stats.total_cells == array.num_cells
+    assert scan.stats.cells_per_second > 0
+    assert (scan.tiers == "c").all()

@@ -94,7 +94,7 @@ class AnalogBitmap:
         return float(values.std())
 
     def code_histogram(self) -> dict[int, int]:
-        """Cells per code value."""
+        """Cells per code value, dense over the full converter scale."""
         return self.scan.code_histogram()
 
     def outliers(self, n_sigma: float = 3.0) -> np.ndarray:

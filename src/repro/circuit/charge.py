@@ -185,6 +185,36 @@ class CapacitorNetwork:
             raise NetlistError(f"no switch named {name!r}") from None
 
     # ------------------------------------------------------------------
+    # State snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture voltages, drives and switch states for :meth:`restore`.
+
+        The snapshot covers *state* only, not topology: restoring a
+        snapshot on a network whose nodes or switches changed since the
+        capture raises.  Taking a snapshot right after construction and
+        restoring it before each reuse makes a cached network exactly
+        equivalent to a freshly built one.
+        """
+        return (
+            list(self._voltage),
+            dict(self._driven),
+            {name: closed for name, (_, _, closed) in self._switches.items()},
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Return the network to a snapshot taken on this same topology."""
+        voltages, driven, switches = snap
+        if len(voltages) != len(self._voltage) or switches.keys() != self._switches.keys():
+            raise NetlistError("snapshot belongs to a different network topology")
+        self._voltage = list(voltages)
+        self._driven = dict(driven)
+        for name, closed in switches.items():
+            ia, ib, _ = self._switches[name]
+            self._switches[name] = (ia, ib, closed)
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
 

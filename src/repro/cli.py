@@ -89,10 +89,12 @@ def cmd_scan(args) -> int:
     array = _build_array(args, with_defects=not args.healthy)
     structure = _design_for(args, array)
     abacus = Abacus.for_array(structure, array)
-    scan = ArrayScanner(array, structure).scan()
+    scan = ArrayScanner(array, structure).scan(jobs=args.jobs)
     bitmap = AnalogBitmap(scan, abacus)
     print(f"scanned {array.num_cells} cells "
           f"({array.num_macros} tiles of {args.macro_rows}x{args.macro_cols})")
+    if scan.stats is not None:
+        print(scan.stats.summary())
     print(f"mean {to_fF(bitmap.mean_capacitance()):.2f} fF, "
           f"sigma {to_fF(bitmap.std_capacitance()):.2f} fF")
     print(render_code_map(scan.codes))
@@ -122,7 +124,7 @@ def cmd_wafer(args) -> int:
     from repro.wafer import WaferModel
 
     model = WaferModel(diameter_dies=args.diameter, seed=args.seed)
-    report = model.measure_wafer()
+    report = model.measure_wafer(jobs=args.jobs)
     print(report.ascii_map())
     a, b = report.radial_profile()
     print(f"radial profile: centre {to_fF(a):.2f} fF, "
@@ -151,6 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_geometry_args(p)
     p.add_argument("--healthy", action="store_true", help="no injected defects")
     p.add_argument("--save", help="write the scan to this .npz path")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the scan (1 = serial)")
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("diagnose", help="full diagnosis pipeline")
@@ -160,6 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("wafer", help="wafer-level monitoring demo")
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per die scan (1 = serial)")
     p.set_defaults(func=cmd_wafer)
 
     return parser

@@ -19,8 +19,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.edram.cell import DRAMCell
+from repro.edram.defects import CODE_KINDS, KIND_CODES, DefectKind
 from repro.errors import ArrayConfigError
 from repro.tech.parameters import TechnologyCard, default_technology
+
+#: Defect-kind codes that present ~0 F at the plate when selected
+#: (mirrors :meth:`~repro.edram.cell.DRAMCell.effective_capacitance`).
+_DEAD_AT_PLATE = (
+    KIND_CODES[DefectKind.OPEN],
+    KIND_CODES[DefectKind.ACCESS_OPEN],
+    KIND_CODES[DefectKind.SHORT],
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -103,6 +112,18 @@ class EDRAMArray:
             for r in range(rows)
         ]
 
+        # Bulk views maintained incrementally: every watched cell mutation
+        # (capacitance edit, defect attachment) is mirrored here through
+        # _note_cell_changed, so array-scale consumers get O(1) slices
+        # instead of O(rows x cols) Python loops.
+        self._cap = cap.astype(float, copy=True)
+        self._kinds = np.zeros((rows, cols), dtype=np.int8)
+        self._kind_counts: dict[DefectKind, int] = dict.fromkeys(DefectKind, 0)
+        self._version = 0
+        for r in range(rows):
+            for c in range(cols):
+                self._cells[r][c]._watcher = (self, r, c)
+
     def _validated_map(self, arr: np.ndarray | None, default: float, name: str) -> np.ndarray:
         if arr is None:
             return np.full((self.rows, self.cols), default)
@@ -114,6 +135,33 @@ class EDRAMArray:
         if np.any(arr <= 0):
             raise ArrayConfigError(f"{name} must be strictly positive everywhere")
         return arr
+
+    # ------------------------------------------------------------------
+    # Mutation tracking
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every watched cell mutation.
+
+        Consumers holding derived state (cached netlists, designed
+        windows) compare versions to decide whether to rebuild.
+        """
+        return self._version
+
+    def _note_cell_changed(self, row: int, col: int) -> None:
+        """Mirror one cell's mutation into the bulk matrices (cell hook)."""
+        cell = self._cells[row][col]
+        self._cap[row, col] = cell.capacitance
+        new = 0 if cell.defect is None else KIND_CODES[cell.defect.kind]
+        old = int(self._kinds[row, col])
+        if old != new:
+            if old:
+                self._kind_counts[CODE_KINDS[old]] -= 1
+            if new:
+                self._kind_counts[CODE_KINDS[new]] += 1
+            self._kinds[row, col] = new
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Addressing
@@ -181,22 +229,34 @@ class EDRAMArray:
 
     def capacitance_matrix(self) -> np.ndarray:
         """Per-cell as-fabricated capacitances, farads, shape (rows, cols)."""
-        return np.array([[cell.capacitance for cell in row] for row in self._cells])
+        return self._cap.copy()
+
+    def defect_kind_matrix(self) -> np.ndarray:
+        """Per-cell defect-kind codes, shape (rows, cols), dtype int8.
+
+        0 marks a healthy cell; other codes are
+        :data:`repro.edram.defects.KIND_CODES` entries.
+        """
+        return self._kinds.copy()
+
+    def defect_mask(self, kind: DefectKind) -> np.ndarray:
+        """Boolean (rows, cols) mask of cells carrying ``kind``."""
+        return self._kinds == KIND_CODES[kind]
+
+    def defect_count(self, kind: DefectKind | None = None) -> int:
+        """Number of defective cells (of one kind, or in total).  O(1)."""
+        if kind is None:
+            return sum(self._kind_counts.values())
+        return self._kind_counts[kind]
 
     def effective_capacitance_matrix(self) -> np.ndarray:
         """Per-cell capacitance presented at the plate (defects applied)."""
-        return np.array(
-            [[cell.effective_capacitance() for cell in row] for row in self._cells]
-        )
+        return np.where(np.isin(self._kinds, _DEAD_AT_PLATE), 0.0, self._cap)
 
     def defect_locations(self) -> list[tuple[int, int]]:
-        """Addresses of every cell carrying a defect."""
-        return [
-            (r, c)
-            for r in range(self.rows)
-            for c in range(self.cols)
-            if self._cells[r][c].defect is not None
-        ]
+        """Addresses of every cell carrying a defect (row-major)."""
+        rows, cols = np.nonzero(self._kinds)
+        return [(int(r), int(c)) for r, c in zip(rows, cols)]
 
     def bitline_capacitance(self) -> float:
         """Parasitic capacitance of one full-height bitline, farads."""
@@ -264,6 +324,25 @@ class MacroCell:
             for r in range(self.rows)
             for c in range(self.array.macro_cols)
         ]
+
+    def capacitance_matrix(self) -> np.ndarray:
+        """As-fabricated capacitances of the tile, (rows, macro_cols)."""
+        return self.array._cap[
+            self.row_start : self.row_stop, self.col_start : self.col_stop
+        ].copy()
+
+    def defect_kind_matrix(self) -> np.ndarray:
+        """Defect-kind codes of the tile, (rows, macro_cols), int8.
+
+        Codes as in :meth:`EDRAMArray.defect_kind_matrix`.
+        """
+        return self.array._kinds[
+            self.row_start : self.row_stop, self.col_start : self.col_stop
+        ].copy()
+
+    def defect_mask(self, kind: "DefectKind") -> np.ndarray:
+        """Boolean (rows, macro_cols) mask of tile cells carrying ``kind``."""
+        return self.defect_kind_matrix() == KIND_CODES[kind]
 
     @property
     def plate_parasitic(self) -> float:

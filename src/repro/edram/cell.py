@@ -46,6 +46,21 @@ class DRAMCell:
     v_storage: float = 0.0
     t_written: float = 0.0
 
+    #: Attributes whose mutation an owning array must observe to keep its
+    #: bulk matrices coherent (behavioural state is deliberately excluded:
+    #: stored data does not affect what the structure measures).
+    _WATCHED = ("capacitance", "defect")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name in self._WATCHED:
+            # Installed by EDRAMArray after construction; absent on
+            # standalone cells and during dataclass __init__.
+            watcher = self.__dict__.get("_watcher")
+            if watcher is not None:
+                array, row, col = watcher
+                array._note_cell_changed(row, col)
+
     def __post_init__(self) -> None:
         if self.capacitance <= 0:
             raise DefectError(f"cell capacitance must be positive, got {self.capacitance}")

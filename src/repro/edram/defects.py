@@ -56,6 +56,16 @@ class DefectKind(enum.Enum):
 #: Defect kinds whose capacitance shift is parametric and needs ``factor``.
 _PARAMETRIC = {DefectKind.LOW_CAP, DefectKind.HIGH_CAP, DefectKind.RETENTION}
 
+#: Small-int codes used by the bulk defect-kind matrices
+#: (:meth:`~repro.edram.array.EDRAMArray.defect_kind_matrix`); 0 means
+#: "no defect".  Codes follow enum definition order.
+KIND_CODES: dict[DefectKind, int] = {
+    kind: code for code, kind in enumerate(DefectKind, start=1)
+}
+
+#: Inverse of :data:`KIND_CODES`.
+CODE_KINDS: dict[int, DefectKind] = {code: kind for kind, code in KIND_CODES.items()}
+
 
 @dataclass(frozen=True)
 class CellDefect:

@@ -38,6 +38,7 @@ from repro.measure.structure import MeasurementDesign, MeasurementStructure
 from repro.measure.phases import PhasePlan, Phase
 from repro.measure.sequencer import MeasurementSequencer
 from repro.measure.scan import ArrayScanner, ScanResult
+from repro.measure.stats import MacroTiming, ScanStats
 from repro.measure.noise import NoiseAnalysis, NoiseBudget
 from repro.measure.faults import FaultSpec, FaultySequencer, StructureFault, fault_signature
 
@@ -55,6 +56,8 @@ __all__ = [
     "MeasurementSequencer",
     "ArrayScanner",
     "ScanResult",
+    "ScanStats",
+    "MacroTiming",
     "NoiseAnalysis",
     "NoiseBudget",
     "FaultSpec",

@@ -1,0 +1,81 @@
+"""Process-pool fan-out for whole-array scans.
+
+Macro-cells are electrically independent — plate segmentation is the
+paper's core idea — so per-macro scans parallelise embarrassingly.  The
+fan-out ships the array and structure to each worker once (at pool
+start-up, not per task), rebuilds one :class:`ArrayScanner` per process,
+and streams macro indices; results come back as
+``(index, vgs, codes, tier, seconds)`` tuples the caller reassembles in
+index order.
+
+Bit-exactness: every worker runs exactly the serial per-macro code on a
+faithful copy of the array, so a parallel scan equals the serial scan
+bit for bit (pinned in ``tests/unit/measure/test_scan_perf.py``).
+
+The pool prefers the ``fork`` start method where available (Linux): the
+workers then inherit the array by copy-on-write instead of pickling it.
+On spawn-only platforms the initializer arguments are pickled once per
+worker, which is still amortised across all of that worker's macros.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.edram.array import EDRAMArray
+    from repro.measure.structure import MeasurementStructure
+
+#: Per-process scanner state, installed by :func:`_init_worker`.
+_WORKER: dict = {}
+
+
+def _init_worker(array: "EDRAMArray", structure: "MeasurementStructure") -> None:
+    # Imported here so worker start-up does not re-trigger the circular
+    # scan -> parallel import at module load.
+    from repro.measure.scan import ArrayScanner
+
+    _WORKER["scanner"] = ArrayScanner(array, structure)
+
+
+def _scan_one(
+    index: int, force_engine: bool
+) -> "tuple[int, np.ndarray, np.ndarray, str, float]":
+    scanner = _WORKER["scanner"]
+    start = perf_counter()
+    vgs, codes, tier = scanner.scan_macro(scanner.array.macro(index), force_engine)
+    return index, vgs, codes, tier, perf_counter() - start
+
+
+def scan_macros_parallel(
+    array: "EDRAMArray",
+    structure: "MeasurementStructure",
+    force_engine: bool,
+    jobs: int,
+) -> "list[tuple[int, np.ndarray, np.ndarray, str, float]]":
+    """Scan every macro of ``array`` across ``jobs`` worker processes.
+
+    Returns per-macro results in macro-index order.  ``jobs`` is capped
+    at the macro count (extra workers would only idle).
+    """
+    workers = max(1, min(jobs, array.num_macros))
+    if "fork" in mp.get_all_start_methods():
+        ctx = mp.get_context("fork")
+    else:  # pragma: no cover - non-POSIX fallback
+        ctx = mp.get_context()
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(array, structure),
+    ) as pool:
+        futures = [
+            pool.submit(_scan_one, index, force_engine)
+            for index in range(array.num_macros)
+        ]
+        return [future.result() for future in futures]

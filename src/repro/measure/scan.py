@@ -28,18 +28,27 @@ Macros containing BRIDGE defects fall back to the exact charge engine
 cell by cell — bridge topologies are many and rare, and the engine *is*
 the reference.  Agreement between the closed form and the engine is
 pinned by integration tests.
+
+Performance layer (see docs/architecture.md "Performance architecture"):
+macro masks are O(1) slices of the array's incrementally maintained bulk
+matrices, the engine tier reuses one cached netlist per macro, and
+``scan(jobs=N)`` fans macros out across a process pool.  Every scan
+attaches a :class:`~repro.measure.stats.ScanStats` telemetry record to
+its result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.edram.array import EDRAMArray, MacroCell
-from repro.edram.defects import DefectKind
+from repro.edram.defects import KIND_CODES, DefectKind
 from repro.errors import MeasurementError
 from repro.measure.sequencer import MeasurementSequencer
+from repro.measure.stats import MacroTiming, ScanStats
 from repro.measure.structure import MeasurementDesign, MeasurementStructure
 
 
@@ -68,12 +77,17 @@ class ScanResult:
     tiers:
         (rows, cols) array of 'c' (closed form) / 'e' (engine) markers
         recording which tier produced each cell.
+    stats:
+        Telemetry of the scan that produced this result (None for
+        results assembled by hand or loaded from disk — stats describe a
+        run, not the data, and are not persisted).
     """
 
     codes: np.ndarray
     vgs: np.ndarray
     num_steps: int
     tiers: np.ndarray
+    stats: ScanStats | None = field(default=None, compare=False)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -81,9 +95,17 @@ class ScanResult:
         return self.codes.shape  # type: ignore[return-value]
 
     def code_histogram(self) -> dict[int, int]:
-        """Count of cells per code value (only non-zero entries)."""
+        """Count of cells per code value, dense over ``0..num_steps``.
+
+        Every code of the converter scale appears as a key — zero counts
+        included — so downstream consumers (calibration, plotting,
+        benches) can histogram directly without re-densifying.
+        """
+        hist = {code: 0 for code in range(self.num_steps + 1)}
         values, counts = np.unique(self.codes, return_counts=True)
-        return {int(v): int(n) for v, n in zip(values, counts)}
+        for v, n in zip(values, counts):
+            hist[int(v)] = int(n)
+        return hist
 
     def diff(self, reference: "ScanResult") -> np.ndarray:
         """Per-cell code delta against a reference scan (self − ref).
@@ -124,49 +146,75 @@ class ArrayScanner:
             if structure is not None
             else MeasurementStructure(array.tech, MeasurementDesign())
         )
-        self._boundaries = self._code_boundaries()
-
-    def _code_boundaries(self) -> np.ndarray:
-        """V_GS levels at which the code increments (length num_steps)."""
-        s = self.structure
-        return np.array(
-            [s.vgs_for_code_boundary(k) for k in range(1, s.design.num_steps + 1)]
-        )
+        # Memoized on the structure: one bisection solve shared by every
+        # scanner bound to it (e.g. one scanner per wafer die).
+        self._boundaries = self.structure.code_boundaries()
+        # Engine-tier sequencers cached per macro so the charge netlist
+        # is built once per macro, not once per cell.
+        self._sequencers: dict[int, MeasurementSequencer] = {}
+        # Closed-form invariants; identical for every macro (the silicon
+        # copies are exact), so paying the property chain per macro per
+        # scan is pure overhead.
+        tech = self.structure.tech
+        m0 = self.array.macro(0)
+        self._cjs = tech.storage_junction_cap
+        self._cbl = m0.bitline_capacitance
+        self._cpp = m0.plate_parasitic
+        self._creft = self.structure.c_ref_total
+        self._vdd = tech.vdd
 
     def codes_for_vgs(self, vgs: np.ndarray) -> np.ndarray:
         """Vectorized static conversion (matches ``code_for_vgs``)."""
-        return np.searchsorted(self._boundaries, np.asarray(vgs), side="right")
+        return self.structure.codes_for_vgs(vgs)
+
+    def _sequencer(self, macro: MacroCell) -> MeasurementSequencer:
+        sequencer = self._sequencers.get(macro.index)
+        if sequencer is None:
+            sequencer = MeasurementSequencer(macro, self.structure)
+            self._sequencers[macro.index] = sequencer
+        return sequencer
 
     # ------------------------------------------------------------------
     # Closed form per macro
     # ------------------------------------------------------------------
 
     def _macro_masks(self, macro: MacroCell) -> dict[str, np.ndarray]:
-        rows, mc = macro.rows, self.array.macro_cols
-        cap = np.zeros((rows, mc))
-        short = np.zeros((rows, mc), dtype=bool)
-        open_ = np.zeros((rows, mc), dtype=bool)
-        accopen = np.zeros((rows, mc), dtype=bool)
-        for r in range(rows):
-            for c in range(mc):
-                cell = macro.cell(r, c)
-                cap[r, c] = cell.capacitance
-                short[r, c] = cell.has_defect(DefectKind.SHORT)
-                open_[r, c] = cell.has_defect(DefectKind.OPEN)
-                accopen[r, c] = cell.has_defect(DefectKind.ACCESS_OPEN)
-        return {"cap": cap, "short": short, "open": open_, "accopen": accopen}
+        kinds = macro.defect_kind_matrix()
+        return {
+            "cap": macro.capacitance_matrix(),
+            "short": kinds == KIND_CODES[DefectKind.SHORT],
+            "open": kinds == KIND_CODES[DefectKind.OPEN],
+            "accopen": kinds == KIND_CODES[DefectKind.ACCESS_OPEN],
+        }
 
     def closed_form_vgs(self, macro: MacroCell) -> np.ndarray:
         """V_GS for every cell of ``macro`` via the vectorized closed form."""
-        tech = self.structure.tech
+        cjs, cbl, cpp = self._cjs, self._cbl, self._cpp
+        creft, vdd = self._creft, self._vdd
+
+        if self.array.defect_count() == 0 or not macro.defect_kind_matrix().any():
+            # Defect-free macro: every mask below is empty, so the
+            # branch equivalents collapse to the healthy-cell terms.
+            # Same algebra, same operation order — bit-identical to the
+            # masked path (pinned by the scan tests) without its ~15
+            # small-array ``np.where`` calls.
+            cap = macro.capacitance_matrix()
+            off_term = cap * cjs / (cap + cjs)
+            nbr_term = cap * (cbl + cjs) / (cap + (cbl + cjs))
+            off_all = float(off_term.sum())
+            off_rows = off_term.sum(axis=1)
+            nbr_rows = nbr_term.sum(axis=1)
+            x = (
+                cap
+                + cpp
+                + (nbr_rows[:, None] - nbr_term)
+                + (off_all - off_rows)[:, None]
+            )
+            return vdd * x / (x + creft)
+
         m = self._macro_masks(macro)
         cap, short, open_, accopen = m["cap"], m["short"], m["open"], m["accopen"]
         normal = ~(short | open_ | accopen)
-        cjs = tech.storage_junction_cap
-        cbl = macro.bitline_capacitance
-        cpp = macro.plate_parasitic
-        creft = self.structure.c_ref_total
-        vdd = tech.vdd
 
         # Branch equivalents per cell in each role (all pre-charged V_DD).
         floating_series = _series(cap, cjs)  # far side floats on C_js
@@ -200,21 +248,24 @@ class ArrayScanner:
     # ------------------------------------------------------------------
 
     def _macro_needs_engine(self, macro: MacroCell) -> bool:
-        """Bridges (own or incoming) force the exact engine."""
-        for r in macro.row_range:
-            for c in macro.columns:
-                if self.array.cell(r, c).has_defect(DefectKind.BRIDGE):
-                    return True
-            if macro.col_start > 0 and self.array.cell(
-                r, macro.col_start - 1
-            ).has_defect(DefectKind.BRIDGE):
-                return True
-        return False
+        """Bridges (own or incoming) force the exact engine.
+
+        Defect-free arrays exit on the O(1) bridge count; otherwise one
+        vectorized mask slice covers the macro's own cells plus the
+        column immediately left of it (incoming cross-macro bridges).
+        """
+        if self.array.defect_count(DefectKind.BRIDGE) == 0:
+            return False
+        bridge = self.array.defect_mask(DefectKind.BRIDGE)
+        col_lo = macro.col_start - 1 if macro.col_start > 0 else macro.col_start
+        return bool(
+            bridge[macro.row_start : macro.row_stop, col_lo : macro.col_stop].any()
+        )
 
     def scan_macro(self, macro: MacroCell, force_engine: bool = False) -> tuple[np.ndarray, np.ndarray, str]:
         """Scan one macro; returns (vgs, codes, tier_marker)."""
         if force_engine or self._macro_needs_engine(macro):
-            sequencer = MeasurementSequencer(macro, self.structure)
+            sequencer = self._sequencer(macro)
             mc = self.array.macro_cols
             vgs = np.zeros((macro.rows, mc))
             for r in range(macro.rows):
@@ -224,22 +275,84 @@ class ArrayScanner:
         vgs = self.closed_form_vgs(macro)
         return vgs, self.codes_for_vgs(vgs), "c"
 
-    def scan(self, force_engine: bool = False) -> ScanResult:
-        """Scan the whole array; returns the assembled :class:`ScanResult`."""
+    def scan(self, force_engine: bool = False, jobs: int | None = None) -> ScanResult:
+        """Scan the whole array; returns the assembled :class:`ScanResult`.
+
+        Parameters
+        ----------
+        force_engine:
+            Route every macro through the exact charge engine (reference
+            mode; slow).
+        jobs:
+            Worker processes to fan macros out across.  ``None`` or 1
+            scans serially in-process; ``N > 1`` uses a process pool
+            (macros are electrically independent, so parallel results
+            are bit-exact against serial — pinned in tests).  Values
+            above the macro count are capped.
+
+        The returned result carries a :class:`ScanStats` telemetry
+        record in ``result.stats``.
+        """
+        if jobs is not None and jobs < 1:
+            raise MeasurementError(f"jobs must be >= 1, got {jobs}")
+        start = perf_counter()
         rows, cols = self.array.rows, self.array.cols
         codes = np.zeros((rows, cols), dtype=int)
         vgs = np.zeros((rows, cols))
         tiers = np.full((rows, cols), "c", dtype="<U1")
-        for macro in self.array.macros():
-            m_vgs, m_codes, tier = self.scan_macro(macro, force_engine)
-            rsl = slice(macro.row_start, macro.row_stop)
-            csl = slice(macro.col_start, macro.col_stop)
-            vgs[rsl, csl] = m_vgs
-            codes[rsl, csl] = m_codes
-            tiers[rsl, csl] = tier
-        return ScanResult(
-            codes=codes, vgs=vgs, num_steps=self.structure.design.num_steps, tiers=tiers
+        timings: list[MacroTiming] = []
+
+        effective_jobs = 1 if jobs is None else min(jobs, self.array.num_macros)
+        if effective_jobs > 1:
+            from repro.measure.parallel import scan_macros_parallel
+
+            results = scan_macros_parallel(
+                self.array, self.structure, force_engine, effective_jobs
+            )
+            for index, m_vgs, m_codes, tier, seconds in results:
+                macro = self.array.macro(index)
+                self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
+                timings.append(MacroTiming(index, tier, macro.num_cells, seconds))
+        else:
+            for macro in self.array.macros():
+                macro_start = perf_counter()
+                m_vgs, m_codes, tier = self.scan_macro(macro, force_engine)
+                seconds = perf_counter() - macro_start
+                self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
+                timings.append(MacroTiming(macro.index, tier, macro.num_cells, seconds))
+
+        engine_cells = int((tiers == "e").sum())
+        stats = ScanStats(
+            total_cells=rows * cols,
+            wall_seconds=perf_counter() - start,
+            jobs=effective_jobs,
+            closed_form_cells=rows * cols - engine_cells,
+            engine_cells=engine_cells,
+            macro_timings=timings,
         )
+        return ScanResult(
+            codes=codes,
+            vgs=vgs,
+            num_steps=self.structure.design.num_steps,
+            tiers=tiers,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _place(
+        macro: MacroCell,
+        m_vgs: np.ndarray,
+        m_codes: np.ndarray,
+        tier: str,
+        vgs: np.ndarray,
+        codes: np.ndarray,
+        tiers: np.ndarray,
+    ) -> None:
+        rsl = slice(macro.row_start, macro.row_stop)
+        csl = slice(macro.col_start, macro.col_stop)
+        vgs[rsl, csl] = m_vgs
+        codes[rsl, csl] = m_codes
+        tiers[rsl, csl] = tier
 
     def measure_cell(self, row: int, col: int, tier: str = "charge") -> "object":
         """Measure one cell by global address through a named tier.
@@ -252,7 +365,7 @@ class ArrayScanner:
         macro = self.array.macro(self.array.macro_of(row, col))
         lrow = row - macro.row_start
         lcol = col - macro.col_start
-        sequencer = MeasurementSequencer(macro, self.structure)
+        sequencer = self._sequencer(macro)
         if tier == "charge":
             return sequencer.measure_charge(lrow, lcol)
         return sequencer.measure_transient(lrow, lcol)

@@ -50,6 +50,28 @@ class MeasurementSequencer:
     def __init__(self, macro: MacroCell, structure: MeasurementStructure) -> None:
         self.macro = macro
         self.structure = structure
+        self._built: ChargeNetlist | None = None
+        self._built_version: int | None = None
+        self._pristine: tuple | None = None
+
+    def _charge_network(self) -> ChargeNetlist:
+        """The macro's charge netlist, built once and reset per flow.
+
+        The netlist is rebuilt when the array reports a mutation
+        (capacitance edit, defect injection) since the last build;
+        otherwise the cached network is restored to its as-built state,
+        which is exactly equivalent to a fresh build.  This turns the
+        engine tier's per-cell cost from build + solve into solve only.
+        """
+        version = self.macro.array.version
+        if self._built is None or self._built_version != version:
+            self._built = build_charge_network(self.macro, self.structure)
+            self._pristine = self._built.network.snapshot()
+            self._built_version = version
+        else:
+            assert self._pristine is not None
+            self._built.network.restore(self._pristine)
+        return self._built
 
     def _check_target(self, row: int, lcol: int) -> None:
         if not 0 <= row < self.macro.rows:
@@ -68,7 +90,7 @@ class MeasurementSequencer:
     ) -> MeasurementResult:
         """Measure cell (row, lcol) through the exact charge tier."""
         self._check_target(row, lcol)
-        built = build_charge_network(self.macro, self.structure)
+        built = self._charge_network()
         vgs = self.run_charge_phases(built, row, lcol, trace)
         code = self.structure.code_for_vgs(vgs)
         return MeasurementResult(
@@ -229,7 +251,7 @@ class MeasurementSequencer:
         settled plate voltage (should equal V_DD/2 exactly in the
         ideal-switch view).
         """
-        built = build_charge_network(self.macro, self.structure)
+        built = self._charge_network()
         net: CapacitorNetwork = built.network
         net.drive("plate", self.structure.tech.half_vdd)  # via STD
         state = net.settle()

@@ -1,0 +1,113 @@
+"""Scan telemetry: wall time, tier mix, throughput, per-macro timings.
+
+Production test economics are throughput economics — the paper's
+structure wins because it measures every cell in microseconds, and the
+ROADMAP's north star is a scan that runs as fast as the hardware allows.
+:class:`ScanStats` makes that measurable: every
+:meth:`~repro.measure.scan.ArrayScanner.scan` attaches one to its
+:class:`~repro.measure.scan.ScanResult`, recording how long the scan
+took, which execution tier handled how many cells, and how each
+macro-cell contributed.  The CLI prints the summary;
+``benchmarks/bench_perf_scan.py`` serialises it into ``BENCH_scan.json``
+so the repository keeps a performance trajectory across changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MacroTiming:
+    """Timing of one macro-cell scan.
+
+    Attributes
+    ----------
+    index:
+        Macro index (row-major tile order).
+    tier:
+        ``'c'`` closed form / ``'e'`` exact engine.
+    cells:
+        Cells in the macro tile.
+    seconds:
+        Wall time spent scanning the tile.  Under a process pool this is
+        measured inside the worker, so pool dispatch overhead is not
+        attributed to any macro.
+    """
+
+    index: int
+    tier: str
+    cells: int
+    seconds: float
+
+
+@dataclass
+class ScanStats:
+    """Telemetry of one whole-array scan.
+
+    Attributes
+    ----------
+    total_cells:
+        Cells scanned (rows × cols).
+    wall_seconds:
+        End-to-end scan wall time, including assembly and (for parallel
+        scans) pool start-up and result collection.
+    jobs:
+        Worker processes used (1 = serial in-process scan).
+    closed_form_cells, engine_cells:
+        Cells produced by the vectorized closed form vs the exact
+        charge engine (bridge fallback / ``force_engine``).
+    macro_timings:
+        Per-macro timings, in macro-index order.
+    """
+
+    total_cells: int
+    wall_seconds: float
+    jobs: int
+    closed_form_cells: int
+    engine_cells: int
+    macro_timings: list[MacroTiming] = field(default_factory=list)
+
+    @property
+    def cells_per_second(self) -> float:
+        """Scan throughput; the headline production-test figure."""
+        if self.wall_seconds <= 0.0:
+            return float("inf") if self.total_cells else 0.0
+        return self.total_cells / self.wall_seconds
+
+    def slowest_macro(self) -> MacroTiming | None:
+        """The macro that took longest, or None for empty scans."""
+        if not self.macro_timings:
+            return None
+        return max(self.macro_timings, key=lambda t: t.seconds)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (macro timings as plain lists)."""
+        return {
+            "total_cells": self.total_cells,
+            "wall_seconds": self.wall_seconds,
+            "jobs": self.jobs,
+            "cells_per_second": self.cells_per_second,
+            "closed_form_cells": self.closed_form_cells,
+            "engine_cells": self.engine_cells,
+            "macro_timings": [
+                [t.index, t.tier, t.cells, t.seconds] for t in self.macro_timings
+            ],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (printed by the CLI)."""
+        lines = [
+            f"scan: {self.total_cells} cells in {self.wall_seconds:.3f} s "
+            f"({self.cells_per_second:,.0f} cells/s, jobs={self.jobs})",
+            f"tiers: {self.closed_form_cells} closed-form, "
+            f"{self.engine_cells} engine",
+        ]
+        slowest = self.slowest_macro()
+        if slowest is not None:
+            tier = "engine" if slowest.tier == "e" else "closed-form"
+            lines.append(
+                f"slowest macro: #{slowest.index} ({tier}, {slowest.cells} cells) "
+                f"{slowest.seconds * 1e3:.2f} ms"
+            )
+        return "\n".join(lines)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.circuit.mosfet import Mosfet
 from repro.errors import MeasurementError
 from repro.measure.current_dac import ProgrammableCurrentReference
@@ -117,6 +119,7 @@ class MeasurementStructure:
             "REF", "drain", "gate", "0", tech.nmos,
             w=self.design.w_ref, l=self.design.l_ref,
         )
+        self._boundaries: "np.ndarray | None" = None
 
     @property
     def c_ref(self) -> float:
@@ -174,6 +177,27 @@ class MeasurementStructure:
             else:
                 hi = mid
         return 0.5 * (lo + hi)
+
+    def code_boundaries(self) -> np.ndarray:
+        """V_GS levels at which the code increments (length ``num_steps``).
+
+        Memoized: each boundary costs an 80-iteration bisection, and the
+        table is a pure function of the design and technology, so every
+        scanner sharing this structure (e.g. one per wafer die) reuses
+        one solve.
+        """
+        if self._boundaries is None:
+            self._boundaries = np.array(
+                [self.vgs_for_code_boundary(k) for k in range(1, self.design.num_steps + 1)]
+            )
+        return self._boundaries
+
+    def codes_for_vgs(self, vgs: "np.ndarray | float") -> np.ndarray:
+        """Vectorized static conversion (matches :meth:`code_for_vgs`).
+
+        A single ``np.searchsorted`` against the memoized boundary table.
+        """
+        return np.searchsorted(self.code_boundaries(), np.asarray(vgs), side="right")
 
     @property
     def min_detectable_step(self) -> float:

@@ -144,13 +144,19 @@ class WaferModel:
             capacitance_map=capacitance,
         )
 
-    def measure_wafer(self) -> "WaferReport":
-        """Fabricate and scan every die; return the wafer report."""
+    def measure_wafer(self, jobs: int | None = None) -> "WaferReport":
+        """Fabricate and scan every die; return the wafer report.
+
+        ``jobs`` forwards to :meth:`ArrayScanner.scan` per die (fan the
+        die's macro tiles across worker processes).  The designed
+        structure and its memoized code-boundary table are shared by
+        every die scanner, so calibration is solved once per wafer.
+        """
         structure, abacus = self._calibration()
         dies = []
         for x, y, r in self.sites():
             array = self.fabricate_die(r)
-            bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(), abacus)
+            bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(jobs=jobs), abacus)
             dies.append(
                 DieSite(
                     x=x, y=y, radius_fraction=r,

@@ -18,6 +18,7 @@ from repro.measure.sequencer import MeasurementSequencer
 from repro.units import fF, mV
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("cm_ff", [15, 20, 30, 40, 50])
 def test_transient_matches_charge_tier(tech, structure_2x2, cm_ff):
     arr = EDRAMArray(2, 2, tech=tech)
@@ -29,6 +30,7 @@ def test_transient_matches_charge_tier(tech, structure_2x2, cm_ff):
     assert dynamic.vgs == pytest.approx(static.vgs, abs=20 * mV)
 
 
+@pytest.mark.slow
 def test_transient_matches_charge_for_out_of_range(tech, structure_2x2):
     arr = EDRAMArray(2, 2, tech=tech)
     arr.cell(0, 0).capacitance = 70 * fF
@@ -36,6 +38,7 @@ def test_transient_matches_charge_for_out_of_range(tech, structure_2x2):
     assert seq.measure_transient(0, 0).code == structure_2x2.design.num_steps
 
 
+@pytest.mark.slow
 def test_transient_matches_charge_for_shorted_cell(tech, structure_2x2):
     arr = EDRAMArray(2, 2, tech=tech)
     arr.cell(0, 0).apply_defect(CellDefect(DefectKind.SHORT))
@@ -43,6 +46,7 @@ def test_transient_matches_charge_for_shorted_cell(tech, structure_2x2):
     assert seq.measure_transient(0, 0).code == 0
 
 
+@pytest.mark.slow
 def test_transient_matches_charge_for_open_cell(tech, structure_2x2):
     arr = EDRAMArray(2, 2, tech=tech)
     arr.cell(0, 0).apply_defect(CellDefect(DefectKind.OPEN))
@@ -52,6 +56,7 @@ def test_transient_matches_charge_for_open_cell(tech, structure_2x2):
     assert abs(dynamic.code - static.code) <= 1
 
 
+@pytest.mark.slow
 def test_non_target_cell_measurement_agrees(tech, structure_2x2):
     arr = EDRAMArray(2, 2, tech=tech)
     arr.cell(1, 1).capacitance = 42 * fF
@@ -79,6 +84,7 @@ def test_closed_form_matches_engine_on_random_arrays(tech, structure_8x2):
         assert np.array_equal(fast.codes, slow.codes), f"trial {trial}"
 
 
+@pytest.mark.slow
 def test_bridge_reads_anomalous_in_both_tiers(tech, structure_2x2):
     """Bridged-pair codes are contention-dependent; see DESIGN.md.
 

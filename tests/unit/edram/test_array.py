@@ -135,3 +135,81 @@ class TestBulkViews:
         arr = EDRAMArray(2, 2)
         arr.cell(1, 0).apply_defect(CellDefect(DefectKind.SHORT))
         assert arr.defect_locations() == [(1, 0)]
+
+    def test_capacitance_matrix_tracks_direct_mutation(self):
+        arr = EDRAMArray(2, 2)
+        arr.cell(0, 1).capacitance = 45 * fF
+        assert arr.capacitance_matrix()[0, 1] == 45 * fF
+        # Returned matrix is a copy: writing it must not corrupt the array.
+        view = arr.capacitance_matrix()
+        view[1, 1] = 0.0
+        assert arr.capacitance_matrix()[1, 1] > 0
+
+    def test_capacitance_matrix_matches_cells_exactly(self):
+        rng = np.random.default_rng(5)
+        cap = (25 + rng.random((4, 4)) * 10) * fF
+        arr = EDRAMArray(4, 4, capacitance_map=cap)
+        arr.cell(2, 2).capacitance = 50 * fF
+        expected = np.array(
+            [[arr.cell(r, c).capacitance for c in range(4)] for r in range(4)]
+        )
+        assert np.array_equal(arr.capacitance_matrix(), expected)
+
+    def test_defect_kind_matrix_and_mask(self):
+        from repro.edram.defects import KIND_CODES, CellDefect, DefectKind
+
+        arr = EDRAMArray(2, 4)
+        arr.cell(0, 2).apply_defect(CellDefect(DefectKind.BRIDGE))
+        kinds = arr.defect_kind_matrix()
+        assert kinds[0, 2] == KIND_CODES[DefectKind.BRIDGE]
+        assert (kinds != 0).sum() == 1
+        mask = arr.defect_mask(DefectKind.BRIDGE)
+        assert mask[0, 2] and mask.sum() == 1
+        assert not arr.defect_mask(DefectKind.SHORT).any()
+
+    def test_defect_count_is_per_kind(self):
+        from repro.edram.defects import CellDefect, DefectKind
+
+        arr = EDRAMArray(4, 4)
+        assert arr.defect_count() == 0
+        arr.cell(0, 0).apply_defect(CellDefect(DefectKind.SHORT))
+        arr.cell(1, 1).apply_defect(CellDefect(DefectKind.SHORT))
+        arr.cell(2, 2).apply_defect(CellDefect(DefectKind.LOW_CAP, 0.5))
+        assert arr.defect_count(DefectKind.SHORT) == 2
+        assert arr.defect_count(DefectKind.LOW_CAP) == 1
+        assert arr.defect_count(DefectKind.BRIDGE) == 0
+        assert arr.defect_count() == 3
+
+    def test_parametric_defect_updates_capacitance_matrix(self):
+        from repro.edram.defects import CellDefect, DefectKind
+
+        arr = EDRAMArray(2, 2)
+        before = arr.capacitance_matrix()[0, 0]
+        arr.cell(0, 0).apply_defect(CellDefect(DefectKind.LOW_CAP, 0.5))
+        assert arr.capacitance_matrix()[0, 0] == before * 0.5
+
+    def test_version_bumps_on_mutation(self):
+        from repro.edram.defects import CellDefect, DefectKind
+
+        arr = EDRAMArray(2, 2)
+        v0 = arr.version
+        arr.cell(0, 0).capacitance = 31 * fF
+        assert arr.version > v0
+        v1 = arr.version
+        arr.cell(1, 1).apply_defect(CellDefect(DefectKind.OPEN))
+        assert arr.version > v1
+        # Behavioural state (stored data) is not a structural mutation.
+        v2 = arr.version
+        arr.cell(0, 1).write(1.8, 0.0)
+        assert arr.version == v2
+
+    def test_macro_bulk_views_are_tile_slices(self):
+        from repro.edram.defects import CellDefect, DefectKind
+
+        arr = EDRAMArray(4, 4, macro_cols=2, macro_rows=2)
+        arr.cell(2, 3).capacitance = 44 * fF
+        arr.cell(3, 2).apply_defect(CellDefect(DefectKind.SHORT))
+        macro = arr.macro(arr.macro_of(2, 3))
+        assert macro.capacitance_matrix()[0, 1] == 44 * fF
+        assert macro.defect_mask(DefectKind.SHORT)[1, 0]
+        assert macro.capacitance_matrix().shape == (2, 2)

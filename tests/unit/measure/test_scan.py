@@ -112,6 +112,8 @@ class TestScanAssembly:
         result = ArrayScanner(arr, structure_2x2).scan()
         hist = result.code_histogram()
         assert sum(hist.values()) == 4
+        # Dense over the full converter scale, zero-count codes included.
+        assert sorted(hist) == list(range(result.num_steps + 1))
 
 
 class TestMeasureCell:

@@ -1,0 +1,192 @@
+"""Performance layer of the scan path: parallel fan-out, caches, stats.
+
+The contract under test: every optimisation is *invisible* in the data.
+Parallel scans are bit-exact against serial scans, cached netlists give
+bit-identical voltages to freshly built ones, and the vectorized bridge
+check routes exactly the macros the old per-cell walk routed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectInjector, DefectKind
+from repro.errors import MeasurementError
+from repro.measure.scan import ArrayScanner
+from repro.measure.sequencer import MeasurementSequencer
+from repro.units import fF
+
+
+@pytest.fixture()
+def zoo_array(tech):
+    """16x8 array (4x2 macros) carrying every defect kind.
+
+    Includes an in-macro bridge and a cross-macro bridge so both
+    engine-fallback paths are exercised.
+    """
+    arr = EDRAMArray(16, 8, tech=tech, macro_cols=2, macro_rows=4)
+    injector = DefectInjector(arr)
+    injector.inject(0, 0, CellDefect(DefectKind.SHORT))
+    injector.inject(2, 3, CellDefect(DefectKind.OPEN))
+    injector.inject(5, 5, CellDefect(DefectKind.ACCESS_OPEN))
+    injector.inject(7, 1, CellDefect(DefectKind.LOW_CAP, 0.6))
+    injector.inject(9, 6, CellDefect(DefectKind.HIGH_CAP, 1.3))
+    injector.inject(11, 2, CellDefect(DefectKind.RETENTION, 5.0))
+    injector.inject(13, 4, CellDefect(DefectKind.BRIDGE))  # inside a macro
+    injector.inject(3, 1, CellDefect(DefectKind.BRIDGE))   # crosses into next macro
+    return arr
+
+
+@pytest.fixture()
+def zoo_structure(tech):
+    from repro.calibration.design import design_structure
+
+    return design_structure(tech, 4, 2, bitline_rows=16)
+
+
+class TestParallelBitExactness:
+    def test_parallel_equals_serial_on_defect_zoo(self, zoo_array, zoo_structure):
+        scanner = ArrayScanner(zoo_array, zoo_structure)
+        serial = scanner.scan()
+        parallel = scanner.scan(jobs=3)
+        assert np.array_equal(serial.codes, parallel.codes)
+        assert np.array_equal(serial.vgs, parallel.vgs)  # bit-exact, no tolerance
+        assert np.array_equal(serial.tiers, parallel.tiers)
+        # Both engine (bridge fallback) and closed-form tiers must appear.
+        assert {"c", "e"} == set(serial.tiers.ravel())
+
+    def test_parallel_equals_serial_with_force_engine(self, zoo_array, zoo_structure):
+        scanner = ArrayScanner(zoo_array, zoo_structure)
+        serial = scanner.scan(force_engine=True)
+        parallel = scanner.scan(force_engine=True, jobs=2)
+        assert np.array_equal(serial.codes, parallel.codes)
+        assert np.array_equal(serial.vgs, parallel.vgs)
+        assert set(serial.tiers.ravel()) == {"e"}
+
+    def test_jobs_above_macro_count_is_capped(self, tech, structure_2x2):
+        arr = EDRAMArray(2, 2, tech=tech)  # a single macro
+        scanner = ArrayScanner(arr, structure_2x2)
+        result = scanner.scan(jobs=64)
+        assert result.stats is not None
+        assert result.stats.jobs == 1  # capped to num_macros
+
+    def test_invalid_jobs_rejected(self, tech, structure_2x2):
+        scanner = ArrayScanner(EDRAMArray(2, 2, tech=tech), structure_2x2)
+        with pytest.raises(MeasurementError):
+            scanner.scan(jobs=0)
+        with pytest.raises(MeasurementError):
+            scanner.scan(jobs=-2)
+
+
+class TestScanStats:
+    def test_stats_shape_and_tier_counts(self, zoo_array, zoo_structure):
+        result = ArrayScanner(zoo_array, zoo_structure).scan()
+        stats = result.stats
+        assert stats is not None
+        assert stats.total_cells == zoo_array.num_cells
+        assert stats.closed_form_cells + stats.engine_cells == stats.total_cells
+        assert stats.engine_cells == int((result.tiers == "e").sum())
+        assert stats.jobs == 1
+        assert stats.wall_seconds > 0
+        assert stats.cells_per_second > 0
+        assert len(stats.macro_timings) == zoo_array.num_macros
+        assert [t.index for t in stats.macro_timings] == list(range(zoo_array.num_macros))
+        assert sum(t.cells for t in stats.macro_timings) == stats.total_cells
+
+    def test_macro_timings_carry_tier_markers(self, zoo_array, zoo_structure):
+        result = ArrayScanner(zoo_array, zoo_structure).scan()
+        by_index = {t.index: t.tier for t in result.stats.macro_timings}
+        for macro in zoo_array.macros():
+            expected = result.tiers[macro.row_start, macro.col_start]
+            assert by_index[macro.index] == expected
+
+    def test_parallel_stats_record_jobs(self, zoo_array, zoo_structure):
+        result = ArrayScanner(zoo_array, zoo_structure).scan(jobs=3)
+        assert result.stats.jobs == 3
+        assert len(result.stats.macro_timings) == zoo_array.num_macros
+
+    def test_summary_and_dict_roundtrip(self, zoo_array, zoo_structure):
+        stats = ArrayScanner(zoo_array, zoo_structure).scan().stats
+        text = stats.summary()
+        assert "cells/s" in text and "closed-form" in text
+        payload = stats.to_dict()
+        assert payload["total_cells"] == stats.total_cells
+        assert payload["cells_per_second"] == stats.cells_per_second
+        assert len(payload["macro_timings"]) == len(stats.macro_timings)
+        slowest = stats.slowest_macro()
+        assert slowest.seconds == max(t.seconds for t in stats.macro_timings)
+
+
+class TestSequencerNetworkCache:
+    def test_repeated_measurements_bit_equal_fresh_builds(self, tech, zoo_structure):
+        # ACCESS_OPEN is the trap: its floating storage node keeps charge
+        # across flows unless the cached network is properly reset.
+        arr = EDRAMArray(4, 2, tech=tech, macro_cols=2, macro_rows=4)
+        arr.cell(1, 1).apply_defect(CellDefect(DefectKind.ACCESS_OPEN))
+        arr.cell(2, 0).apply_defect(CellDefect(DefectKind.SHORT))
+        cached = MeasurementSequencer(arr.macro(0), zoo_structure)
+        first = [cached.measure_charge(r, c).vgs for r in range(4) for c in range(2)]
+        second = [cached.measure_charge(r, c).vgs for r in range(4) for c in range(2)]
+        fresh = [
+            MeasurementSequencer(arr.macro(0), zoo_structure).measure_charge(r, c).vgs
+            for r in range(4)
+            for c in range(2)
+        ]
+        assert first == second == fresh
+
+    def test_cache_invalidated_on_capacitance_edit(self, tech, structure_2x2):
+        arr = EDRAMArray(2, 2, tech=tech)
+        seq = MeasurementSequencer(arr.macro(0), structure_2x2)
+        before = seq.measure_charge(0, 0).vgs
+        arr.cell(0, 0).capacitance = 50 * fF
+        after = seq.measure_charge(0, 0).vgs
+        assert after > before
+        expected = MeasurementSequencer(arr.macro(0), structure_2x2).measure_charge(0, 0).vgs
+        assert after == expected
+
+    def test_cache_invalidated_on_defect_injection(self, tech, structure_2x2):
+        arr = EDRAMArray(2, 2, tech=tech)
+        seq = MeasurementSequencer(arr.macro(0), structure_2x2)
+        assert seq.measure_charge(0, 0).code > 0
+        arr.cell(0, 0).apply_defect(CellDefect(DefectKind.SHORT))
+        assert seq.measure_charge(0, 0).code == 0
+
+    def test_standard_mode_unaffected_by_prior_flows(self, tech, structure_2x2):
+        arr = EDRAMArray(2, 2, tech=tech)
+        seq = MeasurementSequencer(arr.macro(0), structure_2x2)
+        seq.measure_charge(1, 0)
+        assert seq.standard_mode_plate_voltage() == pytest.approx(tech.half_vdd)
+
+
+class TestVectorizedBridgeRouting:
+    def test_defect_free_array_skips_engine_entirely(self, tech, structure_8x2):
+        arr = EDRAMArray(8, 4, tech=tech, macro_cols=2)
+        scanner = ArrayScanner(arr, structure_8x2)
+        for macro in arr.macros():
+            assert not scanner._macro_needs_engine(macro)
+
+    def test_routing_matches_cell_walk(self, zoo_array, zoo_structure):
+        scanner = ArrayScanner(zoo_array, zoo_structure)
+        for macro in zoo_array.macros():
+            walked = any(
+                zoo_array.cell(r, c).has_defect(DefectKind.BRIDGE)
+                for r in macro.row_range
+                for c in macro.columns
+            ) or (
+                macro.col_start > 0
+                and any(
+                    zoo_array.cell(r, macro.col_start - 1).has_defect(DefectKind.BRIDGE)
+                    for r in macro.row_range
+                )
+            )
+            assert scanner._macro_needs_engine(macro) == walked
+
+
+class TestDenseHistogram:
+    def test_histogram_covers_full_scale(self, tech, structure_2x2):
+        arr = EDRAMArray(2, 2, tech=tech)
+        result = ArrayScanner(arr, structure_2x2).scan()
+        hist = result.code_histogram()
+        assert sorted(hist) == list(range(result.num_steps + 1))
+        assert sum(hist.values()) == arr.num_cells
+        assert all(n >= 0 for n in hist.values())
