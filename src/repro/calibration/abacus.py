@@ -28,7 +28,7 @@ from repro.edram.array import EDRAMArray
 from repro.errors import CalibrationError
 from repro.measure.sequencer import MeasurementSequencer
 from repro.measure.structure import MeasurementStructure
-from repro.units import fF, to_fF, to_uA
+from repro.units import aF, fF, to_fF, to_uA
 
 
 @dataclass(frozen=True)
@@ -142,7 +142,7 @@ class Abacus:
                 macro_cols=macro_cols,
                 macro_rows=rows,
             )
-            array.cell(0, 0).capacitance = max(cm, 1e-18)
+            array.cell(0, 0).capacitance = max(cm, 1.0 * aF)
             sequencer = MeasurementSequencer(array.macro(0), structure)
             return sequencer.measure_charge(0, 0).code
 

@@ -29,6 +29,7 @@ devices and the cross-validation tests confirm agreement).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -230,6 +231,31 @@ class CapacitorNetwork:
         """All node names including ground."""
         return list(self._index)
 
+    def _node_name(self, index: int) -> str:
+        for name, i in self._index.items():
+            if i == index:
+                return name
+        raise NetlistError(f"no node with index {index}")  # pragma: no cover - internal
+
+    def capacitors(self) -> Iterator[tuple[str, str, str, float]]:
+        """Yield ``(name, node_a, node_b, farads)`` for every capacitor.
+
+        Read-only topology view for inspection tooling (the ERC linter);
+        insertion order.
+        """
+        names = {i: n for n, i in self._index.items()}
+        for cap_name, (ia, ib, c) in self._caps.items():
+            yield (cap_name, names[ia], names[ib], c)
+
+    def switches(self) -> Iterator[tuple[str, str, str, bool]]:
+        """Yield ``(name, node_a, node_b, closed)`` for every switch.
+
+        Read-only topology view for inspection tooling; insertion order.
+        """
+        names = {i: n for n, i in self._index.items()}
+        for sw_name, (ia, ib, closed) in self._switches.items():
+            yield (sw_name, names[ia], names[ib], closed)
+
     def island_of(self, node: str) -> set[str]:
         """Names of all nodes electrically shorted to ``node`` right now."""
         uf = self._build_islands()
@@ -273,13 +299,19 @@ class CapacitorNetwork:
 
         # Determine per-island drive (and detect conflicts).
         island_drive: dict[int, float] = {}
+        drive_holder: dict[int, int] = {}  # island root -> first driven node
         for idx, v in self._driven.items():
             r = uf.find(idx)
             if r in island_drive and abs(island_drive[r] - v) > 1e-12:
+                holder = self._node_name(drive_holder[r])
+                offender = self._node_name(idx)
                 raise SingularCircuitError(
-                    f"sources at {island_drive[r]} V and {v} V shorted together"
+                    f"sources at {island_drive[r]} V (node {holder!r}) and "
+                    f"{v} V (node {offender!r}) are shorted together",
+                    nodes=(holder, offender),
                 )
             island_drive[r] = v
+            drive_holder.setdefault(r, idx)
 
         floating = [r for r in roots if r not in island_drive]
         pos_f = {r: k for k, r in enumerate(floating)}

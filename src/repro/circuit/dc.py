@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.circuit.mna import MnaSystem, StampContext
 from repro.circuit.netlist import Circuit
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, SingularCircuitError
 
 
 #: Default absolute KCL residual tolerance, amperes.
@@ -83,13 +83,14 @@ def dc_solve_vector(
     except ConvergenceError:
         pass
     # gmin stepping: converge a heavily damped circuit first, then relax.
-    x = None
+    x: np.ndarray | None = None
     guess = v0
     for g in np.geomspace(1e-3, gmin, 12):
         ctx = StampContext(time=time, dt=None, gmin=float(g))
         x = _newton(sys, ctx, guess, max_iter, vtol)
         guess = x[: circuit.num_nodes]
-    assert x is not None
+    if x is None:  # pragma: no cover - geomspace always yields points
+        raise SingularCircuitError("gmin stepping produced no solution")
     return x
 
 

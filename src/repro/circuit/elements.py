@@ -123,7 +123,11 @@ class Capacitor(TwoTerminal):
         """
         import numpy as np
 
-        assert ctx.dt is not None
+        if ctx.dt is None:
+            raise NetlistError(
+                f"capacitor {self.name!r}: branch_current requires a transient "
+                "stamp context (ctx.dt is None)"
+            )
         v = np.asarray(v_now)
         ia = sys.circuit.node_index(self.a)
         ib = sys.circuit.node_index(self.b)

@@ -152,10 +152,39 @@ class MnaSystem:
             self.matrix[node, node] += ctx.gmin
 
     def solve(self) -> np.ndarray:
-        """Solve the assembled system; raise on singular matrices."""
+        """Solve the assembled system; raise on singular matrices.
+
+        On a singular matrix the error runs the ERC circuit rules
+        (:mod:`repro.lint`) to name the offending node(s) — a floating
+        island or a voltage-source loop — instead of reporting only
+        "matrix is singular".
+        """
         try:
             return np.linalg.solve(self.matrix, self.rhs)
         except np.linalg.LinAlgError as exc:
-            raise SingularCircuitError(
-                f"singular MNA matrix for circuit {self.circuit.title!r}: {exc}"
-            ) from exc
+            message = f"singular MNA matrix for circuit {self.circuit.title!r}: {exc}"
+            nodes, diagnostics = self._erc_diagnosis()
+            if diagnostics:
+                causes = "; ".join(
+                    f"{d.code} {d.slug}"
+                    + (f" (nodes: {', '.join(d.nodes)})" if d.nodes else "")
+                    for d in diagnostics
+                )
+                message += f" — ERC diagnosis: {causes}"
+            raise SingularCircuitError(message, nodes=nodes, diagnostics=diagnostics) from exc
+
+    def _erc_diagnosis(self) -> tuple[tuple[str, ...], tuple]:
+        """Offending nodes + lint diagnostics for a singular system.
+
+        Imported lazily (lint sits above the circuit layer) and guarded:
+        a diagnosis failure must never mask the singularity itself.
+        """
+        try:
+            from repro.lint import lint_circuit
+
+            report = lint_circuit(self.circuit, only=("ERC001", "ERC002", "ERC005"))
+            errors = report.errors
+            nodes = tuple(dict.fromkeys(n for d in errors for n in d.nodes))
+            return nodes, tuple(errors)
+        except Exception:  # pragma: no cover - defensive
+            return (), ()

@@ -120,6 +120,40 @@ def cmd_diagnose(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import (
+        LintReport,
+        lint_circuit,
+        lint_source,
+        lint_technology,
+        preflight_macro,
+    )
+    from repro.measure.netlist_builder import build_measurement_circuit
+
+    report = LintReport()
+    if not args.source_only:
+        array = _build_array(args, with_defects=args.defects)
+        structure = _design_for(args, array)
+        report.merge(lint_technology(array.tech))
+        macro0 = array.macro(0)
+        built = build_measurement_circuit(macro0, 0, 0, structure)
+        report.merge(lint_circuit(built.circuit))
+        for macro in array.macros():
+            report.merge(
+                preflight_macro(
+                    macro, structure, waive_known_defects=not args.strict_defects
+                )
+            )
+    if args.source:
+        report.merge(lint_source(args.source))
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
 def cmd_wafer(args) -> int:
     from repro.wafer import WaferModel
 
@@ -160,6 +194,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("diagnose", help="full diagnosis pipeline")
     _add_geometry_args(p)
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser(
+        "lint",
+        help="static ERC / parameter / unit analysis (no solver runs)",
+    )
+    _add_geometry_args(p)
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output rendering")
+    p.add_argument("--defects", action="store_true",
+                   help="inject defects into the linted array (their findings "
+                        "are waived unless --strict-defects)")
+    p.add_argument("--strict-defects", action="store_true",
+                   help="do not waive findings on known-defective cells")
+    p.add_argument("--source", nargs="+", metavar="PATH",
+                   help="also AST-lint these Python files/directories "
+                        "(raw SI literals, bare asserts)")
+    p.add_argument("--source-only", action="store_true",
+                   help="skip netlist analysis; lint only --source paths")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("wafer", help="wafer-level monitoring demo")
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.edram.defects import CellDefect, DefectKind
 from repro.errors import DefectError
+from repro.units import fA
 
 
 @dataclass
@@ -41,7 +42,7 @@ class DRAMCell:
     """
 
     capacitance: float
-    leak_current: float = 1e-15
+    leak_current: float = 1.0 * fA
     defect: CellDefect | None = None
     v_storage: float = 0.0
     t_written: float = 0.0

@@ -35,7 +35,27 @@ class ConvergenceError(ReproError):
 
 
 class SingularCircuitError(ReproError):
-    """The MNA system is singular (floating node, voltage-source loop, ...)."""
+    """The MNA system is singular (floating node, voltage-source loop, ...).
+
+    Attributes
+    ----------
+    nodes:
+        Names of the offending node(s), when the ERC diagnosis pass
+        could identify them (empty tuple otherwise).
+    diagnostics:
+        Structured lint findings (``repro.lint`` Diagnostic objects)
+        explaining the singularity, when available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        nodes: tuple[str, ...] = (),
+        diagnostics: tuple = (),
+    ):
+        super().__init__(message)
+        self.nodes = nodes
+        self.diagnostics = diagnostics
 
 
 class TechnologyError(ReproError):
@@ -60,3 +80,27 @@ class CalibrationError(ReproError):
 
 class DiagnosisError(ReproError):
     """A bitmap analysis or repair computation received invalid input."""
+
+
+class LintError(ReproError):
+    """The static-analysis subsystem was misused (unknown rule code,
+    invalid target kind, unreadable source file, ...)."""
+
+
+class RuleViolation(LintError):
+    """A lint/ERC pre-flight check found error-severity violations.
+
+    Raised by ``ArrayScanner.scan(..., preflight=True)`` and
+    ``MeasurementSequencer`` pre-flight so a structurally bad network is
+    diagnosed with stable rule codes instead of a solver blow-up.
+
+    Attributes
+    ----------
+    diagnostics:
+        The offending ``repro.lint`` Diagnostic objects (error severity,
+        unwaived), in report order.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = diagnostics

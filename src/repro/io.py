@@ -25,6 +25,7 @@ from repro.calibration.abacus import Abacus
 from repro.errors import CalibrationError, MeasurementError
 from repro.measure.scan import ScanResult
 from repro.measure.structure import MeasurementStructure
+from repro.units import aF
 
 _SCAN_FORMAT = 1
 _ABACUS_FORMAT = 1
@@ -112,5 +113,5 @@ def load_abacus(path: str | Path, structure: MeasurementStructure) -> Abacus:
             f"abacus in {path} was calibrated for a different design/technology: "
             f"stored {stored}, structure is {expected}"
         )
-    edges = np.array(payload["edges_af"], dtype=float) * 1e-18
+    edges = np.array(payload["edges_af"], dtype=float) * aF
     return Abacus(structure, edges)

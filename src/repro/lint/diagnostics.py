@@ -1,0 +1,207 @@
+"""Structured lint diagnostics and the report container.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code
+(``ERC001``), a severity, a human message, and the node names (or source
+location) it anchors to.  Rules yield diagnostics; the analyzer collects
+them into a :class:`LintReport`, which handles severity filtering,
+defect waivers, JSON serialization and exit-code semantics.
+
+Severity semantics follow compiler practice: ``ERROR`` findings make
+``repro lint`` exit non-zero and make a pre-flight check raise
+:class:`~repro.errors.RuleViolation`; ``WARNING`` findings are reported
+but never fatal; ``INFO`` is advisory only.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered from advisory to fatal."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for comparisons (higher is more severe)."""
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    Parameters
+    ----------
+    code:
+        Stable rule code, e.g. ``"ERC001"``.
+    slug:
+        Kebab-case rule name, e.g. ``"floating-node"``.
+    severity:
+        Effective severity of this finding.
+    message:
+        Human-readable description naming the offending entity.
+    subject:
+        What was analyzed (circuit title, network label, file path...).
+    nodes:
+        Node names the finding anchors to (netlist rules).
+    location:
+        ``file:line`` anchor (source rules), if any.
+    waived:
+        True when a known-defect waiver suppressed this finding; waived
+        diagnostics stay in the report for audit but never fail a check.
+    """
+
+    code: str
+    slug: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    nodes: tuple[str, ...] = ()
+    location: str | None = None
+    waived: bool = False
+
+    def format(self) -> str:
+        """One-line human rendering, ``code severity slug: message``."""
+        suffix = ""
+        if self.location:
+            suffix = f" ({self.location})"
+        elif self.subject:
+            suffix = f" [{self.subject}]"
+        waived = " (waived)" if self.waived else ""
+        return f"{self.code} {self.severity.value:<7} {self.slug}: {self.message}{suffix}{waived}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict representation."""
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subject": self.subject,
+            "nodes": list(self.nodes),
+            "location": self.location,
+            "waived": self.waived,
+        }
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics with filtering helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one diagnostic."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append many diagnostics (e.g. another report's)."""
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """Fold ``other``'s diagnostics into this report; returns self."""
+        self.extend(other.diagnostics)
+        return self
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Unwaived error-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR and not d.waived]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Unwaived warning-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING and not d.waived]
+
+    @property
+    def ok(self) -> bool:
+        """True when no unwaived error remains."""
+        return not self.errors
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        """All diagnostics (waived included) carrying ``code``."""
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> set[str]:
+        """Set of rule codes present (waived included)."""
+        return {d.code for d in self.diagnostics}
+
+    # ------------------------------------------------------------------
+    # Waivers
+    # ------------------------------------------------------------------
+
+    def waive_nodes(self, nodes: Iterable[str]) -> "LintReport":
+        """Mark findings anchored to any of ``nodes`` as waived.
+
+        This is how pre-flight checks tolerate *known* defects: the
+        defect injector knows which storage nodes it sabotaged, and
+        findings that touch those nodes are expected, not actionable.
+        Returns self for chaining.
+        """
+        waived = set(nodes)
+        if not waived:
+            return self
+        self.diagnostics = [
+            replace(d, waived=True) if not d.waived and waived & set(d.nodes) else d
+            for d in self.diagnostics
+        ]
+        return self
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Counts line, e.g. ``2 errors, 1 warning (1 waived)``."""
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_waived = sum(1 for d in self.diagnostics if d.waived)
+        parts = [
+            f"{n_err} error{'s' if n_err != 1 else ''}",
+            f"{n_warn} warning{'s' if n_warn != 1 else ''}",
+        ]
+        text = ", ".join(parts)
+        if n_waived:
+            text += f" ({n_waived} waived)"
+        return text
+
+    def format_text(self) -> str:
+        """Full human rendering: one line per diagnostic plus a summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON rendering: diagnostics array plus count fields."""
+        payload = {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "error_count": len(self.errors),
+            "warning_count": len(self.warnings),
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=indent)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 1 when unwaived errors exist, else 0."""
+        return 0 if self.ok else 1

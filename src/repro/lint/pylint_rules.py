@@ -1,0 +1,152 @@
+"""Custom AST lint rules for the Python source tree itself.
+
+Two project-specific hygiene rules that generic linters don't cover:
+
+``PY001 raw-si-literal``
+    A float literal in the sub-picoscale range (|x| ≤ 1e-13, e.g.
+    ``1e-15``) hard-coded where a :mod:`repro.units` symbol (``fF``,
+    ``aF``, ``fA``, ...) should be used.  The library works in base SI,
+    so femto-scale magic numbers are exactly the values most likely to
+    be a silent order-of-magnitude slip — and the units module exists so
+    they read as physics, not as exponent soup.  Tolerances and gmin
+    values (1e-12 and up) stay legal.
+
+``PY002 bare-assert``
+    A bare ``assert`` statement used for runtime validation in library
+    code.  Asserts vanish under ``python -O``, so a validation that
+    matters must raise a :class:`~repro.errors.ReproError` subclass
+    instead.  Test files are exempt (pytest asserts are the idiom).
+
+Suppression: append ``# lint: allow-raw-si`` or ``# lint: allow-assert``
+to the offending line.  ``units.py`` (which *defines* the scale factors)
+is exempt from PY001 wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import rule
+
+#: Magnitude at or below which a nonzero float literal is femto-scale
+#: enough to demand a units symbol (0.1 pF / 0.1 ps / 100 fA territory).
+RAW_SI_THRESHOLD = 1e-13  # lint: allow-raw-si (this *is* the threshold)
+
+#: Files exempt from PY001 (they define the unit factors themselves).
+UNIT_DEFINING_FILES = ("units.py",)
+
+#: File name prefixes treated as test code (PY002 exempt).
+TEST_PREFIXES = ("test_", "bench_", "conftest")
+
+
+def _is_test_file(path: Path) -> bool:
+    return path.name.startswith(TEST_PREFIXES) or "tests" in path.parts
+
+
+def _line_has_pragma(source_lines: list[str], lineno: int, pragma: str) -> bool:
+    if 1 <= lineno <= len(source_lines):
+        return pragma in source_lines[lineno - 1]
+    return False
+
+
+@rule(
+    "PY001",
+    "raw-si-literal",
+    target="source",
+    summary="sub-picoscale float literal where a repro.units symbol belongs",
+)
+def check_raw_si_literal(subject: object, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Flag femto-scale float literals outside :mod:`repro.units`.
+
+    ``subject`` is a parsed :class:`ast.Module`; ``context`` carries the
+    file ``path`` and the raw ``lines`` for pragma checks.
+    """
+    tree, path, lines = _subject_triple(subject, context)
+    if path.name in UNIT_DEFINING_FILES:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Constant) or not isinstance(node.value, float):
+            continue
+        value = node.value
+        if value == 0.0 or abs(value) > RAW_SI_THRESHOLD:
+            continue
+        if _line_has_pragma(lines, node.lineno, "lint: allow-raw-si"):
+            continue
+        yield check_raw_si_literal.diagnostic(
+            f"raw SI literal {value!r}; use a repro.units factor "
+            "(fF/aF/fA/...) so the magnitude reads as physics",
+            subject=str(path),
+            location=f"{path}:{node.lineno}",
+        )
+
+
+@rule(
+    "PY002",
+    "bare-assert",
+    target="source",
+    summary="bare assert used for runtime validation in library code",
+)
+def check_bare_assert(subject: object, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Flag ``assert`` statements in non-test library code.
+
+    Asserts disappear under ``python -O``; library validation must raise
+    a :class:`~repro.errors.ReproError` subclass instead.
+    """
+    tree, path, lines = _subject_triple(subject, context)
+    if _is_test_file(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        if _line_has_pragma(lines, node.lineno, "lint: allow-assert"):
+            continue
+        yield check_bare_assert.diagnostic(
+            "bare assert vanishes under `python -O`; raise a ReproError "
+            "subclass for runtime validation",
+            subject=str(path),
+            location=f"{path}:{node.lineno}",
+        )
+
+
+def _subject_triple(
+    subject: object, context: dict[str, object]
+) -> tuple[ast.Module, Path, list[str]]:
+    if not isinstance(subject, ast.Module):
+        raise LintError(f"source rules expect an ast.Module, got {type(subject).__name__}")
+    path = Path(str(context.get("path", "<unknown>")))
+    lines = context.get("lines")
+    if not isinstance(lines, list):
+        lines = []
+    return subject, path, lines
+
+
+def parse_source(path: Path) -> tuple[ast.Module, dict[str, object]]:
+    """Parse ``path`` into the (subject, context) pair source rules take.
+
+    Raises :class:`~repro.errors.LintError` on unreadable or
+    syntactically invalid files.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+    return tree, {"path": str(path), "lines": text.splitlines()}
+
+
+def iter_python_files(paths: list[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files beneath them, sorted."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise LintError(f"not a Python file or directory: {path}")

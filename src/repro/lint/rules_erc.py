@@ -1,0 +1,292 @@
+"""Electrical rule checks (ERC) over netlists, charge networks and flows.
+
+These are the structural checks that catch, *before any solver runs*,
+the error classes that otherwise surface as a cryptic
+:class:`~repro.errors.SingularCircuitError` deep inside MNA — or worse,
+as a silently wrong V_GS.  The rule set mirrors the hazards of the
+paper's measurement (§2): the charge-sharing result
+``V_GS = V_DD·C_m/(C_m + C_REF + C_par)`` only holds when every
+capacitor except the cell under test is isolated from the plate by the
+end of the ISOLATE phase, and a floating or charge-trapped node on the
+C_REF side corrupts the denominator invisibly.
+
+Rules
+-----
+==========  ==========================  ========  ============================
+code        slug                        target    catches
+==========  ==========================  ========  ============================
+``ERC001``  floating-node               circuit   dangling node (one terminal)
+``ERC002``  no-dc-path-to-ground        circuit   capacitively-isolated island
+``ERC003``  charge-trap                 charge    unreachable charged node
+``ERC004``  phase-isolation-violation   flow      plate not isolated in step 3
+``ERC005``  voltage-source-loop         circuit   V-source loop / parallel pair
+==========  ==========================  ========  ============================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.circuit.elements import Element, Resistor, Switch, VoltageSource
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.netlist import GROUND, Circuit
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import rule
+
+
+class _UnionFind:
+    """Union-find over hashable keys (node names)."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def add(self, key: str) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: str) -> str:
+        self.add(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+    def groups(self) -> dict[str, set[str]]:
+        """All sets, keyed by representative."""
+        out: dict[str, set[str]] = {}
+        for key in self._parent:
+            out.setdefault(self.find(key), set()).add(key)
+        return out
+
+
+def _dc_edges(element: Element) -> Iterator[tuple[str, str]]:
+    """Node pairs joined by a DC current path through ``element``.
+
+    Capacitors are DC opens; current sources and mirror outputs have
+    infinite DC output impedance, so neither *pins* a floating node.
+    A switch conducts in both states (its off-state is a finite, if
+    huge, resistance), and a MOSFET conducts drain-to-source through
+    its channel/leakage floor — but its gate draws no current.
+    """
+    if isinstance(element, (Resistor, VoltageSource, Switch)):
+        yield element.nodes()
+    elif isinstance(element, Mosfet):
+        yield (element.drain, element.source)
+
+
+@rule(
+    "ERC001",
+    "floating-node",
+    target="circuit",
+    summary="node connected to exactly one element terminal (dangling)",
+)
+def check_floating_node(circuit: Circuit, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """A node touched by a single element terminal cannot carry current.
+
+    Almost always a typo'd node name: the intended connection landed on
+    a fresh implicit node instead.  Ground is exempt (it is pinned by
+    definition), as is any node a voltage source drives — a one-terminal
+    source node is a legal test stimulus.
+    """
+    touch_count: dict[str, int] = {}
+    pinned: set[str] = set()
+    for element in circuit:
+        for node in element.nodes():
+            touch_count[node] = touch_count.get(node, 0) + 1
+        if isinstance(element, VoltageSource):
+            pinned.update(element.nodes())
+    for node, count in touch_count.items():
+        if node == GROUND or node in pinned:
+            continue
+        if count == 1:
+            yield check_floating_node.diagnostic(
+                f"node {node!r} connects to exactly one element terminal",
+                subject=circuit.title,
+                nodes=(node,),
+            )
+
+
+@rule(
+    "ERC002",
+    "no-dc-path-to-ground",
+    target="circuit",
+    summary="node group with no resistive/source path to the reference node",
+)
+def check_dc_path(circuit: Circuit, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Every node needs a DC path to ground or MNA is singular.
+
+    Builds the conduction graph (resistors, sources, switches, MOSFET
+    channels) and reports every connected component that does not reach
+    ground.  Capacitor-only islands are the classic instance: gmin keeps
+    the solve numerically alive but the island's bias is then set by the
+    solver's crutch, not the design.
+    """
+    uf = _UnionFind()
+    uf.add(GROUND)
+    for name in circuit.node_names:
+        uf.add(name)
+    for element in circuit:
+        for a, b in _dc_edges(element):
+            uf.union(a, b)
+    ground_root = uf.find(GROUND)
+    for root, members in sorted(uf.groups().items()):
+        if root == ground_root:
+            continue
+        nodes = tuple(sorted(members))
+        shown = ", ".join(nodes[:6]) + (", ..." if len(nodes) > 6 else "")
+        yield check_dc_path.diagnostic(
+            f"{len(nodes)} node(s) have no DC path to ground: {shown}",
+            subject=circuit.title,
+            nodes=nodes,
+        )
+
+
+@rule(
+    "ERC005",
+    "voltage-source-loop",
+    target="circuit",
+    summary="loop of ideal voltage sources (including parallel sources)",
+)
+def check_vsource_loop(circuit: Circuit, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """A cycle of ideal voltage sources over-determines the node voltages.
+
+    Two sources in parallel are the two-edge case.  Detected by running
+    union-find over voltage-source edges only: a source whose terminals
+    are already connected through other sources closes a loop.
+    """
+    uf = _UnionFind()
+    for element in circuit.elements_of_type(VoltageSource):
+        a, b = element.nodes()
+        if not uf.union(a, b):
+            yield check_vsource_loop.diagnostic(
+                f"voltage source {element.name!r} closes a source loop "
+                f"between nodes {a!r} and {b!r}",
+                subject=circuit.title,
+                nodes=(a, b),
+            )
+
+
+@rule(
+    "ERC003",
+    "charge-trap",
+    target="charge",
+    summary="capacitively loaded node that no switch or drive can ever reach",
+)
+def check_charge_trap(net: CapacitorNetwork, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """A floating, capacitor-loaded node with no switch is a charge trap.
+
+    In the ideal-switch network every reconfiguration happens through
+    switches or direct drives; a node that carries capacitance but has
+    no switch incident and no drive attached keeps whatever charge it
+    was born with forever.  On the C_REF/gate node this silently adds a
+    stuck term to the charge-sharing denominator; on a storage node it
+    means the cell can never be measured.  The access-open defect
+    renders exactly this way, which is why pre-flight checks waive the
+    storage nodes of known-defective cells.
+    """
+    switched: set[str] = set()
+    for _name, a, b, _closed in net.switches():
+        switched.add(a)
+        switched.add(b)
+    loaded: set[str] = set()
+    for _name, a, b, c in net.capacitors():
+        if c > 0.0:
+            loaded.add(a)
+            loaded.add(b)
+    for node in net.node_names:
+        if node == net.GROUND or net.is_driven(node):
+            continue
+        if node in loaded and node not in switched:
+            yield check_charge_trap.diagnostic(
+                f"node {node!r} carries capacitance but no switch or drive "
+                "can ever reach it (trapped charge)",
+                subject=str(context.get("subject", "charge-network")),
+                nodes=(node,),
+            )
+
+
+@rule(
+    "ERC004",
+    "phase-isolation-violation",
+    target="flow",
+    summary="plate island not isolated as the measurement flow demands",
+)
+def check_phase_isolation(subject: object, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Replay the five-step flow's switch schedule and check isolation.
+
+    ``subject`` is a :class:`~repro.measure.netlist_builder.ChargeNetlist`
+    (built macro network); ``context`` may carry ``row`` for the target
+    row (default 0) and a ``subject`` label.
+
+    The paper's step 3 (ISOLATE) requires the plate to float alone: PRG
+    open, LEC open, every neighbour bitline floated.  Any closed switch
+    still touching the plate at that point — a dielectric short rendered
+    as a stuck switch, a miswired LEC — injects its far-side capacitance
+    into the charge-sharing denominator and skews every code the macro
+    produces.  Step 4 (SHARE) then requires the plate island to be
+    exactly {plate, gate}: C_m must share with C_REF and nothing else.
+
+    The replay drives only the switch states (union-find island checks);
+    no charge solve runs.
+    """
+    from repro.measure.netlist_builder import ChargeNetlist
+
+    if not isinstance(subject, ChargeNetlist):
+        raise TypeError(f"ERC004 expects a ChargeNetlist, got {type(subject).__name__}")
+    built = subject
+    net = built.network
+    label = str(context.get("subject", f"macro[{built.macro.index}]"))
+    row = int(context.get("row", 0))  # type: ignore[call-overload]
+
+    snap = net.snapshot()
+    try:
+        # Phase 1→2→3 switch schedule (see MeasurementSequencer): only the
+        # target row's access switches stay closed, LEC opens.
+        for (r, _c), name in built.access_switches.items():
+            if r == row:
+                net.close_switch(name)
+            else:
+                net.open_switch(name)
+        net.open_switch(built.lec_switch)
+
+        plate_island = net.island_of("plate")
+        extras = sorted(plate_island - {"plate"})
+        if extras:
+            yield check_phase_isolation.diagnostic(
+                "ISOLATE phase: plate is still switch-connected to "
+                f"{', '.join(repr(n) for n in extras)} (expected isolated plate)",
+                subject=label,
+                nodes=tuple(["plate", *extras]),
+            )
+
+        # Phase 4: LEC closes; the island must be exactly {plate, gate}
+        # plus whatever ISOLATE already flagged.
+        net.close_switch(built.lec_switch)
+        share_island = net.island_of("plate")
+        share_extras = sorted(share_island - {"plate", "gate"} - set(extras))
+        if "gate" not in share_island:
+            yield check_phase_isolation.diagnostic(
+                "SHARE phase: closing LEC does not connect the plate to the "
+                "C_REF gate node (miswired LEC switch)",
+                subject=label,
+                nodes=("plate", "gate"),
+            )
+        if share_extras:
+            yield check_phase_isolation.diagnostic(
+                "SHARE phase: plate-gate island also contains "
+                f"{', '.join(repr(n) for n in share_extras)}",
+                subject=label,
+                nodes=tuple(["plate", "gate", *share_extras]),
+            )
+    finally:
+        net.restore(snap)

@@ -1,0 +1,101 @@
+"""Parameter-plausibility rules (PRM) over technology cards.
+
+``PRM001 parameter-out-of-corner-range`` checks a
+:class:`~repro.tech.parameters.TechnologyCard` against the envelope the
+five standard process corners span around the nominal card of its family
+(0.18 µm or 0.13 µm, picked by supply voltage).  A card outside that
+envelope is not *invalid* — Monte-Carlo tails and deliberately skewed
+experiments live there — but a structure designed for it will produce an
+abacus no production corner can reach, which usually means a unit slip
+or a corner applied twice.  Hence warning severity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import rule
+from repro.tech.corners import CORNER_SHIFTS
+from repro.tech.parameters import TechnologyCard, default_technology, technology_013um
+
+#: Slack applied on top of the corner envelope before flagging (the
+#: corner set is a 3-sigma-ish box; give Monte-Carlo samples headroom).
+ENVELOPE_MARGIN = 1.5
+
+
+def _reference_card(tech: TechnologyCard) -> TechnologyCard:
+    """Nominal family card for ``tech``, picked by supply closeness."""
+    nominal_018 = default_technology()
+    nominal_013 = technology_013um()
+    if abs(tech.vdd - nominal_013.vdd) < abs(tech.vdd - nominal_018.vdd):
+        return nominal_013
+    return nominal_018
+
+
+def _corner_envelope(reference: TechnologyCard) -> dict[str, tuple[float, float]]:
+    """Per-parameter (lo, hi) bounds spanned by the corner set + margin."""
+    dvths = [shift[0] for shift in CORNER_SHIFTS.values()] + [
+        shift[2] for shift in CORNER_SHIFTS.values()
+    ]
+    kp_scales = [shift[1] for shift in CORNER_SHIFTS.values()] + [
+        shift[3] for shift in CORNER_SHIFTS.values()
+    ]
+    c_scales = [shift[4] for shift in CORNER_SHIFTS.values()]
+
+    dvth_span = max(abs(d) for d in dvths) * ENVELOPE_MARGIN
+    kp_lo = 1.0 - (1.0 - min(kp_scales)) * ENVELOPE_MARGIN
+    kp_hi = 1.0 + (max(kp_scales) - 1.0) * ENVELOPE_MARGIN
+    c_lo = 1.0 - (1.0 - min(c_scales)) * ENVELOPE_MARGIN
+    c_hi = 1.0 + (max(c_scales) - 1.0) * ENVELOPE_MARGIN
+
+    n_vth = abs(reference.nmos.vth0)
+    p_vth = abs(reference.pmos.vth0)
+    return {
+        "nmos.vth0": (n_vth - dvth_span, n_vth + dvth_span),
+        "pmos.vth0": (p_vth - dvth_span, p_vth + dvth_span),
+        "nmos.kp": (reference.nmos.kp * kp_lo, reference.nmos.kp * kp_hi),
+        "pmos.kp": (reference.pmos.kp * kp_lo, reference.pmos.kp * kp_hi),
+        "cell_capacitance": (
+            reference.cell_capacitance * c_lo,
+            reference.cell_capacitance * c_hi,
+        ),
+    }
+
+
+def _card_values(tech: TechnologyCard) -> dict[str, float]:
+    """The card's parameters in envelope keys (thresholds as magnitudes)."""
+    return {
+        "nmos.vth0": abs(tech.nmos.vth0),
+        "pmos.vth0": abs(tech.pmos.vth0),
+        "nmos.kp": tech.nmos.kp,
+        "pmos.kp": tech.pmos.kp,
+        "cell_capacitance": tech.cell_capacitance,
+    }
+
+
+@rule(
+    "PRM001",
+    "parameter-out-of-corner-range",
+    target="technology",
+    severity=Severity.WARNING,
+    summary="technology parameter outside the process-corner envelope",
+)
+def check_corner_range(tech: TechnologyCard, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Flag card parameters outside the corner envelope of their family.
+
+    The envelope is the FF/SS/FS/SF span around the matching nominal
+    card, widened by :data:`ENVELOPE_MARGIN`.  Each violated parameter
+    produces one diagnostic naming the value and the allowed range.
+    """
+    reference = _reference_card(tech)
+    envelope = _corner_envelope(reference)
+    values = _card_values(tech)
+    for key, value in values.items():
+        lo, hi = envelope[key]
+        if not lo <= value <= hi:
+            yield check_corner_range.diagnostic(
+                f"{key} = {value:.4g} is outside the corner envelope "
+                f"[{lo:.4g}, {hi:.4g}] of {reference.name!r}",
+                subject=tech.name,
+            )

@@ -1,0 +1,114 @@
+"""Unit-sanity rules (UNT) over element values.
+
+``UNT001 suspicious-unit-magnitude`` catches the classic SI slip: a
+value entered in display units where base SI was expected (a 30 fF
+capacitor written as ``30`` instead of ``30 * fF`` becomes thirty
+*farads* — eighteen orders of magnitude of silent error that still
+solves fine).  The rule checks every element value against the
+physically plausible window for its quantity; windows are generous
+(decades wide), so a hit almost always is a units bug, hence the rule
+reports at warning severity only because exotic-but-legal test fixtures
+exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentMirrorOutput,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.stimulus import Constant, Stimulus
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import rule
+
+#: Plausible magnitude windows per quantity, in base SI units.  The caps
+#: window spans single-attofarad parasitics to nanofarad decoupling; a
+#: value outside is almost certainly a femto/pico slip.
+PLAUSIBLE = {
+    "capacitance": (1e-19, 1e-8),  # 0.1 aF .. 10 nF  # lint: allow-raw-si
+    "resistance": (1e-2, 1e14),    # 10 mΩ .. 100 TΩ (switch off-states)
+    "voltage": (0.0, 100.0),       # |V|; rails in this library are < 3 V
+    "current": (0.0, 1.0),         # |I|; DAC full scale is ~100 µA
+}
+
+
+def _constant_level(value: Stimulus | float) -> float | None:
+    """The constant level of a stimulus, or None for waveforms.
+
+    Only :class:`~repro.circuit.stimulus.Constant` sources are checked;
+    time-varying stimuli (phase waveforms, DAC staircases) are built by
+    the plan machinery from already-checked design quantities.
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Constant):
+        return value.value
+    return None
+
+
+def _window_check(
+    quantity: str, magnitude: float, what: str, subject: str, nodes: tuple[str, ...]
+) -> Iterator[Diagnostic]:
+    lo, hi = PLAUSIBLE[quantity]
+    if magnitude != 0.0 and not lo <= abs(magnitude) <= hi:
+        unit = {"capacitance": "F", "resistance": "ohm", "voltage": "V", "current": "A"}[quantity]
+        yield check_unit_magnitude.diagnostic(
+            f"{what}: {quantity} {magnitude:.3g} {unit} is outside the "
+            f"plausible window [{lo:.0e}, {hi:.0e}] {unit} — likely an SI-unit "
+            "slip (use repro.units factors)",
+            subject=subject,
+            nodes=nodes,
+        )
+
+
+@rule(
+    "UNT001",
+    "suspicious-unit-magnitude",
+    target="circuit",
+    severity=Severity.WARNING,
+    summary="element value magnitude implausible for its quantity",
+)
+def check_unit_magnitude(circuit: Circuit, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Check every element value against its quantity's plausible window."""
+    for element in circuit:
+        nodes = tuple(element.nodes())
+        what = f"{type(element).__name__} {element.name!r}"
+        if isinstance(element, Capacitor):
+            yield from _window_check(
+                "capacitance", element.capacitance, what, circuit.title, nodes
+            )
+        elif isinstance(element, Resistor):
+            yield from _window_check(
+                "resistance", element.resistance, what, circuit.title, nodes
+            )
+        elif isinstance(element, VoltageSource):
+            level = _constant_level(element.value)
+            if level is not None:
+                yield from _window_check("voltage", level, what, circuit.title, nodes)
+        elif isinstance(element, (CurrentSource, CurrentMirrorOutput)):
+            level = _constant_level(element.value)
+            if level is not None:
+                yield from _window_check("current", level, what, circuit.title, nodes)
+
+
+def check_charge_network_units(
+    net: CapacitorNetwork, subject: str = "charge-network"
+) -> list[Diagnostic]:
+    """UNT001 over a charge network's capacitors (same rule, same code).
+
+    Charge networks are not :class:`Circuit` instances, so the analyzer
+    calls this helper directly; findings carry the same ``UNT001`` code.
+    """
+    out: list[Diagnostic] = []
+    for name, a, b, c in net.capacitors():
+        out.extend(
+            _window_check("capacitance", c, f"capacitor {name!r}", subject, (a, b))
+        )
+    return out

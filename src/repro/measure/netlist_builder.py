@@ -43,7 +43,6 @@ from repro.circuit.mosfet import Mosfet
 from repro.circuit.netlist import Circuit
 from repro.edram.array import MacroCell
 from repro.edram.defects import DefectKind
-from repro.errors import MeasurementError
 from repro.measure.phases import PhasePlan
 from repro.measure.structure import MeasurementStructure
 

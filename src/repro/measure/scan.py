@@ -275,7 +275,12 @@ class ArrayScanner:
         vgs = self.closed_form_vgs(macro)
         return vgs, self.codes_for_vgs(vgs), "c"
 
-    def scan(self, force_engine: bool = False, jobs: int | None = None) -> ScanResult:
+    def scan(
+        self,
+        force_engine: bool = False,
+        jobs: int | None = None,
+        preflight: bool = False,
+    ) -> ScanResult:
         """Scan the whole array; returns the assembled :class:`ScanResult`.
 
         Parameters
@@ -289,12 +294,23 @@ class ArrayScanner:
             (macros are electrically independent, so parallel results
             are bit-exact against serial — pinned in tests).  Values
             above the macro count are capped.
+        preflight:
+            Run the static ERC pass (:mod:`repro.lint`) over every
+            macro's charge network and flow before scanning.  Findings
+            on known-defective cells are waived; anything else raises
+            :class:`~repro.errors.RuleViolation` with the rule codes, so
+            a structurally bad array is diagnosed up front instead of
+            blowing up a solver mid-scan.
 
         The returned result carries a :class:`ScanStats` telemetry
         record in ``result.stats``.
         """
         if jobs is not None and jobs < 1:
             raise MeasurementError(f"jobs must be >= 1, got {jobs}")
+        if preflight:
+            from repro.lint import preflight_array, raise_on_errors
+
+            raise_on_errors(preflight_array(self.array, self.structure))
         start = perf_counter()
         rows, cols = self.array.rows, self.array.cols
         codes = np.zeros((rows, cols), dtype=int)

@@ -69,7 +69,10 @@ class MeasurementSequencer:
             self._pristine = self._built.network.snapshot()
             self._built_version = version
         else:
-            assert self._pristine is not None
+            if self._pristine is None:
+                raise MeasurementError(
+                    "cached charge netlist has no pristine snapshot to restore"
+                )
             self._built.network.restore(self._pristine)
         return self._built
 
@@ -82,14 +85,50 @@ class MeasurementSequencer:
             )
 
     # ------------------------------------------------------------------
+    # Static pre-flight
+    # ------------------------------------------------------------------
+
+    def preflight(self, waive_known_defects: bool = True) -> "object":
+        """Run the static ERC pass on this macro's network and flow.
+
+        Returns the :class:`~repro.lint.LintReport`.  Findings anchored
+        to storage nodes of *known* (injected) defects are waived when
+        ``waive_known_defects`` — a scan exists to measure those; only
+        unexpected structural damage should fail the check.  No solver
+        runs.
+        """
+        from repro.lint import preflight_macro
+
+        return preflight_macro(
+            self.macro,
+            self.structure,
+            built=self._charge_network(),
+            waive_known_defects=waive_known_defects,
+        )
+
+    # ------------------------------------------------------------------
     # Charge tier
     # ------------------------------------------------------------------
 
     def measure_charge(
-        self, row: int, lcol: int, trace: FlowTrace | None = None
+        self,
+        row: int,
+        lcol: int,
+        trace: FlowTrace | None = None,
+        preflight: bool = False,
     ) -> MeasurementResult:
-        """Measure cell (row, lcol) through the exact charge tier."""
+        """Measure cell (row, lcol) through the exact charge tier.
+
+        With ``preflight=True`` the static ERC pass runs first and a
+        structurally bad network raises
+        :class:`~repro.errors.RuleViolation` naming the violated rule
+        codes instead of failing inside the charge solver.
+        """
         self._check_target(row, lcol)
+        if preflight:
+            from repro.lint import raise_on_errors
+
+            raise_on_errors(self.preflight())
         built = self._charge_network()
         vgs = self.run_charge_phases(built, row, lcol, trace)
         code = self.structure.code_for_vgs(vgs)

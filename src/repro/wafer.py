@@ -123,7 +123,8 @@ class WaferModel:
                 self._structure, self.macro_rows, self.macro_cols,
                 bitline_rows=self.die_rows,
             )
-        assert self._abacus is not None
+        if self._abacus is None:
+            raise DiagnosisError("wafer calibration failed to build an abacus")
         return self._structure, self._abacus
 
     def fabricate_die(self, radius_fraction: float) -> EDRAMArray:

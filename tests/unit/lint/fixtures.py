@@ -1,0 +1,188 @@
+"""Known-good and known-bad fixtures for the lint rule tests.
+
+Each ``bad_*`` builder seeds exactly the violation its name says (some
+produce collateral findings too — a dangling node is usually also a
+DC-pathless node); the ``good_*`` builders must lint clean.  The CLI
+acceptance test iterates :data:`BAD_FIXTURES` to prove every rule code
+fires at least once.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.charge import CapacitorNetwork
+from repro.circuit.elements import Capacitor, Resistor, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.measure.netlist_builder import ChargeNetlist, build_charge_network
+from repro.measure.structure import MeasurementDesign, MeasurementStructure
+from repro.tech.parameters import MosfetParams, TechnologyCard
+from repro.units import fF
+
+
+def small_array(rows: int = 8, cols: int = 4) -> EDRAMArray:
+    return EDRAMArray(rows, cols, macro_cols=2, macro_rows=4)
+
+
+def structure_for(array: EDRAMArray) -> MeasurementStructure:
+    return MeasurementStructure(array.tech, MeasurementDesign())
+
+
+# ---------------------------------------------------------------------------
+# Circuit fixtures (ERC001 / ERC002 / ERC005 / UNT001)
+# ---------------------------------------------------------------------------
+
+
+def good_divider() -> Circuit:
+    ckt = Circuit("good-divider")
+    ckt.add(VoltageSource("V1", "in", "0", 1.8))
+    ckt.add(Resistor("R1", "in", "mid", 1e3))
+    ckt.add(Resistor("R2", "mid", "0", 1e3))
+    return ckt
+
+
+def bad_floating_node() -> Circuit:
+    """ERC001: capacitor to a dangling node nothing else touches."""
+    ckt = good_divider()
+    ckt.add(Capacitor("CTYPO", "mid", "midd", 30 * fF))  # note the typo'd node
+    return ckt
+
+
+def bad_no_dc_path() -> Circuit:
+    """ERC002: two nodes joined only by capacitors — a floating island."""
+    ckt = good_divider()
+    ckt.add(Capacitor("C1", "mid", "island_a", 30 * fF))
+    ckt.add(Capacitor("C2", "island_a", "island_b", 30 * fF))
+    ckt.add(Capacitor("C3", "island_b", "0", 30 * fF))
+    return ckt
+
+
+def bad_vsource_loop() -> Circuit:
+    """ERC005: two ideal sources in parallel between the same nodes."""
+    ckt = good_divider()
+    ckt.add(VoltageSource("V2", "in", "0", 1.7))
+    return ckt
+
+
+def bad_unit_magnitude() -> Circuit:
+    """UNT001: a '30 fF' capacitor written as thirty farads."""
+    ckt = good_divider()
+    ckt.add(Capacitor("CSLIP", "mid", "0", 30.0))
+    return ckt
+
+
+# ---------------------------------------------------------------------------
+# Charge-network fixtures (ERC003)
+# ---------------------------------------------------------------------------
+
+
+def good_charge_network() -> CapacitorNetwork:
+    net = CapacitorNetwork()
+    net.add_capacitor("CM", "plate", "0", 30 * fF)
+    net.add_capacitor("CREF", "gate", "0", 28 * fF)
+    net.add_switch("LEC", "plate", "gate")
+    net.drive("plate", 0.0)
+    return net
+
+
+def bad_charge_trap() -> CapacitorNetwork:
+    """ERC003: a capacitively loaded node no switch or drive can reach."""
+    net = good_charge_network()
+    net.add_capacitor("CSTRAY", "orphan", "0", 5 * fF)
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Flow fixtures (ERC004)
+# ---------------------------------------------------------------------------
+
+
+def good_flow() -> ChargeNetlist:
+    array = small_array()
+    return build_charge_network(array.macro(0), structure_for(array))
+
+
+def bad_flow_isolation() -> ChargeNetlist:
+    """ERC004: a dielectric SHORT keeps a storage node tied to the plate
+    through the ISOLATE phase (the paper's step-3 invariant broken)."""
+    array = small_array()
+    array.cell(1, 0).apply_defect(CellDefect(DefectKind.SHORT))
+    return build_charge_network(array.macro(0), structure_for(array))
+
+
+def bad_flow_miswired_lec() -> ChargeNetlist:
+    """ERC004: the LEC switch lands on a wiring stub instead of the gate,
+    so SHARE never connects C_m to C_REF."""
+    array = small_array()
+    structure = structure_for(array)
+    macro = array.macro(0)
+    tech = structure.tech
+    net = CapacitorNetwork()
+    net.add_capacitor("CPP", "plate", "0", macro.plate_parasitic)
+    net.add_capacitor("CREFT", "gate", "0", structure.c_ref_total)
+    net.add_switch("LEC", "plate", "lec_stub")  # miswired: not the gate
+    access = {}
+    for row in range(macro.rows):
+        for col in range(array.macro_cols):
+            s = f"s{row}_{col}"
+            net.add_capacitor(f"CJS{row}_{col}", s, "0", tech.storage_junction_cap)
+            net.add_capacitor(f"CCELL{row}_{col}", "plate", s, macro.cell(row, col).capacitance)
+            name = f"AC{row}_{col}"
+            net.add_switch(name, f"bl{col}", s)
+            access[(row, col)] = name
+    return ChargeNetlist(net, macro, access, "LEC")
+
+
+# ---------------------------------------------------------------------------
+# Technology fixtures (PRM001)
+# ---------------------------------------------------------------------------
+
+
+def bad_corner_technology() -> TechnologyCard:
+    """PRM001: thresholds and kp far outside the corner envelope."""
+    return TechnologyCard(
+        name="rogue-card",
+        nmos=MosfetParams(polarity="nmos", vth0=0.9, kp=900e-6),
+        pmos=MosfetParams(polarity="pmos", vth0=-0.9, kp=20e-6),
+        cell_capacitance=60.0 * fF,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Source fixtures (PY001 / PY002)
+# ---------------------------------------------------------------------------
+
+BAD_SOURCE = '''"""Module with both source-rule violations."""
+
+C_REF = 28e-15          # PY001: femto-scale magic literal
+
+
+def check(value):
+    assert value > 0     # PY002: runtime validation by assert
+    return value * C_REF
+'''
+
+GOOD_SOURCE = '''"""Module that uses the units vocabulary properly."""
+
+from repro.units import fF
+
+C_REF = 28 * fF
+TOLERANCE = 1e-12       # coarse epsilon, above the femto threshold
+
+
+def check(value):
+    if value <= 0:
+        raise ValueError(value)
+    return value * C_REF
+'''
+
+#: (rule code, fixture builder, lint kind) — the acceptance matrix.
+BAD_FIXTURES = [
+    ("ERC001", bad_floating_node, "circuit"),
+    ("ERC002", bad_no_dc_path, "circuit"),
+    ("ERC003", bad_charge_trap, "charge"),
+    ("ERC004", bad_flow_isolation, "flow"),
+    ("ERC005", bad_vsource_loop, "circuit"),
+    ("UNT001", bad_unit_magnitude, "circuit"),
+    ("PRM001", bad_corner_technology, "technology"),
+]

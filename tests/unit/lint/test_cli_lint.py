@@ -1,0 +1,56 @@
+"""The ``repro lint`` subcommand."""
+
+import json
+
+from repro.cli import main
+from tests.unit.lint import fixtures
+
+GEOMETRY = ["--rows", "8", "--cols", "4", "--macro-rows", "4"]
+
+
+def test_lint_shipped_netlists_exit_zero(capsys):
+    assert main(["lint", *GEOMETRY]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors" in out
+
+
+def test_lint_with_defects_waives_and_exits_zero(capsys):
+    assert main(["lint", *GEOMETRY, "--defects"]) == 0
+    out = capsys.readouterr().out
+    assert "waived" in out
+
+
+def test_lint_strict_defects_exits_nonzero(capsys):
+    assert main(["lint", *GEOMETRY, "--defects", "--strict-defects"]) == 1
+    out = capsys.readouterr().out
+    assert "ERC" in out
+
+
+def test_lint_json_format(capsys):
+    assert main(["lint", *GEOMETRY, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["error_count"] == 0
+
+
+def test_lint_source_only_flags_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(fixtures.BAD_SOURCE, encoding="utf-8")
+    assert main(["lint", "--source-only", "--source", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "PY001" in out
+    assert "PY002" in out
+
+
+def test_lint_source_only_clean_file(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text(fixtures.GOOD_SOURCE, encoding="utf-8")
+    assert main(["lint", "--source-only", "--source", str(good)]) == 0
+
+
+def test_lint_combined_netlist_and_source(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(fixtures.BAD_SOURCE, encoding="utf-8")
+    assert main(["lint", *GEOMETRY, "--source", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "PY001" in out

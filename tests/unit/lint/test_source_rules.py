@@ -1,0 +1,91 @@
+"""AST source rules (PY001 raw-si-literal, PY002 bare-assert)."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import lint_source
+from tests.unit.lint import fixtures
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_bad_source_triggers_both_rules(tmp_path):
+    path = _write(tmp_path, "module.py", fixtures.BAD_SOURCE)
+    report = lint_source([path])
+    assert report.codes() == {"PY001", "PY002"}
+    assert not report.ok
+    # Findings anchor to file:line so editors can jump to them.
+    locations = [d.location for d in report]
+    assert all(loc and str(path) in loc for loc in locations)
+
+
+def test_good_source_is_clean(tmp_path):
+    path = _write(tmp_path, "module.py", fixtures.GOOD_SOURCE)
+    report = lint_source([path])
+    assert len(report) == 0
+
+
+def test_py001_ignores_zero_and_coarse_literals(tmp_path):
+    path = _write(tmp_path, "module.py", "A = 0.0\nB = 1e-12\nC = 2.5\n")
+    assert len(lint_source([path], only=("PY001",))) == 0
+
+
+def test_py001_pragma_suppresses(tmp_path):
+    path = _write(
+        tmp_path, "module.py", "EPS = 1e-15  # lint: allow-raw-si\n"
+    )
+    assert len(lint_source([path], only=("PY001",))) == 0
+
+
+def test_py001_units_module_is_exempt(tmp_path):
+    path = _write(tmp_path, "units.py", "fF = 1e-15\naF = 1e-18\n")
+    assert len(lint_source([path], only=("PY001",))) == 0
+
+
+def test_py002_pragma_suppresses(tmp_path):
+    path = _write(
+        tmp_path, "module.py", "def f(x):\n    assert x  # lint: allow-assert\n"
+    )
+    assert len(lint_source([path], only=("PY002",))) == 0
+
+
+def test_py002_test_files_are_exempt(tmp_path):
+    body = "def test_f():\n    assert 1 + 1 == 2\n"
+    assert len(lint_source([_write(tmp_path, "test_module.py", body)])) == 0
+    assert len(lint_source([_write(tmp_path, "conftest.py", body)])) == 0
+
+
+def test_lint_source_expands_directories(tmp_path):
+    _write(tmp_path, "a.py", fixtures.BAD_SOURCE)
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    _write(sub, "b.py", "def f(x):\n    assert x\n")
+    report = lint_source([tmp_path])
+    assert len(report.by_code("PY002")) == 2
+
+
+def test_lint_source_rejects_non_python_paths(tmp_path):
+    path = _write(tmp_path, "notes.txt", "hello")
+    with pytest.raises(LintError, match="not a Python file"):
+        lint_source([path])
+
+
+def test_lint_source_raises_on_syntax_errors(tmp_path):
+    path = _write(tmp_path, "broken.py", "def f(:\n")
+    with pytest.raises(LintError, match="cannot parse"):
+        lint_source([path])
+
+
+def test_shipped_source_tree_is_clean():
+    """The library's own code must pass its own source rules."""
+    from pathlib import Path
+
+    import repro
+
+    report = lint_source([Path(repro.__file__).parent])
+    assert report.ok, report.format_text()
+    assert len(report) == 0, report.format_text()

@@ -17,6 +17,8 @@ from repro import errors
         errors.MeasurementError,
         errors.CalibrationError,
         errors.DiagnosisError,
+        errors.LintError,
+        errors.RuleViolation,
     ],
 )
 def test_all_errors_derive_from_repro_error(exc):
@@ -35,3 +37,19 @@ def test_convergence_error_defaults():
     err = errors.ConvergenceError("plain")
     assert err.iterations == 0
     assert err.residual != err.residual  # NaN
+
+
+def test_rule_violation_is_a_lint_error():
+    assert issubclass(errors.RuleViolation, errors.LintError)
+
+
+def test_rule_violation_carries_diagnostics():
+    err = errors.RuleViolation("bad network", diagnostics=("d1", "d2"))
+    assert err.diagnostics == ("d1", "d2")
+    assert errors.RuleViolation("plain").diagnostics == ()
+
+
+def test_singular_circuit_error_carries_nodes():
+    err = errors.SingularCircuitError("shorted", nodes=("plate", "gate"))
+    assert err.nodes == ("plate", "gate")
+    assert errors.SingularCircuitError("plain").nodes == ()
