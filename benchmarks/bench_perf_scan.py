@@ -12,9 +12,13 @@ Results (cells/second, per-path timings, scan telemetry) are written to
 ``BENCH_scan.json`` at the repo root for trend tracking.
 
 ``bench_perf_scan_smoke`` is the CI guard: a small array, a single
-round, a fraction of a second.
+round, a fraction of a second.  ``bench_perf_scan_trace_overhead``
+pins the observability contract: a fully traced + metered engine-tier
+scan must stay within 5% of the untraced wall time and produce
+bit-identical codes.
 """
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -26,8 +30,10 @@ from repro.calibration.design import design_structure
 from repro.edram.array import EDRAMArray
 from repro.edram.defects import DefectKind
 from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner, _series
 from repro.measure.sequencer import MeasurementSequencer
+from repro.obs import MetricsRegistry, Tracer
 from repro.units import fF
 
 ROWS, COLS = 128, 64
@@ -149,7 +155,9 @@ def bench_perf_scan_speedup(benchmark, tech):
     seed_seconds, seed_scan = _best_of(seed.scan)
     fast_scan = benchmark(cached.scan)
     fast_seconds, _ = _best_of(cached.scan)
-    parallel_seconds, parallel_scan = _best_of(lambda: cached.scan(jobs=4), repeats=1)
+    parallel_seconds, parallel_scan = _best_of(
+        lambda: cached.scan(ScanConfig(jobs=4)), repeats=1
+    )
 
     # The optimisations must be invisible in the data.
     assert np.array_equal(fast_scan.codes, seed_scan.codes)
@@ -184,6 +192,107 @@ def bench_perf_scan_speedup(benchmark, tech):
     )
 
     assert speedup >= 3.0, f"serial cached path only {speedup:.2f}x over seed"
+
+
+def bench_perf_scan_trace_overhead(tech):
+    """Observability guard: full tracing + metrics must cost < 5%.
+
+    Engine-tier workload (``force_engine``) — the worst case for the
+    tracer, since every cell opens six spans and the per-cell numeric
+    work is smallest relative to the span machinery.
+
+    Measurement notes, hard-won on shared hardware:
+
+    - the second run of any back-to-back pair measures systematically
+      slower (cache and scheduler disturbance), so each round
+      alternates which path goes first and the comparison uses best-of
+      minima — the least-disturbed observation of each path;
+    - GC is paused during the timed region: the traced path allocates
+      (spans), so cyclic collections — whose cost scales with the
+      *session's* live-object count, not the scan's — would otherwise
+      land only on one side of the comparison;
+    - multi-second background-load bursts can still poison an entire
+      measurement, so the gate allows up to three independent attempts
+      and passes on the first one under budget.  A genuine regression
+      fails all three deterministically.
+    """
+    rows, cols = 16, 4
+    array = _build(tech, rows=rows, cols=cols)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=rows)
+    scanner = ArrayScanner(array, structure)
+    plain_config = ScanConfig(force_engine=True)
+    baseline = scanner.scan(plain_config)  # warms the netlist cache
+
+    def run_plain():
+        t0 = time.perf_counter()
+        scan = scanner.scan(plain_config)
+        return time.perf_counter() - t0, scan
+
+    def run_traced():
+        tracer, metrics = Tracer(), MetricsRegistry()
+        config = ScanConfig(force_engine=True, tracer=tracer, metrics=metrics)
+        t0 = time.perf_counter()
+        scan = scanner.scan(config)
+        return time.perf_counter() - t0, scan, tracer
+
+    traced_scan, tracer = None, None
+
+    def measure():
+        nonlocal traced_scan, tracer
+        plain_times, traced_times = [], []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for i in range(20):
+                if i % 2 == 0:
+                    seconds, _ = run_plain()
+                    plain_times.append(seconds)
+                    seconds, traced_scan, tracer = run_traced()
+                    traced_times.append(seconds)
+                else:
+                    seconds, traced_scan, tracer = run_traced()
+                    traced_times.append(seconds)
+                    seconds, _ = run_plain()
+                    plain_times.append(seconds)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return min(plain_times), min(traced_times)
+
+    attempts = []
+    for _ in range(3):
+        plain_best, traced_best = measure()
+        attempts.append(traced_best / plain_best - 1)
+        if attempts[-1] < 0.05:
+            break
+    overhead = min(attempts)
+
+    # Observability must be invisible in the data...
+    assert np.array_equal(traced_scan.codes, baseline.codes)
+    assert np.array_equal(traced_scan.vgs, baseline.vgs)
+    # ...and actually observing: one scan root, a span per cell, the
+    # paper's five phases under each.
+    assert len(tracer.roots()) == 1
+    cell_spans = [s for s in tracer.spans if s.name == "cell"]
+    assert len(cell_spans) == array.num_cells
+    assert all(len(tracer.children(s)) == 5 for s in cell_spans)
+
+    report(
+        "PERF: tracer + metrics overhead on an engine-tier scan",
+        "\n".join([
+            f"array {rows}x{cols}, force_engine, {len(tracer)} spans/scan",
+            f"plain  best-of-20: {plain_best * 1e3:8.2f} ms",
+            f"traced best-of-20: {traced_best * 1e3:8.2f} ms",
+            f"overhead         : {overhead * 100:+.2f}%  (budget < 5%, "
+            f"{len(attempts)} attempt(s))",
+        ]),
+    )
+
+    assert overhead < 0.05, (
+        f"tracer overhead {overhead * 100:.2f}% exceeds 5% budget "
+        f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
+    )
 
 
 def bench_perf_scan_smoke(benchmark, tech):

@@ -29,6 +29,7 @@ Subpackages
 - :mod:`repro.bitmap` — analog/digital bitmaps, signatures
 - :mod:`repro.diagnosis` — classification, process monitoring, repair
 - :mod:`repro.baselines` — march tests, bitline-side measurement, probe
+- :mod:`repro.obs` — tracing (span trees) and metrics for the hot paths
 """
 
 from repro.errors import ReproError
@@ -40,7 +41,9 @@ from repro.measure import (
     MeasurementSequencer,
     MeasurementResult,
     ArrayScanner,
+    ScanConfig,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.calibration import (
     design_structure,
     Abacus,
@@ -77,6 +80,9 @@ __all__ = [
     "MeasurementSequencer",
     "MeasurementResult",
     "ArrayScanner",
+    "ScanConfig",
+    "Tracer",
+    "MetricsRegistry",
     "design_structure",
     "Abacus",
     "accuracy_sweep",

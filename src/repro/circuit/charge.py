@@ -29,11 +29,12 @@ devices and the cross-validation tests confirm agreement).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
 from repro.errors import NetlistError, SingularCircuitError
+from repro.obs.metrics import active_metrics
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,11 @@ class CapacitorNetwork:
         self._caps: dict[str, tuple[int, int, float]] = {}
         # switches: name -> (node_a, node_b, closed)
         self._switches: dict[str, tuple[int, int, bool]] = {}
+        # settle() runs several times per measured cell; cache its
+        # counter per ambient registry to keep the per-settle cost at
+        # one contextvar read plus an identity check.
+        self._metrics_registry: object | None = None
+        self._settle_counter: Any = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -292,6 +298,13 @@ class CapacitorNetwork:
         Raises :class:`SingularCircuitError` if two sources with different
         voltages are shorted together.
         """
+        metrics = active_metrics()
+        if metrics is not self._metrics_registry:
+            self._metrics_registry = metrics
+            self._settle_counter = metrics.counter(
+                "charge.settles", "charge-network settle solves"
+            )
+        self._settle_counter.inc()
         uf = self._build_islands()
         n_nodes = len(self._voltage)
         roots = sorted({uf.find(i) for i in range(n_nodes)})
@@ -361,6 +374,10 @@ class CapacitorNetwork:
             try:
                 x = np.linalg.solve(a_matrix, b_vector)
             except np.linalg.LinAlgError:
+                active_metrics().counter(
+                    "charge.minnorm_fallbacks",
+                    "rank-deficient settles solved via minimal-norm update",
+                ).inc()
                 delta, *_ = np.linalg.lstsq(
                     a_matrix, b_vector - a_matrix @ x_prev, rcond=None
                 )

@@ -15,6 +15,7 @@ import numpy as np
 from repro.circuit.mna import MnaSystem, StampContext
 from repro.circuit.netlist import Circuit
 from repro.errors import ConvergenceError, SingularCircuitError
+from repro.obs.metrics import active_metrics
 
 
 #: Default absolute KCL residual tolerance, amperes.
@@ -48,6 +49,9 @@ def _newton(
         x = x_new
         if worst <= vtol:
             ctx.v_iter = x[:n]
+            active_metrics().histogram(
+                "solver.newton_iterations", "Newton iterations per converged solve"
+            ).observe(iteration + 1)
             return x
     raise ConvergenceError(
         f"Newton failed to converge in {max_iter} iterations "
@@ -81,7 +85,9 @@ def dc_solve_vector(
     try:
         return _newton(sys, ctx, v0, max_iter, vtol)
     except ConvergenceError:
-        pass
+        active_metrics().counter(
+            "solver.gmin_fallbacks", "plain Newton failures rescued by gmin stepping"
+        ).inc()
     # gmin stepping: converge a heavily damped circuit first, then relax.
     x: np.ndarray | None = None
     guess = v0

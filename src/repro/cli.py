@@ -5,25 +5,63 @@ Exposes the library's main flows without writing Python:
 - ``python -m repro design``   — size a structure for a macro geometry
 - ``python -m repro abacus``   — print the Figure-3 calibration table
 - ``python -m repro scan``     — synthesize an array (optionally with
-  defects), scan it, render the analog bitmap
+  defects), scan it, render the analog bitmap; ``--trace``/``--metrics``
+  attach the observability layer, ``--json`` emits a machine-readable
+  report
 - ``python -m repro diagnose`` — full pipeline on a synthesized array
+- ``python -m repro trace``    — summarize a trace written by ``--trace``
+- ``python -m repro lint``     — static ERC / parameter / unit analysis
 - ``python -m repro wafer``    — wafer-level monitoring demo
+
+Common options are factored into shared parent parsers so every
+subcommand spells them identically: ``--seed``, ``--jobs``, and
+``--format text|json`` (with ``--json`` as a shorthand for
+``--format json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.units import fF, to_fF, to_ns, to_uA
 
 
-def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--rows", type=int, default=32, help="array rows")
-    parser.add_argument("--cols", type=int, default=16, help="array cols")
-    parser.add_argument("--macro-rows", type=int, default=8, help="plate tile rows")
-    parser.add_argument("--macro-cols", type=int, default=2, help="plate tile cols")
-    parser.add_argument("--seed", type=int, default=0, help="randomness seed")
+# ----------------------------------------------------------------------
+# Shared parent parsers — one spelling per option, reused by subcommands.
+# ----------------------------------------------------------------------
+
+
+def _geometry_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--rows", type=int, default=32, help="array rows")
+    parent.add_argument("--cols", type=int, default=16, help="array cols")
+    parent.add_argument("--macro-rows", type=int, default=8, help="plate tile rows")
+    parent.add_argument("--macro-cols", type=int, default=2, help="plate tile cols")
+    return parent
+
+
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0, help="randomness seed")
+    return parent
+
+
+def _jobs_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    return parent
+
+
+def _format_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output rendering")
+    parent.add_argument("--json", dest="format", action="store_const",
+                        const="json", help="shorthand for --format json")
+    return parent
 
 
 def _build_array(args, with_defects: bool):
@@ -44,6 +82,9 @@ def _build_array(args, with_defects: bool):
         injector.scatter(DefectKind.SHORT, max(1, array.num_cells // 400))
         injector.scatter(DefectKind.OPEN, max(1, array.num_cells // 400))
         injector.scatter(DefectKind.LOW_CAP, max(2, array.num_cells // 200), factor=0.6)
+        # A sprinkle of bridges exercises the engine-tier fallback, so
+        # traced demo scans show the full scan→macro→cell→phase tree.
+        injector.scatter(DefectKind.BRIDGE, max(1, array.num_cells // 500))
     return array
 
 
@@ -84,13 +125,57 @@ def cmd_scan(args) -> int:
     from repro.bitmap.analog import AnalogBitmap
     from repro.bitmap.export import render_code_map
     from repro.calibration.abacus import Abacus
+    from repro.measure.config import ScanConfig
     from repro.measure.scan import ArrayScanner
+    from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+
+    tracer = Tracer() if args.trace else NULL_TRACER
+    want_metrics = args.metrics or args.metrics_out or args.format == "json"
+    metrics = MetricsRegistry() if want_metrics else NULL_METRICS
 
     array = _build_array(args, with_defects=not args.healthy)
     structure = _design_for(args, array)
     abacus = Abacus.for_array(structure, array)
-    scan = ArrayScanner(array, structure).scan(jobs=args.jobs)
+    config = ScanConfig(
+        jobs=args.jobs,
+        force_engine=args.force_engine,
+        preflight=args.preflight,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    scan = ArrayScanner(array, structure).scan(config)
     bitmap = AnalogBitmap(scan, abacus)
+
+    if args.trace:
+        tracer.write_jsonl(args.trace)
+    if args.metrics_out:
+        metrics.write_jsonl(args.metrics_out)
+    saved_to = None
+    if args.save:
+        from repro.io import save_scan
+
+        saved_to = str(save_scan(scan, args.save))
+
+    if args.format == "json":
+        payload = {
+            "geometry": {
+                "rows": args.rows, "cols": args.cols,
+                "macro_rows": args.macro_rows, "macro_cols": args.macro_cols,
+                "macros": array.num_macros,
+            },
+            "cells": array.num_cells,
+            "num_steps": scan.num_steps,
+            "mean_fF": to_fF(bitmap.mean_capacitance()),
+            "sigma_fF": to_fF(bitmap.std_capacitance()),
+            "code_histogram": {str(k): v for k, v in scan.code_histogram().items()},
+            "stats": scan.stats.to_dict() if scan.stats is not None else None,
+            "metrics": metrics.to_dict() if metrics.enabled else None,
+            "trace": args.trace,
+            "saved": saved_to,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
     print(f"scanned {array.num_cells} cells "
           f"({array.num_macros} tiles of {args.macro_rows}x{args.macro_cols})")
     if scan.stats is not None:
@@ -98,25 +183,46 @@ def cmd_scan(args) -> int:
     print(f"mean {to_fF(bitmap.mean_capacitance()):.2f} fF, "
           f"sigma {to_fF(bitmap.std_capacitance()):.2f} fF")
     print(render_code_map(scan.codes))
-    if args.save:
-        from repro.io import save_scan
-
-        path = save_scan(scan, args.save)
-        print(f"scan saved to {path}")
+    if args.metrics:
+        print("metrics:")
+        print(metrics.summary_table())
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"({len(tracer.spans)} spans; summarize with `repro trace`)")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if saved_to:
+        print(f"scan saved to {saved_to}")
     return 0
 
 
 def cmd_diagnose(args) -> int:
     from repro.diagnosis.pipeline import DiagnosisPipeline
+    from repro.measure.config import ScanConfig
 
     array = _build_array(args, with_defects=True)
     pipeline = DiagnosisPipeline(spec_lo=24 * fF, spec_hi=36 * fF)
-    report = pipeline.run(array)
+    report = pipeline.run(array, ScanConfig(jobs=args.jobs))
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
     print(report.summary())
     print()
     print("findings:")
     for finding in report.findings:
         print(f"  {finding.describe()}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import load_trace, summarize_trace
+
+    spans = load_trace(args.path)
+    summary = summarize_trace(spans)
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(summary.table())
     return 0
 
 
@@ -175,33 +281,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("design", help="size a measurement structure")
-    _add_geometry_args(p)
+    geometry = _geometry_parent()
+    seed = _seed_parent()
+    jobs = _jobs_parent()
+    fmt = _format_parent()
+
+    p = sub.add_parser("design", parents=[geometry, seed],
+                       help="size a measurement structure")
     p.set_defaults(func=cmd_design)
 
-    p = sub.add_parser("abacus", help="print the calibration abacus")
-    _add_geometry_args(p)
+    p = sub.add_parser("abacus", parents=[geometry, seed],
+                       help="print the calibration abacus")
     p.set_defaults(func=cmd_abacus)
 
-    p = sub.add_parser("scan", help="scan a synthesized array")
-    _add_geometry_args(p)
+    p = sub.add_parser("scan", parents=[geometry, seed, jobs, fmt],
+                       help="scan a synthesized array")
     p.add_argument("--healthy", action="store_true", help="no injected defects")
     p.add_argument("--save", help="write the scan to this .npz path")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes for the scan (1 = serial)")
+    p.add_argument("--force-engine", action="store_true",
+                   help="route every macro through the exact charge engine")
+    p.add_argument("--preflight", action="store_true",
+                   help="run the static ERC pass before scanning")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a span trace of the scan to this JSON-lines "
+                        "path (summarize with `repro trace PATH`)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print the scan metrics summary table")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write collected metrics as JSON lines to this path")
     p.set_defaults(func=cmd_scan)
 
-    p = sub.add_parser("diagnose", help="full diagnosis pipeline")
-    _add_geometry_args(p)
+    p = sub.add_parser("diagnose", parents=[geometry, seed, jobs, fmt],
+                       help="full diagnosis pipeline")
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("trace", parents=[fmt],
+                       help="summarize a span trace written by `scan --trace`")
+    p.add_argument("path", help="JSON-lines trace file")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "lint",
+        parents=[geometry, seed, fmt],
         help="static ERC / parameter / unit analysis (no solver runs)",
     )
-    _add_geometry_args(p)
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="output rendering")
     p.add_argument("--defects", action="store_true",
                    help="inject defects into the linted array (their findings "
                         "are waived unless --strict-defects)")
@@ -214,11 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip netlist analysis; lint only --source paths")
     p.set_defaults(func=cmd_lint)
 
-    p = sub.add_parser("wafer", help="wafer-level monitoring demo")
+    p = sub.add_parser("wafer", parents=[seed, jobs],
+                       help="wafer-level monitoring demo")
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes per die scan (1 = serial)")
     p.set_defaults(func=cmd_wafer)
 
     return parser

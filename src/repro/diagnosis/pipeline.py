@@ -17,6 +17,7 @@ the production wrapper.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _null
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,8 +35,10 @@ from repro.diagnosis.repair import RepairPlan, RepairPlanner
 from repro.edram.array import EDRAMArray
 from repro.edram.operations import ArrayOperations
 from repro.errors import DiagnosisError
+from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner, ScanResult
 from repro.measure.structure import MeasurementStructure
+from repro.obs.metrics import use_metrics
 
 
 @dataclass
@@ -74,6 +77,27 @@ class PipelineReport:
             f"cols {sorted(self.repair.spare_cols_used)})",
         ]
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (the CLI's ``--json`` payload)."""
+        counts: dict[str, int] = {}
+        for verdict in self.verdicts.ravel():
+            counts[verdict.value] = counts.get(verdict.value, 0) + 1
+        return {
+            "digital_fails": int(self.digital.fail_count),
+            "verdicts": counts,
+            "findings": [finding.describe() for finding in self.findings],
+            "process": self.process.summary(),
+            "repair": {
+                "success": bool(self.repair.success),
+                "uncovered": len(self.repair.uncovered),
+                "spare_rows_used": sorted(self.repair.spare_rows_used),
+                "spare_cols_used": sorted(self.repair.spare_cols_used),
+            },
+            "scan_stats": (
+                self.scan.stats.to_dict() if self.scan.stats is not None else None
+            ),
+        }
 
 
 class DiagnosisPipeline:
@@ -126,35 +150,60 @@ class DiagnosisPipeline:
             self._abacus = Abacus.for_array(self._structure, array)
         return self._structure, self._abacus
 
-    def run(self, array: EDRAMArray) -> PipelineReport:
-        """Run the full pipeline against one array."""
+    def run(self, array: EDRAMArray, config: ScanConfig | None = None) -> PipelineReport:
+        """Run the full pipeline against one array.
+
+        ``config`` carries the scan options (jobs, tracer, metrics)
+        through to the analog-scan stage; its tracer additionally
+        records one ``diagnosis`` span with a ``stage:*`` child per
+        pipeline stage, and its metrics registry is installed ambiently
+        for the whole run.
+        """
+        config = config if config is not None else ScanConfig()
+        tracer = config.tracer
         structure, abacus = self._structure_for(array)
 
-        # 1. Functional + retention baseline.
-        digital = march_c_minus().run(ArrayOperations(array)).merge(
-            retention_test(ArrayOperations(array), pause=self.retention_pause)
-        )
+        with use_metrics(config.metrics) if config.metrics.enabled else _null():
+            with tracer.span("diagnosis", rows=array.rows, cols=array.cols):
+                # 1. Functional + retention baseline.
+                with tracer.span("stage:functional"):
+                    digital = march_c_minus().run(ArrayOperations(array)).merge(
+                        retention_test(
+                            ArrayOperations(array), pause=self.retention_pause
+                        )
+                    )
 
-        # 2. Analog scan.
-        scan = ArrayScanner(array, structure).scan()
-        analog = AnalogBitmap(scan, abacus)
-        window = SpecificationWindow.from_capacitance(
-            abacus, self.spec_lo, self.spec_hi
-        )
+                # 2. Analog scan.
+                with tracer.span("stage:scan"):
+                    scan = ArrayScanner(array, structure).scan(config)
+                analog = AnalogBitmap(scan, abacus)
+                window = SpecificationWindow.from_capacitance(
+                    abacus, self.spec_lo, self.spec_hi
+                )
 
-        # 3. Classification (digital results refine code-0 cells).
-        classifier = CellClassifier(analog, window, macro_cols=array.macro_cols)
-        verdicts = classifier.classify_all(digital.fails)
+                # 3. Classification (digital results refine code-0 cells).
+                with tracer.span("stage:classify"):
+                    classifier = CellClassifier(
+                        analog, window, macro_cols=array.macro_cols
+                    )
+                    verdicts = classifier.classify_all(digital.fails)
 
-        # 4. Root-cause analysis.
-        findings = FailureAnalyzer().analyze(verdicts)
+                # 4. Root-cause analysis.
+                with tracer.span("stage:root_cause"):
+                    findings = FailureAnalyzer().analyze(verdicts)
 
-        # 5. Process statistics.
-        process = ProcessMonitor(self.spec_lo, self.spec_hi).report(analog)
+                # 5. Process statistics.
+                with tracer.span("stage:process"):
+                    process = ProcessMonitor(self.spec_lo, self.spec_hi).report(
+                        analog
+                    )
 
-        # 6. Repair over the union of hard fails and out-of-spec cells.
-        must_repair = digital.fails | analog.out_of_spec(window)
-        repair = RepairPlanner(self.spare_rows, self.spare_cols).plan(must_repair)
+                # 6. Repair over the union of hard fails and out-of-spec cells.
+                with tracer.span("stage:repair"):
+                    must_repair = digital.fails | analog.out_of_spec(window)
+                    repair = RepairPlanner(self.spare_rows, self.spare_cols).plan(
+                        must_repair
+                    )
 
         return PipelineReport(
             digital=digital,

@@ -74,6 +74,21 @@ class MeasurementError(ReproError):
     """The measurement structure was driven outside its legal flow."""
 
 
+class ScanMismatchError(MeasurementError):
+    """Two scans cannot be compared (shape, dtype or depth disagree).
+
+    Raised by :meth:`repro.measure.scan.ScanResult.diff` (and the
+    :class:`ScanResult` constructor's internal-consistency check) so a
+    mismatched reference fails with the offending shapes named instead
+    of a numpy broadcast error deep in array arithmetic.
+    """
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics subsystem was misused (misnested spans,
+    metric kind conflict, malformed trace file, ...)."""
+
+
 class CalibrationError(ReproError):
     """An abacus or specification window cannot be built or inverted."""
 

@@ -30,6 +30,7 @@ Three execution tiers produce the same code and are cross-validated:
   evaluation of the same algebra for whole-array scans.
 """
 
+from repro.measure.config import ScanConfig
 from repro.measure.result import MeasurementResult, CodeMeaning
 from repro.measure.shift_register import ShiftRegister
 from repro.measure.current_dac import ProgrammableCurrentReference
@@ -55,6 +56,7 @@ __all__ = [
     "Phase",
     "MeasurementSequencer",
     "ArrayScanner",
+    "ScanConfig",
     "ScanResult",
     "ScanStats",
     "MacroTiming",

@@ -1,0 +1,131 @@
+"""Scan configuration: one frozen object instead of a kwarg pile.
+
+The scan entry points accreted flags one PR at a time — ``jobs=`` for
+the process pool, ``preflight=`` for the ERC pass, ``force_engine=``
+for reference mode, ``tier=`` on per-cell measurements — and the
+observability layer needs two more (tracer, metrics).  Six loose
+keywords on three methods is an API smell; :class:`ScanConfig` carries
+them as one immutable value that callers build once and reuse:
+
+    from repro.measure import ScanConfig
+    from repro.obs import Tracer, MetricsRegistry
+
+    config = ScanConfig(jobs=4, tracer=Tracer(), metrics=MetricsRegistry())
+    result = ArrayScanner(array, structure).scan(config)
+
+The old keyword forms (``scan(jobs=4)``, ``scan_macro(macro, True)``,
+``measure_cell(r, c, tier="transient")``) still work through a
+deprecation shim that emits :class:`DeprecationWarning`; new code
+should pass a :class:`ScanConfig`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import MeasurementError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["ScanConfig"]
+
+#: Valid per-cell measurement tiers.
+_TIERS = ("charge", "transient")
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Immutable configuration consumed by the scan entry points.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes to fan macro scans across; 1 scans serially
+        in-process.  Values above the macro count are capped.
+    preflight:
+        Run the static ERC pass (:mod:`repro.lint`) before scanning and
+        raise :class:`~repro.errors.RuleViolation` on unwaived errors.
+    force_engine:
+        Route every macro through the exact charge engine (reference
+        mode; slow).
+    tier:
+        Per-cell measurement tier for
+        :meth:`~repro.measure.scan.ArrayScanner.measure_cell`:
+        ``"charge"`` or ``"transient"``.
+    tracer:
+        Span recorder (:class:`repro.obs.Tracer`).  Defaults to the
+        zero-cost :data:`repro.obs.NULL_TRACER`.
+    metrics:
+        Metrics registry (:class:`repro.obs.MetricsRegistry`), installed
+        ambiently for the duration of the scan so engine-level
+        instruments land in it too.  Defaults to the no-op registry.
+
+    Derive variants with :meth:`dataclasses.replace` or
+    :meth:`ScanConfig.with_options`.
+    """
+
+    jobs: int = 1
+    preflight: bool = False
+    force_engine: bool = False
+    tier: str = "charge"
+    tracer: Tracer | NullTracer = field(default=NULL_TRACER, compare=False)
+    metrics: MetricsRegistry | NullMetricsRegistry = field(
+        default=NULL_METRICS, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise MeasurementError(f"jobs must be >= 1, got {self.jobs}")
+        if self.tier not in _TIERS:
+            raise MeasurementError(
+                f"unknown tier {self.tier!r} (expected one of {_TIERS})"
+            )
+
+    def with_options(self, **changes: Any) -> "ScanConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    @property
+    def observed(self) -> bool:
+        """True when a real tracer or metrics registry is attached."""
+        return self.tracer.enabled or self.metrics.enabled
+
+
+def _warn_legacy(method: str, names: list[str]) -> None:
+    warnings.warn(
+        f"{method}({', '.join(names)}=...) keywords are deprecated; "
+        f"pass a ScanConfig instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def coerce_scan_config(
+    config: "ScanConfig | bool | str | None",
+    method: str,
+    **legacy: Any,
+) -> ScanConfig:
+    """Resolve the (config, legacy kwargs) pair every entry point accepts.
+
+    ``config`` may be a :class:`ScanConfig`, ``None`` (defaults), or —
+    for backward compatibility with the old positional signatures — a
+    bool (``scan_macro(macro, True)`` meant ``force_engine``) or a str
+    (``measure_cell(r, c, "transient")`` meant ``tier``).  Any legacy
+    value, positional or keyword, emits :class:`DeprecationWarning`.
+    """
+    if isinstance(config, bool):
+        # Old positional force_engine flag.
+        legacy = {**legacy, "force_engine": config}
+        config = None
+    elif isinstance(config, str):
+        # Old positional tier name.
+        legacy = {**legacy, "tier": config}
+        config = None
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    if supplied:
+        _warn_legacy(method, sorted(supplied))
+        base = config if config is not None else ScanConfig()
+        return replace(base, **supplied)
+    return config if config is not None else ScanConfig()

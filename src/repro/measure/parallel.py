@@ -46,9 +46,12 @@ def _init_worker(array: "EDRAMArray", structure: "MeasurementStructure") -> None
 def _scan_one(
     index: int, force_engine: bool
 ) -> "tuple[int, np.ndarray, np.ndarray, str, float]":
+    from repro.measure.config import ScanConfig
+
     scanner = _WORKER["scanner"]
+    config = ScanConfig(force_engine=force_engine)
     start = perf_counter()
-    vgs, codes, tier = scanner.scan_macro(scanner.array.macro(index), force_engine)
+    vgs, codes, tier = scanner.scan_macro(scanner.array.macro(index), config)
     return index, vgs, codes, tier, perf_counter() - start
 
 

@@ -32,13 +32,19 @@ pinned by integration tests.
 Performance layer (see docs/architecture.md "Performance architecture"):
 macro masks are O(1) slices of the array's incrementally maintained bulk
 matrices, the engine tier reuses one cached netlist per macro, and
-``scan(jobs=N)`` fans macros out across a process pool.  Every scan
-attaches a :class:`~repro.measure.stats.ScanStats` telemetry record to
-its result.
+``scan(ScanConfig(jobs=N))`` fans macros out across a process pool.
+
+Observability (see docs/architecture.md "Observability"): every entry
+point takes a :class:`~repro.measure.config.ScanConfig` whose tracer
+records the scan → macro → cell → phase span tree and whose metrics
+registry, installed ambiently for the scan, collects tier counts, code
+histograms, cache hits and solver statistics.  Both default to no-op
+implementations pinned bit-exact against the un-instrumented path.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -46,10 +52,12 @@ import numpy as np
 
 from repro.edram.array import EDRAMArray, MacroCell
 from repro.edram.defects import KIND_CODES, DefectKind
-from repro.errors import MeasurementError
+from repro.errors import ScanMismatchError
+from repro.measure.config import ScanConfig, coerce_scan_config
 from repro.measure.sequencer import MeasurementSequencer
 from repro.measure.stats import MacroTiming, ScanStats
 from repro.measure.structure import MeasurementDesign, MeasurementStructure
+from repro.obs.metrics import active_metrics, use_metrics
 
 
 def _series(a: float | np.ndarray, b: float | np.ndarray) -> np.ndarray:
@@ -59,6 +67,11 @@ def _series(a: float | np.ndarray, b: float | np.ndarray) -> np.ndarray:
     with np.errstate(divide="ignore", invalid="ignore"):
         out = np.where(total > 0.0, a * b / np.where(total > 0.0, total, 1.0), 0.0)
     return out
+
+
+def _ambient_metrics(config: ScanConfig):
+    """Install the config's registry ambiently iff it is a real one."""
+    return use_metrics(config.metrics) if config.metrics.enabled else nullcontext()
 
 
 @dataclass
@@ -89,6 +102,18 @@ class ScanResult:
     tiers: np.ndarray
     stats: ScanStats | None = field(default=None, compare=False)
 
+    def __post_init__(self) -> None:
+        # Hand-assembled results (tests, loaders) may pass plain lists;
+        # coerce once here so .shape and arithmetic are always array ops.
+        self.codes = np.asarray(self.codes)
+        self.vgs = np.asarray(self.vgs)
+        self.tiers = np.asarray(self.tiers)
+        if self.vgs.shape != self.codes.shape or self.tiers.shape != self.codes.shape:
+            raise ScanMismatchError(
+                f"scan planes disagree: codes {self.codes.shape}, "
+                f"vgs {self.vgs.shape}, tiers {self.tiers.shape}"
+            )
+
     @property
     def shape(self) -> tuple[int, int]:
         """(rows, cols) of the scanned array."""
@@ -113,14 +138,23 @@ class ScanResult:
         Golden-die subtraction: comparing a die against a known-good
         reference cancels the systematic background exactly (both carry
         the same macro parasitics), leaving process/instrument drift and
-        defects.  Shapes and converter depths must match.
+        defects.  Raises :class:`~repro.errors.ScanMismatchError` when
+        the reference is not a comparable scan (wrong type, shape, or
+        converter depth) instead of surfacing a numpy broadcast error.
         """
+        if not isinstance(reference, ScanResult):
+            raise ScanMismatchError(
+                f"diff reference must be a ScanResult, got {type(reference).__name__}"
+            )
         if reference.shape != self.shape:
-            raise MeasurementError(
+            raise ScanMismatchError(
                 f"scan shapes differ: {self.shape} vs {reference.shape}"
             )
         if reference.num_steps != self.num_steps:
-            raise MeasurementError("scans use different converter depths")
+            raise ScanMismatchError(
+                "scans use different converter depths: "
+                f"{self.num_steps} vs {reference.num_steps}"
+            )
         return self.codes - reference.codes
 
 
@@ -262,90 +296,163 @@ class ArrayScanner:
             bridge[macro.row_start : macro.row_stop, col_lo : macro.col_stop].any()
         )
 
-    def scan_macro(self, macro: MacroCell, force_engine: bool = False) -> tuple[np.ndarray, np.ndarray, str]:
-        """Scan one macro; returns (vgs, codes, tier_marker)."""
-        if force_engine or self._macro_needs_engine(macro):
-            sequencer = self._sequencer(macro)
-            mc = self.array.macro_cols
-            vgs = np.zeros((macro.rows, mc))
-            for r in range(macro.rows):
-                for c in range(mc):
-                    vgs[r, c] = sequencer.measure_charge(r, c).vgs
-            return vgs, self.codes_for_vgs(vgs), "e"
-        vgs = self.closed_form_vgs(macro)
-        return vgs, self.codes_for_vgs(vgs), "c"
+    def scan_macro(
+        self,
+        macro: MacroCell,
+        config: ScanConfig | bool | None = None,
+        *,
+        force_engine: bool | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, str]:
+        """Scan one macro; returns (vgs, codes, tier_marker).
+
+        ``config`` is a :class:`ScanConfig`; the old positional/keyword
+        ``force_engine`` bool still works behind a deprecation shim.
+        """
+        config = coerce_scan_config(
+            config, "ArrayScanner.scan_macro", force_engine=force_engine
+        )
+        with _ambient_metrics(config):
+            vgs, codes, tier = self._scan_macro(macro, config)
+            active_metrics().histogram(
+                "scan.codes", "measurement codes emitted"
+            ).observe_many(codes.ravel())
+            return vgs, codes, tier
+
+    def _scan_macro(
+        self, macro: MacroCell, config: ScanConfig
+    ) -> tuple[np.ndarray, np.ndarray, str]:
+        """Scan one macro with ambient metrics already installed.
+
+        The serial scan loop calls this directly — coercion and the
+        contextvar install happen once per scan, not once per macro.
+        """
+        tracer = config.tracer
+        with tracer.span("macro", index=macro.index, cells=macro.num_cells) as span:
+            if config.force_engine or self._macro_needs_engine(macro):
+                sequencer = self._sequencer(macro)
+                mc = self.array.macro_cols
+                vgs = np.zeros((macro.rows, mc))
+                for r in range(macro.rows):
+                    for c in range(mc):
+                        vgs[r, c] = sequencer.measure_charge(
+                            r, c, tracer=tracer
+                        ).vgs
+                codes = self.codes_for_vgs(vgs)
+                tier = "e"
+                span.attributes["tier"] = "engine"
+            else:
+                vgs = self.closed_form_vgs(macro)
+                codes = self.codes_for_vgs(vgs)
+                tier = "c"
+                span.attributes["tier"] = "closed-form"
+            return vgs, codes, tier
 
     def scan(
         self,
-        force_engine: bool = False,
+        config: ScanConfig | bool | None = None,
+        *,
+        force_engine: bool | None = None,
         jobs: int | None = None,
-        preflight: bool = False,
+        preflight: bool | None = None,
     ) -> ScanResult:
         """Scan the whole array; returns the assembled :class:`ScanResult`.
 
         Parameters
         ----------
-        force_engine:
-            Route every macro through the exact charge engine (reference
-            mode; slow).
-        jobs:
-            Worker processes to fan macros out across.  ``None`` or 1
-            scans serially in-process; ``N > 1`` uses a process pool
-            (macros are electrically independent, so parallel results
-            are bit-exact against serial — pinned in tests).  Values
-            above the macro count are capped.
-        preflight:
-            Run the static ERC pass (:mod:`repro.lint`) over every
-            macro's charge network and flow before scanning.  Findings
-            on known-defective cells are waived; anything else raises
-            :class:`~repro.errors.RuleViolation` with the rule codes, so
-            a structurally bad array is diagnosed up front instead of
-            blowing up a solver mid-scan.
+        config:
+            A :class:`~repro.measure.config.ScanConfig` (jobs, preflight,
+            force_engine, tracer, metrics).  ``None`` uses the defaults:
+            serial, no preflight, closed-form routing, observability off.
+        force_engine, jobs, preflight:
+            Deprecated keyword forms of the corresponding
+            :class:`ScanConfig` fields; using any of them emits
+            :class:`DeprecationWarning`.
 
         The returned result carries a :class:`ScanStats` telemetry
-        record in ``result.stats``.
+        record in ``result.stats``; when ``config.metrics`` is a real
+        registry the stats are folded into it as well, and
+        ``config.tracer`` receives the scan → macro → cell → phase span
+        tree (serial scans; parallel workers report per-macro wall time
+        as a span attribute instead).
         """
-        if jobs is not None and jobs < 1:
-            raise MeasurementError(f"jobs must be >= 1, got {jobs}")
-        if preflight:
+        config = coerce_scan_config(
+            config,
+            "ArrayScanner.scan",
+            force_engine=force_engine,
+            jobs=jobs,
+            preflight=preflight,
+        )
+        if config.preflight:
             from repro.lint import preflight_array, raise_on_errors
 
             raise_on_errors(preflight_array(self.array, self.structure))
-        start = perf_counter()
-        rows, cols = self.array.rows, self.array.cols
-        codes = np.zeros((rows, cols), dtype=int)
-        vgs = np.zeros((rows, cols))
-        tiers = np.full((rows, cols), "c", dtype="<U1")
-        timings: list[MacroTiming] = []
+        tracer = config.tracer
+        with _ambient_metrics(config):
+            start = perf_counter()
+            rows, cols = self.array.rows, self.array.cols
+            codes = np.zeros((rows, cols), dtype=int)
+            vgs = np.zeros((rows, cols))
+            tiers = np.full((rows, cols), "c", dtype="<U1")
+            timings: list[MacroTiming] = []
 
-        effective_jobs = 1 if jobs is None else min(jobs, self.array.num_macros)
-        if effective_jobs > 1:
-            from repro.measure.parallel import scan_macros_parallel
+            effective_jobs = min(config.jobs, self.array.num_macros)
+            with tracer.span(
+                "scan",
+                rows=rows,
+                cols=cols,
+                jobs=effective_jobs,
+                force_engine=config.force_engine,
+            ) as scan_span:
+                if effective_jobs > 1:
+                    from repro.measure.parallel import scan_macros_parallel
 
-            results = scan_macros_parallel(
-                self.array, self.structure, force_engine, effective_jobs
+                    results = scan_macros_parallel(
+                        self.array, self.structure, config.force_engine,
+                        effective_jobs,
+                    )
+                    for index, m_vgs, m_codes, tier, seconds in results:
+                        macro = self.array.macro(index)
+                        # Worker-side spans cannot cross the process
+                        # boundary; record one parent-side macro span
+                        # carrying the worker-measured wall time.
+                        with tracer.span(
+                            "macro",
+                            index=index,
+                            cells=macro.num_cells,
+                            tier="engine" if tier == "e" else "closed-form",
+                            worker_seconds=seconds,
+                        ):
+                            self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
+                        timings.append(
+                            MacroTiming(index, tier, macro.num_cells, seconds)
+                        )
+                else:
+                    for macro in self.array.macros():
+                        macro_start = perf_counter()
+                        m_vgs, m_codes, tier = self._scan_macro(macro, config)
+                        seconds = perf_counter() - macro_start
+                        self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
+                        timings.append(
+                            MacroTiming(macro.index, tier, macro.num_cells, seconds)
+                        )
+
+                engine_cells = int((tiers == "e").sum())
+                scan_span.attributes["engine_cells"] = engine_cells
+                # One whole-plane observation instead of one per macro —
+                # same distribution, none of the per-tile conversion cost.
+                active_metrics().histogram(
+                    "scan.codes", "measurement codes emitted"
+                ).observe_many(codes.ravel())
+
+            stats = ScanStats(
+                total_cells=rows * cols,
+                wall_seconds=perf_counter() - start,
+                jobs=effective_jobs,
+                closed_form_cells=rows * cols - engine_cells,
+                engine_cells=engine_cells,
+                macro_timings=timings,
             )
-            for index, m_vgs, m_codes, tier, seconds in results:
-                macro = self.array.macro(index)
-                self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
-                timings.append(MacroTiming(index, tier, macro.num_cells, seconds))
-        else:
-            for macro in self.array.macros():
-                macro_start = perf_counter()
-                m_vgs, m_codes, tier = self.scan_macro(macro, force_engine)
-                seconds = perf_counter() - macro_start
-                self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
-                timings.append(MacroTiming(macro.index, tier, macro.num_cells, seconds))
-
-        engine_cells = int((tiers == "e").sum())
-        stats = ScanStats(
-            total_cells=rows * cols,
-            wall_seconds=perf_counter() - start,
-            jobs=effective_jobs,
-            closed_form_cells=rows * cols - engine_cells,
-            engine_cells=engine_cells,
-            macro_timings=timings,
-        )
+            stats.to_metrics(active_metrics())
         return ScanResult(
             codes=codes,
             vgs=vgs,
@@ -370,18 +477,27 @@ class ArrayScanner:
         codes[rsl, csl] = m_codes
         tiers[rsl, csl] = tier
 
-    def measure_cell(self, row: int, col: int, tier: str = "charge") -> "object":
+    def measure_cell(
+        self,
+        row: int,
+        col: int,
+        config: ScanConfig | str | None = None,
+        *,
+        tier: str | None = None,
+    ) -> "object":
         """Measure one cell by global address through a named tier.
 
-        ``tier`` is ``"charge"`` or ``"transient"``; returns the
+        ``config.tier`` selects ``"charge"`` or ``"transient"``; the old
+        ``tier=`` keyword (and positional string) still work behind a
+        deprecation shim.  Returns the
         :class:`~repro.measure.result.MeasurementResult`.
         """
-        if tier not in ("charge", "transient"):
-            raise MeasurementError(f"unknown tier {tier!r}")
+        config = coerce_scan_config(config, "ArrayScanner.measure_cell", tier=tier)
         macro = self.array.macro(self.array.macro_of(row, col))
         lrow = row - macro.row_start
         lcol = col - macro.col_start
         sequencer = self._sequencer(macro)
-        if tier == "charge":
-            return sequencer.measure_charge(lrow, lcol)
-        return sequencer.measure_transient(lrow, lcol)
+        with _ambient_metrics(config):
+            if config.tier == "charge":
+                return sequencer.measure_charge(lrow, lcol, tracer=config.tracer)
+            return sequencer.measure_transient(lrow, lcol, tracer=config.tracer)

@@ -34,6 +34,8 @@ from repro.measure.phases import Phase, PhasePlan
 from repro.measure.result import FlowTrace, MeasurementResult
 from repro.measure.shift_register import ShiftRegister
 from repro.measure.structure import MeasurementStructure
+from repro.obs.metrics import active_metrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 
 class MeasurementSequencer:
@@ -62,13 +64,20 @@ class MeasurementSequencer:
         otherwise the cached network is restored to its as-built state,
         which is exactly equivalent to a fresh build.  This turns the
         engine tier's per-cell cost from build + solve into solve only.
+        Hit/miss counts report to the ambient metrics registry.
         """
         version = self.macro.array.version
         if self._built is None or self._built_version != version:
+            active_metrics().counter(
+                "sequencer.netlist_cache_misses", "charge netlists built"
+            ).inc()
             self._built = build_charge_network(self.macro, self.structure)
             self._pristine = self._built.network.snapshot()
             self._built_version = version
         else:
+            active_metrics().counter(
+                "sequencer.netlist_cache_hits", "charge netlists restored"
+            ).inc()
             if self._pristine is None:
                 raise MeasurementError(
                     "cached charge netlist has no pristine snapshot to restore"
@@ -116,22 +125,36 @@ class MeasurementSequencer:
         lcol: int,
         trace: FlowTrace | None = None,
         preflight: bool = False,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ) -> MeasurementResult:
         """Measure cell (row, lcol) through the exact charge tier.
 
         With ``preflight=True`` the static ERC pass runs first and a
         structurally bad network raises
         :class:`~repro.errors.RuleViolation` naming the violated rule
-        codes instead of failing inside the charge solver.
+        codes instead of failing inside the charge solver.  ``tracer``
+        receives a ``cell`` span with one child per measurement phase
+        (1–4 inside :meth:`run_charge_phases`, the phase-5 conversion
+        here).
         """
         self._check_target(row, lcol)
         if preflight:
             from repro.lint import raise_on_errors
 
             raise_on_errors(self.preflight())
-        built = self._charge_network()
-        vgs = self.run_charge_phases(built, row, lcol, trace)
-        code = self.structure.code_for_vgs(vgs)
+        with tracer.span(
+            "cell",
+            row=self.macro.row_start + row,
+            col=self.macro.col_start + lcol,
+            tier="charge",
+        ) as span:
+            built = self._charge_network()
+            vgs = self.run_charge_phases(built, row, lcol, trace, tracer)
+            # Phase 5 — CONVERT: the current-ramp endpoint condition,
+            # evaluated statically.
+            with tracer.span("phase:convert"):
+                code = self.structure.code_for_vgs(vgs)
+            span.attributes["code"] = code
         return MeasurementResult(
             code=code,
             num_steps=self.structure.design.num_steps,
@@ -146,6 +169,7 @@ class MeasurementSequencer:
         row: int,
         lcol: int,
         trace: FlowTrace | None = None,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ) -> float:
         """Drive the network through phases 1–4; return the final V_GS."""
         net = built.network
@@ -153,13 +177,14 @@ class MeasurementSequencer:
         vdd = self.structure.tech.vdd
 
         # Phase 1 — DISCHARGE: all wordlines on, everything driven low.
-        for name in built.access_switches.values():
-            net.close_switch(name)
-        for col in range(mc):
-            net.drive(_bitline_node(col), 0.0)
-        net.drive("plate", 0.0)
-        net.close_switch(built.lec_switch)
-        state = net.settle()
+        with tracer.span("phase:discharge"):
+            for name in built.access_switches.values():
+                net.close_switch(name)
+            for col in range(mc):
+                net.drive(_bitline_node(col), 0.0)
+            net.drive("plate", 0.0)
+            net.close_switch(built.lec_switch)
+            state = net.settle()
         if trace is not None:
             trace.record("discharge", state["plate"], state["gate"])
 
@@ -175,43 +200,48 @@ class MeasurementSequencer:
         # the target bitline claims its island first, then the plate,
         # then the neighbour bitlines; later claims on an already-claimed
         # island with a different level are skipped (left to follow).
-        for (r, _c), name in built.access_switches.items():
-            if r != row:
-                net.open_switch(name)
-        net.open_switch(built.lec_switch)
-        for col in range(mc):
-            if col != lcol:
-                net.float_node(_bitline_node(col))
-        net.float_node("plate")
-        desired: list[tuple[str, float]] = [(_bitline_node(lcol), 0.0), ("plate", vdd)]
-        desired += [
-            (_bitline_node(col), vdd) for col in range(mc) if col != lcol
-        ]
-        claimed: dict[frozenset, float] = {}
-        for node, level in desired:
-            island = frozenset(net.island_of(node))
-            holder = claimed.get(island)
-            if holder is not None and holder != level:
-                continue  # a higher-priority drive owns this island
-            claimed[island] = level
-            net.drive(node, level)
-        state = net.settle()
+        with tracer.span("phase:charge"):
+            for (r, _c), name in built.access_switches.items():
+                if r != row:
+                    net.open_switch(name)
+            net.open_switch(built.lec_switch)
+            for col in range(mc):
+                if col != lcol:
+                    net.float_node(_bitline_node(col))
+            net.float_node("plate")
+            desired: list[tuple[str, float]] = [
+                (_bitline_node(lcol), 0.0), ("plate", vdd)
+            ]
+            desired += [
+                (_bitline_node(col), vdd) for col in range(mc) if col != lcol
+            ]
+            claimed: dict[frozenset, float] = {}
+            for node, level in desired:
+                island = frozenset(net.island_of(node))
+                holder = claimed.get(island)
+                if holder is not None and holder != level:
+                    continue  # a higher-priority drive owns this island
+                claimed[island] = level
+                net.drive(node, level)
+            state = net.settle()
         if trace is not None:
             trace.record("charge", state["plate"], state["gate"])
 
         # Phase 3 — ISOLATE: PRG opens, every non-target bitline floats.
-        if net.is_driven("plate"):
-            net.float_node("plate")
-        for col in range(mc):
-            if col != lcol:
-                net.float_node(_bitline_node(col))
-        state = net.settle()
+        with tracer.span("phase:isolate"):
+            if net.is_driven("plate"):
+                net.float_node("plate")
+            for col in range(mc):
+                if col != lcol:
+                    net.float_node(_bitline_node(col))
+            state = net.settle()
         if trace is not None:
             trace.record("isolate", state["plate"], state["gate"])
 
         # Phase 4 — SHARE: LEC closes; C_m shares with C_REF.
-        net.close_switch(built.lec_switch)
-        state = net.settle()
+        with tracer.span("phase:share"):
+            net.close_switch(built.lec_switch)
+            state = net.settle()
         if trace is not None:
             trace.record("share", state["plate"], state["gate"])
         return state["gate"]
@@ -226,45 +256,59 @@ class MeasurementSequencer:
         lcol: int,
         dt: float = 25e-12,
         return_waveform: bool = False,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ) -> MeasurementResult | tuple[MeasurementResult, Waveform]:
         """Measure cell (row, lcol) through the full MNA transient tier.
 
         The shift-register model is clocked once per current step and
         frozen on the OUT flip, exactly as the on-chip controller would;
         the returned code therefore exercises the register path too.
+        ``tracer`` records a ``cell`` span with ``integrate`` (the MNA
+        transient over all five phases) and ``phase:convert`` (register
+        decode) children — the transient tier cannot split phases 1–4
+        into separate spans because they share one integration.
         """
         self._check_target(row, lcol)
-        built = build_measurement_circuit(self.macro, row, lcol, self.structure)
-        plan: PhasePlan = built.plan
-        record = ["plate", "gate", "drain", "out"]
-        waveform = transient_analysis(
-            built.circuit,
-            t_stop=plan.total_duration,
-            options=TransientOptions(dt=dt, record=record),
-        )
-        share_end = plan.window(Phase.SHARE).end
-        vgs = waveform.value_at("gate", share_end - dt)
+        with tracer.span(
+            "cell",
+            row=self.macro.row_start + row,
+            col=self.macro.col_start + lcol,
+            tier="transient",
+        ) as cell_span:
+            built = build_measurement_circuit(self.macro, row, lcol, self.structure)
+            plan: PhasePlan = built.plan
+            record = ["plate", "gate", "drain", "out"]
+            with tracer.span("integrate", dt=dt):
+                waveform = transient_analysis(
+                    built.circuit,
+                    t_stop=plan.total_duration,
+                    options=TransientOptions(dt=dt, record=record),
+                )
+            share_end = plan.window(Phase.SHARE).end
+            vgs = waveform.value_at("gate", share_end - dt)
 
-        threshold = self.structure.tech.half_vdd
-        flips = [
-            t
-            for t in waveform.crossings("out", threshold, "rise")
-            if t >= plan.convert_start
-        ]
-        flip_time = flips[0] if flips else None
+            with tracer.span("phase:convert"):
+                threshold = self.structure.tech.half_vdd
+                flips = [
+                    t
+                    for t in waveform.crossings("out", threshold, "rise")
+                    if t >= plan.convert_start
+                ]
+                flip_time = flips[0] if flips else None
 
-        register = ShiftRegister(self.structure.design.num_steps)
-        staircase = self.structure.dac.staircase(
-            plan.convert_start, self.structure.design.step_duration
-        )
-        for step in range(1, self.structure.design.num_steps + 1):
-            t_step = staircase.step_start_time(step)
-            if flip_time is not None and flip_time < t_step:
-                break
-            register.clock()
-        if flip_time is not None:
-            register.freeze()
-        code = register.extract_code()
+                register = ShiftRegister(self.structure.design.num_steps)
+                staircase = self.structure.dac.staircase(
+                    plan.convert_start, self.structure.design.step_duration
+                )
+                for step in range(1, self.structure.design.num_steps + 1):
+                    t_step = staircase.step_start_time(step)
+                    if flip_time is not None and flip_time < t_step:
+                        break
+                    register.clock()
+                if flip_time is not None:
+                    register.freeze()
+                code = register.extract_code()
+            cell_span.attributes["code"] = code
 
         result = MeasurementResult(
             code=code,

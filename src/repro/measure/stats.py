@@ -81,6 +81,33 @@ class ScanStats:
             return None
         return max(self.macro_timings, key=lambda t: t.seconds)
 
+    def to_metrics(self, registry) -> None:
+        """Fold this scan's telemetry into a metrics registry.
+
+        Counters accumulate across scans sharing the registry (a wafer
+        of dies adds up); gauges describe the most recent scan.  The
+        no-op registry absorbs everything, so callers can publish
+        unconditionally.
+        """
+        registry.counter("scan.runs", "whole-array scans executed").inc()
+        registry.counter("scan.cells", "cells scanned").inc(self.total_cells)
+        registry.counter(
+            "scan.cells_closed_form", "cells via the vectorized closed form"
+        ).inc(self.closed_form_cells)
+        registry.counter(
+            "scan.cells_engine", "cells via the exact charge engine"
+        ).inc(self.engine_cells)
+        registry.gauge("scan.wall_seconds", "last scan wall time").set(
+            self.wall_seconds
+        )
+        registry.gauge("scan.cells_per_second", "last scan throughput").set(
+            self.cells_per_second
+        )
+        registry.gauge("scan.jobs", "last scan worker count").set(self.jobs)
+        registry.histogram(
+            "scan.macro_seconds", "per-macro scan wall time"
+        ).observe_many(t.seconds for t in self.macro_timings)
+
     def to_dict(self) -> dict:
         """JSON-ready view (macro timings as plain lists)."""
         return {

@@ -1,0 +1,56 @@
+"""Observability: tracing and metrics for the measurement hot paths.
+
+The paper's flow is a pipeline — scan → macro → cell → phase 1–5 — and
+this package makes the pipeline visible without changing it:
+
+- :mod:`repro.obs.trace` — :class:`Tracer` records nested, timed,
+  attributed spans; :data:`NULL_TRACER` is the zero-cost default.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` owns counters,
+  gauges and histograms; deep layers report through the **ambient**
+  registry (:func:`use_metrics` / :func:`active_metrics`) so the
+  numeric APIs stay clean.
+- :mod:`repro.obs.summarize` — reads exported traces back and
+  aggregates them (the ``repro trace`` subcommand).
+
+Everything is opt-in: the instrumented code paths are pinned bit-exact
+against their un-instrumented behaviour, and the disabled path costs a
+no-op method call.  Sits with the foundations layer — it imports only
+:mod:`repro.errors`, and every layer above may use it.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    active_metrics,
+    use_metrics,
+)
+from repro.obs.summarize import (
+    SpanAggregate,
+    TraceSummary,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "active_metrics",
+    "use_metrics",
+    "load_trace",
+    "summarize_trace",
+    "TraceSummary",
+    "SpanAggregate",
+]

@@ -1,0 +1,153 @@
+"""Reading traces back: load, validate, aggregate, render.
+
+``repro scan --trace out.jsonl`` writes one JSON span per line; this
+module is the consumer side — the engine behind the ``repro trace``
+subcommand and the programmatic entry point for notebooks:
+
+    from repro.obs import load_trace, summarize_trace
+    spans = load_trace("out.jsonl")
+    print(summarize_trace(spans).table())
+
+:func:`load_trace` validates tree structure on the way in (parents must
+exist and start before their children; a malformed file raises
+:class:`~repro.errors.ObservabilityError` instead of producing a
+nonsense summary).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, TextIO
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import Span
+
+__all__ = ["SpanAggregate", "TraceSummary", "load_trace", "summarize_trace"]
+
+
+def load_trace(source: str | TextIO) -> list[Span]:
+    """Load spans from a JSON-lines trace file (path or open file).
+
+    Returns spans in file order (the producer's start order) after
+    validating that every ``parent_id`` refers to an earlier span.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as fh:  # type: ignore[arg-type]
+            lines = fh.read().splitlines()
+    spans: list[Span] = []
+    seen: set[int] = set()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        span = Span.from_dict(data)
+        if span.parent_id is not None and span.parent_id not in seen:
+            raise ObservabilityError(
+                f"trace line {lineno}: span {span.span_id} references "
+                f"unknown parent {span.parent_id}"
+            )
+        seen.add(span.span_id)
+        spans.append(span)
+    return spans
+
+
+@dataclass
+class SpanAggregate:
+    """Aggregate over every span sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    max_seconds: float
+
+
+@dataclass
+class TraceSummary:
+    """Per-name aggregates plus whole-trace shape facts."""
+
+    aggregates: list[SpanAggregate]
+    total_spans: int
+    max_depth: int
+    names: set[str]
+
+    def covers(self, *names: str) -> bool:
+        """True if every given span name appears in the trace."""
+        return all(name in self.names for name in names)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total_spans": self.total_spans,
+            "max_depth": self.max_depth,
+            "spans": [
+                {
+                    "name": a.name,
+                    "count": a.count,
+                    "total_seconds": a.total_seconds,
+                    "mean_seconds": a.mean_seconds,
+                    "max_seconds": a.max_seconds,
+                }
+                for a in self.aggregates
+            ],
+        }
+
+    def table(self) -> str:
+        """Aligned text table, widest total first."""
+        header = f"{'span':<18} {'count':>7} {'total':>12} {'mean':>12} {'max':>12}"
+        lines = [header, "-" * len(header)]
+        for a in self.aggregates:
+            lines.append(
+                f"{a.name:<18} {a.count:>7} "
+                f"{a.total_seconds * 1e3:>10.3f}ms "
+                f"{a.mean_seconds * 1e3:>10.4f}ms "
+                f"{a.max_seconds * 1e3:>10.4f}ms"
+            )
+        lines.append(f"{self.total_spans} spans, max depth {self.max_depth}")
+        return "\n".join(lines)
+
+
+def summarize_trace(spans: list[Span]) -> TraceSummary:
+    """Aggregate a span list by name (closed spans only count time)."""
+    groups: dict[str, list[float]] = {}
+    depth: dict[int, int] = {}
+    max_depth = 0
+    for span in spans:
+        if span.parent_id is None:
+            d = 0
+        else:
+            try:
+                d = depth[span.parent_id] + 1
+            except KeyError:
+                raise ObservabilityError(
+                    f"span {span.span_id} references unknown parent {span.parent_id}"
+                ) from None
+        depth[span.span_id] = d
+        max_depth = max(max_depth, d)
+        groups.setdefault(span.name, []).append(
+            span.duration if span.duration is not None else 0.0
+        )
+    aggregates = [
+        SpanAggregate(
+            name=name,
+            count=len(durations),
+            total_seconds=sum(durations),
+            mean_seconds=sum(durations) / len(durations),
+            max_seconds=max(durations),
+        )
+        for name, durations in groups.items()
+    ]
+    aggregates.sort(key=lambda a: -a.total_seconds)
+    return TraceSummary(
+        aggregates=aggregates,
+        total_spans=len(spans),
+        max_depth=max_depth,
+        names=set(groups),
+    )

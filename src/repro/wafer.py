@@ -24,6 +24,7 @@ from repro.calibration.design import design_structure
 from repro.edram.array import EDRAMArray
 from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
 from repro.errors import DiagnosisError
+from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner
 from repro.measure.structure import MeasurementStructure
 from repro.tech.parameters import TechnologyCard, default_technology
@@ -145,19 +146,26 @@ class WaferModel:
             capacitance_map=capacitance,
         )
 
-    def measure_wafer(self, jobs: int | None = None) -> "WaferReport":
+    def measure_wafer(
+        self, jobs: int | None = None, config: ScanConfig | None = None
+    ) -> "WaferReport":
         """Fabricate and scan every die; return the wafer report.
 
-        ``jobs`` forwards to :meth:`ArrayScanner.scan` per die (fan the
-        die's macro tiles across worker processes).  The designed
-        structure and its memoized code-boundary table are shared by
-        every die scanner, so calibration is solved once per wafer.
+        ``config`` forwards to :meth:`ArrayScanner.scan` per die (fan
+        the die's macro tiles across worker processes, attach a tracer
+        or metrics registry); ``jobs`` is a convenience shorthand for
+        ``config.with_options(jobs=...)``.  The designed structure and
+        its memoized code-boundary table are shared by every die
+        scanner, so calibration is solved once per wafer.
         """
+        config = config if config is not None else ScanConfig()
+        if jobs is not None:
+            config = config.with_options(jobs=jobs)
         structure, abacus = self._calibration()
         dies = []
         for x, y, r in self.sites():
             array = self.fabricate_die(r)
-            bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(jobs=jobs), abacus)
+            bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(config), abacus)
             dies.append(
                 DieSite(
                     x=x, y=y, radius_fraction=r,

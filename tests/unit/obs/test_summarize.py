@@ -1,0 +1,109 @@
+"""Trace files read back: load, validate, aggregate."""
+
+import io
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Tracer, load_trace, summarize_trace
+
+
+def make_clock():
+    ticks = iter(range(10_000))
+    return lambda: float(next(ticks))
+
+
+def sample_tracer():
+    tracer = Tracer(clock=make_clock())
+    with tracer.span("scan"):
+        for _ in range(2):
+            with tracer.span("macro"):
+                with tracer.span("cell"):
+                    pass
+    return tracer
+
+
+class TestLoadTrace:
+    def test_round_trip_through_file(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        spans = load_trace(str(path))
+        assert spans == tracer.spans
+
+    def test_round_trip_through_stream(self):
+        tracer = sample_tracer()
+        buf = io.StringIO()
+        tracer.write_jsonl(buf)
+        spans = load_trace(io.StringIO(buf.getvalue()))
+        assert [s.name for s in spans] == [s.name for s in tracer.spans]
+
+    def test_blank_lines_skipped(self):
+        tracer = sample_tracer()
+        buf = io.StringIO()
+        tracer.write_jsonl(buf)
+        noisy = "\n" + buf.getvalue().replace("\n", "\n\n")
+        assert len(load_trace(io.StringIO(noisy))) == len(tracer.spans)
+
+    def test_invalid_json_line_raises(self):
+        with pytest.raises(ObservabilityError, match="line 1"):
+            load_trace(io.StringIO("not json\n"))
+
+    def test_unknown_parent_raises(self):
+        line = (
+            '{"name": "orphan", "span_id": 0, "parent_id": 99, '
+            '"start": 0.0, "end": 1.0, "attributes": {}}'
+        )
+        with pytest.raises(ObservabilityError, match="unknown parent"):
+            load_trace(io.StringIO(line + "\n"))
+
+
+class TestSummarize:
+    def test_aggregates_by_name(self):
+        summary = summarize_trace(sample_tracer().spans)
+        by_name = {a.name: a for a in summary.aggregates}
+        assert by_name["scan"].count == 1
+        assert by_name["macro"].count == 2
+        assert by_name["cell"].count == 2
+        assert summary.total_spans == 5
+        assert summary.max_depth == 2
+
+    def test_aggregates_sorted_by_total_time(self):
+        summary = summarize_trace(sample_tracer().spans)
+        totals = [a.total_seconds for a in summary.aggregates]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_covers(self):
+        summary = summarize_trace(sample_tracer().spans)
+        assert summary.covers("scan", "macro", "cell")
+        assert not summary.covers("scan", "phase:share")
+
+    def test_mean_consistent_with_total(self):
+        summary = summarize_trace(sample_tracer().spans)
+        for a in summary.aggregates:
+            assert a.mean_seconds == pytest.approx(a.total_seconds / a.count)
+            assert a.max_seconds <= a.total_seconds + 1e-12
+
+    def test_table_lists_every_name(self):
+        summary = summarize_trace(sample_tracer().spans)
+        table = summary.table()
+        for name in summary.names:
+            assert name in table
+        assert "max depth 2" in table
+
+    def test_to_dict_shape(self):
+        d = summarize_trace(sample_tracer().spans).to_dict()
+        assert d["total_spans"] == 5
+        assert d["max_depth"] == 2
+        assert {row["name"] for row in d["spans"]} == {"scan", "macro", "cell"}
+
+    def test_unknown_parent_in_span_list_raises(self):
+        spans = sample_tracer().spans
+        spans[1].parent_id = 77
+        with pytest.raises(ObservabilityError):
+            summarize_trace(spans)
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.total_spans == 0
+        assert summary.aggregates == []

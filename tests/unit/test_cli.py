@@ -45,6 +45,91 @@ def test_scan_command_saves(tmp_path, capsys):
     assert loaded.codes.shape == (8, 4)
 
 
+def test_scan_command_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.jsonl"
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--trace", str(trace_path), "--metrics",
+        "--metrics-out", str(metrics_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "metrics:" in out
+    assert "scan.cells" in out
+    assert trace_path.exists() and metrics_path.exists()
+
+    from repro.obs import load_trace, summarize_trace
+
+    summary = summarize_trace(load_trace(str(trace_path)))
+    # The injected bridge routes at least one macro through the engine,
+    # so the trace shows the full five-phase tree.
+    assert summary.covers(
+        "scan", "macro", "cell", "phase:discharge", "phase:charge",
+        "phase:isolate", "phase:share", "phase:convert",
+    )
+
+
+def test_scan_command_json(capsys):
+    import json
+
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cells"] == 32
+    assert payload["geometry"]["rows"] == 8
+    assert payload["stats"]["total_cells"] == 32
+    assert sum(payload["code_histogram"].values()) == 32
+
+
+def test_scan_command_force_engine(capsys):
+    assert main([
+        "scan", "--rows", "4", "--cols", "4", "--macro-rows", "4",
+        "--macro-cols", "2", "--healthy", "--force-engine",
+    ]) == 0
+    assert "engine" in capsys.readouterr().out
+
+
+def test_trace_command(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8", "--healthy",
+        "--trace", str(trace_path),
+    ])
+    capsys.readouterr()
+    assert main(["trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "scan" in out
+    assert "max depth" in out
+
+
+def test_trace_command_json(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.jsonl"
+    main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8", "--healthy",
+        "--trace", str(trace_path),
+    ])
+    capsys.readouterr()
+    assert main(["trace", str(trace_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_spans"] >= 1
+    assert {row["name"] for row in payload["spans"]} >= {"scan", "macro"}
+
+
+def test_diagnose_command_json(capsys):
+    import json
+
+    assert main([
+        "diagnose", "--rows", "16", "--cols", "8", "--macro-rows", "8", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "verdicts" in payload
+    assert "repair" in payload
+    assert isinstance(payload["repair"]["success"], bool)
+
+
 def test_diagnose_command(capsys):
     assert main(["diagnose", "--rows", "16", "--cols", "8", "--macro-rows", "8"]) == 0
     out = capsys.readouterr().out
