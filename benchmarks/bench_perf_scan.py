@@ -8,19 +8,27 @@ array the cached serial scan must run at least 3× faster than a
 seed-equivalent scanner executing the old per-cell walks on identical
 data — and produce bit-identical codes.
 
-Results (cells/second, per-path timings, scan telemetry) are written to
-``BENCH_scan.json`` at the repo root for trend tracking.
+Results (cells/second, per-path timings, scan telemetry) are appended
+to the ``BENCH_scan.json`` history list at the repo root — a
+trajectory, not a snapshot.  Each entry carries a UTC timestamp and
+the git revision it was measured at, so ``check_bench_history`` can
+chart throughput across commits and flag regressions.
 
 ``bench_perf_scan_smoke`` is the CI guard: a small array, a single
 round, a fraction of a second.  ``bench_perf_scan_trace_overhead``
 pins the observability contract: a fully traced + metered engine-tier
 scan must stay within 5% of the untraced wall time and produce
-bit-identical codes.
+bit-identical codes.  ``bench_perf_scan_record_overhead`` pins the
+same 5% budget for the run-ledger path: progress reporting plus
+``--record``-style manifest + artifact capture.
 """
 
 import gc
 import json
+import subprocess
+import tempfile
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -33,13 +41,46 @@ from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
 from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner, _series
 from repro.measure.sequencer import MeasurementSequencer
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import JsonlProgress, MetricsRegistry, RunLedger, Tracer
 from repro.units import fF
 
 ROWS, COLS = 128, 64
 MACRO_ROWS, MACRO_COLS = 16, 2
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scan.json"
+HISTORY_CAP = 100
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_JSON.parent, capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def _append_history(entry):
+    """Append ``entry`` to the BENCH_scan.json trajectory.
+
+    Pre-history snapshots (a bare dict) are migrated in place; the list
+    is capped so the file never grows without bound.
+    """
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text())
+        except (OSError, ValueError):
+            existing = []
+        if isinstance(existing, list):
+            history = existing
+        elif isinstance(existing, dict):
+            history = [existing]
+    history.append(entry)
+    history = history[-HISTORY_CAP:]
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    return history
 
 
 class _SeedScanner(ArrayScanner):
@@ -166,7 +207,12 @@ def bench_perf_scan_speedup(benchmark, tech):
 
     speedup = seed_seconds / fast_seconds
     stats = fast_scan.stats
-    payload = {
+    stats_dict = stats.to_dict() if stats is not None else None
+    if stats_dict is not None:
+        stats_dict.pop("macro_timings", None)  # too bulky for a history file
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
         "array": [ROWS, COLS],
         "macro": [MACRO_ROWS, MACRO_COLS],
         "seed_seconds": seed_seconds,
@@ -174,9 +220,9 @@ def bench_perf_scan_speedup(benchmark, tech):
         "parallel4_seconds": parallel_seconds,
         "speedup_serial_vs_seed": speedup,
         "cells_per_second": array.num_cells / fast_seconds,
-        "stats": stats.to_dict() if stats is not None else None,
+        "stats": stats_dict,
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    history = _append_history(entry)
 
     report(
         "PERF: cached scan engine vs seed path",
@@ -187,7 +233,9 @@ def bench_perf_scan_speedup(benchmark, tech):
             f"cached serial  : {fast_seconds * 1e3:8.1f} ms  "
             f"({speedup:.1f}x, {array.num_cells / fast_seconds:,.0f} cells/s)",
             f"parallel x4    : {parallel_seconds * 1e3:8.1f} ms",
-            f"written to {BENCH_JSON.name}",
+            f"appended to {BENCH_JSON.name} "
+            f"({len(history)} entr{'y' if len(history) == 1 else 'ies'} "
+            f"at {entry['git_rev']})",
         ]),
     )
 
@@ -291,6 +339,106 @@ def bench_perf_scan_trace_overhead(tech):
 
     assert overhead < 0.05, (
         f"tracer overhead {overhead * 100:.2f}% exceeds 5% budget "
+        f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
+    )
+
+
+def bench_perf_scan_record_overhead(tech):
+    """Run-ledger guard: progress + ``--record`` must cost < 5%.
+
+    Same engine-tier workload and measurement discipline as the tracer
+    gate (order-alternating rounds, GC paused, best-of minima, three
+    independent attempts).  The recorded path streams JSONL progress
+    events and writes a full manifest + npz artifact per scan — the
+    whole ``repro scan --record --progress-jsonl`` hot path.
+    """
+    rows, cols = 16, 4
+    array = _build(tech, rows=rows, cols=cols)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=rows)
+    scanner = ArrayScanner(array, structure)
+    plain_config = ScanConfig(force_engine=True)
+    baseline = scanner.scan(plain_config)  # warms the netlist cache
+
+    def run_plain():
+        t0 = time.perf_counter()
+        scan = scanner.scan(plain_config)
+        return time.perf_counter() - t0, scan
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = RunLedger(Path(tmp) / "runs")
+        progress_sink = open(Path(tmp) / "progress.jsonl", "w", encoding="utf-8")
+
+        def run_recorded():
+            config = ScanConfig(
+                force_engine=True,
+                progress=JsonlProgress(progress_sink),
+                ledger=ledger,
+            )
+            t0 = time.perf_counter()
+            scan = scanner.scan(config)
+            return time.perf_counter() - t0, scan
+
+        recorded_scan = None
+
+        def measure():
+            nonlocal recorded_scan
+            plain_times, recorded_times = [], []
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                for i in range(20):
+                    if i % 2 == 0:
+                        seconds, _ = run_plain()
+                        plain_times.append(seconds)
+                        seconds, recorded_scan = run_recorded()
+                        recorded_times.append(seconds)
+                    else:
+                        seconds, recorded_scan = run_recorded()
+                        recorded_times.append(seconds)
+                        seconds, _ = run_plain()
+                        plain_times.append(seconds)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            return min(plain_times), min(recorded_times)
+
+        attempts = []
+        try:
+            for _ in range(3):
+                plain_best, recorded_best = measure()
+                attempts.append(recorded_best / plain_best - 1)
+                if attempts[-1] < 0.05:
+                    break
+        finally:
+            progress_sink.close()
+        overhead = min(attempts)
+
+        # Recording must be invisible in the data...
+        assert np.array_equal(recorded_scan.codes, baseline.codes)
+        assert np.array_equal(recorded_scan.vgs, baseline.vgs)
+        # ...and actually recording: a manifest per recorded scan, each
+        # with a loadable artifact that round-trips the codes.
+        manifests = ledger.runs()
+        assert len(manifests) >= 20
+        assert all(m.kind == "scan" for m in manifests)
+        reloaded = ledger.load_artifact(manifests[-1])
+        assert np.array_equal(reloaded.codes, baseline.codes)
+
+    report(
+        "PERF: progress + run-ledger overhead on an engine-tier scan",
+        "\n".join([
+            f"array {rows}x{cols}, force_engine, manifest + npz + "
+            f"JSONL progress per scan",
+            f"plain    best-of-20: {plain_best * 1e3:8.2f} ms",
+            f"recorded best-of-20: {recorded_best * 1e3:8.2f} ms",
+            f"overhead           : {overhead * 100:+.2f}%  (budget < 5%, "
+            f"{len(attempts)} attempt(s))",
+        ]),
+    )
+
+    assert overhead < 0.05, (
+        f"record overhead {overhead * 100:.2f}% exceeds 5% budget "
         f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
     )
 

@@ -29,7 +29,8 @@ Subpackages
 - :mod:`repro.bitmap` — analog/digital bitmaps, signatures
 - :mod:`repro.diagnosis` — classification, process monitoring, repair
 - :mod:`repro.baselines` — march tests, bitline-side measurement, probe
-- :mod:`repro.obs` — tracing (span trees) and metrics for the hot paths
+- :mod:`repro.obs` — tracing, metrics, live progress, the run ledger
+  and cross-run drift detection
 """
 
 from repro.errors import ReproError
@@ -43,7 +44,14 @@ from repro.measure import (
     ArrayScanner,
     ScanConfig,
 )
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import (
+    DriftEngine,
+    MetricsRegistry,
+    ProgressReporter,
+    RunLedger,
+    Tracer,
+    check_ledger,
+)
 from repro.calibration import (
     design_structure,
     Abacus,
@@ -83,6 +91,10 @@ __all__ = [
     "ScanConfig",
     "Tracer",
     "MetricsRegistry",
+    "ProgressReporter",
+    "RunLedger",
+    "DriftEngine",
+    "check_ledger",
     "design_structure",
     "Abacus",
     "accuracy_sweep",

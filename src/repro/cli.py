@@ -12,20 +12,32 @@ Exposes the library's main flows without writing Python:
 - ``python -m repro trace``    — summarize a trace written by ``--trace``
 - ``python -m repro lint``     — static ERC / parameter / unit analysis
 - ``python -m repro wafer``    — wafer-level monitoring demo
+- ``python -m repro runs``     — read the run ledger written by
+  ``--record``: ``list``/``show`` browse manifests, ``diff`` compares
+  two runs (config + scalars + per-cell bitmap delta), ``check`` runs
+  the EWMA/CUSUM drift gate and exits nonzero on out-of-control physics
 
 Common options are factored into shared parent parsers so every
-subcommand spells them identically: ``--seed``, ``--jobs``, and
+subcommand spells them identically: ``--seed``, ``--jobs``,
 ``--format text|json`` (with ``--json`` as a shorthand for
-``--format json``).
+``--format json``), and on the measurement commands ``--record [DIR]``
+(append a run manifest to the ledger), ``--label``, ``--progress`` /
+``--progress-jsonl PATH`` (live completion/throughput/ETA).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from time import perf_counter, process_time
 
 from repro.units import fF, to_fF, to_ns, to_uA
+
+#: Default ledger directory (mirrored from repro.obs.ledger lazily —
+#: the CLI defers heavyweight imports until a command runs).
+_DEFAULT_LEDGER_DIR = ".repro-runs"
 
 
 # ----------------------------------------------------------------------
@@ -64,14 +76,46 @@ def _format_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _record_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--record", nargs="?", const=_DEFAULT_LEDGER_DIR,
+                        default=None, metavar="DIR",
+                        help="append a run manifest to this ledger directory "
+                             f"(default {_DEFAULT_LEDGER_DIR})")
+    parent.add_argument("--label", default="",
+                        help="free-form label stored in the run manifest")
+    return parent
+
+
+def _progress_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--progress", action="store_true",
+                        help="render a live progress line on stderr")
+    parent.add_argument("--progress-jsonl", metavar="PATH",
+                        help="stream progress events as JSON lines to PATH")
+    return parent
+
+
+def _progress_from(args):
+    """The progress reporter the flags ask for (the null one otherwise)."""
+    from repro.obs import NULL_PROGRESS, JsonlProgress, ProgressReporter
+
+    if getattr(args, "progress_jsonl", None):
+        return JsonlProgress(args.progress_jsonl)
+    if getattr(args, "progress", False):
+        return ProgressReporter()
+    return NULL_PROGRESS
+
+
 def _build_array(args, with_defects: bool):
     from repro.edram.array import EDRAMArray
     from repro.edram.defects import DefectInjector, DefectKind
     from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
 
     shape = (args.rows, args.cols)
+    nominal = getattr(args, "nominal_ff", 30.0) * fF
     capacitance = compose_maps(
-        uniform_map(shape, 30 * fF), mismatch_map(shape, 0.8 * fF, seed=args.seed)
+        uniform_map(shape, nominal), mismatch_map(shape, 0.8 * fF, seed=args.seed)
     )
     array = EDRAMArray(
         args.rows, args.cols, macro_cols=args.macro_cols,
@@ -142,8 +186,11 @@ def cmd_scan(args) -> int:
         preflight=args.preflight,
         tracer=tracer,
         metrics=metrics,
+        progress=_progress_from(args),
     )
+    cpu_start = process_time()
     scan = ArrayScanner(array, structure).scan(config)
+    cpu_seconds = process_time() - cpu_start
     bitmap = AnalogBitmap(scan, abacus)
 
     if args.trace:
@@ -155,6 +202,19 @@ def cmd_scan(args) -> int:
         from repro.io import save_scan
 
         saved_to = str(save_scan(scan, args.save))
+    run_id = None
+    if args.record is not None:
+        from repro.obs import RunLedger
+
+        # Recording from the CLI (rather than via config.ledger) folds
+        # the calibrated bitmap statistics into the manifest's scalars —
+        # cap_mean_fF is the drift gate's primary chart.
+        manifest = RunLedger(args.record).record_scan(
+            scan, config, bitmap=bitmap, seed=args.seed,
+            tech=array.tech.name, label=args.label,
+            trace_path=args.trace, cpu_seconds=cpu_seconds,
+        )
+        run_id = manifest.run_id
 
     if args.format == "json":
         payload = {
@@ -172,6 +232,8 @@ def cmd_scan(args) -> int:
             "metrics": metrics.to_dict() if metrics.enabled else None,
             "trace": args.trace,
             "saved": saved_to,
+            "run_id": run_id,
+            "ledger": args.record,
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -193,6 +255,8 @@ def cmd_scan(args) -> int:
         print(f"metrics written to {args.metrics_out}")
     if saved_to:
         print(f"scan saved to {saved_to}")
+    if run_id:
+        print(f"recorded as {run_id} in {args.record}")
     return 0
 
 
@@ -202,15 +266,33 @@ def cmd_diagnose(args) -> int:
 
     array = _build_array(args, with_defects=True)
     pipeline = DiagnosisPipeline(spec_lo=24 * fF, spec_hi=36 * fF)
-    report = pipeline.run(array, ScanConfig(jobs=args.jobs))
+    config = ScanConfig(jobs=args.jobs, progress=_progress_from(args))
+    start = perf_counter()
+    cpu_start = process_time()
+    report = pipeline.run(array, config)
+    run_id = None
+    if args.record is not None:
+        from repro.obs import RunLedger
+
+        manifest = RunLedger(args.record).record_diagnosis(
+            report, config, seed=args.seed, tech=array.tech.name,
+            label=args.label, wall_seconds=perf_counter() - start,
+            cpu_seconds=process_time() - cpu_start,
+        )
+        run_id = manifest.run_id
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        payload["run_id"] = run_id
+        payload["ledger"] = args.record
+        print(json.dumps(payload, indent=2))
         return 0
     print(report.summary())
     print()
     print("findings:")
     for finding in report.findings:
         print(f"  {finding.describe()}")
+    if run_id:
+        print(f"recorded as {run_id} in {args.record}")
     return 0
 
 
@@ -261,17 +343,135 @@ def cmd_lint(args) -> int:
 
 
 def cmd_wafer(args) -> int:
+    from repro.measure.config import ScanConfig
     from repro.wafer import WaferModel
 
     model = WaferModel(diameter_dies=args.diameter, seed=args.seed)
-    report = model.measure_wafer(jobs=args.jobs)
+    config = ScanConfig(jobs=args.jobs, progress=_progress_from(args))
+    start = perf_counter()
+    cpu_start = process_time()
+    report = model.measure_wafer(config=config)
+    run_id = None
+    if args.record is not None:
+        from repro.obs import RunLedger
+
+        manifest = RunLedger(args.record).record_wafer(
+            report, config, seed=args.seed, tech=model.tech.name,
+            label=args.label, wall_seconds=perf_counter() - start,
+            cpu_seconds=process_time() - cpu_start,
+        )
+        run_id = manifest.run_id
     print(report.ascii_map())
     a, b = report.radial_profile()
     print(f"radial profile: centre {to_fF(a):.2f} fF, "
           f"centre-to-edge drop {to_fF(-b):.2f} fF")
     for label, mean, count in report.zonal_means():
         print(f"  zone {label}: {to_fF(mean):6.2f} fF ({count} dies)")
+    if run_id:
+        print(f"recorded as {run_id} in {args.record}")
     return 0
+
+
+def _runs_ledger(args):
+    from repro.obs import RunLedger
+
+    return RunLedger(args.dir)
+
+
+def cmd_runs_list(args) -> int:
+    from repro.errors import LedgerError
+
+    try:
+        manifests = _runs_ledger(args).runs()
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.kind:
+        manifests = [m for m in manifests if m.kind == args.kind]
+    if args.format == "json":
+        print(json.dumps([m.to_dict() for m in manifests], indent=2))
+        return 0
+    if not manifests:
+        print(f"(no recorded runs in {args.dir})")
+        return 0
+    header = (
+        f"{'run':<6} {'kind':<10} {'timestamp':<26} {'config':<13} "
+        f"{'label':<16} scalars"
+    )
+    print(header)
+    print("-" * len(header))
+    for m in manifests:
+        key_scalars = ", ".join(
+            f"{name}={m.scalars[name]:.4g}"
+            for name in ("cap_mean_fF", "code_centroid", "cells_per_second")
+            if name in m.scalars
+        )
+        print(
+            f"{m.run_id:<6} {m.kind:<10} {m.timestamp:<26} "
+            f"{m.config_hash:<13} {m.label:<16} {key_scalars}"
+        )
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    from repro.errors import LedgerError
+
+    try:
+        manifest = _runs_ledger(args).get(args.run_id)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(manifest.to_dict(), indent=2))
+        return 0
+    print(f"run {manifest.run_id} ({manifest.kind})")
+    print(f"  timestamp : {manifest.timestamp}")
+    print(f"  label     : {manifest.label or '(none)'}")
+    print(f"  config    : {manifest.config} (hash {manifest.config_hash})")
+    print(f"  seed      : {manifest.seed}")
+    print(f"  tech      : {manifest.tech}")
+    print(f"  version   : {manifest.version}")
+    print(f"  wall      : {manifest.wall_seconds:.3f}s"
+          + (f" (cpu {manifest.cpu_seconds:.3f}s)"
+             if manifest.cpu_seconds is not None else ""))
+    print(f"  trace     : {manifest.trace_path or '(none)'}")
+    print(f"  artifact  : {manifest.artifact or '(none)'}")
+    print("  scalars   :")
+    for name, value in sorted(manifest.scalars.items()):
+        print(f"    {name:<20} {value:.6g}")
+    return 0
+
+
+def cmd_runs_diff(args) -> int:
+    from repro.errors import LedgerError
+
+    try:
+        diff = _runs_ledger(args).diff(args.a, args.b)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.format_text())
+    return 0
+
+
+def cmd_runs_check(args) -> int:
+    from repro.errors import LedgerError
+    from repro.obs import DriftEngine, check_ledger
+
+    engine = DriftEngine(min_runs=args.min_runs)
+    try:
+        report = check_ledger(_runs_ledger(args), kind=args.kind, engine=engine)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,6 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     seed = _seed_parent()
     jobs = _jobs_parent()
     fmt = _format_parent()
+    record = _record_parent()
+    progress = _progress_parent()
 
     p = sub.add_parser("design", parents=[geometry, seed],
                        help="size a measurement structure")
@@ -294,9 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the calibration abacus")
     p.set_defaults(func=cmd_abacus)
 
-    p = sub.add_parser("scan", parents=[geometry, seed, jobs, fmt],
+    p = sub.add_parser("scan", parents=[geometry, seed, jobs, fmt, record, progress],
                        help="scan a synthesized array")
     p.add_argument("--healthy", action="store_true", help="no injected defects")
+    p.add_argument("--nominal-ff", type=float, default=30.0, metavar="FF",
+                   help="nominal cell capacitance in fF (default 30; shift it "
+                        "to inject process drift into recorded runs)")
     p.add_argument("--save", help="write the scan to this .npz path")
     p.add_argument("--force-engine", action="store_true",
                    help="route every macro through the exact charge engine")
@@ -311,7 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write collected metrics as JSON lines to this path")
     p.set_defaults(func=cmd_scan)
 
-    p = sub.add_parser("diagnose", parents=[geometry, seed, jobs, fmt],
+    p = sub.add_parser("diagnose",
+                       parents=[geometry, seed, jobs, fmt, record, progress],
                        help="full diagnosis pipeline")
     p.set_defaults(func=cmd_diagnose)
 
@@ -337,10 +543,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip netlist analysis; lint only --source paths")
     p.set_defaults(func=cmd_lint)
 
-    p = sub.add_parser("wafer", parents=[seed, jobs],
+    p = sub.add_parser("wafer", parents=[seed, jobs, record, progress],
                        help="wafer-level monitoring demo")
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
     p.set_defaults(func=cmd_wafer)
+
+    p = sub.add_parser("runs", help="browse and gate the run ledger")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    ledger_dir = argparse.ArgumentParser(add_help=False)
+    ledger_dir.add_argument("--dir", default=_DEFAULT_LEDGER_DIR,
+                            help="ledger directory "
+                                 f"(default {_DEFAULT_LEDGER_DIR})")
+    kinds = ("scan", "wafer", "diagnosis")
+
+    q = runs_sub.add_parser("list", parents=[ledger_dir, fmt],
+                            help="list recorded runs")
+    q.add_argument("--kind", choices=kinds, help="only runs of this kind")
+    q.set_defaults(func=cmd_runs_list)
+
+    q = runs_sub.add_parser("show", parents=[ledger_dir, fmt],
+                            help="show one run's manifest")
+    q.add_argument("run_id", help="run id (see `repro runs list`)")
+    q.set_defaults(func=cmd_runs_show)
+
+    q = runs_sub.add_parser("diff", parents=[ledger_dir, fmt],
+                            help="compare two recorded runs")
+    q.add_argument("a", help="baseline run id")
+    q.add_argument("b", help="candidate run id")
+    q.set_defaults(func=cmd_runs_diff)
+
+    q = runs_sub.add_parser(
+        "check", parents=[ledger_dir, fmt],
+        help="EWMA/CUSUM drift gate over recorded runs "
+             "(exit 1 on out-of-control physics scalars)")
+    q.add_argument("--kind", choices=kinds, help="only chart runs of this kind")
+    q.add_argument("--min-runs", type=int, default=2,
+                   help="minimum history length before charting (default 2)")
+    q.set_defaults(func=cmd_runs_check)
 
     return parser
 
@@ -348,7 +587,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, less) closed the pipe mid-print;
+        # detach stdout so the interpreter's shutdown flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext as _null
 from dataclasses import dataclass, field
+from time import perf_counter, process_time
 
 import numpy as np
 
@@ -157,11 +158,18 @@ class DiagnosisPipeline:
         through to the analog-scan stage; its tracer additionally
         records one ``diagnosis`` span with a ``stage:*`` child per
         pipeline stage, and its metrics registry is installed ambiently
-        for the whole run.
+        for the whole run.  When ``config.ledger`` is set the pipeline
+        records one ``diagnosis`` manifest (the scan stage itself stays
+        unrecorded — one run, one ledger line).
         """
         config = config if config is not None else ScanConfig()
         tracer = config.tracer
+        ledger = config.ledger
+        if ledger is not None:
+            config = config.with_options(ledger=None)
         structure, abacus = self._structure_for(array)
+        start = perf_counter()
+        cpu_start = process_time()
 
         with use_metrics(config.metrics) if config.metrics.enabled else _null():
             with tracer.span("diagnosis", rows=array.rows, cols=array.cols):
@@ -205,7 +213,7 @@ class DiagnosisPipeline:
                         must_repair
                     )
 
-        return PipelineReport(
+        report = PipelineReport(
             digital=digital,
             scan=scan,
             analog=analog,
@@ -215,3 +223,12 @@ class DiagnosisPipeline:
             repair=repair,
             must_repair=must_repair,
         )
+        if ledger is not None:
+            ledger.record_diagnosis(
+                report,
+                config,
+                tech=array.tech.name,
+                wall_seconds=perf_counter() - start,
+                cpu_seconds=process_time() - cpu_start,
+            )
+        return report

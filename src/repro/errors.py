@@ -89,6 +89,11 @@ class ObservabilityError(ReproError):
     metric kind conflict, malformed trace file, ...)."""
 
 
+class LedgerError(ObservabilityError):
+    """The run ledger was misused or is unreadable (unknown run id,
+    malformed manifest line, missing artifact, ...)."""
+
+
 class CalibrationError(ReproError):
     """An abacus or specification window cannot be built or inverted."""
 

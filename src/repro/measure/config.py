@@ -23,11 +23,15 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import MeasurementError
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetricsRegistry
+from repro.obs.progress import NULL_PROGRESS, JsonlProgress, NullProgress, ProgressReporter
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:
+    from repro.obs.ledger import RunLedger
 
 __all__ = ["ScanConfig"]
 
@@ -61,6 +65,15 @@ class ScanConfig:
         Metrics registry (:class:`repro.obs.MetricsRegistry`), installed
         ambiently for the duration of the scan so engine-level
         instruments land in it too.  Defaults to the no-op registry.
+    progress:
+        Live progress reporter (:class:`repro.obs.ProgressReporter` for a
+        TTY status line, :class:`repro.obs.JsonlProgress` for a
+        machine-readable event stream).  Defaults to the zero-cost
+        :data:`repro.obs.NULL_PROGRESS`.
+    ledger:
+        When set, the scan entry points record a run manifest into this
+        :class:`repro.obs.RunLedger` on completion (provenance: config
+        hash, seed, stats, per-run scalars).  ``None`` records nothing.
 
     Derive variants with :meth:`dataclasses.replace` or
     :meth:`ScanConfig.with_options`.
@@ -74,6 +87,10 @@ class ScanConfig:
     metrics: MetricsRegistry | NullMetricsRegistry = field(
         default=NULL_METRICS, compare=False
     )
+    progress: ProgressReporter | JsonlProgress | NullProgress = field(
+        default=NULL_PROGRESS, compare=False
+    )
+    ledger: "RunLedger | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -91,6 +108,11 @@ class ScanConfig:
     def observed(self) -> bool:
         """True when a real tracer or metrics registry is attached."""
         return self.tracer.enabled or self.metrics.enabled
+
+    @property
+    def recorded(self) -> bool:
+        """True when scans through this config land in a run ledger."""
+        return self.ledger is not None
 
 
 def _warn_legacy(method: str, names: list[str]) -> None:

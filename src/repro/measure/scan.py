@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, process_time
 
 import numpy as np
 
@@ -373,7 +373,10 @@ class ArrayScanner:
         registry the stats are folded into it as well, and
         ``config.tracer`` receives the scan → macro → cell → phase span
         tree (serial scans; parallel workers report per-macro wall time
-        as a span attribute instead).
+        as a span attribute instead).  ``config.progress`` is advanced
+        once per completed macro (live completion/throughput/ETA), and
+        when ``config.ledger`` is set a run manifest (provenance +
+        per-run scalars) is appended to it on completion.
         """
         config = coerce_scan_config(
             config,
@@ -387,8 +390,10 @@ class ArrayScanner:
 
             raise_on_errors(preflight_array(self.array, self.structure))
         tracer = config.tracer
+        progress = config.progress
         with _ambient_metrics(config):
             start = perf_counter()
+            cpu_start = process_time()
             rows, cols = self.array.rows, self.array.cols
             codes = np.zeros((rows, cols), dtype=int)
             vgs = np.zeros((rows, cols))
@@ -403,6 +408,7 @@ class ArrayScanner:
                 jobs=effective_jobs,
                 force_engine=config.force_engine,
             ) as scan_span:
+                progress.start(rows * cols, label="scan", units="cells")
                 if effective_jobs > 1:
                     from repro.measure.parallel import scan_macros_parallel
 
@@ -426,6 +432,7 @@ class ArrayScanner:
                         timings.append(
                             MacroTiming(index, tier, macro.num_cells, seconds)
                         )
+                        progress.advance(macro.num_cells)
                 else:
                     for macro in self.array.macros():
                         macro_start = perf_counter()
@@ -435,6 +442,8 @@ class ArrayScanner:
                         timings.append(
                             MacroTiming(macro.index, tier, macro.num_cells, seconds)
                         )
+                        progress.advance(macro.num_cells)
+                progress.finish()
 
                 engine_cells = int((tiers == "e").sum())
                 scan_span.attributes["engine_cells"] = engine_cells
@@ -453,13 +462,21 @@ class ArrayScanner:
                 macro_timings=timings,
             )
             stats.to_metrics(active_metrics())
-        return ScanResult(
+        result = ScanResult(
             codes=codes,
             vgs=vgs,
             num_steps=self.structure.design.num_steps,
             tiers=tiers,
             stats=stats,
         )
+        if config.ledger is not None:
+            config.ledger.record_scan(
+                result,
+                config,
+                tech=self.structure.tech.name,
+                cpu_seconds=process_time() - cpu_start,
+            )
+        return result
 
     @staticmethod
     def _place(

@@ -11,13 +11,42 @@ this package makes the pipeline visible without changing it:
   numeric APIs stay clean.
 - :mod:`repro.obs.summarize` — reads exported traces back and
   aggregates them (the ``repro trace`` subcommand).
+- :mod:`repro.obs.progress` — live completion/throughput/ETA reporting
+  for long scans (TTY status line or JSONL event stream);
+  :data:`NULL_PROGRESS` is the zero-cost default.
+- :mod:`repro.obs.ledger` — :class:`RunLedger` records append-only run
+  manifests (config hash, seed, stats, metrics, bitmap scalars) into a
+  ``.repro-runs/`` directory; ``repro runs list/show/diff`` read it.
+- :mod:`repro.obs.drift` — EWMA/CUSUM control charts over recorded
+  runs; :func:`check_ledger` backs the ``repro runs check`` CI gate.
 
 Everything is opt-in: the instrumented code paths are pinned bit-exact
 against their un-instrumented behaviour, and the disabled path costs a
-no-op method call.  Sits with the foundations layer — it imports only
-:mod:`repro.errors`, and every layer above may use it.
+no-op method call.  Sits with the foundations layer — the hot-path
+modules import only :mod:`repro.errors`; the cross-run modules (ledger,
+drift) may additionally use :mod:`repro.lint.diagnostics` for their
+finding shape and :mod:`repro.io` for artifacts.  Every layer above may
+use this package.
 """
 
+from repro.obs.drift import (
+    DEFAULT_SCALARS,
+    DriftEngine,
+    ScalarSpec,
+    SeriesCheck,
+    check_bench_history,
+    check_ledger,
+)
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    RunDiff,
+    RunLedger,
+    RunManifest,
+    bitmap_scalars,
+    config_fingerprint,
+    config_hash,
+    scan_scalars,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -28,6 +57,12 @@ from repro.obs.metrics import (
     active_metrics,
     use_metrics,
 )
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    JsonlProgress,
+    NullProgress,
+    ProgressReporter,
+)
 from repro.obs.summarize import (
     SpanAggregate,
     TraceSummary,
@@ -37,6 +72,24 @@ from repro.obs.summarize import (
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "RunLedger",
+    "RunManifest",
+    "RunDiff",
+    "DEFAULT_LEDGER_DIR",
+    "config_fingerprint",
+    "config_hash",
+    "scan_scalars",
+    "bitmap_scalars",
+    "DriftEngine",
+    "ScalarSpec",
+    "SeriesCheck",
+    "DEFAULT_SCALARS",
+    "check_ledger",
+    "check_bench_history",
+    "ProgressReporter",
+    "JsonlProgress",
+    "NullProgress",
+    "NULL_PROGRESS",
     "Tracer",
     "NullTracer",
     "Span",

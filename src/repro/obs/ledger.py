@@ -1,0 +1,617 @@
+"""Run ledger: durable, append-only provenance for measurement runs.
+
+The paper's artefact — the analog bitmap — earns its keep when maps are
+compared **across** runs and dies to spot process drift.  That needs
+provenance: which configuration, seed, technology and library version
+produced which numbers.  A :class:`RunLedger` owns a directory
+(``.repro-runs/`` by default) holding
+
+- ``manifest.jsonl`` — one :class:`RunManifest` per line, append-only,
+- ``artifacts/<run_id>.npz`` — the raw scan planes of runs recorded
+  with an artifact (what ``runs diff`` reloads for bitmap deltas).
+
+A manifest freezes everything needed to trust or reproduce a run: the
+value fields of the frozen :class:`~repro.measure.config.ScanConfig`
+and their hash, RNG seed, technology card name, package version,
+wall/CPU time, the folded :class:`~repro.measure.stats.ScanStats`, a
+metrics snapshot, the trace path, and **scalars** — the per-run summary
+statistics (capacitance mean/σ, code-histogram centroid, converter
+flip-step size, throughput) that :mod:`repro.obs.drift` runs control
+charts over.
+
+Recording is opt-in and composable: attach a ledger to a
+:class:`~repro.measure.config.ScanConfig` and every
+``ArrayScanner.scan`` / ``measure_wafer`` / ``DiagnosisPipeline.run``
+appends a manifest, or call the ``record_*`` builders directly (the CLI
+does, so it can fold calibrated-bitmap statistics into scan manifests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import LedgerError, ScanMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (io -> scan -> config)
+    from repro.bitmap.analog import AnalogBitmap
+    from repro.diagnosis.pipeline import PipelineReport
+    from repro.measure.config import ScanConfig
+    from repro.measure.scan import ScanResult
+    from repro.wafer import WaferReport
+
+__all__ = [
+    "DEFAULT_LEDGER_DIR",
+    "RunManifest",
+    "RunDiff",
+    "RunLedger",
+    "config_fingerprint",
+    "config_hash",
+    "scan_scalars",
+    "bitmap_scalars",
+]
+
+#: Default ledger directory, relative to the working directory.
+DEFAULT_LEDGER_DIR = ".repro-runs"
+
+_MANIFEST_NAME = "manifest.jsonl"
+_ARTIFACT_DIR = "artifacts"
+_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Provenance helpers
+# ---------------------------------------------------------------------------
+
+
+def config_fingerprint(config: "ScanConfig") -> dict[str, Any]:
+    """The value fields of a scan config (observers excluded).
+
+    Tracer/metrics/progress/ledger attachments change what is *recorded*
+    about a run, never its data, so only the data-affecting fields enter
+    the fingerprint — two runs with equal fingerprints are replays.
+    """
+    return {
+        "jobs": config.jobs,
+        "preflight": config.preflight,
+        "force_engine": config.force_engine,
+        "tier": config.tier,
+    }
+
+
+def config_hash(config: "ScanConfig") -> str:
+    """Short stable hash of :func:`config_fingerprint` (12 hex chars)."""
+    canon = json.dumps(config_fingerprint(config), sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata missing in odd installs
+        return "unknown"
+
+
+def scan_scalars(result: "ScanResult") -> dict[str, float]:
+    """Per-run summary scalars of one scan — the drift engine's diet.
+
+    All derived from the scan planes themselves (no calibration needed):
+
+    - ``code_centroid`` / ``code_sigma`` — code-histogram centre and
+      spread,
+    - ``flip_step_mean`` / ``flip_step_p95`` — the converter's
+      adjacent-cell code step distribution (granularity drift signal),
+    - ``vgs_mean`` / ``vgs_sigma`` — the underlying shared-charge
+      voltages,
+    - throughput figures when the result carries :class:`ScanStats`.
+    """
+    codes = np.asarray(result.codes, dtype=float)
+    vgs = np.asarray(result.vgs, dtype=float)
+    scalars = {
+        "code_centroid": float(codes.mean()),
+        "code_sigma": float(codes.std()),
+        "vgs_mean": float(vgs.mean()),
+        "vgs_sigma": float(vgs.std()),
+    }
+    if codes.shape[1] > 1:
+        steps = np.abs(np.diff(codes, axis=1))
+        scalars["flip_step_mean"] = float(steps.mean())
+        scalars["flip_step_p95"] = float(np.percentile(steps, 95))
+    if result.stats is not None:
+        scalars["wall_seconds"] = float(result.stats.wall_seconds)
+        scalars["cells_per_second"] = float(result.stats.cells_per_second)
+    return scalars
+
+
+def bitmap_scalars(bitmap: "AnalogBitmap") -> dict[str, float]:
+    """Calibrated capacitance-map scalars (femtofarads, in-range cells)."""
+    from repro.units import to_fF
+
+    values = bitmap.estimates[bitmap.in_range]
+    if values.size == 0:
+        return {"in_range_fraction": 0.0}
+    return {
+        "cap_mean_fF": float(to_fF(values.mean())),
+        "cap_sigma_fF": float(to_fF(values.std())),
+        "in_range_fraction": float(bitmap.in_range.mean()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one recorded run (one ledger line).
+
+    ``run_id`` and ``timestamp`` are assigned by the ledger at record
+    time; everything else is supplied by the ``record_*`` builders.
+    """
+
+    kind: str
+    run_id: str = ""
+    timestamp: str = ""
+    label: str = ""
+    config: dict[str, Any] = field(default_factory=dict)
+    config_hash: str = ""
+    seed: int | None = None
+    tech: str = ""
+    version: str = ""
+    wall_seconds: float = 0.0
+    cpu_seconds: float | None = None
+    stats: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
+    trace_path: str | None = None
+    artifact: str | None = None
+    scalars: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (one manifest line)."""
+        return {
+            "format": _FORMAT,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "label": self.label,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "tech": self.tech,
+            "version": self.version,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "stats": self.stats,
+            "metrics": self.metrics,
+            "trace_path": self.trace_path,
+            "artifact": self.artifact,
+            "scalars": self.scalars,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                run_id=str(data["run_id"]),
+                timestamp=str(data["timestamp"]),
+                label=str(data.get("label", "")),
+                config=dict(data.get("config", {})),
+                config_hash=str(data.get("config_hash", "")),
+                seed=None if data.get("seed") is None else int(data["seed"]),
+                tech=str(data.get("tech", "")),
+                version=str(data.get("version", "")),
+                wall_seconds=float(data.get("wall_seconds", 0.0)),
+                cpu_seconds=(
+                    None if data.get("cpu_seconds") is None
+                    else float(data["cpu_seconds"])
+                ),
+                stats=data.get("stats"),
+                metrics=data.get("metrics"),
+                trace_path=data.get("trace_path"),
+                artifact=data.get("artifact"),
+                scalars={k: float(v) for k, v in data.get("scalars", {}).items()},
+                extra=dict(data.get("extra", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LedgerError(f"malformed run manifest: {data!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Diff
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two recorded runs.
+
+    Attributes
+    ----------
+    a, b:
+        The compared manifests (``b`` is the newer/candidate run).
+    config_changes:
+        ``{field: (a_value, b_value)}`` for differing config fields.
+    scalar_deltas:
+        ``{name: (a, b, b - a)}`` over the union of both scalar sets
+        (missing side recorded as ``None``).
+    metric_deltas:
+        ``{name: (a, b, b - a)}`` for numeric metrics present in both
+        snapshots (counter/gauge values, histogram means).
+    bitmap:
+        Per-cell code-delta statistics when both runs carry loadable,
+        comparable scan artifacts; otherwise a dict with a ``"reason"``
+        explaining why no bitmap delta was computed.
+    """
+
+    a: RunManifest
+    b: RunManifest
+    config_changes: dict[str, tuple[Any, Any]]
+    scalar_deltas: dict[str, tuple[float | None, float | None, float | None]]
+    metric_deltas: dict[str, tuple[float, float, float]]
+    bitmap: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "a": self.a.run_id,
+            "b": self.b.run_id,
+            "config_changes": {
+                k: list(v) for k, v in self.config_changes.items()
+            },
+            "scalar_deltas": {
+                k: list(v) for k, v in self.scalar_deltas.items()
+            },
+            "metric_deltas": {
+                k: list(v) for k, v in self.metric_deltas.items()
+            },
+            "bitmap": self.bitmap,
+        }
+
+    def format_text(self) -> str:
+        """Human rendering: config, scalar, metric and bitmap sections."""
+        lines = [f"runs diff: {self.a.run_id} -> {self.b.run_id}"]
+        if self.config_changes:
+            lines.append("config:")
+            for name, (va, vb) in sorted(self.config_changes.items()):
+                lines.append(f"  {name}: {va} -> {vb}")
+        else:
+            lines.append(f"config: identical (hash {self.b.config_hash})")
+        lines.append("scalars:")
+        for name, (va, vb, delta) in sorted(self.scalar_deltas.items()):
+            if va is None or vb is None:
+                lines.append(f"  {name}: {va} -> {vb} (one side missing)")
+            else:
+                lines.append(f"  {name}: {va:.6g} -> {vb:.6g} ({delta:+.6g})")
+        if self.metric_deltas:
+            lines.append("metrics:")
+            for name, (va, vb, delta) in sorted(self.metric_deltas.items()):
+                lines.append(f"  {name}: {va:.6g} -> {vb:.6g} ({delta:+.6g})")
+        lines.append("bitmap:")
+        for key, value in sorted(self.bitmap.items()):
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ledger
+# ---------------------------------------------------------------------------
+
+
+class RunLedger:
+    """Append-only run store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Ledger directory (created on first record).  Defaults to
+        :data:`DEFAULT_LEDGER_DIR` in the working directory.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_LEDGER_DIR) -> None:
+        self.root = Path(root)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    @property
+    def artifact_dir(self) -> Path:
+        return self.root / _ARTIFACT_DIR
+
+    # -- reading --------------------------------------------------------
+
+    def runs(self) -> list[RunManifest]:
+        """All manifests in record order (empty for a fresh ledger)."""
+        if not self.manifest_path.exists():
+            return []
+        manifests = []
+        with open(self.manifest_path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise LedgerError(
+                        f"{self.manifest_path}:{lineno} is not valid JSON "
+                        f"(truncated write?): {exc}"
+                    ) from exc
+                manifests.append(RunManifest.from_dict(data))
+        return manifests
+
+    def __len__(self) -> int:
+        return len(self.runs())
+
+    def get(self, run_id: str) -> RunManifest:
+        """The manifest recorded under ``run_id``."""
+        for manifest in self.runs():
+            if manifest.run_id == run_id:
+                return manifest
+        known = ", ".join(m.run_id for m in self.runs()) or "(none)"
+        raise LedgerError(f"no run {run_id!r} in {self.root} (known: {known})")
+
+    def latest(self, n: int = 1, kind: str | None = None) -> list[RunManifest]:
+        """The last ``n`` manifests (optionally of one kind), oldest first."""
+        manifests = self.runs()
+        if kind is not None:
+            manifests = [m for m in manifests if m.kind == kind]
+        return manifests[-n:]
+
+    def series(
+        self, scalar: str, kind: str | None = None
+    ) -> list[tuple[str, float]]:
+        """``(run_id, value)`` for every run carrying ``scalar``, in order."""
+        out = []
+        for manifest in self.runs():
+            if kind is not None and manifest.kind != kind:
+                continue
+            if scalar in manifest.scalars:
+                out.append((manifest.run_id, manifest.scalars[scalar]))
+        return out
+
+    def load_artifact(self, manifest: RunManifest) -> "ScanResult":
+        """Reload the scan planes recorded with ``manifest``."""
+        if manifest.artifact is None:
+            raise LedgerError(f"run {manifest.run_id} recorded no scan artifact")
+        from repro.io import load_scan
+
+        path = self.root / manifest.artifact
+        if not path.exists():
+            raise LedgerError(
+                f"run {manifest.run_id} artifact missing at {path}"
+            )
+        return load_scan(path)
+
+    # -- writing --------------------------------------------------------
+
+    def record(
+        self, manifest: RunManifest, scan: "ScanResult | None" = None
+    ) -> RunManifest:
+        """Append ``manifest`` (assigning run id and timestamp).
+
+        When ``scan`` is given its planes are saved under
+        ``artifacts/<run_id>.npz`` and the relative path recorded, so
+        ``runs diff`` can later compute per-cell bitmap deltas.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest.run_id = f"r{len(self.runs()) + 1:04d}"
+        manifest.timestamp = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        if not manifest.version:
+            manifest.version = _package_version()
+        if scan is not None:
+            from repro.io import save_scan
+
+            self.artifact_dir.mkdir(parents=True, exist_ok=True)
+            path = save_scan(scan, self.artifact_dir / f"{manifest.run_id}.npz")
+            manifest.artifact = str(path.relative_to(self.root))
+        with open(self.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest.to_dict()) + "\n")
+        return manifest
+
+    def _base_manifest(
+        self,
+        kind: str,
+        config: "ScanConfig | None",
+        *,
+        seed: int | None,
+        tech: str,
+        label: str,
+        wall_seconds: float,
+        cpu_seconds: float | None,
+        trace_path: str | None,
+        extra: dict[str, Any] | None,
+    ) -> RunManifest:
+        manifest = RunManifest(
+            kind=kind,
+            label=label,
+            seed=seed,
+            tech=tech,
+            wall_seconds=wall_seconds,
+            cpu_seconds=cpu_seconds,
+            trace_path=trace_path,
+            extra=dict(extra or {}),
+        )
+        if config is not None:
+            manifest.config = config_fingerprint(config)
+            manifest.config_hash = config_hash(config)
+            if config.metrics.enabled:
+                manifest.metrics = config.metrics.to_dict()
+        return manifest
+
+    def record_scan(
+        self,
+        result: "ScanResult",
+        config: "ScanConfig | None" = None,
+        *,
+        bitmap: "AnalogBitmap | None" = None,
+        seed: int | None = None,
+        tech: str = "",
+        label: str = "",
+        trace_path: str | None = None,
+        cpu_seconds: float | None = None,
+        extra: dict[str, Any] | None = None,
+        save_artifact: bool = True,
+    ) -> RunManifest:
+        """Record one array scan (optionally with its calibrated bitmap)."""
+        wall = result.stats.wall_seconds if result.stats is not None else 0.0
+        manifest = self._base_manifest(
+            "scan", config, seed=seed, tech=tech, label=label,
+            wall_seconds=wall, cpu_seconds=cpu_seconds,
+            trace_path=trace_path, extra=extra,
+        )
+        manifest.stats = result.stats.to_dict() if result.stats is not None else None
+        manifest.scalars = scan_scalars(result)
+        if bitmap is not None:
+            manifest.scalars.update(bitmap_scalars(bitmap))
+        return self.record(manifest, scan=result if save_artifact else None)
+
+    def record_wafer(
+        self,
+        report: "WaferReport",
+        config: "ScanConfig | None" = None,
+        *,
+        seed: int | None = None,
+        tech: str = "",
+        label: str = "",
+        wall_seconds: float = 0.0,
+        cpu_seconds: float | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> RunManifest:
+        """Record one wafer measurement (die-level scalars, no artifact)."""
+        from repro.units import to_fF
+
+        manifest = self._base_manifest(
+            "wafer", config, seed=seed, tech=tech, label=label,
+            wall_seconds=wall_seconds, cpu_seconds=cpu_seconds,
+            trace_path=None, extra=extra,
+        )
+        a, b = report.radial_profile()
+        sigmas = [d.sigma_capacitance for d in report.dies]
+        manifest.scalars = {
+            "cap_mean_fF": float(to_fF(report.wafer_mean)),
+            "cap_sigma_fF": float(
+                to_fF(np.std([d.mean_capacitance for d in report.dies]))
+            ),
+            "die_sigma_mean_fF": float(to_fF(np.mean(sigmas))),
+            "radial_centre_fF": float(to_fF(a)),
+            "radial_drop_fF": float(to_fF(-b)),
+            "dies": float(len(report.dies)),
+        }
+        if wall_seconds > 0:
+            cells = len(report.dies)
+            manifest.scalars["dies_per_second"] = cells / wall_seconds
+        return self.record(manifest)
+
+    def record_diagnosis(
+        self,
+        report: "PipelineReport",
+        config: "ScanConfig | None" = None,
+        *,
+        seed: int | None = None,
+        tech: str = "",
+        label: str = "",
+        wall_seconds: float = 0.0,
+        cpu_seconds: float | None = None,
+        extra: dict[str, Any] | None = None,
+        save_artifact: bool = True,
+    ) -> RunManifest:
+        """Record one diagnosis pipeline run (scan + process scalars)."""
+        manifest = self._base_manifest(
+            "diagnosis", config, seed=seed, tech=tech, label=label,
+            wall_seconds=wall_seconds, cpu_seconds=cpu_seconds,
+            trace_path=None, extra=extra,
+        )
+        scan = report.scan
+        manifest.stats = scan.stats.to_dict() if scan.stats is not None else None
+        manifest.scalars = scan_scalars(scan)
+        manifest.scalars.update(bitmap_scalars(report.analog))
+        process = report.process
+        manifest.scalars.update({
+            "cpk": float(process.cpk) if process.cpk != float("inf") else 1e6,
+            "digital_fails": float(report.digital.fail_count),
+        })
+        return self.record(manifest, scan=scan if save_artifact else None)
+
+    # -- comparing ------------------------------------------------------
+
+    def diff(self, a_id: str, b_id: str) -> RunDiff:
+        """Compare two recorded runs (config, scalars, metrics, bitmap)."""
+        a, b = self.get(a_id), self.get(b_id)
+        config_changes = {
+            key: (a.config.get(key), b.config.get(key))
+            for key in sorted(set(a.config) | set(b.config))
+            if a.config.get(key) != b.config.get(key)
+        }
+        scalar_deltas: dict[str, tuple[float | None, float | None, float | None]] = {}
+        for name in sorted(set(a.scalars) | set(b.scalars)):
+            va, vb = a.scalars.get(name), b.scalars.get(name)
+            delta = None if va is None or vb is None else vb - va
+            scalar_deltas[name] = (va, vb, delta)
+        metric_deltas = _metric_deltas(a.metrics, b.metrics)
+        bitmap = self._bitmap_delta(a, b)
+        return RunDiff(
+            a=a, b=b,
+            config_changes=config_changes,
+            scalar_deltas=scalar_deltas,
+            metric_deltas=metric_deltas,
+            bitmap=bitmap,
+        )
+
+    def _bitmap_delta(self, a: RunManifest, b: RunManifest) -> dict[str, Any]:
+        if a.artifact is None or b.artifact is None:
+            return {"reason": "one or both runs recorded no scan artifact"}
+        try:
+            scan_a = self.load_artifact(a)
+            scan_b = self.load_artifact(b)
+        except LedgerError as exc:
+            return {"reason": str(exc)}
+        try:
+            delta = scan_b.diff(scan_a)
+        except ScanMismatchError as exc:
+            return {"reason": str(exc)}
+        return {
+            "cells": int(delta.size),
+            "cells_changed": int((delta != 0).sum()),
+            "mean_code_delta": float(delta.mean()),
+            "mean_abs_code_delta": float(np.abs(delta).mean()),
+            "max_abs_code_delta": int(np.abs(delta).max()),
+        }
+
+
+def _metric_deltas(
+    a: dict[str, Any] | None, b: dict[str, Any] | None
+) -> dict[str, tuple[float, float, float]]:
+    """Numeric deltas over metric names present in both snapshots."""
+    if not a or not b:
+        return {}
+    out: dict[str, tuple[float, float, float]] = {}
+    for name in sorted(set(a) & set(b)):
+        va, vb = _metric_value(a[name]), _metric_value(b[name])
+        if va is not None and vb is not None:
+            out[name] = (va, vb, vb - va)
+    return out
+
+
+def _metric_value(record: Any) -> float | None:
+    """The scalar a metric dict contributes to a diff (value or mean)."""
+    if not isinstance(record, dict):
+        return None
+    for key in ("value", "mean"):
+        value = record.get(key)
+        if isinstance(value, (int, float)) and value == value:  # NaN-safe
+            return float(value)
+    return None

@@ -165,6 +165,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
@@ -239,8 +240,9 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 detail = (
                     f"count={metric.count} mean={metric.mean:.6g} "
-                    f"min={metric.min:.6g} p95={metric.percentile(95):.6g} "
-                    f"max={metric.max:.6g}"
+                    f"min={metric.min:.6g} p50={metric.percentile(50):.6g} "
+                    f"p95={metric.percentile(95):.6g} "
+                    f"p99={metric.percentile(99):.6g} max={metric.max:.6g}"
                 ) if metric.count else "count=0"
                 rows.append((metric.name, "histogram", detail))
             else:

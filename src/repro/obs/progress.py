@@ -1,0 +1,210 @@
+"""Live progress for long scans: completion, throughput, ETA.
+
+A wafer-scale scan is minutes of silence without this module.  A
+progress reporter receives three calls from the scan drivers —
+:meth:`start` with the total work, :meth:`advance` as tiles/dies
+complete, :meth:`finish` at the end — and renders them either as an
+in-place TTY status line (:class:`ProgressReporter`) or as a
+machine-readable JSON-lines event stream (:class:`JsonlProgress`, the
+``repro scan --progress-jsonl`` backend a dashboard can tail).
+
+Like the tracer and the metrics registry, progress is strictly opt-in:
+every driver defaults to :data:`NULL_PROGRESS`, whose methods are no-ops
+on a shared singleton, so the disabled path costs two method calls per
+macro and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from time import perf_counter
+from typing import Any, Callable, TextIO
+
+from repro.errors import ObservabilityError
+
+__all__ = ["ProgressReporter", "JsonlProgress", "NullProgress", "NULL_PROGRESS"]
+
+
+class _ProgressBase:
+    """Shared bookkeeping: counts, elapsed time, rate and ETA."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = perf_counter) -> None:
+        self._clock = clock
+        self.total = 0
+        self.done = 0
+        self.label = ""
+        self.units = ""
+        self._t0: float | None = None
+        self._t_end: float | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, total: int, label: str = "scan", units: str = "cells") -> None:
+        """Begin a new progress run over ``total`` units of work."""
+        if total <= 0:
+            raise ObservabilityError(f"progress total must be > 0, got {total}")
+        self.total = int(total)
+        self.done = 0
+        self.label = label
+        self.units = units
+        self._t0 = self._clock()
+        self._t_end = None
+        self._emit("start")
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` more units complete."""
+        if self._t0 is None:
+            raise ObservabilityError("progress.advance() before start()")
+        self.done += int(n)
+        self._emit("progress")
+
+    def finish(self) -> None:
+        """Close the run (renders the final state)."""
+        if self._t0 is None:
+            raise ObservabilityError("progress.finish() before start()")
+        self._t_end = self._clock()
+        self._emit("finish")
+
+    # -- derived figures ------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (frozen once finished)."""
+        if self._t0 is None:
+            return 0.0
+        end = self._t_end if self._t_end is not None else self._clock()
+        return end - self._t0
+
+    @property
+    def rate(self) -> float:
+        """Units per second so far (0 until time has passed)."""
+        elapsed = self.elapsed
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        """Estimated seconds to completion at the current rate."""
+        rate = self.rate
+        remaining = max(0, self.total - self.done)
+        return remaining / rate if rate > 0 else float("inf")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of the current state."""
+        eta = self.eta_seconds
+        return {
+            "label": self.label,
+            "units": self.units,
+            "done": self.done,
+            "total": self.total,
+            "elapsed_seconds": self.elapsed,
+            "rate_per_second": self.rate,
+            "eta_seconds": None if eta == float("inf") else eta,
+        }
+
+    def _emit(self, event: str) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ProgressReporter(_ProgressBase):
+    """Renders an in-place status line to a terminal stream.
+
+    Parameters
+    ----------
+    stream:
+        Text stream for the status line; defaults to ``sys.stderr`` so
+        progress never corrupts piped stdout output.
+    min_interval:
+        Minimum seconds between repaints — a 10 Hz ceiling keeps the
+        reporting overhead invisible next to the scan itself.
+    clock:
+        Injectable monotonic time source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        super().__init__(clock)
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._last_render = float("-inf")
+
+    def render_line(self) -> str:
+        """The current status line (without the carriage return)."""
+        pct = 100.0 * self.done / self.total if self.total else 0.0
+        eta = self.eta_seconds
+        eta_s = f"ETA {eta:.1f}s" if eta != float("inf") else "ETA --"
+        return (
+            f"{self.label}: {self.done}/{self.total} {self.units} "
+            f"({pct:3.0f}%) {self.rate:,.0f} {self.units}/s {eta_s}"
+        )
+
+    def _emit(self, event: str) -> None:
+        now = self._clock()
+        if event == "progress" and now - self._last_render < self._min_interval:
+            return
+        self._last_render = now
+        self._stream.write("\r" + self.render_line())
+        if event == "finish":
+            self._stream.write("\n")
+        self._stream.flush()
+
+
+class JsonlProgress(_ProgressBase):
+    """Streams progress events as JSON lines (one object per event).
+
+    ``target`` is a path (opened on :meth:`start`, closed on
+    :meth:`finish`) or an already-open text stream (left open).  Events
+    carry ``event`` (``start`` / ``progress`` / ``finish``) plus the
+    :meth:`~_ProgressBase.snapshot` fields, so a consumer tailing the
+    file can plot completion, throughput and ETA live.
+    """
+
+    def __init__(
+        self,
+        target: str | TextIO,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        super().__init__(clock)
+        self._target = target
+        self._fh: TextIO | None = None
+        self._owns_fh = False
+
+    def _emit(self, event: str) -> None:
+        if self._fh is None:
+            if hasattr(self._target, "write"):
+                self._fh = self._target  # type: ignore[assignment]
+            else:
+                self._fh = open(self._target, "w", encoding="utf-8")  # type: ignore[arg-type]
+                self._owns_fh = True
+        record = {"event": event, **self.snapshot()}
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        if event == "finish" and self._owns_fh:
+            self._fh.close()
+            self._fh = None
+            self._owns_fh = False
+
+
+class NullProgress:
+    """Zero-cost reporter: every hook is a no-op on a shared singleton."""
+
+    enabled = False
+
+    def start(self, total: int, label: str = "scan", units: str = "cells") -> None:
+        pass
+
+    def advance(self, n: int = 1) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+#: Shared no-op reporter; the default on every scan driver.
+NULL_PROGRESS = NullProgress()

@@ -31,7 +31,12 @@ def load_trace(source: str | TextIO) -> list[Span]:
 
     Returns spans in file order (the producer's start order) after
     validating that every ``parent_id`` refers to an earlier span.
+    A file with no spans at all, or one cut off mid-record (a crashed
+    or still-writing producer), raises
+    :class:`~repro.errors.ObservabilityError` naming the problem
+    instead of silently yielding a nonsense summary.
     """
+    name = getattr(source, "name", None) if hasattr(source, "read") else source
     if hasattr(source, "read"):
         lines = source.read().splitlines()  # type: ignore[union-attr]
     else:
@@ -39,12 +44,20 @@ def load_trace(source: str | TextIO) -> list[Span]:
             lines = fh.read().splitlines()
     spans: list[Span] = []
     seen: set[int] = set()
+    last_lineno = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()), default=0
+    )
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
+            if lineno == last_lineno:
+                raise ObservabilityError(
+                    f"trace line {lineno} is truncated mid-record "
+                    f"(incomplete write?): {exc}"
+                ) from exc
             raise ObservabilityError(
                 f"trace line {lineno} is not valid JSON: {exc}"
             ) from exc
@@ -56,18 +69,31 @@ def load_trace(source: str | TextIO) -> list[Span]:
             )
         seen.add(span.span_id)
         spans.append(span)
+    if not spans:
+        where = f" in {name}" if name else ""
+        raise ObservabilityError(
+            f"trace{where} contains no spans (empty or blank file)"
+        )
     return spans
 
 
 @dataclass
 class SpanAggregate:
-    """Aggregate over every span sharing one name."""
+    """Aggregate over every span sharing one name.
+
+    Percentiles are nearest-rank over the group's closed durations —
+    the tail figures (p95/p99) are what distinguish a uniformly slow
+    phase from a straggler macro.
+    """
 
     name: str
     count: int
     total_seconds: float
     mean_seconds: float
     max_seconds: float
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
+    p99_seconds: float = 0.0
 
 
 @dataclass
@@ -94,6 +120,9 @@ class TraceSummary:
                     "total_seconds": a.total_seconds,
                     "mean_seconds": a.mean_seconds,
                     "max_seconds": a.max_seconds,
+                    "p50_seconds": a.p50_seconds,
+                    "p95_seconds": a.p95_seconds,
+                    "p99_seconds": a.p99_seconds,
                 }
                 for a in self.aggregates
             ],
@@ -101,21 +130,40 @@ class TraceSummary:
 
     def table(self) -> str:
         """Aligned text table, widest total first."""
-        header = f"{'span':<18} {'count':>7} {'total':>12} {'mean':>12} {'max':>12}"
+        header = (
+            f"{'span':<18} {'count':>7} {'total':>12} {'mean':>12} "
+            f"{'p50':>12} {'p95':>12} {'p99':>12} {'max':>12}"
+        )
         lines = [header, "-" * len(header)]
         for a in self.aggregates:
             lines.append(
                 f"{a.name:<18} {a.count:>7} "
                 f"{a.total_seconds * 1e3:>10.3f}ms "
                 f"{a.mean_seconds * 1e3:>10.4f}ms "
+                f"{a.p50_seconds * 1e3:>10.4f}ms "
+                f"{a.p95_seconds * 1e3:>10.4f}ms "
+                f"{a.p99_seconds * 1e3:>10.4f}ms "
                 f"{a.max_seconds * 1e3:>10.4f}ms"
             )
         lines.append(f"{self.total_spans} spans, max depth {self.max_depth}")
         return "\n".join(lines)
 
 
+def _nearest_rank(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
 def summarize_trace(spans: list[Span]) -> TraceSummary:
-    """Aggregate a span list by name (closed spans only count time)."""
+    """Aggregate a span list by name (closed spans only count time).
+
+    An empty span list raises :class:`~repro.errors.ObservabilityError`:
+    there is nothing to aggregate, and a zeroed summary downstream reads
+    as "the scan did no work" rather than "the trace was empty".
+    """
+    if not spans:
+        raise ObservabilityError("cannot summarize an empty trace (no spans)")
     groups: dict[str, list[float]] = {}
     depth: dict[int, int] = {}
     max_depth = 0
@@ -134,16 +182,21 @@ def summarize_trace(spans: list[Span]) -> TraceSummary:
         groups.setdefault(span.name, []).append(
             span.duration if span.duration is not None else 0.0
         )
-    aggregates = [
-        SpanAggregate(
-            name=name,
-            count=len(durations),
-            total_seconds=sum(durations),
-            mean_seconds=sum(durations) / len(durations),
-            max_seconds=max(durations),
+    aggregates = []
+    for name, durations in groups.items():
+        ordered = sorted(durations)
+        aggregates.append(
+            SpanAggregate(
+                name=name,
+                count=len(durations),
+                total_seconds=sum(durations),
+                mean_seconds=sum(durations) / len(durations),
+                max_seconds=ordered[-1],
+                p50_seconds=_nearest_rank(ordered, 50),
+                p95_seconds=_nearest_rank(ordered, 95),
+                p99_seconds=_nearest_rank(ordered, 99),
+            )
         )
-        for name, durations in groups.items()
-    ]
     aggregates.sort(key=lambda a: -a.total_seconds)
     return TraceSummary(
         aggregates=aggregates,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter, process_time
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.errors import DiagnosisError
 from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner
 from repro.measure.structure import MeasurementStructure
+from repro.obs.progress import NULL_PROGRESS
 from repro.tech.parameters import TechnologyCard, default_technology
 from repro.units import fF, to_fF
 
@@ -91,6 +93,7 @@ class WaferModel:
         self.die_sigma = die_sigma
         self.cell_sigma = cell_sigma
         self.tech = tech if tech is not None else default_technology()
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._structure: MeasurementStructure | None = None
         self._abacus: Abacus | None = None
@@ -157,15 +160,30 @@ class WaferModel:
         ``config.with_options(jobs=...)``.  The designed structure and
         its memoized code-boundary table are shared by every die
         scanner, so calibration is solved once per wafer.
+
+        ``config.progress`` reports at **die** granularity (the die scans
+        themselves run silent), and ``config.ledger`` receives one wafer
+        manifest — not one per die — carrying the die-level scalars the
+        drift engine charts.
         """
         config = config if config is not None else ScanConfig()
         if jobs is not None:
             config = config.with_options(jobs=jobs)
+        progress, ledger = config.progress, config.ledger
+        # The wafer loop owns progress and recording; per-die scans get a
+        # silent copy so they neither repaint the line nor append runs.
+        die_config = config.with_options(progress=NULL_PROGRESS, ledger=None)
         structure, abacus = self._calibration()
+        sites = self.sites()
+        start = perf_counter()
+        cpu_start = process_time()
+        progress.start(len(sites), label="wafer", units="dies")
         dies = []
-        for x, y, r in self.sites():
+        for x, y, r in sites:
             array = self.fabricate_die(r)
-            bitmap = AnalogBitmap(ArrayScanner(array, structure).scan(config), abacus)
+            bitmap = AnalogBitmap(
+                ArrayScanner(array, structure).scan(die_config), abacus
+            )
             dies.append(
                 DieSite(
                     x=x, y=y, radius_fraction=r,
@@ -173,7 +191,19 @@ class WaferModel:
                     sigma_capacitance=bitmap.std_capacitance(),
                 )
             )
-        return WaferReport(dies=dies, diameter=self.diameter)
+            progress.advance()
+        progress.finish()
+        report = WaferReport(dies=dies, diameter=self.diameter)
+        if ledger is not None:
+            ledger.record_wafer(
+                report,
+                config,
+                seed=self.seed,
+                tech=self.tech.name,
+                wall_seconds=perf_counter() - start,
+                cpu_seconds=process_time() - cpu_start,
+            )
+        return report
 
 
 @dataclass

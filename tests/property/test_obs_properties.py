@@ -7,9 +7,11 @@ children, ids are start-ordered, and the JSONL round trip is lossless.
 
 import io
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import ObservabilityError
 from repro.obs import Tracer, load_trace, summarize_trace
 
 # A trace program: "(" opens a span, ")" closes the innermost open one.
@@ -71,13 +73,22 @@ def test_jsonl_round_trip_is_lossless(program):
     tracer = run_program(program)
     buf = io.StringIO()
     tracer.write_jsonl(buf)
-    assert load_trace(io.StringIO(buf.getvalue())) == tracer.spans
+    if not tracer.spans:
+        # A span-free file is a loader error, not an empty success.
+        with pytest.raises(ObservabilityError, match="no spans"):
+            load_trace(io.StringIO(buf.getvalue()))
+    else:
+        assert load_trace(io.StringIO(buf.getvalue())) == tracer.spans
 
 
 @given(programs)
 @settings(max_examples=100, deadline=None)
 def test_summary_accounts_for_every_span(program):
     tracer = run_program(program)
+    if not tracer.spans:
+        with pytest.raises(ObservabilityError, match="empty trace"):
+            summarize_trace(tracer.spans)
+        return
     summary = summarize_trace(tracer.spans)
     assert summary.total_spans == len(tracer.spans)
     assert sum(a.count for a in summary.aggregates) == len(tracer.spans)

@@ -1,0 +1,169 @@
+"""Drift engine: EWMA/CUSUM charts, ledger gating, bench trajectories."""
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.lint.diagnostics import Severity
+from repro.obs import (
+    DEFAULT_SCALARS,
+    DriftEngine,
+    RunLedger,
+    RunManifest,
+    ScalarSpec,
+    check_bench_history,
+    check_ledger,
+)
+
+
+def manifest(run_id, scalars, kind="scan"):
+    return RunManifest(kind=kind, run_id=run_id, scalars=scalars)
+
+
+class TestEngineValidation:
+    def test_lambda_range(self):
+        with pytest.raises(LedgerError):
+            DriftEngine(lam=0.0)
+        with pytest.raises(LedgerError):
+            DriftEngine(lam=1.5)
+
+    def test_negative_widths_rejected(self):
+        with pytest.raises(LedgerError):
+            DriftEngine(ewma_k=-1)
+
+    def test_min_runs_floor(self):
+        with pytest.raises(LedgerError):
+            DriftEngine(min_runs=1)
+
+
+class TestCheckSeries:
+    def test_empty_series_raises(self):
+        with pytest.raises(LedgerError):
+            DriftEngine().check_series("x", [])
+
+    def test_flat_series_in_control(self):
+        check = DriftEngine().check_series("x", [30.0] * 8, sigma=0.5)
+        assert check.in_control
+        assert check.target == 30.0
+
+    def test_step_shift_flagged(self):
+        values = [30.0, 30.1, 29.9, 30.0, 26.0, 26.1]
+        check = DriftEngine().check_series("cap", values, sigma=0.5)
+        assert not check.in_control
+        flagged_methods = {m for i in check.flagged for m in check.methods[i]}
+        assert "ewma" in flagged_methods or "cusum" in flagged_methods
+
+    def test_slow_drift_caught_by_cusum(self):
+        # 0.8σ per step: too small for the EWMA band early on, but the
+        # one-sided sum accumulates past h = 4 within the series.
+        values = [30.0 + 0.4 * i for i in range(10)]
+        check = DriftEngine().check_series("cap", values, sigma=0.5)
+        assert any("cusum" in check.methods[i] for i in check.flagged)
+
+    def test_first_point_never_flagged(self):
+        check = DriftEngine().check_series("x", [10.0, 10.0], sigma=1.0)
+        assert 0 not in check.flagged
+
+    def test_zero_sigma_fallback_is_finite(self):
+        check = DriftEngine().check_series("x", [5.0, 5.0, 5.0])
+        assert check.sigma > 0
+        assert check.in_control
+
+    def test_moving_range_fallback_cannot_alarm_on_two_points(self):
+        # Throughput-style scalars get their σ from the series itself;
+        # with 2 points the estimate scales with the observed jump, so a
+        # CI gate over a fresh pair of runs cannot flake.
+        check = DriftEngine().check_series("cells_per_second", [1e5, 3e5])
+        assert check.in_control
+
+    def test_chart_traces_have_series_length(self):
+        values = [1.0, 2.0, 3.0]
+        check = DriftEngine().check_series("x", values, sigma=1.0)
+        assert len(check.ewma) == len(values)
+        assert len(check.ewma_limits) == len(values)
+        assert len(check.cusum_hi) == len(values)
+
+
+class TestCheckRuns:
+    def test_insufficient_history_is_info(self):
+        report = DriftEngine().check_runs([manifest("r0001", {"cap_mean_fF": 30.0})])
+        assert report.ok
+        assert [d.code for d in report.diagnostics] == ["DRF000"]
+        assert report.diagnostics[0].severity is Severity.INFO
+
+    def test_stable_history_passes(self):
+        runs = [
+            manifest(f"r{i:04d}", {"cap_mean_fF": 30.0 + 0.01 * (i % 2),
+                                   "cap_sigma_fF": 1.0})
+            for i in range(1, 6)
+        ]
+        report = DriftEngine().check_runs(runs)
+        assert report.ok
+        assert report.exit_code == 0
+
+    def test_physics_drift_is_error(self):
+        runs = [
+            manifest("r0001", {"cap_mean_fF": 30.0, "cap_sigma_fF": 1.0}),
+            manifest("r0002", {"cap_mean_fF": 30.05, "cap_sigma_fF": 1.0}),
+            manifest("r0003", {"cap_mean_fF": 24.0, "cap_sigma_fF": 1.0}),
+        ]
+        report = DriftEngine().check_runs(runs)
+        assert not report.ok
+        assert report.exit_code == 1
+        codes = {d.code for d in report.diagnostics}
+        assert codes <= {"DRF001", "DRF002"}
+        assert any("r0003" in d.nodes for d in report.diagnostics)
+
+    def test_throughput_drift_is_warning_only(self):
+        spec = (ScalarSpec("cells_per_second", severity=Severity.WARNING),)
+        runs = [
+            manifest(f"r{i:04d}", {"cells_per_second": v})
+            for i, v in enumerate([1e5, 1.01e5, 0.99e5, 1e5, 3e4], start=1)
+        ]
+        report = DriftEngine().check_runs(runs, specs=spec)
+        assert report.exit_code == 0  # warnings never gate
+        assert any(d.severity is Severity.WARNING for d in report.diagnostics)
+
+    def test_scalar_missing_from_history_skipped(self):
+        runs = [manifest(f"r{i}", {"unrelated": 1.0}) for i in range(5)]
+        report = DriftEngine().check_runs(runs, specs=DEFAULT_SCALARS)
+        assert report.ok
+
+
+class TestCheckLedger:
+    def test_kind_filter(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record(manifest("", {"cap_mean_fF": 30.0}, kind="scan"))
+        ledger.record(manifest("", {"cap_mean_fF": 11.0}, kind="wafer"))
+        ledger.record(manifest("", {"cap_mean_fF": 30.0}, kind="scan"))
+        # Mixing kinds would look like wild drift; the filter keeps the
+        # scan series clean.
+        assert check_ledger(ledger, kind="scan").ok
+
+    def test_empty_ledger_reports_info(self, tmp_path):
+        report = check_ledger(RunLedger(tmp_path / "runs"))
+        assert report.ok
+        assert [d.code for d in report.diagnostics] == ["DRF000"]
+
+
+class TestBenchHistory:
+    def test_regression_warns(self):
+        history = [
+            {"git_rev": f"c{i}", "cells_per_second": v,
+             "speedup_serial_vs_seed": 30.0}
+            for i, v in enumerate([2e5, 2.02e5, 1.98e5, 2e5, 0.4e5])
+        ]
+        report = check_bench_history(history)
+        assert any(d.code == "DRF003" for d in report.diagnostics)
+        assert report.exit_code == 0  # advisory only
+
+    def test_improvement_not_flagged(self):
+        history = [
+            {"git_rev": f"c{i}", "cells_per_second": v}
+            for i, v in enumerate([2e5, 2.01e5, 1.99e5, 2e5, 9e5])
+        ]
+        report = check_bench_history(history)
+        assert not any(d.code == "DRF003" for d in report.diagnostics)
+
+    def test_short_or_malformed_history_ignored(self):
+        assert check_bench_history([]).ok
+        assert check_bench_history([{"cells_per_second": 1e5}, "junk"]).ok

@@ -1,0 +1,218 @@
+"""Run ledger: manifests, provenance, artifacts, diffs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.errors import LedgerError
+from repro.measure.config import ScanConfig
+from repro.measure.scan import ArrayScanner
+from repro.obs import (
+    MetricsRegistry,
+    RunLedger,
+    RunManifest,
+    config_fingerprint,
+    config_hash,
+    scan_scalars,
+)
+
+
+def small_array(seed=0, nominal_fF=30.0):
+    from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+    from repro.units import fF
+
+    shape = (16, 8)
+    capacitance = compose_maps(
+        uniform_map(shape, nominal_fF * fF),
+        mismatch_map(shape, 0.8 * fF, seed=seed),
+    )
+    return EDRAMArray(16, 8, macro_rows=8, macro_cols=2, capacitance_map=capacitance)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "runs")
+
+
+class TestProvenance:
+    def test_fingerprint_covers_data_fields_only(self):
+        fp = config_fingerprint(ScanConfig(jobs=2, tier="transient"))
+        assert fp == {
+            "jobs": 2, "preflight": False, "force_engine": False,
+            "tier": "transient",
+        }
+
+    def test_hash_stable_and_sensitive(self):
+        base = ScanConfig()
+        assert config_hash(base) == config_hash(ScanConfig())
+        assert config_hash(base) != config_hash(ScanConfig(jobs=2))
+
+    def test_hash_ignores_observers(self):
+        assert config_hash(ScanConfig()) == config_hash(
+            ScanConfig(metrics=MetricsRegistry())
+        )
+
+    def test_scan_scalars_shape(self):
+        result = ArrayScanner(small_array()).scan()
+        scalars = scan_scalars(result)
+        assert {
+            "code_centroid", "code_sigma", "vgs_mean", "vgs_sigma",
+            "flip_step_mean", "flip_step_p95", "wall_seconds",
+            "cells_per_second",
+        } <= set(scalars)
+        assert scalars["code_sigma"] >= 0
+        assert scalars["cells_per_second"] > 0
+
+
+class TestManifestRoundTrip:
+    def test_to_from_dict(self):
+        manifest = RunManifest(
+            kind="scan", run_id="r0001", timestamp="t", seed=3,
+            scalars={"x": 1.5}, extra={"note": "hi"},
+        )
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(LedgerError, match="malformed"):
+            RunManifest.from_dict({"run_id": "r0001"})  # no kind
+
+
+class TestRecording:
+    def test_record_scan_assigns_identity(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        m1 = ledger.record_scan(result, ScanConfig(), seed=1, label="a")
+        m2 = ledger.record_scan(result, ScanConfig(), seed=2)
+        assert [m1.run_id, m2.run_id] == ["r0001", "r0002"]
+        assert m1.timestamp and m1.version
+        assert m1.config_hash == config_hash(ScanConfig())
+        assert m1.seed == 1 and m1.label == "a"
+
+    def test_artifact_round_trip(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        manifest = ledger.record_scan(result, ScanConfig())
+        loaded = ledger.load_artifact(ledger.get(manifest.run_id))
+        assert np.array_equal(loaded.codes, result.codes)
+
+    def test_artifact_optional(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        manifest = ledger.record_scan(result, save_artifact=False)
+        assert manifest.artifact is None
+        with pytest.raises(LedgerError, match="no scan artifact"):
+            ledger.load_artifact(manifest)
+
+    def test_metrics_snapshot_captured(self, ledger):
+        metrics = MetricsRegistry()
+        config = ScanConfig(metrics=metrics)
+        result = ArrayScanner(small_array()).scan(config)
+        manifest = ledger.record_scan(result, config)
+        assert manifest.metrics is not None
+        assert "scan.cells" in manifest.metrics
+
+    def test_scan_via_config_ledger(self, ledger):
+        config = ScanConfig(ledger=ledger)
+        ArrayScanner(small_array()).scan(config)
+        runs = ledger.runs()
+        assert len(runs) == 1
+        assert runs[0].kind == "scan"
+        assert runs[0].cpu_seconds is not None
+        assert runs[0].tech == "generic-0.18um-edram"
+
+    def test_wafer_via_config_ledger(self, ledger):
+        from repro.wafer import WaferModel
+
+        model = WaferModel(
+            diameter_dies=3, die_rows=8, die_cols=4,
+            macro_rows=4, macro_cols=2, seed=5,
+        )
+        model.measure_wafer(config=ScanConfig(ledger=ledger))
+        runs = ledger.runs()
+        # One wafer manifest; the per-die scans stay unrecorded.
+        assert [m.kind for m in runs] == ["wafer"]
+        assert runs[0].seed == 5
+        assert {
+            "cap_mean_fF", "cap_sigma_fF", "radial_centre_fF",
+            "radial_drop_fF", "dies",
+        } <= set(runs[0].scalars)
+
+
+class TestReading:
+    def test_empty_ledger(self, ledger):
+        assert ledger.runs() == []
+        assert len(ledger) == 0
+
+    def test_get_unknown_run_raises(self, ledger):
+        with pytest.raises(LedgerError, match="no run"):
+            ledger.get("r0042")
+
+    def test_corrupt_manifest_line_raises(self, ledger):
+        ledger.record_scan(ArrayScanner(small_array()).scan())
+        with open(ledger.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "scan", "run_id"')  # truncated write
+        with pytest.raises(LedgerError, match="not valid JSON"):
+            ledger.runs()
+
+    def test_latest_and_series(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        for _ in range(3):
+            ledger.record_scan(result)
+        assert [m.run_id for m in ledger.latest(2)] == ["r0002", "r0003"]
+        series = ledger.series("code_centroid", kind="scan")
+        assert len(series) == 3
+        assert series[0][0] == "r0001"
+
+    def test_manifest_line_is_plain_json(self, ledger):
+        ledger.record_scan(ArrayScanner(small_array()).scan())
+        line = ledger.manifest_path.read_text().splitlines()[0]
+        record = json.loads(line)
+        assert record["format"] == 1
+        assert record["kind"] == "scan"
+
+
+class TestDiff:
+    def test_identical_runs_diff_clean(self, ledger):
+        result = ArrayScanner(small_array(seed=7)).scan()
+        ledger.record_scan(result, ScanConfig())
+        ledger.record_scan(result, ScanConfig())
+        diff = ledger.diff("r0001", "r0002")
+        assert diff.config_changes == {}
+        assert diff.bitmap["cells_changed"] == 0
+        assert "identical" in diff.format_text()
+
+    def test_config_change_surfaces(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        ledger.record_scan(result, ScanConfig())
+        ledger.record_scan(result, ScanConfig(force_engine=True))
+        diff = ledger.diff("r0001", "r0002")
+        assert diff.config_changes == {"force_engine": (False, True)}
+
+    def test_bitmap_delta_detects_shift(self, ledger):
+        from repro.calibration.design import design_structure
+
+        # The designed structure's code scale resolves a 4 fF process
+        # shift (the default reference design is coarser).
+        a, b = small_array(nominal_fF=30.0), small_array(nominal_fF=26.0)
+        structure = design_structure(a.tech, 8, 2, bitline_rows=16)
+        ledger.record_scan(ArrayScanner(a, structure).scan())
+        ledger.record_scan(ArrayScanner(b, structure).scan())
+        diff = ledger.diff("r0001", "r0002")
+        assert diff.bitmap["cells_changed"] > 0
+        assert diff.bitmap["mean_code_delta"] < 0  # lower caps, lower codes
+        assert diff.scalar_deltas["code_centroid"][2] < 0
+
+    def test_missing_artifact_reason(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        ledger.record_scan(result, save_artifact=False)
+        ledger.record_scan(result)
+        diff = ledger.diff("r0001", "r0002")
+        assert "reason" in diff.bitmap
+
+    def test_to_dict_shape(self, ledger):
+        result = ArrayScanner(small_array()).scan()
+        ledger.record_scan(result)
+        ledger.record_scan(result)
+        d = ledger.diff("r0001", "r0002").to_dict()
+        assert d["a"] == "r0001" and d["b"] == "r0002"
+        assert {"config_changes", "scalar_deltas", "metric_deltas", "bitmap"} <= set(d)

@@ -96,6 +96,8 @@ class TestRegistry:
         assert d["hits"] == {"kind": "counter", "name": "hits", "value": 3.0}
         assert d["codes"]["count"] == 2
         assert d["codes"]["p50"] in (1, 2)
+        assert {"p50", "p95", "p99"} <= set(d["codes"])
+        assert d["codes"]["p99"] == 2
 
     def test_write_jsonl(self):
         reg = MetricsRegistry()
@@ -121,6 +123,8 @@ class TestRegistry:
         assert "scan.cells" in table
         assert "counter" in table
         assert "count=2" in table
+        for column in ("p50=", "p95=", "p99="):
+            assert column in table
 
     def test_summary_table_empty(self):
         assert "no metrics" in MetricsRegistry().summary_table()

@@ -1,0 +1,146 @@
+"""Progress reporters: bookkeeping, rendering, JSONL events, null path."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_PROGRESS, JsonlProgress, NullProgress, ProgressReporter
+
+
+def make_clock(step=1.0):
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestLifecycle:
+    def test_start_validates_total(self):
+        with pytest.raises(ObservabilityError):
+            ProgressReporter(io.StringIO()).start(0)
+        with pytest.raises(ObservabilityError):
+            ProgressReporter(io.StringIO()).start(-5)
+
+    def test_advance_before_start_raises(self):
+        with pytest.raises(ObservabilityError):
+            ProgressReporter(io.StringIO()).advance()
+
+    def test_finish_before_start_raises(self):
+        with pytest.raises(ObservabilityError):
+            ProgressReporter(io.StringIO()).finish()
+
+    def test_counts_accumulate(self):
+        p = ProgressReporter(io.StringIO(), min_interval=0.0, clock=make_clock())
+        p.start(100)
+        p.advance(30)
+        p.advance(20)
+        assert p.done == 50
+        assert p.total == 100
+
+
+class TestDerivedFigures:
+    def test_rate_and_eta(self):
+        # Finishing freezes elapsed time, so rate and ETA are computed
+        # against the same deterministic clock value.
+        p = ProgressReporter(io.StringIO(), min_interval=0.0, clock=make_clock())
+        p.start(100)
+        p.advance(50)
+        p.finish()
+        assert p.rate > 0
+        assert p.eta_seconds == pytest.approx((100 - 50) / p.rate)
+
+    def test_eta_infinite_before_work(self):
+        p = ProgressReporter(io.StringIO(), min_interval=0.0, clock=make_clock())
+        p.start(10)
+        assert p.eta_seconds == float("inf")
+        assert p.snapshot()["eta_seconds"] is None
+
+    def test_elapsed_frozen_after_finish(self):
+        p = ProgressReporter(io.StringIO(), min_interval=0.0, clock=make_clock())
+        p.start(4)
+        p.advance(4)
+        p.finish()
+        assert p.elapsed == p.elapsed  # stable once finished
+
+
+class TestReporterRendering:
+    def test_status_line_contents(self):
+        buf = io.StringIO()
+        p = ProgressReporter(buf, min_interval=0.0, clock=make_clock())
+        p.start(128, label="scan", units="cells")
+        p.advance(64)
+        line = p.render_line()
+        assert "scan: 64/128 cells" in line
+        assert "50%" in line
+        assert "ETA" in line
+        assert "\r" in buf.getvalue()
+
+    def test_finish_writes_newline(self):
+        buf = io.StringIO()
+        p = ProgressReporter(buf, min_interval=0.0, clock=make_clock())
+        p.start(2)
+        p.advance(2)
+        p.finish()
+        assert buf.getvalue().endswith("\n")
+
+    def test_repaints_throttled(self):
+        buf = io.StringIO()
+        # 1s ticks but a 10s minimum interval: intermediate advances
+        # must not repaint.
+        p = ProgressReporter(buf, min_interval=10.0, clock=make_clock())
+        p.start(100)
+        before = buf.getvalue().count("\r")
+        for _ in range(5):
+            p.advance(1)
+        assert buf.getvalue().count("\r") == before
+
+
+class TestJsonlProgress:
+    def test_event_stream_to_open_stream(self):
+        buf = io.StringIO()
+        p = JsonlProgress(buf, clock=make_clock())
+        p.start(10, label="wafer", units="dies")
+        p.advance(4)
+        p.finish()
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [e["event"] for e in events] == ["start", "progress", "finish"]
+        assert events[1]["done"] == 4
+        assert events[-1]["label"] == "wafer"
+        assert events[-1]["units"] == "dies"
+        assert {"total", "elapsed_seconds", "rate_per_second"} <= set(events[0])
+
+    def test_event_stream_to_path(self, tmp_path):
+        target = tmp_path / "progress.jsonl"
+        p = JsonlProgress(str(target), clock=make_clock())
+        p.start(3)
+        p.advance(3)
+        p.finish()
+        events = [json.loads(line) for line in target.read_text().splitlines()]
+        assert events[-1]["event"] == "finish"
+        assert events[-1]["done"] == 3
+
+    def test_restartable_after_finish(self, tmp_path):
+        target = tmp_path / "progress.jsonl"
+        p = JsonlProgress(str(target), clock=make_clock())
+        p.start(1)
+        p.finish()
+        p.start(2)  # a second run reopens the file
+        p.finish()
+        assert target.exists()
+
+
+class TestNullProgress:
+    def test_noop_everything(self):
+        NULL_PROGRESS.advance()  # no start needed, nothing raises
+        NULL_PROGRESS.start(10)
+        NULL_PROGRESS.finish()
+
+    def test_enabled_flags(self):
+        assert NullProgress().enabled is False
+        assert ProgressReporter(io.StringIO()).enabled is True
+        assert JsonlProgress(io.StringIO()).enabled is True

@@ -57,6 +57,24 @@ class TestLoadTrace:
         with pytest.raises(ObservabilityError, match="unknown parent"):
             load_trace(io.StringIO(line + "\n"))
 
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError, match="no spans"):
+            load_trace(str(path))
+
+    def test_blank_only_file_raises(self):
+        with pytest.raises(ObservabilityError, match="no spans"):
+            load_trace(io.StringIO("\n\n  \n"))
+
+    def test_truncated_final_line_raises(self):
+        tracer = sample_tracer()
+        buf = io.StringIO()
+        tracer.write_jsonl(buf)
+        cut = buf.getvalue().rstrip("\n")[:-10]  # chop the last record
+        with pytest.raises(ObservabilityError, match="truncated mid-record"):
+            load_trace(io.StringIO(cut))
+
 
 class TestSummarize:
     def test_aggregates_by_name(self):
@@ -103,7 +121,28 @@ class TestSummarize:
         with pytest.raises(ObservabilityError):
             summarize_trace(spans)
 
-    def test_empty_trace(self):
-        summary = summarize_trace([])
-        assert summary.total_spans == 0
-        assert summary.aggregates == []
+    def test_empty_trace_raises(self):
+        with pytest.raises(ObservabilityError, match="empty trace"):
+            summarize_trace([])
+
+    def test_percentiles_nearest_rank(self):
+        tracer = Tracer(clock=make_clock())
+        for _ in range(10):  # durations 1s each under an uneven parent
+            with tracer.span("macro"):
+                pass
+        summary = summarize_trace(tracer.spans)
+        macro = next(a for a in summary.aggregates if a.name == "macro")
+        # Every macro span lasts exactly 1 tick under the fake clock.
+        assert macro.p50_seconds == pytest.approx(1.0)
+        assert macro.p95_seconds == pytest.approx(1.0)
+        assert macro.p99_seconds == pytest.approx(1.0)
+        assert macro.p50_seconds <= macro.p95_seconds <= macro.p99_seconds
+        assert macro.p99_seconds <= macro.max_seconds
+
+    def test_percentiles_in_table_and_dict(self):
+        summary = summarize_trace(sample_tracer().spans)
+        table = summary.table()
+        for column in ("p50", "p95", "p99"):
+            assert column in table
+        for row in summary.to_dict()["spans"]:
+            assert {"p50_seconds", "p95_seconds", "p99_seconds"} <= set(row)

@@ -142,3 +142,135 @@ def test_wafer_command(capsys):
     out = capsys.readouterr().out
     assert "wafer mean" in out
     assert "radial profile" in out
+
+
+def test_default_ledger_dir_matches_library():
+    from repro.cli import _DEFAULT_LEDGER_DIR
+    from repro.obs import DEFAULT_LEDGER_DIR
+
+    assert _DEFAULT_LEDGER_DIR == DEFAULT_LEDGER_DIR
+
+
+def test_scan_json_round_trip_schema(capsys):
+    """The --json payload parses and carries the documented keys."""
+    import json
+
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--healthy", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {
+        "geometry", "cells", "num_steps", "mean_fF", "sigma_fF",
+        "code_histogram", "stats", "metrics", "trace", "saved",
+        "run_id", "ledger",
+    } <= set(payload)
+    assert payload["run_id"] is None  # not recorded
+    assert payload["geometry"]["macros"] == 2  # (8/8 rows) x (4/2 cols)
+    assert payload["stats"]["wall_seconds"] > 0
+    assert isinstance(payload["mean_fF"], float)
+
+
+def test_diagnose_json_round_trip_schema(capsys):
+    import json
+
+    assert main([
+        "diagnose", "--rows", "16", "--cols", "8", "--macro-rows", "8", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {
+        "digital_fails", "verdicts", "findings", "process", "repair",
+        "scan_stats", "run_id", "ledger",
+    } <= set(payload)
+    assert isinstance(payload["digital_fails"], int)
+    assert sum(payload["verdicts"].values()) == 16 * 8
+
+
+def _record_scan(tmp_path, seed, nominal=None, extra=()):
+    args = [
+        "scan", "--rows", "16", "--cols", "8", "--macro-rows", "8",
+        "--healthy", "--seed", str(seed),
+        "--record", str(tmp_path / "runs"), *extra,
+    ]
+    if nominal is not None:
+        args += ["--nominal-ff", str(nominal)]
+    return main(args)
+
+
+def test_scan_record_and_runs_verbs(tmp_path, capsys):
+    import json
+
+    assert _record_scan(tmp_path, seed=1, extra=("--label", "base")) == 0
+    assert _record_scan(tmp_path, seed=2) == 0
+    out = capsys.readouterr().out
+    assert "recorded as r0001" in out
+
+    assert main(["runs", "list", "--dir", str(tmp_path / "runs")]) == 0
+    listing = capsys.readouterr().out
+    assert "r0001" in listing and "r0002" in listing and "base" in listing
+
+    assert main(["runs", "show", "--dir", str(tmp_path / "runs"),
+                 "r0001", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["run_id"] == "r0001"
+    assert manifest["seed"] == 1
+    assert "cap_mean_fF" in manifest["scalars"]
+
+    assert main(["runs", "diff", "--dir", str(tmp_path / "runs"),
+                 "r0001", "r0002"]) == 0
+    diff_out = capsys.readouterr().out
+    assert "runs diff: r0001 -> r0002" in diff_out
+    assert "bitmap:" in diff_out
+
+
+def test_runs_check_gates_on_drift(tmp_path, capsys):
+    # Clean pair (same process, different seeds): gate passes.
+    assert _record_scan(tmp_path, seed=1) == 0
+    assert _record_scan(tmp_path, seed=2) == 0
+    capsys.readouterr()
+    assert main(["runs", "check", "--dir", str(tmp_path / "runs")]) == 0
+    # Injected 4 fF process drift: gate fails.
+    assert _record_scan(tmp_path, seed=3, nominal=26.0) == 0
+    capsys.readouterr()
+    assert main(["runs", "check", "--dir", str(tmp_path / "runs")]) == 1
+    assert "DRF" in capsys.readouterr().out
+
+
+def test_runs_show_unknown_id_fails_cleanly(tmp_path, capsys):
+    assert _record_scan(tmp_path, seed=1) == 0
+    capsys.readouterr()
+    assert main(["runs", "show", "--dir", str(tmp_path / "runs"), "r0099"]) == 2
+    assert "no run" in capsys.readouterr().err
+
+
+def test_runs_list_empty_ledger(tmp_path, capsys):
+    assert main(["runs", "list", "--dir", str(tmp_path / "void")]) == 0
+    assert "no recorded runs" in capsys.readouterr().out
+
+
+def test_scan_progress_jsonl(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "progress.jsonl"
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--healthy", "--progress-jsonl", str(target),
+    ]) == 0
+    events = [json.loads(line) for line in target.read_text().splitlines()]
+    assert events[0]["event"] == "start"
+    assert events[-1]["event"] == "finish"
+    assert events[-1]["done"] == 32
+    assert events[-1]["units"] == "cells"
+
+
+def test_wafer_record(tmp_path, capsys):
+    assert main([
+        "wafer", "--diameter", "3", "--record", str(tmp_path / "runs"),
+        "--label", "lot-7",
+    ]) == 0
+    assert "recorded as r0001" in capsys.readouterr().out
+    from repro.obs import RunLedger
+
+    runs = RunLedger(tmp_path / "runs").runs()
+    assert [m.kind for m in runs] == ["wafer"]
+    assert runs[0].label == "lot-7"

@@ -78,3 +78,50 @@ def test_determinism():
     a = WaferModel(diameter_dies=5, seed=3).measure_wafer()
     b = WaferModel(diameter_dies=5, seed=3).measure_wafer()
     assert a.wafer_mean == b.wafer_mean
+
+
+def test_radial_profile_exact_on_synthetic_dies():
+    """The fit recovers a planted a + b·r² profile exactly (no noise)."""
+    from repro.wafer import DieSite
+
+    a_true, b_true = 30.0 * fF, -2.5 * fF
+    dies = [
+        DieSite(x=i, y=0, radius_fraction=r,
+                mean_capacitance=a_true + b_true * r**2,
+                sigma_capacitance=0.0)
+        for i, r in enumerate([0.0, 0.25, 0.5, 0.75, 1.0])
+    ]
+    a, b = WaferReport(dies=dies, diameter=5).radial_profile()
+    assert a == pytest.approx(a_true, rel=1e-9)
+    assert b == pytest.approx(b_true, rel=1e-9)
+
+
+def test_radial_profile_flat_wafer_has_zero_slope():
+    from repro.wafer import DieSite
+
+    dies = [
+        DieSite(x=i, y=0, radius_fraction=r, mean_capacitance=30.0 * fF,
+                sigma_capacitance=0.0)
+        for i, r in enumerate([0.0, 0.5, 1.0])
+    ]
+    a, b = WaferReport(dies=dies, diameter=3).radial_profile()
+    assert to_fF(a) == pytest.approx(30.0)
+    assert to_fF(b) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_measure_wafer_reports_die_progress():
+    import io
+    import json
+
+    from repro.measure.config import ScanConfig
+    from repro.obs import JsonlProgress
+
+    buf = io.StringIO()
+    model = WaferModel(diameter_dies=3, die_rows=8, die_cols=4,
+                       macro_rows=4, macro_cols=2, seed=2)
+    model.measure_wafer(config=ScanConfig(progress=JsonlProgress(buf)))
+    events = [json.loads(line) for line in buf.getvalue().splitlines()]
+    # Progress is die-granular: the per-die cell scans stay silent.
+    assert all(e["units"] == "dies" for e in events)
+    assert events[-1]["event"] == "finish"
+    assert events[-1]["done"] == len(model.sites())
