@@ -443,6 +443,97 @@ def bench_perf_scan_record_overhead(tech):
     )
 
 
+def bench_perf_scan_resilience_overhead(tech):
+    """Resilience guard: armed supervision must cost < 5% on a clean scan.
+
+    The resilience layer adds a fault-point probe per cell and macro, a
+    quality plane per macro, and retry/timeout plumbing through the
+    config.  On a *clean* scan (fault plan armed but empty, retry and
+    timeout configured, nothing fires) all of that must be invisible:
+    the probe is one context-variable read, the quality plane is zeros.
+    Same engine-tier workload and measurement discipline as the tracer
+    gate (order-alternating rounds, GC paused, best-of minima, three
+    independent attempts).
+    """
+    from repro.resilience import FaultPlan, RetryPolicy
+
+    rows, cols = 16, 4
+    array = _build(tech, rows=rows, cols=cols)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=rows)
+    scanner = ArrayScanner(array, structure)
+    plain_config = ScanConfig(force_engine=True)
+    armed_config = ScanConfig(
+        force_engine=True,
+        faults=FaultPlan([]),
+        retry=RetryPolicy(),
+        timeout=60.0,
+    )
+    baseline = scanner.scan(plain_config)  # warms the netlist cache
+
+    def run(config):
+        t0 = time.perf_counter()
+        scan = scanner.scan(config)
+        return time.perf_counter() - t0, scan
+
+    armed_scan = None
+
+    def measure():
+        nonlocal armed_scan
+        plain_times, armed_times = [], []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for i in range(20):
+                if i % 2 == 0:
+                    seconds, _ = run(plain_config)
+                    plain_times.append(seconds)
+                    seconds, armed_scan = run(armed_config)
+                    armed_times.append(seconds)
+                else:
+                    seconds, armed_scan = run(armed_config)
+                    armed_times.append(seconds)
+                    seconds, _ = run(plain_config)
+                    plain_times.append(seconds)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return min(plain_times), min(armed_times)
+
+    attempts = []
+    for _ in range(3):
+        plain_best, armed_best = measure()
+        attempts.append(armed_best / plain_best - 1)
+        if attempts[-1] < 0.05:
+            break
+    overhead = min(attempts)
+
+    # Supervision must be invisible in the data...
+    assert np.array_equal(armed_scan.codes, baseline.codes)
+    assert np.array_equal(armed_scan.vgs, baseline.vgs)
+    # ...and the clean scan must report a clean quality plane.
+    assert not armed_scan.quality.any()
+    assert armed_scan.stats.degraded_cells == 0
+    assert armed_scan.stats.failed_cells == 0
+
+    report(
+        "PERF: armed resilience overhead on a clean engine-tier scan",
+        "\n".join([
+            f"array {rows}x{cols}, force_engine, empty fault plan + "
+            f"retry + timeout armed",
+            f"plain best-of-20: {plain_best * 1e3:8.2f} ms",
+            f"armed best-of-20: {armed_best * 1e3:8.2f} ms",
+            f"overhead        : {overhead * 100:+.2f}%  (budget < 5%, "
+            f"{len(attempts)} attempt(s))",
+        ]),
+    )
+
+    assert overhead < 0.05, (
+        f"resilience overhead {overhead * 100:.2f}% exceeds 5% budget "
+        f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
+    )
+
+
 def bench_perf_scan_smoke(benchmark, tech):
     """CI smoke: one round on a small array, stats sanity only."""
     array = _build(tech, rows=32, cols=8)

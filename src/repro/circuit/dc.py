@@ -1,11 +1,24 @@
-"""DC operating-point analysis.
+"""DC operating-point analysis with a continuation fallback ladder.
 
-Damped Newton iteration on the MNA system with a gmin-stepping fallback:
-if plain Newton fails to converge, the analysis restarts with a large
-conductance to ground on every node and relaxes it geometrically down to
-the target gmin, using each converged solution as the next initial guess.
-This is the standard continuation trick and handles every circuit in this
-library (small, mostly capacitive, gently nonlinear).
+Damped Newton iteration on the MNA system, backed by two continuation
+fallbacks that climb in aggressiveness:
+
+1. **Newton** from the supplied guess — almost always sufficient for
+   this library's small, mostly capacitive, gently nonlinear circuits.
+2. **gmin stepping** — restart with a large conductance to ground on
+   every node and relax it geometrically down to the target gmin,
+   using each converged solution as the next initial guess.
+3. **source stepping** — ramp every independent source from zero to
+   its programmed value (``StampContext.source_scale``), walking the
+   circuit up to its operating point along a physically continuous
+   path.  A point reached only this way is flagged
+   :class:`~repro.resilience.quality.CellQuality.DEGRADED`.
+
+:func:`dc_solve_vector` keeps the historical contract (a vector or a
+raised error); :func:`dc_solve_ladder` is the resilient entry — it
+never raises on convergence trouble, returning a best-effort vector
+tagged with the :class:`~repro.resilience.quality.CellQuality` rung
+that produced it (``FAILED`` = zeros placeholder, do not trust).
 """
 
 from __future__ import annotations
@@ -16,6 +29,8 @@ from repro.circuit.mna import MnaSystem, StampContext
 from repro.circuit.netlist import Circuit
 from repro.errors import ConvergenceError, SingularCircuitError
 from repro.obs.metrics import active_metrics
+from repro.resilience.faults import fault_point
+from repro.resilience.quality import CellQuality
 
 
 #: Default absolute KCL residual tolerance, amperes.
@@ -24,6 +39,9 @@ DEFAULT_ABSTOL = 1e-10
 DEFAULT_VTOL = 1e-8
 #: Maximum Newton step per iteration, volts (damping limit).
 MAX_STEP_V = 0.6
+#: Source-stepping ramp: source_scale values walked in order (the final
+#: point is exactly 1.0 so the last solve is the true circuit).
+SOURCE_RAMP = np.linspace(0.0, 1.0, 11)
 
 
 def _newton(
@@ -34,6 +52,7 @@ def _newton(
     vtol: float,
 ) -> np.ndarray:
     """Run damped Newton from ``v0``; return the full unknown vector."""
+    fault_point("solver.newton")
     n = sys.num_nodes
     x = np.zeros(sys.size)
     x[:n] = v0
@@ -61,6 +80,82 @@ def _newton(
     )
 
 
+def _gmin_steps(
+    sys: MnaSystem,
+    time: float,
+    guess: np.ndarray,
+    max_iter: int,
+    gmin: float,
+    vtol: float,
+) -> np.ndarray:
+    """Converge a heavily damped circuit first, then relax toward gmin."""
+    x: np.ndarray | None = None
+    for g in np.geomspace(1e-3, gmin, 12):
+        ctx = StampContext(time=time, dt=None, gmin=float(g))
+        x = _newton(sys, ctx, guess, max_iter, vtol)
+        guess = x[: sys.num_nodes]
+    if x is None:  # pragma: no cover - geomspace always yields points
+        raise SingularCircuitError("gmin stepping produced no solution")
+    return x
+
+
+def _source_steps(
+    sys: MnaSystem,
+    time: float,
+    guess: np.ndarray,
+    max_iter: int,
+    gmin: float,
+    vtol: float,
+) -> np.ndarray:
+    """Ramp every source from 0 to full value, carrying guesses along."""
+    x: np.ndarray | None = None
+    for scale in SOURCE_RAMP:
+        ctx = StampContext(
+            time=time, dt=None, gmin=gmin, source_scale=float(scale)
+        )
+        x = _newton(sys, ctx, guess, max_iter, vtol)
+        guess = x[: sys.num_nodes]
+    if x is None:  # pragma: no cover - linspace always yields points
+        raise SingularCircuitError("source stepping produced no solution")
+    return x
+
+
+def _dc_solve_with_quality(
+    circuit: Circuit,
+    time: float,
+    initial_guess: np.ndarray | None,
+    max_iter: int,
+    gmin: float,
+    vtol: float,
+) -> tuple[np.ndarray, CellQuality]:
+    """Climb the fallback ladder; return (vector, quality of the rung)."""
+    fault_point("solver.dc", title=circuit.title)
+    sys = MnaSystem(circuit)
+    v0 = (
+        np.zeros(circuit.num_nodes)
+        if initial_guess is None
+        else np.asarray(initial_guess, dtype=float).copy()
+    )
+    ctx = StampContext(time=time, dt=None, gmin=gmin)
+    try:
+        return _newton(sys, ctx, v0, max_iter, vtol), CellQuality.GOOD
+    except ConvergenceError:
+        active_metrics().counter(
+            "solver.gmin_fallbacks", "plain Newton failures rescued by gmin stepping"
+        ).inc()
+    try:
+        return _gmin_steps(sys, time, v0, max_iter, gmin, vtol), CellQuality.GOOD
+    except ConvergenceError:
+        active_metrics().counter(
+            "solver.source_fallbacks",
+            "gmin-stepping failures rescued by source stepping",
+        ).inc()
+    return (
+        _source_steps(sys, time, v0, max_iter, gmin, vtol),
+        CellQuality.DEGRADED,
+    )
+
+
 def dc_solve_vector(
     circuit: Circuit,
     time: float = 0.0,
@@ -73,31 +168,43 @@ def dc_solve_vector(
 
     ``time`` is passed to time-dependent stimuli so the "DC" point can be
     evaluated with sources frozen at any instant (used for transient
-    initial conditions).
+    initial conditions).  Climbs the full fallback ladder; raises
+    :class:`ConvergenceError` only when even source stepping fails.
     """
-    sys = MnaSystem(circuit)
-    v0 = (
-        np.zeros(circuit.num_nodes)
-        if initial_guess is None
-        else np.asarray(initial_guess, dtype=float).copy()
-    )
-    ctx = StampContext(time=time, dt=None, gmin=gmin)
-    try:
-        return _newton(sys, ctx, v0, max_iter, vtol)
-    except ConvergenceError:
-        active_metrics().counter(
-            "solver.gmin_fallbacks", "plain Newton failures rescued by gmin stepping"
-        ).inc()
-    # gmin stepping: converge a heavily damped circuit first, then relax.
-    x: np.ndarray | None = None
-    guess = v0
-    for g in np.geomspace(1e-3, gmin, 12):
-        ctx = StampContext(time=time, dt=None, gmin=float(g))
-        x = _newton(sys, ctx, guess, max_iter, vtol)
-        guess = x[: circuit.num_nodes]
-    if x is None:  # pragma: no cover - geomspace always yields points
-        raise SingularCircuitError("gmin stepping produced no solution")
+    x, _ = _dc_solve_with_quality(circuit, time, initial_guess, max_iter, gmin, vtol)
     return x
+
+
+def dc_solve_ladder(
+    circuit: Circuit,
+    time: float = 0.0,
+    initial_guess: np.ndarray | None = None,
+    max_iter: int = 200,
+    gmin: float = 1e-12,
+    vtol: float = DEFAULT_VTOL,
+) -> tuple[np.ndarray, CellQuality]:
+    """Resilient DC solve: always returns ``(vector, quality)``.
+
+    - ``GOOD`` — Newton or gmin stepping converged (trustworthy),
+    - ``DEGRADED`` — only source stepping reached the operating point,
+    - ``FAILED`` — every rung failed; the vector is a zeros placeholder
+      and must not enter statistics.
+
+    Convergence trouble becomes data instead of an exception, which is
+    what lets one pathological cell flag itself in the analog bitmap
+    rather than abort a million-cell scan.
+    """
+    try:
+        return _dc_solve_with_quality(
+            circuit, time, initial_guess, max_iter, gmin, vtol
+        )
+    except (ConvergenceError, SingularCircuitError):
+        active_metrics().counter(
+            "solver.best_effort",
+            "DC ladder exhausted; zeros placeholder flagged FAILED",
+        ).inc()
+        size = MnaSystem(circuit).size
+        return np.zeros(size), CellQuality.FAILED
 
 
 def dc_operating_point(

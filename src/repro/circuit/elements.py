@@ -163,7 +163,9 @@ class VoltageSource(TwoTerminal):
         ia = sys.circuit.node_index(self.a)
         ib = sys.circuit.node_index(self.b)
         branch = sys.branch_index(self.name)
-        sys.stamp_voltage_source(branch, ia, ib, self.value(ctx.time))
+        sys.stamp_voltage_source(
+            branch, ia, ib, ctx.source_scale * self.value(ctx.time)
+        )
 
 
 class CurrentSource(TwoTerminal):
@@ -185,7 +187,7 @@ class CurrentSource(TwoTerminal):
     def stamp(self, sys: MnaSystem, ctx: StampContext) -> None:
         ia = sys.circuit.node_index(self.a)
         ib = sys.circuit.node_index(self.b)
-        i = self.value(ctx.time)
+        i = ctx.source_scale * self.value(ctx.time)
         sys.add_current(ia, -i)
         sys.add_current(ib, i)
 
@@ -227,7 +229,7 @@ class CurrentMirrorOutput(TwoTerminal):
         ib = sys.circuit.node_index(self.b)
         va = ctx.voltage(ia)
         vb = ctx.voltage(ib)
-        i_prog = self.value(ctx.time)
+        i_prog = ctx.source_scale * self.value(ctx.time)
         s = (va - vb) / self.v_knee
         if s > 0:
             i = i_prog * (1.0 - math.exp(-s))

@@ -49,6 +49,11 @@ class StampContext:
     gmin:
         Conductance to ground added on every node (set by the solver;
         elements may also consult it).
+    source_scale:
+        Multiplier applied by every independent source (voltage,
+        current, mirror) to its programmed value.  1.0 for normal
+        solves; the DC solver's source-stepping fallback ramps it from
+        ~0 to 1.0 to walk a stubborn circuit up to its operating point.
     """
 
     time: float = 0.0
@@ -58,6 +63,7 @@ class StampContext:
     integrator: str = "be"
     cap_current_prev: dict[str, float] = field(default_factory=dict)
     gmin: float = 1e-12
+    source_scale: float = 1.0
 
     def voltage(self, index: int, which: str = "iter") -> float:
         """Voltage of node ``index`` (-1 = ground) in the chosen vector."""
@@ -186,5 +192,5 @@ class MnaSystem:
             errors = report.errors
             nodes = tuple(dict.fromkeys(n for d in errors for n in d.nodes))
             return nodes, tuple(errors)
-        except Exception:  # pragma: no cover - defensive
+        except Exception:  # lint: allow-broad-except  # pragma: no cover - defensive
             return (), ()

@@ -23,6 +23,13 @@ subcommand spells them identically: ``--seed``, ``--jobs``,
 ``--format json``), and on the measurement commands ``--record [DIR]``
 (append a run manifest to the ledger), ``--label``, ``--progress`` /
 ``--progress-jsonl PATH`` (live completion/throughput/ETA).
+
+Resilience (``scan`` and ``wafer``): ``--checkpoint [DIR]`` persists
+completed macros/dies through the run ledger, ``--resume RUN_ID``
+continues an interrupted run bit-exactly (``repro runs checkpoints``
+lists the unfinished ones), and on ``scan`` ``--timeout``/``--retries``
+tune the supervised process pool.  Ctrl-C exits with status 130 after a
+bounded pool teardown, printing the resume command when one exists.
 """
 
 from __future__ import annotations
@@ -84,6 +91,21 @@ def _record_parent() -> argparse.ArgumentParser:
                              f"(default {_DEFAULT_LEDGER_DIR})")
     parent.add_argument("--label", default="",
                         help="free-form label stored in the run manifest")
+    return parent
+
+
+def _checkpoint_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--checkpoint", nargs="?", const=_DEFAULT_LEDGER_DIR,
+                        default=None, metavar="DIR",
+                        help="checkpoint completed work units into this ledger "
+                             "directory (default: the --record directory, else "
+                             f"{_DEFAULT_LEDGER_DIR}) so an interrupted run "
+                             "can --resume")
+    parent.add_argument("--resume", metavar="RUN_ID",
+                        help="resume the unfinished checkpointed run RUN_ID "
+                             "(see `repro runs checkpoints`); geometry/seed "
+                             "flags are restored from the checkpoint")
     return parent
 
 
@@ -165,17 +187,79 @@ def cmd_abacus(args) -> int:
     return 0
 
 
+#: Scan CLI flags persisted in a checkpoint's meta so ``--resume`` can
+#: rebuild the identical array without the user retyping geometry.
+_SCAN_REBUILD_KEYS = (
+    "rows", "cols", "macro_rows", "macro_cols",
+    "seed", "healthy", "nominal_ff", "force_engine",
+)
+
+
+def _checkpointer_from(args, rebuild_keys):
+    """Build the Checkpointer the --checkpoint/--resume flags ask for.
+
+    Returns ``(checkpointer, ck_dir, error_exit)``; on a resume the
+    checkpoint's stored meta is copied back onto ``args`` so the run is
+    rebuilt exactly as checkpointed.  ``error_exit`` is an int exit code
+    when the resume target is unusable, else ``None``.
+    """
+    if args.resume is None and args.checkpoint is None:
+        return None, None, None
+    from repro.errors import CheckpointError
+    from repro.obs import RunLedger
+    from repro.resilience import Checkpointer, load_checkpoint
+
+    ck_dir = args.checkpoint or args.record or _DEFAULT_LEDGER_DIR
+    ledger = RunLedger(ck_dir)
+    if args.resume is not None:
+        try:
+            peek = load_checkpoint(
+                ledger.checkpoint_dir / f"{args.resume}.npz"
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None, ck_dir, 2
+        for key in rebuild_keys:
+            if key in peek.meta:
+                setattr(args, key, peek.meta[key])
+        return Checkpointer(ledger, resume=args.resume), ck_dir, None
+    meta = {key: getattr(args, key) for key in rebuild_keys}
+    return Checkpointer(ledger, meta=meta), ck_dir, None
+
+
+def _resume_hint(command: str, run_id: str, ck_dir: str | None, args) -> str:
+    hint = f"repro {command} --resume {run_id}"
+    if getattr(args, "checkpoint", None):
+        hint += f" --checkpoint {ck_dir}"
+    elif getattr(args, "record", None):
+        hint += f" --record {args.record}"
+    return hint
+
+
 def cmd_scan(args) -> int:
     from repro.bitmap.analog import AnalogBitmap
     from repro.bitmap.export import render_code_map
     from repro.calibration.abacus import Abacus
+    from repro.errors import CheckpointError
     from repro.measure.config import ScanConfig
     from repro.measure.scan import ArrayScanner
     from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 
+    checkpointer, ck_dir, error_exit = _checkpointer_from(
+        args, _SCAN_REBUILD_KEYS
+    )
+    if error_exit is not None:
+        return error_exit
+
     tracer = Tracer() if args.trace else NULL_TRACER
     want_metrics = args.metrics or args.metrics_out or args.format == "json"
     metrics = MetricsRegistry() if want_metrics else NULL_METRICS
+
+    retry = None
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries, seed=args.seed)
 
     array = _build_array(args, with_defects=not args.healthy)
     structure = _design_for(args, array)
@@ -187,9 +271,21 @@ def cmd_scan(args) -> int:
         tracer=tracer,
         metrics=metrics,
         progress=_progress_from(args),
+        retry=retry,
+        timeout=args.timeout,
+        checkpoint=checkpointer,
     )
     cpu_start = process_time()
-    scan = ArrayScanner(array, structure).scan(config)
+    try:
+        scan = ArrayScanner(array, structure).scan(config)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        if checkpointer is not None and checkpointer.state is not None:
+            hint = _resume_hint("scan", checkpointer.run_id, ck_dir, args)
+            print(f"interrupted; resume with: {hint}", file=sys.stderr)
+        raise
     cpu_seconds = process_time() - cpu_start
     bitmap = AnalogBitmap(scan, abacus)
 
@@ -208,11 +304,18 @@ def cmd_scan(args) -> int:
 
         # Recording from the CLI (rather than via config.ledger) folds
         # the calibrated bitmap statistics into the manifest's scalars —
-        # cap_mean_fF is the drift gate's primary chart.
+        # cap_mean_fF is the drift gate's primary chart.  A checkpointed
+        # run recording into the same ledger keeps its reserved id.
+        reserved = (
+            checkpointer.run_id
+            if checkpointer is not None and ck_dir == args.record
+            else None
+        )
         manifest = RunLedger(args.record).record_scan(
             scan, config, bitmap=bitmap, seed=args.seed,
             tech=array.tech.name, label=args.label,
             trace_path=args.trace, cpu_seconds=cpu_seconds,
+            run_id=reserved,
         )
         run_id = manifest.run_id
 
@@ -342,23 +445,53 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+#: Wafer CLI flags persisted in a checkpoint's meta (see _SCAN_REBUILD_KEYS).
+_WAFER_REBUILD_KEYS = ("diameter", "seed")
+
+
 def cmd_wafer(args) -> int:
+    from repro.errors import CheckpointError
     from repro.measure.config import ScanConfig
     from repro.wafer import WaferModel
 
+    checkpointer, ck_dir, error_exit = _checkpointer_from(
+        args, _WAFER_REBUILD_KEYS
+    )
+    if error_exit is not None:
+        return error_exit
+
     model = WaferModel(diameter_dies=args.diameter, seed=args.seed)
-    config = ScanConfig(jobs=args.jobs, progress=_progress_from(args))
+    config = ScanConfig(
+        jobs=args.jobs,
+        progress=_progress_from(args),
+        checkpoint=checkpointer,
+    )
     start = perf_counter()
     cpu_start = process_time()
-    report = model.measure_wafer(config=config)
+    try:
+        report = model.measure_wafer(config=config)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        if checkpointer is not None and checkpointer.state is not None:
+            hint = _resume_hint("wafer", checkpointer.run_id, ck_dir, args)
+            print(f"interrupted; resume with: {hint}", file=sys.stderr)
+        raise
     run_id = None
     if args.record is not None:
         from repro.obs import RunLedger
 
+        reserved = (
+            checkpointer.run_id
+            if checkpointer is not None and ck_dir == args.record
+            else None
+        )
         manifest = RunLedger(args.record).record_wafer(
             report, config, seed=args.seed, tech=model.tech.name,
             label=args.label, wall_seconds=perf_counter() - start,
             cpu_seconds=process_time() - cpu_start,
+            run_id=reserved,
         )
         run_id = manifest.run_id
     print(report.ascii_map())
@@ -457,6 +590,38 @@ def cmd_runs_diff(args) -> int:
     return 0
 
 
+def cmd_runs_checkpoints(args) -> int:
+    from repro.errors import CheckpointError, LedgerError
+    from repro.resilience import list_checkpoints
+
+    try:
+        states = list_checkpoints(_runs_ledger(args))
+    except (CheckpointError, LedgerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([
+            {
+                "run_id": s.run_id,
+                "kind": s.kind,
+                "completed": len(s.completed),
+                "total": s.total,
+                "created": s.created,
+            }
+            for s in states
+        ], indent=2))
+        return 0
+    if not states:
+        print(f"(no unfinished runs in {args.dir})")
+        return 0
+    for s in states:
+        print(f"{s.run_id}  {s.kind:<6} {len(s.completed)}/{s.total} units"
+              f"  created {s.created or '(unknown)'}"
+              f"  (resume with `repro {s.kind} --resume {s.run_id}"
+              f" --checkpoint {args.dir}`)")
+    return 0
+
+
 def cmd_runs_check(args) -> int:
     from repro.errors import LedgerError
     from repro.obs import DriftEngine, check_ledger
@@ -487,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     fmt = _format_parent()
     record = _record_parent()
     progress = _progress_parent()
+    checkpoint = _checkpoint_parent()
 
     p = sub.add_parser("design", parents=[geometry, seed],
                        help="size a measurement structure")
@@ -496,8 +662,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the calibration abacus")
     p.set_defaults(func=cmd_abacus)
 
-    p = sub.add_parser("scan", parents=[geometry, seed, jobs, fmt, record, progress],
+    p = sub.add_parser("scan",
+                       parents=[geometry, seed, jobs, fmt, record, progress,
+                                checkpoint],
                        help="scan a synthesized array")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-macro wall-clock budget for parallel scans; a "
+                        "worker exceeding it is killed and the macro retried")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="attempts per macro under supervision (default 3)")
     p.add_argument("--healthy", action="store_true", help="no injected defects")
     p.add_argument("--nominal-ff", type=float, default=30.0, metavar="FF",
                    help="nominal cell capacitance in fF (default 30; shift it "
@@ -543,7 +716,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip netlist analysis; lint only --source paths")
     p.set_defaults(func=cmd_lint)
 
-    p = sub.add_parser("wafer", parents=[seed, jobs, record, progress],
+    p = sub.add_parser("wafer",
+                       parents=[seed, jobs, record, progress, checkpoint],
                        help="wafer-level monitoring demo")
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
     p.set_defaults(func=cmd_wafer)
@@ -573,6 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
     q.set_defaults(func=cmd_runs_diff)
 
     q = runs_sub.add_parser(
+        "checkpoints", parents=[ledger_dir, fmt],
+        help="list unfinished (resumable) checkpointed runs")
+    q.set_defaults(func=cmd_runs_checkpoints)
+
+    q = runs_sub.add_parser(
         "check", parents=[ledger_dir, fmt],
         help="EWMA/CUSUM drift gate over recorded runs "
              "(exit 1 on out-of-control physics scalars)")
@@ -589,6 +768,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Supervised pools have already torn their workers down (the
+        # scan engine re-raises only after a forced shutdown); exit with
+        # the conventional SIGINT status instead of a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Downstream consumer (head, less) closed the pipe mid-print;
         # detach stdout so the interpreter's shutdown flush stays quiet.

@@ -94,6 +94,45 @@ class LedgerError(ObservabilityError):
     malformed manifest line, missing artifact, ...)."""
 
 
+class ResilienceError(ReproError):
+    """The resilience subsystem was misused (malformed fault plan,
+    invalid retry policy, checkpoint/config mismatch, ...)."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A supervised worker process died while holding a task.
+
+    Attributes
+    ----------
+    exitcode:
+        The worker's exit code as reported by the OS (negative for
+        signal deaths, following :class:`multiprocessing.Process`).
+    """
+
+    def __init__(self, message: str, exitcode: int | None = None):
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class TaskTimeoutError(ResilienceError):
+    """A supervised task exceeded its wall-clock budget and was killed.
+
+    Attributes
+    ----------
+    seconds:
+        The per-task timeout that was exceeded.
+    """
+
+    def __init__(self, message: str, seconds: float = float("nan")):
+        super().__init__(message)
+        self.seconds = seconds
+
+
+class CheckpointError(ResilienceError):
+    """A scan/wafer checkpoint is unusable (unknown id, fingerprint
+    mismatch against the resuming configuration, corrupted file, ...)."""
+
+
 class CalibrationError(ReproError):
     """An abacus or specification window cannot be built or inverted."""
 

@@ -27,7 +27,9 @@ from repro.measure.scan import ScanResult
 from repro.measure.structure import MeasurementStructure
 from repro.units import aF
 
-_SCAN_FORMAT = 1
+#: Format 2 added the per-cell quality plane (format-1 files load as
+#: all-GOOD — a pre-resilience scan had no way to flag a cell).
+_SCAN_FORMAT = 2
 _ABACUS_FORMAT = 1
 
 
@@ -47,26 +49,40 @@ def save_scan(result: ScanResult, path: str | Path) -> Path:
         vgs=result.vgs,
         tiers=result.tiers.astype("<U1"),
         num_steps=np.array(result.num_steps),
+        quality=result.quality,
     )
     return path
 
 
 def load_scan(path: str | Path) -> ScanResult:
-    """Read a scan result written by :func:`save_scan`."""
+    """Read a scan result written by :func:`save_scan`.
+
+    Corruption (truncated download, bad disk, not-an-npz) surfaces as
+    :class:`~repro.errors.MeasurementError` naming the file, never a raw
+    ``zipfile``/``numpy`` traceback — scan files travel between machines
+    and loaders must fail like tools, not like stack dumps.
+    """
     path = Path(path)
     if not path.exists():
         raise MeasurementError(f"no scan file at {path}")
-    with np.load(path, allow_pickle=False) as data:
-        if int(data["format"]) != _SCAN_FORMAT:
-            raise MeasurementError(
-                f"unsupported scan format {int(data['format'])} in {path}"
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            fmt = int(data["format"])
+            if fmt not in (1, _SCAN_FORMAT):
+                raise MeasurementError(
+                    f"unsupported scan format {fmt} in {path}"
+                )
+            return ScanResult(
+                codes=data["codes"].astype(int),
+                vgs=data["vgs"].astype(float),
+                tiers=data["tiers"],
+                num_steps=int(data["num_steps"]),
+                quality=data["quality"] if "quality" in data.files else None,
             )
-        return ScanResult(
-            codes=data["codes"].astype(int),
-            vgs=data["vgs"].astype(float),
-            tiers=data["tiers"],
-            num_steps=int(data["num_steps"]),
-        )
+    except MeasurementError:
+        raise
+    except Exception as exc:  # lint: allow-broad-except - wrapped and re-raised
+        raise MeasurementError(f"unreadable scan file {path}: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -17,9 +17,20 @@ Two project-specific hygiene rules that generic linters don't cover:
     matters must raise a :class:`~repro.errors.ReproError` subclass
     instead.  Test files are exempt (pytest asserts are the idiom).
 
-Suppression: append ``# lint: allow-raw-si`` or ``# lint: allow-assert``
-to the offending line.  ``units.py`` (which *defines* the scale factors)
-is exempt from PY001 wholesale.
+``ERC006 swallowed-repro-error``
+    An ``except Exception`` (or broader) handler in library code whose
+    body neither re-raises nor flags measurement quality.  Such a
+    handler silently eats :class:`~repro.errors.ReproError` — the
+    resilience contract is that a degraded cell is *flagged*, never
+    invisible.  A handler is compliant when it contains a ``raise`` or
+    touches a ``quality`` / ``CellQuality`` name; test files are
+    exempt.  (The code lives in the ERC series because, like the
+    netlist rules, it guards the measurement's integrity rather than
+    Python style.)
+
+Suppression: append ``# lint: allow-raw-si``, ``# lint: allow-assert``
+or ``# lint: allow-broad-except`` to the offending line.  ``units.py``
+(which *defines* the scale factors) is exempt from PY001 wholesale.
 """
 
 from __future__ import annotations
@@ -107,6 +118,74 @@ def check_bare_assert(subject: object, context: dict[str, object]) -> Iterator[D
         yield check_bare_assert.diagnostic(
             "bare assert vanishes under `python -O`; raise a ReproError "
             "subclass for runtime validation",
+            subject=str(path),
+            location=f"{path}:{node.lineno}",
+        )
+
+
+#: Names whose appearance inside a broad handler marks it as flagging
+#: quality instead of swallowing the error.
+_QUALITY_NAMES = ("quality", "CellQuality")
+
+#: Exception names broad enough to catch ReproError indiscriminately.
+_BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare `except:`
+        return True
+    node = handler.type
+    if isinstance(node, ast.Attribute):
+        node = ast.Name(id=node.attr)
+    return isinstance(node, ast.Name) and node.id in _BROAD_EXCEPTIONS
+
+
+def _handler_discharges(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or flags measurement quality."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and any(
+            marker in node.id for marker in _QUALITY_NAMES
+        ):
+            return True
+        if isinstance(node, ast.Attribute) and any(
+            marker in node.attr for marker in _QUALITY_NAMES
+        ):
+            return True
+    return False
+
+
+@rule(
+    "ERC006",
+    "swallowed-repro-error",
+    target="source",
+    summary="broad except swallows ReproError without re-raise or quality flag",
+)
+def check_swallowed_repro_error(
+    subject: object, context: dict[str, object]
+) -> Iterator[Diagnostic]:
+    """Flag broad handlers that silently eat errors in library code.
+
+    ``except Exception`` catches every :class:`~repro.errors.ReproError`
+    subclass; unless the handler re-raises or records a quality flag,
+    a failed measurement disappears without a trace — the exact failure
+    mode the resilience layer exists to prevent.
+    """
+    tree, path, lines = _subject_triple(subject, context)
+    if _is_test_file(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or not _is_broad_handler(node):
+            continue
+        if _line_has_pragma(lines, node.lineno, "lint: allow-broad-except"):
+            continue
+        if _handler_discharges(node):
+            continue
+        caught = "bare except" if node.type is None else f"except {ast.unparse(node.type)}"
+        yield check_swallowed_repro_error.diagnostic(
+            f"{caught} swallows ReproError silently; re-raise, flag cell "
+            "quality, or annotate `# lint: allow-broad-except` with a reason",
             subject=str(path),
             location=f"{path}:{node.lineno}",
         )

@@ -32,6 +32,9 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 if TYPE_CHECKING:
     from repro.obs.ledger import RunLedger
+    from repro.resilience.checkpoint import Checkpointer
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ScanConfig"]
 
@@ -74,6 +77,22 @@ class ScanConfig:
         When set, the scan entry points record a run manifest into this
         :class:`repro.obs.RunLedger` on completion (provenance: config
         hash, seed, stats, per-run scalars).  ``None`` records nothing.
+    faults:
+        A :class:`repro.resilience.FaultPlan` armed for the duration of
+        the scan (chaos testing; ``None`` = disarmed).  Parallel scans
+        install a fresh copy in every worker process.
+    retry:
+        :class:`repro.resilience.RetryPolicy` for supervised parallel
+        scanning (crashed/timed-out macro tasks).  ``None`` uses the
+        default policy (3 attempts, exponential backoff + jitter).
+    timeout:
+        Per-macro wall-clock budget in seconds for supervised parallel
+        scanning; a worker exceeding it is terminated and the macro
+        retried.  ``None`` = unlimited.
+    checkpoint:
+        A :class:`repro.resilience.Checkpointer` persisting
+        completed-macro state through the run ledger so an interrupted
+        scan can ``--resume``.  ``None`` checkpoints nothing.
 
     Derive variants with :meth:`dataclasses.replace` or
     :meth:`ScanConfig.with_options`.
@@ -91,6 +110,10 @@ class ScanConfig:
         default=NULL_PROGRESS, compare=False
     )
     ledger: "RunLedger | None" = field(default=None, compare=False)
+    faults: "FaultPlan | None" = field(default=None, compare=False)
+    retry: "RetryPolicy | None" = field(default=None, compare=False)
+    timeout: float | None = field(default=None, compare=False)
+    checkpoint: "Checkpointer | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -98,6 +121,10 @@ class ScanConfig:
         if self.tier not in _TIERS:
             raise MeasurementError(
                 f"unknown tier {self.tier!r} (expected one of {_TIERS})"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise MeasurementError(
+                f"timeout must be positive, got {self.timeout}"
             )
 
     def with_options(self, **changes: Any) -> "ScanConfig":

@@ -1,35 +1,47 @@
-"""Process-pool fan-out for whole-array scans.
+"""Supervised process-pool fan-out for whole-array scans.
 
 Macro-cells are electrically independent — plate segmentation is the
 paper's core idea — so per-macro scans parallelise embarrassingly.  The
 fan-out ships the array and structure to each worker once (at pool
 start-up, not per task), rebuilds one :class:`ArrayScanner` per process,
 and streams macro indices; results come back as
-``(index, vgs, codes, tier, seconds)`` tuples the caller reassembles in
-index order.
+``(index, vgs, codes, tier, quality, seconds)`` tuples the caller
+reassembles in index order.
+
+Supervision (:class:`~repro.resilience.supervisor.SupervisedPool`): a
+worker that dies or blows its per-macro wall-clock budget is respawned
+and the macro retried under the configured
+:class:`~repro.resilience.retry.RetryPolicy`; a macro that exhausts its
+retries is reported back so the scan engine can run it **in-process**
+as the final rung — a hostile pool degrades throughput, never the
+planes.  Ctrl-C tears the pool down (terminate + join, ~2 s bound)
+before propagating.
 
 Bit-exactness: every worker runs exactly the serial per-macro code on a
 faithful copy of the array, so a parallel scan equals the serial scan
-bit for bit (pinned in ``tests/unit/measure/test_scan_perf.py``).
+bit for bit regardless of retries or respawns (pinned in
+``tests/unit/measure/test_scan_perf.py``).
 
-The pool prefers the ``fork`` start method where available (Linux): the
-workers then inherit the array by copy-on-write instead of pickling it.
-On spawn-only platforms the initializer arguments are pickled once per
-worker, which is still amortised across all of that worker's macros.
+The pool uses the ``fork`` start method (Linux): workers inherit the
+array by copy-on-write instead of pickling it.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.resilience.faults import FaultPlan, fault_point
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.resilience.supervisor import SupervisedPool, TaskFailure
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
     from repro.edram.array import EDRAMArray
     from repro.measure.structure import MeasurementStructure
+
+    MacroResult = tuple[int, np.ndarray, np.ndarray, str, np.ndarray, float]
 
 #: Per-process scanner state, installed by :func:`_init_worker`.
 _WORKER: dict = {}
@@ -43,16 +55,18 @@ def _init_worker(array: "EDRAMArray", structure: "MeasurementStructure") -> None
     _WORKER["scanner"] = ArrayScanner(array, structure)
 
 
-def _scan_one(
-    index: int, force_engine: bool
-) -> "tuple[int, np.ndarray, np.ndarray, str, float]":
+def _scan_one(payload: tuple[int, bool], attempt: int) -> "MacroResult":
     from repro.measure.config import ScanConfig
 
+    index, force_engine = payload
+    fault_point("worker.scan_macro", macro=index, attempt=attempt)
     scanner = _WORKER["scanner"]
     config = ScanConfig(force_engine=force_engine)
     start = perf_counter()
-    vgs, codes, tier = scanner.scan_macro(scanner.array.macro(index), config)
-    return index, vgs, codes, tier, perf_counter() - start
+    vgs, codes, tier, quality = scanner._scan_macro(
+        scanner.array.macro(index), config
+    )
+    return index, vgs, codes, tier, quality, perf_counter() - start
 
 
 def scan_macros_parallel(
@@ -60,25 +74,56 @@ def scan_macros_parallel(
     structure: "MeasurementStructure",
     force_engine: bool,
     jobs: int,
-) -> "list[tuple[int, np.ndarray, np.ndarray, str, float]]":
-    """Scan every macro of ``array`` across ``jobs`` worker processes.
+    *,
+    indices: "list[int] | None" = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    on_result: "Callable[[MacroResult], None] | None" = None,
+) -> tuple["list[MacroResult]", list[tuple[int, BaseException]], dict[str, int]]:
+    """Scan macros of ``array`` across ``jobs`` supervised workers.
 
-    Returns per-macro results in macro-index order.  ``jobs`` is capped
-    at the macro count (extra workers would only idle).
+    Parameters
+    ----------
+    indices:
+        Macro indices to scan (default: all) — a resumed scan passes
+        only the macros its checkpoint has not completed.
+    retry / timeout / fault_plan:
+        Supervision knobs, straight from the :class:`ScanConfig`.
+    on_result:
+        Parent-side hook invoked with each macro result as it lands
+        (completion order) — the scan engine places planes and
+        checkpoints incrementally through it.
+
+    Returns ``(results, failures, telemetry)``: successful results in
+    macro-index order, ``(macro_index, error)`` for macros that
+    exhausted their retries (the caller re-runs those in-process), and
+    the pool's retry/timeout/respawn counters.
     """
-    workers = max(1, min(jobs, array.num_macros))
-    if "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:  # pragma: no cover - non-POSIX fallback
-        ctx = mp.get_context()
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=ctx,
+    todo = list(range(array.num_macros)) if indices is None else list(indices)
+    workers = max(1, min(jobs, len(todo)))
+    pool = SupervisedPool(
+        _scan_one,
         initializer=_init_worker,
         initargs=(array, structure),
-    ) as pool:
-        futures = [
-            pool.submit(_scan_one, index, force_engine)
-            for index in range(array.num_macros)
-        ]
-        return [future.result() for future in futures]
+        jobs=workers,
+        retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
+        timeout=timeout,
+        fault_plan=fault_plan,
+    )
+    hook = None if on_result is None else (lambda _task, payload: on_result(payload))
+    outcomes = pool.run([(index, force_engine) for index in todo], on_result=hook)
+    results: "list[MacroResult]" = []
+    failures: list[tuple[int, BaseException]] = []
+    for macro_index, outcome in zip(todo, outcomes):
+        if isinstance(outcome, TaskFailure):
+            failures.append((macro_index, outcome.error))
+        else:
+            results.append(outcome)
+    results.sort(key=lambda item: item[0])
+    telemetry = {
+        "retries": pool.retries,
+        "timeouts": pool.timeouts,
+        "respawns": pool.respawns,
+    }
+    return results, failures, telemetry

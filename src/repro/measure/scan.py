@@ -52,12 +52,15 @@ import numpy as np
 
 from repro.edram.array import EDRAMArray, MacroCell
 from repro.edram.defects import KIND_CODES, DefectKind
-from repro.errors import ScanMismatchError
+from repro.errors import ConvergenceError, ReproError, ScanMismatchError, SingularCircuitError
 from repro.measure.config import ScanConfig, coerce_scan_config
 from repro.measure.sequencer import MeasurementSequencer
 from repro.measure.stats import MacroTiming, ScanStats
 from repro.measure.structure import MeasurementDesign, MeasurementStructure
 from repro.obs.metrics import active_metrics, use_metrics
+from repro.resilience.checkpoint import resume_fingerprint
+from repro.resilience.faults import fault_point, inject
+from repro.resilience.quality import CellQuality, quality_counts, quality_plane
 
 
 def _series(a: float | np.ndarray, b: float | np.ndarray) -> np.ndarray:
@@ -72,6 +75,11 @@ def _series(a: float | np.ndarray, b: float | np.ndarray) -> np.ndarray:
 def _ambient_metrics(config: ScanConfig):
     """Install the config's registry ambiently iff it is a real one."""
     return use_metrics(config.metrics) if config.metrics.enabled else nullcontext()
+
+
+def _ambient_faults(config: ScanConfig):
+    """Arm the config's fault plan for the scan iff one is attached."""
+    return inject(config.faults) if config.faults is not None else nullcontext()
 
 
 @dataclass
@@ -94,6 +102,11 @@ class ScanResult:
         Telemetry of the scan that produced this result (None for
         results assembled by hand or loaded from disk — stats describe a
         run, not the data, and are not persisted).
+    quality:
+        (rows, cols) uint8 plane of
+        :class:`~repro.resilience.quality.CellQuality` flags (0 GOOD,
+        1 DEGRADED, 2 FAILED).  All-zero for clean scans; ``None``
+        coerces to all-GOOD so hand-assembled results stay terse.
     """
 
     codes: np.ndarray
@@ -101,6 +114,7 @@ class ScanResult:
     num_steps: int
     tiers: np.ndarray
     stats: ScanStats | None = field(default=None, compare=False)
+    quality: np.ndarray | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Hand-assembled results (tests, loaders) may pass plain lists;
@@ -113,6 +127,15 @@ class ScanResult:
                 f"scan planes disagree: codes {self.codes.shape}, "
                 f"vgs {self.vgs.shape}, tiers {self.tiers.shape}"
             )
+        if self.quality is None:
+            self.quality = quality_plane(self.codes.shape)
+        else:
+            self.quality = np.asarray(self.quality, dtype=np.uint8)
+            if self.quality.shape != self.codes.shape:
+                raise ScanMismatchError(
+                    f"quality plane shape {self.quality.shape} disagrees "
+                    f"with codes {self.codes.shape}"
+                )
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -131,6 +154,10 @@ class ScanResult:
         for v, n in zip(values, counts):
             hist[int(v)] = int(n)
         return hist
+
+    def quality_counts(self) -> dict[str, int]:
+        """``{"good": n, "degraded": n, "failed": n}`` over all cells."""
+        return quality_counts(self.quality)
 
     def diff(self, reference: "ScanResult") -> np.ndarray:
         """Per-cell code delta against a reference scan (self − ref).
@@ -311,8 +338,8 @@ class ArrayScanner:
         config = coerce_scan_config(
             config, "ArrayScanner.scan_macro", force_engine=force_engine
         )
-        with _ambient_metrics(config):
-            vgs, codes, tier = self._scan_macro(macro, config)
+        with _ambient_metrics(config), _ambient_faults(config):
+            vgs, codes, tier, _quality = self._scan_macro(macro, config)
             active_metrics().histogram(
                 "scan.codes", "measurement codes emitted"
             ).observe_many(codes.ravel())
@@ -320,32 +347,78 @@ class ArrayScanner:
 
     def _scan_macro(
         self, macro: MacroCell, config: ScanConfig
-    ) -> tuple[np.ndarray, np.ndarray, str]:
+    ) -> tuple[np.ndarray, np.ndarray, str, np.ndarray]:
         """Scan one macro with ambient metrics already installed.
 
         The serial scan loop calls this directly — coercion and the
         contextvar install happen once per scan, not once per macro.
+        Returns ``(vgs, codes, tier, quality)``; the quality plane is
+        all-GOOD unless a solver failure forced a fallback.
         """
         tracer = config.tracer
         with tracer.span("macro", index=macro.index, cells=macro.num_cells) as span:
+            quality = quality_plane((macro.rows, self.array.macro_cols))
             if config.force_engine or self._macro_needs_engine(macro):
-                sequencer = self._sequencer(macro)
-                mc = self.array.macro_cols
-                vgs = np.zeros((macro.rows, mc))
-                for r in range(macro.rows):
-                    for c in range(mc):
-                        vgs[r, c] = sequencer.measure_charge(
-                            r, c, tracer=tracer
-                        ).vgs
+                vgs = self._engine_macro_vgs(macro, tracer, quality)
                 codes = self.codes_for_vgs(vgs)
                 tier = "e"
                 span.attributes["tier"] = "engine"
             else:
-                vgs = self.closed_form_vgs(macro)
+                try:
+                    fault_point("scan.closed_form", macro=macro.index)
+                    vgs = self.closed_form_vgs(macro)
+                except ReproError:
+                    # Closed form refused the whole tile: placeholder
+                    # planes, every cell flagged FAILED — the scan keeps
+                    # its shape and the bitmap shows the hole.
+                    vgs = np.zeros((macro.rows, self.array.macro_cols))
+                    quality[:, :] = CellQuality.FAILED
                 codes = self.codes_for_vgs(vgs)
                 tier = "c"
                 span.attributes["tier"] = "closed-form"
-            return vgs, codes, tier
+            degraded = int((quality != CellQuality.GOOD).sum())
+            if degraded:
+                span.attributes["fallback_cells"] = degraded
+            return vgs, codes, tier, quality
+
+    def _engine_macro_vgs(
+        self, macro: MacroCell, tracer, quality: np.ndarray
+    ) -> np.ndarray:
+        """Engine tier with the per-cell fallback ladder.
+
+        A cell whose exact solve fails (singular network, no
+        convergence) is re-estimated once from the macro's closed form
+        and flagged DEGRADED; if even the closed form refuses, the cell
+        becomes a flagged FAILED placeholder.  Either way the scan
+        continues — one pathological cell must never abort the bitmap.
+        """
+        sequencer = self._sequencer(macro)
+        mc = self.array.macro_cols
+        vgs = np.zeros((macro.rows, mc))
+        fallback: np.ndarray | None | bool = None
+        for r in range(macro.rows):
+            for c in range(mc):
+                try:
+                    vgs[r, c] = sequencer.measure_charge(
+                        r, c, tracer=tracer
+                    ).vgs
+                except (SingularCircuitError, ConvergenceError):
+                    if fallback is None:
+                        try:
+                            fallback = self.closed_form_vgs(macro)
+                        except ReproError:
+                            fallback = False
+                    if fallback is not False:
+                        vgs[r, c] = fallback[r, c]
+                        quality[r, c] = CellQuality.DEGRADED
+                        active_metrics().counter(
+                            "scan.cell_fallbacks",
+                            "engine cells rescued by the closed form",
+                        ).inc()
+                    else:  # pragma: no cover - closed form is pure algebra
+                        vgs[r, c] = 0.0
+                        quality[r, c] = CellQuality.FAILED
+        return vgs
 
     def scan(
         self,
@@ -377,6 +450,13 @@ class ArrayScanner:
         once per completed macro (live completion/throughput/ETA), and
         when ``config.ledger`` is set a run manifest (provenance +
         per-run scalars) is appended to it on completion.
+
+        Resilience (see docs/architecture.md "Resilience"): with
+        ``config.checkpoint`` set, completed macros persist through the
+        run ledger and an interrupted scan resumes bit-exact; with
+        ``jobs > 1`` the process pool is supervised (``config.retry``,
+        ``config.timeout``) and macros whose workers keep dying are
+        re-run in-process as the final rung, flagged DEGRADED.
         """
         config = coerce_scan_config(
             config,
@@ -391,16 +471,49 @@ class ArrayScanner:
             raise_on_errors(preflight_array(self.array, self.structure))
         tracer = config.tracer
         progress = config.progress
-        with _ambient_metrics(config):
+        checkpointer = config.checkpoint
+        with _ambient_metrics(config), _ambient_faults(config):
             start = perf_counter()
             cpu_start = process_time()
             rows, cols = self.array.rows, self.array.cols
+            num_macros = self.array.num_macros
             codes = np.zeros((rows, cols), dtype=int)
             vgs = np.zeros((rows, cols))
             tiers = np.full((rows, cols), "c", dtype="<U1")
+            quality = quality_plane((rows, cols))
             timings: list[MacroTiming] = []
 
-            effective_jobs = min(config.jobs, self.array.num_macros)
+            done: set[int] = set()
+            if checkpointer is not None:
+                state = checkpointer.start(
+                    "scan",
+                    resume_fingerprint(config),
+                    {"codes": codes, "vgs": vgs, "tiers": tiers,
+                     "quality": quality},
+                    total=num_macros,
+                )
+                # A resumed scan continues into the checkpointed planes;
+                # a fresh one adopts the (identical) arrays it just
+                # handed over so mark_done persists live state.
+                codes = state.arrays["codes"]
+                vgs = state.arrays["vgs"]
+                tiers = state.arrays["tiers"]
+                quality = state.arrays["quality"]
+                done = set(state.completed)
+            remaining = [i for i in range(num_macros) if i not in done]
+
+            effective_jobs = min(config.jobs, num_macros)
+            telemetry = {"retries": 0, "timeouts": 0, "respawns": 0}
+
+            def _finish_macro(
+                index: int, tier: str, cells: int, seconds: float
+            ) -> None:
+                timings.append(MacroTiming(index, tier, cells, seconds))
+                progress.advance(cells)
+                fault_point("scan.macro_done", macro=index)
+                if checkpointer is not None:
+                    checkpointer.mark_done(index)
+
             with tracer.span(
                 "scan",
                 rows=rows,
@@ -409,14 +522,15 @@ class ArrayScanner:
                 force_engine=config.force_engine,
             ) as scan_span:
                 progress.start(rows * cols, label="scan", units="cells")
-                if effective_jobs > 1:
+                for index in sorted(done):
+                    # Checkpointed macros are already in the planes.
+                    progress.advance(self.array.macro(index).num_cells)
+                pool_jobs = min(effective_jobs, len(remaining))
+                if pool_jobs > 1:
                     from repro.measure.parallel import scan_macros_parallel
 
-                    results = scan_macros_parallel(
-                        self.array, self.structure, config.force_engine,
-                        effective_jobs,
-                    )
-                    for index, m_vgs, m_codes, tier, seconds in results:
+                    def _land(payload) -> None:
+                        index, m_vgs, m_codes, tier, m_quality, seconds = payload
                         macro = self.array.macro(index)
                         # Worker-side spans cannot cross the process
                         # boundary; record one parent-side macro span
@@ -428,21 +542,58 @@ class ArrayScanner:
                             tier="engine" if tier == "e" else "closed-form",
                             worker_seconds=seconds,
                         ):
-                            self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
-                        timings.append(
-                            MacroTiming(index, tier, macro.num_cells, seconds)
-                        )
-                        progress.advance(macro.num_cells)
-                else:
-                    for macro in self.array.macros():
+                            self._place(
+                                macro, m_vgs, m_codes, tier, m_quality,
+                                vgs, codes, tiers, quality,
+                            )
+                        _finish_macro(index, tier, macro.num_cells, seconds)
+
+                    _, failures, telemetry = scan_macros_parallel(
+                        self.array, self.structure, config.force_engine,
+                        pool_jobs,
+                        indices=remaining,
+                        retry=config.retry,
+                        timeout=config.timeout,
+                        fault_plan=config.faults,
+                        on_result=_land,
+                    )
+                    for index, _error in failures:
+                        # Final rung: the pool gave up on this macro
+                        # (worker kept dying or timing out), so run it
+                        # in-process — slower, but the planes stay
+                        # whole.  Cells are flagged DEGRADED: the value
+                        # did not come through the configured path.
+                        macro = self.array.macro(index)
                         macro_start = perf_counter()
-                        m_vgs, m_codes, tier = self._scan_macro(macro, config)
-                        seconds = perf_counter() - macro_start
-                        self._place(macro, m_vgs, m_codes, tier, vgs, codes, tiers)
-                        timings.append(
-                            MacroTiming(macro.index, tier, macro.num_cells, seconds)
+                        m_vgs, m_codes, tier, m_quality = self._scan_macro(
+                            macro, config
                         )
-                        progress.advance(macro.num_cells)
+                        seconds = perf_counter() - macro_start
+                        m_quality = np.maximum(
+                            m_quality, np.uint8(CellQuality.DEGRADED)
+                        )
+                        active_metrics().counter(
+                            "scan.macro_rescues",
+                            "macros re-run in-process after the pool gave up",
+                        ).inc()
+                        self._place(
+                            macro, m_vgs, m_codes, tier, m_quality,
+                            vgs, codes, tiers, quality,
+                        )
+                        _finish_macro(index, tier, macro.num_cells, seconds)
+                else:
+                    for index in remaining:
+                        macro = self.array.macro(index)
+                        macro_start = perf_counter()
+                        m_vgs, m_codes, tier, m_quality = self._scan_macro(
+                            macro, config
+                        )
+                        seconds = perf_counter() - macro_start
+                        self._place(
+                            macro, m_vgs, m_codes, tier, m_quality,
+                            vgs, codes, tiers, quality,
+                        )
+                        _finish_macro(index, tier, macro.num_cells, seconds)
                 progress.finish()
 
                 engine_cells = int((tiers == "e").sum())
@@ -453,6 +604,7 @@ class ArrayScanner:
                     "scan.codes", "measurement codes emitted"
                 ).observe_many(codes.ravel())
 
+            timings.sort(key=lambda t: t.index)
             stats = ScanStats(
                 total_cells=rows * cols,
                 wall_seconds=perf_counter() - start,
@@ -460,6 +612,11 @@ class ArrayScanner:
                 closed_form_cells=rows * cols - engine_cells,
                 engine_cells=engine_cells,
                 macro_timings=timings,
+                degraded_cells=int((quality == CellQuality.DEGRADED).sum()),
+                failed_cells=int((quality == CellQuality.FAILED).sum()),
+                macro_retries=telemetry["retries"],
+                macro_timeouts=telemetry["timeouts"],
+                worker_respawns=telemetry["respawns"],
             )
             stats.to_metrics(active_metrics())
         result = ScanResult(
@@ -468,14 +625,20 @@ class ArrayScanner:
             num_steps=self.structure.design.num_steps,
             tiers=tiers,
             stats=stats,
+            quality=quality,
         )
+        run_id = checkpointer.run_id if checkpointer is not None else None
         if config.ledger is not None:
             config.ledger.record_scan(
                 result,
                 config,
                 tech=self.structure.tech.name,
                 cpu_seconds=process_time() - cpu_start,
+                run_id=run_id,
             )
+        if checkpointer is not None:
+            # The manifest row is in; the in-flight state is obsolete.
+            checkpointer.finish()
         return result
 
     @staticmethod
@@ -484,15 +647,18 @@ class ArrayScanner:
         m_vgs: np.ndarray,
         m_codes: np.ndarray,
         tier: str,
+        m_quality: np.ndarray,
         vgs: np.ndarray,
         codes: np.ndarray,
         tiers: np.ndarray,
+        quality: np.ndarray,
     ) -> None:
         rsl = slice(macro.row_start, macro.row_stop)
         csl = slice(macro.col_start, macro.col_stop)
         vgs[rsl, csl] = m_vgs
         codes[rsl, csl] = m_codes
         tiers[rsl, csl] = tier
+        quality[rsl, csl] = m_quality
 
     def measure_cell(
         self,

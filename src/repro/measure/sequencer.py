@@ -36,6 +36,7 @@ from repro.measure.shift_register import ShiftRegister
 from repro.measure.structure import MeasurementStructure
 from repro.obs.metrics import active_metrics
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.resilience.faults import fault_point
 
 
 class MeasurementSequencer:
@@ -138,6 +139,12 @@ class MeasurementSequencer:
         here).
         """
         self._check_target(row, lcol)
+        fault_point(
+            "sequencer.measure",
+            macro=self.macro.index,
+            row=self.macro.row_start + row,
+            col=self.macro.col_start + lcol,
+        )
         if preflight:
             from repro.lint import raise_on_errors
 

@@ -59,6 +59,15 @@ class ScanStats:
         charge engine (bridge fallback / ``force_engine``).
     macro_timings:
         Per-macro timings, in macro-index order.
+    degraded_cells, failed_cells:
+        Cells whose value came from a fallback rung (DEGRADED) or is a
+        flagged placeholder (FAILED) — see
+        :class:`repro.resilience.CellQuality`.
+    macro_retries, macro_timeouts, worker_respawns:
+        Supervision telemetry of the parallel scan: macro tasks retried
+        after a failure, tasks killed for exceeding their wall-clock
+        budget, and worker processes respawned after dying.  All zero
+        for serial scans and healthy pools.
     """
 
     total_cells: int
@@ -67,6 +76,11 @@ class ScanStats:
     closed_form_cells: int
     engine_cells: int
     macro_timings: list[MacroTiming] = field(default_factory=list)
+    degraded_cells: int = 0
+    failed_cells: int = 0
+    macro_retries: int = 0
+    macro_timeouts: int = 0
+    worker_respawns: int = 0
 
     @property
     def cells_per_second(self) -> float:
@@ -107,6 +121,26 @@ class ScanStats:
         registry.histogram(
             "scan.macro_seconds", "per-macro scan wall time"
         ).observe_many(t.seconds for t in self.macro_timings)
+        if self.degraded_cells:
+            registry.counter(
+                "scan.cells_degraded", "cells produced by a fallback rung"
+            ).inc(self.degraded_cells)
+        if self.failed_cells:
+            registry.counter(
+                "scan.cells_failed", "cells flagged FAILED (placeholder value)"
+            ).inc(self.failed_cells)
+        if self.macro_retries:
+            registry.counter(
+                "scan.macro_retries", "macro tasks retried after a failure"
+            ).inc(self.macro_retries)
+        if self.macro_timeouts:
+            registry.counter(
+                "scan.macro_timeouts", "macro tasks killed for exceeding timeout"
+            ).inc(self.macro_timeouts)
+        if self.worker_respawns:
+            registry.counter(
+                "scan.worker_respawns", "worker processes respawned after dying"
+            ).inc(self.worker_respawns)
 
     def to_dict(self) -> dict:
         """JSON-ready view (macro timings as plain lists)."""
@@ -120,6 +154,11 @@ class ScanStats:
             "macro_timings": [
                 [t.index, t.tier, t.cells, t.seconds] for t in self.macro_timings
             ],
+            "degraded_cells": self.degraded_cells,
+            "failed_cells": self.failed_cells,
+            "macro_retries": self.macro_retries,
+            "macro_timeouts": self.macro_timeouts,
+            "worker_respawns": self.worker_respawns,
         }
 
     def summary(self) -> str:
@@ -130,6 +169,17 @@ class ScanStats:
             f"tiers: {self.closed_form_cells} closed-form, "
             f"{self.engine_cells} engine",
         ]
+        if self.degraded_cells or self.failed_cells:
+            lines.append(
+                f"quality: {self.degraded_cells} degraded, "
+                f"{self.failed_cells} failed"
+            )
+        if self.macro_retries or self.macro_timeouts or self.worker_respawns:
+            lines.append(
+                f"supervision: {self.macro_retries} retries, "
+                f"{self.macro_timeouts} timeouts, "
+                f"{self.worker_respawns} respawns"
+            )
         slowest = self.slowest_macro()
         if slowest is not None:
             tier = "engine" if slowest.tier == "e" else "closed-form"

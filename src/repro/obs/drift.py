@@ -72,6 +72,12 @@ DEFAULT_SCALARS: tuple[ScalarSpec, ...] = (
     ScalarSpec("code_centroid", "code_sigma"),
     ScalarSpec("flip_step_mean"),
     ScalarSpec("cells_per_second", severity=Severity.WARNING),
+    # Resilience quality scalars: both are 0 on healthy runs, so the
+    # flat-history epsilon sigma makes any regression flag immediately.
+    # DEGRADED cells still carry a usable value -> WARNING; FAILED
+    # cells are placeholders -> ERROR.
+    ScalarSpec("degraded_cells", severity=Severity.WARNING),
+    ScalarSpec("failed_cells"),
 )
 
 

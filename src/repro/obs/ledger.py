@@ -28,16 +28,19 @@ does, so it can fold calibrated-bitmap statistics into scan manifests).
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import json
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
-from repro.errors import LedgerError, ScanMismatchError
+from repro.errors import LedgerError, MeasurementError, ScanMismatchError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (io -> scan -> config)
     from repro.bitmap.analog import AnalogBitmap
@@ -62,7 +65,13 @@ DEFAULT_LEDGER_DIR = ".repro-runs"
 
 _MANIFEST_NAME = "manifest.jsonl"
 _ARTIFACT_DIR = "artifacts"
+_CHECKPOINT_DIR = "checkpoints"
+_LOCK_NAME = ".lock"
 _FORMAT = 1
+
+#: How long :meth:`RunLedger.locked` waits for the advisory lock before
+#: giving up with a :class:`LedgerError`.
+LOCK_TIMEOUT_SECONDS = 10.0
 
 
 # ---------------------------------------------------------------------------
@@ -96,7 +105,7 @@ def _package_version() -> str:
         from importlib.metadata import version
 
         return version("repro")
-    except Exception:  # pragma: no cover - metadata missing in odd installs
+    except Exception:  # lint: allow-broad-except  # pragma: no cover - metadata missing in odd installs
         return "unknown"
 
 
@@ -111,15 +120,20 @@ def scan_scalars(result: "ScanResult") -> dict[str, float]:
       adjacent-cell code step distribution (granularity drift signal),
     - ``vgs_mean`` / ``vgs_sigma`` — the underlying shared-charge
       voltages,
+    - ``degraded_cells`` / ``failed_cells`` — fallback-ladder quality
+      counts (the drift engine alarms on non-zero ``failed_cells``),
     - throughput figures when the result carries :class:`ScanStats`.
     """
     codes = np.asarray(result.codes, dtype=float)
     vgs = np.asarray(result.vgs, dtype=float)
+    quality = result.quality_counts()
     scalars = {
         "code_centroid": float(codes.mean()),
         "code_sigma": float(codes.std()),
         "vgs_mean": float(vgs.mean()),
         "vgs_sigma": float(vgs.std()),
+        "degraded_cells": float(quality["degraded"]),
+        "failed_cells": float(quality["failed"]),
     }
     if codes.shape[1] > 1:
         steps = np.abs(np.diff(codes, axis=1))
@@ -330,6 +344,58 @@ class RunLedger:
     def artifact_dir(self) -> Path:
         return self.root / _ARTIFACT_DIR
 
+    @property
+    def checkpoint_dir(self) -> Path:
+        """Where unfinished (checkpointed) runs park their state."""
+        return self.root / _CHECKPOINT_DIR
+
+    # -- locking --------------------------------------------------------
+
+    @contextmanager
+    def locked(self, timeout: float = LOCK_TIMEOUT_SECONDS) -> Iterator[None]:
+        """Hold the ledger's advisory file lock for the ``with`` block.
+
+        Serialises run-id allocation and manifest appends across
+        processes, so two concurrent ``--record`` runs cannot interleave
+        half-written lines or claim the same id.  The wait is bounded:
+        a holder that wedges turns into a clear :class:`LedgerError`
+        ("timed out waiting for ledger lock") instead of a silent hang.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + timeout
+        with open(self.root / _LOCK_NAME, "w") as fh:
+            while True:
+                try:
+                    fcntl.flock(fh, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except BlockingIOError:
+                    if time.monotonic() >= deadline:
+                        raise LedgerError(
+                            f"timed out waiting for ledger lock on {self.root} "
+                            f"after {timeout:g} s (another repro process "
+                            "recording? stale holder?)"
+                        ) from None
+                    time.sleep(0.01)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def next_run_id(self) -> str:
+        """The next free ``rNNNN`` id (call while holding :meth:`locked`).
+
+        Scans both the manifest *and* the checkpoint directory, so an
+        unfinished checkpointed run keeps its reserved id even though
+        no manifest line exists for it yet.
+        """
+        highest = 0
+        for manifest in self.runs():
+            highest = max(highest, _run_number(manifest.run_id))
+        if self.checkpoint_dir.exists():
+            for path in self.checkpoint_dir.glob("r*.npz"):
+                highest = max(highest, _run_number(path.stem))
+        return f"r{highest + 1:04d}"
+
     # -- reading --------------------------------------------------------
 
     def runs(self) -> list[RunManifest]:
@@ -392,34 +458,54 @@ class RunLedger:
             raise LedgerError(
                 f"run {manifest.run_id} artifact missing at {path}"
             )
-        return load_scan(path)
+        try:
+            return load_scan(path)
+        except MeasurementError as exc:
+            raise LedgerError(
+                f"run {manifest.run_id} artifact at {path} is unreadable: {exc}"
+            ) from exc
 
     # -- writing --------------------------------------------------------
 
     def record(
-        self, manifest: RunManifest, scan: "ScanResult | None" = None
+        self,
+        manifest: RunManifest,
+        scan: "ScanResult | None" = None,
+        *,
+        run_id: str | None = None,
     ) -> RunManifest:
         """Append ``manifest`` (assigning run id and timestamp).
+
+        Id allocation and the append happen under the ledger's advisory
+        lock (:meth:`locked`), so concurrent recorders serialise
+        cleanly.  A checkpointed run that reserved its id up front
+        passes it via ``run_id`` instead of allocating a new one.
 
         When ``scan`` is given its planes are saved under
         ``artifacts/<run_id>.npz`` and the relative path recorded, so
         ``runs diff`` can later compute per-cell bitmap deltas.
         """
+        from repro.resilience.faults import fault_point
+
         self.root.mkdir(parents=True, exist_ok=True)
-        manifest.run_id = f"r{len(self.runs()) + 1:04d}"
         manifest.timestamp = datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         )
         if not manifest.version:
             manifest.version = _package_version()
-        if scan is not None:
-            from repro.io import save_scan
+        with self.locked():
+            manifest.run_id = run_id if run_id is not None else self.next_run_id()
+            if scan is not None:
+                from repro.io import save_scan
 
-            self.artifact_dir.mkdir(parents=True, exist_ok=True)
-            path = save_scan(scan, self.artifact_dir / f"{manifest.run_id}.npz")
-            manifest.artifact = str(path.relative_to(self.root))
-        with open(self.manifest_path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(manifest.to_dict()) + "\n")
+                self.artifact_dir.mkdir(parents=True, exist_ok=True)
+                path = save_scan(
+                    scan, self.artifact_dir / f"{manifest.run_id}.npz"
+                )
+                manifest.artifact = str(path.relative_to(self.root))
+            fault_point("ledger.append", run_id=manifest.run_id, kind=manifest.kind)
+            with open(self.manifest_path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(manifest.to_dict()) + "\n")
         return manifest
 
     def _base_manifest(
@@ -465,6 +551,7 @@ class RunLedger:
         cpu_seconds: float | None = None,
         extra: dict[str, Any] | None = None,
         save_artifact: bool = True,
+        run_id: str | None = None,
     ) -> RunManifest:
         """Record one array scan (optionally with its calibrated bitmap)."""
         wall = result.stats.wall_seconds if result.stats is not None else 0.0
@@ -477,7 +564,9 @@ class RunLedger:
         manifest.scalars = scan_scalars(result)
         if bitmap is not None:
             manifest.scalars.update(bitmap_scalars(bitmap))
-        return self.record(manifest, scan=result if save_artifact else None)
+        return self.record(
+            manifest, scan=result if save_artifact else None, run_id=run_id
+        )
 
     def record_wafer(
         self,
@@ -490,6 +579,7 @@ class RunLedger:
         wall_seconds: float = 0.0,
         cpu_seconds: float | None = None,
         extra: dict[str, Any] | None = None,
+        run_id: str | None = None,
     ) -> RunManifest:
         """Record one wafer measurement (die-level scalars, no artifact)."""
         from repro.units import to_fF
@@ -514,7 +604,7 @@ class RunLedger:
         if wall_seconds > 0:
             cells = len(report.dies)
             manifest.scalars["dies_per_second"] = cells / wall_seconds
-        return self.record(manifest)
+        return self.record(manifest, run_id=run_id)
 
     def record_diagnosis(
         self,
@@ -590,6 +680,13 @@ class RunLedger:
             "mean_abs_code_delta": float(np.abs(delta).mean()),
             "max_abs_code_delta": int(np.abs(delta).max()),
         }
+
+
+def _run_number(run_id: str) -> int:
+    """The numeric part of an ``rNNNN`` id (0 for anything else)."""
+    if run_id.startswith("r") and run_id[1:].isdigit():
+        return int(run_id[1:])
+    return 0
 
 
 def _metric_deltas(

@@ -1,0 +1,68 @@
+"""Resilience subsystem: degrade gracefully, retry deterministically, resume.
+
+The production-scale north star (ROADMAP) means scans that take hours
+and wafer runs that take days; at that scale solver blow-ups, worker
+deaths and interrupts are routine, not exceptional.  This package turns
+each of them from "lose the run" into data:
+
+- :mod:`~repro.resilience.faults` — deterministic fault injection
+  (:class:`FaultPlan` / :func:`inject` / :func:`fault_point`) so chaos
+  tests can make any layer fail at a chosen cell, macro or die;
+- :mod:`~repro.resilience.quality` — :class:`CellQuality` flags
+  (GOOD/DEGRADED/FAILED) riding alongside the scan planes;
+- :mod:`~repro.resilience.retry` — :class:`RetryPolicy` with bounded
+  attempts and seeded exponential backoff + jitter;
+- :mod:`~repro.resilience.supervisor` — :class:`SupervisedPool`, the
+  retry/timeout/respawn process pool behind ``ArrayScanner.scan(jobs=N)``;
+- :mod:`~repro.resilience.checkpoint` — :class:`Checkpointer` /
+  checkpoint files under the run ledger powering ``--resume``.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    ScanCheckpoint,
+    list_checkpoints,
+    load_checkpoint,
+    resume_fingerprint,
+)
+from repro.resilience.faults import (
+    Fault,
+    FaultPlan,
+    active_fault_plan,
+    fault_point,
+    inject,
+    install_plan,
+)
+from repro.resilience.quality import (
+    QUALITY_DTYPE,
+    CellQuality,
+    quality_counts,
+    quality_plane,
+    worst_quality,
+)
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
+from repro.resilience.supervisor import SupervisedPool, TaskFailure
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "active_fault_plan",
+    "fault_point",
+    "inject",
+    "install_plan",
+    "CellQuality",
+    "QUALITY_DTYPE",
+    "quality_plane",
+    "quality_counts",
+    "worst_quality",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+    "SupervisedPool",
+    "TaskFailure",
+    "Checkpointer",
+    "ScanCheckpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "resume_fingerprint",
+]

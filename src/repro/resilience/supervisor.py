@@ -1,0 +1,377 @@
+"""Supervised process pool: retries, timeouts, dead-worker respawn.
+
+``concurrent.futures.ProcessPoolExecutor`` treats a dead worker as a
+pool-wide catastrophe (``BrokenProcessPool``) and has no per-task
+wall-clock budget — one crashed or wedged macro loses the whole scan.
+:class:`SupervisedPool` replaces it with explicit supervision:
+
+* one :class:`multiprocessing.Process` per job slot, each with its own
+  duplex :func:`multiprocessing.Pipe`, so the parent always knows
+  exactly which task a worker is holding.  A pipe per worker — with
+  strictly synchronous sends — is load-bearing, not a style choice: a
+  shared ``mp.Queue`` writes through a per-process feeder *thread*
+  guarded by a cross-process lock, and a worker dying mid-put (exactly
+  what fault injection does) can take that lock to its grave and wedge
+  every surviving worker's results forever.  With dedicated pipes a
+  dying worker can only corrupt its own channel, which the parent
+  discards on respawn;
+* the parent drains ready pipes while polling worker liveness and
+  per-task deadlines;
+* a dead or timed-out worker is terminated and respawned, and its task
+  is retried under the :class:`~repro.resilience.retry.RetryPolicy`
+  (exponential backoff + deterministic jitter);
+* a task that exhausts its retries comes back as a :class:`TaskFailure`
+  value instead of an exception — the caller decides the final rung
+  (the scan engine re-runs such macros in-process, so results are
+  bit-exact and never missing);
+* ``KeyboardInterrupt`` (or any other error) triggers a forced
+  terminate-and-join bounded to ~2 s, so Ctrl-C never leaves orphaned
+  workers behind.
+
+Everything here is deterministic apart from wall-clock effects the
+tests control via fault injection: task→result mapping is positional,
+retry jitter is seeded, and workers install a *fresh* copy of the
+fault plan so per-process firing counters start from zero.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import multiprocessing as mp
+from multiprocessing import connection as mp_connection
+
+from repro.errors import ResilienceError, TaskTimeoutError, WorkerCrashError
+from repro.resilience.faults import (
+    FaultPlan,
+    install_plan,
+    mark_worker_process,
+)
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = ["SupervisedPool", "TaskFailure"]
+
+#: How long the parent blocks on the outbox per supervision tick; also
+#: bounds how stale a liveness/deadline check can be.
+_TICK_SECONDS = 0.02
+
+#: Join budget for the forced (Ctrl-C / error) shutdown path.
+_FORCED_SHUTDOWN_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Terminal failure of one task after all retries were spent.
+
+    Returned *as a value* in the results list — supervised execution
+    converts crashes into data the caller can act on.
+    """
+
+    task_id: int
+    error: BaseException
+    attempts: int
+    timed_out: bool = False
+
+
+def _safe_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives pickling, else a summary stand-in."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:  # lint: allow-broad-except  # pragma: no cover - exotic exc
+        return ResilienceError(f"{type(exc).__name__}: {exc}")
+    return exc
+
+
+def _worker_main(
+    conn: Any,
+    worker_fn: Callable[[Any, int], Any],
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+    plan: FaultPlan | None,
+) -> None:
+    """Worker process body: init once, then serve tasks until sentinel.
+
+    All sends are synchronous and happen in the main thread, so a fault
+    that kills the process at a fault point can never leave a
+    half-written frame on the wire: the previous result was fully sent
+    before the next task was even received.
+    """
+    mark_worker_process()
+    # Fork copies the parent's armed plan *with* its firing counters;
+    # install a fresh copy so every worker process counts from zero.
+    install_plan(FaultPlan(plan.faults, plan.seed) if plan is not None else None)
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent vanished
+            return
+        if task is None:
+            return
+        task_id, attempt, payload = task
+        try:
+            result = worker_fn(payload, attempt)
+        except Exception as exc:  # lint: allow-broad-except - shipped to parent
+            message = ("err", task_id, attempt, _safe_exception(exc))
+        else:
+            message = ("ok", task_id, attempt, result)
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent vanished
+            return
+
+
+class _Worker:
+    """Parent-side record of one worker slot."""
+
+    __slots__ = ("process", "conn", "current")
+
+    def __init__(self, process: mp.process.BaseProcess, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+        #: ``(task_id, attempt, started_at)`` while busy, else ``None``.
+        self.current: tuple[int, int, float] | None = None
+
+
+class SupervisedPool:
+    """Run tasks on supervised worker processes; never lose a task.
+
+    Parameters
+    ----------
+    worker_fn:
+        ``worker_fn(payload, attempt)`` executed in the worker; must
+        return a picklable result.
+    initializer / initargs:
+        Optional per-worker setup (runs once per process, and again in
+        every respawned replacement).
+    jobs:
+        Worker slots (capped at the task count in :meth:`run`).
+    retry:
+        Retry schedule for crashed / timed-out / raising tasks.
+    timeout:
+        Per-task wall-clock budget in seconds (``None`` = unlimited).
+    fault_plan:
+        Fault plan installed fresh in every worker process.
+
+    After :meth:`run` returns, the ``retries`` / ``timeouts`` /
+    ``respawns`` counters hold the supervision telemetry for the run.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any, int], Any],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        jobs: int = 1,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+        timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ResilienceError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ResilienceError(f"timeout must be positive, got {timeout}")
+        self.worker_fn = worker_fn
+        self.initializer = initializer
+        self.initargs = initargs
+        self.jobs = jobs
+        self.retry = retry
+        self.timeout = timeout
+        self.fault_plan = fault_plan
+        self.retries = 0
+        self.timeouts = 0
+        self.respawns = 0
+        self._ctx = mp.get_context("fork")
+        self._workers: list[_Worker] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self.worker_fn,
+                self.initializer,
+                self.initargs,
+                self.fault_plan,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # The parent's copy of the child end must close so a dead
+        # worker reads as EOF instead of a silently idle pipe.
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _respawn(self, worker_id: int) -> None:
+        self.respawns += 1
+        old = self._workers[worker_id]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._workers[worker_id] = self._spawn()
+
+    def _shutdown(self, forced: bool) -> None:
+        if forced:
+            for worker in self._workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            deadline = time.monotonic() + _FORCED_SHUTDOWN_SECONDS
+            for worker in self._workers:
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():  # pragma: no cover - stuck in syscall
+                    worker.process.kill()
+                    worker.process.join(0.2)
+        else:
+            for worker in self._workers:
+                if worker.process.is_alive():
+                    try:
+                        worker.conn.send(None)
+                    except (BrokenPipeError, OSError):  # pragma: no cover
+                        pass
+            for worker in self._workers:
+                worker.process.join(2.0)
+                if worker.process.is_alive():  # pragma: no cover - wedged worker
+                    worker.process.terminate()
+                    worker.process.join(0.5)
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._workers = []
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[Any],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
+        """Execute every task; return results positionally.
+
+        Each entry of the returned list is the worker result, or a
+        :class:`TaskFailure` when the task exhausted its retries.
+        ``on_result`` is invoked in the parent, in completion order,
+        for every *successful* result as it lands — the hook the scan
+        engine uses for incremental checkpointing.
+        """
+        total = len(tasks)
+        if total == 0:
+            return []
+        results: list[Any] = [None] * total
+        done = [False] * total
+        completed = 0
+        pending: deque[tuple[int, int]] = deque((i, 0) for i in range(total))
+        delayed: list[tuple[float, int, int]] = []
+
+        def fail(task_id: int, attempt: int, error: BaseException, timed_out: bool) -> None:
+            nonlocal completed
+            if self.retry.should_retry(attempt):
+                self.retries += 1
+                ready_at = time.monotonic() + self.retry.delay(attempt, key=task_id)
+                heapq.heappush(delayed, (ready_at, task_id, attempt + 1))
+            else:
+                results[task_id] = TaskFailure(
+                    task_id, error, attempts=attempt + 1, timed_out=timed_out
+                )
+                done[task_id] = True
+                completed += 1
+
+        self._workers = [self._spawn() for _ in range(min(self.jobs, total))]
+        try:
+            while completed < total:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, task_id, attempt = heapq.heappop(delayed)
+                    pending.append((task_id, attempt))
+                for worker in self._workers:
+                    if pending and worker.current is None and worker.process.is_alive():
+                        task_id, attempt = pending.popleft()
+                        worker.current = (task_id, attempt, time.monotonic())
+                        try:
+                            worker.conn.send((task_id, attempt, tasks[task_id]))
+                        except (BrokenPipeError, OSError):
+                            # Died before the task hit the wire; the
+                            # liveness sweep below respawns and retries.
+                            pass
+                ready = mp_connection.wait(
+                    [w.conn for w in self._workers], timeout=_TICK_SECONDS
+                )
+                for worker in self._workers:
+                    if worker.conn not in ready:
+                        continue
+                    try:
+                        status, task_id, attempt, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-task: its pipe reads EOF.  The
+                        # liveness sweep below respawns it and requeues
+                        # whatever it was holding.
+                        continue
+                    current = worker.current
+                    if current is not None and current[:2] == (task_id, attempt):
+                        worker.current = None
+                        if not done[task_id]:
+                            if status == "ok":
+                                results[task_id] = payload
+                                done[task_id] = True
+                                completed += 1
+                                if on_result is not None:
+                                    on_result(task_id, payload)
+                            else:
+                                fail(task_id, attempt, payload, timed_out=False)
+                    # A mismatched frame cannot happen on a per-worker
+                    # pipe (respawn discards the old channel), but the
+                    # guard keeps a hypothetical stray harmless: its
+                    # task was requeued and recomputes identically.
+                now = time.monotonic()
+                for worker_id, worker in enumerate(self._workers):
+                    current = worker.current
+                    if not worker.process.is_alive():
+                        exitcode = worker.process.exitcode
+                        self._respawn(worker_id)
+                        if current is not None:
+                            task_id, attempt, _ = current
+                            error = WorkerCrashError(
+                                f"worker died (exit code {exitcode}) while scanning "
+                                f"task {task_id} (attempt {attempt})",
+                                exitcode=exitcode,
+                            )
+                            fail(task_id, attempt, error, timed_out=False)
+                    elif (
+                        current is not None
+                        and self.timeout is not None
+                        and now - current[2] > self.timeout
+                    ):
+                        task_id, attempt, _ = current
+                        worker.process.terminate()
+                        worker.process.join(0.5)
+                        if worker.process.is_alive():  # pragma: no cover - stuck
+                            worker.process.kill()
+                            worker.process.join(0.2)
+                        self._respawn(worker_id)
+                        self.timeouts += 1
+                        error = TaskTimeoutError(
+                            f"task {task_id} exceeded {self.timeout:g} s "
+                            f"(attempt {attempt}); worker terminated",
+                            seconds=self.timeout,
+                        )
+                        fail(task_id, attempt, error, timed_out=True)
+        except BaseException:
+            # Ctrl-C lands here too: tear the pool down within ~2 s so
+            # no orphaned workers outlive the scan, then re-raise.
+            self._shutdown(forced=True)
+            raise
+        self._shutdown(forced=False)
+        return results

@@ -14,6 +14,7 @@ and :class:`WaferReport` aggregates: per-die means, zonal statistics
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter, process_time
 
@@ -29,6 +30,8 @@ from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner
 from repro.measure.structure import MeasurementStructure
 from repro.obs.progress import NULL_PROGRESS
+from repro.resilience.checkpoint import resume_fingerprint
+from repro.resilience.faults import fault_point, inject
 from repro.tech.parameters import TechnologyCard, default_technology
 from repro.units import fF, to_fF
 
@@ -165,35 +168,76 @@ class WaferModel:
         themselves run silent), and ``config.ledger`` receives one wafer
         manifest — not one per die — carrying the die-level scalars the
         drift engine charts.
+
+        With ``config.checkpoint`` set, per-die statistics persist after
+        every die and an interrupted wafer run resumes bit-exact: the
+        wafer RNG is fast-forwarded past checkpointed dies by burning
+        exactly the draws their fabrication would have consumed, so the
+        remaining dies print identically to an uninterrupted run.
         """
         config = config if config is not None else ScanConfig()
         if jobs is not None:
             config = config.with_options(jobs=jobs)
         progress, ledger = config.progress, config.ledger
-        # The wafer loop owns progress and recording; per-die scans get a
-        # silent copy so they neither repaint the line nor append runs.
-        die_config = config.with_options(progress=NULL_PROGRESS, ledger=None)
+        checkpointer = config.checkpoint
+        # The wafer loop owns progress, recording and checkpointing;
+        # per-die scans get a silent copy so they neither repaint the
+        # line, append runs, nor fight over the checkpoint file.
+        die_config = config.with_options(
+            progress=NULL_PROGRESS, ledger=None, checkpoint=None
+        )
         structure, abacus = self._calibration()
         sites = self.sites()
         start = perf_counter()
         cpu_start = process_time()
-        progress.start(len(sites), label="wafer", units="dies")
-        dies = []
-        for x, y, r in sites:
-            array = self.fabricate_die(r)
-            bitmap = AnalogBitmap(
-                ArrayScanner(array, structure).scan(die_config), abacus
+        means = np.full(len(sites), np.nan)
+        sigmas = np.full(len(sites), np.nan)
+        done: set[int] = set()
+        if checkpointer is not None:
+            state = checkpointer.start(
+                "wafer",
+                resume_fingerprint(config),
+                {"die_means": means, "die_sigmas": sigmas},
+                total=len(sites),
             )
-            dies.append(
-                DieSite(
-                    x=x, y=y, radius_fraction=r,
-                    mean_capacitance=bitmap.mean_capacitance(),
-                    sigma_capacitance=bitmap.std_capacitance(),
+            means = state.arrays["die_means"]
+            sigmas = state.arrays["die_sigmas"]
+            done = set(state.completed)
+        ambient = (
+            inject(config.faults) if config.faults is not None else nullcontext()
+        )
+        with ambient:
+            progress.start(len(sites), label="wafer", units="dies")
+            for index, (x, y, r) in enumerate(sites):
+                if index in done:
+                    # Fast-forward: burn the two draws fabricate_die
+                    # would have consumed (die-mean normal, mismatch
+                    # seed) so later dies see the same RNG stream.
+                    self._rng.normal(0.0, self.die_sigma)
+                    self._rng.integers(1 << 31)
+                    progress.advance()
+                    continue
+                array = self.fabricate_die(r)
+                bitmap = AnalogBitmap(
+                    ArrayScanner(array, structure).scan(die_config), abacus
                 )
+                means[index] = bitmap.mean_capacitance()
+                sigmas[index] = bitmap.std_capacitance()
+                fault_point("wafer.die_done", die=index, x=x, y=y)
+                if checkpointer is not None:
+                    checkpointer.mark_done(index)
+                progress.advance()
+            progress.finish()
+        dies = [
+            DieSite(
+                x=x, y=y, radius_fraction=r,
+                mean_capacitance=float(means[index]),
+                sigma_capacitance=float(sigmas[index]),
             )
-            progress.advance()
-        progress.finish()
+            for index, (x, y, r) in enumerate(sites)
+        ]
         report = WaferReport(dies=dies, diameter=self.diameter)
+        run_id = checkpointer.run_id if checkpointer is not None else None
         if ledger is not None:
             ledger.record_wafer(
                 report,
@@ -202,7 +246,10 @@ class WaferModel:
                 tech=self.tech.name,
                 wall_seconds=perf_counter() - start,
                 cpu_seconds=process_time() - cpu_start,
+                run_id=run_id,
             )
+        if checkpointer is not None:
+            checkpointer.finish()
         return report
 
 

@@ -120,7 +120,7 @@ def test_to_json_payload_shape():
 
 def test_builtin_registry_has_all_documented_codes():
     assert set(REGISTRY.codes()) == {
-        "ERC001", "ERC002", "ERC003", "ERC004", "ERC005",
+        "ERC001", "ERC002", "ERC003", "ERC004", "ERC005", "ERC006",
         "PRM001", "UNT001", "PY001", "PY002",
     }
 

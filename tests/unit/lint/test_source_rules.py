@@ -59,6 +59,88 @@ def test_py002_test_files_are_exempt(tmp_path):
     assert len(lint_source([_write(tmp_path, "conftest.py", body)])) == 0
 
 
+def test_erc006_flags_swallowing_handler(tmp_path):
+    body = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    report = lint_source([_write(tmp_path, "module.py", body)], only=("ERC006",))
+    assert report.codes() == {"ERC006"}
+    assert "swallows ReproError" in next(iter(report)).message
+
+
+def test_erc006_flags_bare_except_and_base_exception(tmp_path):
+    body = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except:\n"
+        "        pass\n"
+        "    try:\n"
+        "        work()\n"
+        "    except BaseException:\n"
+        "        pass\n"
+    )
+    report = lint_source([_write(tmp_path, "module.py", body)], only=("ERC006",))
+    assert len(report) == 2
+
+
+def test_erc006_reraise_is_compliant(tmp_path):
+    body = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception as exc:\n"
+        "        raise WrapperError(str(exc)) from exc\n"
+    )
+    assert len(lint_source([_write(tmp_path, "m.py", body)], only=("ERC006",))) == 0
+
+
+def test_erc006_quality_flagging_is_compliant(tmp_path):
+    body = (
+        "def f(quality, r, c):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        quality[r, c] = CellQuality.FAILED\n"
+    )
+    assert len(lint_source([_write(tmp_path, "m.py", body)], only=("ERC006",))) == 0
+
+
+def test_erc006_pragma_suppresses(tmp_path):
+    body = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:  # lint: allow-broad-except - logged upstream\n"
+        "        pass\n"
+    )
+    assert len(lint_source([_write(tmp_path, "m.py", body)], only=("ERC006",))) == 0
+
+
+def test_erc006_narrow_handlers_and_test_files_exempt(tmp_path):
+    narrow = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except ValueError:\n"
+        "        pass\n"
+    )
+    assert len(lint_source([_write(tmp_path, "m.py", narrow)], only=("ERC006",))) == 0
+    swallow = (
+        "def test_f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    path = _write(tmp_path, "test_m.py", swallow)
+    assert len(lint_source([path], only=("ERC006",))) == 0
+
+
 def test_lint_source_expands_directories(tmp_path):
     _write(tmp_path, "a.py", fixtures.BAD_SOURCE)
     sub = tmp_path / "pkg"

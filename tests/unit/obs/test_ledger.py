@@ -216,3 +216,49 @@ class TestDiff:
         d = ledger.diff("r0001", "r0002").to_dict()
         assert d["a"] == "r0001" and d["b"] == "r0002"
         assert {"config_changes", "scalar_deltas", "metric_deltas", "bitmap"} <= set(d)
+
+
+# ---------------------------------------------------------------------------
+# Advisory locking
+# ---------------------------------------------------------------------------
+
+
+def test_locked_times_out_with_clear_error(tmp_path):
+    import pytest
+
+    from repro.errors import LedgerError
+
+    ledger = RunLedger(tmp_path)
+    with ledger.locked():
+        # flock is per open file description, so a second acquisition
+        # through a fresh fd contends even within one process.
+        with pytest.raises(LedgerError, match="timed out waiting for ledger lock"):
+            with ledger.locked(timeout=0.2):
+                pass  # pragma: no cover - never entered
+
+
+def test_locked_serialises_concurrent_run_id_allocation(tmp_path):
+    # Two processes racing to append must never claim the same id.
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    barrier = ctx.Barrier(2)
+    queue = ctx.Queue()
+
+    def allocate():
+        ledger = RunLedger(tmp_path)
+        barrier.wait()
+        for _ in range(5):
+            with ledger.locked():
+                run_id = ledger.next_run_id()
+                ledger.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+                (ledger.checkpoint_dir / f"{run_id}.npz").write_bytes(b"x")
+            queue.put(run_id)
+
+    procs = [ctx.Process(target=allocate) for _ in range(2)]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(30)
+    ids = [queue.get(timeout=5) for _ in range(10)]
+    assert len(set(ids)) == 10  # no id claimed twice

@@ -1,0 +1,146 @@
+"""Deterministic fault injection: plans, matchers, firing semantics."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.faults import (
+    Fault,
+    FaultPlan,
+    active_fault_plan,
+    fault_point,
+    inject,
+    install_plan,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault validation and matching
+# ---------------------------------------------------------------------------
+
+
+def test_raise_fault_needs_an_error():
+    with pytest.raises(ResilienceError, match="needs error="):
+        Fault("site")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ResilienceError, match="unknown fault kind"):
+        Fault("site", kind="explode")
+
+
+def test_sleep_fault_needs_positive_seconds():
+    with pytest.raises(ResilienceError, match="seconds>0"):
+        Fault("site", kind="sleep")
+
+
+def test_probability_outside_unit_interval_rejected():
+    with pytest.raises(ResilienceError, match="outside"):
+        Fault("site", kind="kill", probability=1.5)
+
+
+def test_matches_requires_site_and_every_attr():
+    fault = Fault("scan.macro_done", kind="kill", match={"macro": 2})
+    assert fault.matches("scan.macro_done", {"macro": 2, "extra": 1})
+    assert not fault.matches("scan.macro_done", {"macro": 3})
+    assert not fault.matches("other.site", {"macro": 2})
+    assert not fault.matches("scan.macro_done", {})  # attr absent != equal
+
+
+# ---------------------------------------------------------------------------
+# Plan firing semantics
+# ---------------------------------------------------------------------------
+
+
+def test_raise_fault_fires_and_respects_times():
+    plan = FaultPlan([Fault("s", error=ValueError("boom"), times=2)])
+    with inject(plan):
+        with pytest.raises(ValueError):
+            fault_point("s")
+        with pytest.raises(ValueError):
+            fault_point("s")
+        fault_point("s")  # third invocation: budget spent
+    assert len(plan.firings) == 2
+
+
+def test_after_skips_leading_invocations():
+    plan = FaultPlan([Fault("s", error=ValueError("late"), after=2, times=1)])
+    with inject(plan):
+        fault_point("s")
+        fault_point("s")
+        with pytest.raises(ValueError):
+            fault_point("s")
+
+
+def test_match_filters_by_attributes():
+    plan = FaultPlan([Fault("s", error=ValueError("m1"), match={"macro": 1})])
+    with inject(plan):
+        fault_point("s", macro=0)
+        with pytest.raises(ValueError):
+            fault_point("s", macro=1)
+
+
+def test_kill_outside_worker_records_but_stands_down():
+    # A kill in the parent would take the session down; the plan records
+    # the firing and continues instead.
+    plan = FaultPlan([Fault("s", kind="kill")])
+    with inject(plan):
+        fault_point("s")
+    assert plan.firings == [("s", {}, "kill")]
+
+
+def test_probability_is_deterministic_in_seed():
+    def firing_pattern(seed):
+        plan = FaultPlan(
+            [Fault("s", kind="kill", times=None, probability=0.5)], seed=seed
+        )
+        with inject(plan):
+            for i in range(32):
+                fault_point("s", i=i)
+        return [attrs["i"] for _, attrs, _ in plan.firings]
+
+    assert firing_pattern(7) == firing_pattern(7)
+    assert firing_pattern(7) != firing_pattern(8)
+    assert 0 < len(firing_pattern(7)) < 32  # actually probabilistic
+
+
+# ---------------------------------------------------------------------------
+# Ambient plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_fault_point_is_noop_when_disarmed():
+    assert active_fault_plan() is None
+    fault_point("anything", macro=1)  # must not raise
+
+
+def test_inject_scopes_and_restores():
+    plan = FaultPlan()
+    with inject(plan) as armed:
+        assert armed is plan
+        assert active_fault_plan() is plan
+    assert active_fault_plan() is None
+
+
+def test_install_plan_sets_processwide(monkeypatch):
+    plan = FaultPlan()
+    install_plan(plan)
+    try:
+        assert active_fault_plan() is plan
+    finally:
+        install_plan(None)
+
+
+def test_pickle_resets_firing_counters():
+    plan = FaultPlan([Fault("s", error=ValueError("x"), times=1)], seed=3)
+    with inject(plan):
+        with pytest.raises(ValueError):
+            fault_point("s")
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.seed == 3
+    assert [f.site for f in clone.faults] == ["s"]
+    # The clone's budget is fresh: the same fault fires again.
+    with inject(clone):
+        with pytest.raises(ValueError):
+            fault_point("s")

@@ -1,0 +1,59 @@
+"""RetryPolicy: bounded attempts, exponential backoff, seeded jitter."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
+
+
+def test_should_retry_counts_total_attempts():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(0)
+    assert policy.should_retry(1)
+    assert not policy.should_retry(2)
+
+
+def test_no_retry_never_retries():
+    assert not NO_RETRY.should_retry(0)
+
+
+def test_validation():
+    with pytest.raises(ResilienceError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ResilienceError, match="non-negative"):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ResilienceError, match="jitter"):
+        RetryPolicy(jitter=2.0)
+
+
+def test_backoff_doubles_and_caps():
+    policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+    assert policy.delay(0) == pytest.approx(0.1)
+    assert policy.delay(1) == pytest.approx(0.2)
+    assert policy.delay(2) == pytest.approx(0.4)
+    assert policy.delay(3) == pytest.approx(0.5)  # capped
+    assert policy.delay(10) == pytest.approx(0.5)
+
+
+def test_jitter_bounded_and_deterministic():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.25, seed=1)
+    d = policy.delay(0, key=7)
+    assert 0.1 <= d < 0.1 * 1.25
+    assert d == policy.delay(0, key=7)  # same seed+key -> same delay
+    assert d != RetryPolicy(base_delay=0.1, jitter=0.25, seed=2).delay(0, key=7)
+
+
+def test_jitter_desynchronises_tasks():
+    # Tasks failing in the same round (e.g. one dead worker's whole
+    # assignment) must not retry in lock-step.
+    policy = RetryPolicy(base_delay=0.1, jitter=0.25, seed=0)
+    delays = {policy.delay(0, key=k) for k in range(8)}
+    assert len(delays) == 8
+
+
+def test_zero_base_delay_is_immediate():
+    assert RetryPolicy(base_delay=0.0).delay(0, key=1) == 0.0
+
+
+def test_default_policy_retries():
+    assert DEFAULT_RETRY_POLICY.max_attempts == 3

@@ -1,0 +1,128 @@
+"""SupervisedPool: retries, timeouts, dead-worker respawn, clean teardown.
+
+The worker functions live at module level so the fork-started processes
+resolve them without pickling surprises; kills and stalls come from the
+deterministic fault plan, never from OS timing.
+"""
+
+import pytest
+
+from repro.errors import (
+    ResilienceError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.resilience.faults import Fault, FaultPlan, fault_point
+from repro.resilience.retry import NO_RETRY, RetryPolicy
+from repro.resilience.supervisor import SupervisedPool, TaskFailure
+
+#: Fast schedule for tests; determinism comes from the seed.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, seed=0)
+
+
+def _work(payload, attempt):
+    fault_point("test.work", task=payload, attempt=attempt)
+    return payload * 10
+
+
+def _raise_on_three(payload, attempt):
+    if payload == 3:
+        raise ValueError(f"task {payload} is cursed")
+    return payload
+
+
+def test_results_are_positional():
+    pool = SupervisedPool(_work, jobs=2, retry=NO_RETRY)
+    assert pool.run(list(range(6))) == [0, 10, 20, 30, 40, 50]
+    assert (pool.retries, pool.timeouts, pool.respawns) == (0, 0, 0)
+
+
+def test_empty_task_list():
+    assert SupervisedPool(_work, jobs=1).run([]) == []
+
+
+def test_jobs_and_timeout_validation():
+    with pytest.raises(ResilienceError, match="jobs"):
+        SupervisedPool(_work, jobs=0)
+    with pytest.raises(ResilienceError, match="timeout"):
+        SupervisedPool(_work, timeout=0.0)
+
+
+def test_on_result_sees_every_success():
+    landed = {}
+    pool = SupervisedPool(_work, jobs=2, retry=NO_RETRY)
+    pool.run([1, 2, 3], on_result=lambda task_id, r: landed.update({task_id: r}))
+    assert landed == {0: 10, 1: 20, 2: 30}
+
+
+def test_worker_exception_becomes_task_failure_after_retries():
+    pool = SupervisedPool(_raise_on_three, jobs=2, retry=FAST_RETRY)
+    results = pool.run([1, 2, 3, 4])
+    assert results[:2] == [1, 2]
+    assert results[3] == 4
+    failure = results[2]
+    assert isinstance(failure, TaskFailure)
+    assert failure.task_id == 2  # positional id, not the payload
+    assert isinstance(failure.error, ValueError)
+    assert failure.attempts == FAST_RETRY.max_attempts
+    assert not failure.timed_out
+    assert pool.retries == FAST_RETRY.max_attempts - 1
+
+
+def test_killed_worker_is_respawned_and_task_retried():
+    # The fault kills attempt 0 of task 2 only; the respawned worker's
+    # attempt 1 passes, so the scan loses nothing.
+    plan = FaultPlan(
+        [Fault("test.work", kind="kill", match={"task": 2, "attempt": 0})]
+    )
+    pool = SupervisedPool(_work, jobs=2, retry=FAST_RETRY, fault_plan=plan)
+    assert pool.run([0, 1, 2, 3]) == [0, 10, 20, 30]
+    assert pool.respawns >= 1
+    assert pool.retries >= 1
+
+
+def test_kill_every_attempt_exhausts_into_worker_crash_failure():
+    plan = FaultPlan([Fault("test.work", kind="kill", match={"task": 1}, times=None)])
+    pool = SupervisedPool(_work, jobs=2, retry=FAST_RETRY, fault_plan=plan)
+    results = pool.run([0, 1, 2])
+    assert results[0] == 0 and results[2] == 20
+    failure = results[1]
+    assert isinstance(failure, TaskFailure)
+    assert isinstance(failure.error, WorkerCrashError)
+    assert failure.error.exitcode == 86  # the fault plan's kill status
+
+
+def test_stalled_task_times_out_and_is_flagged():
+    plan = FaultPlan(
+        [Fault("test.work", kind="sleep", seconds=30.0, match={"task": 1}, times=None)]
+    )
+    pool = SupervisedPool(
+        _work, jobs=2, retry=NO_RETRY, timeout=0.3, fault_plan=plan
+    )
+    results = pool.run([0, 1, 2])
+    assert results[0] == 0 and results[2] == 20
+    failure = results[1]
+    assert isinstance(failure, TaskFailure)
+    assert isinstance(failure.error, TaskTimeoutError)
+    assert failure.timed_out
+    assert pool.timeouts == 1
+    assert pool.respawns == 1
+
+
+def test_timeout_retry_can_recover():
+    # Only attempt 0 stalls; the retry completes within the budget.
+    plan = FaultPlan(
+        [Fault("test.work", kind="sleep", seconds=30.0, match={"task": 0, "attempt": 0})]
+    )
+    pool = SupervisedPool(
+        _work, jobs=1, retry=FAST_RETRY, timeout=0.3, fault_plan=plan
+    )
+    assert pool.run([0]) == [0]
+    assert pool.timeouts == 1
+    assert pool.retries == 1
+
+
+def test_no_workers_left_behind_after_run():
+    pool = SupervisedPool(_work, jobs=3, retry=NO_RETRY)
+    pool.run(list(range(5)))
+    assert pool._workers == []

@@ -274,3 +274,88 @@ def test_wafer_record(tmp_path, capsys):
     runs = RunLedger(tmp_path / "runs").runs()
     assert [m.kind for m in runs] == ["wafer"]
     assert runs[0].label == "lot-7"
+
+
+# ---------------------------------------------------------------------------
+# Error paths: broken ledgers and artifacts must fail like tools
+# ---------------------------------------------------------------------------
+
+
+def test_runs_diff_unknown_id_exits_2(tmp_path, capsys):
+    assert _record_scan(tmp_path, seed=1) == 0
+    capsys.readouterr()
+    assert main(["runs", "diff", "--dir", str(tmp_path / "runs"),
+                 "r0001", "r0077"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "no run 'r0077'" in err
+    assert "Traceback" not in err
+
+
+def test_runs_diff_corrupted_artifact_reports_reason(tmp_path, capsys):
+    assert _record_scan(tmp_path, seed=1) == 0
+    assert _record_scan(tmp_path, seed=2) == 0
+    capsys.readouterr()
+    # Truncate run 2's scan artifact mid-file: the bitmap delta must
+    # degrade to a named reason, not a zipfile traceback.
+    artifacts = sorted((tmp_path / "runs" / "artifacts").glob("*.npz"))
+    artifacts[-1].write_bytes(artifacts[-1].read_bytes()[:64])
+    assert main(["runs", "diff", "--dir", str(tmp_path / "runs"),
+                 "r0001", "r0002"]) == 0
+    out = capsys.readouterr().out
+    assert "unreadable" in out
+    assert "Traceback" not in out
+
+
+def test_runs_diff_truncated_manifest_exits_2(tmp_path, capsys):
+    assert _record_scan(tmp_path, seed=1) == 0
+    capsys.readouterr()
+    manifest = tmp_path / "runs" / "manifest.jsonl"
+    manifest.write_text(manifest.read_text()[:40])
+    assert main(["runs", "diff", "--dir", str(tmp_path / "runs"),
+                 "r0001", "r0001"]) == 2
+    err = capsys.readouterr().err
+    assert "truncated write?" in err
+    assert "Traceback" not in err
+
+
+def test_runs_check_truncated_manifest_exits_2(tmp_path, capsys):
+    assert _record_scan(tmp_path, seed=1) == 0
+    capsys.readouterr()
+    manifest = tmp_path / "runs" / "manifest.jsonl"
+    manifest.write_text(manifest.read_text()[:40])
+    assert main(["runs", "check", "--dir", str(tmp_path / "runs")]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "truncated write?" in err
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume verbs
+# ---------------------------------------------------------------------------
+
+
+def test_scan_resume_unknown_id_exits_2(tmp_path, capsys):
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--checkpoint", str(tmp_path / "runs"), "--resume", "r0042",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "r0042" in err
+    assert "Traceback" not in err
+
+
+def test_runs_checkpoints_empty(tmp_path, capsys):
+    assert main(["runs", "checkpoints", "--dir", str(tmp_path / "runs")]) == 0
+    assert "no unfinished runs" in capsys.readouterr().out
+
+
+def test_checkpointed_scan_completes_and_cleans_up(tmp_path, capsys):
+    ledger_dir = tmp_path / "runs"
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8", "--healthy",
+        "--record", str(ledger_dir), "--checkpoint", str(ledger_dir),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recorded as r0001" in out
+    # A completed run leaves no checkpoint behind.
+    assert main(["runs", "checkpoints", "--dir", str(ledger_dir)]) == 0
+    assert "no unfinished runs" in capsys.readouterr().out
