@@ -1,12 +1,23 @@
-"""Scan-engine performance: cached serial path vs the pre-optimisation path.
+"""Scan-engine performance: kernel vs per-macro serial vs the seed path.
 
-The scan rewrite replaced per-cell Python loops (mask building, bridge
-routing) with incrementally-maintained numpy matrices, memoized the
-converter boundary table on the structure, and cached built networks on
-the sequencers.  This bench pins the payoff: on a defect-free 128×64
-array the cached serial scan must run at least 3× faster than a
-seed-equivalent scanner executing the old per-cell walks on identical
-data — and produce bit-identical codes.
+Three generations of the same scan, pinned against each other on a
+defect-free 128×64 array, all bit-identical:
+
+1. **seed** — a scanner restored to per-cell Python walks (mask
+   building, bridge routing, per-boundary bisection, a fresh sequencer
+   per macro); the honest pre-optimisation baseline.
+2. **cached serial** — the per-macro driver with incrementally
+   maintained numpy matrices, the memoized boundary table and cached
+   netlists (``use_kernel=False``).  Must stay ≥ 3× over seed.
+3. **kernel** — the whole-array batched kernel
+   (:mod:`repro.measure.kernel`): one vectorized pass over the bulk
+   planes instead of 256 per-macro trips.  Must be ≥ 10× over the
+   cached serial driver, and it owns the headline ``cells_per_second``.
+
+``parallel4_seconds`` measures the shared-memory slab fan-out on a warm
+persistent pool (the steady-state of repeated scans); the gate requires
+it to beat the cached serial driver — process fan-out must never be
+slower than the single-process per-macro path it replaces.
 
 Results (cells/second, per-path timings, scan telemetry) are appended
 to the ``BENCH_scan.json`` history list at the repo root — a
@@ -61,11 +72,33 @@ def _git_rev():
         return "unknown"
 
 
+def _summarize_timings(entry):
+    """Migrate an entry's bulky per-macro timings to the p50/p95/max form.
+
+    Early history entries persisted every ``[index, tier, cells,
+    seconds]`` tuple — hundreds of rows per entry.  New entries carry
+    only ``macro_timing_summary``; old ones are rewritten to match the
+    first time the history is touched.
+    """
+    from repro.measure.stats import _percentile
+
+    stats = entry.get("stats") if isinstance(entry, dict) else None
+    if not isinstance(stats, dict) or "macro_timings" not in stats:
+        return
+    seconds = sorted(row[3] for row in stats.pop("macro_timings"))
+    stats["macro_timing_summary"] = {
+        "p50": _percentile(seconds, 0.50),
+        "p95": _percentile(seconds, 0.95),
+        "max": seconds[-1] if seconds else 0.0,
+    }
+
+
 def _append_history(entry):
     """Append ``entry`` to the BENCH_scan.json trajectory.
 
-    Pre-history snapshots (a bare dict) are migrated in place; the list
-    is capped so the file never grows without bound.
+    Pre-history snapshots (a bare dict) are migrated in place, per-macro
+    timing lists in old entries are compacted to their summary form, and
+    the list is capped so the file never grows without bound.
     """
     history = []
     if BENCH_JSON.exists():
@@ -77,6 +110,8 @@ def _append_history(entry):
             history = existing
         elif isinstance(existing, dict):
             history = [existing]
+    for old in history:
+        _summarize_timings(old)
     history.append(entry)
     history = history[-HISTORY_CAP:]
     BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
@@ -93,7 +128,7 @@ class _SeedScanner(ArrayScanner):
     """
 
     def __init__(self, array, structure):
-        super().__init__(array, structure)
+        super().__init__(array, structure, use_kernel=False)
         s = self.structure
         self._seed_boundaries = np.array(
             [s.vgs_for_code_boundary(k) for k in range(1, s.design.num_steps + 1)]
@@ -190,49 +225,75 @@ def bench_perf_scan_speedup(benchmark, tech):
     array = _build(tech)
     structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=ROWS)
 
-    cached = ArrayScanner(array, structure)
+    kernel = ArrayScanner(array, structure)
+    cached = ArrayScanner(array, structure, use_kernel=False)
     seed = _SeedScanner(array, structure)
 
     seed_seconds, seed_scan = _best_of(seed.scan)
-    fast_scan = benchmark(cached.scan)
-    fast_seconds, _ = _best_of(cached.scan)
+    cached_seconds, cached_scan = _best_of(cached.scan)
+    fast_scan = benchmark(kernel.scan)
+    # Sub-millisecond timings on shared hardware need many samples for a
+    # stable minimum; fold in the benchmark fixture's rounds (hundreds)
+    # when available so one noisy 20-sample window cannot skew the
+    # recorded throughput.
+    kernel_seconds, _ = _best_of(kernel.scan, repeats=20)
+    try:
+        kernel_seconds = min(kernel_seconds, benchmark.stats.stats.min)
+    except AttributeError:  # plain-function run without the fixture
+        pass
+    # Warm the persistent pool first: parallel4 pins the steady-state of
+    # repeated scans (wafer runs), not the one-off fork cost.
+    parallel_scan = kernel.scan(ScanConfig(jobs=4))
     parallel_seconds, parallel_scan = _best_of(
-        lambda: cached.scan(ScanConfig(jobs=4)), repeats=1
+        lambda: kernel.scan(ScanConfig(jobs=4)), repeats=3
     )
 
     # The optimisations must be invisible in the data.
     assert np.array_equal(fast_scan.codes, seed_scan.codes)
     assert np.array_equal(fast_scan.vgs, seed_scan.vgs)
+    assert np.array_equal(fast_scan.codes, cached_scan.codes)
+    assert np.array_equal(fast_scan.vgs, cached_scan.vgs)
     assert np.array_equal(fast_scan.codes, parallel_scan.codes)
+    assert np.array_equal(fast_scan.vgs, parallel_scan.vgs)
+    assert fast_scan.stats.kernel_cells == array.num_cells
 
-    speedup = seed_seconds / fast_seconds
+    speedup = seed_seconds / cached_seconds
+    kernel_speedup = cached_seconds / kernel_seconds
     stats = fast_scan.stats
     stats_dict = stats.to_dict() if stats is not None else None
     if stats_dict is not None:
-        stats_dict.pop("macro_timings", None)  # too bulky for a history file
+        # Per-macro tuples are too bulky for a history file; persist
+        # the distribution summary instead.
+        stats_dict.pop("macro_timings", None)
+        stats_dict["macro_timing_summary"] = stats.timing_summary()
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_rev": _git_rev(),
         "array": [ROWS, COLS],
         "macro": [MACRO_ROWS, MACRO_COLS],
         "seed_seconds": seed_seconds,
-        "cached_serial_seconds": fast_seconds,
+        "cached_serial_seconds": cached_seconds,
+        "kernel_serial_seconds": kernel_seconds,
         "parallel4_seconds": parallel_seconds,
         "speedup_serial_vs_seed": speedup,
-        "cells_per_second": array.num_cells / fast_seconds,
+        "kernel_speedup_vs_serial": kernel_speedup,
+        "cells_per_second": array.num_cells / kernel_seconds,
         "stats": stats_dict,
     }
     history = _append_history(entry)
 
     report(
-        "PERF: cached scan engine vs seed path",
+        "PERF: batched kernel vs per-macro serial vs seed path",
         "\n".join([
             f"array {ROWS}x{COLS} ({array.num_macros} tiles of "
             f"{MACRO_ROWS}x{MACRO_COLS}), defect-free",
             f"seed path      : {seed_seconds * 1e3:8.1f} ms",
-            f"cached serial  : {fast_seconds * 1e3:8.1f} ms  "
-            f"({speedup:.1f}x, {array.num_cells / fast_seconds:,.0f} cells/s)",
-            f"parallel x4    : {parallel_seconds * 1e3:8.1f} ms",
+            f"cached serial  : {cached_seconds * 1e3:8.1f} ms  "
+            f"({speedup:.1f}x over seed)",
+            f"batched kernel : {kernel_seconds * 1e3:8.2f} ms  "
+            f"({kernel_speedup:.1f}x over serial, "
+            f"{array.num_cells / kernel_seconds:,.0f} cells/s)",
+            f"parallel x4    : {parallel_seconds * 1e3:8.2f} ms  (warm pool)",
             f"appended to {BENCH_JSON.name} "
             f"({len(history)} entr{'y' if len(history) == 1 else 'ies'} "
             f"at {entry['git_rev']})",
@@ -240,6 +301,14 @@ def bench_perf_scan_speedup(benchmark, tech):
     )
 
     assert speedup >= 3.0, f"serial cached path only {speedup:.2f}x over seed"
+    assert kernel_speedup >= 10.0, (
+        f"batched kernel only {kernel_speedup:.2f}x over the per-macro "
+        f"serial driver (needs >= 10x)"
+    )
+    assert parallel_seconds <= cached_seconds, (
+        f"parallel x4 ({parallel_seconds * 1e3:.2f} ms) slower than the "
+        f"cached serial driver ({cached_seconds * 1e3:.2f} ms)"
+    )
 
 
 def bench_perf_scan_trace_overhead(tech):
@@ -544,3 +613,6 @@ def bench_perf_scan_smoke(benchmark, tech):
     assert scan.stats.total_cells == array.num_cells
     assert scan.stats.cells_per_second > 0
     assert (scan.tiers == "c").all()
+    # A defect-free un-instrumented scan must route through the kernel.
+    assert scan.stats.kernel_cells == array.num_cells
+    assert scan.stats.kernel_seconds > 0

@@ -117,6 +117,7 @@ class EDRAMArray:
         # _note_cell_changed, so array-scale consumers get O(1) slices
         # instead of O(rows x cols) Python loops.
         self._cap = cap.astype(float, copy=True)
+        self._leak = leak.astype(float, copy=True)
         self._kinds = np.zeros((rows, cols), dtype=np.int8)
         self._kind_counts: dict[DefectKind, int] = dict.fromkeys(DefectKind, 0)
         self._version = 0
@@ -153,6 +154,7 @@ class EDRAMArray:
         """Mirror one cell's mutation into the bulk matrices (cell hook)."""
         cell = self._cells[row][col]
         self._cap[row, col] = cell.capacitance
+        self._leak[row, col] = cell.leak_current
         new = 0 if cell.defect is None else KIND_CODES[cell.defect.kind]
         old = int(self._kinds[row, col])
         if old != new:
@@ -230,6 +232,33 @@ class EDRAMArray:
     def capacitance_matrix(self) -> np.ndarray:
         """Per-cell as-fabricated capacitances, farads, shape (rows, cols)."""
         return self._cap.copy()
+
+    def leak_matrix(self) -> np.ndarray:
+        """Per-cell junction leakage, amperes, shape (rows, cols)."""
+        return self._leak.copy()
+
+    def capacitance_view(self) -> np.ndarray:
+        """Read-only no-copy view of the capacitance plane.
+
+        The vectorized measurement kernel gathers its inputs through
+        these views so a whole-array scan allocates nothing per macro;
+        hold a :attr:`version` alongside any long-lived reference.
+        """
+        view = self._cap.view()
+        view.flags.writeable = False
+        return view
+
+    def defect_kind_view(self) -> np.ndarray:
+        """Read-only no-copy view of the defect-kind plane (int8)."""
+        view = self._kinds.view()
+        view.flags.writeable = False
+        return view
+
+    def leak_view(self) -> np.ndarray:
+        """Read-only no-copy view of the leakage plane."""
+        view = self._leak.view()
+        view.flags.writeable = False
+        return view
 
     def defect_kind_matrix(self) -> np.ndarray:
         """Per-cell defect-kind codes, shape (rows, cols), dtype int8.

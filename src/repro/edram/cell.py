@@ -50,7 +50,7 @@ class DRAMCell:
     #: Attributes whose mutation an owning array must observe to keep its
     #: bulk matrices coherent (behavioural state is deliberately excluded:
     #: stored data does not affect what the structure measures).
-    _WATCHED = ("capacitance", "defect")
+    _WATCHED = ("capacitance", "defect", "leak_current")
 
     def __setattr__(self, name: str, value: object) -> None:
         object.__setattr__(self, name, value)

@@ -38,6 +38,7 @@ from repro.measure.sense import SenseChain, InverterDesign
 from repro.measure.structure import MeasurementDesign, MeasurementStructure
 from repro.measure.phases import PhasePlan, Phase
 from repro.measure.sequencer import MeasurementSequencer
+from repro.measure.kernel import KernelConstants, closed_form_vgs_plane
 from repro.measure.scan import ArrayScanner, ScanResult
 from repro.measure.stats import MacroTiming, ScanStats
 from repro.measure.noise import NoiseAnalysis, NoiseBudget
@@ -55,6 +56,8 @@ __all__ = [
     "PhasePlan",
     "Phase",
     "MeasurementSequencer",
+    "KernelConstants",
+    "closed_form_vgs_plane",
     "ArrayScanner",
     "ScanConfig",
     "ScanResult",

@@ -1,73 +1,306 @@
-"""Supervised process-pool fan-out for whole-array scans.
+"""Shared-memory process-pool fan-out for whole-array scans.
 
 Macro-cells are electrically independent — plate segmentation is the
 paper's core idea — so per-macro scans parallelise embarrassingly.  The
-fan-out ships the array and structure to each worker once (at pool
-start-up, not per task), rebuilds one :class:`ArrayScanner` per process,
-and streams macro indices; results come back as
-``(index, vgs, codes, tier, quality, seconds)`` tuples the caller
-reassembles in index order.
+fan-out keeps the data plane out of the task plane:
+
+* result **planes** (vgs / codes / quality) live in
+  :mod:`multiprocessing.shared_memory` segments sized once per array
+  shape.  Workers inherit the mapping through ``fork`` and write their
+  tiles straight into it; the parent reads tiles (or whole planes) back
+  out without a single pickled ndarray crossing a pipe;
+* **tasks** are tiny tuples — ``("m", macro_index, force_engine)`` for
+  per-macro work, ``("k", tile_row_lo, tile_row_hi, engine_tiles)`` for
+  a slab of the batched closed-form kernel — and results are equally
+  tiny ``(kind, …, seconds)`` acknowledgements;
+* the worker init payload (one :class:`ArrayScanner` + the planes) is
+  cached parent-side keyed on ``EDRAMArray.version``, and with vanilla
+  supervision the warm :class:`SupervisedPool` is cached with it, so
+  repeated scans of the same array skip both the scanner rebuild and
+  the fork/initialize cost.  Any cell mutation bumps the version and
+  retires the pool — forked workers hold a copy-on-write snapshot of
+  the array, so a stale pool would silently scan stale silicon.
 
 Supervision (:class:`~repro.resilience.supervisor.SupervisedPool`): a
-worker that dies or blows its per-macro wall-clock budget is respawned
-and the macro retried under the configured
-:class:`~repro.resilience.retry.RetryPolicy`; a macro that exhausts its
+worker that dies or blows its wall-clock budget is respawned and the
+task retried under the configured
+:class:`~repro.resilience.retry.RetryPolicy`; a task that exhausts its
 retries is reported back so the scan engine can run it **in-process**
 as the final rung — a hostile pool degrades throughput, never the
-planes.  Ctrl-C tears the pool down (terminate + join, ~2 s bound)
-before propagating.
+planes.  A retried task rewrites its tiles from scratch, so a worker
+killed mid-write leaves nothing behind; the parent only reads tiles
+whose success acknowledgement arrived.  Ctrl-C tears the pool down
+(terminate + join, ~2 s bound) before propagating.
 
-Bit-exactness: every worker runs exactly the serial per-macro code on a
-faithful copy of the array, so a parallel scan equals the serial scan
-bit for bit regardless of retries or respawns (pinned in
-``tests/unit/measure/test_scan_perf.py``).
-
-The pool uses the ``fork`` start method (Linux): workers inherit the
-array by copy-on-write instead of pickling it.
+Bit-exactness: every worker runs exactly the serial code — per-macro
+tasks the per-macro drivers, slab tasks the batched kernel whose
+reductions are operation-order identical to them — so a parallel scan
+equals the serial scan bit for bit regardless of retries or respawns
+(pinned in ``tests/unit/measure/test_scan_perf.py``).
 """
 
 from __future__ import annotations
 
+import atexit
+import weakref
+from multiprocessing import shared_memory
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
 
 from repro.resilience.faults import FaultPlan, fault_point
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.resilience.supervisor import SupervisedPool, TaskFailure
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    import numpy as np
-
     from repro.edram.array import EDRAMArray
+    from repro.measure.scan import ArrayScanner
     from repro.measure.structure import MeasurementStructure
 
     MacroResult = tuple[int, np.ndarray, np.ndarray, str, np.ndarray, float]
 
-#: Per-process scanner state, installed by :func:`_init_worker`.
+
+class SharedScanPlanes:
+    """The scan's result planes, backed by shared-memory segments.
+
+    Created by the parent and inherited by forked workers: every write a
+    worker makes to :attr:`vgs` / :attr:`codes` / :attr:`quality` is
+    immediately visible in the parent's mapping of the same segment.
+    The parent owns the lifecycle — workers never close or unlink.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        self.shape = (rows, cols)
+        cells = rows * cols
+        self._segments = [
+            shared_memory.SharedMemory(create=True, size=max(1, cells * 8)),
+            shared_memory.SharedMemory(create=True, size=max(1, cells * 8)),
+            shared_memory.SharedMemory(create=True, size=max(1, cells)),
+        ]
+        self.vgs = np.ndarray((rows, cols), dtype=np.float64,
+                              buffer=self._segments[0].buf)
+        self.codes = np.ndarray((rows, cols), dtype=np.int64,
+                                buffer=self._segments[1].buf)
+        self.quality = np.ndarray((rows, cols), dtype=np.uint8,
+                                  buffer=self._segments[2].buf)
+
+    def close(self) -> None:
+        """Release the views, unmap and unlink the segments (parent only)."""
+        # The ndarray views export the buffers; they must drop first or
+        # SharedMemory.close() raises BufferError.
+        self.vgs = self.codes = self.quality = None  # type: ignore[assignment]
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (BufferError, FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._segments = []
+
+
+#: Per-process fan-out state, installed by :func:`_init_worker` at fork.
 _WORKER: dict = {}
 
 
-def _init_worker(array: "EDRAMArray", structure: "MeasurementStructure") -> None:
-    # Imported here so worker start-up does not re-trigger the circular
-    # scan -> parallel import at module load.
-    from repro.measure.scan import ArrayScanner
+def _init_worker(scanner: "ArrayScanner", planes: SharedScanPlanes) -> None:
+    # Under the fork start method these arrive by inheritance, not
+    # pickling: the scanner is a copy-on-write snapshot of the parent's,
+    # the planes map the same shared segments.
+    _WORKER["scanner"] = scanner
+    _WORKER["planes"] = planes
 
-    _WORKER["scanner"] = ArrayScanner(array, structure)
 
+def _scan_one(payload: tuple, attempt: int) -> tuple:
+    """Worker body: scan a macro or a kernel slab into the shared planes.
 
-def _scan_one(payload: tuple[int, bool], attempt: int) -> "MacroResult":
+    Returns a small acknowledgement tuple; the data stays in shared
+    memory.  ``("m", index, force_engine)`` → ``("m", index, tier,
+    seconds)``; ``("k", tr_lo, tr_hi, engine_tiles)`` → ``("k", tr_lo,
+    tr_hi, seconds)``.
+    """
     from repro.measure.config import ScanConfig
 
-    index, force_engine = payload
-    fault_point("worker.scan_macro", macro=index, attempt=attempt)
-    scanner = _WORKER["scanner"]
-    config = ScanConfig(force_engine=force_engine)
-    start = perf_counter()
-    vgs, codes, tier, quality = scanner._scan_macro(
-        scanner.array.macro(index), config
-    )
-    return index, vgs, codes, tier, quality, perf_counter() - start
+    scanner: "ArrayScanner" = _WORKER["scanner"]
+    planes: SharedScanPlanes = _WORKER["planes"]
+    if payload[0] == "m":
+        _, index, force_engine = payload
+        fault_point("worker.scan_macro", macro=index, attempt=attempt)
+        macro = scanner.array.macro(index)
+        start = perf_counter()
+        vgs, codes, tier, quality = scanner._scan_macro(
+            macro, ScanConfig(force_engine=force_engine)
+        )
+        seconds = perf_counter() - start
+        rsl = slice(macro.row_start, macro.row_stop)
+        csl = slice(macro.col_start, macro.col_stop)
+        planes.vgs[rsl, csl] = vgs
+        planes.codes[rsl, csl] = codes
+        planes.quality[rsl, csl] = quality
+        return ("m", index, tier, seconds)
 
+    _, tr_lo, tr_hi, engine_tiles = payload
+    array = scanner.array
+    mr, mc = array.macro_rows, array.macro_cols
+    tiles_across = array.macros_per_row
+    start = perf_counter()
+    rows_sl = slice(tr_lo * mr, tr_hi * mr)
+    vgs = _kernel(
+        array.capacitance_view()[rows_sl],
+        array.defect_kind_view()[rows_sl],
+        scanner.kernel_constants(),
+    )
+    codes = scanner.codes_for_vgs(vgs)
+    if not engine_tiles:
+        planes.vgs[rows_sl] = vgs
+        planes.codes[rows_sl] = codes
+        planes.quality[rows_sl] = 0
+    else:
+        # Engine tiles belong to their own per-macro tasks; skipping
+        # them here keeps the two writers off each other's cells.
+        skip = frozenset(engine_tiles)
+        for tr in range(tr_lo, tr_hi):
+            local = (tr - tr_lo) * mr
+            top = tr * mr
+            for tcol in range(tiles_across):
+                if tr * tiles_across + tcol in skip:
+                    continue
+                left = tcol * mc
+                planes.vgs[top:top + mr, left:left + mc] = \
+                    vgs[local:local + mr, left:left + mc]
+                planes.codes[top:top + mr, left:left + mc] = \
+                    codes[local:local + mr, left:left + mc]
+                planes.quality[top:top + mr, left:left + mc] = 0
+    return ("k", tr_lo, tr_hi, perf_counter() - start)
+
+
+def _kernel(cap, kinds, constants):
+    # Imported lazily to keep module load free of the scan -> parallel
+    # -> kernel triangle.
+    from repro.measure.kernel import closed_form_vgs_plane
+
+    return closed_form_vgs_plane(cap, kinds, constants)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side fan-out cache (worker payload + warm pool), one slot.
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[str, Any] = {}
+
+
+def _evict_fanout_cache() -> None:
+    """Retire the cached pool and planes (eviction, tests, interpreter exit)."""
+    pool = _CACHE.get("pool")
+    if pool is not None:
+        pool.close()
+    planes = _CACHE.get("planes")
+    if planes is not None:
+        planes.close()
+    _CACHE.clear()
+
+
+atexit.register(_evict_fanout_cache)
+
+
+def _fanout_payload(
+    array: "EDRAMArray", structure: "MeasurementStructure"
+) -> tuple["ArrayScanner", SharedScanPlanes]:
+    """The worker init payload, cached keyed on ``array.version``.
+
+    A version bump (any cell mutation) or a different array/structure
+    object evicts the whole slot — including the warm pool, whose forked
+    workers hold a snapshot of the *old* array.
+    """
+    key = (id(array), array.version, id(structure))
+    if _CACHE.get("key") == key:
+        array_ref = _CACHE["array_ref"]
+        structure_ref = _CACHE["structure_ref"]
+        if array_ref() is array and (
+            structure is None or structure_ref() is structure
+        ):
+            return _CACHE["scanner"], _CACHE["planes"]
+    _evict_fanout_cache()
+    from repro.measure.scan import ArrayScanner
+
+    scanner = ArrayScanner(array, structure)
+    planes = SharedScanPlanes(array.rows, array.cols)
+    _CACHE.update(
+        key=key,
+        array_ref=weakref.ref(array),
+        structure_ref=weakref.ref(structure if structure is not None else scanner.structure),
+        scanner=scanner,
+        planes=planes,
+        pool=None,
+    )
+    return scanner, planes
+
+
+def _fanout_pool(
+    scanner: "ArrayScanner",
+    planes: SharedScanPlanes,
+    jobs: int,
+    retry: RetryPolicy | None,
+    timeout: float | None,
+    fault_plan: FaultPlan | None,
+) -> SupervisedPool:
+    """A supervised pool over the cached payload.
+
+    Vanilla supervision (no fault plan, no timeout, default retry) gets
+    the cached persistent pool — workers stay warm between scans.  Any
+    custom supervision builds a fresh throwaway pool: its workers need
+    the fault plan installed at fork, and chaos runs must never leak
+    warm workers into later scans.
+    """
+    vanilla = (
+        fault_plan is None
+        and timeout is None
+        and (retry is None or retry is DEFAULT_RETRY_POLICY)
+    )
+    if vanilla and _CACHE.get("scanner") is scanner:
+        pool = _CACHE.get("pool")
+        if pool is None:
+            pool = SupervisedPool(
+                _scan_one,
+                initializer=_init_worker,
+                initargs=(scanner, planes),
+                jobs=jobs,
+                persistent=True,
+            )
+            _CACHE["pool"] = pool
+        else:
+            pool.jobs = jobs
+        return pool
+    return SupervisedPool(
+        _scan_one,
+        initializer=_init_worker,
+        initargs=(scanner, planes),
+        jobs=jobs,
+        retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
+        timeout=timeout,
+        fault_plan=fault_plan,
+    )
+
+
+def _run_pool(pool: SupervisedPool, tasks: list) -> tuple[list, dict[str, int]]:
+    """Run tasks and return (outcomes, per-run telemetry deltas).
+
+    A persistent pool's counters accumulate over its lifetime, so each
+    run's telemetry is the delta around it.
+    """
+    before = (pool.retries, pool.timeouts, pool.respawns)
+    outcomes = pool.run(tasks)
+    telemetry = {
+        "retries": pool.retries - before[0],
+        "timeouts": pool.timeouts - before[1],
+        "respawns": pool.respawns - before[2],
+    }
+    return outcomes, telemetry
+
+
+# ---------------------------------------------------------------------------
+# Public fan-outs
+# ---------------------------------------------------------------------------
 
 def scan_macros_parallel(
     array: "EDRAMArray",
@@ -81,7 +314,14 @@ def scan_macros_parallel(
     fault_plan: FaultPlan | None = None,
     on_result: "Callable[[MacroResult], None] | None" = None,
 ) -> tuple["list[MacroResult]", list[tuple[int, BaseException]], dict[str, int]]:
-    """Scan macros of ``array`` across ``jobs`` supervised workers.
+    """Scan macros of ``array`` across supervised workers, one per task.
+
+    The per-macro fan-out: used whenever the scan needs per-macro
+    supervision semantics (fault plans, checkpoint resume with a subset
+    of indices, tracing, ``force_engine``).  Tiles travel through the
+    shared planes; each landed result is materialised back into a
+    ``(index, vgs, codes, tier, quality, seconds)`` tuple so callers
+    see the same contract as a serial scan.
 
     Parameters
     ----------
@@ -98,32 +338,142 @@ def scan_macros_parallel(
     Returns ``(results, failures, telemetry)``: successful results in
     macro-index order, ``(macro_index, error)`` for macros that
     exhausted their retries (the caller re-runs those in-process), and
-    the pool's retry/timeout/respawn counters.
+    the pool's retry/timeout/respawn counters for this run.
     """
     todo = list(range(array.num_macros)) if indices is None else list(indices)
+    scanner, planes = _fanout_payload(array, structure)
     workers = max(1, min(jobs, len(todo)))
-    pool = SupervisedPool(
-        _scan_one,
-        initializer=_init_worker,
-        initargs=(array, structure),
-        jobs=workers,
-        retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
-        timeout=timeout,
-        fault_plan=fault_plan,
-    )
-    hook = None if on_result is None else (lambda _task, payload: on_result(payload))
-    outcomes = pool.run([(index, force_engine) for index in todo], on_result=hook)
+    pool = _fanout_pool(scanner, planes, workers, retry, timeout, fault_plan)
+
+    def _materialize(ack: tuple) -> "MacroResult":
+        _, index, tier, seconds = ack
+        macro = array.macro(index)
+        rsl = slice(macro.row_start, macro.row_stop)
+        csl = slice(macro.col_start, macro.col_stop)
+        return (
+            index,
+            planes.vgs[rsl, csl].copy(),
+            planes.codes[rsl, csl].copy(),
+            tier,
+            planes.quality[rsl, csl].copy(),
+            seconds,
+        )
+
+    materialized: "dict[int, MacroResult]" = {}
+
+    def _hook(_task_id: int, ack: tuple) -> None:
+        result = _materialize(ack)
+        materialized[result[0]] = result
+        if on_result is not None:
+            on_result(result)
+
+    tasks = [("m", index, force_engine) for index in todo]
+    before = (pool.retries, pool.timeouts, pool.respawns)
+    try:
+        outcomes = pool.run(tasks, on_result=_hook)
+    finally:
+        if not pool.persistent:
+            pool.close()
+    telemetry = {
+        "retries": pool.retries - before[0],
+        "timeouts": pool.timeouts - before[1],
+        "respawns": pool.respawns - before[2],
+    }
     results: "list[MacroResult]" = []
     failures: list[tuple[int, BaseException]] = []
     for macro_index, outcome in zip(todo, outcomes):
         if isinstance(outcome, TaskFailure):
             failures.append((macro_index, outcome.error))
         else:
-            results.append(outcome)
+            result = materialized.get(macro_index)
+            results.append(result if result is not None else _materialize(outcome))
     results.sort(key=lambda item: item[0])
-    telemetry = {
-        "retries": pool.retries,
-        "timeouts": pool.timeouts,
-        "respawns": pool.respawns,
-    }
     return results, failures, telemetry
+
+
+def scan_macros_kernel_parallel(
+    array: "EDRAMArray",
+    structure: "MeasurementStructure",
+    jobs: int,
+    *,
+    engine_indices: "tuple[int, ...] | list[int]" = (),
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray,
+    list[tuple[int, str, float]],
+    list[tuple[int, BaseException]],
+    dict[str, int],
+]:
+    """Whole-array kernel scan fanned out as tile-row slabs.
+
+    Closed-form macros are covered by ``jobs`` contiguous slabs of whole
+    tile-rows, each one batched-kernel pass in a worker; engine macros
+    (``engine_indices``) ride along as ordinary per-macro tasks.  The
+    scan engine only dispatches here when the per-macro machinery is
+    inert (no faults, no checkpoint, no tracing, no ``force_engine``).
+
+    Returns ``(vgs, codes, quality, macro_seconds, failures,
+    telemetry)`` — fresh full-plane copies decoupled from the reusable
+    shared segments, per-macro ``(index, tier, seconds)`` records (slab
+    wall time split evenly over its macros), macros needing an
+    in-process rescue, and the pool telemetry for this run.
+    """
+    scanner, planes = _fanout_payload(array, structure)
+    tiles_down = array.macros_per_col
+    tiles_across = array.macros_per_row
+    engine_set = frozenset(engine_indices)
+
+    slab_count = max(1, min(jobs, tiles_down))
+    bounds = np.linspace(0, tiles_down, slab_count + 1).astype(int)
+    tasks: list[tuple] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi <= lo:
+            continue
+        local_engine = tuple(
+            sorted(i for i in engine_set if lo <= i // tiles_across < hi)
+        )
+        tasks.append(("k", int(lo), int(hi), local_engine))
+    tasks.extend(("m", index, False) for index in sorted(engine_set))
+
+    pool = _fanout_pool(
+        scanner, planes, max(1, min(jobs, len(tasks))), retry, timeout, None
+    )
+    try:
+        outcomes, telemetry = _run_pool(pool, tasks)
+    finally:
+        if not pool.persistent:
+            pool.close()
+
+    macro_seconds: list[tuple[int, str, float]] = []
+    failures: list[tuple[int, BaseException]] = []
+    for task, outcome in zip(tasks, outcomes):
+        if isinstance(outcome, TaskFailure):
+            if task[0] == "k":
+                _, lo, hi, _local = task
+                failures.extend(
+                    (index, outcome.error)
+                    for index in range(lo * tiles_across, hi * tiles_across)
+                    if index not in engine_set
+                )
+            else:
+                failures.append((task[1], outcome.error))
+        elif outcome[0] == "k":
+            _, lo, hi, seconds = outcome
+            members = [
+                index
+                for index in range(lo * tiles_across, hi * tiles_across)
+                if index not in engine_set
+            ]
+            share = seconds / len(members) if members else 0.0
+            macro_seconds.extend((index, "c", share) for index in members)
+        else:
+            _, index, tier, seconds = outcome
+            macro_seconds.append((index, tier, seconds))
+
+    # Decouple the result from the reusable segments: the next scan of
+    # this array rewrites them in place.
+    vgs = planes.vgs.copy()
+    codes = planes.codes.copy()
+    quality = planes.quality.copy()
+    return vgs, codes, quality, macro_seconds, failures, telemetry

@@ -54,22 +54,18 @@ from repro.edram.array import EDRAMArray, MacroCell
 from repro.edram.defects import KIND_CODES, DefectKind
 from repro.errors import ConvergenceError, ReproError, ScanMismatchError, SingularCircuitError
 from repro.measure.config import ScanConfig, coerce_scan_config
+from repro.measure.kernel import (
+    KernelConstants,
+    _series,  # noqa: F401 - canonical home moved to kernel; re-exported here
+    closed_form_vgs_plane,
+)
 from repro.measure.sequencer import MeasurementSequencer
 from repro.measure.stats import MacroTiming, ScanStats
 from repro.measure.structure import MeasurementDesign, MeasurementStructure
 from repro.obs.metrics import active_metrics, use_metrics
 from repro.resilience.checkpoint import resume_fingerprint
-from repro.resilience.faults import fault_point, inject
+from repro.resilience.faults import active_fault_plan, fault_point, inject
 from repro.resilience.quality import CellQuality, quality_counts, quality_plane
-
-
-def _series(a: float | np.ndarray, b: float | np.ndarray) -> np.ndarray:
-    """Series combination a·b/(a+b), safely 0 when either plate is 0."""
-    a = np.asarray(a, dtype=float)
-    total = a + b
-    with np.errstate(divide="ignore", invalid="ignore"):
-        out = np.where(total > 0.0, a * b / np.where(total > 0.0, total, 1.0), 0.0)
-    return out
 
 
 def _ambient_metrics(config: ScanConfig):
@@ -198,9 +194,19 @@ class ArrayScanner:
         for non-reference macro geometries pass a structure produced by
         :func:`repro.calibration.design.design_structure` so the code
         scale matches the capacitance range.
+    use_kernel:
+        Allow :meth:`scan` to dispatch eligible scans to the whole-array
+        batched kernel (:mod:`repro.measure.kernel`).  ``False`` pins
+        the per-macro drivers — the benchmark's serial baseline.
     """
 
-    def __init__(self, array: EDRAMArray, structure: MeasurementStructure | None = None) -> None:
+    def __init__(
+        self,
+        array: EDRAMArray,
+        structure: MeasurementStructure | None = None,
+        *,
+        use_kernel: bool = True,
+    ) -> None:
         self.array = array
         self.structure = (
             structure
@@ -223,10 +229,28 @@ class ArrayScanner:
         self._cpp = m0.plate_parasitic
         self._creft = self.structure.c_ref_total
         self._vdd = tech.vdd
+        # Whole-array batched kernel (repro.measure.kernel); the scan
+        # planner falls back to the per-macro drivers whenever they are
+        # semantically observable (tracing, faults, checkpoints,
+        # force_engine) or when disabled here outright (benchmarks pin
+        # the per-macro baseline through this seam).
+        self._use_kernel = use_kernel
 
     def codes_for_vgs(self, vgs: np.ndarray) -> np.ndarray:
         """Vectorized static conversion (matches ``code_for_vgs``)."""
         return self.structure.codes_for_vgs(vgs)
+
+    def kernel_constants(self) -> KernelConstants:
+        """The cached closed-form constants, packaged for the kernel."""
+        return KernelConstants(
+            cjs=self._cjs,
+            cbl=self._cbl,
+            cpp=self._cpp,
+            creft=self._creft,
+            vdd=self._vdd,
+            macro_rows=self.array.macro_rows,
+            macro_cols=self.array.macro_cols,
+        )
 
     def _sequencer(self, macro: MacroCell) -> MeasurementSequencer:
         sequencer = self._sequencers.get(macro.index)
@@ -477,8 +501,26 @@ class ArrayScanner:
             cpu_start = process_time()
             rows, cols = self.array.rows, self.array.cols
             num_macros = self.array.num_macros
-            codes = np.zeros((rows, cols), dtype=int)
-            vgs = np.zeros((rows, cols))
+            # Dispatch planner: the batched kernel replaces the
+            # per-macro drivers only when they are semantically inert —
+            # no per-macro spans to emit, no fault sites to honour, no
+            # checkpoint to resume into, no engine forcing.  Anything
+            # observable keeps the per-macro path bit-for-bit.
+            kernel_ok = (
+                self._use_kernel
+                and not config.force_engine
+                and checkpointer is None
+                and not tracer.enabled
+                and active_fault_plan() is None
+            )
+            if kernel_ok:
+                # The kernel branches produce whole vgs/codes planes;
+                # pre-zeroed ones would be pure allocation waste on the
+                # hot path.
+                codes = vgs = None  # type: ignore[assignment]
+            else:
+                codes = np.zeros((rows, cols), dtype=int)
+                vgs = np.zeros((rows, cols))
             tiers = np.full((rows, cols), "c", dtype="<U1")
             quality = quality_plane((rows, cols))
             timings: list[MacroTiming] = []
@@ -500,10 +542,15 @@ class ArrayScanner:
                 tiers = state.arrays["tiers"]
                 quality = state.arrays["quality"]
                 done = set(state.completed)
-            remaining = [i for i in range(num_macros) if i not in done]
+            if done:
+                remaining = [i for i in range(num_macros) if i not in done]
+            else:
+                remaining = list(range(num_macros))
 
             effective_jobs = min(config.jobs, num_macros)
             telemetry = {"retries": 0, "timeouts": 0, "respawns": 0}
+            kernel_cells = 0
+            kernel_seconds = 0.0
 
             def _finish_macro(
                 index: int, tier: str, cells: int, seconds: float
@@ -513,6 +560,31 @@ class ArrayScanner:
                 fault_point("scan.macro_done", macro=index)
                 if checkpointer is not None:
                     checkpointer.mark_done(index)
+
+            def _rescue(index: int) -> None:
+                # Final rung: the pool gave up on this macro (worker
+                # kept dying or timing out), so run it in-process —
+                # slower, but the planes stay whole.  Cells are flagged
+                # DEGRADED: the value did not come through the
+                # configured path.
+                macro = self.array.macro(index)
+                macro_start = perf_counter()
+                m_vgs, m_codes, tier, m_quality = self._scan_macro(
+                    macro, config
+                )
+                seconds = perf_counter() - macro_start
+                m_quality = np.maximum(
+                    m_quality, np.uint8(CellQuality.DEGRADED)
+                )
+                active_metrics().counter(
+                    "scan.macro_rescues",
+                    "macros re-run in-process after the pool gave up",
+                ).inc()
+                self._place(
+                    macro, m_vgs, m_codes, tier, m_quality,
+                    vgs, codes, tiers, quality,
+                )
+                _finish_macro(index, tier, macro.num_cells, seconds)
 
             with tracer.span(
                 "scan",
@@ -526,7 +598,83 @@ class ArrayScanner:
                     # Checkpointed macros are already in the planes.
                     progress.advance(self.array.macro(index).num_cells)
                 pool_jobs = min(effective_jobs, len(remaining))
-                if pool_jobs > 1:
+                if kernel_ok:
+                    # A kernel-eligible scan has no checkpoint, so it
+                    # always covers the whole array.  Engine routing is
+                    # decided up front (O(1) for bridge-free arrays) so
+                    # both the slab planner and the serial overwrite
+                    # loop share one verdict per macro.
+                    cells_per_macro = (
+                        self.array.macro_rows * self.array.macro_cols
+                    )
+                    if self.array.defect_count(DefectKind.BRIDGE) == 0:
+                        engine_indices: list[int] = []
+                    else:
+                        engine_indices = [
+                            i for i in range(num_macros)
+                            if self._macro_needs_engine(self.array.macro(i))
+                        ]
+                if kernel_ok and pool_jobs > 1:
+                    from repro.measure.parallel import (
+                        scan_macros_kernel_parallel,
+                    )
+
+                    vgs, codes, quality, macro_seconds, failures, telemetry = (
+                        scan_macros_kernel_parallel(
+                            self.array, self.structure, pool_jobs,
+                            engine_indices=engine_indices,
+                            retry=config.retry,
+                            timeout=config.timeout,
+                        )
+                    )
+                    for index, tier, seconds in macro_seconds:
+                        if tier == "e":
+                            macro = self.array.macro(index)
+                            tiers[macro.row_start:macro.row_stop,
+                                  macro.col_start:macro.col_stop] = "e"
+                        else:
+                            kernel_cells += cells_per_macro
+                            kernel_seconds += seconds
+                        timings.append(
+                            MacroTiming(index, tier, cells_per_macro, seconds)
+                        )
+                    progress.advance(cells_per_macro * len(macro_seconds))
+                    for index, _error in failures:
+                        _rescue(index)
+                elif kernel_ok:
+                    kernel_start = perf_counter()
+                    plane_vgs = closed_form_vgs_plane(
+                        self.array.capacitance_view(),
+                        self.array.defect_kind_view(),
+                        self.kernel_constants(),
+                    )
+                    plane_codes = self.codes_for_vgs(plane_vgs)
+                    kernel_seconds = perf_counter() - kernel_start
+                    vgs = plane_vgs
+                    codes = plane_codes
+                    engine_set = frozenset(engine_indices)
+                    n_kernel = num_macros - len(engine_set)
+                    kernel_cells = n_kernel * cells_per_macro
+                    share = kernel_seconds / n_kernel if n_kernel else 0.0
+                    timings.extend(
+                        MacroTiming(index, "c", cells_per_macro, share)
+                        for index in range(num_macros)
+                        if index not in engine_set
+                    )
+                    progress.advance(kernel_cells)
+                    for index in engine_indices:
+                        macro = self.array.macro(index)
+                        macro_start = perf_counter()
+                        m_vgs, m_codes, tier, m_quality = self._scan_macro(
+                            macro, config
+                        )
+                        seconds = perf_counter() - macro_start
+                        self._place(
+                            macro, m_vgs, m_codes, tier, m_quality,
+                            vgs, codes, tiers, quality,
+                        )
+                        _finish_macro(index, tier, macro.num_cells, seconds)
+                elif pool_jobs > 1:
                     from repro.measure.parallel import scan_macros_parallel
 
                     def _land(payload) -> None:
@@ -558,29 +706,7 @@ class ArrayScanner:
                         on_result=_land,
                     )
                     for index, _error in failures:
-                        # Final rung: the pool gave up on this macro
-                        # (worker kept dying or timing out), so run it
-                        # in-process — slower, but the planes stay
-                        # whole.  Cells are flagged DEGRADED: the value
-                        # did not come through the configured path.
-                        macro = self.array.macro(index)
-                        macro_start = perf_counter()
-                        m_vgs, m_codes, tier, m_quality = self._scan_macro(
-                            macro, config
-                        )
-                        seconds = perf_counter() - macro_start
-                        m_quality = np.maximum(
-                            m_quality, np.uint8(CellQuality.DEGRADED)
-                        )
-                        active_metrics().counter(
-                            "scan.macro_rescues",
-                            "macros re-run in-process after the pool gave up",
-                        ).inc()
-                        self._place(
-                            macro, m_vgs, m_codes, tier, m_quality,
-                            vgs, codes, tiers, quality,
-                        )
-                        _finish_macro(index, tier, macro.num_cells, seconds)
+                        _rescue(index)
                 else:
                     for index in remaining:
                         macro = self.array.macro(index)
@@ -596,7 +722,13 @@ class ArrayScanner:
                         _finish_macro(index, tier, macro.num_cells, seconds)
                 progress.finish()
 
-                engine_cells = int((tiers == "e").sum())
+                if kernel_ok:
+                    # Engine routing was decided up front; rescued
+                    # macros re-run the same verdict, so the tier plane
+                    # cannot disagree with the planner.
+                    engine_cells = cells_per_macro * len(engine_indices)
+                else:
+                    engine_cells = int((tiers == "e").sum())
                 scan_span.attributes["engine_cells"] = engine_cells
                 # One whole-plane observation instead of one per macro —
                 # same distribution, none of the per-tile conversion cost.
@@ -604,7 +736,9 @@ class ArrayScanner:
                     "scan.codes", "measurement codes emitted"
                 ).observe_many(codes.ravel())
 
-            timings.sort(key=lambda t: t.index)
+            # MacroTiming is a NamedTuple with the unique index first,
+            # so plain tuple order is index order (no per-item key call).
+            timings.sort()
             stats = ScanStats(
                 total_cells=rows * cols,
                 wall_seconds=perf_counter() - start,
@@ -612,6 +746,8 @@ class ArrayScanner:
                 closed_form_cells=rows * cols - engine_cells,
                 engine_cells=engine_cells,
                 macro_timings=timings,
+                kernel_cells=kernel_cells,
+                kernel_seconds=kernel_seconds,
                 degraded_cells=int((quality == CellQuality.DEGRADED).sum()),
                 failed_cells=int((quality == CellQuality.FAILED).sum()),
                 macro_retries=telemetry["retries"],

@@ -15,11 +15,17 @@ so the repository keeps a performance trajectory across changes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class MacroTiming:
+class MacroTiming(NamedTuple):
     """Timing of one macro-cell scan.
+
+    A NamedTuple, not a dataclass: a whole-array scan constructs one per
+    macro even on the vectorized-kernel fast path (where per-macro wall
+    time is apportioned from the single kernel pass), and tuple
+    construction is what keeps that bookkeeping invisible next to a
+    sub-millisecond scan.
 
     Attributes
     ----------
@@ -32,7 +38,8 @@ class MacroTiming:
     seconds:
         Wall time spent scanning the tile.  Under a process pool this is
         measured inside the worker, so pool dispatch overhead is not
-        attributed to any macro.
+        attributed to any macro; under the vectorized kernel it is the
+        macro's cell-proportional share of the one batched pass.
     """
 
     index: int
@@ -57,6 +64,10 @@ class ScanStats:
     closed_form_cells, engine_cells:
         Cells produced by the vectorized closed form vs the exact
         charge engine (bridge fallback / ``force_engine``).
+    kernel_cells, kernel_seconds:
+        Cells produced by the whole-array batched kernel and the wall
+        time of that single pass (a subset of the closed-form cells;
+        both 0 when the scan ran the per-macro drivers).
     macro_timings:
         Per-macro timings, in macro-index order.
     degraded_cells, failed_cells:
@@ -76,6 +87,8 @@ class ScanStats:
     closed_form_cells: int
     engine_cells: int
     macro_timings: list[MacroTiming] = field(default_factory=list)
+    kernel_cells: int = 0
+    kernel_seconds: float = 0.0
     degraded_cells: int = 0
     failed_cells: int = 0
     macro_retries: int = 0
@@ -94,6 +107,20 @@ class ScanStats:
         if not self.macro_timings:
             return None
         return max(self.macro_timings, key=lambda t: t.seconds)
+
+    def timing_summary(self) -> dict[str, float]:
+        """p50/p95/max of the per-macro seconds.
+
+        The compact form history files persist: hundreds of per-macro
+        tuples per benchmark entry ballooned ``BENCH_scan.json``, and
+        the distribution tails are what regressions show up in anyway.
+        """
+        seconds = sorted(t.seconds for t in self.macro_timings)
+        return {
+            "p50": _percentile(seconds, 0.50),
+            "p95": _percentile(seconds, 0.95),
+            "max": seconds[-1] if seconds else 0.0,
+        }
 
     def to_metrics(self, registry) -> None:
         """Fold this scan's telemetry into a metrics registry.
@@ -118,6 +145,13 @@ class ScanStats:
             self.cells_per_second
         )
         registry.gauge("scan.jobs", "last scan worker count").set(self.jobs)
+        if self.kernel_cells:
+            registry.counter(
+                "scan.cells_kernel", "cells via the whole-array batched kernel"
+            ).inc(self.kernel_cells)
+            registry.gauge(
+                "scan.kernel_seconds", "last batched-kernel pass wall time"
+            ).set(self.kernel_seconds)
         registry.histogram(
             "scan.macro_seconds", "per-macro scan wall time"
         ).observe_many(t.seconds for t in self.macro_timings)
@@ -151,6 +185,8 @@ class ScanStats:
             "cells_per_second": self.cells_per_second,
             "closed_form_cells": self.closed_form_cells,
             "engine_cells": self.engine_cells,
+            "kernel_cells": self.kernel_cells,
+            "kernel_seconds": self.kernel_seconds,
             "macro_timings": [
                 [t.index, t.tier, t.cells, t.seconds] for t in self.macro_timings
             ],
@@ -169,6 +205,11 @@ class ScanStats:
             f"tiers: {self.closed_form_cells} closed-form, "
             f"{self.engine_cells} engine",
         ]
+        if self.kernel_cells:
+            lines.append(
+                f"kernel: {self.kernel_cells} cells in one batched pass "
+                f"({self.kernel_seconds * 1e3:.2f} ms)"
+            )
         if self.degraded_cells or self.failed_cells:
             lines.append(
                 f"quality: {self.degraded_cells} degraded, "
@@ -188,3 +229,13 @@ class ScanStats:
                 f"{slowest.seconds * 1e3:.2f} ms"
             )
         return "\n".join(lines)
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Linear-interpolation percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    k = (len(sorted_values) - 1) * p
+    lo = int(k)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * (k - lo)

@@ -298,7 +298,14 @@ def check_bench_history(
     """
     engine = engine if engine is not None else DriftEngine()
     report = LintReport()
-    for name in ("cells_per_second", "speedup_serial_vs_seed"):
+    for name in (
+        "cells_per_second",
+        "speedup_serial_vs_seed",
+        # Kernel-vs-serial ratio is intra-run (same machine, same load)
+        # so it charts cleanly across hosts; older entries predate the
+        # batched kernel and are skipped by the isinstance filter.
+        "kernel_speedup_vs_serial",
+    ):
         rows = [
             (str(e.get("git_rev", f"#{i}")), float(e[name]))
             for i, e in enumerate(history)

@@ -159,9 +159,17 @@ class SupervisedPool:
         Per-task wall-clock budget in seconds (``None`` = unlimited).
     fault_plan:
         Fault plan installed fresh in every worker process.
+    persistent:
+        Keep the worker processes alive after :meth:`run` returns so a
+        later run on the same pool skips the fork/initialize cost —
+        the scan fan-out caches one warm pool per array version.  Call
+        :meth:`close` (or drop the pool) to retire the workers; a
+        forced (Ctrl-C) teardown always kills them regardless.
 
     After :meth:`run` returns, the ``retries`` / ``timeouts`` /
-    ``respawns`` counters hold the supervision telemetry for the run.
+    ``respawns`` counters hold the supervision telemetry accumulated
+    over the pool's lifetime; callers reusing a persistent pool should
+    snapshot them around each run.
     """
 
     def __init__(
@@ -174,6 +182,7 @@ class SupervisedPool:
         retry: RetryPolicy = DEFAULT_RETRY_POLICY,
         timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
+        persistent: bool = False,
     ) -> None:
         if jobs < 1:
             raise ResilienceError(f"jobs must be >= 1, got {jobs}")
@@ -186,6 +195,7 @@ class SupervisedPool:
         self.retry = retry
         self.timeout = timeout
         self.fault_plan = fault_plan
+        self.persistent = persistent
         self.retries = 0
         self.timeouts = 0
         self.respawns = 0
@@ -221,6 +231,52 @@ class SupervisedPool:
         except OSError:  # pragma: no cover - already closed
             pass
         self._workers[worker_id] = self._spawn()
+
+    def _retire(self, worker: _Worker) -> None:
+        """Gracefully stop one worker (sentinel, join, close)."""
+        if worker.process.is_alive():
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover - dying worker
+                pass
+            worker.process.join(2.0)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.terminate()
+                worker.process.join(0.5)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _ensure_workers(self, needed: int) -> None:
+        """Bring the slot list to exactly ``needed`` live, idle workers.
+
+        A persistent pool re-enters here with warm workers from its
+        previous run; dead ones (forced teardown, external kill) are
+        replaced silently — pre-run hygiene, not supervision telemetry,
+        so the ``respawns`` counter stays a per-run failure signal.
+        """
+        keep: list[_Worker] = []
+        for worker in self._workers:
+            if (
+                worker.process.is_alive()
+                and worker.current is None
+                and len(keep) < needed
+            ):
+                keep.append(worker)
+            else:
+                self._retire(worker)
+        while len(keep) < needed:
+            keep.append(self._spawn())
+        self._workers = keep
+
+    def close(self) -> None:
+        """Retire every worker gracefully.
+
+        Persistent pools hold their workers between runs; the owner
+        (the scan fan-out cache) calls this on eviction and at exit.
+        """
+        self._shutdown(forced=False)
 
     def _shutdown(self, forced: bool) -> None:
         if forced:
@@ -289,7 +345,7 @@ class SupervisedPool:
                 done[task_id] = True
                 completed += 1
 
-        self._workers = [self._spawn() for _ in range(min(self.jobs, total))]
+        self._ensure_workers(min(self.jobs, total))
         try:
             while completed < total:
                 now = time.monotonic()
@@ -373,5 +429,6 @@ class SupervisedPool:
             # no orphaned workers outlive the scan, then re-raise.
             self._shutdown(forced=True)
             raise
-        self._shutdown(forced=False)
+        if not self.persistent:
+            self._shutdown(forced=False)
         return results

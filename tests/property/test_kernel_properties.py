@@ -1,0 +1,197 @@
+"""Property tests: the batched kernel is bit-exact vs the per-macro path.
+
+The vectorized whole-array kernel
+(:func:`repro.measure.kernel.closed_form_vgs_plane`) promises *bit*
+equality with the per-macro closed form — not ``allclose``, equality.
+These tests hammer that promise across random macro geometries
+(including 1-row/1-column edge shapes), random capacitance maps, and
+random defect populations, then confirm the scan-level dispatch keeps
+quality planes (DEGRADED / FAILED cells) identical to the legacy path.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edram.array import EDRAMArray
+from repro.edram.defects import CellDefect, DefectKind
+from repro.errors import SingularCircuitError
+from repro.measure.config import ScanConfig
+from repro.measure.kernel import closed_form_vgs_plane
+from repro.measure.scan import ArrayScanner
+from repro.resilience.faults import Fault, FaultPlan
+from repro.resilience.quality import CellQuality
+from repro.tech.parameters import default_technology
+from repro.units import fF
+
+_TECH = default_technology()
+
+#: Kinds the closed form handles directly (BRIDGE forces the engine
+#: tier and is exercised separately in the scan-level test below).
+_KERNEL_KINDS = (
+    DefectKind.SHORT,
+    DefectKind.OPEN,
+    DefectKind.ACCESS_OPEN,
+    DefectKind.LOW_CAP,
+    DefectKind.HIGH_CAP,
+    DefectKind.RETENTION,
+)
+
+
+def _defect(kind: DefectKind) -> CellDefect:
+    if kind is DefectKind.LOW_CAP:
+        return CellDefect(kind, factor=0.4)
+    if kind in (DefectKind.HIGH_CAP, DefectKind.RETENTION):
+        return CellDefect(kind, factor=2.5)
+    return CellDefect(kind)
+
+
+@st.composite
+def _arrays(draw) -> EDRAMArray:
+    """A random array: random tile grid, caps, and defect population."""
+    macro_rows = draw(st.integers(1, 4))
+    macro_cols = draw(st.integers(1, 3))
+    rows = macro_rows * draw(st.integers(1, 3))
+    cols = macro_cols * draw(st.integers(1, 3))
+    caps = draw(
+        st.lists(
+            st.floats(10.0, 60.0), min_size=rows * cols, max_size=rows * cols
+        )
+    )
+    array = EDRAMArray(
+        rows,
+        cols,
+        tech=_TECH,
+        macro_rows=macro_rows,
+        macro_cols=macro_cols,
+        capacitance_map=np.array(caps).reshape(rows, cols) * fF,
+    )
+    for _ in range(draw(st.integers(0, 4))):
+        row = draw(st.integers(0, rows - 1))
+        col = draw(st.integers(0, cols - 1))
+        cell = array.cell(row, col)
+        if cell.defect is None:
+            cell.apply_defect(_defect(draw(st.sampled_from(_KERNEL_KINDS))))
+    return array
+
+
+@given(array=_arrays())
+@settings(max_examples=60, deadline=None)
+def test_kernel_matches_per_macro_closed_form(array):
+    # The whole-array plane, sliced per tile, must equal the per-macro
+    # closed form bit for bit — same algebra, same reduction order.
+    scanner = ArrayScanner(array, None)
+    plane = closed_form_vgs_plane(
+        array.capacitance_view(),
+        array.defect_kind_view(),
+        scanner.kernel_constants(),
+    )
+    assert plane.shape == (array.rows, array.cols)
+    for macro in array.macros():
+        tile = plane[
+            macro.row_start : macro.row_stop, macro.col_start : macro.col_stop
+        ]
+        np.testing.assert_array_equal(tile, scanner.closed_form_vgs(macro))
+
+
+@given(array=_arrays())
+@settings(max_examples=40, deadline=None)
+def test_kernel_scan_matches_legacy_scan(array):
+    # Scan-level dispatch: the kernel path must reproduce the legacy
+    # per-macro serial scan exactly — codes, V_GS, tiers and quality.
+    fast = ArrayScanner(array, None).scan()
+    slow = ArrayScanner(array, None, use_kernel=False).scan()
+    np.testing.assert_array_equal(fast.vgs, slow.vgs)
+    np.testing.assert_array_equal(fast.codes, slow.codes)
+    np.testing.assert_array_equal(fast.tiers, slow.tiers)
+    np.testing.assert_array_equal(fast.quality, slow.quality)
+    assert fast.stats.kernel_cells == array.num_cells
+    assert slow.stats.kernel_cells == 0
+
+
+@given(array=_arrays(), data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_failed_tiles_survive_kernel_dispatch(array, data):
+    # An armed fault plan disables the kernel (fault points live inside
+    # the per-macro path); the fallback must be automatic and the FAILED
+    # placeholder tile identical to the legacy scanner's.
+    target = data.draw(st.integers(0, array.num_macros - 1))
+
+    def plan() -> FaultPlan:
+        # Fresh instance per scan: firing counters are runtime state.
+        return FaultPlan(
+            [
+                Fault(
+                    "scan.closed_form",
+                    error=SingularCircuitError("injected: dead calibration"),
+                    match={"macro": target},
+                    times=None,
+                )
+            ]
+        )
+
+    fast = ArrayScanner(array, None).scan(ScanConfig(faults=plan()))
+    slow = ArrayScanner(array, None, use_kernel=False).scan(
+        ScanConfig(faults=plan())
+    )
+    np.testing.assert_array_equal(fast.vgs, slow.vgs)
+    np.testing.assert_array_equal(fast.codes, slow.codes)
+    np.testing.assert_array_equal(fast.quality, slow.quality)
+    assert fast.stats.kernel_cells == 0
+    macro = array.macro(target)
+    tile = fast.quality[
+        macro.row_start : macro.row_stop, macro.col_start : macro.col_stop
+    ]
+    assert (tile == CellQuality.FAILED).all()
+
+
+def test_degraded_engine_cells_survive_kernel_dispatch():
+    # A BRIDGE forces its macro onto the engine tier on both paths; an
+    # injected solver failure inside that macro exercises the per-cell
+    # closed-form rescue, so the scan carries a DEGRADED cell.  The
+    # kernel-enabled scanner must fall back (fault plan armed) and land
+    # on identical planes, DEGRADED flag included.
+    def build() -> EDRAMArray:
+        array = EDRAMArray(8, 4, tech=_TECH, macro_rows=4, macro_cols=2)
+        array.cell(1, 0).apply_defect(CellDefect(DefectKind.BRIDGE))
+        return array
+
+    def plan() -> FaultPlan:
+        return FaultPlan(
+            [
+                Fault(
+                    "sequencer.measure",
+                    error=SingularCircuitError("injected: cell solve died"),
+                    match={"row": 2, "col": 1},
+                    times=None,
+                )
+            ]
+        )
+
+    fast = ArrayScanner(build(), None).scan(ScanConfig(faults=plan()))
+    slow = ArrayScanner(build(), None, use_kernel=False).scan(
+        ScanConfig(faults=plan())
+    )
+    np.testing.assert_array_equal(fast.vgs, slow.vgs)
+    np.testing.assert_array_equal(fast.codes, slow.codes)
+    np.testing.assert_array_equal(fast.tiers, slow.tiers)
+    np.testing.assert_array_equal(fast.quality, slow.quality)
+    assert fast.quality[2, 1] == CellQuality.DEGRADED
+    assert fast.stats.degraded_cells == 1
+
+
+def test_bridge_macros_ride_engine_tier_next_to_kernel_macros():
+    # Without faults the kernel handles every closed-form macro while
+    # bridge macros take the exact engine — mixed tiers, one result.
+    def build() -> EDRAMArray:
+        array = EDRAMArray(8, 4, tech=_TECH, macro_rows=4, macro_cols=2)
+        array.cell(5, 2).apply_defect(CellDefect(DefectKind.BRIDGE))
+        return array
+
+    fast = ArrayScanner(build(), None).scan()
+    slow = ArrayScanner(build(), None, use_kernel=False).scan()
+    np.testing.assert_array_equal(fast.vgs, slow.vgs)
+    np.testing.assert_array_equal(fast.codes, slow.codes)
+    np.testing.assert_array_equal(fast.tiers, slow.tiers)
+    assert (fast.tiers[4:8, 2:4] == "e").all()
+    assert fast.stats.kernel_cells == fast.vgs.size - 8

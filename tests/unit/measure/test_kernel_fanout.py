@@ -1,0 +1,152 @@
+"""Unit coverage of the shared-memory fan-out and its caches.
+
+The bit-exactness of the fan-out is pinned in ``test_scan_perf.py`` and
+the property suite; this file covers the machinery itself — the shared
+planes' lifecycle, the version-keyed payload/pool cache, and the
+per-macro timing summary that replaced raw timings in history files.
+"""
+
+import numpy as np
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.measure import parallel as fanout
+from repro.measure.config import ScanConfig
+from repro.measure.parallel import SharedScanPlanes
+from repro.measure.scan import ArrayScanner
+from repro.measure.stats import MacroTiming, ScanStats
+from repro.resilience.retry import RetryPolicy
+from repro.units import fF
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fanout_cache():
+    """Each test starts and ends with an empty fan-out cache."""
+    fanout._evict_fanout_cache()
+    yield
+    fanout._evict_fanout_cache()
+
+
+class TestSharedScanPlanes:
+    def test_planes_shapes_and_dtypes(self):
+        planes = SharedScanPlanes(6, 4)
+        try:
+            assert planes.vgs.shape == (6, 4) and planes.vgs.dtype == np.float64
+            assert planes.codes.shape == (6, 4) and planes.codes.dtype == np.int64
+            assert planes.quality.shape == (6, 4)
+            assert planes.quality.dtype == np.uint8
+        finally:
+            planes.close()
+
+    def test_views_share_one_buffer(self):
+        planes = SharedScanPlanes(3, 2)
+        try:
+            planes.vgs[1, 1] = 0.125
+            again = np.ndarray(
+                (3, 2), dtype=np.float64, buffer=planes._segments[0].buf
+            )
+            assert again[1, 1] == 0.125
+        finally:
+            planes.close()
+
+    def test_close_is_idempotent(self):
+        planes = SharedScanPlanes(2, 2)
+        planes.close()
+        planes.close()  # second close must not raise
+        assert planes._segments == []
+
+
+class TestFanoutCache:
+    def test_payload_cached_for_unmutated_array(self, tech):
+        array = EDRAMArray(8, 4, tech=tech, macro_rows=4, macro_cols=2)
+        scanner, planes = fanout._fanout_payload(array, None)
+        again_scanner, again_planes = fanout._fanout_payload(array, None)
+        assert again_scanner is scanner
+        assert again_planes is planes
+
+    def test_version_bump_evicts_payload(self, tech):
+        # Forked workers hold a copy-on-write snapshot of the array; a
+        # stale cache entry would let them scan stale silicon.
+        array = EDRAMArray(8, 4, tech=tech, macro_rows=4, macro_cols=2)
+        _scanner, planes = fanout._fanout_payload(array, None)
+        array.cell(0, 0).capacitance = 44 * fF  # bumps array.version
+        fresh_scanner, fresh_planes = fanout._fanout_payload(array, None)
+        assert fresh_planes is not planes
+        assert planes._segments == []  # the evicted planes were released
+        assert fresh_scanner.array is array
+
+    def test_vanilla_pool_is_cached_and_resized(self, tech):
+        array = EDRAMArray(8, 4, tech=tech, macro_rows=4, macro_cols=2)
+        scanner, planes = fanout._fanout_payload(array, None)
+        pool = fanout._fanout_pool(scanner, planes, 2, None, None, None)
+        assert pool.persistent
+        again = fanout._fanout_pool(scanner, planes, 3, None, None, None)
+        assert again is pool
+        assert again.jobs == 3
+
+    def test_custom_supervision_gets_fresh_pool(self, tech):
+        array = EDRAMArray(8, 4, tech=tech, macro_rows=4, macro_cols=2)
+        scanner, planes = fanout._fanout_payload(array, None)
+        warm = fanout._fanout_pool(scanner, planes, 2, None, None, None)
+        custom = fanout._fanout_pool(
+            scanner, planes, 2, RetryPolicy(max_attempts=1), 30.0, None
+        )
+        try:
+            assert custom is not warm
+            assert not custom.persistent
+        finally:
+            custom.close()
+
+    def test_warm_pool_scans_bit_exact_across_reuse(self, tech):
+        array = EDRAMArray(16, 8, tech=tech, macro_rows=4, macro_cols=2)
+        serial = ArrayScanner(array, None).scan()
+        first = ArrayScanner(array, None).scan(ScanConfig(jobs=2))
+        assert fanout._CACHE.get("pool") is not None  # pool stayed warm
+        second = ArrayScanner(array, None).scan(ScanConfig(jobs=2))
+        np.testing.assert_array_equal(first.vgs, serial.vgs)
+        np.testing.assert_array_equal(second.vgs, serial.vgs)
+        np.testing.assert_array_equal(second.codes, serial.codes)
+        np.testing.assert_array_equal(second.quality, serial.quality)
+
+
+class TestTimingSummary:
+    def _stats(self, seconds):
+        timings = [
+            MacroTiming(i, "c", 4, value) for i, value in enumerate(seconds)
+        ]
+        return ScanStats(
+            total_cells=4 * len(timings),
+            wall_seconds=sum(seconds),
+            jobs=1,
+            closed_form_cells=4 * len(timings),
+            engine_cells=0,
+            macro_timings=timings,
+        )
+
+    def test_percentiles_of_known_distribution(self):
+        stats = self._stats([0.001 * (i + 1) for i in range(100)])
+        summary = stats.timing_summary()
+        assert summary["p50"] == pytest.approx(0.0505, rel=1e-6)
+        assert summary["p95"] == pytest.approx(0.09505, rel=1e-6)
+        assert summary["max"] == pytest.approx(0.100, rel=1e-6)
+
+    def test_empty_timings_summarize_to_zero(self):
+        stats = self._stats([])
+        assert stats.timing_summary() == {"p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def test_kernel_fields_surface_in_summary_and_dict(self, tech):
+        array = EDRAMArray(8, 4, tech=tech, macro_rows=4, macro_cols=2)
+        stats = ArrayScanner(array, None).scan().stats
+        assert stats.kernel_cells == array.num_cells
+        assert stats.kernel_seconds > 0
+        assert "batched pass" in stats.summary()
+        payload = stats.to_dict()
+        assert payload["kernel_cells"] == array.num_cells
+        assert payload["kernel_seconds"] == stats.kernel_seconds
+
+    def test_legacy_scan_reports_zero_kernel_cells(self, tech):
+        array = EDRAMArray(8, 4, tech=tech, macro_rows=4, macro_cols=2)
+        stats = ArrayScanner(array, None, use_kernel=False).scan().stats
+        assert stats.kernel_cells == 0
+        assert stats.kernel_seconds == 0.0
+        assert "batched pass" not in stats.summary()

@@ -164,6 +164,19 @@ class TestBenchHistory:
         report = check_bench_history(history)
         assert not any(d.code == "DRF003" for d in report.diagnostics)
 
+    def test_kernel_speedup_regression_warns(self):
+        # Entries predating the batched kernel (no figure) are skipped;
+        # the series still charts once enough kernel-era entries exist.
+        history = [{"git_rev": "old", "cells_per_second": 2e5}] + [
+            {"git_rev": f"c{i}", "kernel_speedup_vs_serial": v}
+            for i, v in enumerate([28.0, 28.3, 27.9, 28.1, 4.0])
+        ]
+        report = check_bench_history(history)
+        assert any(
+            d.code == "DRF003" and "kernel_speedup_vs_serial" in d.message
+            for d in report.diagnostics
+        )
+
     def test_short_or_malformed_history_ignored(self):
         assert check_bench_history([]).ok
         assert check_bench_history([{"cells_per_second": 1e5}, "junk"]).ok
