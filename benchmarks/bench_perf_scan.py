@@ -603,6 +603,102 @@ def bench_perf_scan_resilience_overhead(tech):
     )
 
 
+def bench_perf_scan_sanitize_overhead(tech):
+    """Sanitizer guard: ``--sanitize`` must cost < 10% on a warm-pool scan.
+
+    The write-footprint sanitizer ships a handful of ints per task back
+    in the acknowledgements and audits them parent-side — the data plane
+    never leaves shared memory, and because the sanitize flag rides in
+    the *task* tuples (not the pool's init payload) the warm persistent
+    pool is reused, so the audit must stay in the wall-time noise.
+    Same measurement discipline as the other overhead gates
+    (order-alternating rounds, GC paused, best-of minima, three
+    independent attempts), on the kernel-parallel fan-out where the
+    sanitizer actually runs.
+    """
+    rows = 2 * ROWS  # amortize the audit's fixed cost over a real scan
+    array = _build(tech, rows=rows)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=rows)
+    scanner = ArrayScanner(array, structure)
+    plain_config = ScanConfig(jobs=2)
+    sanitized_config = ScanConfig(jobs=2, sanitize=True)
+    baseline = scanner.scan(plain_config)  # warms the persistent pool
+
+    def run(config):
+        t0 = time.perf_counter()
+        scan = scanner.scan(config)
+        return time.perf_counter() - t0, scan
+
+    sanitized_scan = None
+
+    def measure():
+        nonlocal sanitized_scan
+        plain_times, sanitized_times = [], []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for i in range(20):
+                if i % 2 == 0:
+                    seconds, _ = run(plain_config)
+                    plain_times.append(seconds)
+                    seconds, sanitized_scan = run(sanitized_config)
+                    sanitized_times.append(seconds)
+                else:
+                    seconds, sanitized_scan = run(sanitized_config)
+                    sanitized_times.append(seconds)
+                    seconds, _ = run(plain_config)
+                    plain_times.append(seconds)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return min(plain_times), min(sanitized_times)
+
+    attempts = []
+    for _ in range(3):
+        plain_best, sanitized_best = measure()
+        attempts.append(sanitized_best / plain_best - 1)
+        if attempts[-1] < 0.10:
+            break
+    overhead = min(attempts)
+
+    # The sanitizer must be invisible in the data...
+    assert np.array_equal(sanitized_scan.codes, baseline.codes)
+    assert np.array_equal(sanitized_scan.vgs, baseline.vgs)
+    # ...and actually auditing: a clean report over a non-empty log.
+    assert sanitized_scan.sanitize_report is not None
+    assert sanitized_scan.sanitize_report.ok
+    assert baseline.sanitize_report is None
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
+        "kind": "sanitize_overhead",
+        "array": [rows, COLS],
+        "plain_seconds": plain_best,
+        "sanitized_seconds": sanitized_best,
+        "sanitize_overhead": overhead,
+    }
+    history = _append_history(entry)
+
+    report(
+        "PERF: write-footprint sanitizer overhead on a warm-pool scan",
+        "\n".join([
+            f"array {rows}x{COLS}, kernel-parallel x2, warm pool",
+            f"plain     best-of-20: {plain_best * 1e3:8.2f} ms",
+            f"sanitized best-of-20: {sanitized_best * 1e3:8.2f} ms",
+            f"overhead            : {overhead * 100:+.2f}%  (budget < 10%, "
+            f"{len(attempts)} attempt(s))",
+            f"appended to {BENCH_JSON.name} ({len(history)} entries)",
+        ]),
+    )
+
+    assert overhead < 0.10, (
+        f"sanitize overhead {overhead * 100:.2f}% exceeds 10% budget "
+        f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
+    )
+
+
 def bench_perf_scan_smoke(benchmark, tech):
     """CI smoke: one round on a small array, stats sanity only."""
     array = _build(tech, rows=32, cols=8)

@@ -274,6 +274,7 @@ def cmd_scan(args) -> int:
         retry=retry,
         timeout=args.timeout,
         checkpoint=checkpointer,
+        sanitize=args.sanitize,
     )
     cpu_start = process_time()
     try:
@@ -319,6 +320,12 @@ def cmd_scan(args) -> int:
         )
         run_id = manifest.run_id
 
+    sanitize_exit = 0
+    if scan.sanitize_report is not None:
+        # The sanitizer's verdict gates the command exactly like lint:
+        # overlap/gap errors turn the exit code nonzero.
+        sanitize_exit = scan.sanitize_report.exit_code
+
     if args.format == "json":
         payload = {
             "geometry": {
@@ -333,13 +340,17 @@ def cmd_scan(args) -> int:
             "code_histogram": {str(k): v for k, v in scan.code_histogram().items()},
             "stats": scan.stats.to_dict() if scan.stats is not None else None,
             "metrics": metrics.to_dict() if metrics.enabled else None,
+            "sanitize": (
+                json.loads(scan.sanitize_report.to_json())
+                if scan.sanitize_report is not None else None
+            ),
             "trace": args.trace,
             "saved": saved_to,
             "run_id": run_id,
             "ledger": args.record,
         }
         print(json.dumps(payload, indent=2))
-        return 0
+        return sanitize_exit
 
     print(f"scanned {array.num_cells} cells "
           f"({array.num_macros} tiles of {args.macro_rows}x{args.macro_cols})")
@@ -356,11 +367,17 @@ def cmd_scan(args) -> int:
               f"({len(tracer.spans)} spans; summarize with `repro trace`)")
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
+    if scan.sanitize_report is not None:
+        verdict = "clean" if scan.sanitize_report.ok else "VIOLATED"
+        print(f"sanitize: write-footprint contract {verdict} "
+              f"({scan.sanitize_report.summary()})")
+        if not scan.sanitize_report.ok:
+            print(scan.sanitize_report.format_text())
     if saved_to:
         print(f"scan saved to {saved_to}")
     if run_id:
         print(f"recorded as {run_id} in {args.record}")
-    return 0
+    return sanitize_exit
 
 
 def cmd_diagnose(args) -> int:
@@ -412,14 +429,28 @@ def cmd_trace(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    from repro.errors import LintError
     from repro.lint import (
         LintReport,
+        apply_waivers,
+        expand_codes,
         lint_circuit,
+        lint_project,
         lint_source,
         lint_technology,
+        load_waivers,
         preflight_macro,
     )
     from repro.measure.netlist_builder import build_measurement_circuit
+
+    only = None
+    if args.select:
+        tokens = [t for chunk in args.select for t in chunk.split(",") if t]
+        try:
+            only = expand_codes(tokens)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     report = LintReport()
     if not args.source_only:
@@ -435,8 +466,23 @@ def cmd_lint(args) -> int:
                     macro, structure, waive_known_defects=not args.strict_defects
                 )
             )
+        report.merge(lint_project(only))
     if args.source:
-        report.merge(lint_source(args.source))
+        report.merge(lint_source(args.source, only))
+    if only is not None:
+        # The structural passes above (circuit/flow/tech) don't take a
+        # code filter; apply the selection to the merged report so
+        # --select CCY,DET means exactly those families in the output.
+        selected = set(only)
+        report = LintReport(
+            [d for d in report.diagnostics if d.code in selected]
+        )
+    if args.waivers:
+        try:
+            report = apply_waivers(report, load_waivers(args.waivers))
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.format == "json":
         print(report.to_json())
@@ -680,6 +726,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="route every macro through the exact charge engine")
     p.add_argument("--preflight", action="store_true",
                    help="run the static ERC pass before scanning")
+    p.add_argument("--sanitize", action="store_true",
+                   help="arm the write-footprint sanitizer: prove parallel "
+                        "workers' writes are disjoint and cover the planes "
+                        "(CCY101/CCY102; nonzero exit on violation)")
     p.add_argument("--trace", metavar="PATH",
                    help="record a span trace of the scan to this JSON-lines "
                         "path (summarize with `repro trace PATH`)")
@@ -714,6 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(raw SI literals, bare asserts)")
     p.add_argument("--source-only", action="store_true",
                    help="skip netlist analysis; lint only --source paths")
+    p.add_argument("--select", nargs="+", metavar="CODES",
+                   help="only run/report these rule codes or prefixes, "
+                        "comma- or space-separated (e.g. CCY,DET or ERC004)")
+    p.add_argument("--waivers", metavar="PATH",
+                   help="JSON waiver file suppressing known findings; each "
+                        "entry needs code/location/reason and may carry an "
+                        "expires date (expired waivers warn instead)")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("wafer",

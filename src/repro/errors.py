@@ -146,6 +146,11 @@ class LintError(ReproError):
     invalid target kind, unreadable source file, ...)."""
 
 
+class SanitizeError(LintError):
+    """The write-footprint sanitizer was misused or recorded impossible
+    data (out-of-bounds interval, inverted bounds, shape mismatch)."""
+
+
 class RuleViolation(LintError):
     """A lint/ERC pre-flight check found error-severity violations.
 

@@ -26,6 +26,18 @@ PRM001    parameter-out-of-corner-range  tech card outside corner envelope
 UNT001    suspicious-unit-magnitude    element value implies an SI slip
 PY001     raw-si-literal               femto-scale magic float in source
 PY002     bare-assert                  assert as runtime validation
+ERC006    swallowed-repro-error        broad except eats ReproError silently
+CCY001    fork-captured-global-write   worker writes a fork-captured global
+CCY002    mutation-after-handoff       object mutated after worker handoff
+CCY003    shm-missing-cleanup          SharedMemory without unlink/atexit
+CCY004    fingerprint-drift            config_fingerprint misses a data field
+CCY101    overlapping-write-footprint  two tasks wrote the same cells
+CCY102    footprint-coverage-gap       cells no task claims to have written
+DET001    wallclock-in-measurement-path  time.time()/now() near results
+DET002    unseeded-rng                 RNG without a seeded Generator
+DET003    unordered-reduction          numeric reduction in set-hash order
+DET004    completion-order-accumulation  float += in completion order
+WVR001    expired-waiver               a file waiver outlived its expiry
 ========  ===========================  =====================================
 
 The measurement layer exposes the ERC pass as a pre-flight check:
@@ -38,9 +50,11 @@ it explode inside a solver.
 from __future__ import annotations
 
 from repro.lint.analyzer import (
+    expand_codes,
     lint_charge_network,
     lint_circuit,
     lint_flow,
+    lint_project,
     lint_source,
     lint_technology,
     preflight_array,
@@ -49,6 +63,7 @@ from repro.lint.analyzer import (
 )
 from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 from repro.lint.registry import REGISTRY, RuleRegistry, RuleSpec, rule
+from repro.lint.waivers import Waiver, apply_waivers, load_waivers
 
 __all__ = [
     "Diagnostic",
@@ -61,9 +76,14 @@ __all__ = [
     "lint_circuit",
     "lint_charge_network",
     "lint_flow",
+    "lint_project",
     "lint_technology",
     "lint_source",
+    "expand_codes",
     "preflight_macro",
     "preflight_array",
     "raise_on_errors",
+    "Waiver",
+    "load_waivers",
+    "apply_waivers",
 ]

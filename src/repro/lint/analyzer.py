@@ -30,7 +30,16 @@ from repro.tech.parameters import TechnologyCard
 
 # Rule modules register themselves on import; pull them in explicitly so
 # "import repro.lint.analyzer" alone yields the full built-in rule set.
-from repro.lint import pylint_rules, rules_erc, rules_prm, rules_unt  # noqa: F401
+# (The CCY101/102 footprint rules live with their subject in
+# repro.sanitize.footprint and register when a sanitized scan imports it.)
+from repro.lint import (  # noqa: F401
+    pylint_rules,
+    rules_ccy,
+    rules_det,
+    rules_erc,
+    rules_prm,
+    rules_unt,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.edram.array import EDRAMArray, MacroCell
@@ -88,7 +97,7 @@ def lint_technology(tech: TechnologyCard, only: Iterable[str] | None = None) -> 
 def lint_source(
     paths: Iterable[str | Path], only: Iterable[str] | None = None
 ) -> LintReport:
-    """Run AST source rules (PY001/PY002) over files and directories."""
+    """Run AST source rules (PY/ERC006/CCY/DET) over files and directories."""
     report = LintReport()
     specs = REGISTRY.for_target("source", only)
     for path in pylint_rules.iter_python_files([Path(p) for p in paths]):
@@ -96,6 +105,41 @@ def lint_source(
         for spec in specs:
             report.extend(spec.run(tree, context))
     return report
+
+
+def lint_project(only: Iterable[str] | None = None) -> LintReport:
+    """Run project-invariant rules (CCY004) — no per-file subject.
+
+    These rules introspect the live codebase (dataclass fields vs the
+    ledger fingerprint) rather than a parsed artifact, so they take no
+    subject and run once per lint invocation.
+    """
+    report = LintReport()
+    for spec in REGISTRY.for_target("project", only):
+        report.extend(spec.run(None))
+    return report
+
+
+def expand_codes(selection: Iterable[str]) -> list[str]:
+    """Expand code prefixes (``CCY``, ``DET``) into registered rule codes.
+
+    Each token must match at least one registered code exactly or as a
+    prefix; raises :class:`~repro.errors.LintError` on tokens matching
+    nothing (a typo silently selecting zero rules would pass every gate).
+    """
+    from repro.errors import LintError
+
+    codes = REGISTRY.codes()
+    expanded: list[str] = []
+    for token in selection:
+        matches = [c for c in codes if c == token or c.startswith(token)]
+        if not matches:
+            raise LintError(
+                f"--select token {token!r} matches no registered rule "
+                f"(known: {', '.join(codes)})"
+            )
+        expanded.extend(c for c in matches if c not in expanded)
+    return expanded
 
 
 # ---------------------------------------------------------------------------

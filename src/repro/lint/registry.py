@@ -9,6 +9,8 @@ Every lint rule registers itself under a stable code (``ERC001``,
 ``flow``        a macro + structure five-phase measurement flow
 ``technology``  a :class:`~repro.tech.parameters.TechnologyCard`
 ``source``      a Python source file (AST rules)
+``project``     the project's own invariants (no per-file subject)
+``footprint``   a recorded :class:`~repro.sanitize.FootprintLog`
 ==============  ====================================================
 
 Rules are plain functions decorated with :func:`rule`; the decorator
@@ -66,7 +68,9 @@ class RuleSpec:
         )
 
 
-VALID_TARGETS = ("circuit", "charge", "flow", "technology", "source")
+VALID_TARGETS = (
+    "circuit", "charge", "flow", "technology", "source", "project", "footprint"
+)
 
 
 class RuleRegistry:

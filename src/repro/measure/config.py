@@ -93,6 +93,14 @@ class ScanConfig:
         A :class:`repro.resilience.Checkpointer` persisting
         completed-macro state through the run ledger so an interrupted
         scan can ``--resume``.  ``None`` checkpoints nothing.
+    sanitize:
+        Arm the write-footprint sanitizer
+        (:mod:`repro.sanitize.footprint`): workers ship their write
+        rectangles back in acknowledgements and the scan proves pairwise
+        disjointness + full plane coverage afterwards, attaching the
+        CCY101/CCY102 report to ``ScanResult.sanitize_report``.  A
+        diagnostic mode — it never changes measured data, so it is
+        excluded from equality and the config fingerprint.
 
     Derive variants with :meth:`dataclasses.replace` or
     :meth:`ScanConfig.with_options`.
@@ -114,6 +122,7 @@ class ScanConfig:
     retry: "RetryPolicy | None" = field(default=None, compare=False)
     timeout: float | None = field(default=None, compare=False)
     checkpoint: "Checkpointer | None" = field(default=None, compare=False)
+    sanitize: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:

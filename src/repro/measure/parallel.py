@@ -57,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.edram.array import EDRAMArray
     from repro.measure.scan import ArrayScanner
     from repro.measure.structure import MeasurementStructure
+    from repro.sanitize.footprint import FootprintLog
 
     MacroResult = tuple[int, np.ndarray, np.ndarray, str, np.ndarray, float]
 
@@ -86,17 +87,25 @@ class SharedScanPlanes:
                                   buffer=self._segments[2].buf)
 
     def close(self) -> None:
-        """Release the views, unmap and unlink the segments (parent only)."""
+        """Release the views, unmap and unlink the segments (parent only).
+
+        Idempotent: the teardown runs from both explicit cache eviction
+        and the atexit hook, and a second close (segments already
+        unlinked) must be a silent no-op, not a warning at interpreter
+        exit.
+        """
+        segments, self._segments = self._segments, []
+        if not segments:
+            return
         # The ndarray views export the buffers; they must drop first or
         # SharedMemory.close() raises BufferError.
         self.vgs = self.codes = self.quality = None  # type: ignore[assignment]
-        for segment in self._segments:
+        for segment in segments:
             try:
                 segment.close()
                 segment.unlink()
             except (BufferError, FileNotFoundError, OSError):  # pragma: no cover
                 pass
-        self._segments = []
 
 
 #: Per-process fan-out state, installed by :func:`_init_worker` at fork.
@@ -106,25 +115,33 @@ _WORKER: dict = {}
 def _init_worker(scanner: "ArrayScanner", planes: SharedScanPlanes) -> None:
     # Under the fork start method these arrive by inheritance, not
     # pickling: the scanner is a copy-on-write snapshot of the parent's,
-    # the planes map the same shared segments.
-    _WORKER["scanner"] = scanner
-    _WORKER["planes"] = planes
+    # the planes map the same shared segments.  This is the sanctioned
+    # per-process installer CCY001 exists to guard: the writes are
+    # worker-local by design and nothing parent-side ever reads them.
+    _WORKER["scanner"] = scanner  # lint: allow-worker-state
+    _WORKER["planes"] = planes  # lint: allow-worker-state
 
 
 def _scan_one(payload: tuple, attempt: int) -> tuple:
     """Worker body: scan a macro or a kernel slab into the shared planes.
 
     Returns a small acknowledgement tuple; the data stays in shared
-    memory.  ``("m", index, force_engine)`` → ``("m", index, tier,
-    seconds)``; ``("k", tr_lo, tr_hi, engine_tiles)`` → ``("k", tr_lo,
-    tr_hi, seconds)``.
+    memory.  ``("m", index, force_engine, sanitize)`` → ``("m", index,
+    tier, seconds)``; ``("k", tr_lo, tr_hi, engine_tiles, sanitize)`` →
+    ``("k", tr_lo, tr_hi, seconds)``.  With the task's ``sanitize``
+    flag set, one trailing ``(attempt, rects)`` element is appended —
+    the exact rectangles this worker wrote, a handful of ints the
+    parent's :class:`~repro.sanitize.FootprintLog` audits.  The flag
+    rides in the *task* (not the init payload) so sanitized scans reuse
+    the warm vanilla pool.
     """
     from repro.measure.config import ScanConfig
 
     scanner: "ArrayScanner" = _WORKER["scanner"]
     planes: SharedScanPlanes = _WORKER["planes"]
     if payload[0] == "m":
-        _, index, force_engine = payload
+        index, force_engine = payload[1], payload[2]
+        sanitize = bool(payload[3]) if len(payload) > 3 else False
         fault_point("worker.scan_macro", macro=index, attempt=attempt)
         macro = scanner.array.macro(index)
         start = perf_counter()
@@ -137,12 +154,19 @@ def _scan_one(payload: tuple, attempt: int) -> tuple:
         planes.vgs[rsl, csl] = vgs
         planes.codes[rsl, csl] = codes
         planes.quality[rsl, csl] = quality
-        return ("m", index, tier, seconds)
+        ack = ("m", index, tier, seconds)
+        if sanitize:
+            rect = (macro.row_start, macro.row_stop,
+                    macro.col_start, macro.col_stop)
+            ack = (*ack, (attempt, (rect,)))
+        return ack
 
-    _, tr_lo, tr_hi, engine_tiles = payload
+    tr_lo, tr_hi, engine_tiles = payload[1], payload[2], payload[3]
+    sanitize = bool(payload[4]) if len(payload) > 4 else False
     array = scanner.array
     mr, mc = array.macro_rows, array.macro_cols
     tiles_across = array.macros_per_row
+    written: list[tuple[int, int, int, int]] = []
     start = perf_counter()
     rows_sl = slice(tr_lo * mr, tr_hi * mr)
     vgs = _kernel(
@@ -155,6 +179,8 @@ def _scan_one(payload: tuple, attempt: int) -> tuple:
         planes.vgs[rows_sl] = vgs
         planes.codes[rows_sl] = codes
         planes.quality[rows_sl] = 0
+        if sanitize:
+            written.append((tr_lo * mr, tr_hi * mr, 0, array.cols))
     else:
         # Engine tiles belong to their own per-macro tasks; skipping
         # them here keeps the two writers off each other's cells.
@@ -171,7 +197,12 @@ def _scan_one(payload: tuple, attempt: int) -> tuple:
                 planes.codes[top:top + mr, left:left + mc] = \
                     codes[local:local + mr, left:left + mc]
                 planes.quality[top:top + mr, left:left + mc] = 0
-    return ("k", tr_lo, tr_hi, perf_counter() - start)
+                if sanitize:
+                    written.append((top, top + mr, left, left + mc))
+    ack = ("k", tr_lo, tr_hi, perf_counter() - start)
+    if sanitize:
+        ack = (*ack, (attempt, tuple(written)))
+    return ack
 
 
 def _kernel(cap, kinds, constants):
@@ -190,14 +221,25 @@ _CACHE: dict[str, Any] = {}
 
 
 def _evict_fanout_cache() -> None:
-    """Retire the cached pool and planes (eviction, tests, interpreter exit)."""
-    pool = _CACHE.get("pool")
-    if pool is not None:
-        pool.close()
-    planes = _CACHE.get("planes")
-    if planes is not None:
-        planes.close()
+    """Retire the cached pool and planes (eviction, tests, interpreter exit).
+
+    Idempotent and exception-safe: it runs from explicit eviction *and*
+    the atexit hook, possibly both, and a pool whose workers already
+    died (or whose close raises mid-shutdown) must not leak the planes
+    or leave a stale cache key behind — the segments would outlive the
+    process.
+    """
+    pool = _CACHE.pop("pool", None)
+    planes = _CACHE.pop("planes", None)
     _CACHE.clear()
+    try:
+        if pool is not None:
+            pool.close()
+    except Exception:  # lint: allow-broad-except - best-effort exit teardown
+        pass
+    finally:
+        if planes is not None:
+            planes.close()
 
 
 atexit.register(_evict_fanout_cache)
@@ -298,6 +340,21 @@ def _run_pool(pool: SupervisedPool, tasks: list) -> tuple[list, dict[str, int]]:
     return outcomes, telemetry
 
 
+def _record_footprint(
+    footprint: "FootprintLog | None", task: str, ack: tuple
+) -> None:
+    """Audit a sanitize-bearing acknowledgement into the parent's log.
+
+    Only acknowledgements carrying the trailing ``(attempt, rects)``
+    element are recorded; plain acks (sanitize off) are ignored.
+    """
+    if footprint is None or len(ack) <= 4:
+        return
+    attempt, rects = ack[4]
+    for rect in rects:
+        footprint.record(task, *rect, attempt=attempt)
+
+
 # ---------------------------------------------------------------------------
 # Public fan-outs
 # ---------------------------------------------------------------------------
@@ -313,6 +370,7 @@ def scan_macros_parallel(
     timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     on_result: "Callable[[MacroResult], None] | None" = None,
+    footprint: "FootprintLog | None" = None,
 ) -> tuple["list[MacroResult]", list[tuple[int, BaseException]], dict[str, int]]:
     """Scan macros of ``array`` across supervised workers, one per task.
 
@@ -334,6 +392,10 @@ def scan_macros_parallel(
         Parent-side hook invoked with each macro result as it lands
         (completion order) — the scan engine places planes and
         checkpoints incrementally through it.
+    footprint:
+        A :class:`~repro.sanitize.FootprintLog` to audit worker writes
+        into; setting it makes tasks ship their written rectangles back
+        in the acknowledgements (``--sanitize``).
 
     Returns ``(results, failures, telemetry)``: successful results in
     macro-index order, ``(macro_index, error)`` for macros that
@@ -346,7 +408,7 @@ def scan_macros_parallel(
     pool = _fanout_pool(scanner, planes, workers, retry, timeout, fault_plan)
 
     def _materialize(ack: tuple) -> "MacroResult":
-        _, index, tier, seconds = ack
+        index, tier, seconds = ack[1], ack[2], ack[3]
         macro = array.macro(index)
         rsl = slice(macro.row_start, macro.row_stop)
         csl = slice(macro.col_start, macro.col_stop)
@@ -362,12 +424,14 @@ def scan_macros_parallel(
     materialized: "dict[int, MacroResult]" = {}
 
     def _hook(_task_id: int, ack: tuple) -> None:
+        _record_footprint(footprint, f"macro[{ack[1]}]", ack)
         result = _materialize(ack)
         materialized[result[0]] = result
         if on_result is not None:
             on_result(result)
 
-    tasks = [("m", index, force_engine) for index in todo]
+    sanitize = footprint is not None
+    tasks = [("m", index, force_engine, sanitize) for index in todo]
     before = (pool.retries, pool.timeouts, pool.respawns)
     try:
         outcomes = pool.run(tasks, on_result=_hook)
@@ -399,6 +463,7 @@ def scan_macros_kernel_parallel(
     engine_indices: "tuple[int, ...] | list[int]" = (),
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
+    footprint: "FootprintLog | None" = None,
 ) -> tuple[
     np.ndarray, np.ndarray, np.ndarray,
     list[tuple[int, str, float]],
@@ -424,6 +489,7 @@ def scan_macros_kernel_parallel(
     tiles_across = array.macros_per_row
     engine_set = frozenset(engine_indices)
 
+    sanitize = footprint is not None
     slab_count = max(1, min(jobs, tiles_down))
     bounds = np.linspace(0, tiles_down, slab_count + 1).astype(int)
     tasks: list[tuple] = []
@@ -433,8 +499,8 @@ def scan_macros_kernel_parallel(
         local_engine = tuple(
             sorted(i for i in engine_set if lo <= i // tiles_across < hi)
         )
-        tasks.append(("k", int(lo), int(hi), local_engine))
-    tasks.extend(("m", index, False) for index in sorted(engine_set))
+        tasks.append(("k", int(lo), int(hi), local_engine, sanitize))
+    tasks.extend(("m", index, False, sanitize) for index in sorted(engine_set))
 
     pool = _fanout_pool(
         scanner, planes, max(1, min(jobs, len(tasks))), retry, timeout, None
@@ -450,7 +516,7 @@ def scan_macros_kernel_parallel(
     for task, outcome in zip(tasks, outcomes):
         if isinstance(outcome, TaskFailure):
             if task[0] == "k":
-                _, lo, hi, _local = task
+                lo, hi = task[1], task[2]
                 failures.extend(
                     (index, outcome.error)
                     for index in range(lo * tiles_across, hi * tiles_across)
@@ -459,7 +525,8 @@ def scan_macros_kernel_parallel(
             else:
                 failures.append((task[1], outcome.error))
         elif outcome[0] == "k":
-            _, lo, hi, seconds = outcome
+            lo, hi, seconds = outcome[1], outcome[2], outcome[3]
+            _record_footprint(footprint, f"slab[{lo}:{hi}]", outcome)
             members = [
                 index
                 for index in range(lo * tiles_across, hi * tiles_across)
@@ -468,7 +535,8 @@ def scan_macros_kernel_parallel(
             share = seconds / len(members) if members else 0.0
             macro_seconds.extend((index, "c", share) for index in members)
         else:
-            _, index, tier, seconds = outcome
+            index, tier, seconds = outcome[1], outcome[2], outcome[3]
+            _record_footprint(footprint, f"macro[{index}]", outcome)
             macro_seconds.append((index, tier, seconds))
 
     # Decouple the result from the reusable segments: the next scan of

@@ -47,6 +47,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from time import perf_counter, process_time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -66,6 +67,10 @@ from repro.obs.metrics import active_metrics, use_metrics
 from repro.resilience.checkpoint import resume_fingerprint
 from repro.resilience.faults import active_fault_plan, fault_point, inject
 from repro.resilience.quality import CellQuality, quality_counts, quality_plane
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.diagnostics import LintReport
+    from repro.sanitize.footprint import FootprintLog
 
 
 def _ambient_metrics(config: ScanConfig):
@@ -103,6 +108,12 @@ class ScanResult:
         :class:`~repro.resilience.quality.CellQuality` flags (0 GOOD,
         1 DEGRADED, 2 FAILED).  All-zero for clean scans; ``None``
         coerces to all-GOOD so hand-assembled results stay terse.
+    sanitize_report:
+        The write-footprint sanitizer's CCY101/CCY102
+        :class:`~repro.lint.diagnostics.LintReport` when the scan ran
+        with ``ScanConfig(sanitize=True)``; ``None`` otherwise.  Like
+        ``stats`` it describes the run, not the data, and is excluded
+        from equality.
     """
 
     codes: np.ndarray
@@ -111,6 +122,7 @@ class ScanResult:
     tiers: np.ndarray
     stats: ScanStats | None = field(default=None, compare=False)
     quality: np.ndarray | None = field(default=None, compare=False)
+    sanitize_report: "LintReport | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Hand-assembled results (tests, loaders) may pass plain lists;
@@ -501,6 +513,11 @@ class ArrayScanner:
             cpu_start = process_time()
             rows, cols = self.array.rows, self.array.cols
             num_macros = self.array.num_macros
+            footprint: "FootprintLog | None" = None
+            if config.sanitize:
+                from repro.sanitize.footprint import FootprintLog
+
+                footprint = FootprintLog((rows, cols))
             # Dispatch planner: the batched kernel replaces the
             # per-macro drivers only when they are semantically inert —
             # no per-macro spans to emit, no fault sites to honour, no
@@ -561,6 +578,20 @@ class ArrayScanner:
                 if checkpointer is not None:
                     checkpointer.mark_done(index)
 
+            def _record_macro(index: int, source: str, task: str | None = None) -> None:
+                # Parent-side footprint record for a macro written via
+                # _place (serial, rescue, engine-overwrite); worker-side
+                # writes ship their rectangles back in acknowledgements.
+                if footprint is None:
+                    return
+                macro = self.array.macro(index)
+                footprint.record(
+                    task if task is not None else f"macro[{index}]",
+                    macro.row_start, macro.row_stop,
+                    macro.col_start, macro.col_stop,
+                    source=source,
+                )
+
             def _rescue(index: int) -> None:
                 # Final rung: the pool gave up on this macro (worker
                 # kept dying or timing out), so run it in-process —
@@ -584,6 +615,10 @@ class ArrayScanner:
                     macro, m_vgs, m_codes, tier, m_quality,
                     vgs, codes, tiers, quality,
                 )
+                # A rescue only runs when no worker acknowledgement ever
+                # landed, so recording under the same task key is the
+                # legal retry shape, not an overlap.
+                _record_macro(index, "rescue")
                 _finish_macro(index, tier, macro.num_cells, seconds)
 
             with tracer.span(
@@ -597,6 +632,9 @@ class ArrayScanner:
                 for index in sorted(done):
                     # Checkpointed macros are already in the planes.
                     progress.advance(self.array.macro(index).num_cells)
+                    _record_macro(
+                        index, "checkpoint", task=f"checkpoint[{index}]"
+                    )
                 pool_jobs = min(effective_jobs, len(remaining))
                 if kernel_ok:
                     # A kernel-eligible scan has no checkpoint, so it
@@ -625,6 +663,7 @@ class ArrayScanner:
                             engine_indices=engine_indices,
                             retry=config.retry,
                             timeout=config.timeout,
+                            footprint=footprint,
                         )
                     )
                     for index, tier, seconds in macro_seconds:
@@ -653,6 +692,15 @@ class ArrayScanner:
                     vgs = plane_vgs
                     codes = plane_codes
                     engine_set = frozenset(engine_indices)
+                    if footprint is not None:
+                        # The kernel wrote the whole plane, but engine
+                        # macros are about to overwrite their tiles;
+                        # claim only the tiles the kernel's values
+                        # survive in, so the engine overwrites are not
+                        # misreported as overlaps.
+                        for index in range(num_macros):
+                            if index not in engine_set:
+                                _record_macro(index, "parent", task="kernel")
                     n_kernel = num_macros - len(engine_set)
                     kernel_cells = n_kernel * cells_per_macro
                     share = kernel_seconds / n_kernel if n_kernel else 0.0
@@ -673,6 +721,7 @@ class ArrayScanner:
                             macro, m_vgs, m_codes, tier, m_quality,
                             vgs, codes, tiers, quality,
                         )
+                        _record_macro(index, "parent")
                         _finish_macro(index, tier, macro.num_cells, seconds)
                 elif pool_jobs > 1:
                     from repro.measure.parallel import scan_macros_parallel
@@ -704,6 +753,7 @@ class ArrayScanner:
                         timeout=config.timeout,
                         fault_plan=config.faults,
                         on_result=_land,
+                        footprint=footprint,
                     )
                     for index, _error in failures:
                         _rescue(index)
@@ -719,8 +769,30 @@ class ArrayScanner:
                             macro, m_vgs, m_codes, tier, m_quality,
                             vgs, codes, tiers, quality,
                         )
+                        _record_macro(index, "parent")
                         _finish_macro(index, tier, macro.num_cells, seconds)
                 progress.finish()
+
+                sanitize_report: "LintReport | None" = None
+                if footprint is not None:
+                    from repro.sanitize.footprint import check_footprints
+
+                    sanitize_report = check_footprints(footprint)
+                    overlap = footprint.overlap_cells()
+                    gap = footprint.gap_cells()
+                    scan_span.attributes["footprint_intervals"] = len(footprint)
+                    scan_span.attributes["footprint_overlap_cells"] = overlap
+                    scan_span.attributes["footprint_gap_cells"] = gap
+                    if overlap:
+                        active_metrics().counter(
+                            "scan.sanitize_overlap_cells",
+                            "plane cells written by more than one task",
+                        ).inc(overlap)
+                    if gap:
+                        active_metrics().counter(
+                            "scan.sanitize_gap_cells",
+                            "plane cells no task claims to have written",
+                        ).inc(gap)
 
                 if kernel_ok:
                     # Engine routing was decided up front; rescued
@@ -762,6 +834,7 @@ class ArrayScanner:
             tiers=tiers,
             stats=stats,
             quality=quality,
+            sanitize_report=sanitize_report,
         )
         run_id = checkpointer.run_id if checkpointer is not None else None
         if config.ledger is not None:

@@ -1,0 +1,14 @@
+"""Opt-in runtime sanitizers proving the fan-out's safety contracts.
+
+Today: the write-footprint sanitizer (:mod:`repro.sanitize.footprint`),
+armed by ``ScanConfig(sanitize=True)`` / ``repro scan --sanitize``.  It
+records every worker's write rectangles from the acknowledgement stream
+and proves pairwise disjointness + full plane coverage after the scan,
+reporting violations as CCY101/CCY102 lint diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.footprint import FootprintLog, WriteInterval, check_footprints
+
+__all__ = ["FootprintLog", "WriteInterval", "check_footprints"]

@@ -54,3 +54,85 @@ def test_lint_combined_netlist_and_source(tmp_path, capsys):
     assert main(["lint", *GEOMETRY, "--source", str(bad)]) == 1
     out = capsys.readouterr().out
     assert "PY001" in out
+
+
+# ---------------------------------------------------------------------------
+# --select, --waivers, and exit-code semantics on mixed-severity reports
+# ---------------------------------------------------------------------------
+
+
+def _write_bad(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(fixtures.BAD_SOURCE, encoding="utf-8")
+    return bad
+
+
+def test_lint_select_restricts_rule_families(tmp_path, capsys):
+    bad = _write_bad(tmp_path)
+    # BAD_SOURCE violates PY001/PY002 but nothing in CCY/DET, so a
+    # CCY,DET selection must come back clean with exit 0.
+    assert main(["lint", "--source-only", "--source", str(bad),
+                 "--select", "CCY,DET", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["diagnostics"] == []
+    # Selecting the violated family keeps the nonzero exit.
+    assert main(["lint", "--source-only", "--source", str(bad),
+                 "--select", "PY002"]) == 1
+    assert "PY001" not in capsys.readouterr().out
+
+
+def test_lint_select_unknown_token_exits_two(tmp_path, capsys):
+    bad = _write_bad(tmp_path)
+    assert main(["lint", "--source-only", "--source", str(bad),
+                 "--select", "NOPE999"]) == 2
+    assert "matches no registered rule" in capsys.readouterr().err
+
+
+def test_lint_waivers_mixed_severity_exit_codes(tmp_path, capsys):
+    bad = _write_bad(tmp_path)
+    waivers = tmp_path / "waivers.json"
+    waivers.write_text(json.dumps([
+        # Live waiver: suppresses every PY002 error in the file.
+        {"code": "PY002", "location": "bad.py", "reason": "legacy asserts",
+         "expires": "2999-01-01"},
+        # Expired waiver: PY001 errors come back AND a WVR001 warning
+        # surfaces the debt.
+        {"code": "PY001", "location": "bad.py", "reason": "magic floats",
+         "expires": "2020-01-01"},
+    ]), encoding="utf-8")
+    # PY001 errors survive (expired) -> exit 1; report mixes waived
+    # errors, live errors, and the WVR001 warning.
+    assert main(["lint", "--source-only", "--source", str(bad),
+                 "--waivers", str(waivers), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert "WVR001" in codes
+    assert payload["error_count"] >= 1  # PY001 back from the dead
+    assert any(d["code"] == "PY002" and d["waived"]
+               for d in payload["diagnostics"])
+    assert payload["ok"] is False
+
+
+def test_lint_waivers_all_errors_waived_exits_zero(tmp_path, capsys):
+    bad = _write_bad(tmp_path)
+    waivers = tmp_path / "waivers.json"
+    waivers.write_text(json.dumps([
+        {"code": "PY001", "expires": "2999-01-01"},
+        {"code": "PY002", "expires": "2999-01-01"},
+    ]), encoding="utf-8")
+    # Every error waived -> warnings alone never gate -> exit 0.
+    assert main(["lint", "--source-only", "--source", str(bad),
+                 "--waivers", str(waivers), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["error_count"] == 0
+    assert all(d["waived"] for d in payload["diagnostics"])
+
+
+def test_lint_malformed_waiver_file_exits_two(tmp_path, capsys):
+    bad = _write_bad(tmp_path)
+    waivers = tmp_path / "waivers.json"
+    waivers.write_text("{not json", encoding="utf-8")
+    assert main(["lint", "--source-only", "--source", str(bad),
+                 "--waivers", str(waivers)]) == 2
+    assert "error:" in capsys.readouterr().err

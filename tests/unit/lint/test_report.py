@@ -119,10 +119,16 @@ def test_to_json_payload_shape():
 
 
 def test_builtin_registry_has_all_documented_codes():
-    assert set(REGISTRY.codes()) == {
+    assert set(REGISTRY.codes()) >= {
         "ERC001", "ERC002", "ERC003", "ERC004", "ERC005", "ERC006",
         "PRM001", "UNT001", "PY001", "PY002",
+        "CCY001", "CCY002", "CCY003", "CCY004",
+        "DET001", "DET002", "DET003", "DET004",
     }
+    # The footprint rules register on ``repro.sanitize`` import.
+    import repro.sanitize  # noqa: F401
+
+    assert {"CCY101", "CCY102"} <= set(REGISTRY.codes())
 
 
 def test_registry_rejects_duplicate_codes():

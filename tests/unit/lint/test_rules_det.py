@@ -1,0 +1,232 @@
+"""Determinism rules (DET001-004): wall clocks, RNG, unordered reductions."""
+
+import pytest
+
+from repro.lint import lint_source
+
+
+@pytest.fixture()
+def measure_dir(tmp_path):
+    """A directory whose path marks files as measurement-path modules."""
+    d = tmp_path / "measure"
+    d.mkdir()
+    return d
+
+
+def _write(directory, name, text):
+    path = directory / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# DET001 wallclock-in-measurement-path
+# ----------------------------------------------------------------------
+
+
+def test_det001_flags_time_time_in_measurement_module(measure_dir):
+    body = "import time\ndef stamp():\n    return time.time()\n"
+    report = lint_source([_write(measure_dir, "mod.py", body)], only=("DET001",))
+    assert report.codes() == {"DET001"}
+    assert "wall clock" in next(iter(report)).message
+
+
+def test_det001_flags_datetime_now(measure_dir):
+    body = (
+        "from datetime import datetime\n"
+        "def stamp():\n"
+        "    return datetime.now()\n"
+    )
+    report = lint_source([_write(measure_dir, "mod.py", body)], only=("DET001",))
+    assert report.codes() == {"DET001"}
+
+
+def test_det001_perf_counter_is_fine(measure_dir):
+    body = (
+        "from time import perf_counter\n"
+        "import time\n"
+        "def took():\n"
+        "    return time.perf_counter() - time.monotonic()\n"
+    )
+    assert len(lint_source([_write(measure_dir, "mod.py", body)],
+                           only=("DET001",))) == 0
+
+
+def test_det001_non_measurement_paths_exempt(tmp_path):
+    body = "import time\ndef stamp():\n    return time.time()\n"
+    assert len(lint_source([_write(tmp_path, "ledger.py", body)],
+                           only=("DET001",))) == 0
+
+
+def test_det001_pragma_suppresses(measure_dir):
+    body = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # lint: allow-wallclock\n"
+    )
+    assert len(lint_source([_write(measure_dir, "mod.py", body)],
+                           only=("DET001",))) == 0
+
+
+# ----------------------------------------------------------------------
+# DET002 unseeded-rng
+# ----------------------------------------------------------------------
+
+
+def test_det002_flags_unseeded_default_rng(tmp_path):
+    body = "import numpy as np\ndef noise():\n    return np.random.default_rng()\n"
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET002",))
+    assert report.codes() == {"DET002"}
+
+
+def test_det002_seeded_default_rng_is_clean(tmp_path):
+    body = (
+        "import numpy as np\n"
+        "def noise(seed):\n"
+        "    a = np.random.default_rng(seed)\n"
+        "    b = np.random.default_rng(seed=42)\n"
+        "    return a, b\n"
+    )
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET002",))) == 0
+
+
+def test_det002_flags_legacy_numpy_global_draws(tmp_path):
+    body = "import numpy as np\ndef noise(n):\n    return np.random.rand(n)\n"
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET002",))
+    assert report.codes() == {"DET002"}
+
+
+def test_det002_flags_stdlib_random_module_draws(tmp_path):
+    body = "import random\ndef pick(xs):\n    return random.choice(xs)\n"
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET002",))
+    assert report.codes() == {"DET002"}
+
+
+def test_det002_pragma_and_test_files_suppress(tmp_path):
+    body = (
+        "import numpy as np\n"
+        "def noise():\n"
+        "    return np.random.default_rng()  # lint: allow-unseeded-rng\n"
+    )
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET002",))) == 0
+    bare = "import random\ndef test_x():\n    return random.random()\n"
+    assert len(lint_source([_write(tmp_path, "test_mod.py", bare)],
+                           only=("DET002",))) == 0
+
+
+# ----------------------------------------------------------------------
+# DET003 unordered-reduction
+# ----------------------------------------------------------------------
+
+
+def test_det003_flags_sum_over_set_call(tmp_path):
+    body = "def total(xs):\n    return sum(set(xs))\n"
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET003",))
+    assert report.codes() == {"DET003"}
+
+
+def test_det003_flags_loop_over_set_accumulating(tmp_path):
+    body = (
+        "def total(xs):\n"
+        "    acc = 0.0\n"
+        "    for x in {v for v in xs}:\n"
+        "        acc += x\n"
+        "    return acc\n"
+    )
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET003",))
+    assert report.codes() == {"DET003"}
+
+
+def test_det003_sorted_reduction_is_clean(tmp_path):
+    body = (
+        "def total(xs):\n"
+        "    acc = 0.0\n"
+        "    for x in sorted(set(xs)):\n"
+        "        acc += x\n"
+        "    return acc + sum(sorted(set(xs)))\n"
+    )
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET003",))) == 0
+
+
+def test_det003_pragma_suppresses(tmp_path):
+    body = "def total(xs):\n    return sum(set(xs))  # lint: allow-unordered-reduction\n"
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET003",))) == 0
+
+
+# ----------------------------------------------------------------------
+# DET004 completion-order-accumulation
+# ----------------------------------------------------------------------
+
+
+def test_det004_flags_float_accumulation_in_on_result_callback(tmp_path):
+    body = (
+        "total = 0.0\n"
+        "def _land(payload):\n"
+        "    global total\n"
+        "    total += payload[1]\n"
+        "def drive(pool, tasks):\n"
+        "    pool.run(tasks, on_result=_land)\n"
+    )
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET004",))
+    assert report.codes() == {"DET004"}
+    assert "completion" in next(iter(report)).message
+
+
+def test_det004_flags_loop_over_imap_unordered(tmp_path):
+    body = (
+        "def drive(pool, tasks):\n"
+        "    acc = 0.0\n"
+        "    for seconds in pool.imap_unordered(f, tasks):\n"
+        "        acc += seconds\n"
+        "    return acc\n"
+        "def f(t):\n"
+        "    return t\n"
+    )
+    report = lint_source([_write(tmp_path, "mod.py", body)], only=("DET004",))
+    assert report.codes() == {"DET004"}
+
+
+def test_det004_integer_counter_is_clean(tmp_path):
+    body = (
+        "def drive(pool, tasks):\n"
+        "    n = 0\n"
+        "    for _ in pool.imap_unordered(f, tasks):\n"
+        "        n += 1\n"
+        "    return n\n"
+        "def f(t):\n"
+        "    return t\n"
+    )
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET004",))) == 0
+
+
+def test_det004_collect_then_sort_is_clean(tmp_path):
+    body = (
+        "def drive(pool, tasks):\n"
+        "    out = []\n"
+        "    for r in pool.imap_unordered(f, tasks):\n"
+        "        out.append(r)\n"
+        "    return sum(sorted(out))\n"
+        "def f(t):\n"
+        "    return t\n"
+    )
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET004",))) == 0
+
+
+def test_det004_pragma_suppresses(tmp_path):
+    body = (
+        "def drive(pool, tasks):\n"
+        "    acc = 0.0\n"
+        "    for s in pool.imap_unordered(f, tasks):\n"
+        "        acc += s  # lint: allow-order-dependent\n"
+        "    return acc\n"
+        "def f(t):\n"
+        "    return t\n"
+    )
+    assert len(lint_source([_write(tmp_path, "mod.py", body)],
+                           only=("DET004",))) == 0

@@ -1,0 +1,87 @@
+"""Fan-out teardown: idempotent plane/pool eviction, parallel preflight."""
+
+import numpy as np
+import pytest
+
+from repro.edram.array import EDRAMArray
+from repro.errors import RuleViolation
+from repro.measure import parallel
+from repro.measure.config import ScanConfig
+from repro.measure.parallel import SharedScanPlanes, _evict_fanout_cache
+from repro.measure.scan import ArrayScanner
+
+
+def test_shared_planes_close_is_idempotent():
+    planes = SharedScanPlanes(4, 4)
+    planes.vgs[:] = 1.0
+    planes.close()
+    assert planes._segments == []
+    # A second close (atexit after explicit eviction) must be silent.
+    planes.close()
+    planes.close()
+
+
+def test_evict_survives_raising_pool_and_still_closes_planes():
+    class _ExplodingPool:
+        closed = False
+
+        def close(self):
+            self.closed = True
+            raise RuntimeError("worker already dead")
+
+    class _RecordingPlanes:
+        closed = False
+
+        def close(self):
+            self.closed = True
+
+    pool = _ExplodingPool()
+    planes = _RecordingPlanes()
+    parallel._CACHE.update(key="k", pool=pool, planes=planes)
+    _evict_fanout_cache()  # must not raise
+    assert pool.closed
+    # The planes still got their teardown despite the pool's explosion...
+    assert planes.closed
+    # ...and no stale slot survives to alias the next scan.
+    assert parallel._CACHE == {}
+
+
+def test_evict_on_empty_cache_is_a_noop():
+    _evict_fanout_cache()
+    _evict_fanout_cache()
+    assert parallel._CACHE == {}
+
+
+def test_evict_after_real_scan_then_rescan_works():
+    array = EDRAMArray(8, 8, macro_rows=4, macro_cols=4)
+    scanner = ArrayScanner(array)
+    first = scanner.scan(ScanConfig(jobs=2))
+    _evict_fanout_cache()
+    second = scanner.scan(ScanConfig(jobs=2))
+    assert np.array_equal(first.codes, second.codes)
+
+
+def test_preflight_violation_raises_before_parallel_scan(monkeypatch):
+    """A failing preflight must raise before any pool work starts."""
+    import repro.lint as lint_pkg
+    from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+    bad = LintReport([
+        Diagnostic(
+            code="ERC003", slug="charge-trap", severity=Severity.ERROR,
+            message="unreachable charged node", subject="macro[0]",
+            nodes=("s0_0",),
+        )
+    ])
+    monkeypatch.setattr(lint_pkg, "preflight_array", lambda *a, **k: bad)
+
+    def _boom(*args, **kwargs):  # pragma: no cover - must not be reached
+        raise AssertionError("pool fan-out ran despite failed preflight")
+
+    monkeypatch.setattr(parallel, "scan_macros_kernel_parallel", _boom)
+    monkeypatch.setattr(parallel, "scan_macros_parallel", _boom)
+
+    array = EDRAMArray(8, 8, macro_rows=4, macro_cols=4)
+    with pytest.raises(RuleViolation, match="ERC003") as excinfo:
+        ArrayScanner(array).scan(ScanConfig(jobs=2, preflight=True))
+    assert any(d.code == "ERC003" for d in excinfo.value.diagnostics)

@@ -1,0 +1,110 @@
+"""Write-footprint sanitizer: FootprintLog semantics and CCY101/102 rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SanitizeError
+from repro.sanitize import FootprintLog, WriteInterval, check_footprints
+
+
+def _covered_log():
+    """Two disjoint tasks exactly tiling a 4x4 plane."""
+    log = FootprintLog((4, 4))
+    log.record("macro[0]", 0, 2, 0, 4)
+    log.record("macro[1]", 2, 4, 0, 4)
+    return log
+
+
+def test_clean_log_passes_both_rules():
+    report = check_footprints(_covered_log())
+    assert report.ok
+    assert len(report) == 0
+
+
+def test_record_validates_bounds():
+    log = FootprintLog((4, 4))
+    with pytest.raises(SanitizeError, match="outside"):
+        log.record("macro[0]", 0, 5, 0, 4)
+    with pytest.raises(SanitizeError, match="outside"):
+        log.record("macro[0]", 2, 1, 0, 4)  # inverted rows
+    with pytest.raises(SanitizeError, match="outside"):
+        log.record("macro[0]", 0, 4, -1, 4)
+
+
+def test_overlap_between_distinct_tasks_is_ccy101():
+    log = _covered_log()
+    log.record("macro[2]", 1, 3, 1, 3)  # straddles both halves
+    report = check_footprints(log)
+    assert not report.ok
+    codes = [d.code for d in report.errors]
+    assert codes.count("CCY101") == 2  # macro[2] vs each original task
+    d = report.errors[0]
+    assert "disjointness" in d.message
+    assert log.overlap_cells() == 4
+
+
+def test_same_task_retry_is_legal():
+    log = _covered_log()
+    # A retried task rewriting its own rectangle is crash recovery,
+    # not a race.
+    log.record("macro[0]", 0, 2, 0, 4, attempt=1)
+    report = check_footprints(log)
+    assert report.ok
+    assert log.overlap_cells() == 0
+
+
+def test_coverage_gap_is_ccy102():
+    log = FootprintLog((4, 4))
+    log.record("macro[0]", 0, 2, 0, 4)  # bottom half never written
+    report = check_footprints(log)
+    assert not report.ok
+    gap = [d for d in report.errors if d.code == "CCY102"]
+    assert len(gap) == 1
+    assert "8 cell(s) were never written" in gap[0].message
+    assert log.gap_cells() == 8
+
+
+def test_empty_log_reports_total_gap():
+    report = check_footprints(FootprintLog((4, 4)))
+    assert not report.ok
+    assert "no write intervals were recorded" in report.errors[0].message
+
+
+def test_count_plane_counts_distinct_tasks():
+    log = _covered_log()
+    log.record("macro[0]", 0, 2, 0, 4, attempt=1)  # same-task repeat
+    count = log.count_plane()
+    assert count.max() == 1
+    log.record("macro[9]", 0, 1, 0, 1)
+    assert log.count_plane()[0, 0] == 2
+
+
+def test_interval_cells_and_to_dict():
+    iv = WriteInterval("slab[0:2]", 0, 2, 0, 4, attempt=1, source="worker")
+    assert iv.cells == 8
+    d = iv.to_dict()
+    assert d["task"] == "slab[0:2]"
+    assert d["rows"] == [0, 2]
+    assert d["attempt"] == 1
+
+    log = _covered_log()
+    payload = log.to_dict()
+    assert payload["shape"] == [4, 4]
+    assert len(payload["intervals"]) == 2
+    assert payload["overlap_cells"] == 0
+    assert payload["gap_cells"] == 0
+
+
+def test_rules_reject_non_log_subject():
+    with pytest.raises(SanitizeError, match="FootprintLog"):
+        check_footprints("not a log")  # type: ignore[arg-type]
+
+
+def test_sample_coordinates_are_capped():
+    log = FootprintLog((8, 8))
+    log.record("a", 0, 8, 0, 8)
+    log.record("b", 0, 8, 0, 8)
+    report = check_footprints(log)
+    overlap = next(d for d in report.errors if d.code == "CCY101")
+    assert "..." in overlap.message  # >4 sample cells elided
+    assert np.count_nonzero(log.count_plane() > 1) == 64
