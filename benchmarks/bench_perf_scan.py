@@ -603,6 +603,98 @@ def bench_perf_scan_resilience_overhead(tech):
     )
 
 
+def bench_perf_scan_registry_overhead(tech):
+    """Technology-registry guard: indirection must cost < 5% on eDRAM.
+
+    Every scan now resolves its cell-technology backend through
+    ``repro.technologies.get`` (name lookup, cache probe, self-identity
+    check) and dispatches the ``after_scan``/``extra_scalars`` hooks.
+    On the warm eDRAM path all of that must be invisible: the instance
+    cache is hot, the hooks are no-ops.  The baseline swaps the
+    registry lookup for a pre-bound closure returning the cached
+    backend — the idealized zero-indirection resolution — so the
+    measured delta is exactly what the API seam added.  Same
+    measurement discipline as the other overhead gates
+    (order-alternating rounds, GC paused, best-of minima, three
+    independent attempts).
+    """
+    import repro.technologies as technologies
+
+    rows, cols = 16, 4
+    array = _build(tech, rows=rows, cols=cols)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=rows)
+    scanner = ArrayScanner(array, structure)
+    config = ScanConfig(force_engine=True, technology="edram")
+    baseline = scanner.scan(config)  # warms the netlist + instance caches
+
+    registry_get = technologies.get
+    backend = registry_get("edram")
+
+    def direct_get(name):
+        return backend
+
+    def run():
+        t0 = time.perf_counter()
+        scan = scanner.scan(config)
+        return time.perf_counter() - t0, scan
+
+    registry_scan = None
+
+    def measure():
+        nonlocal registry_scan
+        direct_times, registry_times = [], []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for i in range(20):
+                first_direct = i % 2 == 0
+                for arm_is_direct in (first_direct, not first_direct):
+                    technologies.get = direct_get if arm_is_direct else registry_get
+                    try:
+                        seconds, scan = run()
+                    finally:
+                        technologies.get = registry_get
+                    if arm_is_direct:
+                        direct_times.append(seconds)
+                    else:
+                        registry_times.append(seconds)
+                        registry_scan = scan
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return min(direct_times), min(registry_times)
+
+    attempts = []
+    for _ in range(3):
+        direct_best, registry_best = measure()
+        attempts.append(registry_best / direct_best - 1)
+        if attempts[-1] < 0.05:
+            break
+    overhead = min(attempts)
+
+    # The indirection must be invisible in the data.
+    assert np.array_equal(registry_scan.codes, baseline.codes)
+    assert np.array_equal(registry_scan.vgs, baseline.vgs)
+    assert registry_scan.stats.kernel_cells == 0  # force_engine honoured
+
+    report(
+        "PERF: technology-registry indirection on a warm eDRAM scan",
+        "\n".join([
+            f"array {rows}x{cols}, force_engine, hot instance cache",
+            f"direct   best-of-20: {direct_best * 1e3:8.2f} ms",
+            f"registry best-of-20: {registry_best * 1e3:8.2f} ms",
+            f"overhead           : {overhead * 100:+.2f}%  (budget < 5%, "
+            f"{len(attempts)} attempt(s))",
+        ]),
+    )
+
+    assert overhead < 0.05, (
+        f"registry overhead {overhead * 100:.2f}% exceeds 5% budget "
+        f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
+    )
+
+
 def bench_perf_scan_sanitize_overhead(tech):
     """Sanitizer guard: ``--sanitize`` must cost < 10% on a warm-pool scan.
 

@@ -22,6 +22,8 @@ Quick tour (see ``examples/quickstart.py`` for the runnable version)::
 Subpackages
 -----------
 - :mod:`repro.tech` — synthetic 0.18 µm eDRAM technology cards
+- :mod:`repro.technologies` — pluggable cell-technology backends
+  (eDRAM default, ferroelectric capacitor, capacitorless 1T)
 - :mod:`repro.circuit` — MNA circuit simulator + charge engine
 - :mod:`repro.edram` — array substrate, defects, variation
 - :mod:`repro.measure` — the paper's measurement structure (core)
@@ -66,6 +68,12 @@ from repro.diagnosis import (
     RepairPlanner,
     DiagnosisPipeline,
 )
+from repro.technologies import (
+    CellTechnology,
+    get as get_technology,
+    names as technology_names,
+    register as register_technology,
+)
 from repro.controller import BISTController, TestScheduler, ScanOrder
 from repro.wafer import WaferModel, WaferReport
 from repro.io import save_scan, load_scan, save_abacus, load_abacus
@@ -89,6 +97,10 @@ __all__ = [
     "MeasurementResult",
     "ArrayScanner",
     "ScanConfig",
+    "CellTechnology",
+    "get_technology",
+    "technology_names",
+    "register_technology",
     "Tracer",
     "MetricsRegistry",
     "ProgressReporter",

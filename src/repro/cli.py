@@ -74,6 +74,18 @@ def _jobs_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _tech_parent() -> argparse.ArgumentParser:
+    # names() is import-free (the registry imports no backend module),
+    # so building the parser stays cheap.
+    from repro.technologies import names
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--tech", choices=names(), default="edram",
+                        help="cell-technology backend (default edram; "
+                             "see `repro tech list`)")
+    return parent
+
+
 def _format_parent() -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--format", choices=("text", "json"), default="text",
@@ -129,37 +141,28 @@ def _progress_from(args):
     return NULL_PROGRESS
 
 
-def _build_array(args, with_defects: bool):
-    from repro.edram.array import EDRAMArray
-    from repro.edram.defects import DefectInjector, DefectKind
-    from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
+def _backend_for(args):
+    from repro.technologies import get as get_technology
 
-    shape = (args.rows, args.cols)
-    nominal = getattr(args, "nominal_ff", 30.0) * fF
-    capacitance = compose_maps(
-        uniform_map(shape, nominal), mismatch_map(shape, 0.8 * fF, seed=args.seed)
+    return get_technology(getattr(args, "tech", "edram"))
+
+
+def _build_array(args, with_defects: bool):
+    # Array synthesis is the backend's job: each technology owns its
+    # variation model and defect recipe.  The eDRAM backend replicates
+    # the historical recipe bit-exactly (pinned by property tests).
+    nominal_ff = getattr(args, "nominal_ff", None)
+    return _backend_for(args).build_array(
+        args.rows, args.cols,
+        macro_rows=args.macro_rows, macro_cols=args.macro_cols,
+        seed=args.seed,
+        nominal=None if nominal_ff is None else nominal_ff * fF,
+        with_defects=with_defects,
     )
-    array = EDRAMArray(
-        args.rows, args.cols, macro_cols=args.macro_cols,
-        macro_rows=args.macro_rows, capacitance_map=capacitance,
-    )
-    if with_defects:
-        injector = DefectInjector(array, seed=args.seed + 1)
-        injector.scatter(DefectKind.SHORT, max(1, array.num_cells // 400))
-        injector.scatter(DefectKind.OPEN, max(1, array.num_cells // 400))
-        injector.scatter(DefectKind.LOW_CAP, max(2, array.num_cells // 200), factor=0.6)
-        # A sprinkle of bridges exercises the engine-tier fallback, so
-        # traced demo scans show the full scan→macro→cell→phase tree.
-        injector.scatter(DefectKind.BRIDGE, max(1, array.num_cells // 500))
-    return array
 
 
 def _design_for(args, array):
-    from repro.calibration.design import design_structure
-
-    return design_structure(
-        array.tech, args.macro_rows, args.macro_cols, bitline_rows=args.rows
-    )
+    return _backend_for(args).design_structure(array, bitline_rows=args.rows)
 
 
 def cmd_design(args) -> int:
@@ -191,7 +194,7 @@ def cmd_abacus(args) -> int:
 #: rebuild the identical array without the user retyping geometry.
 _SCAN_REBUILD_KEYS = (
     "rows", "cols", "macro_rows", "macro_cols",
-    "seed", "healthy", "nominal_ff", "force_engine",
+    "seed", "healthy", "nominal_ff", "force_engine", "tech",
 )
 
 
@@ -268,6 +271,7 @@ def cmd_scan(args) -> int:
         jobs=args.jobs,
         force_engine=args.force_engine,
         preflight=args.preflight,
+        technology=args.tech,
         tracer=tracer,
         metrics=metrics,
         progress=_progress_from(args),
@@ -385,8 +389,10 @@ def cmd_diagnose(args) -> int:
     from repro.measure.config import ScanConfig
 
     array = _build_array(args, with_defects=True)
-    pipeline = DiagnosisPipeline(spec_lo=24 * fF, spec_hi=36 * fF)
-    config = ScanConfig(jobs=args.jobs, progress=_progress_from(args))
+    spec_lo, spec_hi = _backend_for(args).spec_window()
+    pipeline = DiagnosisPipeline(spec_lo=spec_lo, spec_hi=spec_hi)
+    config = ScanConfig(jobs=args.jobs, technology=args.tech,
+                        progress=_progress_from(args))
     start = perf_counter()
     cpu_start = process_time()
     report = pipeline.run(array, config)
@@ -492,7 +498,7 @@ def cmd_lint(args) -> int:
 
 
 #: Wafer CLI flags persisted in a checkpoint's meta (see _SCAN_REBUILD_KEYS).
-_WAFER_REBUILD_KEYS = ("diameter", "seed")
+_WAFER_REBUILD_KEYS = ("diameter", "seed", "tech")
 
 
 def cmd_wafer(args) -> int:
@@ -506,9 +512,12 @@ def cmd_wafer(args) -> int:
     if error_exit is not None:
         return error_exit
 
-    model = WaferModel(diameter_dies=args.diameter, seed=args.seed)
+    model = WaferModel(
+        diameter_dies=args.diameter, seed=args.seed, technology=args.tech
+    )
     config = ScanConfig(
         jobs=args.jobs,
+        technology=args.tech,
         progress=_progress_from(args),
         checkpoint=checkpointer,
     )
@@ -548,6 +557,35 @@ def cmd_wafer(args) -> int:
         print(f"  zone {label}: {to_fF(mean):6.2f} fF ({count} dies)")
     if run_id:
         print(f"recorded as {run_id} in {args.record}")
+    return 0
+
+
+def cmd_tech_list(args) -> int:
+    from repro.technologies import get as get_technology
+    from repro.technologies import names
+
+    described = [get_technology(name).describe() for name in names()]
+    if args.format == "json":
+        print(json.dumps(described, indent=2))
+        return 0
+    for info in described:
+        kernel = "closed-form kernel" if info["uses_kernel"] else "per-macro engine"
+        lo, hi = info["range_fF"]
+        spec_lo, spec_hi = info["spec_window_fF"]
+        print(f"{info['name']:8s} {info['display']}")
+        print(f"  headline   : {info['headline']}")
+        print(f"  reference  : {info['reference']}")
+        print(f"  card       : {info['card']} "
+              f"(VDD {info['vdd']:.1f} V, nominal {info['nominal_fF']:.1f} fF)")
+        print(f"  range      : {lo:.1f}-{hi:.1f} fF over "
+              f"{info['num_steps']} steps, {kernel}")
+        print(f"  spec window: {spec_lo:.1f}-{spec_hi:.1f} fF")
+        corners = ", ".join(
+            f"{tag}={corner['nominal_fF']:.1f}fF"
+            f"/vthn {corner['nmos_vth']:+.2f}"
+            for tag, corner in info["corners"].items()
+        )
+        print(f"  corners    : {corners}")
     return 0
 
 
@@ -699,18 +737,19 @@ def build_parser() -> argparse.ArgumentParser:
     record = _record_parent()
     progress = _progress_parent()
     checkpoint = _checkpoint_parent()
+    tech = _tech_parent()
 
-    p = sub.add_parser("design", parents=[geometry, seed],
+    p = sub.add_parser("design", parents=[geometry, seed, tech],
                        help="size a measurement structure")
     p.set_defaults(func=cmd_design)
 
-    p = sub.add_parser("abacus", parents=[geometry, seed],
+    p = sub.add_parser("abacus", parents=[geometry, seed, tech],
                        help="print the calibration abacus")
     p.set_defaults(func=cmd_abacus)
 
     p = sub.add_parser("scan",
                        parents=[geometry, seed, jobs, fmt, record, progress,
-                                checkpoint],
+                                checkpoint, tech],
                        help="scan a synthesized array")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-macro wall-clock budget for parallel scans; a "
@@ -718,8 +757,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=None, metavar="N",
                    help="attempts per macro under supervision (default 3)")
     p.add_argument("--healthy", action="store_true", help="no injected defects")
-    p.add_argument("--nominal-ff", type=float, default=30.0, metavar="FF",
-                   help="nominal cell capacitance in fF (default 30; shift it "
+    p.add_argument("--nominal-ff", type=float, default=None, metavar="FF",
+                   help="nominal cell capacitance in fF (default: the "
+                        "technology card's nominal, 30 for edram; shift it "
                         "to inject process drift into recorded runs)")
     p.add_argument("--save", help="write the scan to this .npz path")
     p.add_argument("--force-engine", action="store_true",
@@ -740,7 +780,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("diagnose",
-                       parents=[geometry, seed, jobs, fmt, record, progress],
+                       parents=[geometry, seed, jobs, fmt, record, progress,
+                                tech],
                        help="full diagnosis pipeline")
     p.set_defaults(func=cmd_diagnose)
 
@@ -774,10 +815,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("wafer",
-                       parents=[seed, jobs, record, progress, checkpoint],
+                       parents=[seed, jobs, record, progress, checkpoint,
+                                tech],
                        help="wafer-level monitoring demo")
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
     p.set_defaults(func=cmd_wafer)
+
+    p = sub.add_parser("tech", help="inspect cell-technology backends")
+    tech_sub = p.add_subparsers(dest="tech_command", required=True)
+    q = tech_sub.add_parser("list", parents=[fmt],
+                            help="list registered backends, cards and corners")
+    q.set_defaults(func=cmd_tech_list)
 
     p = sub.add_parser("runs", help="browse and gate the run ledger")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

@@ -27,7 +27,6 @@ from repro.baselines.march import march_c_minus, retention_test
 from repro.bitmap.analog import AnalogBitmap
 from repro.bitmap.digital import DigitalBitmap
 from repro.calibration.abacus import Abacus
-from repro.calibration.design import design_structure
 from repro.calibration.window import SpecificationWindow
 from repro.diagnosis.classifier import CellClassifier, CellVerdict
 from repro.diagnosis.failure_analysis import FailureAnalyzer, Finding
@@ -136,14 +135,21 @@ class DiagnosisPipeline:
         self.retention_pause = retention_pause
         self._structure = structure
         self._abacus: Abacus | None = None
-        self._geometry: tuple[int, int, int] | None = None
+        self._geometry: tuple[int, int, int, str] | None = None
 
     def _structure_for(self, array: EDRAMArray) -> tuple[MeasurementStructure, Abacus]:
-        geometry = (array.macro_rows, array.macro_cols, array.rows)
+        # Structure sizing is technology-aware: the backend supplies the
+        # measurement range the converter must cover (for eDRAM this is
+        # the historical 10-55 fF default, bit-identically).  The cache
+        # key carries the technology so a pipeline reused across arrays
+        # of different memories re-designs.
+        from repro.technologies import get as get_technology
+
+        technology = getattr(array, "technology", "edram")
+        geometry = (array.macro_rows, array.macro_cols, array.rows, technology)
         if self._structure is None or self._geometry != geometry:
-            self._structure = design_structure(
-                array.tech, array.macro_rows, array.macro_cols,
-                bitline_rows=array.rows,
+            self._structure = get_technology(technology).design_structure(
+                array, bitline_rows=array.rows
             )
             self._abacus = Abacus.for_array(self._structure, array)
             self._geometry = geometry
@@ -162,7 +168,14 @@ class DiagnosisPipeline:
         records one ``diagnosis`` manifest (the scan stage itself stays
         unrecorded — one run, one ledger line).
         """
-        config = config if config is not None else ScanConfig()
+        # A default config inherits the array's technology (the scan
+        # stage validates the pairing); an explicit config must already
+        # match.
+        config = (
+            config
+            if config is not None
+            else ScanConfig(technology=getattr(array, "technology", "edram"))
+        )
         tracer = config.tracer
         ledger = config.ledger
         if ledger is not None:

@@ -74,6 +74,11 @@ class EDRAMArray:
         amperes; defaults to the uniform technology value.
     """
 
+    #: Cell-technology backend name this array class belongs to
+    #: (``repro.technologies``).  Subclasses for other memories override;
+    #: the scanner checks it against ``ScanConfig.technology``.
+    technology = "edram"
+
     def __init__(
         self,
         rows: int,

@@ -479,8 +479,16 @@ def check_fingerprint_drift(
     provenance, checkpoint resume, and (indirectly) warm-pool reuse —
     so a ``compare=True`` field missing from it makes materially
     different runs indistinguishable.  ``context`` may override
-    ``data_fields`` / ``fingerprint_keys`` / ``resume_keys`` (tests);
-    by default the live dataclass and ledger are introspected.
+    ``data_fields`` / ``fingerprint_keys`` / ``resume_keys`` /
+    ``pinned_fields`` (tests); by default the live dataclass and ledger
+    are introspected.
+
+    On top of the set-consistency checks, a **pinned** field list
+    (default: ``technology``) must be present in all three sets.  The
+    consistency checks alone cannot catch a field being flipped to
+    ``compare=False`` and dropped from the fingerprint *together* —
+    for pinned fields that coordinated drift is an error too, because
+    the backend choice changes the physics of every recorded run.
     """
     data_fields = context.get("data_fields")
     fingerprint_keys = context.get("fingerprint_keys")
@@ -522,4 +530,25 @@ def check_fingerprint_drift(
                 f"'jobs'; got {sorted(resume_keys)} vs expected "
                 f"{sorted(expected_resume)}",
                 subject="resume_fingerprint vs config_fingerprint",
+            )
+    pinned = context.get("pinned_fields", ("technology",))
+    for name in pinned:  # type: ignore[union-attr]
+        missing = [
+            set_name
+            for set_name, keys in (
+                ("ScanConfig data fields", data),
+                ("config_fingerprint()", prints),
+                ("resume_fingerprint()", set(resume_keys) if resume_keys is not None else prints),
+            )
+            if name not in keys
+        ]
+        if missing:
+            yield check_fingerprint_drift.diagnostic(
+                f"pinned field {name!r} must appear in the data-field, "
+                "fingerprint and resume key sets but is missing from "
+                f"{', '.join(missing)}; the technology choice selects the "
+                "cell physics, so dropping it anywhere makes runs against "
+                "different memories indistinguishable",
+                subject="pinned fingerprint fields",
+                nodes=(name,),
             )

@@ -61,6 +61,15 @@ class ScanConfig:
         Per-cell measurement tier for
         :meth:`~repro.measure.scan.ArrayScanner.measure_cell`:
         ``"charge"`` or ``"transient"``.
+    technology:
+        Cell-technology backend name (:mod:`repro.technologies`) the
+        scan is running against: ``"edram"`` (default), ``"fecap"``,
+        ``"1t"``, or any name registered at construction time.  The
+        scanner validates it against the array's own technology tag —
+        the backend supplies post-scan physics (e.g. ferroelectric
+        read-disturb) and per-run ledger scalars, so a mismatch would
+        silently apply the wrong physics.  Data-affecting: part of the
+        config fingerprint and the resume key set.
     tracer:
         Span recorder (:class:`repro.obs.Tracer`).  Defaults to the
         zero-cost :data:`repro.obs.NULL_TRACER`.
@@ -110,6 +119,7 @@ class ScanConfig:
     preflight: bool = False
     force_engine: bool = False
     tier: str = "charge"
+    technology: str = "edram"
     tracer: Tracer | NullTracer = field(default=NULL_TRACER, compare=False)
     metrics: MetricsRegistry | NullMetricsRegistry = field(
         default=NULL_METRICS, compare=False
@@ -130,6 +140,16 @@ class ScanConfig:
         if self.tier not in _TIERS:
             raise MeasurementError(
                 f"unknown tier {self.tier!r} (expected one of {_TIERS})"
+            )
+        # Lazy import: repro.technologies.names() is import-free (the
+        # registry imports no backend module), so this stays cheap on
+        # every ScanConfig construction and avoids an import cycle.
+        from repro.technologies import names
+
+        if self.technology not in names():
+            raise MeasurementError(
+                f"unknown technology {self.technology!r} "
+                f"(registered: {', '.join(names())})"
             )
         if self.timeout is not None and self.timeout <= 0:
             raise MeasurementError(

@@ -53,7 +53,13 @@ import numpy as np
 
 from repro.edram.array import EDRAMArray, MacroCell
 from repro.edram.defects import KIND_CODES, DefectKind
-from repro.errors import ConvergenceError, ReproError, ScanMismatchError, SingularCircuitError
+from repro.errors import (
+    ConvergenceError,
+    MeasurementError,
+    ReproError,
+    ScanMismatchError,
+    SingularCircuitError,
+)
 from repro.measure.config import ScanConfig, coerce_scan_config
 from repro.measure.kernel import (
     KernelConstants,
@@ -501,6 +507,19 @@ class ArrayScanner:
             jobs=jobs,
             preflight=preflight,
         )
+        # Resolve the cell-technology backend and check it matches the
+        # array: the backend supplies post-scan physics and per-run
+        # scalars, so measuring a FeCap array under config.technology
+        # "edram" would silently skip its read-disturb.
+        from repro.technologies import get as _get_technology
+
+        backend = _get_technology(config.technology)
+        array_technology = getattr(self.array, "technology", "edram")
+        if array_technology != config.technology:
+            raise MeasurementError(
+                f"config.technology is {config.technology!r} but the "
+                f"array was fabricated for {array_technology!r}"
+            )
         if config.preflight:
             from repro.lint import preflight_array, raise_on_errors
 
@@ -525,6 +544,7 @@ class ArrayScanner:
             # observable keeps the per-macro path bit-for-bit.
             kernel_ok = (
                 self._use_kernel
+                and backend.uses_kernel
                 and not config.force_engine
                 and checkpointer is None
                 and not tracer.enabled
@@ -836,6 +856,12 @@ class ArrayScanner:
             quality=quality,
             sanitize_report=sanitize_report,
         )
+        # Post-scan physics (e.g. ferroelectric read-disturb) land
+        # before the run is recorded, so the ledger's per-run scalars —
+        # including the backend extras — chart the state this read left
+        # behind.  Backend mutations go through the watched cell
+        # attributes, bumping array.version and evicting warm caches.
+        backend.after_scan(self.array, result)
         run_id = checkpointer.run_id if checkpointer is not None else None
         if config.ledger is not None:
             config.ledger.record_scan(
@@ -844,6 +870,7 @@ class ArrayScanner:
                 tech=self.structure.tech.name,
                 cpu_seconds=process_time() - cpu_start,
                 run_id=run_id,
+                extra_scalars=backend.extra_scalars(self.array),
             )
         if checkpointer is not None:
             # The manifest row is in; the in-flight state is obsolete.

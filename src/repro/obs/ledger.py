@@ -91,6 +91,7 @@ def config_fingerprint(config: "ScanConfig") -> dict[str, Any]:
         "preflight": config.preflight,
         "force_engine": config.force_engine,
         "tier": config.tier,
+        "technology": config.technology,
     }
 
 
@@ -550,10 +551,17 @@ class RunLedger:
         trace_path: str | None = None,
         cpu_seconds: float | None = None,
         extra: dict[str, Any] | None = None,
+        extra_scalars: dict[str, float] | None = None,
         save_artifact: bool = True,
         run_id: str | None = None,
     ) -> RunManifest:
-        """Record one array scan (optionally with its calibrated bitmap)."""
+        """Record one array scan (optionally with its calibrated bitmap).
+
+        ``extra_scalars`` merge into ``manifest.scalars`` — unlike
+        ``extra`` (opaque payload), scalars are what the drift engine
+        charts, so technology backends report per-run physics there
+        (e.g. FeCap polarization mean, 1T retention).
+        """
         wall = result.stats.wall_seconds if result.stats is not None else 0.0
         manifest = self._base_manifest(
             "scan", config, seed=seed, tech=tech, label=label,
@@ -564,6 +572,10 @@ class RunLedger:
         manifest.scalars = scan_scalars(result)
         if bitmap is not None:
             manifest.scalars.update(bitmap_scalars(bitmap))
+        if extra_scalars:
+            manifest.scalars.update(
+                {key: float(value) for key, value in extra_scalars.items()}
+            )
         return self.record(
             manifest, scan=result if save_artifact else None, run_id=run_id
         )

@@ -14,6 +14,7 @@ and :class:`WaferReport` aggregates: per-die means, zonal statistics
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter, process_time
@@ -24,16 +25,21 @@ from repro.bitmap.analog import AnalogBitmap
 from repro.calibration.abacus import Abacus
 from repro.calibration.design import design_structure
 from repro.edram.array import EDRAMArray
-from repro.edram.variation_map import compose_maps, mismatch_map, uniform_map
-from repro.errors import DiagnosisError
+from repro.errors import DiagnosisError, MeasurementError
 from repro.measure.config import ScanConfig
 from repro.measure.scan import ArrayScanner
 from repro.measure.structure import MeasurementStructure
 from repro.obs.progress import NULL_PROGRESS
 from repro.resilience.checkpoint import resume_fingerprint
 from repro.resilience.faults import fault_point, inject
-from repro.tech.parameters import TechnologyCard, default_technology
+from repro.tech.parameters import TechnologyCard
+from repro.technologies import get as get_technology
 from repro.units import fF, to_fF
+
+#: The eDRAM nominal the historical absolute defaults were sized for;
+#: other technologies scale the wafer profile by their card nominal
+#: relative to this.
+_REFERENCE_NOMINAL = 30.0 * fF
 
 
 @dataclass(frozen=True)
@@ -59,11 +65,24 @@ class WaferModel:
         Array size fabricated on each die.
     radial_drop:
         Capacitance loss from centre to edge, farads (a classic
-        deposition profile).
+        deposition profile).  ``None`` scales the eDRAM default
+        (2.5 fF) by the technology nominal.
     die_sigma:
-        Die-to-die random variation of the mean, farads.
+        Die-to-die random variation of the mean, farads.  ``None``
+        scales the eDRAM default (0.4 fF) by the technology nominal.
     cell_sigma:
-        Within-die cell mismatch, farads.
+        Within-die cell mismatch, farads.  ``None`` scales the eDRAM
+        default (0.8 fF) by the technology nominal.
+    technology:
+        Cell-technology backend name (:mod:`repro.technologies`); the
+        backend fabricates every die with its own variation model and
+        supplies the measurement range the per-wafer structure is
+        designed for.
+    tech:
+        **Deprecated.** Legacy ``TechnologyCard`` override; forwards
+        through a card-pinned eDRAM backend and emits
+        :class:`DeprecationWarning`.  Pass ``technology=<name>``
+        instead.
     seed:
         Reproducibility.
     """
@@ -75,27 +94,57 @@ class WaferModel:
         die_cols: int = 8,
         macro_rows: int = 8,
         macro_cols: int = 2,
-        nominal: float = 30.0 * fF,
-        radial_drop: float = 2.5 * fF,
-        die_sigma: float = 0.4 * fF,
-        cell_sigma: float = 0.8 * fF,
+        nominal: float | None = None,
+        radial_drop: float | None = None,
+        die_sigma: float | None = None,
+        cell_sigma: float | None = None,
         tech: TechnologyCard | None = None,
         seed: int = 0,
+        technology: str = "edram",
     ) -> None:
         if diameter_dies < 3:
             raise DiagnosisError("wafer needs at least 3 dies across")
         if die_rows % macro_rows or die_cols % macro_cols:
             raise DiagnosisError("macro tiling must divide the die array")
+        if tech is not None:
+            warnings.warn(
+                "WaferModel(tech=TechnologyCard) is deprecated; pass "
+                "technology=<registry name> instead (the card override "
+                "forwards through a pinned 'edram' backend)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if technology != "edram":
+                raise DiagnosisError(
+                    "tech=TechnologyCard only applies to the 'edram' "
+                    f"backend, not technology={technology!r}"
+                )
+            self._backend = get_technology("edram").with_card(tech)
+        else:
+            self._backend = get_technology(technology)
+        self.technology = technology
+        self.tech = self._backend.base_card()
+        # The historical absolute defaults were sized for the 30 fF
+        # eDRAM nominal; other technologies keep the same *relative*
+        # wafer profile unless overridden.  The legacy tech= path keeps
+        # the historical absolute defaults exactly (nominal was 30 fF
+        # regardless of the card).
+        scale = (
+            1.0 if tech is not None
+            else self.tech.cell_capacitance / _REFERENCE_NOMINAL
+        )
+        default_nominal = (
+            _REFERENCE_NOMINAL if tech is not None else self.tech.cell_capacitance
+        )
         self.diameter = diameter_dies
         self.die_rows = die_rows
         self.die_cols = die_cols
         self.macro_rows = macro_rows
         self.macro_cols = macro_cols
-        self.nominal = nominal
-        self.radial_drop = radial_drop
-        self.die_sigma = die_sigma
-        self.cell_sigma = cell_sigma
-        self.tech = tech if tech is not None else default_technology()
+        self.nominal = nominal if nominal is not None else default_nominal
+        self.radial_drop = radial_drop if radial_drop is not None else 2.5 * fF * scale
+        self.die_sigma = die_sigma if die_sigma is not None else 0.4 * fF * scale
+        self.cell_sigma = cell_sigma if cell_sigma is not None else 0.8 * fF * scale
         self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._structure: MeasurementStructure | None = None
@@ -122,8 +171,10 @@ class WaferModel:
 
     def _calibration(self) -> tuple[MeasurementStructure, Abacus]:
         if self._structure is None:
+            c_lo, c_hi, num_steps = self._backend.measurement_range()
             self._structure = design_structure(
                 self.tech, self.macro_rows, self.macro_cols,
+                c_lo=c_lo, c_hi=c_hi, num_steps=num_steps,
                 bitline_rows=self.die_rows,
             )
             self._abacus = Abacus.analytic(
@@ -135,21 +186,24 @@ class WaferModel:
         return self._structure, self._abacus
 
     def fabricate_die(self, radius_fraction: float) -> EDRAMArray:
-        """Build one die's array with the wafer's process profile."""
+        """Build one die's array with the wafer's process profile.
+
+        The wafer model owns the RNG: the die-mean draw and the mismatch
+        seed come from *its* stream (in this exact order) so checkpoint
+        fast-forward stays bit-exact.  The technology backend turns the
+        draw into a die array with its own variation model.
+        """
         mean = (
             self.nominal
             - self.radial_drop * radius_fraction**2
             + self._rng.normal(0.0, self.die_sigma)
         )
-        shape = (self.die_rows, self.die_cols)
-        capacitance = compose_maps(
-            uniform_map(shape, max(mean, 5 * fF)),
-            mismatch_map(shape, self.cell_sigma, seed=int(self._rng.integers(1 << 31))),
-        )
-        return EDRAMArray(
-            self.die_rows, self.die_cols, tech=self.tech,
-            macro_cols=self.macro_cols, macro_rows=self.macro_rows,
-            capacitance_map=capacitance,
+        mismatch_seed = int(self._rng.integers(1 << 31))
+        return self._backend.fabricate_die(
+            self.die_rows, self.die_cols,
+            macro_rows=self.macro_rows, macro_cols=self.macro_cols,
+            mean=mean, cell_sigma=self.cell_sigma,
+            mismatch_seed=mismatch_seed, tech=self.tech,
         )
 
     def measure_wafer(
@@ -175,9 +229,21 @@ class WaferModel:
         exactly the draws their fabrication would have consumed, so the
         remaining dies print identically to an uninterrupted run.
         """
-        config = config if config is not None else ScanConfig()
+        # A default config inherits the wafer's technology; an explicit
+        # one must agree — the per-die scans validate array-vs-config
+        # technology, so a mismatch here would fail on the first die
+        # with a less helpful message.
+        config = (
+            config if config is not None
+            else ScanConfig(technology=self.technology)
+        )
         if jobs is not None:
             config = config.with_options(jobs=jobs)
+        if config.technology != self.technology:
+            raise MeasurementError(
+                f"config.technology is {config.technology!r} but this "
+                f"wafer fabricates {self.technology!r} dies"
+            )
         progress, ledger = config.progress, config.ledger
         checkpointer = config.checkpoint
         # The wafer loop owns progress, recording and checkpointing;

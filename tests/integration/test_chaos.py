@@ -140,6 +140,43 @@ def test_kill_every_attempt_rescues_in_process_and_flags(tmp_path):
     assert rescued.stats.macro_retries >= RETRY.max_attempts - 1
 
 
+def test_chaos_kill_retry_under_fecap_backend():
+    # The resilience rungs are backend-agnostic: a worker kill plus
+    # retry under the FeCap backend recovers bit-exactly.  Scans
+    # disturb FeCap state, so the serial reference runs on an
+    # identically-seeded twin array rather than a second pass over the
+    # chaos array.
+    from repro.technologies import get
+
+    backend = get("fecap")
+    config = ScanConfig(technology="fecap")
+    serial_array = backend.build_array(8, 8, seed=3, with_defects=True, **GEOMETRY)
+    chaos_array = backend.build_array(8, 8, seed=3, with_defects=True, **GEOMETRY)
+    structure = backend.design_structure(serial_array)
+
+    serial = ArrayScanner(serial_array, structure).scan(config)
+    chaos = ArrayScanner(chaos_array, structure).scan(
+        ScanConfig(
+            technology="fecap",
+            jobs=2,
+            retry=RETRY,
+            faults=FaultPlan([_kill_fault()]),
+        )
+    )
+    np.testing.assert_array_equal(chaos.codes, serial.codes)
+    np.testing.assert_array_equal(chaos.vgs, serial.vgs)
+    np.testing.assert_array_equal(chaos.quality, serial.quality)
+    assert not (chaos.quality == CellQuality.FAILED).any()
+    assert chaos.stats.worker_respawns >= 1
+    # Both twins took exactly one read of disturb — the chaos retries
+    # re-measured, they never re-read the ferroelectric state twice.
+    assert serial_array.reads == 1
+    assert chaos_array.reads == 1
+    np.testing.assert_array_equal(
+        serial_array.polarization_view(), chaos_array.polarization_view()
+    )
+
+
 def test_whole_macro_solver_failure_is_flagged_failed():
     # When even the closed form fails for a macro, the tile is zeros +
     # FAILED — visible in the planes, excluded from statistics.

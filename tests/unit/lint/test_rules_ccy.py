@@ -225,6 +225,9 @@ def test_ccy003_pragma_suppresses(tmp_path):
 
 
 def _run_ccy004(**context):
+    # The synthetic-set tests probe the consistency checks in isolation;
+    # pinned-field enforcement has its own tests below.
+    context.setdefault("pinned_fields", ())
     spec = REGISTRY.get("CCY004")
     report = LintReport()
     report.extend(spec.run(None, context))
@@ -265,3 +268,58 @@ def test_ccy004_resume_must_be_fingerprint_minus_jobs():
     )
     assert not report.ok
     assert any("resume_fingerprint" in d.message for d in report.errors)
+
+
+def test_ccy004_pinned_field_present_everywhere_is_clean():
+    report = _run_ccy004(
+        data_fields=["jobs", "tier", "technology"],
+        fingerprint_keys={"jobs", "tier", "technology"},
+        resume_keys={"tier", "technology"},
+        pinned_fields=("technology",),
+    )
+    assert report.ok
+
+
+def test_ccy004_pinned_field_dropped_everywhere_is_error():
+    # Flipping technology to compare=False AND dropping it from both
+    # fingerprints is self-consistent — only the pinned check sees it.
+    report = _run_ccy004(
+        data_fields=["jobs", "tier"],
+        fingerprint_keys={"jobs", "tier"},
+        resume_keys={"tier"},
+        pinned_fields=("technology",),
+    )
+    assert not report.ok
+    errors = [d for d in report.errors if "pinned" in d.message]
+    assert errors and "technology" in errors[0].message
+
+
+def test_ccy004_pinned_field_missing_from_resume_only_is_error():
+    report = _run_ccy004(
+        data_fields=["jobs", "tier", "technology"],
+        fingerprint_keys={"jobs", "tier", "technology"},
+        resume_keys={"tier"},
+        pinned_fields=("technology",),
+    )
+    assert not report.ok
+    assert any(
+        "pinned" in d.message and "resume_fingerprint" in d.message
+        for d in report.errors
+    )
+
+
+def test_ccy004_live_codebase_pins_technology():
+    # The live introspection path (no context overrides) must see
+    # ScanConfig.technology in all three sets — this is the guard the
+    # satellite task asks for.
+    from dataclasses import fields as dataclass_fields
+
+    from repro.measure.config import ScanConfig
+    from repro.obs.ledger import config_fingerprint
+    from repro.resilience.checkpoint import resume_fingerprint
+
+    probe = ScanConfig()
+    assert "technology" in {f.name for f in dataclass_fields(ScanConfig) if f.compare}
+    assert "technology" in config_fingerprint(probe)
+    assert "technology" in resume_fingerprint(probe)
+    assert lint_project(only=("CCY004",)).ok

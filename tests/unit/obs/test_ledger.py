@@ -41,7 +41,7 @@ class TestProvenance:
         fp = config_fingerprint(ScanConfig(jobs=2, tier="transient"))
         assert fp == {
             "jobs": 2, "preflight": False, "force_engine": False,
-            "tier": "transient",
+            "tier": "transient", "technology": "edram",
         }
 
     def test_hash_stable_and_sensitive(self):

@@ -1,0 +1,81 @@
+"""Capacitorless 1T backend: retention maps and small-capacitance scans."""
+
+import numpy as np
+import pytest
+
+from repro.measure.config import ScanConfig
+from repro.measure.scan import ArrayScanner
+from repro.obs.ledger import RunLedger
+from repro.technologies import get
+from repro.technologies.one_t import Body1TArray, one_t_technology_card
+from repro.units import fF
+
+
+def _small(seed=0, **kwargs):
+    return get("1t").build_array(8, 4, macro_rows=4, seed=seed, **kwargs)
+
+
+class TestRetentionMap:
+    def test_matches_the_per_cell_formula(self):
+        array = _small(seed=2)
+        retention = array.retention_time_map()
+        for r, c in ((0, 0), (3, 1), (7, 3)):
+            cell = array.cell(r, c)
+            assert retention[r, c] == pytest.approx(
+                cell.retention_time(array.tech.vdd, 0.5)
+            )
+
+    def test_zero_leak_reports_infinite_retention(self):
+        # The array constructor demands strictly positive leak maps, but
+        # a cell's leak can be healed to zero afterwards (the watched
+        # attribute updates the bulk plane).
+        array = Body1TArray(2, 2)
+        array.cell(0, 0).leak_current = 0.0
+        retention = array.retention_time_map()
+        assert np.isinf(retention[0, 0])
+        assert np.all(np.isfinite(retention[1:, :]))
+
+    def test_nominal_retention_is_low_milliseconds(self):
+        array = Body1TArray(4, 2)
+        retention = array.retention_time_map()
+        assert np.all(retention > 0.5e-3)
+        assert np.all(retention < 20e-3)
+
+    def test_leakage_spread_is_deterministic_under_seed(self):
+        a = _small(seed=9)
+        b = _small(seed=9)
+        np.testing.assert_array_equal(a.leak_view(), b.leak_view())
+        c = _small(seed=10)
+        assert not np.array_equal(a.leak_view(), c.leak_view())
+
+
+class TestScanIntegration:
+    def test_structure_designed_for_few_ff_cells(self):
+        array = _small()
+        structure = get("1t").design_structure(array)
+        # The converter's reference must be sized for the floating-body
+        # range, well below what the same geometry designs to for eDRAM.
+        edram_array = get("edram").build_array(8, 4, macro_rows=4)
+        edram_structure = get("edram").design_structure(edram_array)
+        assert structure.c_ref < 0.6 * edram_structure.c_ref
+
+    def test_scan_resolves_the_body_capacitance(self):
+        array = _small(seed=4)
+        result = ArrayScanner(array, get("1t").design_structure(array)).scan(
+            ScanConfig(technology="1t")
+        )
+        card = one_t_technology_card()
+        assert result.stats.total_cells == array.num_cells
+        # Codes must not saturate: the 4 fF nominal sits mid-range.
+        assert 0 < result.codes.mean() < result.num_steps
+
+    def test_recorded_scans_carry_retention_scalars(self, tmp_path):
+        array = _small(seed=4)
+        ledger = RunLedger(tmp_path / "ledger")
+        ArrayScanner(array, get("1t").design_structure(array)).scan(
+            ScanConfig(technology="1t", ledger=ledger)
+        )
+        scalars = ledger.runs()[0].scalars
+        assert scalars["retention_mean_us"] > 0
+        assert scalars["retention_min_us"] <= scalars["retention_mean_us"]
+        assert 0.0 <= scalars["retention_below_target_frac"] <= 1.0

@@ -359,3 +359,63 @@ def test_checkpointed_scan_completes_and_cleans_up(tmp_path, capsys):
     # A completed run leaves no checkpoint behind.
     assert main(["runs", "checkpoints", "--dir", str(ledger_dir)]) == 0
     assert "no unfinished runs" in capsys.readouterr().out
+
+
+def test_tech_list_command(capsys):
+    assert main(["tech", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("edram", "fecap", "1t"):
+        assert name in out
+    assert "corners" in out
+    assert "tt=" in out
+
+
+def test_tech_list_json(capsys):
+    import json
+
+    assert main(["tech", "list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["name"] for entry in payload] == ["edram", "fecap", "1t"]
+    assert all("corners" in entry for entry in payload)
+
+
+@pytest.mark.parametrize("tech", ["edram", "fecap", "1t"])
+def test_scan_command_per_technology(tech, capsys):
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--tech", tech,
+    ]) == 0
+    assert "scanned 32 cells" in capsys.readouterr().out
+
+
+def test_scan_rejects_unknown_tech():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([
+            "scan", "--rows", "8", "--cols", "4", "--tech", "mram",
+        ])
+
+
+def test_scan_record_fecap_carries_disturb_scalars(tmp_path, capsys):
+    ledger_dir = tmp_path / "runs"
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--tech", "fecap", "--record", str(ledger_dir),
+    ]) == 0
+    capsys.readouterr()
+    from repro.obs import RunLedger
+
+    manifest = RunLedger(ledger_dir).runs()[0]
+    assert manifest.config["technology"] == "fecap"
+
+
+def test_diagnose_command_per_technology(capsys):
+    assert main([
+        "diagnose", "--rows", "8", "--cols", "4", "--macro-rows", "8",
+        "--tech", "fecap",
+    ]) == 0
+    assert "verdicts" in capsys.readouterr().out
+
+
+def test_wafer_command_per_technology(capsys):
+    assert main(["wafer", "--diameter", "3", "--tech", "1t"]) == 0
+    assert "wafer mean" in capsys.readouterr().out

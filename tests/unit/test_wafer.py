@@ -125,3 +125,55 @@ def test_measure_wafer_reports_die_progress():
     assert all(e["units"] == "dies" for e in events)
     assert events[-1]["event"] == "finish"
     assert events[-1]["done"] == len(model.sites())
+
+
+def test_legacy_tech_card_kwarg_warns_and_forwards():
+    from repro.tech.corners import Corner, corner_technology
+
+    card = corner_technology(Corner.FF)
+    with pytest.warns(DeprecationWarning, match="technology="):
+        model = WaferModel(diameter_dies=3, die_rows=8, die_cols=4,
+                           macro_rows=4, tech=card, seed=3)
+    assert model.tech == card
+    # The shimmed model keeps the historical absolute defaults.
+    assert model.nominal == 30.0 * fF
+    assert model.measure_wafer().wafer_mean > 0
+
+
+def test_legacy_tech_card_requires_edram_backend():
+    from repro.tech.parameters import default_technology
+
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(DiagnosisError):
+            WaferModel(diameter_dies=3, tech=default_technology(),
+                       technology="fecap")
+
+
+@pytest.mark.parametrize("technology", ["fecap", "1t"])
+def test_wafer_per_technology(technology):
+    from repro.technologies import get
+
+    model = WaferModel(diameter_dies=3, die_rows=8, die_cols=4,
+                       macro_rows=4, technology=technology, seed=4)
+    nominal = get(technology).base_card().cell_capacitance
+    report = model.measure_wafer()
+    # The wafer profile scales with the technology nominal.
+    assert 0.7 * nominal < report.wafer_mean < 1.3 * nominal
+
+
+def test_wafer_config_technology_mismatch_rejected():
+    from repro.errors import MeasurementError
+    from repro.measure.config import ScanConfig
+
+    model = WaferModel(diameter_dies=3, die_rows=8, die_cols=4,
+                       macro_rows=4, technology="fecap")
+    with pytest.raises(MeasurementError, match="fecap"):
+        model.measure_wafer(config=ScanConfig(technology="edram"))
+
+
+def test_wafer_die_fabrication_delegates_to_backend():
+    model = WaferModel(diameter_dies=3, die_rows=8, die_cols=4,
+                       macro_rows=4, technology="1t", seed=5)
+    die = model.fabricate_die(0.0)
+    assert die.technology == "1t"
+    assert die.retention_time_map().shape == (8, 4)
