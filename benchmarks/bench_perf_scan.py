@@ -804,3 +804,111 @@ def bench_perf_scan_smoke(benchmark, tech):
     # A defect-free un-instrumented scan must route through the kernel.
     assert scan.stats.kernel_cells == array.num_cells
     assert scan.stats.kernel_seconds > 0
+
+
+def bench_perf_scan_parallel_trace_overhead(tech):
+    """Distributed-tracing guard: ``--trace`` must cost < 15% on a warm
+    parallel kernel scan.
+
+    Tracing no longer disqualifies the shared-memory fast path: workers
+    run a private :class:`Tracer` per task and ship compact span tuples
+    back inside the acknowledgement, so the data plane stays in shared
+    memory and only the control plane grows.  This gate pins that —
+    a traced warm ``jobs=2`` scan must keep the kernel tier for every
+    cell, produce bit-exact planes, merge spans from at least two
+    distinct worker pids, and stay within 15% of the untraced wall time.
+    Same measurement discipline as the other overhead gates
+    (order-alternating rounds, GC paused, best-of minima, three
+    independent attempts).
+    """
+    rows = 2 * ROWS  # amortize the per-task tracer setup over a real scan
+    array = _build(tech, rows=rows)
+    structure = design_structure(tech, MACRO_ROWS, MACRO_COLS, bitline_rows=rows)
+    scanner = ArrayScanner(array, structure)
+    plain_config = ScanConfig(jobs=2)
+    baseline = scanner.scan(plain_config)  # warms the persistent pool
+
+    def run_plain():
+        t0 = time.perf_counter()
+        scanner.scan(plain_config)
+        return time.perf_counter() - t0
+
+    def run_traced():
+        tracer = Tracer()
+        t0 = time.perf_counter()
+        scan = scanner.scan(ScanConfig(jobs=2, tracer=tracer))
+        return time.perf_counter() - t0, scan, tracer
+
+    traced_scan = traced_tracer = None
+
+    def measure():
+        nonlocal traced_scan, traced_tracer
+        plain_times, traced_times = [], []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for i in range(20):
+                if i % 2 == 0:
+                    plain_times.append(run_plain())
+                    seconds, traced_scan, traced_tracer = run_traced()
+                    traced_times.append(seconds)
+                else:
+                    seconds, traced_scan, traced_tracer = run_traced()
+                    traced_times.append(seconds)
+                    plain_times.append(run_plain())
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return min(plain_times), min(traced_times)
+
+    attempts = []
+    for _ in range(3):
+        plain_best, traced_best = measure()
+        attempts.append(traced_best / plain_best - 1)
+        if attempts[-1] < 0.15:
+            break
+    overhead = min(attempts)
+
+    # Tracing must be invisible in the data and must not evict the scan
+    # from the kernel fast path...
+    assert np.array_equal(traced_scan.codes, baseline.codes)
+    assert np.array_equal(traced_scan.vgs, baseline.vgs)
+    assert traced_scan.stats.kernel_cells == array.num_cells
+    # ...while the merged tree really is distributed: slab spans from at
+    # least two distinct worker processes under one scan root.
+    slab_pids = {
+        s.attributes["pid"] for s in traced_tracer.spans if s.name == "slab"
+    }
+    assert len(slab_pids) >= 2, f"expected >=2 worker pids, got {slab_pids}"
+    assert sum(1 for s in traced_tracer.spans if s.name == "scan") == 1
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
+        "kind": "parallel_trace_overhead",
+        "array": [rows, COLS],
+        "plain_seconds": plain_best,
+        "traced_seconds": traced_best,
+        "parallel_trace_overhead": overhead,
+        "worker_pids": len(slab_pids),
+    }
+    history = _append_history(entry)
+
+    report(
+        "PERF: distributed tracing overhead on a warm parallel kernel scan",
+        "\n".join([
+            f"array {rows}x{COLS}, kernel-parallel x2, warm pool",
+            f"plain  best-of-20: {plain_best * 1e3:8.2f} ms",
+            f"traced best-of-20: {traced_best * 1e3:8.2f} ms",
+            f"overhead         : {overhead * 100:+.2f}%  (budget < 15%, "
+            f"{len(attempts)} attempt(s))",
+            f"worker pids in merged trace: {len(slab_pids)}",
+            f"appended to {BENCH_JSON.name} ({len(history)} entries)",
+        ]),
+    )
+
+    assert overhead < 0.15, (
+        f"parallel trace overhead {overhead * 100:.2f}% exceeds 15% budget "
+        f"(attempts: {', '.join(f'{a * 100:+.2f}%' for a in attempts)})"
+    )

@@ -423,9 +423,24 @@ def cmd_diagnose(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    from repro.obs import load_trace, summarize_trace
+    from repro.obs import (
+        load_trace,
+        merge_traces,
+        render_timeline,
+        summarize_trace,
+        timeline_dict,
+    )
 
-    spans = load_trace(args.path)
+    if len(args.paths) == 1:
+        spans = load_trace(args.paths[0])
+    else:
+        spans = merge_traces(load_trace(path) for path in args.paths)
+    if args.timeline:
+        if args.format == "json":
+            print(json.dumps(timeline_dict(spans), indent=2))
+        else:
+            print(render_timeline(spans))
+        return 0
     summary = summarize_trace(spans)
     if args.format == "json":
         print(json.dumps(summary.to_dict(), indent=2))
@@ -787,7 +802,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trace", parents=[fmt],
                        help="summarize a span trace written by `scan --trace`")
-    p.add_argument("path", help="JSON-lines trace file")
+    p.add_argument("paths", nargs="+", metavar="path",
+                   help="JSON-lines trace file(s); several are merged "
+                        "into one trace (parent + worker spools)")
+    p.add_argument("--timeline", action="store_true",
+                   help="render a per-worker lane view (text Gantt, or "
+                        "JSON with --format json) instead of the summary")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(

@@ -9,10 +9,12 @@ fan-out keeps the data plane out of the task plane:
   shape.  Workers inherit the mapping through ``fork`` and write their
   tiles straight into it; the parent reads tiles (or whole planes) back
   out without a single pickled ndarray crossing a pipe;
-* **tasks** are tiny tuples — ``("m", macro_index, force_engine)`` for
-  per-macro work, ``("k", tile_row_lo, tile_row_hi, engine_tiles)`` for
-  a slab of the batched closed-form kernel — and results are equally
-  tiny ``(kind, …, seconds)`` acknowledgements;
+* **tasks** are tiny tuples — ``("m", macro_index, force_engine,
+  sanitize, obs)`` for per-macro work, ``("k", tile_row_lo,
+  tile_row_hi, engine_tiles, sanitize, obs)`` for a slab of the batched
+  closed-form kernel — and results are equally tiny ``(kind, …,
+  seconds)`` acknowledgements, optionally trailed by footprint
+  rectangles (``sanitize``) and buffered spans/metric deltas (``obs``);
 * the worker init payload (one :class:`ArrayScanner` + the planes) is
   cached parent-side keyed on ``EDRAMArray.version``, and with vanilla
   supervision the warm :class:`SupervisedPool` is cached with it, so
@@ -42,16 +44,24 @@ equals the serial scan bit for bit regardless of retries or respawns
 from __future__ import annotations
 
 import atexit
+import os
 import weakref
+from contextlib import nullcontext
 from multiprocessing import shared_memory
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.trace import Span, Tracer
 from repro.resilience.faults import FaultPlan, fault_point
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
-from repro.resilience.supervisor import SupervisedPool, TaskFailure
+from repro.resilience.supervisor import (
+    SupervisedPool,
+    TaskFailure,
+    current_worker_info,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.edram.array import EDRAMArray
@@ -60,6 +70,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sanitize.footprint import FootprintLog
 
     MacroResult = tuple[int, np.ndarray, np.ndarray, str, np.ndarray, float]
+
+#: Task ``obs`` flag bits: ship spans / ship metric deltas in the ack.
+OBS_TRACE = 1
+OBS_METRICS = 2
 
 
 class SharedScanPlanes:
@@ -122,17 +136,39 @@ def _init_worker(scanner: "ArrayScanner", planes: SharedScanPlanes) -> None:
     _WORKER["planes"] = planes  # lint: allow-worker-state
 
 
+def _obs_payload(
+    tracer: "Tracer | None", registry: "MetricsRegistry | None"
+) -> tuple:
+    """Pack a worker's buffered spans/metric deltas for the ack tuple.
+
+    ``(worker_id, pid, span_tuples, shipped_metrics)`` — small tuples of
+    ints/floats/strings only, like the PR 7 footprint rectangles, so a
+    traced task's acknowledgement stays a few hundred bytes instead of a
+    pickled object graph.
+    """
+    info = current_worker_info()
+    worker_id = info[0] if info is not None else -1
+    spans = tuple(s.to_tuple() for s in tracer.spans) if tracer is not None else ()
+    shipped = tuple(registry.to_shipped()) if registry is not None else ()
+    return (worker_id, os.getpid(), spans, shipped)
+
+
 def _scan_one(payload: tuple, attempt: int) -> tuple:
     """Worker body: scan a macro or a kernel slab into the shared planes.
 
     Returns a small acknowledgement tuple; the data stays in shared
-    memory.  ``("m", index, force_engine, sanitize)`` → ``("m", index,
-    tier, seconds)``; ``("k", tr_lo, tr_hi, engine_tiles, sanitize)`` →
-    ``("k", tr_lo, tr_hi, seconds)``.  With the task's ``sanitize``
-    flag set, one trailing ``(attempt, rects)`` element is appended —
-    the exact rectangles this worker wrote, a handful of ints the
-    parent's :class:`~repro.sanitize.FootprintLog` audits.  The flag
-    rides in the *task* (not the init payload) so sanitized scans reuse
+    memory.  ``("m", index, force_engine, sanitize, obs)`` → ``("m",
+    index, tier, seconds)``; ``("k", tr_lo, tr_hi, engine_tiles,
+    sanitize, obs)`` → ``("k", tr_lo, tr_hi, seconds)``.  With the
+    task's ``sanitize`` flag set, one trailing ``(attempt, rects)``
+    element is appended — the exact rectangles this worker wrote, a
+    handful of ints the parent's :class:`~repro.sanitize.FootprintLog`
+    audits.  With ``obs`` bits set (:data:`OBS_TRACE` /
+    :data:`OBS_METRICS`), the task runs under a fresh per-task
+    :class:`Tracer` / ambient :class:`MetricsRegistry` and one more
+    trailing ``(worker_id, pid, spans, metrics)`` element ships the
+    buffered telemetry back for the parent-side merge.  Both flags ride
+    in the *task* (not the init payload) so instrumented scans reuse
     the warm vanilla pool.
     """
     from repro.measure.config import ScanConfig
@@ -142,12 +178,19 @@ def _scan_one(payload: tuple, attempt: int) -> tuple:
     if payload[0] == "m":
         index, force_engine = payload[1], payload[2]
         sanitize = bool(payload[3]) if len(payload) > 3 else False
+        obs = int(payload[4]) if len(payload) > 4 else 0
+        w_tracer = Tracer() if obs & OBS_TRACE else None
+        w_metrics = MetricsRegistry() if obs & OBS_METRICS else None
         fault_point("worker.scan_macro", macro=index, attempt=attempt)
         macro = scanner.array.macro(index)
         start = perf_counter()
-        vgs, codes, tier, quality = scanner._scan_macro(
-            macro, ScanConfig(force_engine=force_engine)
+        config = (
+            ScanConfig(force_engine=force_engine, tracer=w_tracer)
+            if w_tracer is not None
+            else ScanConfig(force_engine=force_engine)
         )
+        with use_metrics(w_metrics) if w_metrics is not None else nullcontext():
+            vgs, codes, tier, quality = scanner._scan_macro(macro, config)
         seconds = perf_counter() - start
         rsl = slice(macro.row_start, macro.row_stop)
         csl = slice(macro.col_start, macro.col_stop)
@@ -159,49 +202,69 @@ def _scan_one(payload: tuple, attempt: int) -> tuple:
             rect = (macro.row_start, macro.row_stop,
                     macro.col_start, macro.col_stop)
             ack = (*ack, (attempt, (rect,)))
+        if obs:
+            ack = (*ack, _obs_payload(w_tracer, w_metrics))
         return ack
 
     tr_lo, tr_hi, engine_tiles = payload[1], payload[2], payload[3]
     sanitize = bool(payload[4]) if len(payload) > 4 else False
+    obs = int(payload[5]) if len(payload) > 5 else 0
+    w_tracer = Tracer() if obs & OBS_TRACE else None
+    w_metrics = MetricsRegistry() if obs & OBS_METRICS else None
     array = scanner.array
     mr, mc = array.macro_rows, array.macro_cols
     tiles_across = array.macros_per_row
     written: list[tuple[int, int, int, int]] = []
     start = perf_counter()
     rows_sl = slice(tr_lo * mr, tr_hi * mr)
-    vgs = _kernel(
-        array.capacitance_view()[rows_sl],
-        array.defect_kind_view()[rows_sl],
-        scanner.kernel_constants(),
+    span_ctx = (
+        w_tracer.span(
+            "slab",
+            tile_row_lo=tr_lo,
+            tile_row_hi=tr_hi,
+            cells=(tr_hi - tr_lo) * mr * array.cols,
+            engine_tiles=len(engine_tiles),
+        )
+        if w_tracer is not None
+        else nullcontext()
     )
-    codes = scanner.codes_for_vgs(vgs)
-    if not engine_tiles:
-        planes.vgs[rows_sl] = vgs
-        planes.codes[rows_sl] = codes
-        planes.quality[rows_sl] = 0
-        if sanitize:
-            written.append((tr_lo * mr, tr_hi * mr, 0, array.cols))
-    else:
-        # Engine tiles belong to their own per-macro tasks; skipping
-        # them here keeps the two writers off each other's cells.
-        skip = frozenset(engine_tiles)
-        for tr in range(tr_lo, tr_hi):
-            local = (tr - tr_lo) * mr
-            top = tr * mr
-            for tcol in range(tiles_across):
-                if tr * tiles_across + tcol in skip:
-                    continue
-                left = tcol * mc
-                planes.vgs[top:top + mr, left:left + mc] = \
-                    vgs[local:local + mr, left:left + mc]
-                planes.codes[top:top + mr, left:left + mc] = \
-                    codes[local:local + mr, left:left + mc]
-                planes.quality[top:top + mr, left:left + mc] = 0
+    with use_metrics(w_metrics) if w_metrics is not None else nullcontext():
+        with span_ctx:
+            vgs = _kernel(
+                array.capacitance_view()[rows_sl],
+                array.defect_kind_view()[rows_sl],
+                scanner.kernel_constants(),
+            )
+            codes = scanner.codes_for_vgs(vgs)
+            if not engine_tiles:
+                planes.vgs[rows_sl] = vgs
+                planes.codes[rows_sl] = codes
+                planes.quality[rows_sl] = 0
                 if sanitize:
-                    written.append((top, top + mr, left, left + mc))
+                    written.append((tr_lo * mr, tr_hi * mr, 0, array.cols))
+            else:
+                # Engine tiles belong to their own per-macro tasks; skipping
+                # them here keeps the two writers off each other's cells.
+                skip = frozenset(engine_tiles)
+                for tr in range(tr_lo, tr_hi):
+                    local = (tr - tr_lo) * mr
+                    top = tr * mr
+                    for tcol in range(tiles_across):
+                        if tr * tiles_across + tcol in skip:
+                            continue
+                        left = tcol * mc
+                        planes.vgs[top:top + mr, left:left + mc] = \
+                            vgs[local:local + mr, left:left + mc]
+                        planes.codes[top:top + mr, left:left + mc] = \
+                            codes[local:local + mr, left:left + mc]
+                        planes.quality[top:top + mr, left:left + mc] = 0
+                        if sanitize:
+                            written.append((top, top + mr, left, left + mc))
     ack = ("k", tr_lo, tr_hi, perf_counter() - start)
     if sanitize:
         ack = (*ack, (attempt, tuple(written)))
+    if obs:
+        ack = (*ack, _obs_payload(w_tracer, w_metrics))
     return ack
 
 
@@ -324,20 +387,58 @@ def _fanout_pool(
     )
 
 
-def _run_pool(pool: SupervisedPool, tasks: list) -> tuple[list, dict[str, int]]:
+def _run_pool(pool: SupervisedPool, tasks: list) -> tuple[list, dict[str, Any]]:
     """Run tasks and return (outcomes, per-run telemetry deltas).
 
     A persistent pool's counters accumulate over its lifetime, so each
-    run's telemetry is the delta around it.
+    run's telemetry is the delta around it.  ``telemetry["workers"]``
+    carries the post-run :meth:`SupervisedPool.worker_health` snapshot
+    (taken before a throwaway pool is closed).
     """
     before = (pool.retries, pool.timeouts, pool.respawns)
     outcomes = pool.run(tasks)
-    telemetry = {
+    telemetry: dict[str, Any] = {
         "retries": pool.retries - before[0],
         "timeouts": pool.timeouts - before[1],
         "respawns": pool.respawns - before[2],
+        "workers": pool.worker_health(),
     }
     return outcomes, telemetry
+
+
+def _obs_flag(tracer: Any, metrics: Any) -> int:
+    """The task ``obs`` bits for the given parent-side sinks."""
+    flag = 0
+    if tracer is not None and getattr(tracer, "enabled", False):
+        flag |= OBS_TRACE
+    if metrics is not None and getattr(metrics, "enabled", False):
+        flag |= OBS_METRICS
+    return flag
+
+
+def _merge_obs(
+    tracer: Any, metrics: Any, ack: tuple, sanitize: bool
+) -> None:
+    """Fold a traced acknowledgement's shipped telemetry into the parent.
+
+    The obs element sits after the optional sanitize element, and the
+    parent set both task flags, so the position is deterministic.  Only
+    *successful* acknowledgements reach here (failures carry no ack),
+    and retried tasks only ship the winning attempt's buffer — a worker
+    killed mid-macro loses its partial spans with the rest of its state.
+    """
+    index = 5 if sanitize else 4
+    if len(ack) <= index:
+        return
+    worker_id, pid, span_tuples, shipped = ack[index]
+    if tracer is not None and getattr(tracer, "enabled", False) and span_tuples:
+        tracer.merge(
+            (Span.from_tuple(t) for t in span_tuples),
+            worker_id=worker_id,
+            pid=pid,
+        )
+    if metrics is not None and getattr(metrics, "enabled", False) and shipped:
+        metrics.merge_shipped(shipped)
 
 
 def _record_footprint(
@@ -371,7 +472,9 @@ def scan_macros_parallel(
     fault_plan: FaultPlan | None = None,
     on_result: "Callable[[MacroResult], None] | None" = None,
     footprint: "FootprintLog | None" = None,
-) -> tuple["list[MacroResult]", list[tuple[int, BaseException]], dict[str, int]]:
+    tracer: Any = None,
+    metrics: Any = None,
+) -> tuple["list[MacroResult]", list[tuple[int, BaseException]], dict[str, Any]]:
     """Scan macros of ``array`` across supervised workers, one per task.
 
     The per-macro fan-out: used whenever the scan needs per-macro
@@ -396,11 +499,18 @@ def scan_macros_parallel(
         A :class:`~repro.sanitize.FootprintLog` to audit worker writes
         into; setting it makes tasks ship their written rectangles back
         in the acknowledgements (``--sanitize``).
+    tracer / metrics:
+        Parent-side observability sinks.  An enabled tracer makes each
+        task run under a worker-local :class:`Tracer` whose spans ship
+        back in the ack and are grafted (with ``worker_id``/``pid``
+        attributes) under the parent's open span as each result lands;
+        an enabled registry does the same for metric deltas.
 
     Returns ``(results, failures, telemetry)``: successful results in
     macro-index order, ``(macro_index, error)`` for macros that
     exhausted their retries (the caller re-runs those in-process), and
-    the pool's retry/timeout/respawn counters for this run.
+    the pool's retry/timeout/respawn counters plus per-worker health
+    snapshots for this run.
     """
     todo = list(range(array.num_macros)) if indices is None else list(indices)
     scanner, planes = _fanout_payload(array, structure)
@@ -423,25 +533,30 @@ def scan_macros_parallel(
 
     materialized: "dict[int, MacroResult]" = {}
 
+    sanitize = footprint is not None
+    obs = _obs_flag(tracer, metrics)
+
     def _hook(_task_id: int, ack: tuple) -> None:
         _record_footprint(footprint, f"macro[{ack[1]}]", ack)
+        _merge_obs(tracer, metrics, ack, sanitize)
         result = _materialize(ack)
         materialized[result[0]] = result
         if on_result is not None:
             on_result(result)
 
-    sanitize = footprint is not None
-    tasks = [("m", index, force_engine, sanitize) for index in todo]
+    tasks = [("m", index, force_engine, sanitize, obs) for index in todo]
     before = (pool.retries, pool.timeouts, pool.respawns)
     try:
         outcomes = pool.run(tasks, on_result=_hook)
+        health = pool.worker_health()
     finally:
         if not pool.persistent:
             pool.close()
-    telemetry = {
+    telemetry: dict[str, Any] = {
         "retries": pool.retries - before[0],
         "timeouts": pool.timeouts - before[1],
         "respawns": pool.respawns - before[2],
+        "workers": health,
     }
     results: "list[MacroResult]" = []
     failures: list[tuple[int, BaseException]] = []
@@ -464,11 +579,13 @@ def scan_macros_kernel_parallel(
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
     footprint: "FootprintLog | None" = None,
+    tracer: Any = None,
+    metrics: Any = None,
 ) -> tuple[
     np.ndarray, np.ndarray, np.ndarray,
     list[tuple[int, str, float]],
     list[tuple[int, BaseException]],
-    dict[str, int],
+    dict[str, Any],
 ]:
     """Whole-array kernel scan fanned out as tile-row slabs.
 
@@ -476,7 +593,11 @@ def scan_macros_kernel_parallel(
     tile-rows, each one batched-kernel pass in a worker; engine macros
     (``engine_indices``) ride along as ordinary per-macro tasks.  The
     scan engine only dispatches here when the per-macro machinery is
-    inert (no faults, no checkpoint, no tracing, no ``force_engine``).
+    inert (no faults, no checkpoint, no ``force_engine``) — tracing and
+    metrics are *not* disqualifiers: with ``tracer``/``metrics``
+    enabled, workers buffer spans/metric deltas per task and ship them
+    back in the acks, where they are merged (stamped with
+    ``worker_id``/``pid``) under the parent's open scan span.
 
     Returns ``(vgs, codes, quality, macro_seconds, failures,
     telemetry)`` — fresh full-plane copies decoupled from the reusable
@@ -490,6 +611,7 @@ def scan_macros_kernel_parallel(
     engine_set = frozenset(engine_indices)
 
     sanitize = footprint is not None
+    obs = _obs_flag(tracer, metrics)
     slab_count = max(1, min(jobs, tiles_down))
     bounds = np.linspace(0, tiles_down, slab_count + 1).astype(int)
     tasks: list[tuple] = []
@@ -499,8 +621,10 @@ def scan_macros_kernel_parallel(
         local_engine = tuple(
             sorted(i for i in engine_set if lo <= i // tiles_across < hi)
         )
-        tasks.append(("k", int(lo), int(hi), local_engine, sanitize))
-    tasks.extend(("m", index, False, sanitize) for index in sorted(engine_set))
+        tasks.append(("k", int(lo), int(hi), local_engine, sanitize, obs))
+    tasks.extend(
+        ("m", index, False, sanitize, obs) for index in sorted(engine_set)
+    )
 
     pool = _fanout_pool(
         scanner, planes, max(1, min(jobs, len(tasks))), retry, timeout, None
@@ -527,6 +651,7 @@ def scan_macros_kernel_parallel(
         elif outcome[0] == "k":
             lo, hi, seconds = outcome[1], outcome[2], outcome[3]
             _record_footprint(footprint, f"slab[{lo}:{hi}]", outcome)
+            _merge_obs(tracer, metrics, outcome, sanitize)
             members = [
                 index
                 for index in range(lo * tiles_across, hi * tiles_across)
@@ -537,6 +662,7 @@ def scan_macros_kernel_parallel(
         else:
             index, tier, seconds = outcome[1], outcome[2], outcome[3]
             _record_footprint(footprint, f"macro[{index}]", outcome)
+            _merge_obs(tracer, metrics, outcome, sanitize)
             macro_seconds.append((index, tier, seconds))
 
     # Decouple the result from the reusable segments: the next scan of

@@ -487,8 +487,9 @@ class ArrayScanner:
         record in ``result.stats``; when ``config.metrics`` is a real
         registry the stats are folded into it as well, and
         ``config.tracer`` receives the scan → macro → cell → phase span
-        tree (serial scans; parallel workers report per-macro wall time
-        as a span attribute instead).  ``config.progress`` is advanced
+        tree (parallel workers buffer their spans per task and ship
+        them back for a parent-side merge, stamped with
+        ``worker_id``/``pid``).  ``config.progress`` is advanced
         once per completed macro (live completion/throughput/ETA), and
         when ``config.ledger`` is set a run manifest (provenance +
         per-run scalars) is appended to it on completion.
@@ -539,15 +540,16 @@ class ArrayScanner:
                 footprint = FootprintLog((rows, cols))
             # Dispatch planner: the batched kernel replaces the
             # per-macro drivers only when they are semantically inert —
-            # no per-macro spans to emit, no fault sites to honour, no
-            # checkpoint to resume into, no engine forcing.  Anything
-            # observable keeps the per-macro path bit-for-bit.
+            # no fault sites to honour, no checkpoint to resume into,
+            # no engine forcing.  Tracing is *not* a disqualifier:
+            # serial kernel passes get a parent-side "kernel" span, and
+            # parallel workers buffer spans per task and ship them back
+            # in the acks for the parent-side merge.
             kernel_ok = (
                 self._use_kernel
                 and backend.uses_kernel
                 and not config.force_engine
                 and checkpointer is None
-                and not tracer.enabled
                 and active_fault_plan() is None
             )
             if kernel_ok:
@@ -585,7 +587,9 @@ class ArrayScanner:
                 remaining = list(range(num_macros))
 
             effective_jobs = min(config.jobs, num_macros)
-            telemetry = {"retries": 0, "timeouts": 0, "respawns": 0}
+            telemetry: dict = {
+                "retries": 0, "timeouts": 0, "respawns": 0, "workers": [],
+            }
             kernel_cells = 0
             kernel_seconds = 0.0
 
@@ -684,6 +688,8 @@ class ArrayScanner:
                             retry=config.retry,
                             timeout=config.timeout,
                             footprint=footprint,
+                            tracer=tracer,
+                            metrics=active_metrics(),
                         )
                     )
                     for index, tier, seconds in macro_seconds:
@@ -702,13 +708,17 @@ class ArrayScanner:
                         _rescue(index)
                 elif kernel_ok:
                     kernel_start = perf_counter()
-                    plane_vgs = closed_form_vgs_plane(
-                        self.array.capacitance_view(),
-                        self.array.defect_kind_view(),
-                        self.kernel_constants(),
-                    )
-                    plane_codes = self.codes_for_vgs(plane_vgs)
+                    with tracer.span(
+                        "kernel", rows=rows, cols=cols
+                    ) as kernel_span:
+                        plane_vgs = closed_form_vgs_plane(
+                            self.array.capacitance_view(),
+                            self.array.defect_kind_view(),
+                            self.kernel_constants(),
+                        )
+                        plane_codes = self.codes_for_vgs(plane_vgs)
                     kernel_seconds = perf_counter() - kernel_start
+                    kernel_span.attributes["seconds"] = kernel_seconds
                     vgs = plane_vgs
                     codes = plane_codes
                     engine_set = frozenset(engine_indices)
@@ -749,20 +759,15 @@ class ArrayScanner:
                     def _land(payload) -> None:
                         index, m_vgs, m_codes, tier, m_quality, seconds = payload
                         macro = self.array.macro(index)
-                        # Worker-side spans cannot cross the process
-                        # boundary; record one parent-side macro span
-                        # carrying the worker-measured wall time.
-                        with tracer.span(
-                            "macro",
-                            index=index,
-                            cells=macro.num_cells,
-                            tier="engine" if tier == "e" else "closed-form",
-                            worker_seconds=seconds,
-                        ):
-                            self._place(
-                                macro, m_vgs, m_codes, tier, m_quality,
-                                vgs, codes, tiers, quality,
-                            )
+                        # The worker's own macro → cell → phase spans
+                        # ship back in the acknowledgement and are
+                        # merged (with worker_id/pid attributes) before
+                        # this hook runs, so no parent-side stand-in
+                        # span is synthesized here.
+                        self._place(
+                            macro, m_vgs, m_codes, tier, m_quality,
+                            vgs, codes, tiers, quality,
+                        )
                         _finish_macro(index, tier, macro.num_cells, seconds)
 
                     _, failures, telemetry = scan_macros_parallel(
@@ -774,6 +779,8 @@ class ArrayScanner:
                         fault_plan=config.faults,
                         on_result=_land,
                         footprint=footprint,
+                        tracer=tracer,
+                        metrics=active_metrics(),
                     )
                     for index, _error in failures:
                         _rescue(index)
@@ -845,6 +852,7 @@ class ArrayScanner:
                 macro_retries=telemetry["retries"],
                 macro_timeouts=telemetry["timeouts"],
                 worker_respawns=telemetry["respawns"],
+                pool_health=telemetry.get("workers", []),
             )
             stats.to_metrics(active_metrics())
         result = ScanResult(

@@ -79,6 +79,11 @@ class ScanStats:
         after a failure, tasks killed for exceeding their wall-clock
         budget, and worker processes respawned after dying.  All zero
         for serial scans and healthy pools.
+    pool_health:
+        Per-worker health snapshots from the pool's final heartbeat
+        (``worker_id`` / ``pid`` / ``generation`` / ``tasks_completed``
+        / ``busy_seconds`` / ``idle_seconds`` / ``rss_kb`` / ``alive``),
+        in worker-slot order.  Empty for serial scans.
     """
 
     total_cells: int
@@ -94,6 +99,7 @@ class ScanStats:
     macro_retries: int = 0
     macro_timeouts: int = 0
     worker_respawns: int = 0
+    pool_health: list[dict] = field(default_factory=list)
 
     @property
     def cells_per_second(self) -> float:
@@ -195,6 +201,7 @@ class ScanStats:
             "macro_retries": self.macro_retries,
             "macro_timeouts": self.macro_timeouts,
             "worker_respawns": self.worker_respawns,
+            "pool_health": [dict(h) for h in self.pool_health],
         }
 
     def summary(self) -> str:
@@ -220,6 +227,13 @@ class ScanStats:
                 f"supervision: {self.macro_retries} retries, "
                 f"{self.macro_timeouts} timeouts, "
                 f"{self.worker_respawns} respawns"
+            )
+        if self.pool_health:
+            busy = sum(h.get("busy_seconds", 0.0) for h in self.pool_health)
+            rss = max(h.get("rss_kb", 0.0) for h in self.pool_health)
+            lines.append(
+                f"pool: {len(self.pool_health)} workers, "
+                f"{busy:.3f} s busy, peak rss {rss:,.0f} KiB"
             )
         slowest = self.slowest_macro()
         if slowest is not None:

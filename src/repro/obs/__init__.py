@@ -9,8 +9,9 @@ this package makes the pipeline visible without changing it:
   gauges and histograms; deep layers report through the **ambient**
   registry (:func:`use_metrics` / :func:`active_metrics`) so the
   numeric APIs stay clean.
-- :mod:`repro.obs.summarize` — reads exported traces back and
-  aggregates them (the ``repro trace`` subcommand).
+- :mod:`repro.obs.summarize` — reads exported traces back, merges
+  multi-process traces, aggregates them and renders per-worker
+  timelines (the ``repro trace`` subcommand).
 - :mod:`repro.obs.progress` — live completion/throughput/ETA reporting
   for long scans (TTY status line or JSONL event stream);
   :data:`NULL_PROGRESS` is the zero-cost default.
@@ -67,7 +68,10 @@ from repro.obs.summarize import (
     SpanAggregate,
     TraceSummary,
     load_trace,
+    merge_traces,
+    render_timeline,
     summarize_trace,
+    timeline_dict,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -103,6 +107,9 @@ __all__ = [
     "active_metrics",
     "use_metrics",
     "load_trace",
+    "merge_traces",
+    "render_timeline",
+    "timeline_dict",
     "summarize_trace",
     "TraceSummary",
     "SpanAggregate",

@@ -123,7 +123,10 @@ def scan_scalars(result: "ScanResult") -> dict[str, float]:
       voltages,
     - ``degraded_cells`` / ``failed_cells`` — fallback-ladder quality
       counts (the drift engine alarms on non-zero ``failed_cells``),
-    - throughput figures when the result carries :class:`ScanStats`.
+    - throughput figures when the result carries :class:`ScanStats`,
+    - ``macro_retries`` / ``macro_timeouts`` / ``worker_respawns`` —
+      pool-health supervision counts, so the cross-run drift charts
+      flag a fleet whose workers started dying (advisory severity).
     """
     codes = np.asarray(result.codes, dtype=float)
     vgs = np.asarray(result.vgs, dtype=float)
@@ -143,6 +146,9 @@ def scan_scalars(result: "ScanResult") -> dict[str, float]:
     if result.stats is not None:
         scalars["wall_seconds"] = float(result.stats.wall_seconds)
         scalars["cells_per_second"] = float(result.stats.cells_per_second)
+        scalars["macro_retries"] = float(result.stats.macro_retries)
+        scalars["macro_timeouts"] = float(result.stats.macro_timeouts)
+        scalars["worker_respawns"] = float(result.stats.worker_respawns)
     return scalars
 
 

@@ -18,12 +18,20 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, TextIO
+from typing import Any, Iterable, TextIO
 
 from repro.errors import ObservabilityError
-from repro.obs.trace import Span
+from repro.obs.trace import Span, Tracer
 
-__all__ = ["SpanAggregate", "TraceSummary", "load_trace", "summarize_trace"]
+__all__ = [
+    "SpanAggregate",
+    "TraceSummary",
+    "load_trace",
+    "merge_traces",
+    "render_timeline",
+    "summarize_trace",
+    "timeline_dict",
+]
 
 
 def load_trace(source: str | TextIO) -> list[Span]:
@@ -31,17 +39,22 @@ def load_trace(source: str | TextIO) -> list[Span]:
 
     Returns spans in file order (the producer's start order) after
     validating that every ``parent_id`` refers to an earlier span.
-    A file with no spans at all, or one cut off mid-record (a crashed
-    or still-writing producer), raises
-    :class:`~repro.errors.ObservabilityError` naming the problem
+    A missing path, a file with no spans at all, or one cut off
+    mid-record (a crashed or still-writing producer), raises
+    :class:`~repro.errors.ObservabilityError` naming the offending file
     instead of silently yielding a nonsense summary.
     """
     name = getattr(source, "name", None) if hasattr(source, "read") else source
     if hasattr(source, "read"):
         lines = source.read().splitlines()  # type: ignore[union-attr]
     else:
-        with open(source, "r", encoding="utf-8") as fh:  # type: ignore[arg-type]
-            lines = fh.read().splitlines()
+        try:
+            with open(source, "r", encoding="utf-8") as fh:  # type: ignore[arg-type]
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot read trace file {source!s}: {exc}"
+            ) from exc
     spans: list[Span] = []
     seen: set[int] = set()
     last_lineno = max(
@@ -75,6 +88,113 @@ def load_trace(source: str | TextIO) -> list[Span]:
             f"trace{where} contains no spans (empty or blank file)"
         )
     return spans
+
+
+def merge_traces(traces: "Iterable[list[Span]]") -> list[Span]:
+    """Combine several span lists into one re-identified trace.
+
+    Used by ``repro trace a.jsonl b.jsonl ...`` to view a parent trace
+    together with per-worker spool files: each input keeps its internal
+    parent links (re-mapped into one id space), its roots stay roots,
+    and the combined list preserves parent-before-child order so
+    :func:`summarize_trace` and the timeline renderer accept it
+    directly.  Span timestamps are assumed comparable (``perf_counter``
+    is system-wide monotonic on Linux, shared across forked workers).
+    """
+    combined = Tracer()
+    for spans in traces:
+        combined.merge(spans, graft=False)
+    if not combined.spans:
+        raise ObservabilityError("cannot merge empty traces (no spans)")
+    return combined.spans
+
+
+def _span_lane(span: Span) -> str:
+    worker_id = span.attributes.get("worker_id")
+    return "parent" if worker_id is None else f"w{worker_id}"
+
+
+def timeline_dict(spans: list[Span]) -> dict[str, Any]:
+    """Per-worker lane view of a merged trace, JSON-ready.
+
+    Lanes: ``parent`` for spans produced in the parent process, ``w<n>``
+    for spans merged from worker ``n`` (the ``worker_id`` attribute the
+    merge stamps).  Each lane lists its *lane-root* spans — spans whose
+    parent lives in a different lane (or nowhere), i.e. the intervals
+    during which that process was doing the work its lane shows.  Times
+    are seconds relative to the earliest span start.
+    """
+    if not spans:
+        raise ObservabilityError("cannot render a timeline of an empty trace")
+    t0 = min(s.start for s in spans)
+    lane_of = {s.span_id: _span_lane(s) for s in spans}
+    lanes: dict[str, list[dict[str, Any]]] = {}
+    for span in spans:
+        lane = lane_of[span.span_id]
+        parent_lane = (
+            lane_of.get(span.parent_id) if span.parent_id is not None else None
+        )
+        if parent_lane == lane:
+            continue
+        entry: dict[str, Any] = {
+            "name": span.name,
+            "start": span.start - t0,
+            "end": None if span.end is None else span.end - t0,
+            "duration": span.duration,
+        }
+        pid = span.attributes.get("pid")
+        if pid is not None:
+            entry["pid"] = pid
+        lanes.setdefault(lane, []).append(entry)
+
+    def _lane_key(lane: str) -> tuple[int, float]:
+        return (0, 0.0) if lane == "parent" else (1, float(lane[1:]))
+
+    end = max((s.end for s in spans if s.end is not None), default=t0)
+    return {
+        "duration_seconds": end - t0,
+        "lanes": [
+            {"lane": lane, "spans": lanes[lane]}
+            for lane in sorted(lanes, key=_lane_key)
+        ],
+    }
+
+
+def render_timeline(spans: list[Span], width: int = 72) -> str:
+    """Text Gantt of the per-worker lanes (the ``--timeline`` view).
+
+    One row per lane; ``█`` marks instants the lane had a lane-root
+    span open, ``·`` marks idle.  The right-hand column totals the
+    lane's busy seconds and span count — enough to spot a straggler
+    worker or a serialized pool at a glance.
+    """
+    data = timeline_dict(spans)
+    total = data["duration_seconds"]
+    scale = total if total > 0 else 1.0
+    label_width = max(
+        (len(lane["lane"]) for lane in data["lanes"]), default=6
+    )
+    lines = [
+        f"timeline: {total * 1e3:.3f} ms total, "
+        f"{len(data['lanes'])} lanes ({width} cols)"
+    ]
+    for lane in data["lanes"]:
+        cells = [False] * width
+        busy = 0.0
+        for entry in lane["spans"]:
+            if entry["end"] is None:
+                continue
+            busy += entry["end"] - entry["start"]
+            lo = int(entry["start"] / scale * (width - 1))
+            hi = int(entry["end"] / scale * (width - 1))
+            for i in range(lo, min(hi, width - 1) + 1):
+                cells[i] = True
+        bar = "".join("█" if c else "·" for c in cells)
+        lines.append(
+            f"{lane['lane']:<{label_width}} |{bar}| "
+            f"{busy * 1e3:9.3f} ms  {len(lane['spans'])} spans"
+        )
+    return "\n".join(lines)
 
 
 @dataclass

@@ -29,9 +29,10 @@ test suite.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Iterator, TextIO
+from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
 
 from repro.errors import ObservabilityError
 
@@ -96,6 +97,38 @@ class Span:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ObservabilityError(f"malformed span record: {data!r}") from exc
+
+    def to_tuple(self) -> tuple[Any, ...]:
+        """Compact wire form for shipping spans over the worker ack pipe.
+
+        ``(name, span_id, parent_id, start, end, attr_items)`` — plain
+        ints/floats/strings so the tuple pickles small, mirroring the
+        footprint-rectangle payloads the pool already ships.
+        """
+        return (
+            self.name,
+            self.span_id,
+            self.parent_id,
+            self.start,
+            self.end,
+            tuple(self.attributes.items()),
+        )
+
+    @classmethod
+    def from_tuple(cls, data: Sequence[Any]) -> "Span":
+        """Rebuild a span from :meth:`to_tuple` output."""
+        try:
+            name, span_id, parent_id, start, end, attrs = data
+            return cls(
+                name=name,
+                span_id=int(span_id),
+                parent_id=None if parent_id is None else int(parent_id),
+                start=float(start),
+                end=None if end is None else float(end),
+                attributes=dict(attrs),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ObservabilityError(f"malformed span tuple: {data!r}") from exc
 
 
 class _SpanContext:
@@ -208,8 +241,75 @@ class Tracer:
         """Every span as a JSON-ready dict, in start order."""
         return [span.to_dict() for span in self.spans]
 
+    def merge(
+        self,
+        spans: Iterable[Span],
+        *,
+        parent_id: int | None = None,
+        graft: bool = True,
+        worker_id: int | None = None,
+        pid: int | None = None,
+    ) -> list[Span]:
+        """Graft a remote tracer's spans into this trace.
+
+        ``spans`` must be in start order with parents preceding children
+        (the order a :class:`Tracer` records them in).  Each span is
+        re-identified into this tracer's id space, internal parent links
+        are remapped, and former roots are attached under ``parent_id``
+        — or, when ``graft`` is true and ``parent_id`` is ``None``,
+        under the currently open span, so a pool can merge worker spans
+        while the parent's ``macro``/``scan`` span is still open.
+        ``worker_id``/``pid`` are stamped into every merged span's
+        attributes, marking which process produced it.
+
+        Returns the merged (re-identified) spans, in start order.
+        """
+        if parent_id is None and graft and self._stack:
+            parent_id = self._stack[-1].span_id
+        id_map: dict[int, int] = {}
+        merged: list[Span] = []
+        for span in spans:
+            if span.end is None:
+                raise ObservabilityError(
+                    f"cannot merge open span {span.name!r} (remote trace "
+                    "shipped before the span closed)"
+                )
+            if span.parent_id is None:
+                new_parent = parent_id
+            else:
+                try:
+                    new_parent = id_map[span.parent_id]
+                except KeyError:
+                    raise ObservabilityError(
+                        f"span {span.name!r} arrived before its parent "
+                        f"(id {span.parent_id}); merge input must be in "
+                        "start order"
+                    ) from None
+            attributes = dict(span.attributes)
+            if worker_id is not None:
+                attributes["worker_id"] = worker_id
+            if pid is not None:
+                attributes["pid"] = pid
+            new_span = Span(
+                name=span.name,
+                span_id=len(self.spans),
+                parent_id=new_parent,
+                start=span.start,
+                end=span.end,
+                attributes=attributes,
+            )
+            id_map[span.span_id] = new_span.span_id
+            self.spans.append(new_span)
+            merged.append(new_span)
+        return merged
+
     def write_jsonl(self, target: str | TextIO) -> None:
-        """Write the trace as JSON lines to a path or open text file."""
+        """Write the trace as JSON lines to a path or open text file.
+
+        Path targets are written atomically (temp sibling + rename) so a
+        process killed mid-export can never leave a truncated trace file
+        behind for the parent's merge to choke on.
+        """
         if self._stack:
             open_names = ", ".join(s.name for s in self._stack)
             raise ObservabilityError(
@@ -218,10 +318,20 @@ class Tracer:
         if hasattr(target, "write"):
             for span in self.spans:
                 target.write(json.dumps(span.to_dict()) + "\n")  # type: ignore[union-attr]
-        else:
-            with open(target, "w", encoding="utf-8") as fh:  # type: ignore[arg-type]
+            return
+        path = os.fspath(target)  # type: ignore[arg-type]
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
                 for span in self.spans:
                     fh.write(json.dumps(span.to_dict()) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 class _NullAttributes:

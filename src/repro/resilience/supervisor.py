@@ -37,6 +37,7 @@ fault plan so per-process firing counters start from zero.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -46,6 +47,7 @@ import multiprocessing as mp
 from multiprocessing import connection as mp_connection
 
 from repro.errors import ResilienceError, TaskTimeoutError, WorkerCrashError
+from repro.obs.metrics import active_metrics
 from repro.resilience.faults import (
     FaultPlan,
     install_plan,
@@ -53,7 +55,7 @@ from repro.resilience.faults import (
 )
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
-__all__ = ["SupervisedPool", "TaskFailure"]
+__all__ = ["SupervisedPool", "TaskFailure", "current_worker_info"]
 
 #: How long the parent blocks on the outbox per supervision tick; also
 #: bounds how stale a liveness/deadline check can be.
@@ -61,6 +63,42 @@ _TICK_SECONDS = 0.02
 
 #: Join budget for the forced (Ctrl-C / error) shutdown path.
 _FORCED_SHUTDOWN_SECONDS = 2.0
+
+#: Seconds between pool-health heartbeats folded into the ambient
+#: metrics registry while :meth:`SupervisedPool.run` is draining tasks.
+_HEARTBEAT_SECONDS = 0.5
+
+#: ``(worker_id, generation)`` of the current process when it is a
+#: supervised worker; set once at worker startup, before any task runs.
+_WORKER_INFO: tuple[int, int] | None = None  # lint: allow-worker-state
+
+
+def current_worker_info() -> tuple[int, int] | None:
+    """``(worker_id, generation)`` inside a supervised worker, else ``None``.
+
+    Worker bodies use this to stamp telemetry (spans, metric shards)
+    with the slot that produced it, so the parent-side merge can build
+    per-worker lanes without guessing from pids.
+    """
+    return _WORKER_INFO
+
+
+def _read_rss_kb(pid: int) -> float:
+    """Resident set size of ``pid`` in KiB via ``/proc/<pid>/statm``.
+
+    Returns 0.0 where procfs is unavailable (non-Linux) or the process
+    is already gone — health telemetry must never take a pool down.
+    """
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as fh:
+            resident_pages = int(fh.read().split()[1])
+    except (OSError, IndexError, ValueError):
+        return 0.0
+    try:
+        page_kb = os.sysconf("SC_PAGE_SIZE") / 1024.0
+    except (ValueError, OSError):  # pragma: no cover - exotic libc
+        page_kb = 4.0
+    return resident_pages * page_kb
 
 
 @dataclass(frozen=True)
@@ -94,6 +132,8 @@ def _worker_main(
     initializer: Callable[..., None] | None,
     initargs: tuple,
     plan: FaultPlan | None,
+    worker_id: int = 0,
+    generation: int = 0,
 ) -> None:
     """Worker process body: init once, then serve tasks until sentinel.
 
@@ -102,6 +142,8 @@ def _worker_main(
     half-written frame on the wire: the previous result was fully sent
     before the next task was even received.
     """
+    global _WORKER_INFO
+    _WORKER_INFO = (worker_id, generation)  # lint: allow-worker-state
     mark_worker_process()
     # Fork copies the parent's armed plan *with* its firing counters;
     # install a fresh copy so every worker process counts from zero.
@@ -129,15 +171,59 @@ def _worker_main(
 
 
 class _Worker:
-    """Parent-side record of one worker slot."""
+    """Parent-side record of one worker slot, including health tallies."""
 
-    __slots__ = ("process", "conn", "current")
+    __slots__ = (
+        "process",
+        "conn",
+        "current",
+        "worker_id",
+        "generation",
+        "tasks_completed",
+        "busy_seconds",
+        "idle_seconds",
+        "idle_since",
+    )
 
-    def __init__(self, process: mp.process.BaseProcess, conn: Any) -> None:
+    def __init__(
+        self,
+        process: mp.process.BaseProcess,
+        conn: Any,
+        worker_id: int,
+        generation: int,
+    ) -> None:
         self.process = process
         self.conn = conn
         #: ``(task_id, attempt, started_at)`` while busy, else ``None``.
         self.current: tuple[int, int, float] | None = None
+        self.worker_id = worker_id
+        #: Respawn count of this slot; 0 for the original process.
+        self.generation = generation
+        self.tasks_completed = 0
+        self.busy_seconds = 0.0
+        self.idle_seconds = 0.0
+        self.idle_since = time.monotonic()
+
+    def mark_dispatched(self, now: float) -> None:
+        self.idle_seconds += max(0.0, now - self.idle_since)
+
+    def mark_done(self, now: float) -> None:
+        if self.current is not None:
+            self.busy_seconds += max(0.0, now - self.current[2])
+        self.idle_since = now
+
+    def health(self) -> dict[str, Any]:
+        """JSON-ready snapshot of this slot's health tallies."""
+        return {
+            "worker_id": self.worker_id,
+            "pid": self.process.pid,
+            "generation": self.generation,
+            "tasks_completed": self.tasks_completed,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+            "rss_kb": _read_rss_kb(self.process.pid) if self.process.pid else 0.0,
+            "alive": self.process.is_alive(),
+        }
 
 
 class SupervisedPool:
@@ -183,11 +269,16 @@ class SupervisedPool:
         timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
         persistent: bool = False,
+        heartbeat_seconds: float = _HEARTBEAT_SECONDS,
     ) -> None:
         if jobs < 1:
             raise ResilienceError(f"jobs must be >= 1, got {jobs}")
         if timeout is not None and timeout <= 0:
             raise ResilienceError(f"timeout must be positive, got {timeout}")
+        if heartbeat_seconds <= 0:
+            raise ResilienceError(
+                f"heartbeat_seconds must be positive, got {heartbeat_seconds}"
+            )
         self.worker_fn = worker_fn
         self.initializer = initializer
         self.initargs = initargs
@@ -196,15 +287,17 @@ class SupervisedPool:
         self.timeout = timeout
         self.fault_plan = fault_plan
         self.persistent = persistent
+        self.heartbeat_seconds = heartbeat_seconds
         self.retries = 0
         self.timeouts = 0
         self.respawns = 0
         self._ctx = mp.get_context("fork")
         self._workers: list[_Worker] = []
+        self._last_health: list[dict[str, Any]] = []
 
     # -- lifecycle -----------------------------------------------------
 
-    def _spawn(self) -> _Worker:
+    def _spawn(self, worker_id: int, generation: int = 0) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
@@ -214,6 +307,8 @@ class SupervisedPool:
                 self.initializer,
                 self.initargs,
                 self.fault_plan,
+                worker_id,
+                generation,
             ),
             daemon=True,
         )
@@ -221,16 +316,22 @@ class SupervisedPool:
         # The parent's copy of the child end must close so a dead
         # worker reads as EOF instead of a silently idle pipe.
         child_conn.close()
-        return _Worker(process, parent_conn)
+        return _Worker(process, parent_conn, worker_id, generation)
 
-    def _respawn(self, worker_id: int) -> None:
+    def _respawn(self, slot: int) -> None:
         self.respawns += 1
-        old = self._workers[worker_id]
+        old = self._workers[slot]
         try:
             old.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
-        self._workers[worker_id] = self._spawn()
+        fresh = self._spawn(old.worker_id, old.generation + 1)
+        # The slot's health tallies outlive the process: lanes and
+        # gauges are per-slot, and the generation gauge records churn.
+        fresh.tasks_completed = old.tasks_completed
+        fresh.busy_seconds = old.busy_seconds
+        fresh.idle_seconds = old.idle_seconds
+        self._workers[slot] = fresh
 
     def _retire(self, worker: _Worker) -> None:
         """Gracefully stop one worker (sentinel, join, close)."""
@@ -266,8 +367,13 @@ class SupervisedPool:
                 keep.append(worker)
             else:
                 self._retire(worker)
+        used_ids = {worker.worker_id for worker in keep}
+        next_id = 0
         while len(keep) < needed:
-            keep.append(self._spawn())
+            while next_id in used_ids:
+                next_id += 1
+            used_ids.add(next_id)
+            keep.append(self._spawn(next_id))
         self._workers = keep
 
     def close(self) -> None:
@@ -308,6 +414,49 @@ class SupervisedPool:
                 pass
         self._workers = []
 
+    # -- health --------------------------------------------------------
+
+    def worker_health(self) -> list[dict[str, Any]]:
+        """Health snapshot of every current worker slot, in slot order.
+
+        Each entry carries ``worker_id`` / ``pid`` / ``generation`` /
+        ``tasks_completed`` / ``busy_seconds`` / ``idle_seconds`` /
+        ``rss_kb`` / ``alive``.  Persistent pools keep their slots
+        between runs, so tallies accumulate over the pool's lifetime —
+        snapshot around each run to get per-run deltas.  After a
+        throwaway pool retires its workers the terminal snapshot taken
+        at the end of :meth:`run` is returned instead, so post-run
+        telemetry never comes back empty.
+        """
+        if self._workers:
+            return [worker.health() for worker in self._workers]
+        return [dict(entry) for entry in self._last_health]
+
+    def _emit_heartbeat(self, queue_depth: int) -> None:
+        """Fold per-worker health gauges into the ambient registry.
+
+        A no-op unless a caller installed a real registry via
+        :func:`repro.obs.metrics.use_metrics` — the disabled path is one
+        ``enabled`` check, keeping supervision cost flat when nobody is
+        listening.
+        """
+        registry = active_metrics()
+        if not registry.enabled:
+            return
+        registry.counter("pool.heartbeats").inc()
+        registry.gauge("pool.queue_depth").set(queue_depth)
+        registry.gauge("pool.workers").set(len(self._workers))
+        for worker in self._workers:
+            health = worker.health()
+            prefix = f"pool.worker{worker.worker_id}"
+            registry.gauge(f"{prefix}.tasks_completed").set(
+                health["tasks_completed"]
+            )
+            registry.gauge(f"{prefix}.busy_seconds").set(health["busy_seconds"])
+            registry.gauge(f"{prefix}.idle_seconds").set(health["idle_seconds"])
+            registry.gauge(f"{prefix}.rss_kb").set(health["rss_kb"])
+            registry.gauge(f"{prefix}.generation").set(health["generation"])
+
     # -- execution -----------------------------------------------------
 
     def run(
@@ -346,6 +495,7 @@ class SupervisedPool:
                 completed += 1
 
         self._ensure_workers(min(self.jobs, total))
+        last_heartbeat = time.monotonic()
         try:
             while completed < total:
                 now = time.monotonic()
@@ -355,6 +505,7 @@ class SupervisedPool:
                 for worker in self._workers:
                     if pending and worker.current is None and worker.process.is_alive():
                         task_id, attempt = pending.popleft()
+                        worker.mark_dispatched(time.monotonic())
                         worker.current = (task_id, attempt, time.monotonic())
                         try:
                             worker.conn.send((task_id, attempt, tasks[task_id]))
@@ -377,6 +528,8 @@ class SupervisedPool:
                         continue
                     current = worker.current
                     if current is not None and current[:2] == (task_id, attempt):
+                        worker.mark_done(time.monotonic())
+                        worker.tasks_completed += 1
                         worker.current = None
                         if not done[task_id]:
                             if status == "ok":
@@ -392,11 +545,12 @@ class SupervisedPool:
                     # guard keeps a hypothetical stray harmless: its
                     # task was requeued and recomputes identically.
                 now = time.monotonic()
-                for worker_id, worker in enumerate(self._workers):
+                for slot, worker in enumerate(self._workers):
                     current = worker.current
                     if not worker.process.is_alive():
                         exitcode = worker.process.exitcode
-                        self._respawn(worker_id)
+                        worker.mark_done(now)
+                        self._respawn(slot)
                         if current is not None:
                             task_id, attempt, _ = current
                             error = WorkerCrashError(
@@ -416,7 +570,8 @@ class SupervisedPool:
                         if worker.process.is_alive():  # pragma: no cover - stuck
                             worker.process.kill()
                             worker.process.join(0.2)
-                        self._respawn(worker_id)
+                        worker.mark_done(now)
+                        self._respawn(slot)
                         self.timeouts += 1
                         error = TaskTimeoutError(
                             f"task {task_id} exceeded {self.timeout:g} s "
@@ -424,11 +579,18 @@ class SupervisedPool:
                             seconds=self.timeout,
                         )
                         fail(task_id, attempt, error, timed_out=True)
+                if now - last_heartbeat >= self.heartbeat_seconds:
+                    last_heartbeat = now
+                    self._emit_heartbeat(len(pending) + len(delayed))
         except BaseException:
             # Ctrl-C lands here too: tear the pool down within ~2 s so
             # no orphaned workers outlive the scan, then re-raise.
             self._shutdown(forced=True)
             raise
+        # Final heartbeat: the run's terminal health state always lands
+        # in the registry even for runs shorter than one interval.
+        self._emit_heartbeat(0)
+        self._last_health = [worker.health() for worker in self._workers]
         if not self.persistent:
             self._shutdown(forced=False)
         return results

@@ -272,3 +272,49 @@ def test_wafer_interrupt_resume_bit_exact(tmp_path):
         assert (die.x, die.y) == (ref.x, ref.y)
         assert die.mean_capacitance == ref.mean_capacitance
         assert die.sigma_capacitance == ref.sigma_capacitance
+
+
+def test_traced_scan_survives_worker_kill_with_complete_merged_trace(tmp_path):
+    """A worker kill under ``--trace`` loses no spans and no cells.
+
+    Only the winning attempt's spans ship with its ack, so the killed
+    attempt contributes nothing and the respawned worker's retry fills
+    the hole — the merged tree still covers every macro exactly once,
+    and the trace file lands atomically.
+    """
+    from repro.obs import Tracer, load_trace
+
+    reference = ArrayScanner(_array(), None).scan(ScanConfig(force_engine=True))
+
+    tracer = Tracer()
+    config = ScanConfig(
+        jobs=2,
+        force_engine=True,
+        retry=RETRY,
+        faults=FaultPlan([_kill_fault()]),
+        tracer=tracer,
+    )
+    result = ArrayScanner(_array(), None).scan(config)
+
+    np.testing.assert_array_equal(result.codes, reference.codes)
+    np.testing.assert_array_equal(result.vgs, reference.vgs)
+    assert result.stats.worker_respawns >= 1
+
+    # One macro span per macro, each stamped with a worker identity and
+    # parented under the single scan root — no duplicates from the
+    # killed attempt, no gaps from the respawn.
+    spans = tracer.spans
+    scan_spans = [s for s in spans if s.name == "scan"]
+    assert len(scan_spans) == 1
+    macro_spans = [s for s in spans if s.name == "macro"]
+    assert sorted(s.attributes["index"] for s in macro_spans) == [0, 1, 2, 3]
+    assert all(s.parent_id == scan_spans[0].span_id for s in macro_spans)
+    assert all(s.attributes["worker_id"] >= 0 for s in macro_spans)
+    assert all(s.attributes["pid"] > 0 for s in macro_spans)
+    assert all(s.end is not None for s in spans)
+
+    # The export round-trips through the atomic writer.
+    path = tmp_path / "chaos-trace.jsonl"
+    tracer.write_jsonl(path)
+    assert len(load_trace(path)) == len(spans)
+    assert not list(tmp_path.glob("*.tmp.*"))

@@ -73,14 +73,19 @@ class TestSpanCoverage:
             names = [c.name for c in tracer.children(cell)]
             assert names == list(PHASES)
 
-    def test_macro_spans_one_per_macro_with_tier(
+    def test_macro_spans_for_engine_macros_kernel_span_for_the_rest(
         self, bridged_array, structure_8x2
     ):
+        # Tracing no longer forces the per-macro fallback: closed-form
+        # macros ride the batched kernel (one "kernel" span), and only
+        # engine macros get their own macro → cell → phase subtree.
         tracer = Tracer()
         ArrayScanner(bridged_array, structure_8x2).scan(ScanConfig(tracer=tracer))
         macros = [s for s in tracer.spans if s.name == "macro"]
-        assert len(macros) == bridged_array.num_macros
-        assert sorted(m.attributes["tier"] for m in macros) == ["closed-form", "engine"]
+        assert [m.attributes["tier"] for m in macros] == ["engine"]
+        kernels = [s for s in tracer.spans if s.name == "kernel"]
+        assert len(kernels) == 1
+        assert kernels[0].attributes["seconds"] >= 0
 
     def test_cell_spans_carry_code_and_address(self, bridged_array, structure_8x2):
         tracer = Tracer()
@@ -91,14 +96,41 @@ class TestSpanCoverage:
             row, col = cell.attributes["row"], cell.attributes["col"]
             assert cell.attributes["code"] == int(result.codes[row, col])
 
-    def test_parallel_scan_records_macro_spans(self, tech, structure_8x2):
+    def test_parallel_scan_merges_worker_slab_spans(self, tech, structure_8x2):
+        # A clean parallel scan stays on the kernel fast path; workers
+        # ship their "slab" spans back and the merge stamps each with
+        # the producing worker's identity under the open scan span.
         arr = EDRAMArray(16, 4, tech=tech, macro_cols=2, macro_rows=8)
         tracer = Tracer()
         ArrayScanner(arr, structure_8x2).scan(ScanConfig(jobs=2, tracer=tracer))
+        scan_span = next(s for s in tracer.spans if s.name == "scan")
+        slabs = [s for s in tracer.spans if s.name == "slab"]
+        assert slabs, "worker slab spans must cross the process boundary"
+        for slab in slabs:
+            assert slab.parent_id == scan_span.span_id
+            assert slab.attributes["worker_id"] >= 0
+            assert slab.attributes["pid"] > 0
+        covered = sum(s.attributes["cells"] for s in slabs)
+        assert covered == arr.rows * arr.cols
+
+    def test_parallel_engine_scan_merges_worker_macro_trees(
+        self, tech, structure_8x2
+    ):
+        # force_engine routes through the per-macro fan-out; each
+        # worker's full macro → cell → phase subtree must arrive intact.
+        arr = EDRAMArray(16, 4, tech=tech, macro_cols=2, macro_rows=8)
+        tracer = Tracer()
+        ArrayScanner(arr, structure_8x2).scan(
+            ScanConfig(jobs=2, force_engine=True, tracer=tracer)
+        )
         macros = [s for s in tracer.spans if s.name == "macro"]
         assert len(macros) == arr.num_macros
-        # Worker wall time crosses the process boundary as an attribute.
-        assert all(m.attributes["worker_seconds"] >= 0 for m in macros)
+        scan_span = next(s for s in tracer.spans if s.name == "scan")
+        for macro in macros:
+            assert macro.parent_id == scan_span.span_id
+            assert macro.attributes["worker_id"] >= 0
+            children = [c.name for c in tracer.children(macro)]
+            assert children.count("cell") == 16
 
     def test_child_intervals_inside_parent(self, bridged_array, structure_8x2):
         tracer = Tracer()

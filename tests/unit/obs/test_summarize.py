@@ -146,3 +146,94 @@ class TestSummarize:
             assert column in table
         for row in summary.to_dict()["spans"]:
             assert {"p50_seconds", "p95_seconds", "p99_seconds"} <= set(row)
+
+
+def distributed_tracer():
+    """Parent scan span with two merged worker subtrees."""
+    parent = Tracer(clock=make_clock())
+    with parent.span("scan"):
+        for worker_id in (0, 1):
+            worker = Tracer(clock=make_clock())
+            with worker.span("slab", tile_row_lo=worker_id):
+                pass
+            parent.merge(worker.spans, worker_id=worker_id, pid=1000 + worker_id)
+    return parent
+
+
+class TestMergeTraces:
+    def test_merges_multiple_traces_into_one_list(self):
+        from repro.obs import merge_traces
+
+        first, second = sample_tracer(), sample_tracer()
+        merged = merge_traces([first.spans, second.spans])
+        assert len(merged) == len(first.spans) + len(second.spans)
+        assert [s.span_id for s in merged] == list(range(len(merged)))
+        # Both scan roots stay roots: merging files must not invent
+        # parentage between unrelated processes.
+        assert sum(1 for s in merged if s.parent_id is None) == 2
+
+    def test_merged_traces_summarize(self):
+        from repro.obs import merge_traces
+
+        merged = merge_traces([sample_tracer().spans, sample_tracer().spans])
+        summary = summarize_trace(merged)
+        counts = {a.name: a.count for a in summary.aggregates}
+        assert counts == {"scan": 2, "macro": 4, "cell": 4}
+
+    def test_empty_input_raises(self):
+        from repro.obs import merge_traces
+
+        with pytest.raises(ObservabilityError, match="no spans"):
+            merge_traces([])
+
+    def test_missing_file_error_names_path(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(ObservabilityError, match="nope.jsonl"):
+            load_trace(missing)
+
+
+class TestTimeline:
+    def test_lanes_split_by_worker_id(self):
+        from repro.obs import timeline_dict
+
+        view = timeline_dict(distributed_tracer().spans)
+        lanes = [lane["lane"] for lane in view["lanes"]]
+        assert lanes == ["parent", "w0", "w1"]
+
+    def test_parent_lane_first_and_times_relative(self):
+        from repro.obs import timeline_dict
+
+        view = timeline_dict(distributed_tracer().spans)
+        parent_lane = view["lanes"][0]
+        assert parent_lane["lane"] == "parent"
+        starts = [s["start"] for lane in view["lanes"] for s in lane["spans"]]
+        assert min(starts) == 0.0
+        assert view["duration_seconds"] > 0.0
+
+    def test_worker_spans_carry_pid(self):
+        from repro.obs import timeline_dict
+
+        view = timeline_dict(distributed_tracer().spans)
+        w0 = next(lane for lane in view["lanes"] if lane["lane"] == "w0")
+        assert all(s["pid"] == 1000 for s in w0["spans"])
+
+    def test_render_timeline_text_gantt(self):
+        from repro.obs import render_timeline
+
+        text = render_timeline(distributed_tracer().spans)
+        assert "parent" in text
+        assert "w0" in text and "w1" in text
+        assert "█" in text
+
+    def test_render_timeline_serial_trace_single_lane(self):
+        from repro.obs import render_timeline
+
+        text = render_timeline(sample_tracer().spans)
+        assert "parent" in text
+        assert "w0" not in text
+
+    def test_timeline_empty_raises(self):
+        from repro.obs import timeline_dict
+
+        with pytest.raises(ObservabilityError):
+            timeline_dict([])

@@ -196,3 +196,125 @@ class TestNullTracer:
     def test_enabled_flags(self):
         assert Tracer().enabled is True
         assert NULL_TRACER.enabled is False
+
+
+class TestWireCodec:
+    def test_to_tuple_from_tuple_round_trip(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("scan", rows=4):
+            with tracer.span("macro", index=0):
+                pass
+        for span in tracer.spans:
+            clone = Span.from_tuple(span.to_tuple())
+            assert clone.to_dict() == span.to_dict()
+
+    def test_from_tuple_malformed_raises(self):
+        with pytest.raises(ObservabilityError, match="span tuple"):
+            Span.from_tuple(("only", "three", 3))
+
+
+class TestMerge:
+    def _worker_spans(self):
+        worker = Tracer(clock=make_clock())
+        with worker.span("macro", index=7):
+            with worker.span("cell", row=0):
+                pass
+        return worker.spans
+
+    def test_merge_reassigns_ids_and_remaps_parents(self):
+        parent = Tracer(clock=make_clock())
+        with parent.span("scan"):
+            pass
+        merged = parent.merge(self._worker_spans())
+        assert [s.span_id for s in parent.spans] == [0, 1, 2]
+        macro, cell = merged
+        assert macro.name == "macro" and cell.name == "cell"
+        assert cell.parent_id == macro.span_id
+
+    def test_merge_grafts_under_open_span(self):
+        parent = Tracer(clock=make_clock())
+        with parent.span("scan"):
+            merged = parent.merge(self._worker_spans())
+            assert merged[0].parent_id == parent.spans[0].span_id
+
+    def test_merge_without_graft_keeps_roots(self):
+        parent = Tracer(clock=make_clock())
+        with parent.span("scan"):
+            merged = parent.merge(self._worker_spans(), graft=False)
+        assert merged[0].parent_id is None
+
+    def test_merge_stamps_worker_identity(self):
+        parent = Tracer(clock=make_clock())
+        merged = parent.merge(self._worker_spans(), worker_id=3, pid=4242)
+        for span in merged:
+            assert span.attributes["worker_id"] == 3
+            assert span.attributes["pid"] == 4242
+
+    def test_merge_does_not_mutate_source_spans(self):
+        source = self._worker_spans()
+        Tracer(clock=make_clock()).merge(source, worker_id=1, pid=99)
+        assert "worker_id" not in source[0].attributes
+        assert source[0].span_id == 0
+
+    def test_merge_rejects_open_spans(self):
+        worker = Tracer(clock=make_clock())
+        worker.span("macro").__enter__()
+        parent = Tracer()
+        with pytest.raises(ObservabilityError, match="before the span closed"):
+            parent.merge(list(worker.spans))
+
+    def test_merge_rejects_child_before_parent(self):
+        orphan = Span(name="cell", span_id=5, parent_id=17, start=0.0, end=1.0)
+        with pytest.raises(ObservabilityError, match="parent"):
+            Tracer().merge([orphan])
+
+    def test_merged_tree_walks_and_summarizes(self):
+        from repro.obs import summarize_trace
+
+        parent = Tracer(clock=make_clock())
+        with parent.span("scan"):
+            for worker_id in (0, 1):
+                parent.merge(self._worker_spans(), worker_id=worker_id, pid=100 + worker_id)
+        summary = summarize_trace(parent.spans)
+        counts = {a.name: a.count for a in summary.aggregates}
+        assert counts["macro"] == 2
+        assert counts["cell"] == 2
+
+
+class TestAtomicWrite:
+    def test_write_jsonl_replaces_atomically(self, tmp_path, monkeypatch):
+        import os as _os
+
+        target = tmp_path / "trace.jsonl"
+        target.write_text("stale\n")
+        replaced = []
+        real_replace = _os.replace
+
+        def spying_replace(src, dst):
+            replaced.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.obs.trace.os.replace", spying_replace)
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("scan"):
+            pass
+        tracer.write_jsonl(target)
+        assert replaced and replaced[0][1] == str(target)
+        assert ".tmp." in replaced[0][0]
+        lines = target.read_text().splitlines()
+        assert json.loads(lines[0])["name"] == "scan"
+
+    def test_write_failure_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "trace.jsonl"
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.obs.trace.os.replace", exploding_replace)
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("scan"):
+            pass
+        with pytest.raises(OSError):
+            tracer.write_jsonl(target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []

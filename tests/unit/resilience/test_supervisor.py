@@ -126,3 +126,75 @@ def test_no_workers_left_behind_after_run():
     pool = SupervisedPool(_work, jobs=3, retry=NO_RETRY)
     pool.run(list(range(5)))
     assert pool._workers == []
+
+
+def _report_identity(payload, attempt):
+    from repro.resilience.supervisor import current_worker_info
+
+    fault_point("test.work", task=payload, attempt=attempt)
+    return current_worker_info()
+
+
+class TestWorkerHealth:
+    def test_worker_health_shape(self):
+        pool = SupervisedPool(_work, jobs=2, retry=NO_RETRY)
+        pool.run([0, 1, 2, 3])
+        health = pool.worker_health()
+        assert len(health) == 2
+        assert {h["worker_id"] for h in health} == {0, 1}
+        for h in health:
+            assert h["generation"] == 0
+            assert h["busy_seconds"] >= 0.0
+            assert h["idle_seconds"] >= 0.0
+            assert h["pid"] is None or isinstance(h["pid"], int)
+        assert sum(h["tasks_completed"] for h in health) == 4
+
+    def test_workers_see_their_own_identity(self):
+        pool = SupervisedPool(_report_identity, jobs=2, retry=NO_RETRY)
+        infos = pool.run([0, 1, 2, 3])
+        worker_ids = {info[0] for info in infos}
+        assert worker_ids <= {0, 1}
+        for worker_id, generation in infos:
+            assert generation == 0
+
+    def test_respawn_bumps_generation_and_keeps_worker_id(self):
+        plan = FaultPlan(
+            [Fault("test.work", kind="kill", match={"task": 0, "attempt": 0})]
+        )
+        pool = SupervisedPool(_work, jobs=1, retry=FAST_RETRY, fault_plan=plan)
+        assert pool.run([0, 1]) == [0, 10]
+        health = pool.worker_health()
+        assert len(health) == 1
+        assert health[0]["worker_id"] == 0
+        assert health[0]["generation"] == 1
+        # Tallies survive the respawn: both tasks count.
+        assert health[0]["tasks_completed"] == 2
+
+    def test_heartbeats_land_in_ambient_registry(self):
+        from repro.obs import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry()
+        pool = SupervisedPool(_work, jobs=2, retry=NO_RETRY)
+        with use_metrics(registry):
+            pool.run(list(range(6)))
+        view = registry.to_dict()
+        assert view["pool.heartbeats"]["value"] >= 1
+        assert view["pool.workers"]["value"] == 2.0
+        assert view["pool.queue_depth"]["kind"] == "gauge"
+        for worker_id in (0, 1):
+            for field in ("tasks_completed", "busy_seconds", "idle_seconds",
+                          "rss_kb", "generation"):
+                assert f"pool.worker{worker_id}.{field}" in view
+        total = sum(
+            view[f"pool.worker{w}.tasks_completed"]["value"] for w in (0, 1)
+        )
+        assert total == 6.0
+
+    def test_no_registry_means_no_heartbeat_cost(self):
+        # Without an ambient registry the pool must not create one.
+        pool = SupervisedPool(_work, jobs=1, retry=NO_RETRY)
+        assert pool.run([0]) == [0]
+
+    def test_heartbeat_seconds_validation(self):
+        with pytest.raises(ResilienceError):
+            SupervisedPool(_work, jobs=1, heartbeat_seconds=0.0)

@@ -115,7 +115,8 @@ def test_trace_command_json(tmp_path, capsys):
     assert main(["trace", str(trace_path), "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["total_spans"] >= 1
-    assert {row["name"] for row in payload["spans"]} >= {"scan", "macro"}
+    # A healthy traced scan stays on the batched-kernel fast path.
+    assert {row["name"] for row in payload["spans"]} >= {"scan", "kernel"}
 
 
 def test_diagnose_command_json(capsys):
@@ -419,3 +420,56 @@ def test_diagnose_command_per_technology(capsys):
 def test_wafer_command_per_technology(capsys):
     assert main(["wafer", "--diameter", "3", "--tech", "1t"]) == 0
     assert "wafer mean" in capsys.readouterr().out
+
+
+def _write_parallel_trace(tmp_path, name="trace-par.jsonl", jobs=2):
+    trace_path = tmp_path / name
+    assert main([
+        "scan", "--rows", "8", "--cols", "4", "--macro-rows", "4",
+        "--healthy", "--jobs", str(jobs), "--trace", str(trace_path),
+    ]) == 0
+    return trace_path
+
+
+def test_trace_command_merges_multiple_paths(tmp_path, capsys):
+    import json
+
+    first = _write_parallel_trace(tmp_path, "a.jsonl")
+    second = _write_parallel_trace(tmp_path, "b.jsonl")
+    capsys.readouterr()
+    assert main(["trace", str(first), str(second), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = {row["name"]: row["count"] for row in payload["spans"]}
+    assert names["scan"] == 2  # one root per merged file
+
+
+def test_trace_command_missing_path_names_file(tmp_path, capsys):
+    from repro.errors import ObservabilityError
+
+    present = _write_parallel_trace(tmp_path)
+    capsys.readouterr()
+    with pytest.raises(ObservabilityError, match="absent.jsonl"):
+        main(["trace", str(present), str(tmp_path / "absent.jsonl")])
+
+
+def test_trace_timeline_text(tmp_path, capsys):
+    trace_path = _write_parallel_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["trace", str(trace_path), "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "parent" in out
+    # Worker lanes appear because the parallel scan merged worker spans.
+    assert "w0" in out or "w1" in out
+
+
+def test_trace_timeline_json(tmp_path, capsys):
+    import json
+
+    trace_path = _write_parallel_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["trace", str(trace_path), "--timeline", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    lanes = {lane["lane"] for lane in payload["lanes"]}
+    assert "parent" in lanes
+    assert any(lane.startswith("w") for lane in lanes)
+    assert payload["duration_seconds"] > 0.0
