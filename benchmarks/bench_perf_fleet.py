@@ -1,0 +1,139 @@
+"""Fleet orchestration overhead: 2-shard supervised run vs one process.
+
+The fleet exists for fault tolerance, not speed — but fault tolerance
+must not tax the healthy path.  This gate measures the full wall-clock
+of a 2-shard local fleet (orchestrator + supervised worker
+subprocesses + leases + throttled checkpoints + per-shard JSONL
+progress) against the same wafer measured by a plain in-process
+:meth:`WaferModel.measure_wafer`, and requires the fleet to stay
+within **1.25×** of the single-process wall.
+
+The wafer is sized so measurement dominates: each worker subprocess
+pays a fresh interpreter + import (~half a second) that a toy wafer
+would never amortize, and on a single-core runner the two shards gain
+nothing from parallelism — the budget must hold even there.  Both
+sides take the best of up to ``ATTEMPTS`` runs, because a loaded
+machine inflates any single wall-clock reading.
+
+The run also pins correctness while it's here: the merged lot's
+``die_means`` must be bit-identical to the single-process wafer
+report's means.  Results append to the ``BENCH_scan.json`` history as
+``kind="fleet_overhead"`` so ``check_bench_history`` can chart the
+orchestration tax across commits.
+"""
+
+import gc
+import shutil
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+from bench_perf_scan import _append_history, _git_rev
+from conftest import report
+
+from repro.fleet import FleetOrchestrator, merge_lot
+from repro.wafer import WaferModel
+
+#: Wafer width in dies — large enough that per-die measurement, not
+#: worker interpreter start-up, dominates both sides of the ratio.
+DIAMETER = 121
+SEED = 11
+SHARDS = 2
+
+#: Fleet wall-clock budget as a multiple of the single-process wall.
+BUDGET = 1.25
+
+#: Best-of attempts; stop early once the gate passes.
+ATTEMPTS = 3
+
+
+def _measure_wafer_seconds():
+    """One single-process wafer measurement, timed."""
+    model = WaferModel(diameter_dies=DIAMETER, seed=SEED)
+    gc.collect()
+    started = time.perf_counter()
+    wafer_report = model.measure_wafer()
+    seconds = time.perf_counter() - started
+    means = np.array([die.mean_capacitance for die in wafer_report.dies])
+    return seconds, means
+
+
+def _measure_fleet_seconds(root: Path):
+    """One 2-shard fleet run + merge, timed (run only — merge checked)."""
+    orchestrator = FleetOrchestrator(
+        root,
+        wafer={"diameter_dies": DIAMETER, "seed": SEED},
+        shards=SHARDS,
+        poll_seconds=0.02,
+    )
+    gc.collect()
+    started = time.perf_counter()
+    fleet_report = orchestrator.run()
+    seconds = time.perf_counter() - started
+    assert fleet_report.state == "healthy", (
+        f"fleet finished {fleet_report.state!r}: "
+        f"{[s.to_dict() for s in fleet_report.shards]}"
+    )
+    lot = merge_lot(root)
+    return seconds, lot
+
+
+def bench_perf_fleet_overhead():
+    """2-shard local fleet must stay within 1.25× of one process."""
+    best_wafer = float("inf")
+    best_fleet = float("inf")
+    wafer_means = None
+    lot = None
+    attempts = 0
+    for attempt in range(ATTEMPTS):
+        attempts = attempt + 1
+        seconds, means = _measure_wafer_seconds()
+        best_wafer = min(best_wafer, seconds)
+        if wafer_means is None:
+            wafer_means = means
+        root = Path(tempfile.mkdtemp(prefix="bench-fleet-")) / "fleet"
+        try:
+            seconds, lot = _measure_fleet_seconds(root)
+            best_fleet = min(best_fleet, seconds)
+            measured = ~np.isnan(lot.die_means)
+            assert measured.all(), "merged lot has unmeasured dies"
+            assert np.array_equal(lot.die_means, wafer_means), (
+                "merged lot die_means differ from the single-process wafer"
+            )
+        finally:
+            shutil.rmtree(root.parent, ignore_errors=True)
+        if best_fleet <= BUDGET * best_wafer:
+            break
+
+    ratio = best_fleet / best_wafer
+    dies = int(lot.total_dies)
+    entry = {
+        "kind": "fleet_overhead",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
+        "diameter_dies": DIAMETER,
+        "dies": dies,
+        "shards": SHARDS,
+        "wafer_seconds": best_wafer,
+        "fleet_seconds": best_fleet,
+        "fleet_overhead_ratio": ratio,
+    }
+    _append_history(entry)
+
+    report(
+        "fleet overhead (2 shards vs 1 process)",
+        "\n".join([
+            f"wafer ({dies} dies) : {best_wafer:8.2f} s  (single process)",
+            f"fleet x{SHARDS}           : {best_fleet:8.2f} s  (supervised "
+            "workers)",
+            f"overhead           : {ratio:8.2f}x  (budget {BUDGET:.2f}x, "
+            f"{attempts} attempt(s))",
+        ]),
+    )
+    assert ratio <= BUDGET, (
+        f"2-shard fleet cost {ratio:.2f}x the single-process wafer "
+        f"({best_fleet:.2f}s vs {best_wafer:.2f}s over {attempts} attempts; "
+        f"budget {BUDGET:.2f}x)"
+    )

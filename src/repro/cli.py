@@ -12,6 +12,12 @@ Exposes the library's main flows without writing Python:
 - ``python -m repro trace``    — summarize a trace written by ``--trace``
 - ``python -m repro lint``     — static ERC / parameter / unit analysis
 - ``python -m repro wafer``    — wafer-level monitoring demo
+- ``python -m repro fleet``    — fault-tolerant sharded wafer runs:
+  ``run`` supervises die-range shard subprocesses (lease heartbeats,
+  checkpoint/resume respawns, bounded retries), ``status`` shows live
+  shard health, ``merge`` combines shard results into a crash-safe
+  lot artifact; exit codes distinguish healthy (0), degraded (3) and
+  failed (1) lots
 - ``python -m repro runs``     — read the run ledger written by
   ``--record``: ``list``/``show`` browse manifests, ``diff`` compares
   two runs (config + scalars + per-cell bitmap delta), ``check`` runs
@@ -575,6 +581,119 @@ def cmd_wafer(args) -> int:
     return 0
 
 
+def cmd_fleet_run(args) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import FleetOrchestrator
+    from repro.resilience.retry import RetryPolicy
+
+    try:
+        retry = RetryPolicy(max_attempts=max(1, args.retries + 1))
+        orchestrator = FleetOrchestrator(
+            args.root,
+            wafer={
+                "diameter_dies": args.diameter,
+                "seed": args.seed,
+                "technology": args.tech,
+            },
+            shards=args.shards,
+            retry=retry,
+            heartbeat_timeout=args.heartbeat_timeout,
+            label=args.label,
+        )
+        report = orchestrator.run()
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps({
+            "state": report.state,
+            "wall_seconds": report.wall_seconds,
+            "respawns": report.respawns,
+            "shards": [s.to_dict() for s in report.shards],
+        }, indent=2))
+    else:
+        print(f"fleet {report.state} in {report.wall_seconds:.1f} s "
+              f"({report.respawns} respawn(s))")
+        for shard in report.shards:
+            print(f"  shard {shard.shard_id}: dies "
+                  f"[{shard.start},{shard.stop}) {shard.state} "
+                  f"after {shard.attempts} attempt(s)"
+                  + (f", run {shard.run_id}" if shard.run_id else ""))
+        if report.state != "healthy":
+            print("merge will mark the failed die range(s) FAILED",
+                  file=sys.stderr)
+    return report.exit_code
+
+
+def cmd_fleet_status(args) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import fleet_exit_code, fleet_state
+
+    try:
+        state = fleet_state(args.root)
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(state, indent=2))
+        return 0
+    print(f"fleet at {args.root}: {state['state']} "
+          f"({state['shards']} shard(s), {state['total_dies']} dies)")
+    leases = state.get("leases", {})
+    for shard in state.get("shard_status", []):
+        key = f"s{shard['shard_id']:02d}"
+        lease = leases.get(key)
+        live = ""
+        if lease is not None:
+            live = (f" — lease {lease['state']}, pid {lease['pid']}, "
+                    f"{lease['dies_done']} dies done, heartbeat "
+                    f"{lease['heartbeat_age']:.1f} s ago")
+        lo, hi = shard["die_range"]
+        print(f"  shard {shard['shard_id']}: dies [{lo},{hi}) "
+              f"{shard['state']} (attempts {shard['attempts']}){live}")
+    if state["state"] == "running":
+        return 0
+    return fleet_exit_code(state["state"])
+
+
+def cmd_fleet_merge(args) -> int:
+    from repro.errors import FleetError, LedgerError
+    from repro.fleet import merge_lot
+
+    ledger = None
+    if args.record is not None:
+        from repro.obs import RunLedger
+
+        ledger = RunLedger(args.record)
+    try:
+        lot = merge_lot(args.root, ledger=ledger, label=args.label)
+    except (FleetError, LedgerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps({
+            "state": lot.state,
+            "total_dies": lot.total_dies,
+            "failed_ranges": [list(r) for r in lot.failed_ranges],
+            "shard_runs": lot.shard_runs,
+            "scalars": lot.scalars,
+            "run_id": lot.run_id,
+        }, indent=2))
+    else:
+        print(f"lot {lot.state}: {lot.total_dies} dies, "
+              f"{int(lot.scalars['failed_dies'])} failed")
+        for name in ("cap_mean_fF", "radial_centre_fF", "radial_drop_fF",
+                     "zone_centre_fF", "zone_mid_fF", "zone_edge_fF"):
+            if name in lot.scalars:
+                print(f"  {name}: {lot.scalars[name]:.3f}")
+        for lo, hi in lot.failed_ranges:
+            print(f"  dies [{lo},{hi}) FAILED (shard exhausted retries)",
+                  file=sys.stderr)
+        if lot.run_id:
+            print(f"recorded as {lot.run_id} in {args.record}")
+    return lot.exit_code
+
+
 def cmd_tech_list(args) -> int:
     from repro.technologies import get as get_technology
     from repro.technologies import names
@@ -841,6 +960,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diameter", type=int, default=7, help="wafer width in dies")
     p.set_defaults(func=cmd_wafer)
 
+    p = sub.add_parser("fleet",
+                       help="fault-tolerant sharded wafer runs "
+                            "(supervised subprocesses + crash-safe merge)")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    fleet_root = argparse.ArgumentParser(add_help=False)
+    fleet_root.add_argument("--root", default=".repro-fleet",
+                            help="fleet directory (default .repro-fleet)")
+
+    q = fleet_sub.add_parser("run", parents=[fleet_root, seed, fmt, tech],
+                             help="run one wafer as supervised die-range "
+                                  "shards (exit 0 healthy / 3 degraded / "
+                                  "1 failed)")
+    q.add_argument("--diameter", type=int, default=7,
+                   help="wafer width in dies")
+    q.add_argument("--shards", type=int, default=2,
+                   help="die-range shards to split the wafer into")
+    q.add_argument("--retries", type=int, default=2,
+                   help="respawns per shard after its first death "
+                        "(default 2)")
+    q.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                   help="seconds without a lease heartbeat before a "
+                        "worker is declared wedged and killed")
+    q.add_argument("--label", default="", help="label recorded in fleet.json")
+    q.set_defaults(func=cmd_fleet_run)
+
+    q = fleet_sub.add_parser("status", parents=[fleet_root, fmt],
+                             help="show fleet + per-shard lease state")
+    q.set_defaults(func=cmd_fleet_status)
+
+    q = fleet_sub.add_parser("merge", parents=[fleet_root, fmt],
+                             help="merge shard results into the lot "
+                                  "artifact (exit 0 healthy / 3 degraded "
+                                  "/ 1 failed)")
+    q.add_argument("--record", nargs="?", const=_DEFAULT_LEDGER_DIR,
+                   metavar="DIR",
+                   help="record a kind=lot manifest into this run ledger "
+                        f"(default directory {_DEFAULT_LEDGER_DIR})")
+    q.add_argument("--label", default="", help="manifest label")
+    q.set_defaults(func=cmd_fleet_merge)
+
     p = sub.add_parser("tech", help="inspect cell-technology backends")
     tech_sub = p.add_subparsers(dest="tech_command", required=True)
     q = tech_sub.add_parser("list", parents=[fmt],
@@ -853,7 +1012,7 @@ def build_parser() -> argparse.ArgumentParser:
     ledger_dir.add_argument("--dir", default=_DEFAULT_LEDGER_DIR,
                             help="ledger directory "
                                  f"(default {_DEFAULT_LEDGER_DIR})")
-    kinds = ("scan", "wafer", "diagnosis")
+    kinds = ("scan", "wafer", "diagnosis", "shard", "lot")
 
     q = runs_sub.add_parser("list", parents=[ledger_dir, fmt],
                             help="list recorded runs")

@@ -133,6 +133,11 @@ class CheckpointError(ResilienceError):
     mismatch against the resuming configuration, corrupted file, ...)."""
 
 
+class FleetError(ResilienceError):
+    """The fleet orchestrator cannot proceed (bad shard partition,
+    shard fingerprint mismatch, unmergeable lot, corrupt lease, ...)."""
+
+
 class CalibrationError(ReproError):
     """An abacus or specification window cannot be built or inverted."""
 

@@ -1,0 +1,338 @@
+"""Crash-safe lot merge: shard results → one lot-level artifact.
+
+The merge is the fleet's trust boundary.  Shards may have died, been
+respawned, or failed outright; the merge must still produce a lot whose
+measured planes are **bit-exact** with an unsharded run, whose missing
+coverage is explicit (FAILED die quality, never silent gaps), and whose
+provenance is consistent (every shard measured under the same config
+fingerprint, or the merge refuses).  Concretely:
+
+- the shard partition recorded in ``fleet.json`` is re-validated
+  through the FLT lint rules — a hand-edited or corrupt plan with an
+  overlap or gap is refused before any plane is touched,
+- every shard result's config fingerprint (and wafer parameters) must
+  equal the fleet's — mixing results from different configurations is
+  a :class:`~repro.errors.FleetError`, not a quiet wrong answer,
+- writes are atomic (tmp + rename) and the merge is **idempotent**:
+  re-running it over the same shard results produces byte-identical
+  ``lot.npz`` / ``lot.json`` (no timestamps inside — provenance time
+  lives in the run-ledger manifest, not the artifact),
+- lot scalars (capacitance statistics, radial regression, zone ring
+  means, failure coverage) feed the EWMA/CUSUM drift engine under
+  ``kind="lot"`` so cross-fab / cross-lot drift charts include the
+  spatial signatures the paper's process-monitoring use case needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FleetError
+from repro.wafer import DieQuality
+
+__all__ = ["LotMerge", "merge_lot", "lot_scalars"]
+
+#: ``lot.npz`` / ``lot.json`` format version.
+_LOT_FORMAT = 1
+
+
+@dataclass
+class LotMerge:
+    """The merged lot: full wafer planes plus provenance and health."""
+
+    state: str  #: healthy / degraded / failed
+    total_dies: int
+    die_means: np.ndarray
+    die_sigmas: np.ndarray
+    die_vgs: np.ndarray
+    die_codes: np.ndarray
+    die_cell_quality: np.ndarray
+    die_quality: np.ndarray
+    scalars: dict[str, float] = field(default_factory=dict)
+    shard_runs: dict[str, str | None] = field(default_factory=dict)
+    failed_ranges: list[tuple[int, int]] = field(default_factory=list)
+    run_id: str | None = None
+
+    @property
+    def exit_code(self) -> int:
+        from repro.fleet.orchestrator import fleet_exit_code
+
+        return fleet_exit_code(self.state)
+
+
+def _lint_partition(partition: list[list[int]], total_dies: int) -> None:
+    """Refuse a recorded partition the FLT lint family rejects."""
+    from repro.lint.analyzer import lint_project
+
+    report = lint_project(
+        only=("FLT001", "FLT002"),
+        context={"ranges": partition, "total_dies": total_dies},
+    )
+    errors = [d for d in report.diagnostics if d.severity.name == "ERROR"]
+    if errors:
+        detail = "; ".join(d.message for d in errors)
+        raise FleetError(
+            f"recorded shard partition fails FLT validation: {detail}"
+        )
+
+
+def _radial_geometry(wafer_kwargs: dict[str, Any]) -> list[tuple[int, int, float]]:
+    """Die sites (x, y, radius fraction) from the recorded wafer params.
+
+    Geometry only — no fabrication, no RNG draws — so reconstructing it
+    at merge time cannot perturb determinism.
+    """
+    from repro.wafer import WaferModel
+
+    return WaferModel(**wafer_kwargs).sites()
+
+
+#: Concentric radius-fraction rings behind the zone scalars.
+_ZONES = (("centre", 0.0, 1 / 3), ("mid", 1 / 3, 2 / 3), ("edge", 2 / 3, 1.0))
+
+
+def lot_scalars(
+    sites: list[tuple[int, int, float]],
+    die_means: np.ndarray,
+    die_sigmas: np.ndarray,
+    die_quality: np.ndarray,
+    diameter: int,
+    respawns: int = 0,
+) -> dict[str, float]:
+    """Lot-level drift scalars, including radial/zone spatial signatures.
+
+    Failed (unmeasured) dies are excluded from the physics statistics —
+    their NaN placeholders must not poison the charts — and surface
+    instead through ``failed_dies`` / ``measured_fraction``, which the
+    drift engine alarms on directly.  Zone rings with no measured die
+    contribute no scalar (an absent key, which the drift engine skips,
+    rather than a NaN it would chart).
+    """
+    from repro.units import to_fF
+    from repro.wafer import DieSite, WaferReport
+
+    good = die_quality == int(DieQuality.GOOD)
+    measured = [
+        DieSite(x, y, r, float(die_means[i]), float(die_sigmas[i]))
+        for i, (x, y, r) in enumerate(sites)
+        if good[i]
+    ]
+    total = len(sites)
+    scalars: dict[str, float] = {
+        "dies": float(total),
+        "failed_dies": float(total - len(measured)),
+        "measured_fraction": len(measured) / total if total else 0.0,
+        "shard_respawns": float(respawns),
+    }
+    if not measured:
+        return scalars
+    report = WaferReport(dies=measured, diameter=diameter)
+    means = [d.mean_capacitance for d in measured]
+    a, b = report.radial_profile()
+    scalars.update({
+        "cap_mean_fF": float(to_fF(report.wafer_mean)),
+        "cap_sigma_fF": float(to_fF(np.std(means))),
+        "die_sigma_mean_fF": float(to_fF(
+            np.mean([d.sigma_capacitance for d in measured])
+        )),
+        "radial_centre_fF": float(to_fF(a)),
+        "radial_drop_fF": float(to_fF(-b)),
+    })
+    for name, lo, hi in _ZONES:
+        ring = [
+            d.mean_capacitance for d in measured
+            if lo <= d.radius_fraction < hi
+            or (hi == 1.0 and d.radius_fraction == 1.0)
+        ]
+        if ring:
+            scalars[f"zone_{name}_fF"] = float(to_fF(np.mean(ring)))
+            scalars[f"zone_{name}_dies"] = float(len(ring))
+    return scalars
+
+
+def _load_shard_result(path: Path) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {
+                key: np.array(data[key])
+                for key in data.files
+                if key != "meta"
+            }
+    except (OSError, ValueError, KeyError) as exc:
+        raise FleetError(f"unreadable shard result {path}: {exc}") from exc
+    return meta, arrays
+
+
+def merge_lot(
+    root: str | Path,
+    *,
+    ledger=None,
+    label: str = "",
+) -> LotMerge:
+    """Merge one fleet root's shard results into the lot artifact.
+
+    Reads ``fleet.json``, validates partition and fingerprints, fills
+    retry-exhausted shards' ranges with FAILED die quality, writes
+    ``lot.npz`` + ``lot.json`` atomically, and (when ``ledger`` is
+    given) records a ``kind="lot"`` manifest carrying the lot scalars
+    for the drift engine.  Idempotent: merging again without new shard
+    results rewrites byte-identical artifacts.
+    """
+    from repro.fleet.orchestrator import fleet_state
+
+    root = Path(root)
+    state = fleet_state(root)
+    if state.get("state") == "running":
+        raise FleetError(
+            f"fleet at {root} is still running; merge after it completes"
+        )
+    total_dies = int(state["total_dies"])
+    partition = [list(entry) for entry in state["partition"]]
+    _lint_partition(partition, total_dies)
+    fleet_print = state["fingerprint"]
+
+    planes: dict[str, np.ndarray] | None = None
+    shard_runs: dict[str, str | None] = {}
+    failed_ranges: list[tuple[int, int]] = []
+    respawns = 0
+    statuses = {
+        int(s["shard_id"]): s for s in state.get("shard_status", [])
+    }
+    for shard_id, start, stop in partition:
+        key = f"s{shard_id:02d}"
+        status = statuses.get(shard_id, {})
+        respawns += int(status.get("respawns", 0))
+        result_path = Path(state["paths"][key]["result_path"])
+        if status.get("state") != "done" or not result_path.exists():
+            failed_ranges.append((start, stop))
+            shard_runs[key] = None
+            continue
+        meta, arrays = _load_shard_result(result_path)
+        if meta.get("fingerprint") != fleet_print["config"]:
+            raise FleetError(
+                f"shard {shard_id} measured under config "
+                f"{meta.get('fingerprint')} but the fleet ran "
+                f"{fleet_print['config']}; refusing to merge mixed lots"
+            )
+        if meta.get("wafer") != fleet_print["wafer"]:
+            raise FleetError(
+                f"shard {shard_id} fabricated wafer {meta.get('wafer')} "
+                f"but the fleet planned {fleet_print['wafer']}; refusing "
+                "to merge mixed lots"
+            )
+        if list(meta.get("die_range", [])) != [start, stop]:
+            raise FleetError(
+                f"shard {shard_id} result covers die range "
+                f"{meta.get('die_range')} but the partition assigns "
+                f"[{start}, {stop})"
+            )
+        shard_runs[key] = meta.get("run_id")
+        if planes is None:
+            planes = {
+                name: np.zeros_like(array)
+                for name, array in arrays.items()
+            }
+            planes["die_means"][:] = np.nan
+            planes["die_sigmas"][:] = np.nan
+        for name, array in arrays.items():
+            planes[name][start:stop] = array[start:stop]
+
+    if planes is None:
+        # Every shard failed: an all-FAILED lot with empty planes.
+        die_rows = fleet_print["wafer"].get("die_rows", 16)
+        die_cols = fleet_print["wafer"].get("die_cols", 8)
+        planes = {
+            "die_means": np.full(total_dies, np.nan),
+            "die_sigmas": np.full(total_dies, np.nan),
+            "die_vgs": np.zeros((total_dies, die_rows, die_cols)),
+            "die_codes": np.zeros(
+                (total_dies, die_rows, die_cols), dtype=int
+            ),
+            "die_cell_quality": np.zeros(
+                (total_dies, die_rows, die_cols), dtype=np.uint8
+            ),
+            "die_quality": np.zeros(total_dies, dtype=np.uint8),
+        }
+    for start, stop in failed_ranges:
+        planes["die_quality"][start:stop] = int(DieQuality.FAILED)
+        planes["die_means"][start:stop] = np.nan
+        planes["die_sigmas"][start:stop] = np.nan
+
+    wafer_kwargs = dict(fleet_print["wafer"])
+    sites = _radial_geometry(wafer_kwargs)
+    scalars = lot_scalars(
+        sites,
+        planes["die_means"],
+        planes["die_sigmas"],
+        planes["die_quality"],
+        diameter=int(wafer_kwargs.get("diameter_dies", 9)),
+        respawns=respawns,
+    )
+
+    measured = int((planes["die_quality"] == int(DieQuality.GOOD)).sum())
+    if measured == total_dies:
+        lot_state = "healthy"
+    elif measured == 0:
+        lot_state = "failed"
+    else:
+        lot_state = "degraded"
+
+    lot_meta = {
+        "format": _LOT_FORMAT,
+        "state": lot_state,
+        "label": label or state.get("label", ""),
+        "total_dies": total_dies,
+        "partition": partition,
+        "fingerprint": fleet_print,
+        "shard_runs": shard_runs,
+        "failed_ranges": [list(r) for r in sorted(failed_ranges)],
+        "scalars": scalars,
+    }
+    npz_path = root / "lot.npz"
+    tmp = npz_path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, meta=np.array(json.dumps(lot_meta)), **planes)
+    os.replace(tmp, npz_path)
+    json_path = root / "lot.json"
+    tmp_json = json_path.with_suffix(".tmp")
+    tmp_json.write_text(
+        json.dumps(lot_meta, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp_json, json_path)
+
+    run_id = None
+    if ledger is not None:
+        from repro.obs.ledger import RunManifest
+
+        manifest = RunManifest(
+            kind="lot",
+            label=label or state.get("label", ""),
+            config=dict(fleet_print["config"]),
+            seed=fleet_print["wafer"].get("seed"),
+            tech=fleet_print["wafer"].get("technology", "edram"),
+            scalars=dict(scalars),
+            extra={
+                "fleet_root": str(root),
+                "shard_runs": shard_runs,
+                "failed_ranges": [list(r) for r in sorted(failed_ranges)],
+                "state": lot_state,
+            },
+        )
+        run_id = ledger.record(manifest).run_id
+
+    return LotMerge(
+        state=lot_state,
+        total_dies=total_dies,
+        scalars=scalars,
+        shard_runs=shard_runs,
+        failed_ranges=sorted(failed_ranges),
+        run_id=run_id,
+        **planes,
+    )

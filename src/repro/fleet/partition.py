@@ -1,0 +1,162 @@
+"""Die-range partitioning: split one wafer into shard work units.
+
+The fleet's correctness rests on a single invariant: the shard ranges
+tile the wafer's die-index space **exactly once**.  An overlap would
+double-measure dies (and, worse, let two shards disagree about a die's
+planes at merge time); a gap would silently drop coverage.  This module
+owns that invariant in one place:
+
+- :func:`plan_shards` builds the canonical near-equal contiguous split,
+- :func:`partition_defects` is the pure checker behind both
+  :func:`validate_partition` (raises :class:`~repro.errors.FleetError`)
+  and the ``FLT`` lint family (:mod:`repro.lint.rules_flt`), so the
+  runtime guard and the static gate can never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import FleetError
+
+__all__ = [
+    "ShardRange",
+    "plan_shards",
+    "partition_defects",
+    "validate_partition",
+]
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One shard's contiguous die-index range ``[start, stop)``."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise FleetError(f"shard id must be >= 0, got {self.shard_id}")
+        if not 0 <= self.start < self.stop:
+            raise FleetError(
+                f"shard {self.shard_id}: die range [{self.start}, "
+                f"{self.stop}) is empty or inverted"
+            )
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.start, self.stop)
+
+
+def plan_shards(total_dies: int, shards: int) -> tuple[ShardRange, ...]:
+    """The canonical partition: ``shards`` contiguous near-equal ranges.
+
+    The first ``total_dies % shards`` ranges carry one extra die, so
+    range sizes differ by at most one and the union is exact by
+    construction.
+    """
+    if total_dies < 1:
+        raise FleetError(f"cannot shard a wafer with {total_dies} dies")
+    if shards < 1:
+        raise FleetError(f"shard count must be >= 1, got {shards}")
+    if shards > total_dies:
+        raise FleetError(
+            f"cannot split {total_dies} dies across {shards} shards "
+            "(at least one die per shard)"
+        )
+    base, extra = divmod(total_dies, shards)
+    ranges = []
+    start = 0
+    for shard_id in range(shards):
+        count = base + (1 if shard_id < extra else 0)
+        ranges.append(ShardRange(shard_id, start, start + count))
+        start += count
+    return tuple(ranges)
+
+
+def partition_defects(
+    ranges: Iterable[ShardRange | Sequence[int]],
+    total_dies: int,
+) -> list[tuple[str, str]]:
+    """Every way ``ranges`` fails to tile ``[0, total_dies)`` exactly once.
+
+    Returns ``(kind, message)`` pairs with ``kind`` one of ``"overlap"``
+    (a die claimed by more than one shard, or a range outside the
+    wafer — both are double/phantom claims, the FLT001 failure class)
+    and ``"gap"`` (a die no shard claims — FLT002).  An empty list means
+    the partition is exact.  Accepts :class:`ShardRange` objects or
+    plain ``(start, stop)`` / ``(shard_id, start, stop)`` sequences so
+    the lint rule can check serialized plans without importing them
+    through the orchestrator.
+    """
+    if total_dies < 1:
+        return [("gap", f"wafer has {total_dies} dies; nothing to cover")]
+    normalised: list[tuple[int, int, int]] = []
+    for index, entry in enumerate(ranges):
+        if isinstance(entry, ShardRange):
+            normalised.append((entry.shard_id, entry.start, entry.stop))
+        elif len(entry) == 3:
+            normalised.append((int(entry[0]), int(entry[1]), int(entry[2])))
+        else:
+            start, stop = entry
+            normalised.append((index, int(start), int(stop)))
+
+    defects: list[tuple[str, str]] = []
+    claims = [0] * total_dies
+    for shard_id, start, stop in normalised:
+        if start >= stop:
+            defects.append((
+                "gap",
+                f"shard {shard_id}: die range [{start}, {stop}) is empty "
+                "or inverted — it covers nothing",
+            ))
+            continue
+        if start < 0 or stop > total_dies:
+            defects.append((
+                "overlap",
+                f"shard {shard_id}: die range [{start}, {stop}) reaches "
+                f"outside the wafer's {total_dies} printed dies",
+            ))
+        for die in range(max(start, 0), min(stop, total_dies)):
+            claims[die] += 1
+
+    die = 0
+    while die < total_dies:
+        if claims[die] == 1:
+            die += 1
+            continue
+        kind = "gap" if claims[die] == 0 else "overlap"
+        run_start = die
+        while die < total_dies and (claims[die] == 0) == (kind == "gap") and claims[die] != 1:
+            die += 1
+        if kind == "gap":
+            defects.append((
+                "gap",
+                f"dies [{run_start}, {die}) are claimed by no shard — "
+                "the merged lot would silently miss them",
+            ))
+        else:
+            defects.append((
+                "overlap",
+                f"dies [{run_start}, {die}) are claimed by more than one "
+                "shard — two shards would race to define their planes",
+            ))
+    return defects
+
+
+def validate_partition(
+    ranges: Iterable[ShardRange | Sequence[int]],
+    total_dies: int,
+) -> None:
+    """Raise :class:`FleetError` unless ``ranges`` tile the wafer exactly."""
+    defects = partition_defects(list(ranges), total_dies)
+    if defects:
+        detail = "; ".join(message for _, message in defects)
+        raise FleetError(
+            f"shard partition does not cover the wafer exactly once: {detail}"
+        )

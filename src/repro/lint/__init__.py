@@ -37,6 +37,8 @@ DET001    wallclock-in-measurement-path  time.time()/now() near results
 DET002    unseeded-rng                 RNG without a seeded Generator
 DET003    unordered-reduction          numeric reduction in set-hash order
 DET004    completion-order-accumulation  float += in completion order
+FLT001    shard-overlap                die claimed by >1 shard / off-wafer
+FLT002    shard-gap                    die claimed by no shard
 WVR001    expired-waiver               a file waiver outlived its expiry
 ========  ===========================  =====================================
 

@@ -37,6 +37,7 @@ from repro.lint import (  # noqa: F401
     rules_ccy,
     rules_det,
     rules_erc,
+    rules_flt,
     rules_prm,
     rules_unt,
 )
@@ -107,16 +108,22 @@ def lint_source(
     return report
 
 
-def lint_project(only: Iterable[str] | None = None) -> LintReport:
-    """Run project-invariant rules (CCY004) — no per-file subject.
+def lint_project(
+    only: Iterable[str] | None = None,
+    context: dict[str, object] | None = None,
+) -> LintReport:
+    """Run project-invariant rules (CCY004, FLT) — no per-file subject.
 
     These rules introspect the live codebase (dataclass fields vs the
-    ledger fingerprint) rather than a parsed artifact, so they take no
-    subject and run once per lint invocation.
+    ledger fingerprint, the fleet's canonical shard planner) rather
+    than a parsed artifact, so they take no subject and run once per
+    lint invocation.  ``context`` forwards to every rule — the fleet
+    merge passes its recorded partition through it so the FLT rules
+    validate *that* plan instead of self-checking the planner.
     """
     report = LintReport()
     for spec in REGISTRY.for_target("project", only):
-        report.extend(spec.run(None))
+        report.extend(spec.run(None, context))
     return report
 
 

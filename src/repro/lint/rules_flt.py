@@ -1,0 +1,98 @@
+"""Fleet (FLT) rules: the shard partition must tile the wafer exactly.
+
+The fleet's merge is only bit-exact because every die is measured by
+exactly one shard.  That invariant is enforced at runtime by
+:func:`repro.fleet.partition.validate_partition`, but a recorded plan
+(``fleet.json``) travels through disk and human hands, so the lint
+layer re-checks it as a project rule with stable codes a CI gate can
+select:
+
+``FLT001 shard-overlap``
+    A die is claimed by more than one shard, or a shard's range reaches
+    outside the wafer.  Two shards racing to define the same die's
+    planes makes the merge order-dependent — an ERROR.
+
+``FLT002 shard-gap``
+    A die is claimed by no shard (including empty/inverted ranges that
+    cover nothing).  The merged lot would silently miss coverage — an
+    ERROR.
+
+Both rules read ``context["ranges"]`` (``(start, stop)`` or
+``(shard_id, start, stop)`` sequences) and ``context["total_dies"]``.
+Without a context they self-check the live planner: every
+:func:`~repro.fleet.partition.plan_shards` split over a sweep of
+(wafer size, shard count) pairs must be exact, so the canonical
+partitioner can never regress without this rule firing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import rule
+
+#: (total_dies, shards) pairs the no-context self-check sweeps.
+_SELF_CHECK_SWEEP = (
+    (1, 1), (2, 1), (2, 2), (5, 2), (9, 3), (21, 4), (57, 5), (97, 8),
+)
+
+
+def _context_partition(context: dict[str, object]):
+    """The (ranges, total) pair under check, or ``None`` for self-check."""
+    ranges = context.get("ranges")
+    total = context.get("total_dies")
+    if ranges is None or total is None:
+        return None
+    return list(ranges), int(total)  # type: ignore[arg-type, call-overload]
+
+
+def _defect_findings(spec, wanted_kind: str, context: dict[str, object]) -> Iterator[Diagnostic]:
+    """Shared body of both FLT rules: report defects of one kind."""
+    from repro.fleet.partition import partition_defects, plan_shards
+
+    explicit = _context_partition(context)
+    if explicit is not None:
+        ranges, total = explicit
+        for kind, message in partition_defects(ranges, total):
+            if kind == wanted_kind:
+                yield spec.diagnostic(
+                    message,
+                    subject=f"shard partition of {total} dies",
+                )
+        return
+    # Self-check: the canonical planner must always tile exactly.
+    for total, shards in _SELF_CHECK_SWEEP:
+        planned = plan_shards(total, shards)
+        for kind, message in partition_defects(planned, total):
+            if kind == wanted_kind:
+                yield spec.diagnostic(
+                    f"plan_shards({total}, {shards}) is defective: {message}",
+                    subject="repro.fleet.partition.plan_shards",
+                )
+
+
+@rule(
+    "FLT001",
+    "shard-overlap",
+    target="project",
+    summary="a die is claimed by more than one shard (or outside the wafer)",
+)
+def check_shard_overlap(
+    subject: object, context: dict[str, object]
+) -> Iterator[Diagnostic]:
+    """A die claimed twice makes the lot merge order-dependent."""
+    yield from _defect_findings(check_shard_overlap, "overlap", context)
+
+
+@rule(
+    "FLT002",
+    "shard-gap",
+    target="project",
+    summary="a die is claimed by no shard — silent coverage loss",
+)
+def check_shard_gap(
+    subject: object, context: dict[str, object]
+) -> Iterator[Diagnostic]:
+    """A die claimed by nobody silently vanishes from the merged lot."""
+    yield from _defect_findings(check_shard_gap, "gap", context)

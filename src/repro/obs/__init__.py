@@ -32,6 +32,7 @@ use this package.
 
 from repro.obs.drift import (
     DEFAULT_SCALARS,
+    LOT_SCALARS,
     DriftEngine,
     ScalarSpec,
     SeriesCheck,
@@ -88,6 +89,7 @@ __all__ = [
     "ScalarSpec",
     "SeriesCheck",
     "DEFAULT_SCALARS",
+    "LOT_SCALARS",
     "check_ledger",
     "check_bench_history",
     "ProgressReporter",

@@ -39,6 +39,7 @@ __all__ = [
     "SeriesCheck",
     "DriftEngine",
     "DEFAULT_SCALARS",
+    "LOT_SCALARS",
     "check_ledger",
     "check_bench_history",
 ]
@@ -85,6 +86,24 @@ DEFAULT_SCALARS: tuple[ScalarSpec, ...] = (
     ScalarSpec("macro_retries", severity=Severity.WARNING),
     ScalarSpec("macro_timeouts", severity=Severity.WARNING),
     ScalarSpec("worker_respawns", severity=Severity.WARNING),
+)
+
+#: The scalars charted for ``kind="lot"`` manifests — the fleet merge's
+#: cross-fab/cross-lot diet, including the radial and zone spatial
+#: signatures the paper's process-monitoring use case watches.
+LOT_SCALARS: tuple[ScalarSpec, ...] = (
+    ScalarSpec("cap_mean_fF", "cap_sigma_fF"),
+    ScalarSpec("radial_centre_fF", "cap_sigma_fF"),
+    ScalarSpec("radial_drop_fF", "cap_sigma_fF"),
+    ScalarSpec("zone_centre_fF", "cap_sigma_fF"),
+    ScalarSpec("zone_mid_fF", "cap_sigma_fF"),
+    ScalarSpec("zone_edge_fF", "cap_sigma_fF"),
+    # Coverage scalars are 0 on healthy lots, so the flat-history
+    # epsilon sigma flags the first lot that loses a die range.  Lost
+    # coverage is an ERROR; supervision churn that still produced a
+    # complete lot is advisory.
+    ScalarSpec("failed_dies"),
+    ScalarSpec("shard_respawns", severity=Severity.WARNING),
 )
 
 
@@ -284,8 +303,15 @@ def check_ledger(
     specs: tuple[ScalarSpec, ...] = DEFAULT_SCALARS,
     engine: DriftEngine | None = None,
 ) -> LintReport:
-    """Run the drift engine over a ledger (optionally one run kind)."""
+    """Run the drift engine over a ledger (optionally one run kind).
+
+    Charting ``kind="lot"`` with the default spec set automatically
+    switches to :data:`LOT_SCALARS` — lot manifests carry spatial and
+    coverage scalars the per-scan defaults know nothing about.
+    """
     engine = engine if engine is not None else DriftEngine()
+    if kind == "lot" and specs is DEFAULT_SCALARS:
+        specs = LOT_SCALARS
     manifests = ledger.runs()
     if kind is not None:
         manifests = [m for m in manifests if m.kind == kind]

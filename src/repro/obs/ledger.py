@@ -31,6 +31,7 @@ from __future__ import annotations
 import fcntl
 import hashlib
 import json
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -370,20 +371,28 @@ class RunLedger:
         """
         self.root.mkdir(parents=True, exist_ok=True)
         deadline = time.monotonic() + timeout
-        with open(self.root / _LOCK_NAME, "w") as fh:
+        # "a+", not "w": opening the lock file must not truncate the
+        # current holder's pid out of it while they still hold the lock
+        # — the timeout message below reads it to name the culprit.
+        with open(self.root / _LOCK_NAME, "a+") as fh:
             while True:
                 try:
                     fcntl.flock(fh, fcntl.LOCK_EX | fcntl.LOCK_NB)
                     break
                 except BlockingIOError:
                     if time.monotonic() >= deadline:
+                        holder = _lock_holder(fh)
                         raise LedgerError(
                             f"timed out waiting for ledger lock on {self.root} "
-                            f"after {timeout:g} s (another repro process "
-                            "recording? stale holder?)"
+                            f"after {timeout:g} s (held by {holder} — another "
+                            "repro process recording? stale holder?)"
                         ) from None
                     time.sleep(0.01)
             try:
+                fh.seek(0)
+                fh.truncate()
+                fh.write(f"{os.getpid()}\n")
+                fh.flush()
                 yield
             finally:
                 fcntl.flock(fh, fcntl.LOCK_UN)
@@ -698,6 +707,25 @@ class RunLedger:
             "mean_abs_code_delta": float(np.abs(delta).mean()),
             "max_abs_code_delta": int(np.abs(delta).max()),
         }
+
+
+def _lock_holder(fh) -> str:
+    """Best-effort description of whoever wrote the lock file last."""
+    try:
+        fh.seek(0)
+        pid = fh.read().strip()
+    except OSError:  # pragma: no cover - lock file unreadable mid-spin
+        pid = ""
+    if not pid.isdigit():
+        return "an unknown process"
+    try:
+        os.kill(int(pid), 0)
+        liveness = "alive"
+    except ProcessLookupError:
+        liveness = "dead"
+    except (PermissionError, OSError):  # pragma: no cover - other-uid holder
+        liveness = "alive"
+    return f"pid {pid} ({liveness})"
 
 
 def _run_number(run_id: str) -> int:

@@ -163,19 +163,33 @@ class JsonlProgress(_ProgressBase):
     carry ``event`` (``start`` / ``progress`` / ``finish``) plus the
     :meth:`~_ProgressBase.snapshot` fields, so a consumer tailing the
     file can plot completion, throughput and ETA live.
+
+    ``min_interval`` throttles ``progress`` events the way
+    :class:`ProgressReporter` throttles repaints; ``start`` and
+    ``finish`` always emit.  The default (``0.0``) keeps one line per
+    unit — fleet shard workers raise it so a million-die stream does
+    not become a million writes.
     """
 
     def __init__(
         self,
         target: str | TextIO,
         clock: Callable[[], float] = perf_counter,
+        min_interval: float = 0.0,
     ) -> None:
         super().__init__(clock)
         self._target = target
         self._fh: TextIO | None = None
         self._owns_fh = False
+        self._min_interval = float(min_interval)
+        self._last_emit = float("-inf")
 
     def _emit(self, event: str) -> None:
+        if event == "progress":
+            now = self._clock()
+            if now - self._last_emit < self._min_interval:
+                return
+            self._last_emit = now
         if self._fh is None:
             if hasattr(self._target, "write"):
                 self._fh = self._target  # type: ignore[assignment]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -161,7 +162,26 @@ class Checkpointer:
         on a fresh :meth:`start` (the CLI stores its array-rebuild
         arguments here so ``--resume`` can reconstruct the array).
         Ignored when resuming — the stored meta wins.
+    min_save_seconds:
+        Minimum seconds between the atomic persists that
+        :meth:`mark_done` triggers.  ``0.0`` (the default) persists
+        after every unit — the strongest crash guarantee.  A fleet
+        shard raises this to bound checkpoint I/O on large wafers:
+        completed units still accumulate in memory on every
+        ``mark_done``, a crash merely re-runs the units finished since
+        the last persist, and resume stays bit-exact because re-run
+        dies reproduce their planes from the same RNG fast-forward.
+        Once throttled, the gap also adapts to the measured write cost
+        (a persist is deferred until it would cost at most
+        ``_MAX_SAVE_FRACTION`` of the elapsed runtime), so checkpoint
+        I/O stays a bounded fraction of the run no matter how large
+        the planes grow.  An explicit :meth:`save` always writes,
+        throttle or not.
     """
+
+    #: With throttling on, persists wait until their measured write
+    #: cost is at most this fraction of the time since the last one.
+    _MAX_SAVE_FRACTION = 0.05
 
     def __init__(
         self,
@@ -169,11 +189,16 @@ class Checkpointer:
         resume: str | None = None,
         *,
         meta: dict[str, Any] | None = None,
+        min_save_seconds: float = 0.0,
     ) -> None:
         self.ledger = ledger if isinstance(ledger, RunLedger) else RunLedger(ledger)
         self.resume = resume
         self.base_meta = dict(meta or {})
+        self.min_save_seconds = float(min_save_seconds)
         self.state: ScanCheckpoint | None = None
+        self._last_save: float | None = None
+        self._save_cost = 0.0
+        self._done_seen: set[int] | None = None
 
     @property
     def resuming(self) -> bool:
@@ -225,7 +250,10 @@ class Checkpointer:
                 )
                 # Writing the file inside the lock *is* the id
                 # reservation — next_run_id scans this directory.
+                began = time.monotonic()
                 self._write(state)
+                self._last_save = time.monotonic()
+                self._save_cost = self._last_save - began
         self.state = state
         return state
 
@@ -273,15 +301,36 @@ class Checkpointer:
     # -- progress ------------------------------------------------------
 
     def mark_done(self, index: int) -> None:
-        """Record unit ``index`` complete and persist the state."""
+        """Record unit ``index`` complete and persist the state.
+
+        With ``min_save_seconds`` set, the in-memory record always
+        updates but the persist is skipped while the throttle window is
+        open — the durable checkpoint then trails the live run by at
+        most one window of work.
+        """
         state = self._require_state()
-        if index not in state._done_set():
+        # Membership via a cached set — rebuilding one from the
+        # completed list per unit would make a long run quadratic.
+        if self._done_seen is None:
+            self._done_seen = state._done_set()
+        if index not in self._done_seen:
             state.completed.append(index)
+            self._done_seen.add(index)
+        if self.min_save_seconds > 0.0 and self._last_save is not None:
+            gap = max(
+                self.min_save_seconds,
+                self._save_cost / self._MAX_SAVE_FRACTION,
+            )
+            if time.monotonic() - self._last_save < gap:
+                return
         self.save()
 
     def save(self) -> None:
-        """Persist the current state atomically."""
+        """Persist the current state atomically (never throttled)."""
+        began = time.monotonic()
         self._write(self._require_state())
+        self._last_save = time.monotonic()
+        self._save_cost = self._last_save - began
 
     def finish(self) -> str:
         """Close the run: delete the checkpoint file, return the run id.

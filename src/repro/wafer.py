@@ -13,11 +13,13 @@ and :class:`WaferReport` aggregates: per-die means, zonal statistics
 
 from __future__ import annotations
 
+import enum
 import math
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter, process_time
+from typing import Callable
 
 import numpy as np
 
@@ -51,6 +53,47 @@ class DieSite:
     radius_fraction: float  # 0 centre .. 1 wafer edge
     mean_capacitance: float
     sigma_capacitance: float
+
+
+class DieQuality(enum.IntEnum):
+    """Quality of one die's contribution to a merged lot.
+
+    The die-level analogue of
+    :class:`~repro.resilience.quality.CellQuality`, with an explicit
+    ``UNMEASURED`` zero so a freshly allocated plane reads as "nobody
+    has claimed this die yet" — the state a shard's die range is in
+    before its worker reaches it, and the state the merge turns into
+    ``FAILED`` when the shard that owned it exhausted its retries.
+    """
+
+    UNMEASURED = 0
+    GOOD = 1
+    FAILED = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass
+class DieRangeScan:
+    """Planes measured by one die-range shard of a wafer.
+
+    Every plane is **full-length** (indexed by the wafer's global die
+    index, ``len(model.sites())`` entries) with this shard's range
+    filled in and neutral values elsewhere — so shard results combine
+    by straight element-wise selection on :attr:`die_quality`, and the
+    merged lot is bit-exact with an unsharded run by construction.
+    """
+
+    die_range: tuple[int, int]
+    total_dies: int
+    die_means: np.ndarray  #: (S,) float, NaN outside the range
+    die_sigmas: np.ndarray  #: (S,) float, NaN outside the range
+    die_vgs: np.ndarray  #: (S, die_rows, die_cols) float
+    die_codes: np.ndarray  #: (S, die_rows, die_cols) int
+    die_cell_quality: np.ndarray  #: (S, die_rows, die_cols) uint8 CellQuality
+    die_quality: np.ndarray  #: (S,) uint8 DieQuality
+    run_id: str | None = None
 
 
 class WaferModel:
@@ -206,6 +249,18 @@ class WaferModel:
             mismatch_seed=mismatch_seed, tech=self.tech,
         )
 
+    def _burn_die_draws(self) -> None:
+        """Consume exactly the RNG draws one :meth:`fabricate_die` would.
+
+        The fast-forward primitive behind both checkpoint resume and
+        die-range sharding: a die someone else (an earlier run, another
+        shard) is responsible for still advances *this* model's RNG
+        stream by the same two draws, so every later die prints
+        identically to an unsharded, uninterrupted run.
+        """
+        self._rng.normal(0.0, self.die_sigma)
+        self._rng.integers(1 << 31)
+
     def measure_wafer(
         self, jobs: int | None = None, config: ScanConfig | None = None
     ) -> "WaferReport":
@@ -279,8 +334,7 @@ class WaferModel:
                     # Fast-forward: burn the two draws fabricate_die
                     # would have consumed (die-mean normal, mismatch
                     # seed) so later dies see the same RNG stream.
-                    self._rng.normal(0.0, self.die_sigma)
-                    self._rng.integers(1 << 31)
+                    self._burn_die_draws()
                     progress.advance()
                     continue
                 array = self.fabricate_die(r)
@@ -317,6 +371,133 @@ class WaferModel:
         if checkpointer is not None:
             checkpointer.finish()
         return report
+
+    def measure_dies(
+        self,
+        die_range: tuple[int, int],
+        config: ScanConfig | None = None,
+        *,
+        on_die: Callable[[int, int], None] | None = None,
+        finish_checkpoint: bool = True,
+    ) -> DieRangeScan:
+        """Fabricate and scan one contiguous die range of this wafer.
+
+        The shard primitive behind :mod:`repro.fleet`: dies outside
+        ``[lo, hi)`` — another shard's work — are fast-forwarded by
+        burning exactly the RNG draws their fabrication would have
+        consumed, so any partition of the wafer into ranges produces
+        dies (and therefore planes) bit-identical to the unsharded
+        :meth:`measure_wafer` walk.
+
+        ``config.checkpoint`` persists the shard's partial planes under
+        kind ``"shard"`` (the resume fingerprint folds the die range
+        in, so a checkpoint can never be resumed under a different
+        partition).  Only the ``[lo, hi)`` slice of each plane is
+        checkpointed — a shard's write cost scales with its own range,
+        not the wafer — and the full-length return planes are
+        scattered together on the way out.  ``on_die(index, done)`` fires in-process
+        after each die completes — the fleet worker's heartbeat hook.
+        With ``finish_checkpoint=False`` the checkpoint file survives
+        the return; the caller deletes it via ``config.checkpoint
+        .finish()`` only after it has durably persisted the result, so
+        a crash in between costs a re-merge, never the shard's work.
+        """
+        config = (
+            config if config is not None
+            else ScanConfig(technology=self.technology)
+        )
+        if config.technology != self.technology:
+            raise MeasurementError(
+                f"config.technology is {config.technology!r} but this "
+                f"wafer fabricates {self.technology!r} dies"
+            )
+        sites = self.sites()
+        total = len(sites)
+        lo, hi = int(die_range[0]), int(die_range[1])
+        if not 0 <= lo < hi <= total:
+            raise DiagnosisError(
+                f"die range [{lo}, {hi}) does not fit a wafer with "
+                f"{total} printed dies"
+            )
+        progress = config.progress
+        checkpointer = config.checkpoint
+        die_config = config.with_options(
+            progress=NULL_PROGRESS, ledger=None, checkpoint=None
+        )
+        structure, abacus = self._calibration()
+        span = hi - lo
+        arrays = {
+            "die_means": np.full(span, np.nan),
+            "die_sigmas": np.full(span, np.nan),
+            "die_vgs": np.zeros((span, self.die_rows, self.die_cols)),
+            "die_codes": np.zeros(
+                (span, self.die_rows, self.die_cols), dtype=int
+            ),
+            "die_cell_quality": np.zeros(
+                (span, self.die_rows, self.die_cols), dtype=np.uint8
+            ),
+            "die_quality": np.zeros(span, dtype=np.uint8),
+        }
+        done: set[int] = set()
+        if checkpointer is not None:
+            fingerprint = resume_fingerprint(config)
+            fingerprint["die_range"] = [lo, hi]
+            state = checkpointer.start(
+                "shard", fingerprint, arrays, total=span
+            )
+            arrays = state.arrays
+            done = set(state.completed)
+        ambient = (
+            inject(config.faults) if config.faults is not None else nullcontext()
+        )
+        with ambient:
+            progress.start(hi - lo, label=f"shard[{lo},{hi})", units="dies")
+            for index, (x, y, r) in enumerate(sites):
+                if not lo <= index < hi:
+                    self._burn_die_draws()
+                    continue
+                if index in done:
+                    self._burn_die_draws()
+                    progress.advance()
+                    continue
+                array = self.fabricate_die(r)
+                scan = ArrayScanner(array, structure).scan(die_config)
+                bitmap = AnalogBitmap(scan, abacus)
+                rel = index - lo
+                arrays["die_means"][rel] = bitmap.mean_capacitance()
+                arrays["die_sigmas"][rel] = bitmap.std_capacitance()
+                arrays["die_vgs"][rel] = scan.vgs
+                arrays["die_codes"][rel] = scan.codes
+                arrays["die_cell_quality"][rel] = scan.quality
+                arrays["die_quality"][rel] = int(DieQuality.GOOD)
+                fault_point("wafer.die_done", die=index, x=x, y=y)
+                if checkpointer is not None:
+                    checkpointer.mark_done(index)
+                progress.advance()
+                if on_die is not None:
+                    on_die(index, len(done) + 1)
+                done.add(index)
+            progress.finish()
+        run_id = checkpointer.run_id if checkpointer is not None else None
+        if checkpointer is not None and finish_checkpoint:
+            checkpointer.finish()
+        planes = {
+            "die_means": np.full(total, np.nan),
+            "die_sigmas": np.full(total, np.nan),
+            "die_vgs": np.zeros((total, self.die_rows, self.die_cols)),
+            "die_codes": np.zeros(
+                (total, self.die_rows, self.die_cols), dtype=int
+            ),
+            "die_cell_quality": np.zeros(
+                (total, self.die_rows, self.die_cols), dtype=np.uint8
+            ),
+            "die_quality": np.zeros(total, dtype=np.uint8),
+        }
+        for name, shard_plane in arrays.items():
+            planes[name][lo:hi] = shard_plane
+        return DieRangeScan(
+            die_range=(lo, hi), total_dies=total, run_id=run_id, **planes
+        )
 
 
 @dataclass

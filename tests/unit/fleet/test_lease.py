@@ -1,0 +1,77 @@
+"""Lease files: atomic heartbeat round trips and tolerant reads."""
+
+import time
+
+from repro.fleet import ShardLease, heartbeat_age, read_lease, write_lease
+
+
+def _lease(**overrides):
+    base = dict(shard_id=1, start=3, stop=9, pid=4242, generation=2)
+    base.update(overrides)
+    return ShardLease(**base)
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "s01.json"
+    write_lease(path, _lease(state="running", run_id="r0007").touch(dies_done=4))
+    loaded = read_lease(path)
+    assert loaded is not None
+    assert loaded.shard_id == 1
+    assert (loaded.start, loaded.stop) == (3, 9)
+    assert loaded.pid == 4242
+    assert loaded.generation == 2
+    assert loaded.state == "running"
+    assert loaded.dies_done == 4
+    assert loaded.run_id == "r0007"
+    assert loaded.heartbeat > 0.0
+
+
+def test_touch_refreshes_heartbeat_and_progress(tmp_path):
+    lease = _lease()
+    assert lease.heartbeat == 0.0
+    lease.touch(dies_done=2)
+    first = lease.heartbeat
+    assert first > 0.0
+    assert lease.dies_done == 2
+    lease.touch()
+    assert lease.heartbeat >= first
+    assert lease.dies_done == 2  # untouched without an explicit count
+
+
+def test_missing_lease_reads_as_none(tmp_path):
+    assert read_lease(tmp_path / "absent.json") is None
+
+
+def test_corrupt_lease_reads_as_none(tmp_path):
+    path = tmp_path / "s00.json"
+    path.write_text('{"shard_id": 1, "start"', encoding="utf-8")
+    assert read_lease(path) is None
+    path.write_text('{"shard_id": 1}', encoding="utf-8")
+    assert read_lease(path) is None
+
+
+def test_write_is_atomic_no_tmp_left_behind(tmp_path):
+    path = tmp_path / "s00.json"
+    write_lease(path, _lease().touch())
+    write_lease(path, _lease().touch(dies_done=1))
+    assert [p.name for p in tmp_path.iterdir()] == ["s00.json"]
+
+
+def test_heartbeat_age(tmp_path):
+    lease = _lease()
+    assert heartbeat_age(lease) == float("inf")
+    lease.touch()
+    assert heartbeat_age(lease) < 5.0
+    assert heartbeat_age(lease, now=lease.heartbeat + 12.5) == 12.5
+    # A heartbeat slightly in the future (clock skew) clamps to zero.
+    assert heartbeat_age(lease, now=lease.heartbeat - 1.0) == 0.0
+
+
+def test_heartbeats_monotonic_under_repeated_touch():
+    lease = _lease()
+    stamps = []
+    for _ in range(3):
+        lease.touch()
+        stamps.append(lease.heartbeat)
+        time.sleep(0.01)
+    assert stamps == sorted(stamps)

@@ -1,0 +1,158 @@
+"""Lot merge: bit-exactness, idempotence, degradation, and refusals."""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import FleetOrchestrator, merge_lot
+from repro.fleet.orchestrator import EXIT_DEGRADED, EXIT_HEALTHY
+from repro.obs.ledger import RunLedger
+from repro.wafer import DieQuality, WaferModel
+
+DIAMETER = 3  # 9 dies
+SEED = 7
+
+_PLANES = (
+    "die_means", "die_sigmas", "die_vgs", "die_codes",
+    "die_cell_quality", "die_quality",
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_root(tmp_path_factory):
+    """One real, healthy 2-shard fleet run shared by the whole module."""
+    root = tmp_path_factory.mktemp("fleet") / "run"
+    report = FleetOrchestrator(
+        root,
+        wafer={"diameter_dies": DIAMETER, "seed": SEED},
+        shards=2,
+        poll_seconds=0.02,
+    ).run()
+    assert report.state == "healthy"
+    return root
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The unsharded ground truth for the same wafer."""
+    return WaferModel(diameter_dies=DIAMETER, seed=SEED).measure_dies((0, 9))
+
+
+def _copy(fleet_root, tmp_path):
+    clone = tmp_path / "clone"
+    shutil.copytree(fleet_root, clone)
+    return clone
+
+
+def _edit_state(root, mutate):
+    path = root / "fleet.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    mutate(payload)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestHealthyMerge:
+    def test_bit_exact_with_unsharded_run(self, fleet_root, reference):
+        lot = merge_lot(fleet_root)
+        assert lot.state == "healthy"
+        assert lot.exit_code == EXIT_HEALTHY
+        assert lot.total_dies == 9
+        assert lot.failed_ranges == []
+        for name in _PLANES:
+            np.testing.assert_array_equal(
+                getattr(lot, name), getattr(reference, name), err_msg=name
+            )
+
+    def test_shard_provenance_recorded(self, fleet_root):
+        lot = merge_lot(fleet_root)
+        assert sorted(lot.shard_runs) == ["s00", "s01"]
+        assert all(run_id for run_id in lot.shard_runs.values())
+        meta = json.loads((fleet_root / "lot.json").read_text(encoding="utf-8"))
+        assert meta["state"] == "healthy"
+        assert meta["shard_runs"] == lot.shard_runs
+        assert meta["scalars"]["measured_fraction"] == 1.0
+
+    def test_idempotent_byte_identical_artifacts(self, fleet_root):
+        merge_lot(fleet_root)
+        first_npz = (fleet_root / "lot.npz").read_bytes()
+        first_json = (fleet_root / "lot.json").read_bytes()
+        merge_lot(fleet_root)
+        assert (fleet_root / "lot.npz").read_bytes() == first_npz
+        assert (fleet_root / "lot.json").read_bytes() == first_json
+
+    def test_ledger_record_kind_lot(self, fleet_root, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        lot = merge_lot(fleet_root, ledger=ledger, label="lot-7")
+        assert lot.run_id is not None
+        (line,) = (tmp_path / "ledger" / "manifest.jsonl").read_text(
+            encoding="utf-8"
+        ).splitlines()
+        manifest = json.loads(line)
+        assert manifest["kind"] == "lot"
+        assert manifest["label"] == "lot-7"
+        assert manifest["run_id"] == lot.run_id
+        assert manifest["scalars"]["dies"] == 9.0
+        assert manifest["extra"]["state"] == "healthy"
+
+
+class TestDegradedMerge:
+    def test_failed_shard_becomes_failed_range(
+        self, fleet_root, reference, tmp_path
+    ):
+        clone = _copy(fleet_root, tmp_path)
+        (clone / "results" / "s01.npz").unlink()
+
+        def fail_shard_one(payload):
+            payload["shard_status"][1]["state"] = "failed"
+
+        _edit_state(clone, fail_shard_one)
+        lot = merge_lot(clone)
+        assert lot.state == "degraded"
+        assert lot.exit_code == EXIT_DEGRADED
+        (start, stop) = lot.failed_ranges[0]
+        assert (start, stop) == (5, 9)
+        assert (lot.die_quality[start:stop] == int(DieQuality.FAILED)).all()
+        assert np.isnan(lot.die_means[start:stop]).all()
+        assert lot.shard_runs["s01"] is None
+        # The surviving shard's planes are untouched by the failure.
+        np.testing.assert_array_equal(
+            lot.die_means[:start], reference.die_means[:start]
+        )
+        scalars = lot.scalars
+        assert scalars["failed_dies"] == float(stop - start)
+        assert scalars["measured_fraction"] == pytest.approx(5 / 9)
+
+
+class TestMergeRefusals:
+    def test_refuses_running_fleet(self, fleet_root, tmp_path):
+        clone = _copy(fleet_root, tmp_path)
+        _edit_state(clone, lambda p: p.update(state="running"))
+        with pytest.raises(FleetError, match="still running"):
+            merge_lot(clone)
+
+    def test_refuses_mixed_config_fingerprints(self, fleet_root, tmp_path):
+        clone = _copy(fleet_root, tmp_path)
+
+        def tamper(payload):
+            payload["fingerprint"]["config"]["technology"] = "other"
+
+        _edit_state(clone, tamper)
+        with pytest.raises(FleetError, match="mixed lots"):
+            merge_lot(clone)
+
+    def test_refuses_defective_partition(self, fleet_root, tmp_path):
+        clone = _copy(fleet_root, tmp_path)
+
+        def punch_gap(payload):
+            payload["partition"][0] = [0, 0, 3]  # leaves [3, 5) uncovered
+
+        _edit_state(clone, punch_gap)
+        with pytest.raises(FleetError, match="FLT"):
+            merge_lot(clone)
+
+    def test_refuses_missing_fleet_json(self, tmp_path):
+        with pytest.raises(FleetError):
+            merge_lot(tmp_path / "nowhere")

@@ -1,0 +1,108 @@
+"""Shard partitioning: the exactly-once tiling invariant."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import (
+    ShardRange,
+    partition_defects,
+    plan_shards,
+    validate_partition,
+)
+
+
+class TestShardRange:
+    def test_valid_range(self):
+        r = ShardRange(0, 2, 5)
+        assert r.count == 3
+        assert r.as_tuple() == (2, 5)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(FleetError, match="empty or inverted"):
+            ShardRange(0, 3, 3)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(FleetError, match="empty or inverted"):
+            ShardRange(0, 5, 2)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FleetError):
+            ShardRange(0, -1, 2)
+
+    def test_negative_shard_id_rejected(self):
+        with pytest.raises(FleetError, match="shard id"):
+            ShardRange(-1, 0, 2)
+
+
+class TestPlanShards:
+    def test_exact_cover_and_order(self):
+        ranges = plan_shards(10, 3)
+        assert [r.as_tuple() for r in ranges] == [(0, 4), (4, 7), (7, 10)]
+        assert [r.shard_id for r in ranges] == [0, 1, 2]
+
+    def test_sizes_differ_by_at_most_one(self):
+        for total in range(1, 40):
+            for shards in range(1, total + 1):
+                counts = [r.count for r in plan_shards(total, shards)]
+                assert sum(counts) == total
+                assert max(counts) - min(counts) <= 1
+
+    def test_single_shard_is_whole_wafer(self):
+        (only,) = plan_shards(7, 1)
+        assert only.as_tuple() == (0, 7)
+
+    def test_more_shards_than_dies_rejected(self):
+        with pytest.raises(FleetError, match="at least one die per shard"):
+            plan_shards(2, 3)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(FleetError):
+            plan_shards(0, 1)
+        with pytest.raises(FleetError):
+            plan_shards(5, 0)
+
+
+class TestPartitionDefects:
+    def test_exact_partition_is_clean(self):
+        assert partition_defects(plan_shards(21, 4), 21) == []
+
+    def test_gap_detected(self):
+        defects = partition_defects([(0, 3), (5, 10)], 10)
+        kinds = [kind for kind, _ in defects]
+        assert kinds == ["gap"]
+        assert "[3, 5)" in defects[0][1]
+
+    def test_overlap_detected(self):
+        defects = partition_defects([(0, 6), (4, 10)], 10)
+        kinds = [kind for kind, _ in defects]
+        assert kinds == ["overlap"]
+        assert "[4, 6)" in defects[0][1]
+
+    def test_out_of_bounds_is_overlap_class(self):
+        defects = partition_defects([(0, 12)], 10)
+        assert any(
+            kind == "overlap" and "outside" in message
+            for kind, message in defects
+        )
+
+    def test_empty_range_is_gap_class(self):
+        defects = partition_defects([(0, 0), (0, 10)], 10)
+        assert any(
+            kind == "gap" and "covers nothing" in message
+            for kind, message in defects
+        )
+
+    def test_accepts_triples_and_objects(self):
+        triples = [(0, 0, 5), (1, 5, 9)]
+        objects = [ShardRange(0, 0, 5), ShardRange(1, 5, 9)]
+        assert partition_defects(triples, 9) == []
+        assert partition_defects(objects, 9) == []
+
+
+class TestValidatePartition:
+    def test_exact_passes(self):
+        validate_partition(plan_shards(9, 3), 9)
+
+    def test_defective_raises_with_detail(self):
+        with pytest.raises(FleetError, match="exactly once"):
+            validate_partition([(0, 4), (6, 9)], 9)

@@ -1,0 +1,164 @@
+"""Shard worker: spec handling, fault-plan hydration, one real shard."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import FleetError, ResilienceError
+from repro.fleet import read_lease
+from repro.fleet.worker import fault_plan_from_spec, load_spec, main, run_shard
+from repro.resilience import faults as faults_module
+
+
+@pytest.fixture(autouse=True)
+def _reset_worker_marking():
+    """run_shard marks this very process as a fault-eligible worker;
+    unmark it afterwards or a later test's kill fault would take pytest
+    down (monkeypatch can't do this — its teardown would restore the
+    True the test itself set)."""
+    yield
+    faults_module._IN_WORKER = False
+    faults_module.install_plan(None)
+
+
+class TestFaultPlanFromSpec:
+    def test_none_is_disarmed(self):
+        assert fault_plan_from_spec(None) is None
+
+    def test_kill_fault_round_trip(self):
+        plan = fault_plan_from_spec({
+            "seed": 3,
+            "faults": [{
+                "site": "wafer.die_done",
+                "kind": "kill",
+                "match": {"die": 2},
+                "times": 1,
+            }],
+        })
+        (fault,) = plan.faults
+        assert fault.site == "wafer.die_done"
+        assert fault.kind == "kill"
+        assert fault.match == {"die": 2}
+        assert plan.seed == 3
+
+    def test_raise_fault_builds_builtin_error(self):
+        plan = fault_plan_from_spec({
+            "faults": [{
+                "site": "wafer.die_done",
+                "kind": "raise",
+                "error": "RuntimeError",
+                "message": "boom",
+            }],
+        })
+        (fault,) = plan.faults
+        assert isinstance(fault.error, RuntimeError)
+        assert str(fault.error) == "boom"
+
+    def test_unknown_error_name_rejected(self):
+        with pytest.raises(ResilienceError, match="not a builtin"):
+            fault_plan_from_spec({
+                "faults": [{"site": "x", "kind": "raise", "error": "Nope"}],
+            })
+
+
+class TestLoadSpec:
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"shard_id": 0}), encoding="utf-8")
+        with pytest.raises(FleetError, match="missing"):
+            load_spec(path)
+
+    def test_unreadable_spec_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(FleetError, match="unreadable"):
+            load_spec(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FleetError, match="unreadable"):
+            load_spec(tmp_path / "absent.json")
+
+
+def _spec(tmp_path, lo, hi, **extra):
+    spec = {
+        "shard_id": 0,
+        "die_range": [lo, hi],
+        "wafer": {"diameter_dies": 3, "seed": 5},
+        "ledger_root": str(tmp_path / "ledger"),
+        "lease_path": str(tmp_path / "lease.json"),
+        "result_path": str(tmp_path / "result.npz"),
+        "progress_path": str(tmp_path / "progress.jsonl"),
+    }
+    spec.update(extra)
+    return spec
+
+
+class TestRunShard:
+    def test_one_shard_end_to_end(self, tmp_path):
+        assert run_shard(_spec(tmp_path, 2, 6)) == 0
+
+        lease = read_lease(tmp_path / "lease.json")
+        assert lease.state == "done"
+        assert lease.dies_done == 4
+        assert lease.run_id == "r0001"
+
+        with np.load(tmp_path / "result.npz", allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            means = np.array(data["die_means"])
+            quality = np.array(data["die_quality"])
+        assert meta["die_range"] == [2, 6]
+        assert meta["run_id"] == "r0001"
+        assert means.shape == (9,)
+        assert np.isfinite(means[2:6]).all()
+        assert np.isnan(means[:2]).all() and np.isnan(means[6:]).all()
+        assert (quality[2:6] == 1).all()
+
+        manifest = [
+            json.loads(line)
+            for line in (tmp_path / "ledger" / "manifest.jsonl")
+            .read_text(encoding="utf-8").splitlines()
+        ]
+        assert [m["kind"] for m in manifest] == ["shard"]
+        assert manifest[0]["run_id"] == "r0001"
+        assert manifest[0]["scalars"]["dies"] == 4.0
+
+        # Completion deletes the checkpoint (the run is finished).
+        checkpoints = tmp_path / "ledger" / "checkpoints"
+        assert not checkpoints.exists() or not list(checkpoints.iterdir())
+
+        # Progress stream exists with start/finish brackets.
+        events = [
+            json.loads(line)["event"]
+            for line in (tmp_path / "progress.jsonl")
+            .read_text(encoding="utf-8").splitlines()
+        ]
+        assert events[0] == "start"
+        assert events[-1] == "finish"
+
+    def test_failed_shard_flips_lease(self, tmp_path):
+        spec = _spec(tmp_path, 0, 9, faults={
+            "faults": [{
+                "site": "wafer.die_done",
+                "kind": "raise",
+                "error": "RuntimeError",
+                "match": {"die": 1},
+            }],
+        })
+        with pytest.raises(RuntimeError):
+            run_shard(spec)
+        lease = read_lease(tmp_path / "lease.json")
+        assert lease.state == "failed"
+        assert not (tmp_path / "result.npz").exists()
+
+
+class TestMain:
+    def test_usage_exit(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_bad_spec_exit(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{}", encoding="utf-8")
+        assert main([str(path)]) == 2
+        assert "error" in capsys.readouterr().err

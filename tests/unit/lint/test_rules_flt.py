@@ -1,0 +1,64 @@
+"""Fleet rules (FLT001-002): the partition must tile the wafer exactly."""
+
+from repro.lint import lint_project
+from repro.lint.diagnostics import Severity
+
+_FLT = ("FLT001", "FLT002")
+
+
+def _lint(ranges, total_dies):
+    return lint_project(
+        only=_FLT, context={"ranges": ranges, "total_dies": total_dies}
+    )
+
+
+def test_exact_partition_is_clean():
+    report = _lint([(0, 4), (4, 7), (7, 10)], 10)
+    assert report.codes() == set()
+
+
+def test_flt001_flags_overlap():
+    report = _lint([(0, 6), (4, 10)], 10)
+    assert report.codes() == {"FLT001"}
+    d = next(iter(report))
+    assert d.severity is Severity.ERROR
+    assert "[4, 6)" in d.message
+    assert "10 dies" in (d.subject or "")
+
+
+def test_flt001_flags_out_of_bounds_range():
+    report = _lint([(0, 12)], 10)
+    assert report.codes() == {"FLT001"}
+    assert "outside" in next(iter(report)).message
+
+
+def test_flt002_flags_gap():
+    report = _lint([(0, 3), (5, 10)], 10)
+    assert report.codes() == {"FLT002"}
+    d = next(iter(report))
+    assert d.severity is Severity.ERROR
+    assert "[3, 5)" in d.message
+
+
+def test_flt002_flags_empty_range():
+    report = _lint([(0, 0), (0, 10)], 10)
+    assert "FLT002" in report.codes()
+    assert any("covers nothing" in d.message for d in report)
+
+
+def test_accepts_shard_id_triples():
+    report = _lint([[0, 0, 5], [1, 5, 9]], 9)
+    assert report.codes() == set()
+
+
+def test_gap_and_overlap_report_separately():
+    # [0,6) and [4,8) overlap on [4,6); die 8 is unclaimed.
+    report = _lint([(0, 6), (4, 8)], 9)
+    assert report.codes() == {"FLT001", "FLT002"}
+
+
+def test_no_context_self_checks_the_planner():
+    # The canonical planner always tiles exactly, so the self-check
+    # sweep over plan_shards must come back clean.
+    report = lint_project(only=_FLT)
+    assert report.codes() == set()
