@@ -666,7 +666,9 @@ def cmd_fleet_merge(args) -> int:
 
         ledger = RunLedger(args.record)
     try:
-        lot = merge_lot(args.root, ledger=ledger, label=args.label)
+        lot = merge_lot(
+            args.root, ledger=ledger, label=args.label, force=args.force
+        )
     except (FleetError, LedgerError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -998,6 +1000,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a kind=lot manifest into this run ledger "
                         f"(default directory {_DEFAULT_LEDGER_DIR})")
     q.add_argument("--label", default="", help="manifest label")
+    q.add_argument("--force", action="store_true",
+                   help="merge even while shard workers are still alive "
+                        "(their unfinished die ranges merge as FAILED)")
     q.set_defaults(func=cmd_fleet_merge)
 
     p = sub.add_parser("tech", help="inspect cell-technology backends")

@@ -34,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import FleetError
+from repro.fleet.lease import read_lease
 from repro.wafer import DieQuality
 
 __all__ = ["LotMerge", "merge_lot", "lot_scalars"]
@@ -156,6 +157,36 @@ def lot_scalars(
     return scalars
 
 
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # EPERM: exists, owned by someone else
+        return True
+    return True
+
+
+def _live_worker_pids(state: dict[str, Any]) -> list[int]:
+    """PIDs of shard workers whose lease still belongs to a live process.
+
+    A fleet.json stuck at ``running`` (the orchestrator itself crashed)
+    is only genuinely live if some worker's lease is still in state
+    ``running`` *and* its recorded pid exists — a dead pid means the
+    worker is gone and its on-disk results are final.
+    """
+    pids = []
+    for paths in state.get("paths", {}).values():
+        lease = read_lease(paths["lease_path"])
+        if lease is None or lease.state != "running":
+            continue
+        if _pid_alive(lease.pid):
+            pids.append(lease.pid)
+    return sorted(pids)
+
+
 def _load_shard_result(path: Path) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
     try:
         with np.load(path, allow_pickle=False) as data:
@@ -175,6 +206,7 @@ def merge_lot(
     *,
     ledger=None,
     label: str = "",
+    force: bool = False,
 ) -> LotMerge:
     """Merge one fleet root's shard results into the lot artifact.
 
@@ -184,15 +216,26 @@ def merge_lot(
     given) records a ``kind="lot"`` manifest carrying the lot scalars
     for the drift engine.  Idempotent: merging again without new shard
     results rewrites byte-identical artifacts.
+
+    A fleet whose ``fleet.json`` still says ``running`` is refused only
+    while some shard worker is provably alive (a ``running`` lease whose
+    pid exists) — a crashed orchestrator leaves ``running`` behind
+    forever, and crash-safety means those shards' completed results must
+    still merge.  ``force=True`` merges even past live workers (their
+    in-flight ranges surface as FAILED coverage, never partial planes).
     """
     from repro.fleet.orchestrator import fleet_state
 
     root = Path(root)
     state = fleet_state(root)
-    if state.get("state") == "running":
-        raise FleetError(
-            f"fleet at {root} is still running; merge after it completes"
-        )
+    if state.get("state") == "running" and not force:
+        live = _live_worker_pids(state)
+        if live:
+            raise FleetError(
+                f"fleet at {root} is still running (live shard worker "
+                f"pid(s) {', '.join(map(str, live))}); merge after it "
+                "completes, or pass force=True to merge anyway"
+            )
     total_dies = int(state["total_dies"])
     partition = [list(entry) for entry in state["partition"]]
     _lint_partition(partition, total_dies)
@@ -210,7 +253,14 @@ def merge_lot(
         status = statuses.get(shard_id, {})
         respawns += int(status.get("respawns", 0))
         result_path = Path(state["paths"][key]["result_path"])
-        if status.get("state") != "done" or not result_path.exists():
+        shard_done = status.get("state") == "done"
+        if not shard_done and state.get("state") == "running":
+            # Crashed orchestrator: shard_status froze at "running",
+            # but a worker that finished flipped its own lease to done
+            # (its last act) — trust that over the stale fleet.json.
+            lease = read_lease(state["paths"][key]["lease_path"])
+            shard_done = lease is not None and lease.state == "done"
+        if not shard_done or not result_path.exists():
             failed_ranges.append((start, stop))
             shard_runs[key] = None
             continue

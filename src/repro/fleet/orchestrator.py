@@ -302,6 +302,12 @@ class FleetOrchestrator:
         tmp.write_text(json.dumps(spec, indent=2) + "\n", encoding="utf-8")
         os.replace(tmp, spec_path)
 
+        # A fresh worker needs a beat of Python startup before it writes
+        # its own lease; a leftover lease from a previous generation (or
+        # a previous fleet in the same root) would read as stale during
+        # that window and get the new process killed on sight.
+        Path(paths["lease_path"]).unlink(missing_ok=True)
+
         log_path = Path(paths["log_path"])
         log_path.parent.mkdir(parents=True, exist_ok=True)
         env = dict(os.environ)
@@ -428,8 +434,17 @@ class FleetOrchestrator:
                 if proc is None:
                     continue
                 lease = read_lease(self._paths(status.shard_id)["lease_path"])
-                age = heartbeat_age(lease) if lease is not None else None
-                if age is not None and age > self.heartbeat_timeout:
+                # Only a lease the current worker wrote can condemn it —
+                # a stale file from another pid/generation says nothing
+                # about this process's health.
+                if (
+                    lease is None
+                    or lease.pid != proc.pid
+                    or lease.generation != status.attempts - 1
+                ):
+                    continue
+                age = heartbeat_age(lease)
+                if age > self.heartbeat_timeout:
                     try:
                         proc.send_signal(signal.SIGKILL)
                     except OSError:  # pragma: no cover - already gone

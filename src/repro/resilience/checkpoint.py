@@ -254,6 +254,9 @@ class Checkpointer:
                 self._write(state)
                 self._last_save = time.monotonic()
                 self._save_cost = self._last_save - began
+        # A reused Checkpointer must not carry the previous run's
+        # completed-index cache into a new run.
+        self._done_seen = None
         self.state = state
         return state
 
@@ -342,6 +345,7 @@ class Checkpointer:
         path = _checkpoint_path(self.ledger, state.run_id)
         if path.exists():
             path.unlink()
+        self._done_seen = None
         return state.run_id
 
     def _require_state(self) -> ScanCheckpoint:

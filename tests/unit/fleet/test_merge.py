@@ -1,7 +1,10 @@
 """Lot merge: bit-exactness, idempotence, degradation, and refusals."""
 
 import json
+import os
 import shutil
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -44,6 +47,13 @@ def reference():
 def _copy(fleet_root, tmp_path):
     clone = tmp_path / "clone"
     shutil.copytree(fleet_root, clone)
+    # fleet.json records absolute paths: repoint them at the clone so
+    # lease/result edits below affect what the merge actually reads.
+    path = clone / "fleet.json"
+    path.write_text(
+        path.read_text(encoding="utf-8").replace(str(fleet_root), str(clone)),
+        encoding="utf-8",
+    )
     return clone
 
 
@@ -126,12 +136,75 @@ class TestDegradedMerge:
         assert scalars["measured_fraction"] == pytest.approx(5 / 9)
 
 
-class TestMergeRefusals:
-    def test_refuses_running_fleet(self, fleet_root, tmp_path):
+def _edit_lease(root, shard, mutate):
+    path = root / "leases" / f"s{shard:02d}.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    mutate(payload)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _dead_pid():
+    """A pid guaranteed dead: a just-reaped child of this process."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestStaleRunningFleet:
+    """fleet.json frozen at "running" by a crashed orchestrator."""
+
+    def _freeze_running(self, payload):
+        payload["state"] = "running"
+        for shard in payload["shard_status"]:
+            shard["state"] = "running"
+
+    def test_all_workers_finished_merges_healthy(
+        self, fleet_root, reference, tmp_path
+    ):
+        # Orchestrator SIGKILLed after every worker finished: the shard
+        # leases say done, so the merge recovers the whole lot.
         clone = _copy(fleet_root, tmp_path)
-        _edit_state(clone, lambda p: p.update(state="running"))
+        _edit_state(clone, self._freeze_running)
+        lot = merge_lot(clone)
+        assert lot.state == "healthy"
+        assert lot.failed_ranges == []
+        for name in _PLANES:
+            np.testing.assert_array_equal(
+                getattr(lot, name), getattr(reference, name), err_msg=name
+            )
+
+    def test_dead_worker_range_degrades(self, fleet_root, tmp_path):
+        # Shard 1's worker also died mid-range (lease still "running",
+        # pid gone): its range merges as FAILED, never partial planes.
+        clone = _copy(fleet_root, tmp_path)
+        _edit_state(clone, self._freeze_running)
+        dead = _dead_pid()
+        _edit_lease(clone, 1, lambda p: p.update(state="running", pid=dead))
+        lot = merge_lot(clone)
+        assert lot.state == "degraded"
+        assert lot.failed_ranges == [(5, 9)]
+
+
+class TestMergeRefusals:
+    def test_refuses_running_fleet_with_live_worker(self, fleet_root, tmp_path):
+        clone = _copy(fleet_root, tmp_path)
+
+        def shard0_in_flight(payload):
+            payload["state"] = "running"
+            payload["shard_status"][0]["state"] = "running"
+
+        _edit_state(clone, shard0_in_flight)
+        # A live "running" lease: this test process's own pid.
+        _edit_lease(
+            clone, 0,
+            lambda p: p.update(state="running", pid=os.getpid()),
+        )
         with pytest.raises(FleetError, match="still running"):
             merge_lot(clone)
+        # force merges past the live worker; its range degrades.
+        lot = merge_lot(clone, force=True)
+        assert lot.state == "degraded"
+        assert lot.failed_ranges == [(0, 5)]
 
     def test_refuses_mixed_config_fingerprints(self, fleet_root, tmp_path):
         clone = _copy(fleet_root, tmp_path)

@@ -57,6 +57,21 @@ def test_finish_deletes_file_but_keeps_run_id_readable(tmp_path):
     assert ck.run_id == "r0001"  # still known for manifest recording
 
 
+def test_reused_checkpointer_forgets_previous_runs_indices(tmp_path):
+    # finish() then start() on the same instance: the second run must
+    # record indices the first run also completed.
+    ck = Checkpointer(tmp_path)
+    _start(ck)
+    ck.mark_done(0)
+    ck.mark_done(1)
+    ck.finish()
+    state = _start(ck)
+    assert state.completed == []
+    ck.mark_done(1)
+    assert state.completed == [1]
+    assert load_checkpoint(ck.path).completed == [1]
+
+
 def test_resume_reloads_partial_state(tmp_path):
     ck = Checkpointer(tmp_path)
     state = _start(ck, meta={"seed": 42})
